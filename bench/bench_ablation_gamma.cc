@@ -1,0 +1,45 @@
+// Ablation A2 — the cost-function weight γ (§3.2): γ trades network
+// traffic (γ → 1) against peer load (γ → 0). Sweeps γ over the grid
+// scenario under stream sharing and reports measured total traffic and
+// total CPU work for each setting.
+
+#include <cstdio>
+
+#include "workload/scenario.h"
+
+using namespace streamshare;
+
+int main() {
+  workload::ScenarioSpec scenario =
+      workload::GridScenario(/*seed=*/13, /*query_count=*/100);
+
+  std::printf(
+      "Ablation A2 — gamma sweep (grid scenario, 100 queries, stream "
+      "sharing)\n\n");
+  std::printf("%8s %18s %18s %16s\n", "gamma", "total bytes",
+              "total work units", "max peer load %");
+
+  for (double gamma : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    sharing::SystemConfig config;
+    config.cost_params.gamma = gamma;
+    Result<workload::ScenarioRun> run = workload::RunScenario(
+        scenario, sharing::Strategy::kStreamSharing, config, 1000);
+    if (!run.ok()) {
+      std::fprintf(stderr, "gamma %.2f failed: %s\n", gamma,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    const engine::Metrics& metrics = run->system->metrics();
+    double max_cpu = 0.0;
+    for (size_t peer = 0; peer < scenario.topology.peer_count(); ++peer) {
+      max_cpu = std::max(
+          max_cpu, metrics.PeerCpuPercent(
+                       static_cast<network::NodeId>(peer), run->duration_s,
+                       scenario.topology.peer(peer).max_load));
+    }
+    std::printf("%8.2f %18llu %18.1f %16.2f\n", gamma,
+                static_cast<unsigned long long>(metrics.TotalBytes()),
+                metrics.TotalWork(), max_cpu);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation A6 — registration-order sensitivity. The paper's approach is
+// *incremental*: queries are optimized one after another against the
+// current network state, in contrast to classical multi-query
+// optimization which sees the whole set at once (§5). The price of
+// incrementality is order dependence: early queries decide which streams
+// exist for later ones to reuse. This bench registers the same 25-query
+// workload in many random orders and reports the spread of the measured
+// total traffic, plus the best/worst orders' gap.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <random>
+
+#include "workload/scenario.h"
+
+using namespace streamshare;
+
+int main() {
+  workload::ScenarioSpec base =
+      workload::ExtendedExampleScenario(/*seed=*/11, /*query_count=*/25);
+
+  const int kOrders = 12;
+  std::mt19937_64 rng(4711);
+  std::vector<double> totals;
+
+  for (int order = 0; order < kOrders; ++order) {
+    workload::ScenarioSpec scenario = base;
+    if (order > 0) {
+      std::shuffle(scenario.queries.begin(), scenario.queries.end(), rng);
+    }
+    sharing::SystemConfig config;
+    Result<workload::ScenarioRun> run = workload::RunScenario(
+        scenario, sharing::Strategy::kStreamSharing, config, 1500);
+    if (!run.ok()) {
+      std::fprintf(stderr, "order %d failed: %s\n", order,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    totals.push_back(
+        static_cast<double>(run->system->metrics().TotalBytes()));
+  }
+
+  double best = *std::min_element(totals.begin(), totals.end());
+  double worst = *std::max_element(totals.begin(), totals.end());
+  double mean = std::accumulate(totals.begin(), totals.end(), 0.0) /
+                static_cast<double>(totals.size());
+  double variance = 0.0;
+  for (double value : totals) {
+    variance += (value - mean) * (value - mean);
+  }
+  variance /= static_cast<double>(totals.size());
+
+  std::printf(
+      "Ablation A6 — registration-order sensitivity (extended example, 25 "
+      "queries, %d random orders, stream sharing)\n\n",
+      kOrders);
+  std::printf("measured total traffic (bytes):\n");
+  std::printf("  paper order : %12.0f\n", totals[0]);
+  std::printf("  best order  : %12.0f\n", best);
+  std::printf("  worst order : %12.0f\n", worst);
+  std::printf("  mean        : %12.0f   (stddev %.0f)\n", mean,
+              std::sqrt(variance));
+  std::printf(
+      "\nIncremental optimization pays at most %.1f%% over the best "
+      "observed order on this workload.\n",
+      best > 0.0 ? 100.0 * (worst - best) / best : 0.0);
+  return 0;
+}

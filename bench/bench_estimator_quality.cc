@@ -1,0 +1,164 @@
+// Estimator quality (E7): the cost model's size(p)/freq(p) estimates
+// (§3.2) drive every plan choice — this bench quantifies how well they
+// predict reality, and how much collected statistics improve them. Two
+// modes over the extended-example workload:
+//
+//   uniform    — hand-declared value ranges (uniform assumption), as the
+//                figure benches use;
+//   collected  — statistics inferred from a 4000-photon sample by the
+//                StatisticsCollector, including per-element histograms
+//                that capture the sky's hot regions.
+//
+// For each mode: register the 25 queries under stream sharing, run the
+// photon stream, and compare per-connection estimated vs. measured rates.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "cost/collector.h"
+#include "workload/scenario.h"
+
+using namespace streamshare;
+
+namespace {
+
+struct ErrorSummary {
+  double mean = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+  size_t active = 0;
+};
+
+Result<ErrorSummary> RunMode(bool collected, bool print_rows) {
+  workload::ScenarioSpec scenario =
+      workload::ExtendedExampleScenario(/*seed=*/11, /*query_count=*/25);
+  const workload::StreamSpec& stream = scenario.streams[0];
+
+  auto system = std::make_unique<sharing::StreamShareSystem>(
+      scenario.topology, sharing::SystemConfig{});
+  if (collected) {
+    workload::PhotonGenerator sampler(stream.gen);
+    cost::StatisticsCollector collector("photons", "photon");
+    const size_t kSample = 4000;
+    for (const engine::ItemPtr& photon : sampler.Generate(kSample)) {
+      SS_RETURN_IF_ERROR(collector.Observe(*photon));
+    }
+    SS_ASSIGN_OR_RETURN(
+        cost::StreamStatistics stats,
+        collector.Build(static_cast<double>(kSample) /
+                        stream.gen.frequency_hz));
+    SS_RETURN_IF_ERROR(system->RegisterStream(
+        "photons", std::move(stats), stream.source));
+  } else {
+    SS_RETURN_IF_ERROR(system->RegisterStream(
+        "photons", workload::PhotonGenerator::Schema(),
+        stream.gen.frequency_hz, stream.source));
+    auto path = [](const char* text) {
+      return xml::Path::Parse(text).value();
+    };
+    SS_RETURN_IF_ERROR(system->SetRange("photons", path("coord/cel/ra"),
+                                        {0.0, 360.0}));
+    SS_RETURN_IF_ERROR(system->SetRange("photons", path("coord/cel/dec"),
+                                        {-90.0, 90.0}));
+    SS_RETURN_IF_ERROR(
+        system->SetRange("photons", path("en"), {0.1, 2.4}));
+    SS_RETURN_IF_ERROR(system->SetAvgIncrement(
+        "photons", path("det_time"), stream.gen.det_time_increment_mean));
+  }
+
+  for (const workload::QuerySpec& query : scenario.queries) {
+    SS_RETURN_IF_ERROR(
+        system
+            ->RegisterQuery(query.text, query.target,
+                            sharing::Strategy::kStreamSharing)
+            .status());
+  }
+  const size_t kItems = 6000;
+  workload::PhotonGenerator generator(stream.gen);
+  std::map<std::string, std::vector<engine::ItemPtr>> items;
+  items["photons"] = generator.Generate(kItems);
+  SS_RETURN_IF_ERROR(system->Run(items));
+  double duration_s =
+      static_cast<double>(kItems) / stream.gen.frequency_hz;
+
+  const network::Topology& topology = scenario.topology;
+  const engine::Metrics& metrics = system->metrics();
+  std::vector<double> estimated(topology.link_count(), 0.0);
+  for (const network::RegisteredStream& registered :
+       system->registry().streams()) {
+    if (registered.route.size() < 2) continue;
+    Result<std::vector<network::LinkId>> links =
+        topology.LinksOnPath(registered.route);
+    if (!links.ok()) continue;
+    for (network::LinkId link : *links) {
+      estimated[link] += registered.rate_kbps;
+    }
+  }
+
+  if (print_rows) {
+    std::printf("%-12s %14s %14s %10s\n", "connection", "estimated kbps",
+                "measured kbps", "error");
+  }
+  std::vector<double> errors;
+  for (size_t link = 0; link < topology.link_count(); ++link) {
+    double measured = metrics.LinkKbps(static_cast<network::LinkId>(link),
+                                       duration_s);
+    if (measured < 0.5 && estimated[link] < 0.5) continue;
+    double error = estimated[link] / std::max(0.001, measured) - 1.0;
+    errors.push_back(std::fabs(error));
+    if (print_rows) {
+      const network::Link& l = topology.link(link);
+      std::printf(
+          "%-12s %14.2f %14.2f %+9.1f%%\n",
+          (std::to_string(l.a) + "-" + std::to_string(l.b)).c_str(),
+          estimated[link], measured, 100.0 * error);
+    }
+  }
+  if (errors.empty()) return Status::Internal("no active connections");
+  std::sort(errors.begin(), errors.end());
+  ErrorSummary summary;
+  for (double error : errors) summary.mean += error;
+  summary.mean /= static_cast<double>(errors.size());
+  summary.median = errors[errors.size() / 2];
+  summary.max = errors.back();
+  summary.active = errors.size();
+  return summary;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Estimator quality — per-connection estimated vs. measured rate "
+      "(extended example, 25 queries, 6000 photons)\n\n");
+  std::printf("uniform ranges (hand-declared):\n");
+  Result<ErrorSummary> uniform = RunMode(false, true);
+  if (!uniform.ok()) {
+    std::fprintf(stderr, "uniform mode failed: %s\n",
+                 uniform.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncollected statistics (histograms from a 4000-photon "
+              "sample):\n");
+  Result<ErrorSummary> collected = RunMode(true, true);
+  if (!collected.ok()) {
+    std::fprintf(stderr, "collected mode failed: %s\n",
+                 collected.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%-12s %10s %10s %10s\n", "|error|", "mean", "median",
+              "max");
+  std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", "uniform",
+              100.0 * uniform->mean, 100.0 * uniform->median,
+              100.0 * uniform->max);
+  std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", "collected",
+              100.0 * collected->mean, 100.0 * collected->median,
+              100.0 * collected->max);
+  std::printf(
+      "\nHistograms capture the sky's hot regions that the uniform "
+      "assumption misses; residual error stems from correlations between "
+      "ra and dec (the estimator multiplies marginals).\n");
+  return 0;
+}

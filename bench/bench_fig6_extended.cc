@@ -1,0 +1,111 @@
+// Figure 6 (E1 + E2): extended example scenario — 8 super-peers, 1 data
+// stream, 25 queries. Prints, per strategy, the average CPU load of every
+// super-peer (left plot) and the average traffic of every network
+// connection in kbps (right plot). Values are measured from actually
+// running the generated photon stream through each deployed network.
+
+#include <cstdio>
+#include <vector>
+
+#include "workload/scenario.h"
+
+using namespace streamshare;
+
+namespace {
+
+constexpr size_t kItems = 3000;
+
+struct StrategyResult {
+  const char* name;
+  std::vector<double> cpu_percent;
+  std::vector<double> link_kbps;
+  int accepted = 0;
+};
+
+}  // namespace
+
+int main() {
+  workload::ScenarioSpec scenario =
+      workload::ExtendedExampleScenario(/*seed=*/11, /*query_count=*/25);
+  const network::Topology& topology = scenario.topology;
+
+  const std::pair<sharing::Strategy, const char*> strategies[] = {
+      {sharing::Strategy::kDataShipping, "Data Shipping"},
+      {sharing::Strategy::kQueryShipping, "Query Shipping"},
+      {sharing::Strategy::kStreamSharing, "Stream Sharing"},
+  };
+
+  std::vector<StrategyResult> results;
+  for (const auto& [strategy, name] : strategies) {
+    sharing::SystemConfig config;
+    Result<workload::ScenarioRun> run =
+        workload::RunScenario(scenario, strategy, config, kItems);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    StrategyResult result;
+    result.name = name;
+    result.accepted = run->accepted;
+    const engine::Metrics& metrics = run->system->metrics();
+    for (size_t peer = 0; peer < topology.peer_count(); ++peer) {
+      result.cpu_percent.push_back(metrics.PeerCpuPercent(
+          static_cast<network::NodeId>(peer), run->duration_s,
+          topology.peer(peer).max_load));
+    }
+    for (size_t link = 0; link < topology.link_count(); ++link) {
+      result.link_kbps.push_back(metrics.LinkKbps(
+          static_cast<network::LinkId>(link), run->duration_s));
+    }
+    results.push_back(std::move(result));
+  }
+
+  std::printf(
+      "Figure 6 — extended example scenario: 8 super-peers, 1 data "
+      "stream, 25 queries (%zu photons)\n\n",
+      kItems);
+
+  std::printf("Avg. CPU Load (%%)\n");
+  std::printf("%-8s", "Peer");
+  for (const StrategyResult& result : results) {
+    std::printf("%18s", result.name);
+  }
+  std::printf("\n");
+  for (size_t peer = 0; peer < topology.peer_count(); ++peer) {
+    std::printf("%-8s", topology.peer(peer).name.c_str());
+    for (const StrategyResult& result : results) {
+      std::printf("%18.2f", result.cpu_percent[peer]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nAvg. Network Traffic (kbps)\n");
+  std::printf("%-12s", "Connection");
+  for (const StrategyResult& result : results) {
+    std::printf("%18s", result.name);
+  }
+  std::printf("\n");
+  for (size_t link = 0; link < topology.link_count(); ++link) {
+    const network::Link& l = topology.link(link);
+    std::string label = std::to_string(l.a) + "-" + std::to_string(l.b);
+    std::printf("%-12s", label.c_str());
+    for (const StrategyResult& result : results) {
+      std::printf("%18.2f", result.link_kbps[link]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nTotals\n");
+  for (const StrategyResult& result : results) {
+    double cpu_total = 0.0;
+    for (double value : result.cpu_percent) cpu_total += value;
+    double traffic_total = 0.0;
+    for (double value : result.link_kbps) traffic_total += value;
+    std::printf(
+        "  %-16s accepted=%2d   sum CPU = %8.2f %%   sum traffic = "
+        "%9.2f kbps\n",
+        result.name, result.accepted, cpu_total, traffic_total);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 7 (E3 + E4): 4×4 grid scenario — 16 super-peers, 2 data streams,
+// 100 queries. Prints, per strategy, the average CPU load of every
+// super-peer (left plot) and the accumulated network traffic in Mbit —
+// incoming plus outgoing — of every super-peer (right plot), measured
+// from execution.
+
+#include <cstdio>
+#include <vector>
+
+#include "workload/scenario.h"
+
+using namespace streamshare;
+
+namespace {
+constexpr size_t kItems = 2000;
+}
+
+int main() {
+  workload::ScenarioSpec scenario =
+      workload::GridScenario(/*seed=*/13, /*query_count=*/100);
+  const network::Topology& topology = scenario.topology;
+
+  const std::pair<sharing::Strategy, const char*> strategies[] = {
+      {sharing::Strategy::kDataShipping, "Data Shipping"},
+      {sharing::Strategy::kQueryShipping, "Query Shipping"},
+      {sharing::Strategy::kStreamSharing, "Stream Sharing"},
+  };
+
+  struct Row {
+    std::vector<double> cpu_percent;
+    std::vector<double> acc_mbit;
+    int accepted = 0;
+  };
+  std::vector<Row> rows;
+
+  for (const auto& [strategy, name] : strategies) {
+    sharing::SystemConfig config;
+    Result<workload::ScenarioRun> run =
+        workload::RunScenario(scenario, strategy, config, kItems);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    Row row;
+    row.accepted = run->accepted;
+    const engine::Metrics& metrics = run->system->metrics();
+    for (size_t peer = 0; peer < topology.peer_count(); ++peer) {
+      row.cpu_percent.push_back(metrics.PeerCpuPercent(
+          static_cast<network::NodeId>(peer), run->duration_s,
+          topology.peer(peer).max_load));
+      // Accumulated traffic: bytes on every link incident to the peer
+      // (each transmission counts as outgoing at one end and incoming at
+      // the other, exactly like the paper's in+out accounting).
+      double bits = 0.0;
+      for (size_t link = 0; link < topology.link_count(); ++link) {
+        const network::Link& l = topology.link(link);
+        if (l.a == static_cast<network::NodeId>(peer) ||
+            l.b == static_cast<network::NodeId>(peer)) {
+          bits += static_cast<double>(
+                      metrics.BytesOnLink(static_cast<int>(link))) *
+                  8.0;
+        }
+      }
+      row.acc_mbit.push_back(bits / 1e6);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::printf(
+      "Figure 7 — 4x4 grid scenario: 16 super-peers, 2 data streams, 100 "
+      "queries (%zu photons per stream)\n\n",
+      kItems);
+
+  std::printf("Avg. CPU Load (%%)\n%-8s", "Peer");
+  for (const auto& [strategy, name] : strategies) {
+    std::printf("%18s", name);
+  }
+  std::printf("\n");
+  for (size_t peer = 0; peer < topology.peer_count(); ++peer) {
+    std::printf("%-8s", topology.peer(peer).name.c_str());
+    for (const Row& row : rows) std::printf("%18.2f", row.cpu_percent[peer]);
+    std::printf("\n");
+  }
+
+  std::printf("\nAcc. Network Traffic (MBit, in+out)\n%-8s", "Peer");
+  for (const auto& [strategy, name] : strategies) {
+    std::printf("%18s", name);
+  }
+  std::printf("\n");
+  for (size_t peer = 0; peer < topology.peer_count(); ++peer) {
+    std::printf("%-8s", topology.peer(peer).name.c_str());
+    for (const Row& row : rows) std::printf("%18.2f", row.acc_mbit[peer]);
+    std::printf("\n");
+  }
+
+  std::printf("\nTotals\n");
+  for (size_t s = 0; s < rows.size(); ++s) {
+    double cpu = 0.0, mbit = 0.0;
+    for (double value : rows[s].cpu_percent) cpu += value;
+    for (double value : rows[s].acc_mbit) mbit += value;
+    std::printf(
+        "  %-16s accepted=%3d   sum CPU = %8.2f %%   sum traffic = %8.2f "
+        "MBit\n",
+        strategies[s].second, rows[s].accepted, cpu, mbit);
+  }
+  return 0;
+}

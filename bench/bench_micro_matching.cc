@@ -1,0 +1,106 @@
+// M5 — microbenchmarks of the matching layer and the Subscribe planner:
+// MatchProperties throughput on workload-shaped properties, aggregate
+// matching, and full Algorithm-1 registration against a populated
+// network.
+
+#include <benchmark/benchmark.h>
+
+#include "matching/match_properties.h"
+#include "workload/scenario.h"
+#include "wxquery/analyzer.h"
+
+using namespace streamshare;
+
+namespace {
+
+std::vector<properties::InputStreamProperties> WorkloadProps(
+    size_t count, uint64_t seed) {
+  workload::QueryGenerator generator(
+      workload::QueryGenConfig::Default(seed));
+  std::vector<properties::InputStreamProperties> out;
+  while (out.size() < count) {
+    Result<wxquery::AnalyzedQuery> analyzed =
+        wxquery::ParseAndAnalyze(generator.Next());
+    if (analyzed.ok()) {
+      out.push_back(analyzed->props.inputs()[0]);
+    }
+  }
+  return out;
+}
+
+void BM_MatchProperties(benchmark::State& state) {
+  auto streams = WorkloadProps(32, 1);
+  auto subs = WorkloadProps(32, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& stream = streams[i % streams.size()];
+    const auto& sub = subs[(i / streams.size()) % subs.size()];
+    benchmark::DoNotOptimize(matching::MatchProperties(stream, sub));
+    ++i;
+  }
+}
+BENCHMARK(BM_MatchProperties);
+
+void BM_MatchPropertiesComplete(benchmark::State& state) {
+  auto streams = WorkloadProps(32, 1);
+  auto subs = WorkloadProps(32, 2);
+  matching::MatchOptions complete;
+  complete.edge_local_predicates = false;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& stream = streams[i % streams.size()];
+    const auto& sub = subs[(i / streams.size()) % subs.size()];
+    benchmark::DoNotOptimize(
+        matching::MatchProperties(stream, sub, complete));
+    ++i;
+  }
+}
+BENCHMARK(BM_MatchPropertiesComplete);
+
+void BM_SubscribeAgainstPopulatedNetwork(benchmark::State& state) {
+  // Populate a grid with `range` prior subscriptions, then measure the
+  // registration cost of one more.
+  workload::ScenarioSpec scenario = workload::GridScenario(
+      /*seed=*/5, /*query_count=*/static_cast<size_t>(state.range(0)));
+  Result<std::unique_ptr<sharing::StreamShareSystem>> built =
+      workload::BuildSystem(scenario, sharing::SystemConfig{});
+  if (!built.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto system = std::move(*built);
+  for (const workload::QuerySpec& query : scenario.queries) {
+    if (!system
+             ->RegisterQuery(query.text, query.target,
+                             sharing::Strategy::kStreamSharing)
+             .ok()) {
+      state.SkipWithError("population failed");
+      return;
+    }
+  }
+  workload::QueryGenerator generator(
+      workload::QueryGenConfig::Default(77, "photons"));
+  std::vector<std::string> probes = generator.Generate(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    network::NodeId target = static_cast<network::NodeId>(i % 16);
+    Result<sharing::RegistrationResult> result = system->RegisterQuery(
+        probes[i % probes.size()], target,
+        sharing::Strategy::kStreamSharing);
+    ++i;
+    benchmark::DoNotOptimize(result);
+  }
+}
+// Fixed iteration count: every measured registration also deploys, so the
+// network grows as the benchmark runs; a bounded run keeps the population
+// near its nominal size.
+BENCHMARK(BM_SubscribeAgainstPopulatedNetwork)
+    ->Arg(0)
+    ->Arg(25)
+    ->Arg(100)
+    ->Iterations(150)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// M2 — microbenchmarks of the WXQuery front end: parsing and full
+// parse+analyze on the paper's queries and on generated template queries.
+
+#include <benchmark/benchmark.h>
+
+#include "workload/paper_queries.h"
+#include "workload/query_gen.h"
+#include "wxquery/analyzer.h"
+#include "wxquery/parser.h"
+
+using namespace streamshare;
+
+namespace {
+
+void BM_ParseQuery1(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = wxquery::ParseQuery(workload::kQuery1);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseQuery1);
+
+void BM_ParseQuery4(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = wxquery::ParseQuery(workload::kQuery4);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseQuery4);
+
+void BM_ParseAndAnalyzeQuery1(benchmark::State& state) {
+  for (auto _ : state) {
+    auto analyzed = wxquery::ParseAndAnalyze(workload::kQuery1);
+    benchmark::DoNotOptimize(analyzed);
+  }
+}
+BENCHMARK(BM_ParseAndAnalyzeQuery1);
+
+void BM_ParseAndAnalyzeQuery3(benchmark::State& state) {
+  for (auto _ : state) {
+    auto analyzed = wxquery::ParseAndAnalyze(workload::kQuery3);
+    benchmark::DoNotOptimize(analyzed);
+  }
+}
+BENCHMARK(BM_ParseAndAnalyzeQuery3);
+
+void BM_ParseAndAnalyzeGenerated(benchmark::State& state) {
+  workload::QueryGenerator generator(
+      workload::QueryGenConfig::Default(1));
+  std::vector<std::string> queries = generator.Generate(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto analyzed = wxquery::ParseAndAnalyze(queries[i++ % queries.size()]);
+    benchmark::DoNotOptimize(analyzed);
+  }
+}
+BENCHMARK(BM_ParseAndAnalyzeGenerated);
+
+}  // namespace
+
+BENCHMARK_MAIN();

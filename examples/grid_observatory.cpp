@@ -1,0 +1,90 @@
+// A larger deployment: the 4×4 grid with two photon streams and a
+// template-generated query population, registered incrementally under
+// stream sharing. Prints a running account of how much each new
+// subscription reuses — the multi-subscription optimization at work — and
+// a final sharing census.
+
+#include <cstdio>
+#include <map>
+
+#include "workload/scenario.h"
+
+using namespace streamshare;
+
+int main() {
+  workload::ScenarioSpec scenario =
+      workload::GridScenario(/*seed=*/21, /*query_count=*/40);
+  Result<std::unique_ptr<sharing::StreamShareSystem>> built =
+      workload::BuildSystem(scenario, sharing::SystemConfig{});
+  if (!built.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<sharing::StreamShareSystem> system = std::move(*built);
+
+  std::printf("Grid observatory — 16 super-peers, 2 streams, %zu queries\n",
+              scenario.queries.size());
+  std::printf("==========================================================\n\n");
+
+  int reused_derived = 0, used_original = 0;
+  for (size_t i = 0; i < scenario.queries.size(); ++i) {
+    const workload::QuerySpec& query = scenario.queries[i];
+    Result<sharing::RegistrationResult> result = system->RegisterQuery(
+        query.text, query.target, sharing::Strategy::kStreamSharing);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query %zu failed: %s\n", i,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const sharing::InputPlan& input = result->plan.inputs[0];
+    bool reuses_derived =
+        !system->registry().stream(input.reused_stream).IsOriginal();
+    if (reuses_derived) {
+      ++reused_derived;
+    } else {
+      ++used_original;
+    }
+    std::printf(
+        "q%02zu @SP%-2d %-28s -> %s #%d at SP%-2d (%d nodes searched, "
+        "%d candidates, cost %.4f)\n",
+        i, query.target,
+        query.text.find("let $a") != std::string::npos
+            ? "window aggregate"
+            : "selection/projection",
+        reuses_derived ? "reuses stream" : "taps original",
+        input.reused_stream, input.reuse_node,
+        result->search.nodes_visited, result->search.candidates_matched,
+        input.cost);
+  }
+
+  std::printf("\nSharing census\n");
+  std::printf("  queries reusing a derived stream : %d\n", reused_derived);
+  std::printf("  queries tapping an original      : %d\n", used_original);
+  std::printf("  streams now flowing in the network: %zu (2 originals)\n",
+              system->registry().streams().size());
+
+  // Run photons through the final deployment and report per-stream flow.
+  std::map<std::string, std::vector<engine::ItemPtr>> items;
+  for (const workload::StreamSpec& stream : scenario.streams) {
+    workload::PhotonGenerator generator(stream.gen);
+    items[stream.name] = generator.Generate(1500);
+  }
+  Status status = system->Run(items);
+  if (!status.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  uint64_t produced = 0;
+  for (const sharing::RegistrationResult& r : system->registrations()) {
+    if (r.sink != nullptr) produced += r.sink->item_count();
+  }
+  std::printf("\nAfter 1500 photons per stream:\n");
+  std::printf("  result items delivered to subscribers: %llu\n",
+              static_cast<unsigned long long>(produced));
+  std::printf("  bytes transmitted in the backbone    : %llu\n",
+              static_cast<unsigned long long>(
+                  system->metrics().TotalBytes()));
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "common/decimal.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+
+namespace streamshare {
+
+namespace {
+
+int64_t Pow10(int n) {
+  assert(n >= 0 && n <= 18);
+  int64_t p = 1;
+  for (int i = 0; i < n; ++i) p *= 10;
+  return p;
+}
+
+}  // namespace
+
+Decimal::Decimal(int64_t unscaled, int scale)
+    : unscaled_(unscaled), scale_(scale) {
+  assert(scale >= 0 && scale <= kMaxScale);
+}
+
+Result<Decimal> Decimal::Parse(std::string_view text) {
+  if (text.empty()) {
+    return Status::ParseError("empty decimal literal");
+  }
+  size_t pos = 0;
+  bool negative = false;
+  if (text[pos] == '+' || text[pos] == '-') {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  int64_t unscaled = 0;
+  int scale = 0;
+  bool seen_digit = false;
+  bool seen_dot = false;
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (c == '.') {
+      if (seen_dot) {
+        return Status::ParseError("multiple decimal points in '" +
+                                  std::string(text) + "'");
+      }
+      seen_dot = true;
+      continue;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::ParseError("invalid character in decimal literal '" +
+                                std::string(text) + "'");
+    }
+    seen_digit = true;
+    if (seen_dot) {
+      ++scale;
+      if (scale > kMaxScale) {
+        return Status::ParseError("too many fractional digits in '" +
+                                  std::string(text) + "'");
+      }
+    }
+    unscaled = unscaled * 10 + (c - '0');
+  }
+  if (!seen_digit) {
+    return Status::ParseError("no digits in decimal literal '" +
+                              std::string(text) + "'");
+  }
+  if (negative) unscaled = -unscaled;
+  return Decimal(unscaled, scale);
+}
+
+Decimal Decimal::FromDouble(double value, int scale) {
+  assert(scale >= 0 && scale <= kMaxScale);
+  double scaled = value * static_cast<double>(Pow10(scale));
+  return Decimal(static_cast<int64_t>(std::llround(scaled)), scale);
+}
+
+double Decimal::ToDouble() const {
+  return static_cast<double>(unscaled_) /
+         static_cast<double>(Pow10(scale_));
+}
+
+std::string Decimal::ToString() const {
+  if (scale_ == 0) return std::to_string(unscaled_);
+  int64_t abs = unscaled_ < 0 ? -unscaled_ : unscaled_;
+  int64_t p = Pow10(scale_);
+  int64_t whole = abs / p;
+  int64_t frac = abs % p;
+  std::string frac_str = std::to_string(frac);
+  frac_str.insert(0, static_cast<size_t>(scale_) - frac_str.size(), '0');
+  std::string out;
+  if (unscaled_ < 0) out += '-';
+  out += std::to_string(whole);
+  out += '.';
+  out += frac_str;
+  return out;
+}
+
+Decimal Decimal::Rescaled(int new_scale) const {
+  assert(new_scale >= scale_ && new_scale <= kMaxScale);
+  return Decimal(unscaled_ * Pow10(new_scale - scale_), new_scale);
+}
+
+Decimal Decimal::operator+(const Decimal& other) const {
+  int s = std::max(scale_, other.scale_);
+  return Decimal(Rescaled(s).unscaled_ + other.Rescaled(s).unscaled_, s);
+}
+
+Decimal Decimal::operator-(const Decimal& other) const {
+  int s = std::max(scale_, other.scale_);
+  return Decimal(Rescaled(s).unscaled_ - other.Rescaled(s).unscaled_, s);
+}
+
+std::strong_ordering Decimal::operator<=>(const Decimal& other) const {
+  int s = std::max(scale_, other.scale_);
+  return Rescaled(s).unscaled_ <=> other.Rescaled(s).unscaled_;
+}
+
+bool Decimal::operator==(const Decimal& other) const {
+  return (*this <=> other) == std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Decimal& d) {
+  return os << d.ToString();
+}
+
+}  // namespace streamshare

@@ -1,0 +1,80 @@
+// Fixed-point decimal arithmetic. The paper restricts predicate constants to
+// integers or decimals with a finite number of decimal places; representing
+// them exactly (as a scaled 64-bit integer) keeps predicate-graph
+// normalization, satisfiability and implication checks exact, where IEEE
+// doubles would introduce rounding artifacts at window and box boundaries.
+
+#ifndef STREAMSHARE_COMMON_DECIMAL_H_
+#define STREAMSHARE_COMMON_DECIMAL_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace streamshare {
+
+/// An exact decimal number `unscaled * 10^-scale` with 0 <= scale <= 15.
+///
+/// Decimals of different scales compare and combine correctly: operations
+/// first rescale both operands to the larger scale. Overflow of the
+/// underlying int64 is not expected for the value ranges in this system
+/// (celestial coordinates, energies, timestamps) and is guarded by
+/// assertions in debug builds.
+class Decimal {
+ public:
+  static constexpr int kMaxScale = 15;
+
+  /// Zero with scale 0.
+  Decimal() = default;
+
+  /// Constructs `unscaled * 10^-scale`.
+  Decimal(int64_t unscaled, int scale);
+
+  /// Constructs an integer value (scale 0).
+  static Decimal FromInt(int64_t value) { return Decimal(value, 0); }
+
+  /// Parses "-12", "3.25", ".5", "1." style literals. Rejects exponents,
+  /// hex, more than kMaxScale fractional digits, and empty input.
+  static Result<Decimal> Parse(std::string_view text);
+
+  /// Converts a double by rounding to `scale` fractional digits.
+  static Decimal FromDouble(double value, int scale);
+
+  int64_t unscaled() const { return unscaled_; }
+  int scale() const { return scale_; }
+
+  /// The value as a double (inexact for large magnitudes).
+  double ToDouble() const;
+
+  /// Canonical text form, e.g. "-3.25", "7". Trailing fractional zeros are
+  /// kept (scale is part of the identity of the textual form).
+  std::string ToString() const;
+
+  /// Returns an equal value rescaled to `new_scale` >= scale().
+  Decimal Rescaled(int new_scale) const;
+
+  /// The smallest positive decimal at this scale (10^-scale). Used to turn
+  /// strict inequalities into non-strict ones: v < c  <=>  v <= c - ulp.
+  Decimal Ulp() const { return Decimal(1, scale_); }
+
+  Decimal operator-() const { return Decimal(-unscaled_, scale_); }
+  Decimal operator+(const Decimal& other) const;
+  Decimal operator-(const Decimal& other) const;
+
+  /// Three-way comparison on the represented value (scale-insensitive).
+  std::strong_ordering operator<=>(const Decimal& other) const;
+  bool operator==(const Decimal& other) const;
+
+ private:
+  int64_t unscaled_ = 0;
+  int scale_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Decimal& d);
+
+}  // namespace streamshare
+
+#endif  // STREAMSHARE_COMMON_DECIMAL_H_

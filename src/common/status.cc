@@ -1,0 +1,66 @@
+#include "common/status.h"
+
+namespace streamshare {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kUnsatisfiable:
+      return "unsatisfiable";
+    case StatusCode::kOverload:
+      return "overload";
+    case StatusCode::kInternal:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  assert(code != StatusCode::kOk && "use Status::Ok() for success");
+  state_ = std::make_shared<const State>(State{code, std::move(message)});
+}
+
+const std::string& Status::message() const {
+  return ok() ? kEmptyString : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message();
+  return Status(code(), std::move(msg));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace streamshare

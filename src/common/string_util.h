@@ -1,0 +1,31 @@
+// Small string helpers shared across the library.
+
+#ifndef STREAMSHARE_COMMON_STRING_UTIL_H_
+#define STREAMSHARE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streamshare {
+
+/// Splits `text` on `sep`, keeping empty pieces. Split("a//b", '/') yields
+/// {"a", "", "b"}; Split("", '/') yields {""}.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True if every character is an ASCII digit (and text is non-empty).
+bool IsAllDigits(std::string_view text);
+
+}  // namespace streamshare
+
+#endif  // STREAMSHARE_COMMON_STRING_UTIL_H_

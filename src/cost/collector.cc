@@ -1,0 +1,152 @@
+#include "cost/collector.h"
+
+#include <memory>
+
+#include "common/string_util.h"
+
+namespace streamshare::cost {
+
+Status StatisticsCollector::Observe(const xml::XmlNode& item) {
+  if (item.name() != item_name_) {
+    return Status::InvalidArgument("expected <" + item_name_ +
+                                   "> items, got <" + item.name() + ">");
+  }
+  ++observed_;
+  std::vector<std::string> prefix;
+  std::set<xml::Path> seen_this_item;
+  for (const auto& child : item.children()) {
+    prefix.push_back(child->name());
+    ObserveNode(*child, &prefix, &seen_this_item);
+    prefix.pop_back();
+  }
+  return Status::Ok();
+}
+
+void StatisticsCollector::ObserveNode(const xml::XmlNode& node,
+                                      std::vector<std::string>* prefix,
+                                      std::set<xml::Path>* seen_this_item) {
+  xml::Path path(*prefix);
+  PathStats& stats = paths_[path];
+  ++stats.count;
+  stats.text_bytes += node.text().size();
+  if (!node.children().empty()) stats.has_children = true;
+
+  // The monotonicity profile uses one value per item (the first
+  // occurrence of the path); occurrence counting covers all of them.
+  bool first_in_item = seen_this_item->insert(path).second;
+
+  if (stats.numeric && node.children().empty()) {
+    Result<Decimal> value = Decimal::Parse(Trim(node.text()));
+    if (!value.ok()) {
+      stats.numeric = false;
+      stats.monotone = false;
+    } else {
+      if (!stats.min.has_value() || *value < *stats.min) {
+        stats.min = *value;
+      }
+      if (!stats.max.has_value() || *value > *stats.max) {
+        stats.max = *value;
+      }
+      if (stats.sample.size() < kMaxSample) {
+        stats.sample.push_back(value->ToDouble());
+      }
+      if (first_in_item) {
+        if (stats.last.has_value()) {
+          if (*value < *stats.last) {
+            stats.monotone = false;
+          } else {
+            stats.increment_sum += (*value - *stats.last).ToDouble();
+            ++stats.increment_count;
+          }
+        }
+        stats.last = *value;
+      }
+    }
+  } else if (!node.children().empty()) {
+    stats.numeric = false;
+    stats.monotone = false;
+  }
+
+  for (const auto& child : node.children()) {
+    prefix->push_back(child->name());
+    ObserveNode(*child, prefix, seen_this_item);
+    prefix->pop_back();
+  }
+}
+
+Result<StreamStatistics> StatisticsCollector::Build(
+    double duration_s) const {
+  if (observed_ == 0) {
+    return Status::InvalidArgument("no items observed");
+  }
+  if (duration_s <= 0.0) {
+    return Status::InvalidArgument("duration must be positive");
+  }
+
+  auto schema =
+      std::make_shared<xml::StreamSchema>(stream_name_, item_name_);
+  // Paths iterate in lexicographic order, so parents precede children;
+  // resolve the parent as we insert.
+  for (const auto& [path, stats] : paths_) {
+    xml::Path parent_path(std::vector<std::string>(
+        path.steps().begin(), path.steps().end() - 1));
+    // Occurrence relative to the parent element.
+    double parent_count = static_cast<double>(observed_);
+    if (!parent_path.empty()) {
+      auto it = paths_.find(parent_path);
+      if (it != paths_.end()) {
+        parent_count = static_cast<double>(it->second.count);
+      }
+    }
+    const xml::SchemaElement* parent_const = schema->Resolve(parent_path);
+    if (parent_const == nullptr) {
+      return Status::Internal("schema parent missing for path '" +
+                              path.ToString() + "'");
+    }
+    // Resolve() hands out const pointers; the schema object is ours.
+    auto* parent = const_cast<xml::SchemaElement*>(parent_const);
+    double occurrence =
+        static_cast<double>(stats.count) / std::max(1.0, parent_count);
+    double text_size = static_cast<double>(stats.text_bytes) /
+                       static_cast<double>(stats.count);
+    parent->AddChild(path.steps().back(), occurrence, text_size);
+  }
+
+  StreamStatistics out(std::move(schema),
+                       static_cast<double>(observed_) / duration_s);
+  for (const auto& [path, stats] : paths_) {
+    if (!stats.numeric || stats.has_children || !stats.min.has_value()) {
+      continue;
+    }
+    double lo = stats.min->ToDouble();
+    double hi = stats.max->ToDouble();
+    out.SetRange(path, {lo, hi});
+    // A histogram over the sample captures skew (e.g. the bright sky
+    // regions) that a bare range cannot.
+    if (hi > lo && stats.sample.size() >= 2 * kHistogramBuckets) {
+      ValueHistogram histogram;
+      histogram.min = lo;
+      histogram.max = hi;
+      histogram.mass.assign(kHistogramBuckets, 0.0);
+      double width = (hi - lo) / static_cast<double>(kHistogramBuckets);
+      for (double value : stats.sample) {
+        size_t bucket = std::min(
+            kHistogramBuckets - 1,
+            static_cast<size_t>((value - lo) / width));
+        histogram.mass[bucket] += 1.0;
+      }
+      for (double& bucket_mass : histogram.mass) {
+        bucket_mass /= static_cast<double>(stats.sample.size());
+      }
+      out.SetHistogram(path, std::move(histogram));
+    }
+    if (stats.monotone && stats.increment_count > 0) {
+      out.SetAvgIncrement(path,
+                          stats.increment_sum /
+                              static_cast<double>(stats.increment_count));
+    }
+  }
+  return out;
+}
+
+}  // namespace streamshare::cost

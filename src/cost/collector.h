@@ -1,0 +1,79 @@
+// Statistics collection from observed stream items. The paper obtains
+// cost-function inputs — element occurrences and sizes, item frequencies,
+// selectivity-relevant value ranges, and reference-element increments —
+// "from statistics and selectivity estimations" (§3.2). This collector
+// derives all of them from a sample of real items, so a deployment can
+// bootstrap its cost model without hand-declared numbers.
+
+#ifndef STREAMSHARE_COST_COLLECTOR_H_
+#define STREAMSHARE_COST_COLLECTOR_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/decimal.h"
+#include "cost/statistics.h"
+#include "xml/path.h"
+#include "xml/xml_node.h"
+
+namespace streamshare::cost {
+
+class StatisticsCollector {
+ public:
+  /// `item_name` is the expected item element (e.g. "photon"); items with
+  /// other names are rejected by Observe.
+  StatisticsCollector(std::string stream_name, std::string item_name)
+      : stream_name_(std::move(stream_name)),
+        item_name_(std::move(item_name)) {}
+
+  const std::string& stream_name() const { return stream_name_; }
+  size_t observed() const { return observed_; }
+
+  /// Accumulates one item into the statistics.
+  Status Observe(const xml::XmlNode& item);
+
+  /// Builds the statistics: a schema annotated with per-element average
+  /// occurrence and text size, value ranges for numeric leaves, and
+  /// average increments for leaves observed to be monotonically
+  /// non-decreasing across items (candidate window reference elements).
+  /// `duration_s` yields the item frequency. Requires ≥ 1 observed item.
+  Result<StreamStatistics> Build(double duration_s) const;
+
+ private:
+  struct PathStats {
+    uint64_t count = 0;
+    uint64_t text_bytes = 0;
+    bool has_children = false;
+    /// Numeric profile; disabled on the first non-numeric text.
+    bool numeric = true;
+    std::optional<Decimal> min;
+    std::optional<Decimal> max;
+    /// Monotonicity across items (first occurrence per item).
+    bool monotone = true;
+    std::optional<Decimal> last;
+    double increment_sum = 0.0;
+    uint64_t increment_count = 0;
+    /// Bounded value sample feeding the histogram (the bucket boundaries
+    /// are only known once the full range is).
+    std::vector<double> sample;
+  };
+
+  /// Histogram resolution and sample bound.
+  static constexpr size_t kHistogramBuckets = 48;
+  static constexpr size_t kMaxSample = 8192;
+
+  void ObserveNode(const xml::XmlNode& node,
+                   std::vector<std::string>* prefix,
+                   std::set<xml::Path>* seen_this_item);
+
+  std::string stream_name_;
+  std::string item_name_;
+  size_t observed_ = 0;
+  std::map<xml::Path, PathStats> paths_;
+};
+
+}  // namespace streamshare::cost
+
+#endif  // STREAMSHARE_COST_COLLECTOR_H_

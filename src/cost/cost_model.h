@@ -1,0 +1,121 @@
+// The cost model of §3.2. Estimates, per derived stream: average item size
+// size(p), average item frequency freq(p), and selection selectivities;
+// and, per evaluation plan: the cost
+//
+//   C(P) = γ   · Σ_e ( u_b(e) + max(0, u_b−a_b) · e^(u_b−a_b) )
+//        + (1−γ) · Σ_v ( u_l(v) + max(0, u_l−a_l) · e^(u_l−a_l) )
+//
+// where u_b(e) is the relative bandwidth the plan adds on connection e,
+// u_l(v) the relative computational load it adds on peer v, and a_b/a_l
+// the respective remaining capacities. Overload carries an exponential
+// penalty.
+
+#ifndef STREAMSHARE_COST_COST_MODEL_H_
+#define STREAMSHARE_COST_COST_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "cost/statistics.h"
+#include "properties/properties.h"
+
+namespace streamshare::cost {
+
+/// Tunable factors of the cost model.
+struct CostParams {
+  /// γ ∈ [0,1]: weight of network traffic vs. peer load.
+  double gamma = 0.5;
+  /// Base load factors bload(o) per operator kind, in work units per item.
+  /// Calibrated (with the default peer capacity) so that, as on the
+  /// paper's testbed, bandwidth rather than CPU is the first resource to
+  /// saturate under the capacity-limited overload experiment.
+  double bload_selection = 0.25;
+  double bload_projection = 0.2;
+  double bload_aggregation = 0.4;
+  double bload_window_combine = 0.15;
+  double bload_restructure = 0.3;
+  double bload_transport = 0.05;
+  double bload_user_defined = 0.5;
+  /// Default selectivity of a variable-vs-variable atomic predicate, for
+  /// which the uniform-range model has no estimate.
+  double var_var_selectivity = 0.5;
+  /// Serialized size in bytes of one window-aggregate stream item (the
+  /// internal <wagg> representation carrying seq + sum + count or value).
+  double aggregate_item_size = 64.0;
+  /// Weight of the end-to-end delivery latency (milliseconds, from the
+  /// original data source through the reused stream chain to the query's
+  /// super-peer) in the plan cost. 0 (the default) reproduces the paper's
+  /// cost function; a positive weight adds the latency term the paper
+  /// mentions as an easy extension (§3.2).
+  double latency_weight = 0.0;
+};
+
+/// size(p) and freq(p) of a derived stream.
+struct StreamEstimate {
+  double item_size_bytes = 0.0;
+  double frequency_hz = 0.0;
+
+  /// Data rate in kbit/s.
+  double RateKbps() const { return item_size_bytes * frequency_hz * 8.0 / 1000.0; }
+};
+
+/// Estimates derived-stream characteristics from properties + original
+/// stream statistics.
+class CostModel {
+ public:
+  CostModel(const StatisticsRegistry* statistics, CostParams params)
+      : statistics_(statistics), params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  /// Estimated selectivity of a selection, under uniform per-element value
+  /// distributions. Derives per-variable bounds from the predicate graph's
+  /// tightest constant bounds; variable-vs-variable constraints contribute
+  /// params().var_var_selectivity each.
+  double SelectionSelectivity(const predicate::PredicateGraph& graph,
+                              const StreamStatistics& stats) const;
+
+  /// size(p) and freq(p) for one transformed input stream. Fails if the
+  /// referenced original stream has no registered statistics.
+  Result<StreamEstimate> EstimateStream(
+      const properties::InputStreamProperties& props) const;
+
+  /// Selectivity of `graph` against the statistics of `stream_name`.
+  Result<double> SelectivityFor(std::string_view stream_name,
+                                const predicate::PredicateGraph& graph) const;
+
+  /// Average number of input items consumed per window update (the divisor
+  /// turning item frequency into window-update frequency): µ for item-based
+  /// windows, µ / avg-increment(reference) for time-based ones.
+  Result<double> WindowUpdateDivisor(
+      std::string_view stream_name,
+      const properties::WindowSpec& window) const;
+
+  /// load(o, v, Po): work units per second operator `op` adds on a peer
+  /// with performance index `pindex` when fed `input_frequency_hz`.
+  double OperatorLoad(const properties::Operator& op, double pindex,
+                      double input_frequency_hz) const;
+
+  /// Base load factor for an operator kind.
+  double BaseLoad(const properties::Operator& op) const;
+
+ private:
+  const StatisticsRegistry* statistics_;
+  CostParams params_;
+};
+
+/// One affected resource (connection or peer) in a candidate plan.
+struct ResourceUsage {
+  /// u: relative usage the plan adds (fraction of total capacity).
+  double added = 0.0;
+  /// a: relative capacity still available before the plan.
+  double available = 1.0;
+};
+
+/// The cost function C(P).
+double PlanCost(const std::vector<ResourceUsage>& connections,
+                const std::vector<ResourceUsage>& peers, double gamma);
+
+}  // namespace streamshare::cost
+
+#endif  // STREAMSHARE_COST_COST_MODEL_H_

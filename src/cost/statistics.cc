@@ -1,0 +1,63 @@
+#include "cost/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamshare::cost {
+
+double ValueHistogram::MassIn(double lo, double hi) const {
+  if (mass.empty() || hi <= lo || max <= min) return 0.0;
+  double width = (max - min) / static_cast<double>(mass.size());
+  double total = 0.0;
+  for (size_t b = 0; b < mass.size(); ++b) {
+    double bucket_lo = min + width * static_cast<double>(b);
+    double bucket_hi = bucket_lo + width;
+    double overlap =
+        std::min(hi, bucket_hi) - std::max(lo, bucket_lo);
+    if (overlap > 0.0) {
+      total += mass[b] * overlap / width;
+    }
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+std::optional<ValueRange> StreamStatistics::Range(
+    const xml::Path& path) const {
+  auto it = ranges_.find(path);
+  if (it == ranges_.end()) return std::nullopt;
+  return it->second;
+}
+
+void StreamStatistics::SetHistogram(const xml::Path& path,
+                                    ValueHistogram histogram) {
+  ranges_[path] = ValueRange{histogram.min, histogram.max};
+  histograms_[path] = std::move(histogram);
+}
+
+const ValueHistogram* StreamStatistics::Histogram(
+    const xml::Path& path) const {
+  auto it = histograms_.find(path);
+  if (it == histograms_.end()) return nullptr;
+  return &it->second;
+}
+
+std::optional<double> StreamStatistics::AvgIncrement(
+    const xml::Path& path) const {
+  auto it = avg_increments_.find(path);
+  if (it == avg_increments_.end()) return std::nullopt;
+  return it->second;
+}
+
+void StatisticsRegistry::Register(std::string stream_name,
+                                  StreamStatistics stats) {
+  stats_.insert_or_assign(std::move(stream_name), std::move(stats));
+}
+
+const StreamStatistics* StatisticsRegistry::Find(
+    std::string_view stream_name) const {
+  auto it = stats_.find(stream_name);
+  if (it == stats_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace streamshare::cost

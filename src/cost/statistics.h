@@ -1,0 +1,99 @@
+// Stream statistics feeding the cost model (§3.2): element occurrences and
+// sizes (from the stream schema), item frequencies, per-element value
+// ranges for selectivity estimation, and the average increment of ordered
+// reference elements (needed to estimate time-based window frequencies).
+
+#ifndef STREAMSHARE_COST_STATISTICS_H_
+#define STREAMSHARE_COST_STATISTICS_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "xml/path.h"
+#include "xml/schema.h"
+
+namespace streamshare::cost {
+
+/// Closed value interval of a numeric element, assumed uniform for
+/// selectivity estimation.
+struct ValueRange {
+  double min = 0.0;
+  double max = 1.0;
+
+  double Width() const { return max - min; }
+};
+
+/// Equi-width histogram of an element's value distribution. When present,
+/// selectivity estimation uses the bucket masses instead of the uniform
+/// assumption — important for skewed data like the photon sky with its
+/// bright supernova-remnant regions.
+struct ValueHistogram {
+  double min = 0.0;
+  double max = 1.0;
+  /// Bucket masses, normalized to sum to 1.
+  std::vector<double> mass;
+
+  /// Fraction of values falling in [lo, hi] (linear interpolation within
+  /// buckets).
+  double MassIn(double lo, double hi) const;
+};
+
+/// Statistics of one original data stream.
+class StreamStatistics {
+ public:
+  StreamStatistics(std::shared_ptr<const xml::StreamSchema> schema,
+                   double item_frequency_hz)
+      : schema_(std::move(schema)),
+        item_frequency_hz_(item_frequency_hz) {}
+
+  const xml::StreamSchema& schema() const { return *schema_; }
+  std::shared_ptr<const xml::StreamSchema> schema_ptr() const {
+    return schema_;
+  }
+
+  /// Average items per second delivered by the stream (freq(s)).
+  double item_frequency_hz() const { return item_frequency_hz_; }
+
+  /// Declares the value range of a numeric element.
+  void SetRange(const xml::Path& path, ValueRange range) {
+    ranges_[path] = range;
+  }
+  std::optional<ValueRange> Range(const xml::Path& path) const;
+
+  /// Declares the value distribution of a numeric element (implies its
+  /// range). Selectivity estimation prefers histograms over ranges.
+  void SetHistogram(const xml::Path& path, ValueHistogram histogram);
+  const ValueHistogram* Histogram(const xml::Path& path) const;
+
+  /// Declares the average increment of an ordered reference element
+  /// between successive items (e.g. det_time advances by ~0.5 per photon).
+  void SetAvgIncrement(const xml::Path& path, double increment) {
+    avg_increments_[path] = increment;
+  }
+  std::optional<double> AvgIncrement(const xml::Path& path) const;
+
+ private:
+  std::shared_ptr<const xml::StreamSchema> schema_;
+  double item_frequency_hz_;
+  std::map<xml::Path, ValueRange> ranges_;
+  std::map<xml::Path, ValueHistogram> histograms_;
+  std::map<xml::Path, double> avg_increments_;
+};
+
+/// Registry of statistics for all original streams, keyed by stream name.
+class StatisticsRegistry {
+ public:
+  void Register(std::string stream_name, StreamStatistics stats);
+  /// nullptr if unknown.
+  const StreamStatistics* Find(std::string_view stream_name) const;
+
+ private:
+  std::map<std::string, StreamStatistics, std::less<>> stats_;
+};
+
+}  // namespace streamshare::cost
+
+#endif  // STREAMSHARE_COST_STATISTICS_H_

@@ -1,0 +1,90 @@
+#include "engine/combine.h"
+
+#include "engine/return_eval.h"
+
+namespace streamshare::engine {
+
+CombinePortOp::CombinePortOp(std::string label, CombineOp* parent,
+                             size_t index)
+    : Operator(std::move(label)), parent_(parent), index_(index) {}
+
+Status CombinePortOp::Process(const ItemPtr& item) {
+  return parent_->BufferItem(index_, item);
+}
+
+Status CombinePortOp::OnFinish() { return parent_->PortFinished(); }
+
+CombineOp::CombineOp(std::string label,
+                     std::shared_ptr<const wxquery::AnalyzedQuery> query)
+    : Operator(std::move(label)), query_(std::move(query)) {
+  buffers_.resize(query_->bindings.size());
+}
+
+Status CombineOp::Process(const ItemPtr&) {
+  return Status::Internal(
+      "CombineOp receives items only through its ports");
+}
+
+Status CombineOp::BufferItem(size_t index, const ItemPtr& item) {
+  buffers_[index].push_back(item);
+  return Status::Ok();
+}
+
+Status CombineOp::PortFinished() {
+  ++finished_ports_;
+  if (finished_ports_ < buffers_.size()) return Status::Ok();
+  SS_RETURN_IF_ERROR(EvaluateAll());
+  // Propagate end of stream to the query's sink.
+  return Finish();
+}
+
+Status CombineOp::EvaluateAll() {
+  uint64_t combinations = 1;
+  for (const std::vector<ItemPtr>& buffer : buffers_) {
+    if (buffer.empty()) return Status::Ok();  // empty cartesian product
+    combinations *= static_cast<uint64_t>(buffer.size());
+    if (combinations > kMaxCombinations) {
+      return Status::OutOfRange(
+          "combination of input streams exceeds " +
+          std::to_string(kMaxCombinations) + " tuples");
+    }
+  }
+
+  // Odometer over the buffers, outermost binding varying slowest — the
+  // FLWR's nested-loop order.
+  std::vector<size_t> index(buffers_.size(), 0);
+  ReturnEnv env;
+  while (true) {
+    for (size_t b = 0; b < buffers_.size(); ++b) {
+      env.items[query_->bindings[b].var] = buffers_[b][index[b]].get();
+    }
+    SS_ASSIGN_OR_RETURN(
+        bool joined,
+        EvaluateReturnCondition(query_->join_conditions, env));
+    if (joined) {
+      std::vector<ReturnOutput> outputs;
+      SS_RETURN_IF_ERROR(
+          EvaluateReturn(*query_->flwr->return_expr, env, &outputs));
+      for (ReturnOutput& output : outputs) {
+        if (auto* node =
+                std::get_if<std::unique_ptr<xml::XmlNode>>(&output)) {
+          SS_RETURN_IF_ERROR(Emit(MakeItem(std::move(*node))));
+        } else {
+          auto wrapper = std::make_unique<xml::XmlNode>("value");
+          wrapper->set_text(std::get<std::string>(output));
+          SS_RETURN_IF_ERROR(Emit(MakeItem(std::move(wrapper))));
+        }
+      }
+    }
+    // Advance the odometer (innermost = last binding fastest).
+    size_t b = buffers_.size();
+    while (b > 0) {
+      --b;
+      if (++index[b] < buffers_[b].size()) break;
+      index[b] = 0;
+      if (b == 0) return Status::Ok();
+    }
+  }
+}
+
+}  // namespace streamshare::engine

@@ -1,0 +1,38 @@
+#include "engine/executor.h"
+
+namespace streamshare::engine {
+
+Status RunStream(Operator* entry, const std::vector<ItemPtr>& items) {
+  for (const ItemPtr& item : items) {
+    SS_RETURN_IF_ERROR(entry->Push(item));
+  }
+  return entry->Finish();
+}
+
+Status RunStreams(const std::vector<Operator*>& entries,
+                  const std::vector<std::vector<ItemPtr>>& item_lists,
+                  bool finish) {
+  if (entries.size() != item_lists.size()) {
+    return Status::InvalidArgument(
+        "RunStreams: entries and item lists differ in count");
+  }
+  size_t max_items = 0;
+  for (const auto& items : item_lists) {
+    max_items = std::max(max_items, items.size());
+  }
+  for (size_t i = 0; i < max_items; ++i) {
+    for (size_t s = 0; s < entries.size(); ++s) {
+      if (i < item_lists[s].size()) {
+        SS_RETURN_IF_ERROR(entries[s]->Push(item_lists[s][i]));
+      }
+    }
+  }
+  if (finish) {
+    for (Operator* entry : entries) {
+      SS_RETURN_IF_ERROR(entry->Finish());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace streamshare::engine

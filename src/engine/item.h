@@ -1,0 +1,22 @@
+// Stream items. One item is one immutable XML tree (e.g. one <photon>),
+// shared by reference so stream duplication (the paper's stream sharing at
+// a peer) costs nothing per fan-out.
+
+#ifndef STREAMSHARE_ENGINE_ITEM_H_
+#define STREAMSHARE_ENGINE_ITEM_H_
+
+#include <memory>
+
+#include "xml/xml_node.h"
+
+namespace streamshare::engine {
+
+using ItemPtr = std::shared_ptr<const xml::XmlNode>;
+
+inline ItemPtr MakeItem(std::unique_ptr<xml::XmlNode> node) {
+  return ItemPtr(std::move(node));
+}
+
+}  // namespace streamshare::engine
+
+#endif  // STREAMSHARE_ENGINE_ITEM_H_

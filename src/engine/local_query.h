@@ -1,0 +1,46 @@
+// Local (single-process) WXQuery evaluation: run a subscription over an
+// XML document or a vector of items without any network, planner, or
+// deployment — the smallest way to use the query machinery as a library,
+// and the reference evaluator the distributed paths are tested against.
+
+#ifndef STREAMSHARE_ENGINE_LOCAL_QUERY_H_
+#define STREAMSHARE_ENGINE_LOCAL_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/item.h"
+#include "wxquery/analyzer.h"
+
+namespace streamshare::engine {
+
+/// The result of a local evaluation.
+struct LocalQueryResult {
+  /// Result items, in order (one per return-clause evaluation output).
+  std::vector<ItemPtr> items;
+  /// The wrapper element tag of the query (e.g. "photons"), empty if the
+  /// query has none.
+  std::string wrapper_tag;
+
+  /// Serializes the result as one document wrapped in the wrapper tag
+  /// (or "result" if the query has none).
+  std::string ToDocument() const;
+};
+
+/// Evaluates an analyzed single-input query over stream items. Items must
+/// be the query's input stream items (e.g. <photon> elements).
+Result<LocalQueryResult> RunLocalQuery(
+    const wxquery::AnalyzedQuery& query,
+    const std::vector<ItemPtr>& items);
+
+/// Convenience: parse + analyze + evaluate over an XML document whose
+/// root is the stream element. The document's root element name must
+/// match the stream root in the query's binding path.
+Result<LocalQueryResult> RunLocalQuery(std::string_view query_text,
+                                       std::string_view xml_document);
+
+}  // namespace streamshare::engine
+
+#endif  // STREAMSHARE_ENGINE_LOCAL_QUERY_H_

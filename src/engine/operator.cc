@@ -1,0 +1,87 @@
+#include "engine/operator.h"
+
+#include "predicate/eval.h"
+
+namespace streamshare::engine {
+
+Status Operator::Finish() {
+  if (finished_) return Status::Ok();
+  finished_ = true;
+  SS_RETURN_IF_ERROR(OnFinish());
+  for (Operator* downstream : downstreams_) {
+    SS_RETURN_IF_ERROR(downstream->Finish());
+  }
+  return Status::Ok();
+}
+
+Status Operator::Emit(const ItemPtr& item) {
+  for (Operator* downstream : downstreams_) {
+    SS_RETURN_IF_ERROR(downstream->Push(item));
+  }
+  return Status::Ok();
+}
+
+Status SelectOp::Process(const ItemPtr& item) {
+  SS_ASSIGN_OR_RETURN(bool keep,
+                      predicate::EvaluateConjunction(predicates_, *item));
+  if (keep) return Emit(item);
+  return Status::Ok();
+}
+
+namespace {
+
+/// Selectively clones `node` keeping subtrees covered by `output`.
+/// Returns nullptr when nothing under `node` is kept.
+std::unique_ptr<xml::XmlNode> ProjectNode(
+    const xml::XmlNode& node, std::vector<std::string>* prefix,
+    const std::vector<xml::Path>& output) {
+  xml::Path current(*prefix);
+  for (const xml::Path& out : output) {
+    if (out.IsPrefixOf(current)) return node.Clone();
+  }
+  bool is_ancestor = false;
+  for (const xml::Path& out : output) {
+    if (current.IsPrefixOf(out)) {
+      is_ancestor = true;
+      break;
+    }
+  }
+  if (!is_ancestor) return nullptr;
+  auto copy = std::make_unique<xml::XmlNode>(node.name());
+  copy->set_text(node.text());
+  for (const auto& child : node.children()) {
+    prefix->push_back(child->name());
+    std::unique_ptr<xml::XmlNode> kept = ProjectNode(*child, prefix, output);
+    prefix->pop_back();
+    if (kept != nullptr) copy->AddChild(std::move(kept));
+  }
+  return copy;
+}
+
+}  // namespace
+
+Status ProjectOp::Process(const ItemPtr& item) {
+  std::vector<std::string> prefix;  // paths are relative to the item root
+  std::unique_ptr<xml::XmlNode> projected =
+      ProjectNode(*item, &prefix, output_paths_);
+  if (projected == nullptr) {
+    // Projection keeps the item element itself even when empty (the item
+    // boundary is part of the stream structure).
+    projected = std::make_unique<xml::XmlNode>(item->name());
+  }
+  return Emit(MakeItem(std::move(projected)));
+}
+
+Status LinkOp::Process(const ItemPtr& item) {
+  link_metrics_->AddBytes(link_, item->SerializedSize());
+  return Emit(item);
+}
+
+Status SinkOp::Process(const ItemPtr& item) {
+  ++item_count_;
+  total_bytes_ += item->SerializedSize();
+  if (keep_items_) items_.push_back(item);
+  return Status::Ok();
+}
+
+}  // namespace streamshare::engine

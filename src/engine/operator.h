@@ -1,0 +1,174 @@
+// Push-based streaming operators. An operator receives items via Push,
+// transforms them, and emits results to its downstream operators; fan-out
+// (the paper's stream duplication at a super-peer) is simply multiple
+// downstreams sharing the immutable items. Each operator is placed on a
+// peer and bills work units to the deployment's Metrics on every
+// invocation, so measured per-peer CPU load falls out of execution.
+
+#ifndef STREAMSHARE_ENGINE_OPERATOR_H_
+#define STREAMSHARE_ENGINE_OPERATOR_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/item.h"
+#include "engine/metrics.h"
+#include "predicate/atomic.h"
+#include "xml/path.h"
+
+namespace streamshare::engine {
+
+class Operator {
+ public:
+  explicit Operator(std::string label) : label_(std::move(label)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const std::string& label() const { return label_; }
+
+  /// Attaches a downstream consumer (not owned).
+  void AddDownstream(Operator* downstream) {
+    downstreams_.push_back(downstream);
+  }
+  /// Detaches a downstream consumer (query deregistration); no-op if it
+  /// is not attached.
+  void RemoveDownstream(Operator* downstream) {
+    downstreams_.erase(
+        std::remove(downstreams_.begin(), downstreams_.end(), downstream),
+        downstreams_.end());
+  }
+  const std::vector<Operator*>& downstreams() const { return downstreams_; }
+
+  /// Bills `work_per_item` units to `peer` in `metrics` on every Push.
+  void SetAccounting(Metrics* metrics, network::NodeId peer,
+                     double work_per_item) {
+    metrics_ = metrics;
+    peer_ = peer;
+    work_per_item_ = work_per_item;
+  }
+  network::NodeId peer() const { return peer_; }
+
+  /// Feeds one item through this operator.
+  Status Push(const ItemPtr& item) {
+    if (metrics_ != nullptr) metrics_->AddWork(peer_, work_per_item_);
+    return Process(item);
+  }
+
+  /// Signals end of stream; flushes buffered state downstream. Idempotent.
+  Status Finish();
+
+ protected:
+  virtual Status Process(const ItemPtr& item) = 0;
+  /// Flush hook for stateful operators; may Emit.
+  virtual Status OnFinish() { return Status::Ok(); }
+
+  /// Forwards an item to all downstreams.
+  Status Emit(const ItemPtr& item);
+
+ private:
+  std::string label_;
+  std::vector<Operator*> downstreams_;
+  Metrics* metrics_ = nullptr;
+  network::NodeId peer_ = -1;
+  double work_per_item_ = 0.0;
+  bool finished_ = false;
+};
+
+/// σ: forwards items satisfying a conjunctive predicate.
+class SelectOp : public Operator {
+ public:
+  SelectOp(std::string label,
+           std::vector<predicate::AtomicPredicate> predicates)
+      : Operator(std::move(label)), predicates_(std::move(predicates)) {}
+
+  const std::vector<predicate::AtomicPredicate>& predicates() const {
+    return predicates_;
+  }
+  /// Reconfigures the predicate in place — stream widening (paper §6)
+  /// relaxes a deployed stream's selection so it regains data a new
+  /// subscription needs.
+  void set_predicates(std::vector<predicate::AtomicPredicate> predicates) {
+    predicates_ = std::move(predicates);
+  }
+
+ protected:
+  Status Process(const ItemPtr& item) override;
+
+ private:
+  std::vector<predicate::AtomicPredicate> predicates_;
+};
+
+/// Π: rebuilds each item keeping only the subtrees covered by the output
+/// paths (ancestors of kept subtrees survive as structure).
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::string label, std::vector<xml::Path> output_paths)
+      : Operator(std::move(label)),
+        output_paths_(std::move(output_paths)) {}
+
+  const std::vector<xml::Path>& output_paths() const {
+    return output_paths_;
+  }
+  /// Reconfigures the kept paths in place (stream widening).
+  void set_output_paths(std::vector<xml::Path> output_paths) {
+    output_paths_ = std::move(output_paths);
+  }
+
+ protected:
+  Status Process(const ItemPtr& item) override;
+
+ private:
+  std::vector<xml::Path> output_paths_;
+};
+
+/// Transmission over one network connection: counts the item's serialized
+/// bytes against the link, then forwards.
+class LinkOp : public Operator {
+ public:
+  LinkOp(std::string label, Metrics* metrics, network::LinkId link)
+      : Operator(std::move(label)), link_metrics_(metrics), link_(link) {}
+
+ protected:
+  Status Process(const ItemPtr& item) override;
+
+ private:
+  Metrics* link_metrics_;
+  network::LinkId link_;
+};
+
+/// Terminal collector: counts items and (optionally) keeps them.
+class SinkOp : public Operator {
+ public:
+  explicit SinkOp(std::string label, bool keep_items = false)
+      : Operator(std::move(label)), keep_items_(keep_items) {}
+
+  uint64_t item_count() const { return item_count_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  const std::vector<ItemPtr>& items() const { return items_; }
+
+ protected:
+  Status Process(const ItemPtr& item) override;
+
+ private:
+  bool keep_items_;
+  uint64_t item_count_ = 0;
+  uint64_t total_bytes_ = 0;
+  std::vector<ItemPtr> items_;
+};
+
+/// Identity operator marking a tap point (stream entry at a node).
+class PassOp : public Operator {
+ public:
+  explicit PassOp(std::string label) : Operator(std::move(label)) {}
+
+ protected:
+  Status Process(const ItemPtr& item) override { return Emit(item); }
+};
+
+}  // namespace streamshare::engine
+
+#endif  // STREAMSHARE_ENGINE_OPERATOR_H_

@@ -1,0 +1,58 @@
+#include "engine/restructure.h"
+
+#include "engine/return_eval.h"
+#include "engine/window_agg.h"
+
+namespace streamshare::engine {
+
+RestructureOp::RestructureOp(
+    std::string label, std::shared_ptr<const wxquery::AnalyzedQuery> query)
+    : Operator(std::move(label)), query_(std::move(query)) {
+  binding_ = &query_->bindings.front();
+}
+
+Status RestructureOp::Process(const ItemPtr& item) {
+  ReturnEnv env;
+  if (binding_->window.has_value() && !binding_->aggregate.has_value()) {
+    // Window-contents query: the incoming item is a <window> wrapper; the
+    // for variable binds the member sequence.
+    if (item->name() != "window") {
+      return Status::InvalidArgument(
+          "window-contents restructuring expected a <window> item, got <" +
+          item->name() + ">");
+    }
+    std::vector<const xml::XmlNode*> members;
+    for (const auto& child : item->children()) {
+      if (child->name() != "seq") members.push_back(child.get());
+    }
+    env.windows[binding_->var] = std::move(members);
+  } else if (binding_->aggregate.has_value()) {
+    SS_ASSIGN_OR_RETURN(AggItem agg, ParseAggItem(*item));
+    Result<Decimal> value = agg.Finalize(binding_->aggregate->func);
+    if (!value.ok()) {
+      if (value.status().IsOutOfRange()) return Status::Ok();  // empty
+      return value.status();
+    }
+    env.aggregates[binding_->aggregate->var] = *value;
+  } else {
+    env.items[binding_->var] = item.get();
+  }
+
+  std::vector<ReturnOutput> outputs;
+  SS_RETURN_IF_ERROR(
+      EvaluateReturn(*query_->flwr->return_expr, env, &outputs));
+  for (ReturnOutput& output : outputs) {
+    if (auto* node = std::get_if<std::unique_ptr<xml::XmlNode>>(&output)) {
+      SS_RETURN_IF_ERROR(Emit(MakeItem(std::move(*node))));
+    } else {
+      // A bare text output at top level (e.g. "return $a") is wrapped so
+      // the result stream stays element-structured.
+      auto wrapper = std::make_unique<xml::XmlNode>("value");
+      wrapper->set_text(std::get<std::string>(output));
+      SS_RETURN_IF_ERROR(Emit(MakeItem(std::move(wrapper))));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace streamshare::engine

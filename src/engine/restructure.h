@@ -1,0 +1,38 @@
+// The post-processing (restructuring) step of §2: evaluating the return
+// clause of a WXQuery at the super-peer the subscribing peer is connected
+// to. The input is the shared-format stream (projected items, or <wagg>
+// aggregate items); the output is the subscriber-visible result stream
+// whose structure the return clause dictates. Restructured streams are
+// never registered for reuse.
+
+#ifndef STREAMSHARE_ENGINE_RESTRUCTURE_H_
+#define STREAMSHARE_ENGINE_RESTRUCTURE_H_
+
+#include <memory>
+
+#include "engine/operator.h"
+#include "wxquery/analyzer.h"
+
+namespace streamshare::engine {
+
+/// Evaluates the query's return expression once per incoming item. For
+/// plain queries the item is bound to the for variable; for aggregate
+/// queries the incoming <wagg> item is finalized (avg = sum/cnt) and bound
+/// to the let variable; empty windows are skipped. Each top-level node the
+/// return expression produces is emitted as one result item.
+class RestructureOp : public Operator {
+ public:
+  RestructureOp(std::string label,
+                std::shared_ptr<const wxquery::AnalyzedQuery> query);
+
+ protected:
+  Status Process(const ItemPtr& item) override;
+
+ private:
+  std::shared_ptr<const wxquery::AnalyzedQuery> query_;
+  const wxquery::StreamBinding* binding_;  // single-input queries
+};
+
+}  // namespace streamshare::engine
+
+#endif  // STREAMSHARE_ENGINE_RESTRUCTURE_H_

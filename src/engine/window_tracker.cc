@@ -1,0 +1,81 @@
+#include "engine/window_tracker.h"
+
+#include <algorithm>
+
+namespace streamshare::engine {
+
+namespace {
+
+/// floor(a / b) for positive b, exact over decimals.
+int64_t FloorDiv(const Decimal& a, const Decimal& b) {
+  int scale = std::max(a.scale(), b.scale());
+  int64_t numer = a.Rescaled(scale).unscaled();
+  int64_t denom = b.Rescaled(scale).unscaled();
+  int64_t quotient = numer / denom;
+  if (numer % denom != 0 && (numer < 0) != (denom < 0)) --quotient;
+  return quotient;
+}
+
+Decimal TimesInt(const Decimal& step, int64_t i) {
+  return Decimal(step.unscaled() * i, step.scale());
+}
+
+}  // namespace
+
+Result<WindowTracker::Update> WindowTracker::OnPosition(
+    const Decimal& position) {
+  if (window_.type == properties::WindowType::kDiff) {
+    if (items_seen_ > 0 && position < last_position_) {
+      return Status::InvalidArgument(
+          "input stream is not sorted by reference element '" +
+          window_.reference.ToString() + "'");
+    }
+    last_position_ = position;
+  }
+  ++items_seen_;
+
+  if (!anchored_) {
+    anchored_ = true;
+    int64_t first_alive =
+        FloorDiv(position - window_.size, window_.step) + 1;
+    next_seq_ = std::max<int64_t>(0, first_alive);
+  }
+
+  Update update;
+  // Close every window whose end i·µ + Δ lies at or before the position.
+  while (!open_.empty()) {
+    Decimal end = TimesInt(window_.step, open_.front()) + window_.size;
+    if (end <= position) {
+      update.closed.push_back(open_.front());
+      open_.pop_front();
+    } else {
+      break;
+    }
+  }
+  // Open every window whose start i·µ has been reached; windows that
+  // would already be over close immediately (empty).
+  while (TimesInt(window_.step, next_seq_) <= position) {
+    Decimal end = TimesInt(window_.step, next_seq_) + window_.size;
+    if (end <= position) {
+      update.closed.push_back(next_seq_);
+    } else {
+      open_.push_back(next_seq_);
+    }
+    ++next_seq_;
+  }
+  // All open windows start at or before the position; with sampling steps
+  // (µ > Δ) the item may fall between windows, covered by the end check.
+  for (int64_t seq : open_) {
+    Decimal end = TimesInt(window_.step, seq) + window_.size;
+    if (position < end) update.contains.push_back(seq);
+  }
+  return update;
+}
+
+std::vector<int64_t> WindowTracker::Flush() {
+  std::vector<int64_t> remaining(open_.begin(), open_.end());
+  open_.clear();
+  return remaining;
+}
+
+}  // namespace streamshare::engine

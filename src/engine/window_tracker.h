@@ -1,0 +1,64 @@
+// Shared window bookkeeping for the windowed operators (aggregation and
+// window-contents). Tracks which windows are open on the item/time axis,
+// which close as a new item arrives, and which contain the item. Window i
+// spans [i·µ, i·µ + Δ) on the axis; time axes are anchored at absolute 0
+// so windows of different subscriptions over the same reference element
+// align (Fig. 5), and the tracker fast-forwards past windows that ended
+// before the stream's first item.
+
+#ifndef STREAMSHARE_ENGINE_WINDOW_TRACKER_H_
+#define STREAMSHARE_ENGINE_WINDOW_TRACKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "properties/window.h"
+
+namespace streamshare::engine {
+
+class WindowTracker {
+ public:
+  explicit WindowTracker(properties::WindowSpec window)
+      : window_(std::move(window)) {}
+
+  const properties::WindowSpec& window() const { return window_; }
+
+  struct Update {
+    /// Windows that completed, in sequence order (including windows that
+    /// were never populated — emitted for sequence continuity).
+    std::vector<int64_t> closed;
+    /// Open windows containing the new item (accumulate it into these).
+    std::vector<int64_t> contains;
+  };
+
+  /// Advances the axis to `position` (the item index for count windows,
+  /// the reference element value for diff windows). Fails on unsorted
+  /// positions.
+  Result<Update> OnPosition(const Decimal& position);
+
+  /// Item-based convenience: advances by one item.
+  Result<Update> OnItemCount() {
+    return OnPosition(Decimal::FromInt(items_seen_));
+  }
+
+  /// The number of positions consumed so far.
+  int64_t items_seen() const { return items_seen_; }
+
+  /// End of stream: returns the still-open windows in sequence order and
+  /// clears the tracker.
+  std::vector<int64_t> Flush();
+
+ private:
+  properties::WindowSpec window_;
+  int64_t items_seen_ = 0;
+  Decimal last_position_;
+  bool anchored_ = false;
+  std::deque<int64_t> open_;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace streamshare::engine
+
+#endif  // STREAMSHARE_ENGINE_WINDOW_TRACKER_H_

@@ -1,0 +1,80 @@
+#include "matching/match_aggregations.h"
+
+namespace streamshare::matching {
+
+using properties::AggregateFunc;
+using properties::AggregationOp;
+using properties::WindowSpec;
+using properties::WindowType;
+
+bool DecimalDivides(const Decimal& divisor, const Decimal& value) {
+  Decimal zero;
+  if (divisor == zero) return false;
+  int scale = std::max(divisor.scale(), value.scale());
+  int64_t d = divisor.Rescaled(scale).unscaled();
+  int64_t v = value.Rescaled(scale).unscaled();
+  return v % d == 0;
+}
+
+bool WindowsCompatible(const WindowSpec& reused, const WindowSpec& sub) {
+  if (reused.type != sub.type) return false;
+  if (reused.type == WindowType::kDiff &&
+      reused.reference != sub.reference) {
+    return false;  // different ordered reference elements
+  }
+  // Identical windows share without any recombination; the divisibility
+  // rules below only gate the Fig.-5 recombination of finer windows into
+  // coarser ones.
+  if (reused.size == sub.size && reused.step == sub.step) return true;
+  // Δ′ mod Δ = 0: a fixed number of reused windows fits one new window.
+  if (!DecimalDivides(reused.size, sub.size)) return false;
+  // Δ mod µ = 0: non-overlapping reused windows tile the input.
+  if (!DecimalDivides(reused.step, reused.size)) return false;
+  // µ′ mod µ = 0: a reused value is available whenever a new one is due.
+  if (!DecimalDivides(reused.step, sub.step)) return false;
+  return true;
+}
+
+bool AggregateFuncsCompatible(AggregateFunc reused, AggregateFunc sub) {
+  if (reused == sub) return true;
+  // avg is carried as (sum, count) in the network (§3.3), so an avg stream
+  // also answers sum and count subscriptions.
+  return reused == AggregateFunc::kAvg &&
+         (sub == AggregateFunc::kSum || sub == AggregateFunc::kCount);
+}
+
+bool MatchAggregations(const AggregationOp& reused,
+                       const AggregationOp& sub) {
+  // Check 1: compatible aggregation operators.
+  if (!AggregateFuncsCompatible(reused.func, sub.func)) return false;
+
+  // Check 2: same aggregated element. (Same input data is established by
+  // Algorithm 2 before operators are compared.)
+  if (reused.aggregated_element != sub.aggregated_element) return false;
+
+  // Check 3: pre-aggregation selections must be identical — a reused
+  // aggregate computed over a differently filtered input is a different
+  // value, containment is not enough here.
+  if (!reused.pre_selection_graph.EquivalentTo(sub.pre_selection_graph)) {
+    return false;
+  }
+
+  // Check 4: result-filter compatibility.
+  const bool reused_filtered = reused.result_filter_graph.edge_count() > 0;
+  if (reused_filtered) {
+    // Filtered values are gone; coarser windows would need them. Only an
+    // identical window with a same-or-stricter filter can share. Filters
+    // compare values of the same function, so the functions must be equal.
+    if (reused.func != sub.func) return false;
+    if (reused.window != sub.window) return false;
+    if (!sub.result_filter_graph.Implies(reused.result_filter_graph)) {
+      return false;
+    }
+    return true;
+  }
+
+  // Check 5: window compatibility.
+  return WindowsCompatible(reused.window, sub.window);
+}
+
+}  // namespace streamshare::matching

@@ -1,0 +1,45 @@
+// MatchAggregations (§3.3, "Window-based Aggregation"): decides whether an
+// existing window-aggregate result stream can answer a new window-aggregate
+// subscription. The checks, in the paper's order:
+//
+//   1. Compatible aggregation operators — equal, or the reused stream is an
+//      avg (internally carried as sum/count, so it can also serve sum and
+//      count subscriptions).
+//   2. Same aggregated element over the same input data.
+//   3. Identical pre-aggregation selection (stricter than plain selection
+//      sharing: equality, not containment).
+//   4. Result-filter compatibility: an unfiltered stream serves anyone; a
+//      filtered stream only serves subscriptions whose filter is the same
+//      or more restrictive — and, because filtered-out values cannot be
+//      recovered, only with an identical window (no coarsening).
+//   5. Window compatibility: same window type (and same ordered reference
+//      element for time-based windows), Δ′ mod Δ = 0, Δ mod µ = 0,
+//      µ′ mod µ = 0 (primed = new subscription).
+
+#ifndef STREAMSHARE_MATCHING_MATCH_AGGREGATIONS_H_
+#define STREAMSHARE_MATCHING_MATCH_AGGREGATIONS_H_
+
+#include "properties/operators.h"
+
+namespace streamshare::matching {
+
+/// True if `divisor` evenly divides `value` (exact decimal arithmetic).
+bool DecimalDivides(const Decimal& divisor, const Decimal& value);
+
+/// Window compatibility alone (check 5): can values of `reused` windows be
+/// recombined into `sub` windows?
+bool WindowsCompatible(const properties::WindowSpec& reused,
+                       const properties::WindowSpec& sub);
+
+/// Aggregate-function compatibility alone (check 1).
+bool AggregateFuncsCompatible(properties::AggregateFunc reused,
+                              properties::AggregateFunc sub);
+
+/// The full MatchAggregations test: true if the stream produced by
+/// `reused` can be transformed into the result of `sub`.
+bool MatchAggregations(const properties::AggregationOp& reused,
+                       const properties::AggregationOp& sub);
+
+}  // namespace streamshare::matching
+
+#endif  // STREAMSHARE_MATCHING_MATCH_AGGREGATIONS_H_

@@ -1,0 +1,32 @@
+// Algorithm 3 (MatchPredicates): the paper's edge-local implication test on
+// predicate graphs. G is the graph of the data stream considered for
+// sharing, G′ that of the new subscription; the test succeeds when the
+// predicates of G′ imply those of G — i.e. every item the subscription
+// wants survives the stream's selection.
+//
+// The edge-local test is cheaper but conservative compared to full
+// shortest-path implication (it only compares direct edges, never derived
+// bounds). Both are exposed; the ablation bench A3 quantifies the gap.
+
+#ifndef STREAMSHARE_MATCHING_MATCH_PREDICATES_H_
+#define STREAMSHARE_MATCHING_MATCH_PREDICATES_H_
+
+#include "predicate/graph.h"
+
+namespace streamshare::matching {
+
+/// Algorithm 3: true if every node of `stream_graph` has an equivalent
+/// node in `sub_graph` and every edge incident to it is implied by some
+/// edge incident to the equivalent node (ζ(x) ⇐ ζ(y)).
+bool MatchPredicatesEdgeLocal(const predicate::PredicateGraph& stream_graph,
+                              const predicate::PredicateGraph& sub_graph);
+
+/// Complete implication: true if sub_graph ⇒ stream_graph via tightest
+/// derivable bounds. Never rejects a shareable stream the edge-local test
+/// accepts; may accept more.
+bool MatchPredicatesComplete(const predicate::PredicateGraph& stream_graph,
+                             const predicate::PredicateGraph& sub_graph);
+
+}  // namespace streamshare::matching
+
+#endif  // STREAMSHARE_MATCHING_MATCH_PREDICATES_H_

@@ -1,0 +1,37 @@
+// Algorithm 2 (MatchProperties): decides whether a data stream available in
+// the network can be reused to answer (part of) a new subscription. Both
+// sides are per-input-stream property entries (§3.1); the Subscribe
+// algorithm invokes this once per candidate stream and per subscription
+// input.
+
+#ifndef STREAMSHARE_MATCHING_MATCH_PROPERTIES_H_
+#define STREAMSHARE_MATCHING_MATCH_PROPERTIES_H_
+
+#include "properties/properties.h"
+
+namespace streamshare::matching {
+
+struct MatchOptions {
+  /// Use the paper's edge-local Algorithm 3 for selection predicates
+  /// (default). When false, the complete shortest-path implication is
+  /// used instead (ablation A3).
+  bool edge_local_predicates = true;
+};
+
+/// True if the stream described by `stream` contains everything the
+/// subscription input `sub` needs: same original input stream, and for
+/// every operator already applied to the stream a compatible counterpart
+/// in the subscription (selection containment, projection coverage,
+/// aggregation compatibility, identical user-defined invocations).
+bool MatchProperties(const properties::InputStreamProperties& stream,
+                     const properties::InputStreamProperties& sub,
+                     const MatchOptions& options = {});
+
+/// Projection coverage: every path in `referenced` lies under some path in
+/// `output` (R ⊇ R′ with ancestor paths covering their subtrees).
+bool ProjectionCovers(const std::vector<xml::Path>& output,
+                      const std::vector<xml::Path>& referenced);
+
+}  // namespace streamshare::matching
+
+#endif  // STREAMSHARE_MATCHING_MATCH_PROPERTIES_H_

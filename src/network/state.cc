@@ -1,0 +1,38 @@
+#include "network/state.h"
+
+#include <algorithm>
+
+namespace streamshare::network {
+
+NetworkState::NetworkState(const Topology* topology)
+    : topology_(topology),
+      used_bandwidth_(topology->link_count(), 0.0),
+      used_load_(topology->peer_count(), 0.0) {}
+
+double NetworkState::RelativeBandwidthUse(LinkId link) const {
+  double capacity = topology_->link(link).bandwidth_kbps;
+  return capacity > 0.0 ? used_bandwidth_[link] / capacity : 0.0;
+}
+
+double NetworkState::RelativeLoadUse(NodeId peer) const {
+  double capacity = topology_->peer(peer).max_load;
+  return capacity > 0.0 ? used_load_[peer] / capacity : 0.0;
+}
+
+double NetworkState::AvailableBandwidth(LinkId link) const {
+  return std::max(0.0, 1.0 - RelativeBandwidthUse(link));
+}
+
+double NetworkState::AvailableLoad(NodeId peer) const {
+  return std::max(0.0, 1.0 - RelativeLoadUse(peer));
+}
+
+void NetworkState::AddBandwidth(LinkId link, double kbps) {
+  used_bandwidth_[link] += kbps;
+}
+
+void NetworkState::AddLoad(NodeId peer, double work_units_per_s) {
+  used_load_[peer] += work_units_per_s;
+}
+
+}  // namespace streamshare::network

@@ -1,0 +1,34 @@
+#include "network/stream_registry.h"
+
+#include <algorithm>
+
+namespace streamshare::network {
+
+StreamId StreamRegistry::Register(RegisteredStream stream) {
+  stream.id = static_cast<StreamId>(streams_.size());
+  streams_.push_back(std::move(stream));
+  return streams_.back().id;
+}
+
+const RegisteredStream* StreamRegistry::FindOriginal(
+    std::string_view name) const {
+  for (const RegisteredStream& stream : streams_) {
+    if (stream.IsOriginal() && stream.variant_of == name) return &stream;
+  }
+  return nullptr;
+}
+
+std::vector<const RegisteredStream*> StreamRegistry::AvailableAt(
+    NodeId node, std::string_view variant_of) const {
+  std::vector<const RegisteredStream*> out;
+  for (const RegisteredStream& stream : streams_) {
+    if (stream.retired || stream.variant_of != variant_of) continue;
+    if (std::find(stream.route.begin(), stream.route.end(), node) !=
+        stream.route.end()) {
+      out.push_back(&stream);
+    }
+  }
+  return out;
+}
+
+}  // namespace streamshare::network

@@ -1,0 +1,84 @@
+// The catalog of data streams flowing in the network. Every registered
+// stream — an original source stream or a derived stream generated to
+// answer a previous subscription — is recorded with its properties, the
+// node producing it, the node it is delivered to (getTNode in Algorithm 1),
+// and the route it flows along. A stream is *available* at every node on
+// its route; Algorithm 1's breadth-first search queries availability per
+// node.
+
+#ifndef STREAMSHARE_NETWORK_STREAM_REGISTRY_H_
+#define STREAMSHARE_NETWORK_STREAM_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "network/topology.h"
+#include "properties/properties.h"
+
+namespace streamshare::network {
+
+using StreamId = int;
+
+struct RegisteredStream {
+  StreamId id = -1;
+  /// Name of the original input stream this stream is a variant of.
+  std::string variant_of;
+  /// How this stream was derived from its original input (per-input
+  /// properties entry; original streams carry no operators).
+  properties::InputStreamProperties props;
+  /// Node producing the stream.
+  NodeId source_node = -1;
+  /// Node the stream is delivered to (== source_node for original streams
+  /// consumed in place).
+  NodeId target_node = -1;
+  /// The nodes the stream flows over, source first, target last.
+  std::vector<NodeId> route;
+  /// Estimated data rate, kbit/s (cost-model estimate, cached at
+  /// registration for availability accounting).
+  double rate_kbps = 0.0;
+  /// The stream this one was derived from by tapping (-1 for originals).
+  /// Stream widening must check that the upstream still covers the
+  /// widened content.
+  StreamId upstream = -1;
+  /// True if this stream has reconfigurable producer operators deployed
+  /// (its own σ/Π); pass-through copies of an equivalent stream carry the
+  /// props but no operators of their own and cannot be widened in place.
+  bool widenable = false;
+  /// Accumulated one-way latency in milliseconds from the original data
+  /// source to this stream's first route node (through the upstream
+  /// chain). Tap-point latency = this + the latency along the route
+  /// prefix up to the tap.
+  double source_latency_ms = 0.0;
+  /// True once the owning subscription has been deregistered and the
+  /// stream stopped flowing; retired streams are never reuse candidates.
+  bool retired = false;
+
+  bool IsOriginal() const { return props.operators.empty(); }
+};
+
+class StreamRegistry {
+ public:
+  /// Registers a stream and returns its id.
+  StreamId Register(RegisteredStream stream);
+
+  const std::vector<RegisteredStream>& streams() const { return streams_; }
+  const RegisteredStream& stream(StreamId id) const { return streams_[id]; }
+  /// Mutable access for in-place updates (stream widening rewrites the
+  /// props and rate of a deployed stream).
+  RegisteredStream& mutable_stream(StreamId id) { return streams_[id]; }
+
+  /// The original stream registered under `name`, or nullptr.
+  const RegisteredStream* FindOriginal(std::string_view name) const;
+
+  /// All streams that are variants of `variant_of` and flow over `node`.
+  std::vector<const RegisteredStream*> AvailableAt(
+      NodeId node, std::string_view variant_of) const;
+
+ private:
+  std::vector<RegisteredStream> streams_;
+};
+
+}  // namespace streamshare::network
+
+#endif  // STREAMSHARE_NETWORK_STREAM_REGISTRY_H_

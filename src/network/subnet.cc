@@ -1,0 +1,69 @@
+#include "network/subnet.h"
+
+#include <algorithm>
+
+namespace streamshare::network {
+
+Result<SubnetPartition> SubnetPartition::Create(
+    const Topology* topology, std::vector<int> subnet_of) {
+  if (subnet_of.size() != topology->peer_count()) {
+    return Status::InvalidArgument(
+        "subnet assignment must cover every peer");
+  }
+  SubnetPartition partition;
+  partition.topology_ = topology;
+  partition.subnet_of_ = std::move(subnet_of);
+  int max_subnet = -1;
+  for (int subnet : partition.subnet_of_) {
+    if (subnet < 0) {
+      return Status::InvalidArgument("negative subnet index");
+    }
+    max_subnet = std::max(max_subnet, subnet);
+  }
+  partition.subnet_count_ = max_subnet + 1;
+  partition.nodes_in_.resize(partition.subnet_count_);
+  for (size_t node = 0; node < partition.subnet_of_.size(); ++node) {
+    partition.nodes_in_[partition.subnet_of_[node]].push_back(
+        static_cast<NodeId>(node));
+  }
+  for (int subnet = 0; subnet < partition.subnet_count_; ++subnet) {
+    if (partition.nodes_in_[subnet].empty()) {
+      return Status::InvalidArgument("subnet " + std::to_string(subnet) +
+                                     " has no peers (indices must be "
+                                     "dense)");
+    }
+  }
+  partition.is_gateway_.assign(topology->peer_count(), false);
+  for (const Link& link : topology->links()) {
+    if (partition.subnet_of_[link.a] != partition.subnet_of_[link.b]) {
+      partition.is_gateway_[link.a] = true;
+      partition.is_gateway_[link.b] = true;
+    }
+  }
+  return partition;
+}
+
+Result<SubnetPartition> SubnetPartition::GridQuadrants(
+    const Topology* topology, int rows, int cols) {
+  if (static_cast<size_t>(rows * cols) != topology->peer_count()) {
+    return Status::InvalidArgument("grid dimensions do not match peers");
+  }
+  std::vector<int> assignment(topology->peer_count(), 0);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      int quadrant = (r >= rows / 2 ? 2 : 0) + (c >= cols / 2 ? 1 : 0);
+      assignment[r * cols + c] = quadrant;
+    }
+  }
+  return Create(topology, std::move(assignment));
+}
+
+std::vector<NodeId> SubnetPartition::GatewaysOf(int subnet) const {
+  std::vector<NodeId> out;
+  for (NodeId node : nodes_in_[subnet]) {
+    if (is_gateway_[node]) out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace streamshare::network

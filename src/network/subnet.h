@@ -1,0 +1,54 @@
+// Subnet partitions of the super-peer network — the substrate for the
+// paper's scalability future work (§6): "a hierarchical network
+// organization with several interconnected subnets where each subnet is
+// optimized separately." A partition assigns every peer to one subnet;
+// gateways are peers with links into other subnets.
+
+#ifndef STREAMSHARE_NETWORK_SUBNET_H_
+#define STREAMSHARE_NETWORK_SUBNET_H_
+
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "network/topology.h"
+
+namespace streamshare::network {
+
+class SubnetPartition {
+ public:
+  /// `subnet_of[node]` is the subnet index of each peer; indices must be
+  /// dense starting at 0.
+  static Result<SubnetPartition> Create(const Topology* topology,
+                                        std::vector<int> subnet_of);
+
+  /// Convenience: splits an n×m grid (as built by Topology::Grid) into
+  /// quadrants.
+  static Result<SubnetPartition> GridQuadrants(const Topology* topology,
+                                               int rows, int cols);
+
+  int subnet_count() const { return subnet_count_; }
+  int subnet_of(NodeId node) const { return subnet_of_[node]; }
+
+  /// The peers of one subnet.
+  const std::vector<NodeId>& nodes_in(int subnet) const {
+    return nodes_in_[subnet];
+  }
+
+  /// True if the peer has a link into another subnet.
+  bool IsGateway(NodeId node) const { return is_gateway_[node]; }
+
+  /// All gateways of one subnet.
+  std::vector<NodeId> GatewaysOf(int subnet) const;
+
+ private:
+  const Topology* topology_ = nullptr;
+  std::vector<int> subnet_of_;
+  int subnet_count_ = 0;
+  std::vector<std::vector<NodeId>> nodes_in_;
+  std::vector<bool> is_gateway_;
+};
+
+}  // namespace streamshare::network
+
+#endif  // STREAMSHARE_NETWORK_SUBNET_H_

@@ -1,0 +1,163 @@
+#include "network/topology.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace streamshare::network {
+
+NodeId Topology::AddPeer(std::string name, double max_load, double pindex) {
+  NodeId id = static_cast<NodeId>(peers_.size());
+  peers_.push_back(Peer{std::move(name), max_load, pindex});
+  neighbors_.emplace_back();
+  return id;
+}
+
+Result<LinkId> Topology::AddLink(NodeId a, NodeId b,
+                                 double bandwidth_kbps,
+                                 double latency_ms) {
+  if (a == b) {
+    return Status::InvalidArgument("self-link on peer " +
+                                   std::to_string(a));
+  }
+  if (a < 0 || b < 0 || a >= static_cast<NodeId>(peers_.size()) ||
+      b >= static_cast<NodeId>(peers_.size())) {
+    return Status::InvalidArgument("link endpoint out of range");
+  }
+  if (FindLink(a, b).has_value()) {
+    return Status::AlreadyExists("link between " + peers_[a].name +
+                                 " and " + peers_[b].name +
+                                 " already exists");
+  }
+  LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, bandwidth_kbps, latency_ms});
+  neighbors_[a].push_back(b);
+  neighbors_[b].push_back(a);
+  std::sort(neighbors_[a].begin(), neighbors_[a].end());
+  std::sort(neighbors_[b].begin(), neighbors_[b].end());
+  link_index_[{std::min(a, b), std::max(a, b)}] = id;
+  return id;
+}
+
+std::optional<LinkId> Topology::FindLink(NodeId a, NodeId b) const {
+  auto it = link_index_.find({std::min(a, b), std::max(a, b)});
+  if (it == link_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<NodeId> Topology::FindPeer(std::string_view name) const {
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return std::nullopt;
+}
+
+const std::vector<NodeId>& Topology::Neighbors(NodeId node) const {
+  return neighbors_[node];
+}
+
+Result<std::vector<NodeId>> Topology::ShortestPath(NodeId from,
+                                                   NodeId to) const {
+  if (from < 0 || to < 0 || from >= static_cast<NodeId>(peers_.size()) ||
+      to >= static_cast<NodeId>(peers_.size())) {
+    return Status::InvalidArgument("shortest-path endpoint out of range");
+  }
+  if (from == to) return std::vector<NodeId>{from};
+  std::vector<NodeId> parent(peers_.size(), -1);
+  std::deque<NodeId> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    NodeId node = queue.front();
+    queue.pop_front();
+    for (NodeId next : neighbors_[node]) {
+      if (parent[next] != -1) continue;
+      parent[next] = node;
+      if (next == to) {
+        std::vector<NodeId> path{to};
+        NodeId current = to;
+        while (current != from) {
+          current = parent[current];
+          path.push_back(current);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(next);
+    }
+  }
+  return Status::NotFound("no path from " + peers_[from].name + " to " +
+                          peers_[to].name);
+}
+
+Result<std::vector<LinkId>> Topology::LinksOnPath(
+    const std::vector<NodeId>& path) const {
+  std::vector<LinkId> out;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    std::optional<LinkId> link = FindLink(path[i], path[i + 1]);
+    if (!link.has_value()) {
+      return Status::NotFound("no link between " + peers_[path[i]].name +
+                              " and " + peers_[path[i + 1]].name);
+    }
+    out.push_back(*link);
+  }
+  return out;
+}
+
+Result<double> Topology::PathLatencyMs(
+    const std::vector<NodeId>& path) const {
+  SS_ASSIGN_OR_RETURN(std::vector<LinkId> route_links, LinksOnPath(path));
+  double latency = 0.0;
+  for (LinkId link : route_links) {
+    latency += links_[link].latency_ms;
+  }
+  return latency;
+}
+
+Topology Topology::ExtendedExample(double bandwidth_kbps, double max_load) {
+  Topology topology;
+  // Peer ids equal super-peer numbers: SP0..SP7.
+  for (int i = 0; i < 8; ++i) {
+    topology.AddPeer("SP" + std::to_string(i), max_load);
+  }
+  auto add = [&](NodeId a, NodeId b) {
+    Result<LinkId> link = topology.AddLink(a, b, bandwidth_kbps);
+    (void)link;
+  };
+  // Top row SP4—SP6—SP0—SP2, bottom row SP5—SP7—SP1—SP3, verticals.
+  add(4, 6);
+  add(6, 0);
+  add(0, 2);
+  add(5, 7);
+  add(7, 1);
+  add(1, 3);
+  add(4, 5);
+  add(6, 7);
+  add(0, 1);
+  add(2, 3);
+  return topology;
+}
+
+Topology Topology::Grid(int rows, int cols, double bandwidth_kbps,
+                        double max_load) {
+  Topology topology;
+  for (int i = 0; i < rows * cols; ++i) {
+    topology.AddPeer("SP" + std::to_string(i), max_load);
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      NodeId node = r * cols + c;
+      if (c + 1 < cols) {
+        Result<LinkId> link =
+            topology.AddLink(node, node + 1, bandwidth_kbps);
+        (void)link;
+      }
+      if (r + 1 < rows) {
+        Result<LinkId> link =
+            topology.AddLink(node, node + cols, bandwidth_kbps);
+        (void)link;
+      }
+    }
+  }
+  return topology;
+}
+
+}  // namespace streamshare::network

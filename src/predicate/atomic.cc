@@ -1,0 +1,105 @@
+#include "predicate/atomic.h"
+
+namespace streamshare::predicate {
+
+std::string_view ComparisonOpToString(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return "=";
+    case ComparisonOp::kLt:
+      return "<";
+    case ComparisonOp::kLe:
+      return "<=";
+    case ComparisonOp::kGt:
+      return ">";
+    case ComparisonOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+AtomicPredicate AtomicPredicate::Compare(xml::Path lhs, ComparisonOp op,
+                                         Decimal constant) {
+  AtomicPredicate pred;
+  pred.lhs = std::move(lhs);
+  pred.op = op;
+  pred.constant = constant;
+  return pred;
+}
+
+AtomicPredicate AtomicPredicate::CompareVars(xml::Path lhs, ComparisonOp op,
+                                             xml::Path rhs,
+                                             Decimal constant) {
+  AtomicPredicate pred;
+  pred.lhs = std::move(lhs);
+  pred.op = op;
+  pred.rhs_var = std::move(rhs);
+  pred.constant = constant;
+  return pred;
+}
+
+std::string AtomicPredicate::ToString() const {
+  std::string out = lhs.ToString();
+  out += ' ';
+  out += ComparisonOpToString(op);
+  out += ' ';
+  if (rhs_var.has_value()) {
+    out += rhs_var->ToString();
+    Decimal zero;
+    if (constant != zero) {
+      if (constant < zero) {
+        out += " - " + (-constant).ToString();
+      } else {
+        out += " + " + constant.ToString();
+      }
+    }
+  } else {
+    out += constant.ToString();
+  }
+  return out;
+}
+
+bool AtomicPredicate::operator==(const AtomicPredicate& other) const {
+  return lhs == other.lhs && op == other.op && rhs_var == other.rhs_var &&
+         constant == other.constant;
+}
+
+std::string Bound::ToString() const {
+  std::string out = value.ToString();
+  if (strict) out += " (strict)";
+  return out;
+}
+
+std::vector<NormalizedConstraint> Normalize(const AtomicPredicate& pred) {
+  // The target of "v ≤ c" is the zero node (empty path); "v ≤ w + c" links
+  // the two variable nodes directly.
+  const xml::Path zero;
+  const xml::Path& v = pred.lhs;
+  const xml::Path w = pred.rhs_var.value_or(zero);
+  const Decimal c = pred.constant;
+
+  std::vector<NormalizedConstraint> out;
+  switch (pred.op) {
+    case ComparisonOp::kLe:
+      // v ≤ w + c.
+      out.push_back({v, w, Bound{c, false}});
+      break;
+    case ComparisonOp::kLt:
+      out.push_back({v, w, Bound{c, true}});
+      break;
+    case ComparisonOp::kGe:
+      // v ≥ w + c  ⟺  w ≤ v − c.
+      out.push_back({w, v, Bound{-c, false}});
+      break;
+    case ComparisonOp::kGt:
+      out.push_back({w, v, Bound{-c, true}});
+      break;
+    case ComparisonOp::kEq:
+      out.push_back({v, w, Bound{c, false}});
+      out.push_back({w, v, Bound{-c, false}});
+      break;
+  }
+  return out;
+}
+
+}  // namespace streamshare::predicate

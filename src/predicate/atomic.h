@@ -1,0 +1,104 @@
+// Atomic predicates and their normal form. The paper restricts conditions
+// to conjunctions of atomic predicates of the form
+//     $v θ c      or      $v θ $w + c,
+// with θ ∈ {=, <, ≤, >, ≥}, $v/$w child-axis paths and c an integer or
+// finite decimal. Every atomic predicate normalizes into one or two bounds
+// "source ≤ target + weight" (optionally strict), which become edges of a
+// PredicateGraph. Strictness is carried exactly instead of being folded
+// into the constant, so satisfiability and implication are exact over the
+// rationals (following Rosenkrantz & Hunt's treatment of conjunctive
+// predicates).
+
+#ifndef STREAMSHARE_PREDICATE_ATOMIC_H_
+#define STREAMSHARE_PREDICATE_ATOMIC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/decimal.h"
+#include "common/status.h"
+#include "xml/path.h"
+
+namespace streamshare::predicate {
+
+enum class ComparisonOp { kEq, kLt, kLe, kGt, kGe };
+
+/// Returns "=", "<", "<=", ">" or ">=".
+std::string_view ComparisonOpToString(ComparisonOp op);
+
+/// One atomic predicate: `lhs op constant` (when rhs_var is empty) or
+/// `lhs op rhs_var + constant`.
+struct AtomicPredicate {
+  xml::Path lhs;
+  ComparisonOp op = ComparisonOp::kEq;
+  std::optional<xml::Path> rhs_var;
+  Decimal constant;
+
+  /// Variable-vs-constant predicate.
+  static AtomicPredicate Compare(xml::Path lhs, ComparisonOp op,
+                                 Decimal constant);
+  /// Variable-vs-variable-plus-constant predicate.
+  static AtomicPredicate CompareVars(xml::Path lhs, ComparisonOp op,
+                                     xml::Path rhs, Decimal constant);
+
+  /// Renders e.g. "coord/cel/ra >= 120.0" or "a <= b + 3".
+  std::string ToString() const;
+
+  bool operator==(const AtomicPredicate& other) const;
+};
+
+/// A normalized difference bound: source ≤ target + value (strict: <).
+/// "Zero" endpoints are represented by the empty path at graph level; the
+/// Bound itself is endpoint-agnostic.
+struct Bound {
+  Decimal value;
+  bool strict = false;
+
+  /// Composition along a path: bounds add, strictness is contagious.
+  Bound operator+(const Bound& other) const {
+    return Bound{value + other.value, strict || other.strict};
+  }
+
+  /// True if a constraint with this bound implies one with `other` (same
+  /// endpoints): it is at least as tight.
+  bool ImpliesBound(const Bound& other) const {
+    if (value < other.value) return true;
+    if (value == other.value) return strict || !other.strict;
+    return false;
+  }
+
+  /// True if this bound is strictly tighter than `other` (implies it and
+  /// is not equal).
+  bool TighterThan(const Bound& other) const {
+    return ImpliesBound(other) &&
+           !(value == other.value && strict == other.strict);
+  }
+
+  /// A cycle with this total bound is unsatisfiable if the accumulated
+  /// slack is negative, or zero with a strict edge (x < x).
+  bool IsInfeasibleCycle() const {
+    Decimal zero;
+    return value < zero || (value == zero && strict);
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Bound& other) const = default;
+};
+
+/// One normalized constraint: source ≤ target + bound, where an endpoint
+/// equal to the empty path denotes the constant-zero node.
+struct NormalizedConstraint {
+  xml::Path source;
+  xml::Path target;
+  Bound bound;
+};
+
+/// Expands an atomic predicate into its normalized constraints (one for
+/// inequalities, two for equality).
+std::vector<NormalizedConstraint> Normalize(const AtomicPredicate& pred);
+
+}  // namespace streamshare::predicate
+
+#endif  // STREAMSHARE_PREDICATE_ATOMIC_H_

@@ -1,0 +1,68 @@
+#include "predicate/eval.h"
+
+#include "common/string_util.h"
+
+namespace streamshare::predicate {
+
+Result<Decimal> ExtractValue(const xml::XmlNode& item,
+                             const xml::Path& path) {
+  const xml::XmlNode* node = path.EvaluateFirst(item);
+  if (node == nullptr) {
+    return Status::NotFound("path '" + path.ToString() +
+                            "' selects no element in item <" + item.name() +
+                            ">");
+  }
+  Result<Decimal> value = Decimal::Parse(Trim(node->text()));
+  if (!value.ok()) {
+    return Status::ParseError("element '" + path.ToString() +
+                              "' does not contain a decimal value: '" +
+                              node->text() + "'");
+  }
+  return value;
+}
+
+bool Compare(const Decimal& lhs, ComparisonOp op, const Decimal& rhs) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return lhs == rhs;
+    case ComparisonOp::kLt:
+      return lhs < rhs;
+    case ComparisonOp::kLe:
+      return lhs <= rhs;
+    case ComparisonOp::kGt:
+      return lhs > rhs;
+    case ComparisonOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+Result<bool> EvaluatePredicate(const AtomicPredicate& pred,
+                               const xml::XmlNode& item) {
+  Result<Decimal> lhs = ExtractValue(item, pred.lhs);
+  if (!lhs.ok()) {
+    if (lhs.status().IsNotFound()) return false;
+    return lhs.status();
+  }
+  Decimal rhs = pred.constant;
+  if (pred.rhs_var.has_value()) {
+    Result<Decimal> rhs_value = ExtractValue(item, *pred.rhs_var);
+    if (!rhs_value.ok()) {
+      if (rhs_value.status().IsNotFound()) return false;
+      return rhs_value.status();
+    }
+    rhs = *rhs_value + pred.constant;
+  }
+  return Compare(*lhs, pred.op, rhs);
+}
+
+Result<bool> EvaluateConjunction(const std::vector<AtomicPredicate>& preds,
+                                 const xml::XmlNode& item) {
+  for (const AtomicPredicate& pred : preds) {
+    SS_ASSIGN_OR_RETURN(bool satisfied, EvaluatePredicate(pred, item));
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+}  // namespace streamshare::predicate

@@ -1,0 +1,35 @@
+// Evaluation of conjunctive predicates against one XML stream item.
+
+#ifndef STREAMSHARE_PREDICATE_EVAL_H_
+#define STREAMSHARE_PREDICATE_EVAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/atomic.h"
+#include "xml/xml_node.h"
+
+namespace streamshare::predicate {
+
+/// Extracts the decimal value of the element addressed by `path` inside
+/// `item`. Fails if the path selects nothing or the text is not a decimal.
+Result<Decimal> ExtractValue(const xml::XmlNode& item,
+                             const xml::Path& path);
+
+/// Evaluates one atomic predicate against `item`. A predicate whose path
+/// selects no element evaluates to false (the item cannot satisfy a
+/// constraint on data it does not carry); malformed numeric text is an
+/// error.
+Result<bool> EvaluatePredicate(const AtomicPredicate& pred,
+                               const xml::XmlNode& item);
+
+/// Evaluates a conjunction (empty conjunction = true).
+Result<bool> EvaluateConjunction(const std::vector<AtomicPredicate>& preds,
+                                 const xml::XmlNode& item);
+
+/// Compares two decimals under `op`.
+bool Compare(const Decimal& lhs, ComparisonOp op, const Decimal& rhs);
+
+}  // namespace streamshare::predicate
+
+#endif  // STREAMSHARE_PREDICATE_EVAL_H_

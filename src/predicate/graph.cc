@@ -1,0 +1,247 @@
+#include "predicate/graph.h"
+
+#include <cassert>
+
+namespace streamshare::predicate {
+
+PredicateGraph::PredicateGraph() {
+  // Node 0: the constant-zero node.
+  nodes_.emplace_back();
+  node_index_[nodes_[0]] = 0;
+  adj_.resize(1);
+  adj_[0].resize(1);
+}
+
+PredicateGraph PredicateGraph::Build(
+    const std::vector<AtomicPredicate>& conjuncts) {
+  PredicateGraph graph;
+  for (const AtomicPredicate& pred : conjuncts) {
+    for (const NormalizedConstraint& constraint : Normalize(pred)) {
+      int source = graph.GetOrAddNode(constraint.source);
+      int target = graph.GetOrAddNode(constraint.target);
+      graph.AddConstraint(source, target, constraint.bound);
+    }
+  }
+  return graph;
+}
+
+int PredicateGraph::GetOrAddNode(const xml::Path& path) {
+  auto it = node_index_.find(path);
+  if (it != node_index_.end()) return it->second;
+  int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(path);
+  node_index_[path] = index;
+  for (auto& row : adj_) row.emplace_back();
+  adj_.emplace_back(nodes_.size());
+  return index;
+}
+
+void PredicateGraph::AddConstraint(int source, int target,
+                                   const Bound& bound) {
+  if (source == target) {
+    // x ≤ x + c: vacuous for c ≥ 0, unsatisfiable otherwise. Keep it as a
+    // self-loop so IsSatisfiable sees the infeasible cycle.
+    if (!bound.IsInfeasibleCycle()) return;
+  }
+  std::optional<Bound>& slot = adj_[source][target];
+  if (!slot.has_value() || bound.TighterThan(*slot)) slot = bound;
+}
+
+std::vector<PredicateGraph::Edge> PredicateGraph::edges() const {
+  std::vector<Edge> out;
+  for (size_t u = 0; u < adj_.size(); ++u) {
+    for (size_t v = 0; v < adj_[u].size(); ++v) {
+      if (adj_[u][v].has_value()) {
+        out.push_back(Edge{static_cast<int>(u), static_cast<int>(v),
+                           *adj_[u][v]});
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<int> PredicateGraph::FindNode(const xml::Path& path) const {
+  auto it = node_index_.find(path);
+  if (it == node_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Bound> PredicateGraph::EdgeBound(int source,
+                                               int target) const {
+  return adj_[source][target];
+}
+
+size_t PredicateGraph::edge_count() const {
+  size_t count = 0;
+  for (const auto& row : adj_) {
+    for (const auto& slot : row) {
+      if (slot.has_value()) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::vector<std::optional<Bound>>> PredicateGraph::Closure()
+    const {
+  const size_t n = nodes_.size();
+  auto dist = adj_;
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!dist[i][k].has_value()) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (!dist[k][j].has_value()) continue;
+        Bound via = *dist[i][k] + *dist[k][j];
+        if (!dist[i][j].has_value() || via.TighterThan(*dist[i][j])) {
+          dist[i][j] = via;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+bool PredicateGraph::IsSatisfiable() const {
+  // All-pairs closure over the bound semiring; an infeasible cycle
+  // manifests as a diagonal entry with negative total weight, or zero
+  // weight containing a strict edge (x < x). Note Bellman–Ford-style
+  // tightening alone cannot detect pure strict cycles: (0, strict)
+  // saturates instead of descending, so the diagonal check is the
+  // canonical test for mixed strict/non-strict difference constraints.
+  auto closure = Closure();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (closure[i][i].has_value() && closure[i][i]->IsInfeasibleCycle()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PredicateGraph::Minimize() {
+  assert(IsSatisfiable() && "minimizing an unsatisfiable graph");
+  // Greedily drop each edge that the remaining graph implies. For
+  // difference-constraint systems this yields an equivalent irredundant
+  // subgraph. Graphs here are tiny (a handful of variables), so the
+  // recompute-closure-per-edge cost is irrelevant.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Edge& e : edges()) {
+      Bound saved = e.bound;
+      adj_[e.source][e.target].reset();
+      auto closure = Closure();
+      const std::optional<Bound>& residual = closure[e.source][e.target];
+      if (residual.has_value() && residual->ImpliesBound(saved)) {
+        changed = true;  // edge was redundant; leave it removed
+      } else {
+        adj_[e.source][e.target] = saved;
+      }
+    }
+  }
+}
+
+std::optional<Bound> PredicateGraph::TightestBound(int source,
+                                                   int target) const {
+  auto closure = Closure();
+  return closure[source][target];
+}
+
+bool PredicateGraph::Implies(const PredicateGraph& other) const {
+  auto closure = Closure();
+  for (const Edge& e : other.edges()) {
+    std::optional<int> source = FindNode(other.nodes_[e.source]);
+    std::optional<int> target = FindNode(other.nodes_[e.target]);
+    if (!source.has_value() || !target.has_value()) return false;
+    const std::optional<Bound>& derived = closure[*source][*target];
+    if (!derived.has_value() || !derived->ImpliesBound(e.bound)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PredicateGraph PredicateGraph::UnionOf(const PredicateGraph& a,
+                                       const PredicateGraph& b) {
+  assert(a.IsSatisfiable() && b.IsSatisfiable() &&
+         "UnionOf of unsatisfiable graphs");
+  auto closure_a = a.Closure();
+  auto closure_b = b.Closure();
+  PredicateGraph result;
+  // Shared nodes only: a variable unconstrained in either input is
+  // unconstrained in the union.
+  for (size_t ia = 1; ia < a.nodes_.size(); ++ia) {
+    if (b.FindNode(a.nodes_[ia]).has_value()) {
+      result.GetOrAddNode(a.nodes_[ia]);
+    }
+  }
+  const size_t n = result.nodes_.size();
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      int ua = *a.FindNode(result.nodes_[u]);
+      int va = *a.FindNode(result.nodes_[v]);
+      int ub = *b.FindNode(result.nodes_[u]);
+      int vb = *b.FindNode(result.nodes_[v]);
+      const std::optional<Bound>& bound_a = closure_a[ua][va];
+      const std::optional<Bound>& bound_b = closure_b[ub][vb];
+      if (!bound_a.has_value() || !bound_b.has_value()) continue;
+      // Keep the looser bound: the one implied by the other.
+      const Bound& looser =
+          bound_a->ImpliesBound(*bound_b) ? *bound_b : *bound_a;
+      result.AddConstraint(static_cast<int>(u), static_cast<int>(v),
+                           looser);
+    }
+  }
+  result.Minimize();
+  return result;
+}
+
+std::vector<PredicateGraph::Edge> PredicateGraph::EdgesConnectedTo(
+    int node) const {
+  std::vector<Edge> out;
+  const size_t n = nodes_.size();
+  for (size_t v = 0; v < n; ++v) {
+    if (adj_[node][v].has_value()) {
+      out.push_back(Edge{node, static_cast<int>(v), *adj_[node][v]});
+    }
+  }
+  for (size_t u = 0; u < n; ++u) {
+    if (static_cast<int>(u) != node && adj_[u][node].has_value()) {
+      out.push_back(Edge{static_cast<int>(u), node, *adj_[u][node]});
+    }
+  }
+  return out;
+}
+
+std::vector<AtomicPredicate> PredicateGraph::ToPredicates() const {
+  std::vector<AtomicPredicate> out;
+  for (const Edge& e : edges()) {
+    ComparisonOp op = e.bound.strict ? ComparisonOp::kLt : ComparisonOp::kLe;
+    const xml::Path& source = nodes_[e.source];
+    const xml::Path& target = nodes_[e.target];
+    if (e.target == 0) {
+      // v ≤ c.
+      out.push_back(AtomicPredicate::Compare(source, op, e.bound.value));
+    } else if (e.source == 0) {
+      // 0 ≤ v + c  ⟺  v ≥ −c.
+      ComparisonOp flipped =
+          e.bound.strict ? ComparisonOp::kGt : ComparisonOp::kGe;
+      out.push_back(
+          AtomicPredicate::Compare(target, flipped, -e.bound.value));
+    } else {
+      out.push_back(
+          AtomicPredicate::CompareVars(source, op, target, e.bound.value));
+    }
+  }
+  return out;
+}
+
+std::string PredicateGraph::ToString() const {
+  std::string out = "PredicateGraph {\n";
+  for (const AtomicPredicate& pred : ToPredicates()) {
+    out += "  " + pred.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace streamshare::predicate

@@ -1,0 +1,125 @@
+// Weighted directed predicate graphs (Rosenkrantz & Hunt). A conjunction of
+// normalized atomic predicates becomes a graph whose nodes are the
+// variables plus a distinguished zero node, and whose edges carry bounds:
+// an edge u → v with bound (c, strict) encodes u ≤ v + c (resp. u < v + c).
+//
+// On this representation:
+//   * satisfiability  = absence of an infeasible cycle (negative total
+//     weight, or zero total weight containing a strict edge),
+//   * minimization    = removal of edges implied by the remaining graph,
+//   * implication     = for every constraint of the weaker graph, the
+//     tightest derivable bound between the same endpoints in the stronger
+//     graph is at least as tight.
+//
+// The paper builds these graphs once per subscription at registration time
+// (§3.3 "Matching Predicates"); Algorithm 3's cheaper edge-local check
+// lives in src/matching/ and uses the accessors exposed here.
+
+#ifndef STREAMSHARE_PREDICATE_GRAPH_H_
+#define STREAMSHARE_PREDICATE_GRAPH_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/atomic.h"
+#include "xml/path.h"
+
+namespace streamshare::predicate {
+
+/// An immutable-node, mutable-edge predicate graph. Node 0 is always the
+/// constant-zero node (empty path).
+class PredicateGraph {
+ public:
+  struct Edge {
+    int source;
+    int target;
+    Bound bound;
+
+    bool operator==(const Edge& other) const = default;
+  };
+
+  /// Builds the graph from a conjunction. Parallel constraints between the
+  /// same endpoints are collapsed to the tightest one. Never fails for
+  /// well-formed predicates; unsatisfiable conjunctions still build (use
+  /// IsSatisfiable to reject them, as the paper's registration step does).
+  static PredicateGraph Build(const std::vector<AtomicPredicate>& conjuncts);
+
+  /// The empty graph (no constraints; implied by everything).
+  PredicateGraph();
+
+  /// False if the constraints admit no assignment (infeasible cycle).
+  bool IsSatisfiable() const;
+
+  /// Removes every edge that is implied by the rest of the graph. Requires
+  /// a satisfiable graph (minimizing an unsatisfiable one is meaningless).
+  void Minimize();
+
+  /// Complete implication test: true if every assignment satisfying this
+  /// graph also satisfies `other`. Exact for satisfiable difference-
+  /// constraint systems.
+  bool Implies(const PredicateGraph& other) const;
+
+  /// Mutual implication.
+  bool EquivalentTo(const PredicateGraph& other) const {
+    return Implies(other) && other.Implies(*this);
+  }
+
+  /// The strongest difference-constraint system implied by both `a` and
+  /// `b` (the DBM join): keeps, for every pair of variables constrained in
+  /// both graphs, the looser of the two tightest derivable bounds. This is
+  /// the sound over-approximation of the disjunction a ∨ b — the widened
+  /// selection of the stream-widening extension (paper §6): a stream
+  /// filtered by UnionOf(σ_old, σ_new) carries every item either
+  /// subscription needs. Inputs must be satisfiable.
+  static PredicateGraph UnionOf(const PredicateGraph& a,
+                                const PredicateGraph& b);
+
+  /// Node paths; index 0 is the zero node (empty path).
+  const std::vector<xml::Path>& nodes() const { return nodes_; }
+
+  /// All edges, in unspecified order.
+  std::vector<Edge> edges() const;
+
+  /// Index of the node for `path`, if present.
+  std::optional<int> FindNode(const xml::Path& path) const;
+
+  /// Direct edge bound from `source` to `target`, if an edge exists.
+  std::optional<Bound> EdgeBound(int source, int target) const;
+
+  /// Tightest derivable bound from `source` to `target` (shortest path over
+  /// the bound semiring); nullopt if target is unreachable.
+  std::optional<Bound> TightestBound(int source, int target) const;
+
+  /// All edges incident to `node` (incoming and outgoing), as Algorithm 3's
+  /// "edges connected to v".
+  std::vector<Edge> EdgesConnectedTo(int node) const;
+
+  size_t edge_count() const;
+
+  /// Re-expresses the graph as ≤/< atomic predicates (after Minimize this
+  /// is the canonical reduced conjunction).
+  std::vector<AtomicPredicate> ToPredicates() const;
+
+  /// Multi-line debug rendering.
+  std::string ToString() const;
+
+  bool operator==(const PredicateGraph& other) const = default;
+
+ private:
+  int GetOrAddNode(const xml::Path& path);
+  void AddConstraint(int source, int target, const Bound& bound);
+  /// All-pairs tightest bounds (Floyd–Warshall), nullopt = unreachable.
+  std::vector<std::vector<std::optional<Bound>>> Closure() const;
+
+  std::vector<xml::Path> nodes_;
+  std::map<xml::Path, int> node_index_;
+  // Adjacency matrix of tightest direct bounds.
+  std::vector<std::vector<std::optional<Bound>>> adj_;
+};
+
+}  // namespace streamshare::predicate
+
+#endif  // STREAMSHARE_PREDICATE_GRAPH_H_

@@ -1,0 +1,124 @@
+#include "properties/operators.h"
+
+#include "common/string_util.h"
+
+namespace streamshare::properties {
+
+xml::Path AggregateValuePath() {
+  return xml::Path(std::vector<std::string>{"$agg"});
+}
+
+Result<SelectionOp> SelectionOp::Create(
+    std::vector<predicate::AtomicPredicate> predicates) {
+  SelectionOp op;
+  op.predicates = std::move(predicates);
+  op.graph = predicate::PredicateGraph::Build(op.predicates);
+  if (!op.graph.IsSatisfiable()) {
+    return Status::Unsatisfiable("selection predicate is unsatisfiable: " +
+                                 op.ToString());
+  }
+  op.graph.Minimize();
+  return op;
+}
+
+std::string SelectionOp::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(predicates.size());
+  for (const auto& pred : predicates) parts.push_back(pred.ToString());
+  return "σ[" + Join(parts, " and ") + "]";
+}
+
+std::string ProjectionOp::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(output.size());
+  for (const auto& path : output) parts.push_back(path.ToString());
+  return "π{" + Join(parts, ", ") + "}";
+}
+
+std::string_view AggregateFuncToString(AggregateFunc func) {
+  switch (func) {
+    case AggregateFunc::kMin:
+      return "min";
+    case AggregateFunc::kMax:
+      return "max";
+    case AggregateFunc::kSum:
+      return "sum";
+    case AggregateFunc::kCount:
+      return "count";
+    case AggregateFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+bool IsDistributive(AggregateFunc func) {
+  return func != AggregateFunc::kAvg;
+}
+
+Result<AggregationOp> AggregationOp::Create(
+    AggregateFunc func, xml::Path aggregated_element, WindowSpec window,
+    std::vector<predicate::AtomicPredicate> pre_selection,
+    std::vector<predicate::AtomicPredicate> result_filter) {
+  SS_RETURN_IF_ERROR(window.Validate());
+  AggregationOp op;
+  op.func = func;
+  op.aggregated_element = std::move(aggregated_element);
+  op.window = std::move(window);
+  op.pre_selection = std::move(pre_selection);
+  op.pre_selection_graph = predicate::PredicateGraph::Build(op.pre_selection);
+  if (!op.pre_selection_graph.IsSatisfiable()) {
+    return Status::Unsatisfiable(
+        "aggregation pre-selection is unsatisfiable");
+  }
+  op.pre_selection_graph.Minimize();
+  op.result_filter = std::move(result_filter);
+  op.result_filter_graph = predicate::PredicateGraph::Build(op.result_filter);
+  if (!op.result_filter_graph.IsSatisfiable()) {
+    return Status::Unsatisfiable(
+        "aggregation result filter is unsatisfiable");
+  }
+  op.result_filter_graph.Minimize();
+  return op;
+}
+
+std::string AggregationOp::ToString() const {
+  std::string out(AggregateFuncToString(func));
+  out += "(" + aggregated_element.ToString() + ") over " +
+         window.ToString();
+  if (!pre_selection.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(pre_selection.size());
+    for (const auto& pred : pre_selection) parts.push_back(pred.ToString());
+    out += " where-input[" + Join(parts, " and ") + "]";
+  }
+  if (!result_filter.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(result_filter.size());
+    for (const auto& pred : result_filter) parts.push_back(pred.ToString());
+    out += " having[" + Join(parts, " and ") + "]";
+  }
+  return out;
+}
+
+std::string UserDefinedOp::ToString() const {
+  return name + "(" + Join(params, ", ") + ")";
+}
+
+OperatorKind KindOf(const Operator& op) {
+  if (std::holds_alternative<SelectionOp>(op)) {
+    return OperatorKind::kSelection;
+  }
+  if (std::holds_alternative<ProjectionOp>(op)) {
+    return OperatorKind::kProjection;
+  }
+  if (std::holds_alternative<AggregationOp>(op)) {
+    return OperatorKind::kAggregation;
+  }
+  return OperatorKind::kUserDefined;
+}
+
+std::string OperatorToString(const Operator& op) {
+  return std::visit([](const auto& o) { return o.ToString(); }, op);
+}
+
+}  // namespace streamshare::properties

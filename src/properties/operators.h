@@ -1,0 +1,111 @@
+// Operator descriptors stored inside properties (§3.1). These describe how
+// an input stream was (or would be) transformed — they are metadata for
+// matching and costing, not executable operators (the executable versions
+// live in src/engine/). Selection predicates are kept both as the original
+// conjunction (for execution and display) and as their minimized predicate
+// graph (for matching).
+
+#ifndef STREAMSHARE_PROPERTIES_OPERATORS_H_
+#define STREAMSHARE_PROPERTIES_OPERATORS_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "predicate/atomic.h"
+#include "predicate/graph.h"
+#include "properties/window.h"
+#include "xml/path.h"
+
+namespace streamshare::properties {
+
+/// The lhs path predicate graphs use for the aggregate result value in a
+/// result filter (a reserved name that cannot collide with element paths).
+xml::Path AggregateValuePath();
+
+/// Selection σ: keeps items satisfying a conjunctive predicate.
+struct SelectionOp {
+  std::vector<predicate::AtomicPredicate> predicates;
+  predicate::PredicateGraph graph;
+
+  /// Builds the descriptor, constructing and minimizing the graph. Fails
+  /// with kUnsatisfiable if the conjunction admits no item (the paper
+  /// rejects such subscriptions at registration).
+  static Result<SelectionOp> Create(
+      std::vector<predicate::AtomicPredicate> predicates);
+
+  std::string ToString() const;
+  bool operator==(const SelectionOp& other) const = default;
+};
+
+/// Projection Π: the paper distinguishes elements merely referenced by the
+/// query (needed to evaluate it) from elements actually returned in the
+/// result stream (marked with bullets in Fig. 3). For a stream to be
+/// reusable, its *output* set must cover the new query's *referenced* set.
+struct ProjectionOp {
+  /// R′: every element the query touches (selection inputs + outputs).
+  std::vector<xml::Path> referenced;
+  /// R ⊆ referenced: elements present in the result stream.
+  std::vector<xml::Path> output;
+
+  std::string ToString() const;
+  bool operator==(const ProjectionOp& other) const = default;
+};
+
+enum class AggregateFunc { kMin, kMax, kSum, kCount, kAvg };
+
+std::string_view AggregateFuncToString(AggregateFunc func);
+
+/// Whether the function is distributive (min/max/sum/count) or algebraic
+/// (avg); the paper handles both, excluding holistic aggregates.
+bool IsDistributive(AggregateFunc func);
+
+/// Window-based aggregation Φ over a data window.
+struct AggregationOp {
+  AggregateFunc func = AggregateFunc::kAvg;
+  /// The aggregated element, e.g. "en" in avg($w/en).
+  xml::Path aggregated_element;
+  WindowSpec window;
+  /// Selection applied to the stream before windowing (path conditions of
+  /// the for clause). Aggregate sharing requires it to be *identical* in
+  /// both subscriptions (§3.3), so we keep the graph for the equivalence
+  /// check.
+  std::vector<predicate::AtomicPredicate> pre_selection;
+  predicate::PredicateGraph pre_selection_graph;
+  /// Filter on the aggregate value (e.g. $a >= 1.3 in Q4); predicates use
+  /// AggregateValuePath() as their lhs.
+  std::vector<predicate::AtomicPredicate> result_filter;
+  predicate::PredicateGraph result_filter_graph;
+
+  static Result<AggregationOp> Create(
+      AggregateFunc func, xml::Path aggregated_element, WindowSpec window,
+      std::vector<predicate::AtomicPredicate> pre_selection = {},
+      std::vector<predicate::AtomicPredicate> result_filter = {});
+
+  std::string ToString() const;
+  bool operator==(const AggregationOp& other) const = default;
+};
+
+/// An opaque user-defined operator: shareable only when deterministic and
+/// invoked with an identical parameter vector (§3.3, case 4).
+struct UserDefinedOp {
+  std::string name;
+  std::vector<std::string> params;
+
+  std::string ToString() const;
+  bool operator==(const UserDefinedOp& other) const = default;
+};
+
+/// Any operator a properties entry can carry.
+using Operator =
+    std::variant<SelectionOp, ProjectionOp, AggregationOp, UserDefinedOp>;
+
+/// Coarse operator kind, used by Algorithm 2's o = o′ comparison.
+enum class OperatorKind { kSelection, kProjection, kAggregation, kUserDefined };
+
+OperatorKind KindOf(const Operator& op);
+std::string OperatorToString(const Operator& op);
+
+}  // namespace streamshare::properties
+
+#endif  // STREAMSHARE_PROPERTIES_OPERATORS_H_

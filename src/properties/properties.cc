@@ -1,0 +1,69 @@
+#include "properties/properties.h"
+
+namespace streamshare::properties {
+
+const SelectionOp* InputStreamProperties::selection() const {
+  for (const Operator& op : operators) {
+    if (const auto* sel = std::get_if<SelectionOp>(&op)) return sel;
+  }
+  return nullptr;
+}
+
+const ProjectionOp* InputStreamProperties::projection() const {
+  for (const Operator& op : operators) {
+    if (const auto* proj = std::get_if<ProjectionOp>(&op)) return proj;
+  }
+  return nullptr;
+}
+
+const AggregationOp* InputStreamProperties::aggregation() const {
+  for (const Operator& op : operators) {
+    if (const auto* agg = std::get_if<AggregationOp>(&op)) return agg;
+  }
+  return nullptr;
+}
+
+std::string InputStreamProperties::ToString() const {
+  std::string out = "input '" + stream_name + "'";
+  for (const Operator& op : operators) {
+    out += " -> " + OperatorToString(op);
+  }
+  return out;
+}
+
+Properties Properties::ForOriginalStream(std::string stream_name) {
+  Properties props;
+  props.AddInput(std::move(stream_name));
+  return props;
+}
+
+InputStreamProperties& Properties::AddInput(std::string stream_name) {
+  inputs_.push_back(InputStreamProperties{std::move(stream_name), {}});
+  return inputs_.back();
+}
+
+const InputStreamProperties* Properties::FindInput(
+    std::string_view stream_name) const {
+  for (const InputStreamProperties& input : inputs_) {
+    if (input.stream_name == stream_name) return &input;
+  }
+  return nullptr;
+}
+
+bool Properties::IsOriginal() const {
+  for (const InputStreamProperties& input : inputs_) {
+    if (!input.operators.empty()) return false;
+  }
+  return true;
+}
+
+std::string Properties::ToString() const {
+  std::string out = "Properties {\n";
+  for (const InputStreamProperties& input : inputs_) {
+    out += "  " + input.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace streamshare::properties

@@ -1,0 +1,68 @@
+// The properties data structure (§3.1). Subscriptions and data streams are
+// represented symmetrically: a set of original input data streams, and for
+// each input the operators transforming it into the represented (result)
+// stream. Properties serve two purposes — they state what a subscription
+// needs from its inputs, and they describe what a produced stream contains
+// relative to those inputs. Restructuring details of the return clause are
+// deliberately absent (the paper performs restructuring in a final
+// post-processing step whose output is never shared).
+
+#ifndef STREAMSHARE_PROPERTIES_PROPERTIES_H_
+#define STREAMSHARE_PROPERTIES_PROPERTIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "properties/operators.h"
+
+namespace streamshare::properties {
+
+/// The transformation pipeline applied to one original input stream.
+struct InputStreamProperties {
+  /// Name of the original (registered) input data stream, e.g. "photons".
+  std::string stream_name;
+  /// Operators applied to that input, in application order.
+  std::vector<Operator> operators;
+
+  /// First operator of the given kind, or nullptr.
+  const SelectionOp* selection() const;
+  const ProjectionOp* projection() const;
+  const AggregationOp* aggregation() const;
+
+  std::string ToString() const;
+};
+
+/// Properties of a subscription or a data stream.
+class Properties {
+ public:
+  Properties() = default;
+
+  /// Properties of an original, untransformed data stream: one input (the
+  /// stream itself) and no operators.
+  static Properties ForOriginalStream(std::string stream_name);
+
+  /// Adds an input stream entry and returns a reference to it.
+  InputStreamProperties& AddInput(std::string stream_name);
+
+  const std::vector<InputStreamProperties>& inputs() const {
+    return inputs_;
+  }
+  std::vector<InputStreamProperties>& mutable_inputs() { return inputs_; }
+
+  /// The entry for `stream_name`, or nullptr.
+  const InputStreamProperties* FindInput(std::string_view stream_name) const;
+
+  /// True if no operators transform any input (the properties describe an
+  /// original stream verbatim).
+  bool IsOriginal() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<InputStreamProperties> inputs_;
+};
+
+}  // namespace streamshare::properties
+
+#endif  // STREAMSHARE_PROPERTIES_PROPERTIES_H_

@@ -1,0 +1,289 @@
+#include "properties/serialize.h"
+
+#include "common/string_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace streamshare::properties {
+
+namespace {
+
+using predicate::AtomicPredicate;
+using predicate::ComparisonOp;
+
+std::string_view FuncName(AggregateFunc func) {
+  return AggregateFuncToString(func);
+}
+
+Result<AggregateFunc> FuncFromName(std::string_view name) {
+  if (name == "min") return AggregateFunc::kMin;
+  if (name == "max") return AggregateFunc::kMax;
+  if (name == "sum") return AggregateFunc::kSum;
+  if (name == "count") return AggregateFunc::kCount;
+  if (name == "avg") return AggregateFunc::kAvg;
+  return Status::ParseError("unknown aggregate function '" +
+                            std::string(name) + "'");
+}
+
+void AppendPredicates(const std::vector<AtomicPredicate>& predicates,
+                      xml::XmlNode* parent) {
+  for (const AtomicPredicate& pred : predicates) {
+    parent->AddLeaf("pred", PredicateToText(pred));
+  }
+}
+
+Result<std::vector<AtomicPredicate>> ParsePredicates(
+    const xml::XmlNode& parent) {
+  std::vector<AtomicPredicate> out;
+  for (const xml::XmlNode* pred : parent.Children("pred")) {
+    SS_ASSIGN_OR_RETURN(AtomicPredicate parsed,
+                        PredicateFromText(pred->text()));
+    out.push_back(std::move(parsed));
+  }
+  return out;
+}
+
+void AppendWindow(const WindowSpec& window, xml::XmlNode* parent) {
+  xml::XmlNode* node = parent->AddChild("window");
+  node->AddLeaf("type",
+                window.type == WindowType::kCount ? "count" : "diff");
+  node->AddLeaf("size", window.size.ToString());
+  node->AddLeaf("step", window.step.ToString());
+  if (!window.reference.empty()) {
+    node->AddLeaf("ref", window.reference.ToString());
+  }
+}
+
+Result<WindowSpec> ParseWindow(const xml::XmlNode& node) {
+  WindowSpec window;
+  const xml::XmlNode* type = node.FirstChild("type");
+  const xml::XmlNode* size = node.FirstChild("size");
+  const xml::XmlNode* step = node.FirstChild("step");
+  if (type == nullptr || size == nullptr || step == nullptr) {
+    return Status::ParseError("window element missing type/size/step");
+  }
+  if (type->text() == "count") {
+    window.type = WindowType::kCount;
+  } else if (type->text() == "diff") {
+    window.type = WindowType::kDiff;
+  } else {
+    return Status::ParseError("unknown window type '" + type->text() +
+                              "'");
+  }
+  SS_ASSIGN_OR_RETURN(window.size, Decimal::Parse(Trim(size->text())));
+  SS_ASSIGN_OR_RETURN(window.step, Decimal::Parse(Trim(step->text())));
+  if (const xml::XmlNode* ref = node.FirstChild("ref")) {
+    SS_ASSIGN_OR_RETURN(window.reference, xml::Path::Parse(ref->text()));
+  }
+  SS_RETURN_IF_ERROR(window.Validate());
+  return window;
+}
+
+void AppendPaths(const std::vector<xml::Path>& paths, const char* tag,
+                 xml::XmlNode* parent) {
+  for (const xml::Path& path : paths) {
+    parent->AddLeaf(tag, path.ToString());
+  }
+}
+
+Result<std::vector<xml::Path>> ParsePaths(const xml::XmlNode& parent,
+                                          const char* tag) {
+  std::vector<xml::Path> out;
+  for (const xml::XmlNode* node : parent.Children(tag)) {
+    SS_ASSIGN_OR_RETURN(xml::Path path, xml::Path::Parse(node->text()));
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PredicateToText(const AtomicPredicate& pred) {
+  return pred.ToString();
+}
+
+Result<AtomicPredicate> PredicateFromText(std::string_view text) {
+  std::vector<std::string> raw = Split(std::string(Trim(text)), ' ');
+  std::vector<std::string> tokens;
+  for (std::string& token : raw) {
+    if (!token.empty()) tokens.push_back(std::move(token));
+  }
+  if (tokens.size() != 3 && tokens.size() != 5) {
+    return Status::ParseError("malformed predicate '" + std::string(text) +
+                              "'");
+  }
+  if (Decimal::Parse(tokens[0]).ok()) {
+    return Status::ParseError("predicate lhs must be an element path, got "
+                              "constant '" +
+                              tokens[0] + "'");
+  }
+  SS_ASSIGN_OR_RETURN(xml::Path lhs, xml::Path::Parse(tokens[0]));
+  ComparisonOp op;
+  if (tokens[1] == "=") {
+    op = ComparisonOp::kEq;
+  } else if (tokens[1] == "<") {
+    op = ComparisonOp::kLt;
+  } else if (tokens[1] == "<=") {
+    op = ComparisonOp::kLe;
+  } else if (tokens[1] == ">") {
+    op = ComparisonOp::kGt;
+  } else if (tokens[1] == ">=") {
+    op = ComparisonOp::kGe;
+  } else {
+    return Status::ParseError("unknown comparison '" + tokens[1] + "'");
+  }
+  // rhs: a constant, or a path with an optional "± constant" tail.
+  Result<Decimal> constant = Decimal::Parse(tokens[2]);
+  if (constant.ok()) {
+    if (tokens.size() != 3) {
+      return Status::ParseError("trailing tokens after constant in '" +
+                                std::string(text) + "'");
+    }
+    return AtomicPredicate::Compare(std::move(lhs), op, *constant);
+  }
+  SS_ASSIGN_OR_RETURN(xml::Path rhs, xml::Path::Parse(tokens[2]));
+  Decimal offset;
+  if (tokens.size() == 5) {
+    SS_ASSIGN_OR_RETURN(offset, Decimal::Parse(tokens[4]));
+    if (tokens[3] == "-") {
+      offset = -offset;
+    } else if (tokens[3] != "+") {
+      return Status::ParseError("expected '+' or '-' in '" +
+                                std::string(text) + "'");
+    }
+  }
+  return AtomicPredicate::CompareVars(std::move(lhs), op, std::move(rhs),
+                                      offset);
+}
+
+std::unique_ptr<xml::XmlNode> PropertiesToXml(const Properties& props) {
+  auto root = std::make_unique<xml::XmlNode>("properties");
+  for (const InputStreamProperties& input : props.inputs()) {
+    xml::XmlNode* input_node = root->AddChild("input");
+    input_node->AddLeaf("stream", input.stream_name);
+    for (const Operator& op : input.operators) {
+      switch (KindOf(op)) {
+        case OperatorKind::kSelection: {
+          xml::XmlNode* node = input_node->AddChild("selection");
+          AppendPredicates(std::get<SelectionOp>(op).predicates, node);
+          break;
+        }
+        case OperatorKind::kProjection: {
+          const auto& projection = std::get<ProjectionOp>(op);
+          xml::XmlNode* node = input_node->AddChild("projection");
+          AppendPaths(projection.output, "out", node);
+          AppendPaths(projection.referenced, "ref", node);
+          break;
+        }
+        case OperatorKind::kAggregation: {
+          const auto& aggregation = std::get<AggregationOp>(op);
+          xml::XmlNode* node = input_node->AddChild("aggregation");
+          node->AddLeaf("fn", std::string(FuncName(aggregation.func)));
+          node->AddLeaf("element",
+                        aggregation.aggregated_element.ToString());
+          AppendWindow(aggregation.window, node);
+          xml::XmlNode* pre = node->AddChild("pre");
+          AppendPredicates(aggregation.pre_selection, pre);
+          xml::XmlNode* having = node->AddChild("having");
+          AppendPredicates(aggregation.result_filter, having);
+          break;
+        }
+        case OperatorKind::kUserDefined: {
+          const auto& udf = std::get<UserDefinedOp>(op);
+          xml::XmlNode* node = input_node->AddChild("udf");
+          node->AddLeaf("name", udf.name);
+          for (const std::string& param : udf.params) {
+            node->AddLeaf("param", param);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return root;
+}
+
+std::string PropertiesToText(const Properties& props) {
+  return xml::WriteCompact(*PropertiesToXml(props));
+}
+
+Result<Properties> PropertiesFromXml(const xml::XmlNode& node) {
+  if (node.name() != "properties") {
+    return Status::ParseError("expected <properties>, got <" + node.name() +
+                              ">");
+  }
+  Properties props;
+  for (const xml::XmlNode* input_node : node.Children("input")) {
+    const xml::XmlNode* stream = input_node->FirstChild("stream");
+    if (stream == nullptr) {
+      return Status::ParseError("<input> without <stream>");
+    }
+    InputStreamProperties& input = props.AddInput(stream->text());
+    for (const auto& child : input_node->children()) {
+      if (child->name() == "stream") continue;
+      if (child->name() == "selection") {
+        SS_ASSIGN_OR_RETURN(std::vector<AtomicPredicate> predicates,
+                            ParsePredicates(*child));
+        SS_ASSIGN_OR_RETURN(SelectionOp selection,
+                            SelectionOp::Create(std::move(predicates)));
+        input.operators.emplace_back(std::move(selection));
+      } else if (child->name() == "projection") {
+        ProjectionOp projection;
+        SS_ASSIGN_OR_RETURN(projection.output, ParsePaths(*child, "out"));
+        SS_ASSIGN_OR_RETURN(projection.referenced,
+                            ParsePaths(*child, "ref"));
+        input.operators.emplace_back(std::move(projection));
+      } else if (child->name() == "aggregation") {
+        const xml::XmlNode* fn = child->FirstChild("fn");
+        const xml::XmlNode* element = child->FirstChild("element");
+        const xml::XmlNode* window = child->FirstChild("window");
+        if (fn == nullptr || element == nullptr || window == nullptr) {
+          return Status::ParseError(
+              "<aggregation> missing fn/element/window");
+        }
+        SS_ASSIGN_OR_RETURN(AggregateFunc func, FuncFromName(fn->text()));
+        SS_ASSIGN_OR_RETURN(xml::Path aggregated,
+                            xml::Path::Parse(element->text()));
+        SS_ASSIGN_OR_RETURN(WindowSpec spec, ParseWindow(*window));
+        std::vector<AtomicPredicate> pre;
+        if (const xml::XmlNode* pre_node = child->FirstChild("pre")) {
+          SS_ASSIGN_OR_RETURN(pre, ParsePredicates(*pre_node));
+        }
+        std::vector<AtomicPredicate> having;
+        if (const xml::XmlNode* having_node =
+                child->FirstChild("having")) {
+          SS_ASSIGN_OR_RETURN(having, ParsePredicates(*having_node));
+        }
+        SS_ASSIGN_OR_RETURN(
+            AggregationOp aggregation,
+            AggregationOp::Create(func, std::move(aggregated),
+                                  std::move(spec), std::move(pre),
+                                  std::move(having)));
+        input.operators.emplace_back(std::move(aggregation));
+      } else if (child->name() == "udf") {
+        const xml::XmlNode* name = child->FirstChild("name");
+        if (name == nullptr) {
+          return Status::ParseError("<udf> without <name>");
+        }
+        UserDefinedOp udf;
+        udf.name = name->text();
+        for (const xml::XmlNode* param : child->Children("param")) {
+          udf.params.push_back(param->text());
+        }
+        input.operators.emplace_back(std::move(udf));
+      } else {
+        return Status::ParseError("unknown operator element <" +
+                                  child->name() + ">");
+      }
+    }
+  }
+  return props;
+}
+
+Result<Properties> PropertiesFromText(std::string_view text) {
+  SS_ASSIGN_OR_RETURN(std::unique_ptr<xml::XmlNode> node,
+                      xml::ParseDocument(text));
+  return PropertiesFromXml(*node);
+}
+
+}  // namespace streamshare::properties

@@ -1,0 +1,53 @@
+// Serialization of properties to and from XML. In StreamGlobe, super-peers
+// exchange stream and subscription metadata across the backbone; the
+// properties data structure (§3.1) is exactly that metadata, and this
+// module gives it a canonical wire format:
+//
+//   <properties>
+//     <input stream="...">          <!-- attributes become elements -->
+//       <selection><pred>ra &gt;= 120.0</pred>...</selection>
+//       <projection><out>coord/cel/ra</out>...<ref>...</ref></projection>
+//       <aggregation fn="avg" element="en"> ... </aggregation>
+//       <udf name="..."><param>...</param></udf>
+//     </input>
+//   </properties>
+//
+// Parsing is the exact inverse; round-tripping preserves semantic
+// equality (predicate graphs are rebuilt and re-minimized on parse).
+
+#ifndef STREAMSHARE_PROPERTIES_SERIALIZE_H_
+#define STREAMSHARE_PROPERTIES_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "properties/properties.h"
+#include "xml/xml_node.h"
+
+namespace streamshare::properties {
+
+/// Serializes properties into a <properties> element.
+std::unique_ptr<xml::XmlNode> PropertiesToXml(const Properties& props);
+
+/// Serializes to compact XML text.
+std::string PropertiesToText(const Properties& props);
+
+/// Parses a <properties> element. Fails on unknown operator elements,
+/// malformed predicates/windows, or unsatisfiable selections.
+Result<Properties> PropertiesFromXml(const xml::XmlNode& node);
+
+/// Parses from XML text.
+Result<Properties> PropertiesFromText(std::string_view text);
+
+/// Serializes a single atomic predicate as its textual form
+/// ("coord/cel/ra >= 120.0", "a <= b + 3").
+std::string PredicateToText(const predicate::AtomicPredicate& pred);
+
+/// Parses the textual form back.
+Result<predicate::AtomicPredicate> PredicateFromText(
+    std::string_view text);
+
+}  // namespace streamshare::properties
+
+#endif  // STREAMSHARE_PROPERTIES_SERIALIZE_H_

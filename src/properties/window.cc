@@ -1,0 +1,67 @@
+#include "properties/window.h"
+
+namespace streamshare::properties {
+
+Result<WindowSpec> WindowSpec::Count(int64_t size, int64_t step) {
+  WindowSpec spec;
+  spec.type = WindowType::kCount;
+  spec.size = Decimal::FromInt(size);
+  spec.step = Decimal::FromInt(step == 0 ? size : step);
+  SS_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
+Result<WindowSpec> WindowSpec::Diff(xml::Path reference, Decimal size,
+                                    Decimal step) {
+  WindowSpec spec;
+  spec.type = WindowType::kDiff;
+  spec.reference = std::move(reference);
+  spec.size = size;
+  spec.step = step == Decimal() ? size : step;
+  SS_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
+Status WindowSpec::Validate() const {
+  Decimal zero;
+  if (size <= zero) {
+    return Status::InvalidArgument("window size must be positive, got " +
+                                   size.ToString());
+  }
+  if (step <= zero) {
+    return Status::InvalidArgument("window step must be positive, got " +
+                                   step.ToString());
+  }
+  if (type == WindowType::kCount) {
+    if (size.scale() != 0 || step.scale() != 0) {
+      return Status::InvalidArgument(
+          "item-based windows require integral size and step");
+    }
+    if (!reference.empty()) {
+      return Status::InvalidArgument(
+          "item-based windows take no reference element");
+    }
+  } else {
+    if (reference.empty()) {
+      return Status::InvalidArgument(
+          "time-based windows require a reference element");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string WindowSpec::ToString() const {
+  std::string out = "|";
+  if (type == WindowType::kCount) {
+    out += "count " + size.ToString();
+  } else {
+    out += reference.ToString() + " diff " + size.ToString();
+  }
+  if (step != size) {
+    out += " step " + step.ToString();
+  }
+  out += "|";
+  return out;
+}
+
+}  // namespace streamshare::properties

@@ -1,0 +1,53 @@
+// Data window specifications (§2). An item-based window |count Δ step µ|
+// always holds Δ items and slides by µ items; a time-based window
+// |ref diff Δ step µ| holds items whose reference element value spans Δ
+// time units and slides by µ units. The step defaults to the window size
+// (tumbling window).
+
+#ifndef STREAMSHARE_PROPERTIES_WINDOW_H_
+#define STREAMSHARE_PROPERTIES_WINDOW_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/decimal.h"
+#include "common/status.h"
+#include "xml/path.h"
+
+namespace streamshare::properties {
+
+enum class WindowType {
+  kCount,  // item-based
+  kDiff,   // time-based over an ordered reference element
+};
+
+/// A window definition as stored in properties and executed by the engine.
+struct WindowSpec {
+  WindowType type = WindowType::kCount;
+  /// Reference element controlling a time-based window (e.g. det_time);
+  /// empty for item-based windows.
+  xml::Path reference;
+  /// Window size Δ: an item count for kCount, a value span for kDiff.
+  Decimal size;
+  /// Step µ: update interval. Defaults to size (tumbling).
+  Decimal step;
+
+  /// Item-based window. `step` of 0 means "default to size".
+  static Result<WindowSpec> Count(int64_t size, int64_t step = 0);
+  /// Time-based window over `reference`.
+  static Result<WindowSpec> Diff(xml::Path reference, Decimal size,
+                                 Decimal step = Decimal());
+
+  /// Validates invariants: positive size, positive step, count windows
+  /// have integral size/step, diff windows have a reference element.
+  Status Validate() const;
+
+  /// "|count 20 step 10|" / "|det_time diff 60 step 40|" form.
+  std::string ToString() const;
+
+  bool operator==(const WindowSpec& other) const = default;
+};
+
+}  // namespace streamshare::properties
+
+#endif  // STREAMSHARE_PROPERTIES_WINDOW_H_

@@ -1,0 +1,653 @@
+#include "sharing/subscribe.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace streamshare::sharing {
+
+using network::NodeId;
+using network::RegisteredStream;
+using properties::AggregationOp;
+using properties::InputStreamProperties;
+using wxquery::AnalyzedQuery;
+using wxquery::StreamBinding;
+
+bool Planner::PropsEquivalent(const InputStreamProperties& a,
+                              const InputStreamProperties& b) const {
+  matching::MatchOptions complete;
+  complete.edge_local_predicates = false;
+  return matching::MatchProperties(a, b, complete) &&
+         matching::MatchProperties(b, a, complete);
+}
+
+Result<std::vector<EngineOpSpec>> Planner::ResidualOps(
+    const RegisteredStream& reused, const StreamBinding& binding,
+    NodeId node, bool reused_is_equivalent) const {
+  std::vector<EngineOpSpec> ops;
+  if (reused_is_equivalent) return ops;  // content already exact
+
+  if (binding.aggregate.has_value()) {
+    const AggregationOp* reused_agg = reused.props.aggregation();
+    if (reused_agg != nullptr) {
+      // Reusing an existing aggregate stream: recombine windows if they
+      // differ (Fig. 5), re-filter if the subscription filters harder.
+      if (reused_agg->window != *binding.window) {
+        EngineOpSpec combine;
+        combine.kind = EngineOpSpec::Kind::kAggCombine;
+        combine.node = node;
+        combine.func = binding.aggregate->func;
+        combine.fine_window = reused_agg->window;
+        combine.window = *binding.window;
+        ops.push_back(std::move(combine));
+      }
+      if (!binding.result_filter.empty() &&
+          reused_agg->result_filter != binding.result_filter) {
+        EngineOpSpec filter;
+        filter.kind = EngineOpSpec::Kind::kAggFilter;
+        filter.node = node;
+        filter.func = binding.aggregate->func;
+        filter.predicates = binding.result_filter;
+        ops.push_back(std::move(filter));
+      }
+      return ops;
+    }
+    // Reusing a plain (original or filtered/projected) stream: the full
+    // aggregation chain runs at the reuse node.
+    if (!binding.item_predicates.empty()) {
+      EngineOpSpec select;
+      select.kind = EngineOpSpec::Kind::kSelect;
+      select.node = node;
+      select.predicates = binding.item_predicates;
+      ops.push_back(std::move(select));
+    }
+    EngineOpSpec agg;
+    agg.kind = EngineOpSpec::Kind::kWindowAgg;
+    agg.node = node;
+    agg.func = binding.aggregate->func;
+    agg.aggregated_element = binding.aggregate->path;
+    agg.window = *binding.window;
+    ops.push_back(std::move(agg));
+    if (!binding.result_filter.empty()) {
+      EngineOpSpec filter;
+      filter.kind = EngineOpSpec::Kind::kAggFilter;
+      filter.node = node;
+      filter.func = binding.aggregate->func;
+      filter.predicates = binding.result_filter;
+      ops.push_back(std::move(filter));
+    }
+    return ops;
+  }
+
+  if (binding.window.has_value()) {
+    // Window-contents query: the shared stream carries whole windows.
+    // From a window-contents stream only identical content is reusable
+    // (filtering inside materialized windows would change neither window
+    // boundaries nor membership consistently), so any non-equivalent
+    // window stream is unplannable — Subscribe skips such candidates.
+    for (const properties::Operator& op : reused.props.operators) {
+      if (std::holds_alternative<properties::UserDefinedOp>(op)) {
+        return Status::Unsupported(
+            "window-contents streams are reusable only when identical");
+      }
+    }
+    if (!binding.item_predicates.empty()) {
+      EngineOpSpec select;
+      select.kind = EngineOpSpec::Kind::kSelect;
+      select.node = node;
+      select.predicates = binding.item_predicates;
+      ops.push_back(std::move(select));
+    }
+    if (!binding.returns_whole_item) {
+      EngineOpSpec project;
+      project.kind = EngineOpSpec::Kind::kProject;
+      project.node = node;
+      project.output_paths = binding.referenced_paths;
+      ops.push_back(std::move(project));
+    }
+    EngineOpSpec contents;
+    contents.kind = EngineOpSpec::Kind::kWindowContents;
+    contents.node = node;
+    contents.window = *binding.window;
+    ops.push_back(std::move(contents));
+    return ops;
+  }
+
+  // Plain selection/projection query.
+  if (!binding.item_predicates.empty()) {
+    EngineOpSpec select;
+    select.kind = EngineOpSpec::Kind::kSelect;
+    select.node = node;
+    select.predicates = binding.item_predicates;
+    ops.push_back(std::move(select));
+  }
+  if (!binding.returns_whole_item) {
+    EngineOpSpec project;
+    project.kind = EngineOpSpec::Kind::kProject;
+    project.node = node;
+    project.output_paths = binding.referenced_paths;
+    ops.push_back(std::move(project));
+  }
+  return ops;
+}
+
+Status Planner::CostPlan(InputPlan* plan, const StreamBinding& binding,
+                         const RegisteredStream& reused,
+                         NodeId vq) const {
+  const cost::CostParams& params = cost_model_->params();
+
+  SS_ASSIGN_OR_RETURN(cost::StreamEstimate est_reused,
+                      cost_model_->EstimateStream(reused.props));
+
+  // Rate and final frequency of the stream this plan materializes.
+  cost::StreamEstimate est_final = est_reused;
+  if (plan->new_stream.has_value()) {
+    SS_ASSIGN_OR_RETURN(est_final,
+                        cost_model_->EstimateStream(plan->new_stream->props));
+    plan->new_stream->rate_kbps =
+        plan->ships_raw_stream ? est_reused.RateKbps()
+                               : est_final.RateKbps();
+  }
+
+  // Per-peer load added by the plan's operators, tracking the running
+  // input frequency along the chain. The accumulated selectivity feeds
+  // the time-window math: selection thins items but stretches the
+  // survivor increment, leaving the window-update frequency invariant.
+  std::map<NodeId, double> load_by_peer;
+  double freq = est_reused.frequency_hz;
+  double selectivity_so_far = 1.0;
+  for (const EngineOpSpec& op : plan->ops) {
+    double input_freq = freq;
+    switch (op.kind) {
+      case EngineOpSpec::Kind::kSelect: {
+        predicate::PredicateGraph graph =
+            predicate::PredicateGraph::Build(op.predicates);
+        SS_ASSIGN_OR_RETURN(
+            double selectivity,
+            cost_model_->SelectivityFor(binding.stream_name, graph));
+        freq *= selectivity;
+        selectivity_so_far *= selectivity;
+        break;
+      }
+      case EngineOpSpec::Kind::kProject:
+        break;
+      case EngineOpSpec::Kind::kWindowAgg: {
+        SS_ASSIGN_OR_RETURN(double divisor,
+                            cost_model_->WindowUpdateDivisor(
+                                binding.stream_name, op.window));
+        if (op.window.type == properties::WindowType::kDiff) {
+          divisor *= selectivity_so_far;
+        }
+        freq /= std::max(1e-9, divisor);
+        break;
+      }
+      case EngineOpSpec::Kind::kAggCombine:
+        freq *= op.fine_window.step.ToDouble() /
+                std::max(1e-9, op.window.step.ToDouble());
+        break;
+      case EngineOpSpec::Kind::kAggFilter:
+        break;
+      case EngineOpSpec::Kind::kWindowContents: {
+        SS_ASSIGN_OR_RETURN(double divisor,
+                            cost_model_->WindowUpdateDivisor(
+                                binding.stream_name, op.window));
+        if (op.window.type == properties::WindowType::kDiff) {
+          divisor *= selectivity_so_far;
+        }
+        freq /= std::max(1e-9, divisor);
+        break;
+      }
+    }
+    double pindex = topology_->peer(op.node).pindex;
+    load_by_peer[op.node] +=
+        BaseLoadFor(op.kind, params) * pindex * input_freq;
+  }
+
+  // The restructuring step always runs at the query's super-peer.
+  load_by_peer[vq] += params.bload_restructure *
+                      topology_->peer(vq).pindex *
+                      est_final.frequency_hz;
+
+  // Transport: forwarding work at each sending peer, bandwidth per link.
+  std::vector<cost::ResourceUsage> connection_usage;
+
+  // A widening plan additionally pays the rate delta of the widened
+  // stream on its whole existing route.
+  if (plan->widening.has_value()) {
+    const WideningSpec& widening = *plan->widening;
+    const network::RegisteredStream& target =
+        registry_->stream(widening.stream);
+    double delta_rate =
+        std::max(0.0, widening.new_rate_kbps - widening.old_rate_kbps);
+    double delta_freq =
+        std::max(0.0, widening.new_freq_hz - widening.old_freq_hz);
+    SS_ASSIGN_OR_RETURN(std::vector<network::LinkId> links,
+                        topology_->LinksOnPath(target.route));
+    for (size_t i = 0; i < links.size(); ++i) {
+      NodeId sender = target.route[i];
+      load_by_peer[sender] += params.bload_transport *
+                              topology_->peer(sender).pindex * delta_freq;
+      double capacity = topology_->link(links[i]).bandwidth_kbps;
+      cost::ResourceUsage usage;
+      usage.added = capacity > 0.0 ? delta_rate / capacity : 0.0;
+      usage.available = state_->AvailableBandwidth(links[i]);
+      connection_usage.push_back(usage);
+      plan->added_bandwidth_kbps.emplace_back(links[i], delta_rate);
+    }
+  }
+  if (plan->new_stream.has_value()) {
+    const NewStreamSpec& stream = *plan->new_stream;
+    double flow_freq = plan->ships_raw_stream ? est_reused.frequency_hz
+                                              : est_final.frequency_hz;
+    SS_ASSIGN_OR_RETURN(std::vector<network::LinkId> links,
+                        topology_->LinksOnPath(stream.route));
+    for (size_t i = 0; i < links.size(); ++i) {
+      NodeId sender = stream.route[i];
+      load_by_peer[sender] += params.bload_transport *
+                              topology_->peer(sender).pindex * flow_freq;
+      double capacity = topology_->link(links[i]).bandwidth_kbps;
+      cost::ResourceUsage usage;
+      usage.added = capacity > 0.0 ? stream.rate_kbps / capacity : 0.0;
+      usage.available = state_->AvailableBandwidth(links[i]);
+      connection_usage.push_back(usage);
+      plan->added_bandwidth_kbps.emplace_back(links[i], stream.rate_kbps);
+    }
+  }
+
+  std::vector<cost::ResourceUsage> peer_usage;
+  for (const auto& [peer, load] : load_by_peer) {
+    double capacity = topology_->peer(peer).max_load;
+    cost::ResourceUsage usage;
+    usage.added = capacity > 0.0 ? load / capacity : 0.0;
+    usage.available = state_->AvailableLoad(peer);
+    peer_usage.push_back(usage);
+    plan->added_load.emplace_back(peer, load);
+  }
+
+  plan->feasible = true;
+  for (const cost::ResourceUsage& usage : connection_usage) {
+    if (usage.added > usage.available + 1e-9) plan->feasible = false;
+  }
+  for (const cost::ResourceUsage& usage : peer_usage) {
+    if (usage.added > usage.available + 1e-9) plan->feasible = false;
+  }
+
+  // End-to-end delivery latency: source → reused stream's first node →
+  // tap node → query super-peer.
+  {
+    double latency = reused.source_latency_ms;
+    auto tap_it = std::find(reused.route.begin(), reused.route.end(),
+                            plan->reuse_node);
+    if (tap_it != reused.route.end()) {
+      std::vector<NodeId> prefix(reused.route.begin(), tap_it + 1);
+      SS_ASSIGN_OR_RETURN(double prefix_latency,
+                          topology_->PathLatencyMs(prefix));
+      latency += prefix_latency;
+    }
+    if (plan->new_stream.has_value()) {
+      SS_ASSIGN_OR_RETURN(
+          double route_latency,
+          topology_->PathLatencyMs(plan->new_stream->route));
+      latency += route_latency;
+    }
+    plan->estimated_latency_ms = latency;
+  }
+
+  plan->cost = cost::PlanCost(connection_usage, peer_usage, params.gamma) +
+               params.latency_weight * plan->estimated_latency_ms;
+  return Status::Ok();
+}
+
+Result<InputPlan> Planner::GenerateSharedPlan(
+    const RegisteredStream& reused, NodeId v, NodeId vq,
+    const StreamBinding& binding,
+    const InputStreamProperties& sub_props) const {
+  return BuildPlan(reused, v, vq, binding, sub_props, std::nullopt);
+}
+
+Result<InputPlan> Planner::BuildPlan(
+    const RegisteredStream& reused, NodeId v, NodeId vq,
+    const StreamBinding& binding, const InputStreamProperties& sub_props,
+    std::optional<WideningSpec> widening) const {
+  InputPlan plan;
+  plan.input_stream_name = binding.stream_name;
+  plan.reused_stream = reused.id;
+  plan.reuse_node = v;
+  plan.widening = std::move(widening);
+
+  bool equivalent = PropsEquivalent(reused.props, sub_props);
+  SS_ASSIGN_OR_RETURN(plan.ops,
+                      ResidualOps(reused, binding, v, equivalent));
+
+  // With widening enabled, every plain query re-enforces its own
+  // predicates right before restructuring; upstream streams may then be
+  // relaxed at any time without changing any subscriber's results.
+  if (options_.enable_widening && !binding.aggregate.has_value() &&
+      !binding.window.has_value()) {
+    if (!binding.item_predicates.empty()) {
+      EngineOpSpec select;
+      select.kind = EngineOpSpec::Kind::kSelect;
+      select.node = vq;
+      select.compensation = true;
+      select.predicates = binding.item_predicates;
+      plan.ops.push_back(std::move(select));
+    }
+    if (!binding.returns_whole_item) {
+      EngineOpSpec project;
+      project.kind = EngineOpSpec::Kind::kProject;
+      project.node = vq;
+      project.compensation = true;
+      project.output_paths = binding.referenced_paths;
+      plan.ops.push_back(std::move(project));
+    }
+  }
+
+  if (!(equivalent && v == vq)) {
+    NewStreamSpec stream;
+    stream.props = sub_props;
+    stream.source_node = v;
+    stream.target_node = vq;
+    SS_ASSIGN_OR_RETURN(stream.route, topology_->ShortestPath(v, vq));
+    plan.new_stream = std::move(stream);
+  }
+  SS_RETURN_IF_ERROR(CostPlan(&plan, binding, reused, vq));
+  return plan;
+}
+
+Result<InputPlan> Planner::GenerateWideningPlan(
+    const RegisteredStream& narrow, NodeId v, NodeId vq,
+    const StreamBinding& binding,
+    const InputStreamProperties& sub_props) const {
+  if (!options_.enable_widening) {
+    return Status::Unsupported("stream widening is disabled");
+  }
+  if (narrow.IsOriginal() || narrow.upstream < 0) {
+    return Status::Unsupported("original streams cannot be widened");
+  }
+  const properties::SelectionOp* narrow_selection = nullptr;
+  const properties::ProjectionOp* narrow_projection = nullptr;
+  for (const properties::Operator& op : narrow.props.operators) {
+    switch (properties::KindOf(op)) {
+      case properties::OperatorKind::kSelection:
+        narrow_selection = &std::get<properties::SelectionOp>(op);
+        break;
+      case properties::OperatorKind::kProjection:
+        narrow_projection = &std::get<properties::ProjectionOp>(op);
+        break;
+      case properties::OperatorKind::kAggregation:
+      case properties::OperatorKind::kUserDefined:
+        return Status::Unsupported(
+            "aggregate and window streams are not widenable");
+    }
+  }
+
+  WideningSpec spec;
+  spec.stream = narrow.id;
+  spec.widened_props.stream_name = narrow.props.stream_name;
+
+  // Widened selection: the DBM join of the stream's and the
+  // subscription's predicates — or no selection at all if the
+  // subscription filters nothing.
+  if (narrow_selection != nullptr) {
+    if (!binding.item_predicates.empty()) {
+      predicate::PredicateGraph sub_graph =
+          predicate::PredicateGraph::Build(binding.item_predicates);
+      if (!sub_graph.IsSatisfiable()) {
+        return Status::Unsatisfiable("subscription predicates");
+      }
+      predicate::PredicateGraph widened_graph =
+          predicate::PredicateGraph::UnionOf(narrow_selection->graph,
+                                             sub_graph);
+      spec.widened_selection = widened_graph.ToPredicates();
+    }
+    if (!spec.widened_selection.empty()) {
+      SS_ASSIGN_OR_RETURN(
+          properties::SelectionOp widened_sel,
+          properties::SelectionOp::Create(spec.widened_selection));
+      spec.widened_props.operators.emplace_back(std::move(widened_sel));
+    }
+  }
+
+  // Widened projection: the union of kept paths; a whole-item consumer
+  // widens the projection to the empty path (keep everything).
+  if (narrow_projection != nullptr) {
+    std::vector<xml::Path> merged = narrow_projection->output;
+    if (binding.returns_whole_item) {
+      merged = {xml::Path()};
+    } else {
+      for (const xml::Path& path : binding.referenced_paths) {
+        merged.push_back(path);
+      }
+      // Prune paths covered by another (prefix subsumption).
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()),
+                   merged.end());
+      std::vector<xml::Path> pruned;
+      for (const xml::Path& path : merged) {
+        bool covered = false;
+        for (const xml::Path& other : merged) {
+          if (!(other == path) && other.IsPrefixOf(path)) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) pruned.push_back(path);
+      }
+      merged = std::move(pruned);
+    }
+    spec.widened_output = merged;
+    properties::ProjectionOp widened_proj;
+    widened_proj.output = merged;
+    widened_proj.referenced = merged;
+    spec.widened_props.operators.emplace_back(std::move(widened_proj));
+  }
+
+  // The widened stream must still be derivable from its upstream, and
+  // must actually cover the subscription (sanity of the construction).
+  matching::MatchOptions complete;
+  complete.edge_local_predicates = false;
+  const RegisteredStream& upstream = registry_->stream(narrow.upstream);
+  if (!matching::MatchProperties(upstream.props, spec.widened_props,
+                                 complete)) {
+    return Status::Unsupported(
+        "upstream stream no longer covers the widened content");
+  }
+  if (!matching::MatchProperties(spec.widened_props, sub_props,
+                                 complete)) {
+    return Status::Unsupported(
+        "widening cannot make this stream cover the subscription");
+  }
+
+  SS_ASSIGN_OR_RETURN(cost::StreamEstimate old_estimate,
+                      cost_model_->EstimateStream(narrow.props));
+  SS_ASSIGN_OR_RETURN(cost::StreamEstimate new_estimate,
+                      cost_model_->EstimateStream(spec.widened_props));
+  spec.old_rate_kbps = old_estimate.RateKbps();
+  spec.new_rate_kbps = new_estimate.RateKbps();
+  spec.old_freq_hz = old_estimate.frequency_hz;
+  spec.new_freq_hz = new_estimate.frequency_hz;
+
+  // Plan against the stream as it will look after widening.
+  RegisteredStream widened = narrow;
+  widened.props = spec.widened_props;
+  widened.rate_kbps = spec.new_rate_kbps;
+  return BuildPlan(widened, v, vq, binding, sub_props, std::move(spec));
+}
+
+Result<EvaluationPlan> Planner::DataShipping(const AnalyzedQuery& query,
+                                             NodeId vq) const {
+  EvaluationPlan plan;
+  for (size_t i = 0; i < query.bindings.size(); ++i) {
+    const StreamBinding& binding = query.bindings[i];
+    const RegisteredStream* original =
+        registry_->FindOriginal(binding.stream_name);
+    if (original == nullptr) {
+      return Status::NotFound("query references unregistered stream '" +
+                              binding.stream_name + "'");
+    }
+    InputPlan input;
+    input.input_stream_name = binding.stream_name;
+    input.reused_stream = original->id;
+    input.reuse_node = original->source_node;
+    input.ships_raw_stream = true;
+    SS_ASSIGN_OR_RETURN(
+        input.ops,
+        ResidualOps(*original, binding, vq, /*reused_is_equivalent=*/false));
+    NewStreamSpec stream;
+    stream.props = original->props;  // the raw stream is what flows
+    stream.source_node = original->source_node;
+    stream.target_node = vq;
+    SS_ASSIGN_OR_RETURN(stream.route,
+                        topology_->ShortestPath(stream.source_node, vq));
+    input.new_stream = std::move(stream);
+    SS_RETURN_IF_ERROR(CostPlan(&input, binding, *original, vq));
+    plan.inputs.push_back(std::move(input));
+  }
+  return plan;
+}
+
+Result<EvaluationPlan> Planner::QueryShipping(const AnalyzedQuery& query,
+                                              NodeId vq) const {
+  EvaluationPlan plan;
+  for (size_t i = 0; i < query.bindings.size(); ++i) {
+    const StreamBinding& binding = query.bindings[i];
+    const RegisteredStream* original =
+        registry_->FindOriginal(binding.stream_name);
+    if (original == nullptr) {
+      return Status::NotFound("query references unregistered stream '" +
+                              binding.stream_name + "'");
+    }
+    SS_ASSIGN_OR_RETURN(
+        InputPlan input,
+        GenerateSharedPlan(*original, original->source_node, vq, binding,
+                           query.props.inputs()[i]));
+    plan.inputs.push_back(std::move(input));
+  }
+  return plan;
+}
+
+Result<EvaluationPlan> Planner::Subscribe(
+    const AnalyzedQuery& query, NodeId vq, SearchStats* stats,
+    const std::set<NodeId>* allowed_nodes) const {
+  auto allowed = [&](NodeId node) {
+    return allowed_nodes == nullptr || allowed_nodes->count(node) != 0;
+  };
+  SearchStats local_stats;
+  EvaluationPlan plan;  // line 1: P ← ∅
+  // Line 2: iterate over the subscription's input streams.
+  for (size_t i = 0; i < query.bindings.size(); ++i) {
+    const StreamBinding& binding = query.bindings[i];
+    const InputStreamProperties& sub_props = query.props.inputs()[i];
+    const RegisteredStream* original =
+        registry_->FindOriginal(binding.stream_name);
+    if (original == nullptr) {
+      return Status::NotFound("query references unregistered stream '" +
+                              binding.stream_name + "'");
+    }
+
+    // Lines 3–6: initial plan — the original input stream routed to vq
+    // via a shortest path, all evaluation at the target peer.
+    NodeId vb = original->target_node;
+    InputPlan best;
+    {
+      InputPlan initial;
+      initial.input_stream_name = binding.stream_name;
+      initial.reused_stream = original->id;
+      initial.reuse_node = vb;
+      initial.ships_raw_stream = true;
+      SS_ASSIGN_OR_RETURN(initial.ops,
+                          ResidualOps(*original, binding, vq,
+                                      /*reused_is_equivalent=*/false));
+      NewStreamSpec stream;
+      stream.props = original->props;
+      stream.source_node = vb;
+      stream.target_node = vq;
+      SS_ASSIGN_OR_RETURN(stream.route, topology_->ShortestPath(vb, vq));
+      initial.new_stream = std::move(stream);
+      SS_RETURN_IF_ERROR(CostPlan(&initial, binding, *original, vq));
+      best = std::move(initial);
+      ++local_stats.plans_generated;
+    }
+
+    // A candidate replaces the incumbent if it is strictly better by C —
+    // preferring feasible plans when configured (the overload test).
+    auto better = [&](const InputPlan& candidate, const InputPlan& incumbent) {
+      if (options_.prefer_feasible &&
+          candidate.feasible != incumbent.feasible) {
+        return candidate.feasible;
+      }
+      return candidate.cost < incumbent.cost;
+    };
+
+    // Lines 7–25: breadth-first search from the input stream's node.
+    std::deque<NodeId> lv{vb};
+    std::set<NodeId> marked;
+    std::set<NodeId> enqueued{vb};
+    while (!lv.empty()) {
+      NodeId v = lv.front();
+      lv.pop_front();
+      if (marked.count(v) != 0) continue;
+      marked.insert(v);
+      ++local_stats.nodes_visited;
+
+      std::vector<const RegisteredStream*> candidates =
+          registry_->AvailableAt(v, binding.stream_name);
+      for (const RegisteredStream* p : candidates) {
+        ++local_stats.candidates_examined;
+        if (!matching::MatchProperties(p->props, sub_props,
+                                       options_.match_options)) {
+          // Non-matching streams do not extend the search — but with
+          // widening enabled, a too-narrow stream may still be usable
+          // after relaxing its operators (paper §6).
+          if (options_.enable_widening && p->widenable) {
+            Result<InputPlan> widened =
+                GenerateWideningPlan(*p, v, vq, binding, sub_props);
+            if (widened.ok()) {
+              ++local_stats.plans_generated;
+              if (better(*widened, best)) best = std::move(*widened);
+            } else if (!widened.status().IsUnsupported()) {
+              return widened.status();
+            }
+          }
+          continue;
+        }
+        ++local_stats.candidates_matched;
+        // The stream is available along its whole route; explore it.
+        for (NodeId n : p->route) {
+          if (allowed(n) && marked.count(n) == 0 &&
+              enqueued.count(n) == 0) {
+            lv.push_back(n);
+            enqueued.insert(n);
+          }
+        }
+        Result<InputPlan> candidate =
+            GenerateSharedPlan(*p, v, vq, binding, sub_props);
+        if (!candidate.ok()) {
+          // A matching stream can still be unplannable (e.g. a
+          // non-identical window-contents stream); skip it.
+          if (candidate.status().IsUnsupported()) continue;
+          return candidate.status();
+        }
+        ++local_stats.plans_generated;
+        if (better(*candidate, best)) best = std::move(*candidate);
+      }
+
+      if (!options_.prune_search) {
+        // Ablation A1: unpruned BFS walks all topology neighbors too.
+        for (NodeId n : topology_->Neighbors(v)) {
+          if (allowed(n) && marked.count(n) == 0 &&
+              enqueued.count(n) == 0) {
+            lv.push_back(n);
+            enqueued.insert(n);
+          }
+        }
+      }
+    }
+    plan.inputs.push_back(std::move(best));
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return plan;
+}
+
+}  // namespace streamshare::sharing

@@ -1,0 +1,145 @@
+// Algorithm 1 (Subscribe) and plan generation. The Planner produces
+// evaluation plans under the three strategies the paper evaluates:
+//
+//   * data shipping   — route the raw input stream to the query's node,
+//                       evaluate everything there;
+//   * query shipping  — evaluate everything at the stream's source node,
+//                       route the result;
+//   * stream sharing  — Algorithm 1: breadth-first search over the network
+//                       for reusable (possibly preprocessed) streams,
+//                       properties matching, cost-based plan choice,
+//                       residual operators installed at the reuse node.
+//
+// One deviation from the paper's pseudo-code, documented in DESIGN.md: when
+// a stream matches, we enqueue every node on its route (not only its target
+// node) into LV — a stream is available along its whole route, and this is
+// what lets Query 2 tap Query 1's stream at the intermediate super-peer SP5
+// in the paper's own running example.
+
+#ifndef STREAMSHARE_SHARING_SUBSCRIBE_H_
+#define STREAMSHARE_SHARING_SUBSCRIBE_H_
+
+#include <set>
+
+#include "cost/cost_model.h"
+#include "matching/match_properties.h"
+#include "network/state.h"
+#include "network/stream_registry.h"
+#include "network/topology.h"
+#include "sharing/plan.h"
+#include "wxquery/analyzer.h"
+
+namespace streamshare::sharing {
+
+struct PlannerOptions {
+  matching::MatchOptions match_options;
+  /// Algorithm 1's search pruning: only nodes reached via matching streams
+  /// are explored. When false, the BFS also walks topology neighbors
+  /// (ablation A1).
+  bool prune_search = true;
+  /// When true, plans that overload a peer or connection are only chosen
+  /// if no feasible plan exists (and the system will reject the query).
+  bool prefer_feasible = true;
+  /// Stream widening (paper §6, future work): when a candidate stream
+  /// does not contain everything a new subscription needs, consider
+  /// relaxing the deployed stream's selection/projection so that it does,
+  /// paying the bandwidth delta on its existing route. Every plain query
+  /// then carries compensation operators in front of its restructuring
+  /// step, so widening upstream never changes delivered results. Must be
+  /// chosen for the lifetime of a system, not toggled per query.
+  bool enable_widening = false;
+};
+
+/// Search-effort counters of one Subscribe run.
+struct SearchStats {
+  int nodes_visited = 0;
+  int candidates_examined = 0;
+  int candidates_matched = 0;
+  int plans_generated = 0;
+};
+
+class Planner {
+ public:
+  Planner(const network::Topology* topology,
+          const network::NetworkState* state,
+          const network::StreamRegistry* registry,
+          const cost::CostModel* cost_model, PlannerOptions options)
+      : topology_(topology),
+        state_(state),
+        registry_(registry),
+        cost_model_(cost_model),
+        options_(options) {}
+
+  const network::StreamRegistry& registry() const { return *registry_; }
+
+  /// Algorithm 1. `vq` is the super-peer the query registers at. When
+  /// `allowed_nodes` is non-null the breadth-first search only visits
+  /// those peers (the hierarchical-subnet optimization restricts the
+  /// search to the query's subnet plus the input's source); the initial
+  /// plan — original stream to vq — is always available regardless.
+  Result<EvaluationPlan> Subscribe(
+      const wxquery::AnalyzedQuery& query, network::NodeId vq,
+      SearchStats* stats = nullptr,
+      const std::set<network::NodeId>* allowed_nodes = nullptr) const;
+
+  /// Baseline: raw stream to vq, all evaluation at vq.
+  Result<EvaluationPlan> DataShipping(const wxquery::AnalyzedQuery& query,
+                                      network::NodeId vq) const;
+
+  /// Baseline: all evaluation at the source super-peer, result to vq.
+  Result<EvaluationPlan> QueryShipping(const wxquery::AnalyzedQuery& query,
+                                       network::NodeId vq) const;
+
+  /// generatePlan(p_b, v_b, v_q): plan reusing stream `reused` tapped at
+  /// `v`, residual operators at `v`, result routed to `vq`.
+  Result<InputPlan> GenerateSharedPlan(
+      const network::RegisteredStream& reused, network::NodeId v,
+      network::NodeId vq, const wxquery::StreamBinding& binding,
+      const properties::InputStreamProperties& sub_props) const;
+
+  /// Plan that first widens `narrow` (a deployed stream that does NOT
+  /// match the subscription) so that it covers the subscription's needs,
+  /// then reuses it at `v`. Fails with kUnsupported when the stream is
+  /// not widenable (aggregate/window streams, originals, or an upstream
+  /// that no longer covers the widened content).
+  Result<InputPlan> GenerateWideningPlan(
+      const network::RegisteredStream& narrow, network::NodeId v,
+      network::NodeId vq, const wxquery::StreamBinding& binding,
+      const properties::InputStreamProperties& sub_props) const;
+
+ private:
+  Result<InputPlan> BuildPlan(const network::RegisteredStream& reused,
+                              network::NodeId v, network::NodeId vq,
+                              const wxquery::StreamBinding& binding,
+                              const properties::InputStreamProperties&
+                                  sub_props,
+                              std::optional<WideningSpec> widening) const;
+  /// Builds the residual operator chain that turns the reused stream into
+  /// the subscription's canonical stream; ops are placed at `node`.
+  Result<std::vector<EngineOpSpec>> ResidualOps(
+      const network::RegisteredStream& reused,
+      const wxquery::StreamBinding& binding, network::NodeId node,
+      bool reused_is_equivalent) const;
+
+  /// Fills cost / feasibility / resource-delta fields of a plan whose ops
+  /// and new_stream are set. `flow_rate_kbps` is the rate of the stream on
+  /// the plan's route.
+  Status CostPlan(InputPlan* plan, const wxquery::StreamBinding& binding,
+                  const network::RegisteredStream& reused,
+                  network::NodeId vq) const;
+
+  /// True if the reused stream's content is already exactly what the
+  /// subscription's canonical stream would be.
+  bool PropsEquivalent(const properties::InputStreamProperties& a,
+                       const properties::InputStreamProperties& b) const;
+
+  const network::Topology* topology_;
+  const network::NetworkState* state_;
+  const network::StreamRegistry* registry_;
+  const cost::CostModel* cost_model_;
+  PlannerOptions options_;
+};
+
+}  // namespace streamshare::sharing
+
+#endif  // STREAMSHARE_SHARING_SUBSCRIBE_H_

@@ -1,0 +1,592 @@
+#include "sharing/system.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "engine/combine.h"
+#include "engine/restructure.h"
+#include "engine/window_agg.h"
+
+namespace streamshare::sharing {
+
+using network::NodeId;
+using network::RegisteredStream;
+using network::StreamId;
+
+std::string_view StrategyToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kDataShipping:
+      return "data shipping";
+    case Strategy::kQueryShipping:
+      return "query shipping";
+    case Strategy::kStreamSharing:
+      return "stream sharing";
+  }
+  return "?";
+}
+
+StreamShareSystem::StreamShareSystem(network::Topology topology,
+                                     SystemConfig config)
+    : topology_(std::move(topology)),
+      config_(config),
+      state_(&topology_),
+      metrics_(topology_) {
+  cost_model_ =
+      std::make_unique<cost::CostModel>(&statistics_, config_.cost_params);
+  planner_ = std::make_unique<Planner>(&topology_, &state_, &registry_,
+                                       cost_model_.get(), config_.planner);
+  if (!config_.subnet_assignment.empty()) {
+    Result<network::SubnetPartition> partition =
+        network::SubnetPartition::Create(&topology_,
+                                         config_.subnet_assignment);
+    if (partition.ok()) {
+      partition_ = std::make_unique<network::SubnetPartition>(
+          std::move(partition).value());
+      hierarchical_planner_ = std::make_unique<HierarchicalPlanner>(
+          planner_.get(), partition_.get(), config_.hierarchy);
+    }
+    // An invalid assignment silently falls back to flat planning; the
+    // constructor cannot report errors, and flat plans are always valid.
+  }
+}
+
+Status StreamShareSystem::RegisterStream(
+    const std::string& name,
+    std::shared_ptr<const xml::StreamSchema> schema,
+    double item_frequency_hz, NodeId source) {
+  return RegisterStream(
+      name, cost::StreamStatistics(std::move(schema), item_frequency_hz),
+      source);
+}
+
+Status StreamShareSystem::RegisterStream(
+    const std::string& name, cost::StreamStatistics statistics,
+    NodeId source) {
+  if (registry_.FindOriginal(name) != nullptr) {
+    return Status::AlreadyExists("stream '" + name +
+                                 "' is already registered");
+  }
+  if (source < 0 || source >= static_cast<NodeId>(topology_.peer_count())) {
+    return Status::InvalidArgument("source peer out of range");
+  }
+  statistics_.Register(name, std::move(statistics));
+
+  RegisteredStream stream;
+  stream.variant_of = name;
+  stream.props.stream_name = name;
+  stream.source_node = source;
+  stream.target_node = source;
+  stream.route = {source};
+  SS_ASSIGN_OR_RETURN(cost::StreamEstimate estimate,
+                      cost_model_->EstimateStream(stream.props));
+  stream.rate_kbps = estimate.RateKbps();
+  StreamId id = registry_.Register(std::move(stream));
+
+  engine::Operator* entry =
+      graph_.Add<engine::PassOp>("source:" + name);
+  taps_[id].taps = {entry};
+  stream_entries_[name] = entry;
+  return Status::Ok();
+}
+
+Status StreamShareSystem::SetRange(const std::string& stream,
+                                   const xml::Path& path,
+                                   cost::ValueRange range) {
+  // StatisticsRegistry stores by value; mutate through a fresh copy.
+  const cost::StreamStatistics* stats = statistics_.Find(stream);
+  if (stats == nullptr) {
+    return Status::NotFound("stream '" + stream + "' is not registered");
+  }
+  cost::StreamStatistics updated = *stats;
+  updated.SetRange(path, range);
+  statistics_.Register(stream, std::move(updated));
+  return Status::Ok();
+}
+
+Status StreamShareSystem::SetAvgIncrement(const std::string& stream,
+                                          const xml::Path& path,
+                                          double increment) {
+  const cost::StreamStatistics* stats = statistics_.Find(stream);
+  if (stats == nullptr) {
+    return Status::NotFound("stream '" + stream + "' is not registered");
+  }
+  cost::StreamStatistics updated = *stats;
+  updated.SetAvgIncrement(path, increment);
+  statistics_.Register(stream, std::move(updated));
+  return Status::Ok();
+}
+
+Result<RegistrationResult> StreamShareSystem::RegisterQuery(
+    std::string_view query_text, NodeId vq, Strategy strategy) {
+  if (vq < 0 || vq >= static_cast<NodeId>(topology_.peer_count())) {
+    return Status::InvalidArgument("query target peer out of range");
+  }
+  auto start = std::chrono::steady_clock::now();
+
+  RegistrationResult result;
+  result.query_id = static_cast<int>(registrations_.size());
+
+  SS_ASSIGN_OR_RETURN(wxquery::AnalyzedQuery analyzed,
+                      wxquery::ParseAndAnalyze(query_text));
+  auto query = std::make_shared<const wxquery::AnalyzedQuery>(
+      std::move(analyzed));
+
+  Result<EvaluationPlan> plan = [&]() -> Result<EvaluationPlan> {
+    switch (strategy) {
+      case Strategy::kDataShipping:
+        return planner_->DataShipping(*query, vq);
+      case Strategy::kQueryShipping:
+        return planner_->QueryShipping(*query, vq);
+      case Strategy::kStreamSharing:
+        if (hierarchical_planner_ != nullptr) {
+          return hierarchical_planner_->Subscribe(*query, vq,
+                                                  &result.search);
+        }
+        return planner_->Subscribe(*query, vq, &result.search);
+    }
+    return Status::Internal("unknown strategy");
+  }();
+  SS_RETURN_IF_ERROR(plan.status());
+  result.plan = std::move(plan).value();
+
+  if (config_.enforce_limits && !result.plan.Feasible()) {
+    result.accepted = false;
+    result.reject_reason =
+        "no evaluation plan without overload on peers or connections";
+    deployments_.emplace_back();  // inactive placeholder
+  } else {
+    SS_RETURN_IF_ERROR(
+        DeployPlan(result.plan, query, vq, strategy, &result));
+    result.accepted = true;
+    queries_.push_back(query);
+  }
+
+  auto end = std::chrono::steady_clock::now();
+  result.registration_micros =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  registrations_.push_back(result);
+  return result;
+}
+
+bool StreamShareSystem::IsActive(int query_id) const {
+  return query_id >= 0 &&
+         static_cast<size_t>(query_id) < deployments_.size() &&
+         deployments_[query_id].active;
+}
+
+Status StreamShareSystem::UnregisterQuery(int query_id) {
+  if (!IsActive(query_id)) {
+    return Status::NotFound("query " + std::to_string(query_id) +
+                            " is not an active subscription");
+  }
+  QueryDeployment& deployment = deployments_[query_id];
+  if (deployment.widened_a_stream) {
+    return Status::InvalidArgument(
+        "query " + std::to_string(query_id) +
+        " widened a shared stream; widening is irreversible while later "
+        "subscriptions may rely on the widened content");
+  }
+  // The query's own streams must have no remaining active consumers.
+  for (const QueryDeployment::InputWiring& wiring : deployment.inputs) {
+    if (wiring.registered_stream < 0) continue;
+    for (size_t other = 0; other < deployments_.size(); ++other) {
+      if (static_cast<int>(other) == query_id ||
+          !deployments_[other].active) {
+        continue;
+      }
+      for (const QueryDeployment::InputWiring& consumer :
+           deployments_[other].inputs) {
+        if (consumer.reused_stream == wiring.registered_stream) {
+          return Status::InvalidArgument(
+              "stream #" + std::to_string(wiring.registered_stream) +
+              " registered by query " + std::to_string(query_id) +
+              " is still consumed by query " + std::to_string(other) +
+              "; deregister consumers first");
+        }
+      }
+    }
+  }
+
+  // Detach the private chains from the shared taps; the streams this
+  // query registered stop flowing and retire from the registry.
+  for (const QueryDeployment::InputWiring& wiring : deployment.inputs) {
+    if (wiring.tap != nullptr && wiring.first != nullptr) {
+      wiring.tap->RemoveDownstream(wiring.first);
+    }
+    if (wiring.registered_stream >= 0) {
+      registry_.mutable_stream(wiring.registered_stream).retired = true;
+      taps_.erase(wiring.registered_stream);
+    }
+  }
+  // Release the plan's committed resources.
+  const EvaluationPlan& plan = registrations_[query_id].plan;
+  for (const InputPlan& input : plan.inputs) {
+    for (const auto& [link, kbps] : input.added_bandwidth_kbps) {
+      state_.AddBandwidth(link, -kbps);
+    }
+    for (const auto& [peer, load] : input.added_load) {
+      state_.AddLoad(peer, -load);
+    }
+  }
+  deployment.active = false;
+  return Status::Ok();
+}
+
+Status StreamShareSystem::WireInput(
+    const InputPlan& input,
+    std::shared_ptr<const wxquery::AnalyzedQuery> query, NodeId vq,
+    Strategy strategy, int query_id, engine::Operator* terminal,
+    QueryDeployment::InputWiring* wiring) {
+  const cost::CostParams& params = cost_model_->params();
+  (void)query;
+  (void)vq;
+  wiring->reused_stream = input.reused_stream;
+
+  // Stream widening: relax the deployed producer operators and update the
+  // registry before the new subscription attaches. Consumers are immune
+  // by construction (their residual/compensation operators re-filter).
+  if (input.widening.has_value()) {
+    const WideningSpec& widening = *input.widening;
+    DeployedStream& deployed = taps_[widening.stream];
+    if (deployed.select != nullptr) {
+      deployed.select->set_predicates(widening.widened_selection);
+    }
+    if (deployed.project != nullptr && !widening.widened_output.empty()) {
+      deployed.project->set_output_paths(widening.widened_output);
+    }
+    RegisteredStream& record = registry_.mutable_stream(widening.stream);
+    record.props = widening.widened_props;
+    record.rate_kbps = widening.new_rate_kbps;
+  }
+
+  // Locate the tap operator where the reused stream is intercepted.
+  const RegisteredStream& reused = registry_.stream(input.reused_stream);
+  auto route_it = std::find(reused.route.begin(), reused.route.end(),
+                            input.reuse_node);
+  if (route_it == reused.route.end()) {
+    return Status::Internal("reuse node is not on the reused stream's "
+                            "route");
+  }
+  size_t tap_index =
+      static_cast<size_t>(route_it - reused.route.begin());
+  engine::Operator* const tap =
+      taps_[input.reused_stream].taps[tap_index];
+  engine::Operator* current = tap;
+  wiring->tap = tap;
+
+  // Records the head of this query's private chain — the operator the tap
+  // must shed on deregistration.
+  auto attach = [&](engine::Operator* op) {
+    if (current == tap && wiring->first == nullptr) wiring->first = op;
+    current->AddDownstream(op);
+    current = op;
+  };
+
+  auto make_engine_op =
+      [&](const EngineOpSpec& spec) -> Result<engine::Operator*> {
+    engine::Operator* op = nullptr;
+    std::string label =
+        "q" + std::to_string(query_id) + ":" + spec.ToString();
+    switch (spec.kind) {
+      case EngineOpSpec::Kind::kSelect:
+        op = graph_.Add<engine::SelectOp>(label, spec.predicates);
+        break;
+      case EngineOpSpec::Kind::kProject:
+        op = graph_.Add<engine::ProjectOp>(label, spec.output_paths);
+        break;
+      case EngineOpSpec::Kind::kWindowAgg:
+        op = graph_.Add<engine::WindowAggOp>(
+            label, spec.func, spec.aggregated_element, spec.window);
+        break;
+      case EngineOpSpec::Kind::kAggCombine:
+        op = graph_.Add<engine::AggCombineOp>(label, spec.func,
+                                              spec.fine_window, spec.window);
+        break;
+      case EngineOpSpec::Kind::kAggFilter:
+        op = graph_.Add<engine::AggFilterOp>(label, spec.func,
+                                             spec.predicates);
+        break;
+      case EngineOpSpec::Kind::kWindowContents:
+        op = graph_.Add<engine::WindowContentsOp>(label, spec.window);
+        break;
+    }
+    op->SetAccounting(&metrics_, spec.node,
+                      BaseLoadFor(spec.kind, params) *
+                          topology_.peer(spec.node).pindex);
+    return op;
+  };
+
+  // Operators at the reuse node run before transmission; compensation
+  // operators never do (they belong behind the shared tap points).
+  engine::SelectOp* producer_select = nullptr;
+  engine::ProjectOp* producer_project = nullptr;
+  for (const EngineOpSpec& spec : input.ops) {
+    if (spec.compensation || spec.node != input.reuse_node ||
+        input.ships_raw_stream) {
+      continue;
+    }
+    SS_ASSIGN_OR_RETURN(engine::Operator * op, make_engine_op(spec));
+    if (spec.kind == EngineOpSpec::Kind::kSelect) {
+      producer_select = static_cast<engine::SelectOp*>(op);
+    }
+    if (spec.kind == EngineOpSpec::Kind::kProject) {
+      producer_project = static_cast<engine::ProjectOp*>(op);
+    }
+    attach(op);
+  }
+
+  // Transmission along the route: one LinkOp per hop, billed to the
+  // sending peer.
+  std::vector<engine::Operator*> new_taps{current};
+  if (input.new_stream.has_value()) {
+    const std::vector<NodeId>& route = input.new_stream->route;
+    SS_ASSIGN_OR_RETURN(std::vector<network::LinkId> links,
+                        topology_.LinksOnPath(route));
+    for (size_t i = 0; i < links.size(); ++i) {
+      NodeId sender = route[i];
+      engine::Operator* link_op = graph_.Add<engine::LinkOp>(
+          "link:" + topology_.peer(sender).name + "->" +
+              topology_.peer(route[i + 1]).name,
+          &metrics_, links[i]);
+      link_op->SetAccounting(&metrics_, sender,
+                             params.bload_transport *
+                                 topology_.peer(sender).pindex);
+      attach(link_op);
+      new_taps.push_back(link_op);
+    }
+  }
+
+  // Operators at the query's super-peer: data shipping places everything
+  // here, and compensation operators always deploy behind the tap points.
+  for (const EngineOpSpec& spec : input.ops) {
+    if (!spec.compensation && spec.node == input.reuse_node &&
+        !input.ships_raw_stream) {
+      continue;
+    }
+    SS_ASSIGN_OR_RETURN(engine::Operator * op, make_engine_op(spec));
+    attach(op);
+  }
+
+  // Hand the input's stream to the query's terminal (the restructuring
+  // operator, or one combination port for multi-input subscriptions).
+  if (current == tap && wiring->first == nullptr) wiring->first = terminal;
+  current->AddDownstream(terminal);
+
+  // Under stream sharing, the new (pre-restructuring) stream becomes a
+  // reuse candidate for later subscriptions.
+  if (strategy == Strategy::kStreamSharing &&
+      input.new_stream.has_value()) {
+    RegisteredStream stream;
+    stream.variant_of = input.input_stream_name;
+    stream.props = input.new_stream->props;
+    stream.source_node = input.new_stream->source_node;
+    stream.target_node = input.new_stream->target_node;
+    stream.route = input.new_stream->route;
+    stream.rate_kbps = input.new_stream->rate_kbps;
+    stream.upstream = input.reused_stream;
+    // Source latency of the new stream: the reused stream's own source
+    // latency plus the route prefix up to the tap node.
+    stream.source_latency_ms = reused.source_latency_ms;
+    {
+      auto tap_it = std::find(reused.route.begin(), reused.route.end(),
+                              input.reuse_node);
+      if (tap_it != reused.route.end()) {
+        std::vector<NodeId> prefix(reused.route.begin(), tap_it + 1);
+        Result<double> prefix_latency = topology_.PathLatencyMs(prefix);
+        if (prefix_latency.ok()) {
+          stream.source_latency_ms += *prefix_latency;
+        }
+      }
+    }
+    // Widenable: the stream owns reconfigurable σ/Π producers and is not
+    // an aggregate/window stream.
+    bool plain = stream.props.aggregation() == nullptr;
+    for (const properties::Operator& op : stream.props.operators) {
+      if (std::holds_alternative<properties::UserDefinedOp>(op)) {
+        plain = false;
+      }
+    }
+    stream.widenable =
+        plain && (producer_select != nullptr || producer_project != nullptr);
+    StreamId id = registry_.Register(std::move(stream));
+    wiring->registered_stream = id;
+    DeployedStream& deployed = taps_[id];
+    deployed.taps = new_taps;
+    deployed.select = producer_select;
+    deployed.project = producer_project;
+  }
+
+  // Commit the input's resource usage to the network state.
+  for (const auto& [link, kbps] : input.added_bandwidth_kbps) {
+    state_.AddBandwidth(link, kbps);
+  }
+  for (const auto& [peer, load] : input.added_load) {
+    state_.AddLoad(peer, load);
+  }
+  return Status::Ok();
+}
+
+Status StreamShareSystem::DeployPlan(
+    const EvaluationPlan& plan,
+    std::shared_ptr<const wxquery::AnalyzedQuery> query, NodeId vq,
+    Strategy strategy, RegistrationResult* result) {
+  const cost::CostParams& params = cost_model_->params();
+  if (plan.inputs.size() != query->bindings.size()) {
+    return Status::Internal("plan inputs do not match query bindings");
+  }
+
+  // The query's terminal stage: a restructuring operator for single-input
+  // subscriptions, or a combination operator with one port per input (the
+  // paper's final post-processing step, whose output is never shared).
+  std::vector<engine::Operator*> terminals;
+  engine::Operator* sink_parent = nullptr;
+  if (query->bindings.size() == 1) {
+    engine::Operator* restructure = graph_.Add<engine::RestructureOp>(
+        "q" + std::to_string(result->query_id) + ":restructure", query);
+    restructure->SetAccounting(
+        &metrics_, vq,
+        params.bload_restructure * topology_.peer(vq).pindex);
+    terminals.push_back(restructure);
+    sink_parent = restructure;
+  } else {
+    auto* combiner = graph_.Add<engine::CombineOp>(
+        "q" + std::to_string(result->query_id) + ":combine", query);
+    for (size_t i = 0; i < query->bindings.size(); ++i) {
+      engine::Operator* port = graph_.Add<engine::CombinePortOp>(
+          "q" + std::to_string(result->query_id) + ":port" +
+              std::to_string(i),
+          combiner, i);
+      port->SetAccounting(
+          &metrics_, vq,
+          params.bload_restructure * topology_.peer(vq).pindex);
+      terminals.push_back(port);
+    }
+    sink_parent = combiner;
+  }
+  auto* sink = graph_.Add<engine::SinkOp>(
+      "q" + std::to_string(result->query_id) + ":sink",
+      config_.keep_results);
+  sink_parent->AddDownstream(sink);
+  result->sink = sink;
+
+  QueryDeployment deployment;
+  deployment.inputs.resize(plan.inputs.size());
+  for (size_t i = 0; i < plan.inputs.size(); ++i) {
+    SS_RETURN_IF_ERROR(WireInput(plan.inputs[i], query, vq, strategy,
+                                 result->query_id, terminals[i],
+                                 &deployment.inputs[i]));
+    if (plan.inputs[i].widening.has_value()) {
+      deployment.widened_a_stream = true;
+    }
+  }
+  deployment.active = true;
+  deployments_.push_back(std::move(deployment));
+  return Status::Ok();
+}
+
+namespace {
+
+Status CollectEntries(
+    const std::map<std::string, engine::Operator*>& stream_entries,
+    const std::map<std::string, std::vector<engine::ItemPtr>>&
+        items_by_stream,
+    std::vector<engine::Operator*>* entries,
+    std::vector<std::vector<engine::ItemPtr>>* item_lists) {
+  for (const auto& [name, items] : items_by_stream) {
+    auto it = stream_entries.find(name);
+    if (it == stream_entries.end()) {
+      return Status::NotFound("stream '" + name + "' is not registered");
+    }
+    entries->push_back(it->second);
+    item_lists->push_back(items);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status StreamShareSystem::Run(
+    const std::map<std::string, std::vector<engine::ItemPtr>>&
+        items_by_stream) {
+  std::vector<engine::Operator*> entries;
+  std::vector<std::vector<engine::ItemPtr>> item_lists;
+  SS_RETURN_IF_ERROR(CollectEntries(stream_entries_, items_by_stream,
+                                    &entries, &item_lists));
+  return engine::RunStreams(entries, item_lists, /*finish=*/true);
+}
+
+Status StreamShareSystem::Feed(
+    const std::map<std::string, std::vector<engine::ItemPtr>>&
+        items_by_stream) {
+  std::vector<engine::Operator*> entries;
+  std::vector<std::vector<engine::ItemPtr>> item_lists;
+  SS_RETURN_IF_ERROR(CollectEntries(stream_entries_, items_by_stream,
+                                    &entries, &item_lists));
+  return engine::RunStreams(entries, item_lists, /*finish=*/false);
+}
+
+Status StreamShareSystem::Shutdown() {
+  for (const auto& [name, entry] : stream_entries_) {
+    SS_RETURN_IF_ERROR(entry->Finish());
+  }
+  return Status::Ok();
+}
+
+int StreamShareSystem::accepted_count() const {
+  int count = 0;
+  for (const RegistrationResult& result : registrations_) {
+    if (result.accepted) ++count;
+  }
+  return count;
+}
+
+int StreamShareSystem::rejected_count() const {
+  return static_cast<int>(registrations_.size()) - accepted_count();
+}
+
+std::string StreamShareSystem::DescribeDeployment() const {
+  std::string out = "=== streams ===\n";
+  for (const RegisteredStream& stream : registry_.streams()) {
+    out += "#" + std::to_string(stream.id) + " ";
+    if (stream.retired) out += "[retired] ";
+    if (stream.IsOriginal()) {
+      out += "original '" + stream.variant_of + "'";
+    } else {
+      out += stream.props.ToString();
+    }
+    out += "\n    route [";
+    for (size_t i = 0; i < stream.route.size(); ++i) {
+      if (i > 0) out += ",";
+      out += topology_.peer(stream.route[i]).name;
+    }
+    out += "]  ~" + std::to_string(stream.rate_kbps) + " kbps";
+    // Active consumers.
+    std::string consumers;
+    for (size_t q = 0; q < deployments_.size(); ++q) {
+      if (!deployments_[q].active) continue;
+      for (const QueryDeployment::InputWiring& wiring :
+           deployments_[q].inputs) {
+        if (wiring.reused_stream == stream.id) {
+          if (!consumers.empty()) consumers += ",";
+          consumers += "q" + std::to_string(q);
+        }
+      }
+    }
+    if (!consumers.empty()) out += "  consumers {" + consumers + "}";
+    out += "\n";
+  }
+  out += "=== subscriptions ===\n";
+  for (size_t q = 0; q < registrations_.size(); ++q) {
+    const RegistrationResult& registration = registrations_[q];
+    out += "q" + std::to_string(q) + " ";
+    if (!registration.accepted) {
+      out += "[rejected: " + registration.reject_reason + "]\n";
+      continue;
+    }
+    out += IsActive(static_cast<int>(q)) ? "[active] " : "[deregistered] ";
+    out += registration.plan.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace streamshare::sharing

@@ -1,0 +1,206 @@
+// StreamShareSystem: the StreamGlobe-style facade tying everything
+// together. It owns the network (topology + utilization state), the stream
+// registry and statistics, the cost model and planner, and a running
+// engine deployment. Streams are registered once; continuous queries are
+// registered incrementally under one of the three strategies, the winning
+// plan is deployed into the live operator network, and new shareable
+// streams become candidates for later subscriptions — the paper's
+// multi-subscription optimization.
+
+#ifndef STREAMSHARE_SHARING_SYSTEM_H_
+#define STREAMSHARE_SHARING_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/statistics.h"
+#include "engine/executor.h"
+#include "engine/metrics.h"
+#include "engine/operator.h"
+#include "network/state.h"
+#include "network/stream_registry.h"
+#include "network/subnet.h"
+#include "network/topology.h"
+#include "sharing/hierarchy.h"
+#include "sharing/plan.h"
+#include "sharing/subscribe.h"
+#include "wxquery/analyzer.h"
+
+namespace streamshare::sharing {
+
+enum class Strategy { kDataShipping, kQueryShipping, kStreamSharing };
+
+std::string_view StrategyToString(Strategy strategy);
+
+struct SystemConfig {
+  cost::CostParams cost_params;
+  PlannerOptions planner;
+  /// Reject subscriptions whose best plan overloads a peer or connection
+  /// (the paper's capacity-limited experiment).
+  bool enforce_limits = false;
+  /// Keep result items in query sinks (tests/examples; benches leave this
+  /// off to bound memory).
+  bool keep_results = false;
+  /// Hierarchical organization (paper §6): when non-empty, assigns every
+  /// peer to a subnet and stream-sharing registrations search the query's
+  /// subnet first, escalating per `hierarchy` options.
+  std::vector<int> subnet_assignment;
+  HierarchicalOptions hierarchy;
+};
+
+/// Outcome of registering one continuous query.
+struct RegistrationResult {
+  int query_id = -1;
+  bool accepted = false;
+  std::string reject_reason;
+  EvaluationPlan plan;
+  SearchStats search;
+  /// Wall-clock registration latency (parse + analyze + plan + deploy).
+  double registration_micros = 0.0;
+  /// Result collector of this query (borrowed; valid while the system
+  /// lives). nullptr if rejected.
+  engine::SinkOp* sink = nullptr;
+};
+
+class StreamShareSystem {
+ public:
+  StreamShareSystem(network::Topology topology, SystemConfig config);
+
+  /// Registers an original data stream produced at `source`.
+  Status RegisterStream(const std::string& name,
+                        std::shared_ptr<const xml::StreamSchema> schema,
+                        double item_frequency_hz,
+                        network::NodeId source);
+
+  /// Registers an original data stream with fully collected statistics
+  /// (schema, frequency, ranges, increments) — the natural companion of
+  /// cost::StatisticsCollector.
+  Status RegisterStream(const std::string& name,
+                        cost::StreamStatistics statistics,
+                        network::NodeId source);
+
+  /// Statistics hooks (value ranges, reference-element increments) for a
+  /// registered stream; call before registering queries.
+  Status SetRange(const std::string& stream, const xml::Path& path,
+                  cost::ValueRange range);
+  Status SetAvgIncrement(const std::string& stream, const xml::Path& path,
+                         double increment);
+
+  /// Registers a continuous query at super-peer `vq` under `strategy`.
+  /// Returns the registration outcome (also retained in registrations()).
+  /// A parse/analysis error fails the call; an overload rejection returns
+  /// accepted = false.
+  Result<RegistrationResult> RegisterQuery(std::string_view query_text,
+                                           network::NodeId vq,
+                                           Strategy strategy);
+
+  /// Deregisters a continuous query: detaches its operator chains from the
+  /// shared streams, retires the streams it registered, and releases the
+  /// bandwidth and load its plan committed. Fails with kInvalidArgument
+  /// when another active subscription still consumes one of the query's
+  /// streams (deregister the consumers first), or when the query's plan
+  /// widened a stream (widening is irreversible while consumers may rely
+  /// on the widened content).
+  Status UnregisterQuery(int query_id);
+
+  /// True while the query is deployed (false after UnregisterQuery or for
+  /// rejected registrations).
+  bool IsActive(int query_id) const;
+
+  /// Single-shot run: feeds items of the named original streams through
+  /// the deployed network (round-robin across streams), then signals end
+  /// of stream — window operators flush their partial windows. Use
+  /// Feed/Shutdown instead for continuous operation across multiple
+  /// batches.
+  Status Run(const std::map<std::string, std::vector<engine::ItemPtr>>&
+                 items_by_stream);
+
+  /// Continuous operation: feeds a batch without signalling end of
+  /// stream. Subscriptions may be registered and deregistered between
+  /// batches; window state carries across.
+  Status Feed(const std::map<std::string, std::vector<engine::ItemPtr>>&
+                  items_by_stream);
+
+  /// Ends all streams: flushes buffered window state to every active
+  /// subscription. One-shot; after shutdown no further Feed is
+  /// meaningful.
+  Status Shutdown();
+
+  const network::Topology& topology() const { return topology_; }
+  const network::NetworkState& state() const { return state_; }
+  const network::StreamRegistry& registry() const { return registry_; }
+  const engine::Metrics& metrics() const { return metrics_; }
+  const cost::CostModel& cost_model() const { return *cost_model_; }
+  const std::vector<RegistrationResult>& registrations() const {
+    return registrations_;
+  }
+
+  int accepted_count() const;
+  int rejected_count() const;
+
+  /// Human-readable snapshot of the deployment: every stream flowing in
+  /// the network (content, route, rate, consumers) and every active
+  /// subscription.
+  std::string DescribeDeployment() const;
+
+ private:
+  Status DeployPlan(const EvaluationPlan& plan,
+                    std::shared_ptr<const wxquery::AnalyzedQuery> query,
+                    network::NodeId vq, Strategy strategy,
+                    RegistrationResult* result);
+  /// Wires one input's operator chain from its tap point to the query's
+  /// terminal stage (restructuring, or a combination port).
+  /// How one registered query is wired into the engine (for later
+  /// deregistration).
+  struct QueryDeployment {
+    struct InputWiring {
+      engine::Operator* tap = nullptr;    // shared stream's tap operator
+      engine::Operator* first = nullptr;  // head of the private chain
+      network::StreamId registered_stream = -1;  // -1 if none registered
+      network::StreamId reused_stream = -1;
+    };
+    std::vector<InputWiring> inputs;
+    bool active = false;
+    bool widened_a_stream = false;
+  };
+
+  Status WireInput(const InputPlan& input,
+                   std::shared_ptr<const wxquery::AnalyzedQuery> query,
+                   network::NodeId vq, Strategy strategy, int query_id,
+                   engine::Operator* terminal,
+                   QueryDeployment::InputWiring* wiring);
+
+  network::Topology topology_;
+  SystemConfig config_;
+  network::NetworkState state_;
+  network::StreamRegistry registry_;
+  cost::StatisticsRegistry statistics_;
+  std::unique_ptr<cost::CostModel> cost_model_;
+  std::unique_ptr<Planner> planner_;
+  std::unique_ptr<network::SubnetPartition> partition_;
+  std::unique_ptr<HierarchicalPlanner> hierarchical_planner_;
+  engine::OperatorGraph graph_;
+  engine::Metrics metrics_;
+  /// Engine-side footprint of a registered stream: its tap operators
+  /// (taps[i] materializes the stream at route node i) and, for widenable
+  /// streams, the reconfigurable producer operators.
+  struct DeployedStream {
+    std::vector<engine::Operator*> taps;
+    engine::SelectOp* select = nullptr;
+    engine::ProjectOp* project = nullptr;
+  };
+  std::map<network::StreamId, DeployedStream> taps_;
+  /// Entry operator per original stream name (fed by Run()).
+  std::map<std::string, engine::Operator*> stream_entries_;
+  std::vector<std::shared_ptr<const wxquery::AnalyzedQuery>> queries_;
+  std::vector<RegistrationResult> registrations_;
+  /// Indexed by query id (one entry per registration, rejected included).
+  std::vector<QueryDeployment> deployments_;
+};
+
+}  // namespace streamshare::sharing
+
+#endif  // STREAMSHARE_SHARING_SYSTEM_H_

@@ -1,0 +1,58 @@
+// The four example subscriptions of the paper (§1 and §2), verbatim. Q1
+// selects the vela supernova remnant region, Q2 a contained sub-region
+// (RX J0852.0-4622) with an energy threshold, Q3 computes a sliding-window
+// average energy over the vela region, and Q4 a coarser, filtered variant
+// whose windows are recombinable from Q3's (Fig. 5).
+
+#ifndef STREAMSHARE_WORKLOAD_PAPER_QUERIES_H_
+#define STREAMSHARE_WORKLOAD_PAPER_QUERIES_H_
+
+namespace streamshare::workload {
+
+inline constexpr const char* kQuery1 = R"(
+<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0
+    and $p/coord/cel/dec >= -49.0 and $p/coord/cel/dec <= -40.0
+  return <vela> { $p/coord/cel/ra } { $p/coord/cel/dec }
+         { $p/phc } { $p/en } { $p/det_time } </vela> }
+</photons>
+)";
+
+inline constexpr const char* kQuery2 = R"(
+<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/en >= 1.3
+    and $p/coord/cel/ra >= 130.5 and $p/coord/cel/ra <= 135.5
+    and $p/coord/cel/dec >= -48.0 and $p/coord/cel/dec <= -45.0
+  return <rxj> { $p/coord/cel/ra } { $p/coord/cel/dec }
+         { $p/en } { $p/det_time } </rxj> }
+</photons>
+)";
+
+inline constexpr const char* kQuery3 = R"(
+<photons>
+{ for $w in stream("photons")/photons/photon
+    [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0
+     and coord/cel/dec >= -49.0 and coord/cel/dec <= -40.0]
+    |det_time diff 20 step 10|
+  let $a := avg($w/en)
+  return <avg_en> { $a } </avg_en> }
+</photons>
+)";
+
+inline constexpr const char* kQuery4 = R"(
+<photons>
+{ for $w in stream("photons")/photons/photon
+    [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0
+     and coord/cel/dec >= -49.0 and coord/cel/dec <= -40.0]
+    |det_time diff 60 step 40|
+  let $a := avg($w/en)
+  where $a >= 1.3
+  return <avg_en> { $a } </avg_en> }
+</photons>
+)";
+
+}  // namespace streamshare::workload
+
+#endif  // STREAMSHARE_WORKLOAD_PAPER_QUERIES_H_

@@ -1,0 +1,86 @@
+#include "workload/photon_gen.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace streamshare::workload {
+
+namespace {
+
+std::string FormatFixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace
+
+PhotonGenerator::PhotonGenerator(PhotonGenConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+engine::ItemPtr PhotonGenerator::Next() {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Pick a region: hot regions by weight, otherwise the whole sky.
+  double total_weight = config_.base_weight;
+  for (double weight : config_.hot_weights) total_weight += weight;
+  double pick = unit(rng_) * total_weight;
+  SkyBox box;  // whole sky by default
+  for (size_t i = 0; i < config_.hot_regions.size(); ++i) {
+    double weight =
+        i < config_.hot_weights.size() ? config_.hot_weights[i] : 1.0;
+    if (pick < weight) {
+      box = config_.hot_regions[i];
+      break;
+    }
+    pick -= weight;
+  }
+
+  double ra = box.ra_min + unit(rng_) * (box.ra_max - box.ra_min);
+  double dec = box.dec_min + unit(rng_) * (box.dec_max - box.dec_min);
+  double en =
+      config_.en_min + unit(rng_) * (config_.en_max - config_.en_min);
+  std::exponential_distribution<double> increment(
+      1.0 / config_.det_time_increment_mean);
+  det_time_ += std::max(0.1, increment(rng_));
+  std::uniform_int_distribution<int> phc_dist(0, 255);
+  std::uniform_int_distribution<int> det_pixel(0, 511);
+
+  auto photon = std::make_unique<xml::XmlNode>("photon");
+  photon->AddLeaf("phc", std::to_string(phc_dist(rng_)));
+  xml::XmlNode* coord = photon->AddChild("coord");
+  xml::XmlNode* cel = coord->AddChild("cel");
+  cel->AddLeaf("ra", FormatFixed(ra, 4));
+  cel->AddLeaf("dec", FormatFixed(dec, 4));
+  xml::XmlNode* det = coord->AddChild("det");
+  det->AddLeaf("dx", std::to_string(det_pixel(rng_)));
+  det->AddLeaf("dy", std::to_string(det_pixel(rng_)));
+  photon->AddLeaf("en", FormatFixed(en, 3));
+  photon->AddLeaf("det_time", FormatFixed(det_time_, 1));
+  return engine::MakeItem(std::move(photon));
+}
+
+std::vector<engine::ItemPtr> PhotonGenerator::Generate(size_t count) {
+  std::vector<engine::ItemPtr> items;
+  items.reserve(count);
+  for (size_t i = 0; i < count; ++i) items.push_back(Next());
+  return items;
+}
+
+std::shared_ptr<const xml::StreamSchema> PhotonGenerator::Schema() {
+  auto schema = std::make_shared<xml::StreamSchema>("photons", "photon");
+  xml::SchemaElement& photon = schema->item();
+  photon.AddChild("phc", 1.0, 3.0);
+  xml::SchemaElement* coord = photon.AddChild("coord");
+  xml::SchemaElement* cel = coord->AddChild("cel");
+  cel->AddChild("ra", 1.0, 8.0);
+  cel->AddChild("dec", 1.0, 8.0);
+  xml::SchemaElement* det = coord->AddChild("det");
+  det->AddChild("dx", 1.0, 3.0);
+  det->AddChild("dy", 1.0, 3.0);
+  photon.AddChild("en", 1.0, 5.0);
+  photon.AddChild("det_time", 1.0, 8.0);
+  return schema;
+}
+
+}  // namespace streamshare::workload

@@ -1,0 +1,177 @@
+#include "workload/query_gen.h"
+
+#include <cstdio>
+
+namespace streamshare::workload {
+
+namespace {
+
+std::string FormatFixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string BoxPredicate(const SkyBox& box, const std::string& var) {
+  std::string prefix = var.empty() ? "" : "$" + var + "/";
+  return prefix + "coord/cel/ra >= " + FormatFixed(box.ra_min, 1) +
+         " and " + prefix + "coord/cel/ra <= " + FormatFixed(box.ra_max, 1) +
+         " and " + prefix + "coord/cel/dec >= " +
+         FormatFixed(box.dec_min, 1) + " and " + prefix +
+         "coord/cel/dec <= " + FormatFixed(box.dec_max, 1);
+}
+
+// Projection subsets: every subset includes the elements selections
+// reference (ra/dec); they differ in the payload carried along.
+const char* const kProjectionSubsets[][6] = {
+    {"coord/cel/ra", "coord/cel/dec", "phc", "en", "det_time", nullptr},
+    {"coord/cel/ra", "coord/cel/dec", "en", "det_time", nullptr, nullptr},
+    {"coord/cel/ra", "coord/cel/dec", "en", nullptr, nullptr, nullptr},
+    {"coord/cel/ra", "coord/cel/dec", "det_time", nullptr, nullptr,
+     nullptr},
+};
+constexpr size_t kProjectionSubsetCount =
+    sizeof(kProjectionSubsets) / sizeof(kProjectionSubsets[0]);
+
+const char* const kAggFuncs[] = {"avg", "sum", "count", "min", "max"};
+
+}  // namespace
+
+QueryGenConfig QueryGenConfig::Default(uint64_t seed,
+                                       std::string stream_name) {
+  QueryGenConfig config;
+  config.seed = seed;
+  config.stream_name = std::move(stream_name);
+  // The paper's vela box, its RX J0852 sub-box, and neighbouring survey
+  // fields. Repeats across queries are what create sharing opportunities.
+  config.boxes = {
+      {120.0, 138.0, -49.0, -40.0},  // vela (Q1)
+      {130.5, 135.5, -48.0, -45.0},  // RX J0852.0-4622 (Q2)
+      {80.0, 95.0, -72.0, -64.0},    // LMC field
+      {160.0, 180.0, -60.0, -50.0},  // Carina field
+      {120.0, 138.0, -49.0, -40.0},  // vela again (higher draw weight)
+  };
+  config.energy_thresholds = {0.5, 1.0, 1.3};
+  // (Δ, µ) pairs chosen so each coarser pair is recombinable from the
+  // finest (Fig. 5): Δ′ mod Δ = 0, Δ mod µ = 0, µ′ mod µ = 0.
+  config.windows = {{20, 10}, {40, 20}, {60, 40}, {80, 40}};
+  return config;
+}
+
+QueryGenerator::QueryGenerator(QueryGenConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+std::string QueryGenerator::Next() {
+  double total = config_.selection_weight + config_.projection_weight +
+                 config_.contained_weight + config_.aggregation_weight;
+  std::uniform_real_distribution<double> unit(0.0, total);
+  double pick = unit(rng_);
+  if (pick < config_.selection_weight) return SelectionQuery();
+  pick -= config_.selection_weight;
+  if (pick < config_.projection_weight) return ProjectionQuery();
+  pick -= config_.projection_weight;
+  if (pick < config_.contained_weight) return ContainedSelectionQuery();
+  return AggregationQuery();
+}
+
+std::vector<std::string> QueryGenerator::Generate(size_t count) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(Next());
+  return out;
+}
+
+std::string QueryGenerator::SelectionQuery() {
+  std::uniform_int_distribution<size_t> box_dist(0,
+                                                 config_.boxes.size() - 1);
+  const SkyBox& box = config_.boxes[box_dist(rng_)];
+  std::uniform_int_distribution<size_t> subset_dist(
+      0, kProjectionSubsetCount - 1);
+  const char* const* subset = kProjectionSubsets[subset_dist(rng_)];
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  std::string where = BoxPredicate(box, "p");
+  if (coin(rng_) != 0 && !config_.energy_thresholds.empty()) {
+    std::uniform_int_distribution<size_t> threshold_dist(
+        0, config_.energy_thresholds.size() - 1);
+    where += " and $p/en >= " +
+             FormatFixed(config_.energy_thresholds[threshold_dist(rng_)], 1);
+  }
+  std::string returns;
+  for (const char* const* path = subset; *path != nullptr; ++path) {
+    returns += " { $p/";
+    returns += *path;
+    returns += " }";
+  }
+  return "<photons> { for $p in stream(\"" + config_.stream_name +
+         "\")/photons/photon where " + where + " return <hit>" + returns +
+         " </hit> } </photons>";
+}
+
+std::string QueryGenerator::ProjectionQuery() {
+  // Pure projection: no predicate — the whole stream thinned to one of
+  // the predefined element subsets.
+  std::uniform_int_distribution<size_t> subset_dist(
+      0, kProjectionSubsetCount - 1);
+  const char* const* subset = kProjectionSubsets[subset_dist(rng_)];
+  std::string returns;
+  for (const char* const* path = subset; *path != nullptr; ++path) {
+    returns += " { $p/";
+    returns += *path;
+    returns += " }";
+  }
+  return "<photons> { for $p in stream(\"" + config_.stream_name +
+         "\")/photons/photon return <slim>" + returns +
+         " </slim> } </photons>";
+}
+
+std::string QueryGenerator::ContainedSelectionQuery() {
+  std::uniform_int_distribution<size_t> box_dist(0,
+                                                 config_.boxes.size() - 1);
+  SkyBox box = config_.boxes[box_dist(rng_)];
+  // Shrink the box by a random fraction on each side (stays contained in
+  // the predefined box, so a stream filtered by the outer box can serve).
+  std::uniform_real_distribution<double> shrink(0.0, 0.3);
+  double ra_span = box.ra_max - box.ra_min;
+  double dec_span = box.dec_max - box.dec_min;
+  box.ra_min += shrink(rng_) * ra_span;
+  box.ra_max -= shrink(rng_) * ra_span;
+  box.dec_min += shrink(rng_) * dec_span;
+  box.dec_max -= shrink(rng_) * dec_span;
+  std::string where = BoxPredicate(box, "p");
+  return "<photons> { for $p in stream(\"" + config_.stream_name +
+         "\")/photons/photon where " + where +
+         " return <hit> { $p/coord/cel/ra } { $p/coord/cel/dec } "
+         "{ $p/en } </hit> } </photons>";
+}
+
+std::string QueryGenerator::AggregationQuery() {
+  std::uniform_int_distribution<size_t> box_dist(0,
+                                                 config_.boxes.size() - 1);
+  const SkyBox& box = config_.boxes[box_dist(rng_)];
+  std::uniform_int_distribution<size_t> window_dist(
+      0, config_.windows.size() - 1);
+  auto [size, step] = config_.windows[window_dist(rng_)];
+  std::uniform_int_distribution<size_t> func_dist(
+      0, sizeof(kAggFuncs) / sizeof(kAggFuncs[0]) - 1);
+  const char* func = kAggFuncs[func_dist(rng_)];
+  std::uniform_int_distribution<int> coin(0, 3);
+
+  std::string query = "<photons> { for $w in stream(\"" +
+                      config_.stream_name + "\")/photons/photon [" +
+                      BoxPredicate(box, "") + "] |det_time diff " +
+                      std::to_string(size) + " step " +
+                      std::to_string(step) + "| let $a := " + func +
+                      "($w/en)";
+  if (coin(rng_) == 0 && std::string(func) == "avg" &&
+      !config_.energy_thresholds.empty()) {
+    std::uniform_int_distribution<size_t> threshold_dist(
+        0, config_.energy_thresholds.size() - 1);
+    query += " where $a >= " +
+             FormatFixed(config_.energy_thresholds[threshold_dist(rng_)], 1);
+  }
+  query += " return <agg_en> { $a } </agg_en> } </photons>";
+  return query;
+}
+
+}  // namespace streamshare::workload

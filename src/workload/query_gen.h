@@ -1,0 +1,73 @@
+// Template-based continuous query generation (§4): "queries were generated
+// using query templates for selection, projection, and aggregation
+// queries. Constant values ... were chosen uniformly from a predefined set
+// of values to enable a certain degree of shareability." Three templates:
+//
+//   * selection+projection — a sky box (optionally narrowed), an optional
+//     energy threshold, and one of several projection subsets;
+//   * contained selection  — a sub-box of a predefined box (guaranteed
+//     containment, like Q2 inside Q1);
+//   * window aggregation   — a sky box pre-selection, a time window from a
+//     predefined (Δ, µ) set, one aggregate function over en, and an
+//     optional result filter.
+
+#ifndef STREAMSHARE_WORKLOAD_QUERY_GEN_H_
+#define STREAMSHARE_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "workload/photon_gen.h"
+
+namespace streamshare::workload {
+
+struct QueryGenConfig {
+  uint64_t seed = 7;
+  std::string stream_name = "photons";
+  /// Predefined sky boxes (selection predicates draw from these).
+  std::vector<SkyBox> boxes;
+  /// Predefined energy thresholds for "en >= t" predicates.
+  std::vector<double> energy_thresholds;
+  /// Predefined time windows (Δ, µ) on det_time; pairs are chosen so that
+  /// coarser windows are recombinable from finer ones.
+  std::vector<std::pair<int, int>> windows;
+  /// Template mix (normalized internally). The paper's evaluation uses
+  /// "query templates for selection, projection, and aggregation
+  /// queries"; contained-selection queries add the Q1/Q2 containment
+  /// pattern of the running example.
+  double selection_weight = 0.40;
+  double projection_weight = 0.10;
+  double contained_weight = 0.22;
+  double aggregation_weight = 0.28;
+
+  /// A default configuration seeded with the paper's vela / RX J0852
+  /// boxes plus neighbours, thresholds, and Fig.-5-compatible windows.
+  static QueryGenConfig Default(uint64_t seed = 7,
+                                std::string stream_name = "photons");
+};
+
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(QueryGenConfig config);
+
+  /// Generates the next subscription text.
+  std::string Next();
+
+  /// Generates `count` subscriptions.
+  std::vector<std::string> Generate(size_t count);
+
+ private:
+  std::string SelectionQuery();
+  std::string ProjectionQuery();
+  std::string ContainedSelectionQuery();
+  std::string AggregationQuery();
+
+  QueryGenConfig config_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace streamshare::workload
+
+#endif  // STREAMSHARE_WORKLOAD_QUERY_GEN_H_

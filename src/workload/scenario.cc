@@ -1,0 +1,165 @@
+#include "workload/scenario.h"
+
+#include <random>
+
+#include "workload/paper_queries.h"
+
+namespace streamshare::workload {
+
+namespace {
+
+PhotonGenConfig DefaultPhotonConfig(uint64_t seed) {
+  PhotonGenConfig config;
+  config.seed = seed;
+  // The vela region and its neighbourhood are bright: selections on the
+  // predefined boxes see a workload-relevant selectivity instead of the
+  // vanishing fraction a uniform sky would give them.
+  config.hot_regions = {
+      {120.0, 138.0, -49.0, -40.0},  // vela
+      {130.5, 135.5, -48.0, -45.0},  // RX J0852
+      {80.0, 95.0, -72.0, -64.0},    // LMC
+      {160.0, 180.0, -60.0, -50.0},  // Carina
+  };
+  config.hot_weights = {1.5, 0.5, 0.5, 0.5};
+  config.base_weight = 4.0;
+  return config;
+}
+
+Status InstallStatistics(sharing::StreamShareSystem* system,
+                         const StreamSpec& stream) {
+  auto path = [](const char* text) {
+    return xml::Path::Parse(text).value();
+  };
+  SS_RETURN_IF_ERROR(system->SetRange(stream.name, path("coord/cel/ra"),
+                                      {0.0, 360.0}));
+  SS_RETURN_IF_ERROR(system->SetRange(stream.name, path("coord/cel/dec"),
+                                      {-90.0, 90.0}));
+  SS_RETURN_IF_ERROR(system->SetRange(
+      stream.name, path("en"), {stream.gen.en_min, stream.gen.en_max}));
+  SS_RETURN_IF_ERROR(
+      system->SetRange(stream.name, path("phc"), {0.0, 255.0}));
+  SS_RETURN_IF_ERROR(
+      system->SetRange(stream.name, path("coord/det/dx"), {0.0, 511.0}));
+  SS_RETURN_IF_ERROR(
+      system->SetRange(stream.name, path("coord/det/dy"), {0.0, 511.0}));
+  // det_time spans the whole run; its range only matters for selections on
+  // it (none in the templates), but its increment drives time-window
+  // frequency estimation.
+  SS_RETURN_IF_ERROR(
+      system->SetRange(stream.name, path("det_time"), {0.0, 1e9}));
+  return system->SetAvgIncrement(stream.name, path("det_time"),
+                                 stream.gen.det_time_increment_mean);
+}
+
+}  // namespace
+
+ScenarioSpec ExtendedExampleScenario(uint64_t seed, size_t query_count) {
+  ScenarioSpec scenario;
+  scenario.name = "extended-example";
+  scenario.topology = network::Topology::ExtendedExample(
+      kDefaultBandwidthKbps, kDefaultMaxLoad);
+
+  StreamSpec stream;
+  stream.name = "photons";
+  stream.source = 4;  // P0's super-peer
+  stream.gen = DefaultPhotonConfig(seed);
+  scenario.streams.push_back(std::move(stream));
+
+  // The paper's four example queries at the super-peers their thin peers
+  // attach to (P1@SP1, P2@SP7, P3@SP3, P4@SP0).
+  scenario.queries.push_back({kQuery1, 1});
+  scenario.queries.push_back({kQuery2, 7});
+  scenario.queries.push_back({kQuery3, 3});
+  scenario.queries.push_back({kQuery4, 0});
+
+  QueryGenerator generator(QueryGenConfig::Default(seed + 1, "photons"));
+  // Astronomer peers attach across the backbone; the source super-peer
+  // itself registers no queries.
+  const network::NodeId targets[] = {1, 7, 3, 0, 5, 2, 6};
+  size_t target_index = 0;
+  while (scenario.queries.size() < query_count) {
+    scenario.queries.push_back(
+        {generator.Next(),
+         targets[target_index++ % (sizeof(targets) / sizeof(targets[0]))]});
+  }
+  return scenario;
+}
+
+ScenarioSpec GridScenario(uint64_t seed, size_t query_count,
+                          double bandwidth_kbps, double max_load) {
+  ScenarioSpec scenario;
+  scenario.name = "grid-4x4";
+  scenario.topology =
+      network::Topology::Grid(4, 4, bandwidth_kbps, max_load);
+
+  StreamSpec first;
+  first.name = "photons";
+  first.source = 0;
+  first.gen = DefaultPhotonConfig(seed);
+  scenario.streams.push_back(std::move(first));
+
+  StreamSpec second;
+  second.name = "photons2";
+  second.source = 15;  // opposite corner
+  second.gen = DefaultPhotonConfig(seed + 100);
+  scenario.streams.push_back(std::move(second));
+
+  QueryGenerator gen_first(QueryGenConfig::Default(seed + 1, "photons"));
+  QueryGenerator gen_second(QueryGenConfig::Default(seed + 2, "photons2"));
+  std::mt19937_64 rng(seed + 3);
+  std::uniform_int_distribution<int> target_dist(0, 15);
+  std::uniform_int_distribution<int> stream_dist(0, 1);
+  for (size_t i = 0; i < query_count; ++i) {
+    std::string text =
+        stream_dist(rng) == 0 ? gen_first.Next() : gen_second.Next();
+    scenario.queries.push_back({std::move(text), target_dist(rng)});
+  }
+  return scenario;
+}
+
+Result<std::unique_ptr<sharing::StreamShareSystem>> BuildSystem(
+    const ScenarioSpec& scenario, sharing::SystemConfig config) {
+  auto system = std::make_unique<sharing::StreamShareSystem>(
+      scenario.topology, config);
+  for (const StreamSpec& stream : scenario.streams) {
+    SS_RETURN_IF_ERROR(system->RegisterStream(
+        stream.name, PhotonGenerator::Schema(), stream.gen.frequency_hz,
+        stream.source));
+    SS_RETURN_IF_ERROR(InstallStatistics(system.get(), stream));
+  }
+  return system;
+}
+
+Result<ScenarioRun> RunScenario(const ScenarioSpec& scenario,
+                                sharing::Strategy strategy,
+                                sharing::SystemConfig config,
+                                size_t items_per_stream) {
+  ScenarioRun run;
+  SS_ASSIGN_OR_RETURN(run.system, BuildSystem(scenario, config));
+  for (const QuerySpec& query : scenario.queries) {
+    Result<sharing::RegistrationResult> result =
+        run.system->RegisterQuery(query.text, query.target, strategy);
+    if (!result.ok()) {
+      ++run.registration_failures;
+      continue;
+    }
+    if (result->accepted) {
+      ++run.accepted;
+    } else {
+      ++run.rejected;
+    }
+  }
+  std::map<std::string, std::vector<engine::ItemPtr>> items;
+  double duration = 0.0;
+  for (const StreamSpec& stream : scenario.streams) {
+    PhotonGenerator generator(stream.gen);
+    items[stream.name] = generator.Generate(items_per_stream);
+    duration = std::max(duration, static_cast<double>(items_per_stream) /
+                                      stream.gen.frequency_hz);
+  }
+  SS_RETURN_IF_ERROR(run.system->Run(items));
+  run.duration_s = duration;
+  return run;
+}
+
+}  // namespace streamshare::workload

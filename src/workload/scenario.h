@@ -1,0 +1,84 @@
+// The paper's two evaluation scenarios (§4), as reproducible specs:
+//
+//   Scenario 1 — "extended example": the 8-super-peer topology of Figs.
+//   1/2, one photon stream at SP4, 25 queries (the paper's Q1–Q4 first,
+//   then template-generated ones) registered at the super-peers the
+//   example's thin peers attach to.
+//
+//   Scenario 2 — "4×4 grid": 16 super-peers, two photon streams at
+//   opposite corners, 100 template-generated queries at uniformly chosen
+//   super-peers.
+
+#ifndef STREAMSHARE_WORKLOAD_SCENARIO_H_
+#define STREAMSHARE_WORKLOAD_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sharing/system.h"
+#include "workload/photon_gen.h"
+#include "workload/query_gen.h"
+
+namespace streamshare::workload {
+
+struct StreamSpec {
+  std::string name;
+  network::NodeId source = 0;
+  PhotonGenConfig gen;
+};
+
+struct QuerySpec {
+  std::string text;
+  network::NodeId target = 0;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  network::Topology topology;
+  std::vector<StreamSpec> streams;
+  std::vector<QuerySpec> queries;
+};
+
+/// Default capacity parameters: chosen so that the default scenarios sit
+/// comfortably below saturation (the paper's blades and 100 Mbit LAN do
+/// too), while the E6 overload experiment caps them at 10% / 1 Mbit/s.
+inline constexpr double kDefaultBandwidthKbps = 100000.0;  // 100 Mbit/s
+inline constexpr double kDefaultMaxLoad = 5000.0;          // work units/s
+
+/// Scenario 1. `query_count` defaults to the paper's 25.
+ScenarioSpec ExtendedExampleScenario(uint64_t seed = 11,
+                                     size_t query_count = 25);
+
+/// Scenario 2. 4×4 grid, 2 streams, `query_count` defaults to 100.
+/// Bandwidth/load caps are parameters so the overload experiment (E6) can
+/// shrink them.
+ScenarioSpec GridScenario(uint64_t seed = 13, size_t query_count = 100,
+                          double bandwidth_kbps = kDefaultBandwidthKbps,
+                          double max_load = kDefaultMaxLoad);
+
+/// Registers the scenario's streams (with schema, frequency, value-range
+/// and increment statistics) in a freshly constructed system.
+Result<std::unique_ptr<sharing::StreamShareSystem>> BuildSystem(
+    const ScenarioSpec& scenario, sharing::SystemConfig config);
+
+struct ScenarioRun {
+  std::unique_ptr<sharing::StreamShareSystem> system;
+  /// Simulated stream duration in seconds (items / frequency).
+  double duration_s = 0.0;
+  int accepted = 0;
+  int rejected = 0;
+  int registration_failures = 0;  // parse/analysis errors (should be 0)
+};
+
+/// Builds the system, registers all queries under `strategy`, generates
+/// `items_per_stream` photons per stream, and runs them through the
+/// deployed network.
+Result<ScenarioRun> RunScenario(const ScenarioSpec& scenario,
+                                sharing::Strategy strategy,
+                                sharing::SystemConfig config,
+                                size_t items_per_stream);
+
+}  // namespace streamshare::workload
+
+#endif  // STREAMSHARE_WORKLOAD_SCENARIO_H_

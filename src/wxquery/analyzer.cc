@@ -1,0 +1,476 @@
+#include "wxquery/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "wxquery/parser.h"
+
+namespace streamshare::wxquery {
+
+namespace {
+
+using predicate::AtomicPredicate;
+using properties::AggregationOp;
+using properties::Operator;
+using properties::ProjectionOp;
+using properties::SelectionOp;
+using properties::UserDefinedOp;
+
+/// Counts FLWR expressions in a subtree.
+int CountFlwrs(const Expr& expr) {
+  if (const auto* element = expr.As<ElementExpr>()) {
+    int count = 0;
+    for (const ExprPtr& child : element->content) {
+      count += CountFlwrs(*child);
+    }
+    return count;
+  }
+  if (const auto* flwr = expr.As<FlwrExpr>()) {
+    return 1 + CountFlwrs(*flwr->return_expr);
+  }
+  if (const auto* cond = expr.As<IfExpr>()) {
+    return CountFlwrs(*cond->then_expr) + CountFlwrs(*cond->else_expr);
+  }
+  if (const auto* sequence = expr.As<SequenceExpr>()) {
+    int count = 0;
+    for (const ExprPtr& item : sequence->items) {
+      count += CountFlwrs(*item);
+    }
+    return count;
+  }
+  return 0;
+}
+
+/// Finds the unique FLWR (depth-first) and the wrapper tag if the root is
+/// an element constructor directly containing it.
+const FlwrExpr* FindFlwr(const Expr& expr) {
+  if (const auto* flwr = expr.As<FlwrExpr>()) return flwr;
+  if (const auto* element = expr.As<ElementExpr>()) {
+    for (const ExprPtr& child : element->content) {
+      if (const FlwrExpr* found = FindFlwr(*child)) return found;
+    }
+    return nullptr;
+  }
+  if (const auto* cond = expr.As<IfExpr>()) {
+    if (const FlwrExpr* found = FindFlwr(*cond->then_expr)) return found;
+    return FindFlwr(*cond->else_expr);
+  }
+  if (const auto* sequence = expr.As<SequenceExpr>()) {
+    for (const ExprPtr& item : sequence->items) {
+      if (const FlwrExpr* found = FindFlwr(*item)) return found;
+    }
+  }
+  return nullptr;
+}
+
+class Analyzer {
+ public:
+  Result<AnalyzedQuery> Run(ExprPtr root) {
+    AnalyzedQuery query;
+    query.root = std::move(root);
+
+    int flwr_count = CountFlwrs(*query.root);
+    if (flwr_count == 0) {
+      return Status::InvalidArgument(
+          "subscription contains no FLWR expression over a data stream");
+    }
+    if (flwr_count > 1) {
+      return Status::Unsupported(
+          "nested or multiple FLWR expressions are not supported by the "
+          "flat properties approach (paper future work)");
+    }
+    query.flwr = FindFlwr(*query.root);
+    if (const auto* element = query.root->As<ElementExpr>()) {
+      query.wrapper_tag = element->tag;
+    }
+
+    SS_RETURN_IF_ERROR(ProcessClauses(*query.flwr));
+    SS_RETURN_IF_ERROR(ProcessWhere(*query.flwr));
+    SS_RETURN_IF_ERROR(
+        CollectOutput(*query.flwr->return_expr, /*output_position=*/true));
+
+    if (order_.size() > 1) {
+      // Multi-input combination supports plain bindings: windows and
+      // aggregates would give the combination unbounded state.
+      for (const Binding& binding : order_) {
+        if (binding.info.window.has_value() ||
+            binding.info.aggregate.has_value()) {
+          return Status::Unsupported(
+              "multi-input subscriptions with windows or aggregates are "
+              "not supported");
+        }
+      }
+    }
+
+    query.join_conditions = std::move(join_conditions_);
+    for (Binding& binding : order_) {
+      FinalizeReferenced(binding);
+      query.bindings.push_back(std::move(binding.info));
+    }
+    SS_ASSIGN_OR_RETURN(query.props, BuildProperties(query.bindings));
+    return query;
+  }
+
+ private:
+  struct Binding {
+    StreamBinding info;
+    std::set<xml::Path> referenced;
+    std::set<xml::Path> output;
+  };
+
+  Binding* FindBinding(const std::string& var) {
+    for (Binding& binding : order_) {
+      if (binding.info.var == var) return &binding;
+    }
+    return nullptr;
+  }
+
+  Binding* FindBindingByAggVar(const std::string& var) {
+    for (Binding& binding : order_) {
+      if (binding.info.aggregate.has_value() &&
+          binding.info.aggregate->var == var) {
+        return &binding;
+      }
+    }
+    return nullptr;
+  }
+
+  Status ProcessClauses(const FlwrExpr& flwr) {
+    for (const auto& clause : flwr.clauses) {
+      if (const auto* for_clause = std::get_if<ForClause>(&clause)) {
+        SS_RETURN_IF_ERROR(ProcessFor(*for_clause));
+      } else {
+        SS_RETURN_IF_ERROR(ProcessLet(std::get<LetClause>(clause)));
+      }
+    }
+    if (order_.empty()) {
+      return Status::InvalidArgument(
+          "subscription binds no data stream (no for clause over "
+          "stream(...))");
+    }
+    return Status::Ok();
+  }
+
+  Status ProcessFor(const ForClause& clause) {
+    if (clause.source_stream.empty()) {
+      return Status::Unsupported(
+          "for clauses must bind directly from stream(...); binding from "
+          "another variable is not supported");
+    }
+    if (FindBinding(clause.var) != nullptr ||
+        FindBindingByAggVar(clause.var) != nullptr) {
+      return Status::InvalidArgument("variable $" + clause.var +
+                                     " is bound twice");
+    }
+    if (clause.path.size() < 2) {
+      return Status::InvalidArgument(
+          "stream binding path must name the stream root element and the "
+          "item element, e.g. stream(\"photons\")/photons/photon");
+    }
+    Binding binding;
+    binding.info.var = clause.var;
+    binding.info.stream_name = clause.source_stream;
+    binding.info.stream_root = clause.path.steps()[0];
+    binding.info.item_path = xml::Path(std::vector<std::string>(
+        clause.path.steps().begin() + 1, clause.path.steps().end()));
+    binding.info.window = clause.window;
+    if (clause.window.has_value() && !clause.window->reference.empty()) {
+      // The ordered reference element controls the window downstream, so
+      // it must survive projection.
+      binding.referenced.insert(clause.window->reference);
+    }
+    for (const WhereAtom& atom : clause.path_conditions) {
+      SS_ASSIGN_OR_RETURN(std::optional<AtomicPredicate> pred,
+                          AtomToItemPredicate(atom, clause.var, &binding));
+      if (!pred.has_value()) {
+        return Status::InvalidArgument(
+            "bracket conditions cannot reference other bindings");
+      }
+      binding.info.item_predicates.push_back(std::move(*pred));
+    }
+    order_.push_back(std::move(binding));
+    return Status::Ok();
+  }
+
+  Status ProcessLet(const LetClause& clause) {
+    Binding* source = FindBinding(clause.source_var);
+    if (source == nullptr) {
+      return Status::InvalidArgument("let clause aggregates over undefined "
+                                     "variable $" +
+                                     clause.source_var);
+    }
+    if (!source->info.window.has_value()) {
+      return Status::InvalidArgument(
+          "window-based aggregation requires a data window on $" +
+          clause.source_var);
+    }
+    if (source->info.aggregate.has_value()) {
+      return Status::Unsupported(
+          "multiple aggregates over one window are not supported");
+    }
+    if (FindBinding(clause.var) != nullptr) {
+      return Status::InvalidArgument("variable $" + clause.var +
+                                     " is bound twice");
+    }
+    source->info.aggregate =
+        AggregateInfo{clause.var, clause.func, clause.path};
+    source->referenced.insert(clause.path);
+    return Status::Ok();
+  }
+
+  /// Converts a WhereAtom whose lhs belongs to item-bound variable
+  /// `binding_var` into an item-relative atomic predicate, recording the
+  /// referenced paths. A cross-binding comparison instead lands in the
+  /// query's join conditions (evaluated during final combination) and
+  /// yields no predicate.
+  Result<std::optional<AtomicPredicate>> AtomToItemPredicate(
+      const WhereAtom& atom, const std::string& binding_var,
+      Binding* binding) {
+    AtomicPredicate pred;
+    pred.lhs = atom.lhs.path;
+    pred.op = atom.op;
+    pred.constant = atom.constant;
+    binding->referenced.insert(atom.lhs.path);
+    if (atom.rhs.has_value()) {
+      const std::string& rhs_var =
+          atom.rhs->var.empty() ? binding_var : atom.rhs->var;
+      if (rhs_var != binding_var) {
+        Binding* other = FindBinding(rhs_var);
+        if (other == nullptr) {
+          return Status::InvalidArgument(
+              "predicate references undefined variable $" + rhs_var);
+        }
+        // Join condition: both sides must survive projection.
+        other->referenced.insert(atom.rhs->path);
+        join_conditions_.push_back(atom);
+        return std::optional<AtomicPredicate>();
+      }
+      pred.rhs_var = atom.rhs->path;
+      binding->referenced.insert(atom.rhs->path);
+    }
+    return std::optional<AtomicPredicate>(std::move(pred));
+  }
+
+  Status ProcessWhere(const FlwrExpr& flwr) {
+    for (const WhereAtom& atom : flwr.where) {
+      if (atom.lhs.var.empty()) {
+        return Status::InvalidArgument(
+            "where atoms must reference a bound variable");
+      }
+      if (Binding* binding = FindBinding(atom.lhs.var)) {
+        SS_ASSIGN_OR_RETURN(
+            std::optional<AtomicPredicate> pred,
+            AtomToItemPredicate(atom, atom.lhs.var, binding));
+        if (pred.has_value()) {
+          binding->info.item_predicates.push_back(std::move(*pred));
+        }
+        continue;
+      }
+      if (Binding* binding = FindBindingByAggVar(atom.lhs.var)) {
+        if (!atom.lhs.path.empty()) {
+          return Status::InvalidArgument(
+              "aggregate variable $" + atom.lhs.var +
+              " is a value; it has no sub-elements");
+        }
+        if (atom.rhs.has_value()) {
+          return Status::Unsupported(
+              "aggregate values can only be compared against constants");
+        }
+        AtomicPredicate pred;
+        pred.lhs = properties::AggregateValuePath();
+        pred.op = atom.op;
+        pred.constant = atom.constant;
+        binding->info.result_filter.push_back(std::move(pred));
+        continue;
+      }
+      return Status::InvalidArgument("where atom references undefined "
+                                     "variable $" +
+                                     atom.lhs.var);
+    }
+    return Status::Ok();
+  }
+
+  /// Walks the return expression, validating variable uses and collecting
+  /// output / referenced paths.
+  Status CollectOutput(const Expr& expr, bool output_position) {
+    if (const auto* element = expr.As<ElementExpr>()) {
+      for (const ExprPtr& child : element->content) {
+        SS_RETURN_IF_ERROR(CollectOutput(*child, output_position));
+      }
+      return Status::Ok();
+    }
+    if (expr.Is<FlwrExpr>()) {
+      return Status::Internal("nested FLWR slipped past the counter");
+    }
+    if (const auto* cond = expr.As<IfExpr>()) {
+      for (const WhereAtom& atom : cond->condition) {
+        SS_RETURN_IF_ERROR(RecordConditionAtom(atom));
+      }
+      SS_RETURN_IF_ERROR(CollectOutput(*cond->then_expr, output_position));
+      return CollectOutput(*cond->else_expr, output_position);
+    }
+    if (const auto* path_out = expr.As<PathOutputExpr>()) {
+      Binding* binding = FindBinding(path_out->var);
+      if (binding == nullptr) {
+        return Status::InvalidArgument(
+            "return clause references undefined variable $" +
+            path_out->var);
+      }
+      xml::Path plain = path_out->PlainPath();
+      binding->referenced.insert(plain);
+      if (output_position) binding->output.insert(plain);
+      // Bracket conditions are relative to the node selected at their
+      // step; record the full item-relative paths so they survive
+      // projection.
+      std::vector<std::string> prefix;
+      for (const PathStep& step : path_out->steps) {
+        prefix.push_back(step.name);
+        xml::Path step_path(prefix);
+        for (const WhereAtom& atom : step.conditions) {
+          if (!atom.lhs.var.empty() ||
+              (atom.rhs.has_value() && !atom.rhs->var.empty())) {
+            return Status::Unsupported(
+                "path conditions must be relative to the selected node");
+          }
+          binding->referenced.insert(step_path.Concat(atom.lhs.path));
+          if (atom.rhs.has_value()) {
+            binding->referenced.insert(
+                step_path.Concat(atom.rhs->path));
+          }
+        }
+      }
+      return Status::Ok();
+    }
+    if (const auto* var_out = expr.As<VarOutputExpr>()) {
+      if (Binding* binding = FindBinding(var_out->var)) {
+        binding->info.returns_whole_item = true;
+        return Status::Ok();
+      }
+      if (FindBindingByAggVar(var_out->var) != nullptr) {
+        return Status::Ok();  // outputs the aggregate value
+      }
+      return Status::InvalidArgument(
+          "return clause references undefined variable $" + var_out->var);
+    }
+    const auto& sequence = std::get<SequenceExpr>(expr.node);
+    for (const ExprPtr& item : sequence.items) {
+      SS_RETURN_IF_ERROR(CollectOutput(*item, output_position));
+    }
+    return Status::Ok();
+  }
+
+  /// Conditions inside if-expressions reference bound variables; they only
+  /// affect restructuring, but their paths must survive projection.
+  Status RecordConditionAtom(const WhereAtom& atom) {
+    auto record = [&](const VarPath& vp) -> Status {
+      if (vp.var.empty()) {
+        return Status::InvalidArgument(
+            "conditions in return expressions must reference a bound "
+            "variable");
+      }
+      if (Binding* binding = FindBinding(vp.var)) {
+        binding->referenced.insert(vp.path);
+        return Status::Ok();
+      }
+      if (FindBindingByAggVar(vp.var) != nullptr) return Status::Ok();
+      return Status::InvalidArgument("condition references undefined "
+                                     "variable $" +
+                                     vp.var);
+    };
+    SS_RETURN_IF_ERROR(record(atom.lhs));
+    if (atom.rhs.has_value()) SS_RETURN_IF_ERROR(record(*atom.rhs));
+    return Status::Ok();
+  }
+
+  void FinalizeReferenced(Binding& binding) {
+    binding.info.referenced_paths.assign(binding.referenced.begin(),
+                                         binding.referenced.end());
+    binding.info.output_paths.assign(binding.output.begin(),
+                                     binding.output.end());
+  }
+
+  static Result<properties::Properties> BuildProperties(
+      const std::vector<StreamBinding>& bindings) {
+    properties::Properties props;
+    for (const StreamBinding& binding : bindings) {
+      properties::InputStreamProperties& input =
+          props.AddInput(binding.stream_name);
+      if (binding.aggregate.has_value()) {
+        // Aggregate subscriptions expose their pre-selection and their
+        // referenced elements as σ and Π operators *in addition to* the
+        // embedded copies inside the AggregationOp: Algorithm 2 compares
+        // operators by kind, and only this layout lets an aggregate
+        // subscription reuse a merely selected/projected stream (e.g. Q3
+        // reusing Q1's filtered stream). The Π of an aggregate entry sets
+        // output = referenced — the aggregate stream conceptually covers
+        // exactly those elements; actual data availability between two
+        // aggregate entries is guarded by MatchAggregations.
+        if (!binding.item_predicates.empty()) {
+          SS_ASSIGN_OR_RETURN(SelectionOp selection,
+                              SelectionOp::Create(binding.item_predicates));
+          input.operators.emplace_back(std::move(selection));
+        }
+        ProjectionOp projection;
+        projection.referenced = binding.referenced_paths;
+        projection.output = binding.referenced_paths;
+        input.operators.emplace_back(std::move(projection));
+        SS_ASSIGN_OR_RETURN(
+            AggregationOp agg,
+            AggregationOp::Create(binding.aggregate->func,
+                                  binding.aggregate->path, *binding.window,
+                                  binding.item_predicates,
+                                  binding.result_filter));
+        input.operators.emplace_back(std::move(agg));
+        continue;
+      }
+      if (!binding.item_predicates.empty()) {
+        SS_ASSIGN_OR_RETURN(SelectionOp selection,
+                            SelectionOp::Create(binding.item_predicates));
+        input.operators.emplace_back(std::move(selection));
+      }
+      if (binding.window.has_value()) {
+        // A window whose contents are returned verbatim (no aggregate):
+        // sharable only with an identical window, modeled as an opaque
+        // operator per §3.3's unknown-operator rule. The spec fields are
+        // the operator's parameter vector — identical parameters ⇔
+        // identical window — and let the cost model recover the window.
+        const properties::WindowSpec& window = *binding.window;
+        input.operators.emplace_back(UserDefinedOp{
+            "window-contents",
+            {window.type == properties::WindowType::kCount ? "count"
+                                                           : "diff",
+             window.size.ToString(), window.step.ToString(),
+             window.reference.ToString()}});
+      }
+      if (!binding.returns_whole_item) {
+        // The materialized stream keeps every referenced element (return
+        // outputs plus elements the final restructuring's conditions read);
+        // output = referenced keeps the properties honest about the
+        // stream's physical content and maximizes reusability.
+        ProjectionOp projection;
+        projection.referenced = binding.referenced_paths;
+        projection.output = binding.referenced_paths;
+        input.operators.emplace_back(std::move(projection));
+      }
+    }
+    return props;
+  }
+
+  std::vector<Binding> order_;
+  std::vector<WhereAtom> join_conditions_;
+};
+
+}  // namespace
+
+Result<AnalyzedQuery> Analyze(ExprPtr root) {
+  Analyzer analyzer;
+  return analyzer.Run(std::move(root));
+}
+
+Result<AnalyzedQuery> ParseAndAnalyze(std::string_view query_text) {
+  SS_ASSIGN_OR_RETURN(ExprPtr root, ParseQuery(query_text));
+  return Analyze(std::move(root));
+}
+
+}  // namespace streamshare::wxquery

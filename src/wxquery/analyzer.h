@@ -1,0 +1,86 @@
+// Semantic analysis of WXQuery subscriptions: validates the restrictions
+// the paper imposes (flat queries, defined variables, stream-rooted
+// bindings, conjunctive conditions) and derives the properties
+// representation of §3.1 — per input stream, the selection, projection and
+// window-aggregation operators with their conditions. The AST is retained
+// because the final restructuring step (the return clause) executes from
+// it; restructuring details never enter the properties.
+
+#ifndef STREAMSHARE_WXQUERY_ANALYZER_H_
+#define STREAMSHARE_WXQUERY_ANALYZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "properties/properties.h"
+#include "wxquery/ast.h"
+
+namespace streamshare::wxquery {
+
+/// The aggregation requested by a let clause.
+struct AggregateInfo {
+  std::string var;  // $a
+  properties::AggregateFunc func = properties::AggregateFunc::kAvg;
+  xml::Path path;  // aggregated element, relative to the window items
+};
+
+/// Everything the system needs to know about one stream-bound for clause.
+struct StreamBinding {
+  /// The for variable ($p, $w).
+  std::string var;
+  /// The referenced input data stream ("photons").
+  std::string stream_name;
+  /// The stream's root element (first step of the binding path).
+  std::string stream_root;
+  /// Path from the root to the bound item (remaining steps, usually one:
+  /// the item element name, e.g. "photon").
+  xml::Path item_path;
+  /// Conjunction of all selection predicates on the bound items (bracket
+  /// conditions merged with where atoms over this binding's variable);
+  /// paths are relative to the item.
+  std::vector<predicate::AtomicPredicate> item_predicates;
+  std::optional<properties::WindowSpec> window;
+  std::optional<AggregateInfo> aggregate;
+  /// Predicates on the aggregate value (lhs = AggregateValuePath()).
+  std::vector<predicate::AtomicPredicate> result_filter;
+  /// R′: all item-relative element paths the query touches.
+  std::vector<xml::Path> referenced_paths;
+  /// R: item-relative element paths present in the result stream.
+  std::vector<xml::Path> output_paths;
+  /// True if the query returns the bound item in full ($z form); output
+  /// then covers the whole item and no projection applies.
+  bool returns_whole_item = false;
+};
+
+/// A validated subscription: AST + derived metadata + properties.
+struct AnalyzedQuery {
+  ExprPtr root;
+  /// The single FLWR expression of the (flat) query; points into root.
+  const FlwrExpr* flwr = nullptr;
+  /// Tag of the enclosing element constructor, if the query wraps its
+  /// FLWR in one (e.g. "photons" in the paper's examples); empty
+  /// otherwise.
+  std::string wrapper_tag;
+  std::vector<StreamBinding> bindings;
+  /// Cross-binding where atoms (join conditions). They never enter any
+  /// input's properties — the paper performs stream combination in the
+  /// final post-processing step at the query's super-peer, and its result
+  /// is not considered for reuse (§3.1).
+  std::vector<WhereAtom> join_conditions;
+  properties::Properties props;
+};
+
+/// Analyzes a parsed query. Fails with kUnsupported for nested FLWRs (the
+/// paper's properties approach handles flat queries; nesting is its future
+/// work), kUnsatisfiable for contradictory predicates, kInvalidArgument /
+/// kNotFound for semantic errors.
+Result<AnalyzedQuery> Analyze(ExprPtr root);
+
+/// Convenience: parse + analyze.
+Result<AnalyzedQuery> ParseAndAnalyze(std::string_view query_text);
+
+}  // namespace streamshare::wxquery
+
+#endif  // STREAMSHARE_WXQUERY_ANALYZER_H_

@@ -1,0 +1,170 @@
+#include "wxquery/ast.h"
+
+#include "common/string_util.h"
+
+namespace streamshare::wxquery {
+
+std::string VarPath::ToString() const {
+  std::string out;
+  if (!var.empty()) {
+    out += "$" + var;
+    if (!path.empty()) out += "/";
+  }
+  out += path.ToString();
+  return out;
+}
+
+std::string WhereAtom::ToString() const {
+  std::string out = lhs.ToString();
+  out += ' ';
+  out += predicate::ComparisonOpToString(op);
+  out += ' ';
+  if (rhs.has_value()) {
+    out += rhs->ToString();
+    Decimal zero;
+    if (constant != zero) {
+      if (constant < zero) {
+        out += " - " + (-constant).ToString();
+      } else {
+        out += " + " + constant.ToString();
+      }
+    }
+  } else {
+    out += constant.ToString();
+  }
+  return out;
+}
+
+std::string PrintCondition(const std::vector<WhereAtom>& atoms) {
+  std::vector<std::string> parts;
+  parts.reserve(atoms.size());
+  for (const WhereAtom& atom : atoms) parts.push_back(atom.ToString());
+  return Join(parts, " and ");
+}
+
+std::string PathStep::ToString() const {
+  std::string out = name;
+  if (!conditions.empty()) {
+    out += "[" + PrintCondition(conditions) + "]";
+  }
+  return out;
+}
+
+xml::Path PathOutputExpr::PlainPath() const {
+  std::vector<std::string> names;
+  names.reserve(steps.size());
+  for (const PathStep& step : steps) names.push_back(step.name);
+  return xml::Path(std::move(names));
+}
+
+bool PathOutputExpr::HasConditions() const {
+  for (const PathStep& step : steps) {
+    if (!step.conditions.empty()) return true;
+  }
+  return false;
+}
+
+std::string ForClause::ToString() const {
+  std::string out = "for $" + var + " in ";
+  if (!source_stream.empty()) {
+    out += "stream(\"" + source_stream + "\")";
+  } else {
+    out += "$" + source_var;
+  }
+  if (!path.empty()) out += "/" + path.ToString();
+  if (!path_conditions.empty()) {
+    out += "[" + PrintCondition(path_conditions) + "]";
+  }
+  if (window.has_value()) out += " " + window->ToString();
+  return out;
+}
+
+std::string LetClause::ToString() const {
+  std::string out = "let $" + var + " := ";
+  out += properties::AggregateFuncToString(func);
+  out += "($" + source_var;
+  if (!path.empty()) out += "/" + path.ToString();
+  out += ")";
+  return out;
+}
+
+namespace {
+
+void PrintTo(const Expr& expr, std::string* out);
+
+void PrintFlwr(const FlwrExpr& flwr, std::string* out) {
+  for (const auto& clause : flwr.clauses) {
+    if (const auto* for_clause = std::get_if<ForClause>(&clause)) {
+      out->append(for_clause->ToString());
+    } else {
+      out->append(std::get<LetClause>(clause).ToString());
+    }
+    out->append(" ");
+  }
+  if (!flwr.where.empty()) {
+    out->append("where ").append(PrintCondition(flwr.where)).append(" ");
+  }
+  out->append("return ");
+  PrintTo(*flwr.return_expr, out);
+}
+
+void PrintTo(const Expr& expr, std::string* out) {
+  if (const auto* element = expr.As<ElementExpr>()) {
+    if (element->content.empty()) {
+      out->append("<").append(element->tag).append("/>");
+      return;
+    }
+    out->append("<").append(element->tag).append(">");
+    for (const ExprPtr& child : element->content) {
+      if (child->Is<ElementExpr>()) {
+        PrintTo(*child, out);
+      } else {
+        out->append(" { ");
+        PrintTo(*child, out);
+        out->append(" } ");
+      }
+    }
+    out->append("</").append(element->tag).append(">");
+    return;
+  }
+  if (const auto* flwr = expr.As<FlwrExpr>()) {
+    PrintFlwr(*flwr, out);
+    return;
+  }
+  if (const auto* cond = expr.As<IfExpr>()) {
+    out->append("if ").append(PrintCondition(cond->condition));
+    out->append(" then ");
+    PrintTo(*cond->then_expr, out);
+    out->append(" else ");
+    PrintTo(*cond->else_expr, out);
+    return;
+  }
+  if (const auto* path_out = expr.As<PathOutputExpr>()) {
+    out->append("$").append(path_out->var);
+    for (const PathStep& step : path_out->steps) {
+      out->append("/").append(step.ToString());
+    }
+    return;
+  }
+  if (const auto* var_out = expr.As<VarOutputExpr>()) {
+    out->append("$").append(var_out->var);
+    return;
+  }
+  const auto& sequence = std::get<SequenceExpr>(expr.node);
+  out->append("(");
+  for (size_t i = 0; i < sequence.items.size(); ++i) {
+    if (i > 0) out->append(", ");
+    PrintTo(*sequence.items[i], out);
+  }
+  out->append(")");
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr) {
+  std::string out;
+  PrintTo(expr, &out);
+  return out;
+}
+
+}  // namespace streamshare::wxquery

@@ -1,0 +1,156 @@
+// Abstract syntax tree for WXQuery (Definition 2.1). The seven expression
+// forms map onto six node types (the two element-constructor forms share
+// ElementExpr). Conditions — whether in a where clause or in a path — are
+// conjunctions of WhereAtoms; window definitions reuse
+// properties::WindowSpec.
+
+#ifndef STREAMSHARE_WXQUERY_AST_H_
+#define STREAMSHARE_WXQUERY_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/decimal.h"
+#include "predicate/atomic.h"
+#include "properties/operators.h"
+#include "properties/window.h"
+#include "xml/path.h"
+
+namespace streamshare::wxquery {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A variable with an optional relative path: $v or $v/a/b. An empty var
+/// denotes the implicit context of a path condition ([ra >= 120.0] inside
+/// a binding path — the paths are relative to the bound item).
+struct VarPath {
+  std::string var;
+  xml::Path path;
+
+  std::string ToString() const;
+  bool operator==(const VarPath& other) const = default;
+};
+
+/// One atomic condition: lhs θ c or lhs θ rhs + c.
+struct WhereAtom {
+  VarPath lhs;
+  predicate::ComparisonOp op = predicate::ComparisonOp::kEq;
+  std::optional<VarPath> rhs;
+  Decimal constant;
+
+  std::string ToString() const;
+  bool operator==(const WhereAtom& other) const = default;
+};
+
+/// for $x in $y[/π̄]? [|window|]?  — the binding source is either a data
+/// stream (stream("name")) or a previously bound variable.
+struct ForClause {
+  std::string var;
+  /// Exactly one of source_stream / source_var is non-empty.
+  std::string source_stream;
+  std::string source_var;
+  /// Relative path after the source. For a stream source the first step is
+  /// the stream's root element (e.g. "photons/photon").
+  xml::Path path;
+  /// Conditions from a bracket group on the final path step; their VarPath
+  /// vars are empty (relative to the bound node).
+  std::vector<WhereAtom> path_conditions;
+  std::optional<properties::WindowSpec> window;
+
+  std::string ToString() const;
+};
+
+/// let $a := Φ($y[/π]?).
+struct LetClause {
+  std::string var;
+  properties::AggregateFunc func = properties::AggregateFunc::kAvg;
+  std::string source_var;
+  xml::Path path;
+
+  std::string ToString() const;
+};
+
+/// FLWR expression: (for | let)+ [where]? return α.
+struct FlwrExpr {
+  std::vector<std::variant<ForClause, LetClause>> clauses;
+  std::vector<WhereAtom> where;
+  ExprPtr return_expr;
+};
+
+/// <t/> and <t>...</t>. Content entries are either nested element
+/// constructors or braced expressions; the distinction is syntactic only
+/// and not preserved.
+struct ElementExpr {
+  std::string tag;
+  std::vector<ExprPtr> content;
+};
+
+/// if χ then α else β.
+struct IfExpr {
+  std::vector<WhereAtom> condition;
+  ExprPtr then_expr;
+  ExprPtr else_expr;
+};
+
+/// One step of a conditioned path π̄: a child-axis step with an optional
+/// bracket condition group filtering the nodes selected at this step
+/// (condition paths are relative to the selected node).
+struct PathStep {
+  std::string name;
+  std::vector<WhereAtom> conditions;
+
+  std::string ToString() const;
+};
+
+/// $y/π̄ — outputs the subtrees reached through the conditioned path
+/// (form 5). Conditions may appear after any step, per Definition 2.1.
+struct PathOutputExpr {
+  std::string var;
+  std::vector<PathStep> steps;
+
+  /// The path with conditions stripped.
+  xml::Path PlainPath() const;
+  bool HasConditions() const;
+};
+
+/// $z — outputs the subtree (or aggregate value) bound to a variable
+/// (form 6).
+struct VarOutputExpr {
+  std::string var;
+};
+
+/// ( α, β, ... ) (form 7).
+struct SequenceExpr {
+  std::vector<ExprPtr> items;
+};
+
+/// Any WXQuery expression.
+struct Expr {
+  std::variant<ElementExpr, FlwrExpr, IfExpr, PathOutputExpr, VarOutputExpr,
+               SequenceExpr>
+      node;
+
+  template <typename T>
+  const T* As() const {
+    return std::get_if<T>(&node);
+  }
+  template <typename T>
+  bool Is() const {
+    return std::holds_alternative<T>(node);
+  }
+};
+
+/// Pretty-prints an expression back to WXQuery syntax (parse ∘ print is
+/// the identity on ASTs; tested as such).
+std::string PrintExpr(const Expr& expr);
+
+/// Renders a conjunction "a and b and c".
+std::string PrintCondition(const std::vector<WhereAtom>& atoms);
+
+}  // namespace streamshare::wxquery
+
+#endif  // STREAMSHARE_WXQUERY_AST_H_

@@ -1,0 +1,561 @@
+#include "wxquery/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace streamshare::wxquery {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) ||
+         std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '.';
+}
+
+bool IsNumberStart(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+         c == '+' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<ExprPtr> ParseComplete() {
+    SkipWs();
+    SS_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    SkipWs();
+    if (!AtEnd()) {
+      return Error("unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  // --- low-level machinery -----------------------------------------------
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  void Advance() {
+    if (AtEnd()) return;
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      // XQuery comment "(: ... :)" (nesting supported).
+      if (c == '(' && Peek(1) == ':') {
+        int depth = 0;
+        while (!AtEnd()) {
+          if (Peek() == '(' && Peek(1) == ':') {
+            ++depth;
+            Advance();
+            Advance();
+          } else if (Peek() == ':' && Peek(1) == ')') {
+            --depth;
+            Advance();
+            Advance();
+            if (depth == 0) break;
+          } else {
+            Advance();
+          }
+        }
+        continue;
+      }
+      break;
+    }
+  }
+
+  Status Error(std::string message) const {
+    return Status::ParseError(message + " at " + std::to_string(line_) +
+                              ":" + std::to_string(column_));
+  }
+
+  bool LookingAt(std::string_view text) const {
+    return input_.substr(pos_).starts_with(text);
+  }
+
+  /// Matches a keyword: the text followed by a non-name character.
+  bool LookingAtKeyword(std::string_view word) const {
+    if (!LookingAt(word)) return false;
+    char next = Peek(word.size());
+    return !IsNameChar(next);
+  }
+
+  bool ConsumeIf(std::string_view text) {
+    if (!LookingAt(text)) return false;
+    for (size_t i = 0; i < text.size(); ++i) Advance();
+    return true;
+  }
+
+  bool ConsumeKeyword(std::string_view word) {
+    if (!LookingAtKeyword(word)) return false;
+    for (size_t i = 0; i < word.size(); ++i) Advance();
+    return true;
+  }
+
+  Status Expect(std::string_view text) {
+    if (!ConsumeIf(text)) {
+      return Error("expected '" + std::string(text) + "'");
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Error("expected a name");
+    }
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      name += Peek();
+      Advance();
+    }
+    return name;
+  }
+
+  Result<std::string> ParseVariable() {
+    SS_RETURN_IF_ERROR(Expect("$"));
+    return ParseName();
+  }
+
+  Result<Decimal> ParseNumber() {
+    std::string text;
+    if (Peek() == '-' || Peek() == '+') {
+      text += Peek();
+      Advance();
+    }
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '.')) {
+      text += Peek();
+      Advance();
+    }
+    Result<Decimal> value = Decimal::Parse(text);
+    if (!value.ok()) return Error("invalid number '" + text + "'");
+    return value;
+  }
+
+  Result<std::string> ParseStringLiteral() {
+    SS_RETURN_IF_ERROR(Expect("\""));
+    std::string text;
+    while (!AtEnd() && Peek() != '"') {
+      text += Peek();
+      Advance();
+    }
+    SS_RETURN_IF_ERROR(Expect("\""));
+    return text;
+  }
+
+  /// Parses a relative path "a/b/c" (no leading '/'). Stops before '[',
+  /// whitespace, or any non-name, non-'/' character.
+  Result<xml::Path> ParseRelativePath() {
+    std::vector<std::string> steps;
+    while (true) {
+      SS_ASSIGN_OR_RETURN(std::string step, ParseName());
+      steps.push_back(std::move(step));
+      if (Peek() == '/' && IsNameStartChar(Peek(1))) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return xml::Path(std::move(steps));
+  }
+
+  // --- conditions ---------------------------------------------------------
+
+  /// Operand of a comparison: $v(/path)?, a bare path (inside bracket
+  /// conditions), or a number. Exactly one of (var_path, constant) is set.
+  struct Operand {
+    std::optional<VarPath> var_path;
+    Decimal constant;
+  };
+
+  Result<Operand> ParseOperand(bool allow_bare_path) {
+    Operand operand;
+    if (Peek() == '$') {
+      VarPath vp;
+      SS_ASSIGN_OR_RETURN(vp.var, ParseVariable());
+      if (Peek() == '/' && IsNameStartChar(Peek(1))) {
+        Advance();
+        SS_ASSIGN_OR_RETURN(vp.path, ParseRelativePath());
+      }
+      operand.var_path = std::move(vp);
+      return operand;
+    }
+    if (allow_bare_path && IsNameStartChar(Peek())) {
+      VarPath vp;  // empty var = relative to the condition's context node
+      SS_ASSIGN_OR_RETURN(vp.path, ParseRelativePath());
+      operand.var_path = std::move(vp);
+      return operand;
+    }
+    if (IsNumberStart(Peek())) {
+      SS_ASSIGN_OR_RETURN(operand.constant, ParseNumber());
+      return operand;
+    }
+    return Error("expected a variable, path, or number");
+  }
+
+  Result<predicate::ComparisonOp> ParseComparisonOp() {
+    if (ConsumeIf("<=")) return predicate::ComparisonOp::kLe;
+    if (ConsumeIf(">=")) return predicate::ComparisonOp::kGe;
+    if (ConsumeIf("=")) return predicate::ComparisonOp::kEq;
+    if (ConsumeIf("<")) return predicate::ComparisonOp::kLt;
+    if (ConsumeIf(">")) return predicate::ComparisonOp::kGt;
+    return Error("expected a comparison operator");
+  }
+
+  /// atom := operand θ operand [± number]. The grammar requires the lhs to
+  /// be a variable/path; a constant lhs is normalized by flipping.
+  Result<WhereAtom> ParseAtom(bool allow_bare_path) {
+    SS_ASSIGN_OR_RETURN(Operand lhs, ParseOperand(allow_bare_path));
+    SkipWs();
+    SS_ASSIGN_OR_RETURN(predicate::ComparisonOp op, ParseComparisonOp());
+    SkipWs();
+    SS_ASSIGN_OR_RETURN(Operand rhs, ParseOperand(allow_bare_path));
+    // Optional trailing "± number" after a variable rhs.
+    Decimal offset;
+    SkipWs();
+    if (rhs.var_path.has_value() && (Peek() == '+' || Peek() == '-')) {
+      bool negative = Peek() == '-';
+      Advance();
+      SkipWs();
+      SS_ASSIGN_OR_RETURN(offset, ParseNumber());
+      if (negative) offset = -offset;
+    }
+
+    if (!lhs.var_path.has_value() && !rhs.var_path.has_value()) {
+      return Error("comparison between two constants");
+    }
+    WhereAtom atom;
+    if (!lhs.var_path.has_value()) {
+      // c θ $v: flip to $v θ' c.
+      atom.lhs = std::move(*rhs.var_path);
+      switch (op) {
+        case predicate::ComparisonOp::kLt:
+          atom.op = predicate::ComparisonOp::kGt;
+          break;
+        case predicate::ComparisonOp::kLe:
+          atom.op = predicate::ComparisonOp::kGe;
+          break;
+        case predicate::ComparisonOp::kGt:
+          atom.op = predicate::ComparisonOp::kLt;
+          break;
+        case predicate::ComparisonOp::kGe:
+          atom.op = predicate::ComparisonOp::kLe;
+          break;
+        case predicate::ComparisonOp::kEq:
+          atom.op = predicate::ComparisonOp::kEq;
+          break;
+      }
+      atom.constant = lhs.constant;
+      return atom;
+    }
+    atom.lhs = std::move(*lhs.var_path);
+    atom.op = op;
+    if (rhs.var_path.has_value()) {
+      atom.rhs = std::move(*rhs.var_path);
+      atom.constant = offset;
+    } else {
+      atom.constant = rhs.constant;
+    }
+    return atom;
+  }
+
+  Result<std::vector<WhereAtom>> ParseConjunction(bool allow_bare_path) {
+    std::vector<WhereAtom> atoms;
+    while (true) {
+      SkipWs();
+      SS_ASSIGN_OR_RETURN(WhereAtom atom, ParseAtom(allow_bare_path));
+      atoms.push_back(std::move(atom));
+      SkipWs();
+      if (!ConsumeKeyword("and")) break;
+    }
+    return atoms;
+  }
+
+  // --- windows ------------------------------------------------------------
+
+  Result<properties::WindowSpec> ParseWindow() {
+    SS_RETURN_IF_ERROR(Expect("|"));
+    SkipWs();
+    properties::WindowSpec spec;
+    if (ConsumeKeyword("count")) {
+      SkipWs();
+      SS_ASSIGN_OR_RETURN(Decimal size, ParseNumber());
+      spec.type = properties::WindowType::kCount;
+      spec.size = size;
+    } else {
+      SS_ASSIGN_OR_RETURN(xml::Path reference, ParseRelativePath());
+      SkipWs();
+      if (!ConsumeKeyword("diff")) {
+        return Error("expected 'diff' in time-based window");
+      }
+      SkipWs();
+      SS_ASSIGN_OR_RETURN(Decimal size, ParseNumber());
+      spec.type = properties::WindowType::kDiff;
+      spec.reference = std::move(reference);
+      spec.size = size;
+    }
+    SkipWs();
+    if (ConsumeKeyword("step")) {
+      SkipWs();
+      SS_ASSIGN_OR_RETURN(spec.step, ParseNumber());
+    } else {
+      spec.step = spec.size;
+    }
+    SkipWs();
+    SS_RETURN_IF_ERROR(Expect("|"));
+    Status valid = spec.Validate();
+    if (!valid.ok()) return Error(std::string(valid.message()));
+    return spec;
+  }
+
+  // --- FLWR ----------------------------------------------------------------
+
+  Result<ForClause> ParseForClause() {
+    // "for" was already consumed.
+    ForClause clause;
+    SkipWs();
+    SS_ASSIGN_OR_RETURN(clause.var, ParseVariable());
+    SkipWs();
+    if (!ConsumeKeyword("in")) return Error("expected 'in'");
+    SkipWs();
+    if (LookingAtKeyword("stream")) {
+      ConsumeKeyword("stream");
+      SkipWs();
+      SS_RETURN_IF_ERROR(Expect("("));
+      SkipWs();
+      SS_ASSIGN_OR_RETURN(clause.source_stream, ParseStringLiteral());
+      SkipWs();
+      SS_RETURN_IF_ERROR(Expect(")"));
+    } else if (Peek() == '$') {
+      SS_ASSIGN_OR_RETURN(clause.source_var, ParseVariable());
+    } else {
+      return Error("expected stream(\"...\") or a variable");
+    }
+    if (Peek() == '/') {
+      Advance();
+      SS_ASSIGN_OR_RETURN(clause.path, ParseRelativePath());
+    }
+    SkipWs();
+    if (Peek() == '[') {
+      Advance();
+      SS_ASSIGN_OR_RETURN(clause.path_conditions,
+                          ParseConjunction(/*allow_bare_path=*/true));
+      SkipWs();
+      SS_RETURN_IF_ERROR(Expect("]"));
+      SkipWs();
+    }
+    if (Peek() == '|') {
+      SS_ASSIGN_OR_RETURN(auto window, ParseWindow());
+      clause.window = std::move(window);
+    }
+    return clause;
+  }
+
+  Result<LetClause> ParseLetClause() {
+    // "let" was already consumed.
+    LetClause clause;
+    SkipWs();
+    SS_ASSIGN_OR_RETURN(clause.var, ParseVariable());
+    SkipWs();
+    SS_RETURN_IF_ERROR(Expect(":="));
+    SkipWs();
+    SS_ASSIGN_OR_RETURN(std::string func_name, ParseName());
+    if (func_name == "min") {
+      clause.func = properties::AggregateFunc::kMin;
+    } else if (func_name == "max") {
+      clause.func = properties::AggregateFunc::kMax;
+    } else if (func_name == "sum") {
+      clause.func = properties::AggregateFunc::kSum;
+    } else if (func_name == "count") {
+      clause.func = properties::AggregateFunc::kCount;
+    } else if (func_name == "avg") {
+      clause.func = properties::AggregateFunc::kAvg;
+    } else {
+      return Error("unknown aggregation function '" + func_name + "'");
+    }
+    SkipWs();
+    SS_RETURN_IF_ERROR(Expect("("));
+    SkipWs();
+    SS_ASSIGN_OR_RETURN(clause.source_var, ParseVariable());
+    if (Peek() == '/') {
+      Advance();
+      SS_ASSIGN_OR_RETURN(clause.path, ParseRelativePath());
+    }
+    SkipWs();
+    SS_RETURN_IF_ERROR(Expect(")"));
+    return clause;
+  }
+
+  Result<ExprPtr> ParseFlwr() {
+    FlwrExpr flwr;
+    while (true) {
+      SkipWs();
+      if (ConsumeKeyword("for")) {
+        SS_ASSIGN_OR_RETURN(ForClause clause, ParseForClause());
+        flwr.clauses.emplace_back(std::move(clause));
+      } else if (ConsumeKeyword("let")) {
+        SS_ASSIGN_OR_RETURN(LetClause clause, ParseLetClause());
+        flwr.clauses.emplace_back(std::move(clause));
+      } else {
+        break;
+      }
+    }
+    if (flwr.clauses.empty()) {
+      return Error("FLWR expression requires at least one for/let clause");
+    }
+    SkipWs();
+    if (ConsumeKeyword("where")) {
+      SS_ASSIGN_OR_RETURN(flwr.where,
+                          ParseConjunction(/*allow_bare_path=*/false));
+      SkipWs();
+    }
+    if (!ConsumeKeyword("return")) return Error("expected 'return'");
+    SkipWs();
+    SS_ASSIGN_OR_RETURN(flwr.return_expr, ParseExpr());
+    return std::make_unique<Expr>(Expr{std::move(flwr)});
+  }
+
+  // --- element constructors -------------------------------------------------
+
+  Result<ExprPtr> ParseElement() {
+    SS_RETURN_IF_ERROR(Expect("<"));
+    ElementExpr element;
+    SS_ASSIGN_OR_RETURN(element.tag, ParseName());
+    SkipWs();
+    if (ConsumeIf("/>")) {
+      return std::make_unique<Expr>(Expr{std::move(element)});
+    }
+    SS_RETURN_IF_ERROR(Expect(">"));
+    while (true) {
+      SkipWs();
+      if (LookingAt("</")) break;
+      if (Peek() == '<') {
+        SS_ASSIGN_OR_RETURN(ExprPtr child, ParseElement());
+        element.content.push_back(std::move(child));
+        continue;
+      }
+      if (Peek() == '{') {
+        Advance();
+        SkipWs();
+        SS_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+        element.content.push_back(std::move(child));
+        SkipWs();
+        SS_RETURN_IF_ERROR(Expect("}"));
+        continue;
+      }
+      return Error(
+          "element content must be a nested constructor or a braced "
+          "expression");
+    }
+    SS_RETURN_IF_ERROR(Expect("</"));
+    SS_ASSIGN_OR_RETURN(std::string closing, ParseName());
+    if (closing != element.tag) {
+      return Error("mismatched closing tag </" + closing + "> for <" +
+                   element.tag + ">");
+    }
+    SkipWs();
+    SS_RETURN_IF_ERROR(Expect(">"));
+    return std::make_unique<Expr>(Expr{std::move(element)});
+  }
+
+  // --- top-level dispatch ----------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() {
+    SkipWs();
+    if (AtEnd()) return Error("unexpected end of input");
+    if (Peek() == '<') return ParseElement();
+    if (LookingAtKeyword("for") || LookingAtKeyword("let")) {
+      return ParseFlwr();
+    }
+    if (ConsumeKeyword("if")) {
+      IfExpr cond;
+      SS_ASSIGN_OR_RETURN(cond.condition,
+                          ParseConjunction(/*allow_bare_path=*/false));
+      SkipWs();
+      if (!ConsumeKeyword("then")) return Error("expected 'then'");
+      SS_ASSIGN_OR_RETURN(cond.then_expr, ParseExpr());
+      SkipWs();
+      if (!ConsumeKeyword("else")) return Error("expected 'else'");
+      SS_ASSIGN_OR_RETURN(cond.else_expr, ParseExpr());
+      return std::make_unique<Expr>(Expr{std::move(cond)});
+    }
+    if (Peek() == '$') {
+      std::string var;
+      {
+        SS_ASSIGN_OR_RETURN(var, ParseVariable());
+      }
+      if (Peek() == '/' && IsNameStartChar(Peek(1))) {
+        // π̄: conditioned path — a bracket group may follow any step.
+        PathOutputExpr path_out;
+        path_out.var = std::move(var);
+        while (Peek() == '/' && IsNameStartChar(Peek(1))) {
+          Advance();
+          PathStep step;
+          SS_ASSIGN_OR_RETURN(step.name, ParseName());
+          if (Peek() == '[') {
+            Advance();
+            SS_ASSIGN_OR_RETURN(
+                step.conditions,
+                ParseConjunction(/*allow_bare_path=*/true));
+            SkipWs();
+            SS_RETURN_IF_ERROR(Expect("]"));
+          }
+          path_out.steps.push_back(std::move(step));
+        }
+        return std::make_unique<Expr>(Expr{std::move(path_out)});
+      }
+      return std::make_unique<Expr>(Expr{VarOutputExpr{std::move(var)}});
+    }
+    if (Peek() == '(') {
+      Advance();
+      SequenceExpr sequence;
+      SkipWs();
+      if (!ConsumeIf(")")) {
+        while (true) {
+          SS_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+          sequence.items.push_back(std::move(item));
+          SkipWs();
+          if (ConsumeIf(",")) continue;
+          break;
+        }
+        SS_RETURN_IF_ERROR(Expect(")"));
+      }
+      return std::make_unique<Expr>(Expr{std::move(sequence)});
+    }
+    return Error("expected an expression");
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseQuery(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseComplete();
+}
+
+}  // namespace streamshare::wxquery

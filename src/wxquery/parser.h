@@ -1,0 +1,24 @@
+// Recursive-descent parser for WXQuery (Definition 2.1). The grammar mixes
+// XML syntax (direct element constructors) with query syntax (FLWR, paths,
+// windows), so the parser works at character level and switches context
+// explicitly instead of using a fixed token stream. XQuery comments
+// "(: ... :)" are accepted anywhere whitespace is.
+
+#ifndef STREAMSHARE_WXQUERY_PARSER_H_
+#define STREAMSHARE_WXQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "wxquery/ast.h"
+
+namespace streamshare::wxquery {
+
+/// Parses a complete WXQuery subscription. The whole input must be
+/// consumed; trailing garbage is a parse error. Errors carry 1-based
+/// line:column positions.
+Result<ExprPtr> ParseQuery(std::string_view input);
+
+}  // namespace streamshare::wxquery
+
+#endif  // STREAMSHARE_WXQUERY_PARSER_H_

@@ -1,0 +1,74 @@
+#include "xml/path.h"
+
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace streamshare::xml {
+
+Result<Path> Path::Parse(std::string_view text) {
+  if (text.empty()) return Path();
+  std::vector<std::string> steps = Split(text, '/');
+  for (const std::string& step : steps) {
+    if (step.empty()) {
+      return Status::ParseError("empty step in path '" + std::string(text) +
+                                "' (descendant axis is not supported)");
+    }
+    if (step == "*") {
+      return Status::ParseError("wildcard step in path '" +
+                                std::string(text) + "'");
+    }
+    if (step.find('[') != std::string::npos) {
+      return Status::ParseError(
+          "condition inside path '" + std::string(text) +
+          "' must be handled at the WXQuery level");
+    }
+  }
+  return Path(std::move(steps));
+}
+
+std::string Path::ToString() const { return Join(steps_, "/"); }
+
+std::vector<const XmlNode*> Path::Evaluate(const XmlNode& context) const {
+  std::vector<const XmlNode*> current = {&context};
+  for (const std::string& step : steps_) {
+    std::vector<const XmlNode*> next;
+    for (const XmlNode* node : current) {
+      for (const auto& child : node->children()) {
+        if (child->name() == step) next.push_back(child.get());
+      }
+    }
+    if (next.empty()) return {};
+    current = std::move(next);
+  }
+  return current;
+}
+
+const XmlNode* Path::EvaluateFirst(const XmlNode& context) const {
+  const XmlNode* node = &context;
+  for (const std::string& step : steps_) {
+    node = node->FirstChild(step);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+bool Path::IsPrefixOf(const Path& other) const {
+  if (steps_.size() > other.steps_.size()) return false;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i] != other.steps_[i]) return false;
+  }
+  return true;
+}
+
+Path Path::Concat(const Path& suffix) const {
+  std::vector<std::string> steps = steps_;
+  steps.insert(steps.end(), suffix.steps_.begin(), suffix.steps_.end());
+  return Path(std::move(steps));
+}
+
+std::ostream& operator<<(std::ostream& os, const Path& path) {
+  return os << path.ToString();
+}
+
+}  // namespace streamshare::xml

@@ -1,0 +1,61 @@
+// Relative child-axis paths (the paper's π): a '/'-separated list of tag
+// names with no wildcards, conditions, or other axes. Conditions inside
+// paths (the paper's π̄) are handled at the WXQuery level; by the time a
+// path reaches the XML layer it is pure.
+
+#ifndef STREAMSHARE_XML_PATH_H_
+#define STREAMSHARE_XML_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/xml_node.h"
+
+namespace streamshare::xml {
+
+/// An immutable relative path of child steps, e.g. "coord/cel/ra".
+class Path {
+ public:
+  /// The empty path (resolves to the context node itself).
+  Path() = default;
+
+  explicit Path(std::vector<std::string> steps) : steps_(std::move(steps)) {}
+
+  /// Parses "a/b/c". Rejects empty steps ("a//b"), wildcards, descendant
+  /// axes, and embedded conditions.
+  static Result<Path> Parse(std::string_view text);
+
+  const std::vector<std::string>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+  size_t size() const { return steps_.size(); }
+
+  /// "a/b/c" form.
+  std::string ToString() const;
+
+  /// All nodes reached from `context` by following the steps (child axis,
+  /// document order).
+  std::vector<const XmlNode*> Evaluate(const XmlNode& context) const;
+
+  /// The first node reached, or nullptr if the path selects nothing.
+  const XmlNode* EvaluateFirst(const XmlNode& context) const;
+
+  /// True if this path is a prefix of (or equal to) `other`.
+  bool IsPrefixOf(const Path& other) const;
+
+  /// Concatenation: this path followed by `suffix`.
+  Path Concat(const Path& suffix) const;
+
+  bool operator==(const Path& other) const { return steps_ == other.steps_; }
+  bool operator<(const Path& other) const { return steps_ < other.steps_; }
+
+ private:
+  std::vector<std::string> steps_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Path& path);
+
+}  // namespace streamshare::xml
+
+#endif  // STREAMSHARE_XML_PATH_H_

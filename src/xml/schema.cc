@@ -1,0 +1,101 @@
+#include "xml/schema.h"
+
+namespace streamshare::xml {
+
+SchemaElement* SchemaElement::AddChild(std::string child_name, double occ,
+                                       double text_size) {
+  children.push_back(std::make_unique<SchemaElement>(std::move(child_name),
+                                                     occ, text_size));
+  return children.back().get();
+}
+
+StreamSchema::StreamSchema(std::string stream_name, std::string item_name)
+    : stream_name_(std::move(stream_name)),
+      item_(std::make_unique<SchemaElement>(std::move(item_name), 1.0,
+                                            0.0)) {}
+
+const SchemaElement* StreamSchema::Resolve(const Path& path) const {
+  const SchemaElement* current = item_.get();
+  for (const std::string& step : path.steps()) {
+    const SchemaElement* next = nullptr;
+    for (const auto& child : current->children) {
+      if (child->name == step) {
+        next = child.get();
+        break;
+      }
+    }
+    if (next == nullptr) return nullptr;
+    current = next;
+  }
+  return current;
+}
+
+double StreamSchema::OccurrencePerItem(const Path& path) const {
+  const SchemaElement* current = item_.get();
+  double occurrence = 1.0;
+  for (const std::string& step : path.steps()) {
+    const SchemaElement* next = nullptr;
+    for (const auto& child : current->children) {
+      if (child->name == step) {
+        next = child.get();
+        break;
+      }
+    }
+    if (next == nullptr) return 0.0;
+    occurrence *= next->avg_occurrence;
+    current = next;
+  }
+  return occurrence;
+}
+
+namespace {
+
+double SubtreeSize(const SchemaElement& element) {
+  // Matches XmlNode::SerializedSize for the compact form: <name>..</name>
+  // plus text, or <name/> when empty. We approximate with the non-empty
+  // form since generated data always carries text at leaves.
+  double size = 2.0 * static_cast<double>(element.name.size()) + 5.0;
+  size += element.avg_text_size;
+  for (const auto& child : element.children) {
+    size += child->avg_occurrence * SubtreeSize(*child);
+  }
+  return size;
+}
+
+void CollectPaths(const SchemaElement& element, std::vector<std::string>* prefix,
+                  bool leaves_only, std::vector<Path>* out) {
+  for (const auto& child : element.children) {
+    prefix->push_back(child->name);
+    if (!leaves_only || child->children.empty()) {
+      out->push_back(Path(*prefix));
+    }
+    CollectPaths(*child, prefix, leaves_only, out);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+double StreamSchema::AvgSubtreeSize(const Path& path) const {
+  const SchemaElement* element = Resolve(path);
+  if (element == nullptr) return 0.0;
+  return SubtreeSize(*element);
+}
+
+double StreamSchema::AvgItemSize() const { return SubtreeSize(*item_); }
+
+std::vector<Path> StreamSchema::LeafPaths() const {
+  std::vector<Path> out;
+  std::vector<std::string> prefix;
+  CollectPaths(*item_, &prefix, /*leaves_only=*/true, &out);
+  return out;
+}
+
+std::vector<Path> StreamSchema::AllPaths() const {
+  std::vector<Path> out;
+  std::vector<std::string> prefix;
+  CollectPaths(*item_, &prefix, /*leaves_only=*/false, &out);
+  return out;
+}
+
+}  // namespace streamshare::xml

@@ -1,0 +1,84 @@
+// Stream schema: the DTD-like element tree of a data stream's items,
+// annotated with the statistics the paper's cost model consumes — average
+// occurrence of each element per item and average serialized size of its
+// text payload. The workload module instantiates the photon schema of the
+// ROSAT example; the cost module reads occurrences and sizes from here.
+
+#ifndef STREAMSHARE_XML_SCHEMA_H_
+#define STREAMSHARE_XML_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/path.h"
+#include "xml/xml_node.h"
+
+namespace streamshare::xml {
+
+/// One element declaration in a stream schema.
+struct SchemaElement {
+  std::string name;
+  /// Average number of occurrences of this element per occurrence of its
+  /// parent (1.0 for required singleton children).
+  double avg_occurrence = 1.0;
+  /// Average size in bytes of the element's text payload (0 for pure
+  /// structure elements).
+  double avg_text_size = 0.0;
+  std::vector<std::unique_ptr<SchemaElement>> children;
+
+  SchemaElement(std::string n, double occ, double text_size)
+      : name(std::move(n)),
+        avg_occurrence(occ),
+        avg_text_size(text_size) {}
+
+  SchemaElement* AddChild(std::string child_name, double occ = 1.0,
+                          double text_size = 0.0);
+};
+
+/// The schema of a data stream: the item element (e.g. <photon>) and its
+/// element tree. The stream (root) element wrapping all items is implicit.
+class StreamSchema {
+ public:
+  StreamSchema(std::string stream_name, std::string item_name);
+
+  const std::string& stream_name() const { return stream_name_; }
+  SchemaElement& item() { return *item_; }
+  const SchemaElement& item() const { return *item_; }
+
+  /// Resolves a path relative to the item element; nullptr if the path
+  /// does not exist in the schema.
+  const SchemaElement* Resolve(const Path& path) const;
+
+  /// True if `path` names a declared element.
+  bool Contains(const Path& path) const { return Resolve(path) != nullptr; }
+
+  /// Average occurrences per item of the element at `path` (product of
+  /// occurrence factors along the path); 0 if the path is undeclared.
+  double OccurrencePerItem(const Path& path) const;
+
+  /// Average serialized size in bytes of one instance of the element at
+  /// `path`, counting its tags, its text, and all its descendants
+  /// (weighted by their occurrences). 0 if the path is undeclared.
+  double AvgSubtreeSize(const Path& path) const;
+
+  /// Average serialized size in bytes of one whole item.
+  double AvgItemSize() const;
+
+  /// All leaf paths (elements without children), relative to the item.
+  std::vector<Path> LeafPaths() const;
+
+  /// All element paths (internal and leaf), relative to the item, in
+  /// pre-order; the empty path (the item itself) is not included.
+  std::vector<Path> AllPaths() const;
+
+ private:
+  std::string stream_name_;
+  std::unique_ptr<SchemaElement> item_;
+};
+
+}  // namespace streamshare::xml
+
+#endif  // STREAMSHARE_XML_SCHEMA_H_

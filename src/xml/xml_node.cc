@@ -1,0 +1,94 @@
+#include "xml/xml_node.h"
+
+namespace streamshare::xml {
+
+namespace {
+
+// Size of `text` after escaping &, <, > as entities, matching XmlWriter.
+size_t EscapedSize(std::string_view text) {
+  size_t size = 0;
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        size += 5;  // &amp;
+        break;
+      case '<':
+        size += 4;  // &lt;
+        break;
+      case '>':
+        size += 4;  // &gt;
+        break;
+      default:
+        size += 1;
+    }
+  }
+  return size;
+}
+
+}  // namespace
+
+XmlNode* XmlNode::AddChild(std::string name) {
+  children_.push_back(std::make_unique<XmlNode>(std::move(name)));
+  return children_.back().get();
+}
+
+XmlNode* XmlNode::AddChild(std::unique_ptr<XmlNode> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+XmlNode* XmlNode::AddLeaf(std::string name, std::string text) {
+  XmlNode* child = AddChild(std::move(name));
+  child->set_text(std::move(text));
+  return child;
+}
+
+const XmlNode* XmlNode::FirstChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& child : children_) {
+    if (child->name() == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::unique_ptr<XmlNode> XmlNode::Clone() const {
+  auto copy = std::make_unique<XmlNode>(name_);
+  copy->text_ = text_;
+  copy->children_.reserve(children_.size());
+  for (const auto& child : children_) {
+    copy->children_.push_back(child->Clone());
+  }
+  return copy;
+}
+
+bool XmlNode::Equals(const XmlNode& other) const {
+  if (name_ != other.name_ || text_ != other.text_ ||
+      children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+size_t XmlNode::SerializedSize() const {
+  if (children_.empty() && text_.empty()) {
+    return name_.size() + 3;  // <name/>
+  }
+  size_t size = 2 * name_.size() + 5;  // <name> ... </name>
+  size += EscapedSize(text_);
+  for (const auto& child : children_) {
+    size += child->SerializedSize();
+  }
+  return size;
+}
+
+}  // namespace streamshare::xml

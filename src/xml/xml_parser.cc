@@ -1,0 +1,438 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+
+namespace streamshare::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) ||
+         std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '.';
+}
+
+bool IsWhitespaceOnly(std::string_view text) {
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// Decodes the five predefined entities plus numeric character references
+// (decimal and hex, ASCII range only — sufficient for this system's data).
+Result<std::string> DecodeEntities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  size_t i = 0;
+  while (i < raw.size()) {
+    char c = raw[i];
+    if (c != '&') {
+      out += c;
+      ++i;
+      continue;
+    }
+    size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view entity = raw.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out += '&';
+    } else if (entity == "lt") {
+      out += '<';
+    } else if (entity == "gt") {
+      out += '>';
+    } else if (entity == "quot") {
+      out += '"';
+    } else if (entity == "apos") {
+      out += '\'';
+    } else if (!entity.empty() && entity[0] == '#') {
+      int base = 10;
+      std::string_view digits = entity.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      if (digits.empty()) {
+        return Status::ParseError("empty character reference");
+      }
+      long code = 0;
+      for (char d : digits) {
+        int v;
+        if (d >= '0' && d <= '9') {
+          v = d - '0';
+        } else if (base == 16 && d >= 'a' && d <= 'f') {
+          v = d - 'a' + 10;
+        } else if (base == 16 && d >= 'A' && d <= 'F') {
+          v = d - 'A' + 10;
+        } else {
+          return Status::ParseError("invalid character reference '&" +
+                                    std::string(entity) + ";'");
+        }
+        code = code * base + v;
+        if (code > 0x10FFFF) {
+          return Status::ParseError("character reference out of range");
+        }
+      }
+      if (code > 0x7F) {
+        return Status::ParseError(
+            "non-ASCII character references are not supported");
+      }
+      out += static_cast<char>(code);
+    } else {
+      return Status::ParseError("unknown entity reference '&" +
+                                std::string(entity) + ";'");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+void XmlPullParser::CompactBuffer() {
+  if (pos_ == 0) return;
+  buffer_.erase(0, pos_);
+  pos_ = 0;
+}
+
+Result<XmlEvent> XmlPullParser::Next() {
+  if (pending_end_) {
+    pending_end_ = false;
+    std::string name = open_elements_.back();
+    open_elements_.pop_back();
+    --depth_;
+    return XmlEvent{XmlEvent::Kind::kEndElement, std::move(name), {}};
+  }
+  while (true) {
+    // Character data runs until the next '<'.
+    if (pos_ < buffer_.size() && buffer_[pos_] != '<') {
+      size_t lt = buffer_.find('<', pos_);
+      if (lt == std::string::npos) {
+        if (!finalized_) {
+          return XmlEvent{XmlEvent::Kind::kNeedMoreData, "", {}};
+        }
+        lt = buffer_.size();
+      }
+      std::string_view raw(buffer_.data() + pos_, lt - pos_);
+      // A trailing '&' may belong to an entity split across chunks.
+      size_t last_amp = raw.rfind('&');
+      if (!finalized_ && last_amp != std::string_view::npos &&
+          raw.find(';', last_amp) == std::string_view::npos) {
+        return XmlEvent{XmlEvent::Kind::kNeedMoreData, "", {}};
+      }
+      pos_ = lt;
+      if (!IsWhitespaceOnly(raw)) {
+        if (depth_ == 0) {
+          return Status::ParseError("character data outside root element");
+        }
+        SS_ASSIGN_OR_RETURN(std::string text, DecodeEntities(raw));
+        return XmlEvent{XmlEvent::Kind::kText, std::move(text), {}};
+      }
+      continue;  // skip inter-element whitespace
+    }
+
+    if (pos_ >= buffer_.size()) {
+      if (!finalized_) {
+        return XmlEvent{XmlEvent::Kind::kNeedMoreData, "", {}};
+      }
+      if (depth_ != 0) {
+        return Status::ParseError("unexpected end of input inside element <" +
+                                  open_elements_.back() + ">");
+      }
+      if (!seen_root_) {
+        return Status::ParseError("empty document: no root element");
+      }
+      return XmlEvent{XmlEvent::Kind::kEndOfDocument, "", {}};
+    }
+
+    XmlEvent event;
+    SS_ASSIGN_OR_RETURN(bool have_event, ParseMarkup(&event));
+    if (!have_event) {
+      if (event.kind == XmlEvent::Kind::kNeedMoreData) return event;
+      continue;  // consumed a comment / PI / DOCTYPE; keep scanning
+    }
+    return event;
+  }
+}
+
+// Precondition: buffer_[pos_] == '<'. On success either fills *event and
+// returns true, or consumes ignorable markup and returns false. If the
+// construct is incomplete in the buffer and input is not finalized, leaves
+// pos_ unchanged, sets event->kind = kNeedMoreData, and returns false.
+Result<bool> XmlPullParser::ParseMarkup(XmlEvent* event) {
+  const size_t start = pos_;
+  auto need_more = [&]() -> Result<bool> {
+    if (!finalized_) {
+      pos_ = start;
+      event->kind = XmlEvent::Kind::kNeedMoreData;
+      return false;
+    }
+    return Status::ParseError("unexpected end of input in markup");
+  };
+
+  // The buffer may end inside one of the special markup prefixes; wait for
+  // enough bytes to disambiguate before classifying.
+  auto ends_in_prefix_of = [&](std::string_view marker) {
+    size_t avail = buffer_.size() - pos_;
+    if (avail >= marker.size()) return false;
+    return buffer_.compare(pos_, avail, marker.data(), avail) == 0;
+  };
+  if (!finalized_ &&
+      (ends_in_prefix_of("<?") || ends_in_prefix_of("<!--") ||
+       ends_in_prefix_of("<![CDATA[") || ends_in_prefix_of("<!DOCTYPE") ||
+       ends_in_prefix_of("</"))) {
+    return need_more();
+  }
+
+  // Processing instruction / XML declaration.
+  if (buffer_.compare(pos_, 2, "<?") == 0) {
+    size_t end = buffer_.find("?>", pos_ + 2);
+    if (end == std::string::npos) return need_more();
+    pos_ = end + 2;
+    return false;
+  }
+  // Comment.
+  if (buffer_.compare(pos_, 4, "<!--") == 0) {
+    size_t end = buffer_.find("-->", pos_ + 4);
+    if (end == std::string::npos) return need_more();
+    pos_ = end + 3;
+    return false;
+  }
+  // CDATA section: raw character data.
+  if (buffer_.compare(pos_, 9, "<![CDATA[") == 0) {
+    size_t end = buffer_.find("]]>", pos_ + 9);
+    if (end == std::string::npos) return need_more();
+    if (depth_ == 0) {
+      return Status::ParseError("CDATA outside root element");
+    }
+    event->kind = XmlEvent::Kind::kText;
+    event->name_or_text = buffer_.substr(pos_ + 9, end - pos_ - 9);
+    pos_ = end + 3;
+    return true;
+  }
+  // DOCTYPE (skipped; an optional internal subset in [] is tolerated).
+  if (buffer_.compare(pos_, 9, "<!DOCTYPE") == 0) {
+    int bracket_depth = 0;
+    for (size_t i = pos_ + 9; i < buffer_.size(); ++i) {
+      char c = buffer_[i];
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      if (c == '>' && bracket_depth == 0) {
+        pos_ = i + 1;
+        return false;
+      }
+    }
+    return need_more();
+  }
+  // End tag.
+  if (buffer_.compare(pos_, 2, "</") == 0) {
+    size_t i = pos_ + 2;
+    size_t name_start = i;
+    while (i < buffer_.size() && IsNameChar(buffer_[i])) ++i;
+    while (i < buffer_.size() &&
+           std::isspace(static_cast<unsigned char>(buffer_[i]))) {
+      ++i;
+    }
+    if (i >= buffer_.size()) return need_more();
+    if (buffer_[i] != '>') {
+      return Status::ParseError("malformed end tag");
+    }
+    std::string name = buffer_.substr(name_start, i - name_start);
+    name = name.substr(0, name.find_first_of(" \t\r\n"));
+    if (open_elements_.empty()) {
+      return Status::ParseError("end tag </" + name +
+                                "> with no open element");
+    }
+    if (open_elements_.back() != name) {
+      return Status::ParseError("mismatched end tag: expected </" +
+                                open_elements_.back() + ">, found </" +
+                                name + ">");
+    }
+    open_elements_.pop_back();
+    --depth_;
+    pos_ = i + 1;
+    event->kind = XmlEvent::Kind::kEndElement;
+    event->name_or_text = std::move(name);
+    return true;
+  }
+
+  // Start tag (possibly self-closing).
+  size_t i = pos_ + 1;
+  if (i >= buffer_.size()) return need_more();
+  if (!IsNameStartChar(buffer_[i])) {
+    return Status::ParseError("invalid character after '<'");
+  }
+  size_t name_start = i;
+  while (i < buffer_.size() && IsNameChar(buffer_[i])) ++i;
+  if (i >= buffer_.size()) return need_more();
+  std::string name = buffer_.substr(name_start, i - name_start);
+
+  std::vector<std::pair<std::string, std::string>> attributes;
+  bool self_closing = false;
+  while (true) {
+    while (i < buffer_.size() &&
+           std::isspace(static_cast<unsigned char>(buffer_[i]))) {
+      ++i;
+    }
+    if (i >= buffer_.size()) return need_more();
+    if (buffer_[i] == '>') {
+      ++i;
+      break;
+    }
+    if (buffer_[i] == '/') {
+      if (i + 1 >= buffer_.size()) return need_more();
+      if (buffer_[i + 1] != '>') {
+        return Status::ParseError("'/' not followed by '>' in tag <" +
+                                  name + ">");
+      }
+      self_closing = true;
+      i += 2;
+      break;
+    }
+    // Attribute: name = "value" | 'value'.
+    if (!IsNameStartChar(buffer_[i])) {
+      return Status::ParseError("malformed attribute in tag <" + name +
+                                ">");
+    }
+    size_t attr_start = i;
+    while (i < buffer_.size() && IsNameChar(buffer_[i])) ++i;
+    if (i >= buffer_.size()) return need_more();
+    std::string attr_name = buffer_.substr(attr_start, i - attr_start);
+    while (i < buffer_.size() &&
+           std::isspace(static_cast<unsigned char>(buffer_[i]))) {
+      ++i;
+    }
+    if (i >= buffer_.size()) return need_more();
+    if (buffer_[i] != '=') {
+      return Status::ParseError("attribute '" + attr_name +
+                                "' missing '='");
+    }
+    ++i;
+    while (i < buffer_.size() &&
+           std::isspace(static_cast<unsigned char>(buffer_[i]))) {
+      ++i;
+    }
+    if (i >= buffer_.size()) return need_more();
+    char quote = buffer_[i];
+    if (quote != '"' && quote != '\'') {
+      return Status::ParseError("attribute value for '" + attr_name +
+                                "' is not quoted");
+    }
+    size_t value_start = i + 1;
+    size_t value_end = buffer_.find(quote, value_start);
+    if (value_end == std::string::npos) return need_more();
+    SS_ASSIGN_OR_RETURN(
+        std::string value,
+        DecodeEntities(std::string_view(buffer_.data() + value_start,
+                                        value_end - value_start)));
+    attributes.emplace_back(std::move(attr_name), std::move(value));
+    i = value_end + 1;
+  }
+
+  if (depth_ == 0 && seen_root_) {
+    return Status::ParseError("multiple root elements (second root <" +
+                              name + ">)");
+  }
+  seen_root_ = true;
+  pos_ = i;
+  open_elements_.push_back(name);
+  ++depth_;
+  // A self-closing tag is surfaced as a start event followed by a
+  // synthesized end event on the next call.
+  pending_end_ = self_closing;
+  event->kind = XmlEvent::Kind::kStartElement;
+  event->name_or_text = std::move(name);
+  event->attributes = std::move(attributes);
+  return true;
+}
+
+Result<std::unique_ptr<XmlNode>> ParseDocument(std::string_view input) {
+  XmlPullParser parser(input);
+  std::vector<XmlNode*> stack;
+  std::unique_ptr<XmlNode> root;
+  while (true) {
+    SS_ASSIGN_OR_RETURN(XmlEvent event, parser.Next());
+    switch (event.kind) {
+      case XmlEvent::Kind::kStartElement: {
+        XmlNode* node;
+        if (stack.empty()) {
+          root = std::make_unique<XmlNode>(event.name_or_text);
+          node = root.get();
+        } else {
+          node = stack.back()->AddChild(event.name_or_text);
+        }
+        for (auto& [attr_name, attr_value] : event.attributes) {
+          node->AddLeaf(attr_name, std::move(attr_value));
+        }
+        stack.push_back(node);
+        break;
+      }
+      case XmlEvent::Kind::kEndElement:
+        stack.pop_back();
+        break;
+      case XmlEvent::Kind::kText:
+        stack.back()->append_text(event.name_or_text);
+        break;
+      case XmlEvent::Kind::kNeedMoreData:
+        return Status::Internal("finalized parser reported NeedMoreData");
+      case XmlEvent::Kind::kEndOfDocument:
+        return root;
+    }
+  }
+}
+
+Result<std::unique_ptr<XmlNode>> XmlItemReader::NextItem() {
+  if (at_end_) return std::unique_ptr<XmlNode>();
+  while (true) {
+    SS_ASSIGN_OR_RETURN(XmlEvent event, parser_.Next());
+    switch (event.kind) {
+      case XmlEvent::Kind::kStartElement: {
+        if (stream_name_.empty()) {
+          stream_name_ = event.name_or_text;
+          break;  // the root itself is not an item
+        }
+        XmlNode* node;
+        if (stack_.empty()) {
+          item_ = std::make_unique<XmlNode>(event.name_or_text);
+          node = item_.get();
+        } else {
+          node = stack_.back()->AddChild(event.name_or_text);
+        }
+        for (auto& [attr_name, attr_value] : event.attributes) {
+          node->AddLeaf(attr_name, std::move(attr_value));
+        }
+        stack_.push_back(node);
+        break;
+      }
+      case XmlEvent::Kind::kEndElement:
+        if (stack_.empty()) {
+          // Root closed.
+          at_end_ = true;
+          return std::unique_ptr<XmlNode>();
+        }
+        stack_.pop_back();
+        if (stack_.empty()) {
+          parser_.CompactBuffer();
+          return std::move(item_);
+        }
+        break;
+      case XmlEvent::Kind::kText:
+        if (!stack_.empty()) stack_.back()->append_text(event.name_or_text);
+        break;
+      case XmlEvent::Kind::kNeedMoreData:
+        // Partial item state (item_ / stack_) survives in members; the
+        // caller feeds more input and retries.
+        return std::unique_ptr<XmlNode>();
+      case XmlEvent::Kind::kEndOfDocument:
+        at_end_ = true;
+        return std::unique_ptr<XmlNode>();
+    }
+  }
+}
+
+}  // namespace streamshare::xml

@@ -1,0 +1,133 @@
+// Streaming XML parsing. XmlPullParser is an incremental event parser that
+// can be fed input in arbitrary chunks (the shape a network transport
+// delivers); ParseDocument builds a full XmlNode tree from a complete
+// document. The dialect is the element-centric subset the paper uses:
+// elements, character data, comments, processing instructions, a DOCTYPE
+// prologue, and the five predefined plus numeric character entities.
+// Attributes are accepted and surfaced on start-element events; the DOM
+// builder converts each into a leading child element, per the paper's
+// remark that attributes can always be converted into elements.
+
+#ifndef STREAMSHARE_XML_XML_PARSER_H_
+#define STREAMSHARE_XML_XML_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/xml_node.h"
+
+namespace streamshare::xml {
+
+/// One parse event.
+struct XmlEvent {
+  enum class Kind {
+    kStartElement,
+    kEndElement,
+    kText,
+    kNeedMoreData,    // buffer exhausted mid-construct; call Feed() first
+    kEndOfDocument,   // root element closed (or finalized empty input)
+  };
+
+  Kind kind;
+  /// Element name for start/end events; decoded character data for kText.
+  std::string name_or_text;
+  /// Attribute name/value pairs for kStartElement, in document order.
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// Incremental event-based parser. Feed() appends raw bytes; Next() returns
+/// the next complete event or kNeedMoreData if the buffered input ends in
+/// the middle of a construct (the parse position is then unchanged, so the
+/// caller can Feed() and retry). Finalize() declares end of input, after
+/// which a dangling construct is a parse error.
+class XmlPullParser {
+ public:
+  XmlPullParser() = default;
+  /// Convenience: construct over a complete document.
+  explicit XmlPullParser(std::string_view input) {
+    Feed(input);
+    Finalize();
+  }
+
+  /// Appends raw input bytes.
+  void Feed(std::string_view chunk) { buffer_.append(chunk); }
+  /// Declares that no more input will arrive.
+  void Finalize() { finalized_ = true; }
+
+  /// Parses the next event. Whitespace-only character data between elements
+  /// is suppressed. Returns a parse error on malformed input, including
+  /// mismatched end tags.
+  Result<XmlEvent> Next();
+
+  /// Nesting depth after the last returned event (root start => 1).
+  int depth() const { return depth_; }
+
+  /// Discards consumed input from the internal buffer. Call periodically in
+  /// long-running streams to bound memory.
+  void CompactBuffer();
+
+ private:
+  // Either consumes input and fills *event (returning true), consumes
+  // ignorable markup (returning false), or — when the buffered input ends
+  // mid-construct and input is not finalized — restores pos_ and reports
+  // kNeedMoreData via *event (returning false).
+  Result<bool> ParseMarkup(XmlEvent* event);
+
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool finalized_ = false;
+  bool seen_root_ = false;
+  // Set by a self-closing tag: the next Next() emits the end event.
+  bool pending_end_ = false;
+  int depth_ = 0;
+  std::vector<std::string> open_elements_;
+};
+
+/// Parses a complete XML document into a tree. Attributes become leading
+/// child leaf elements.
+Result<std::unique_ptr<XmlNode>> ParseDocument(std::string_view input);
+
+/// Reads stream items: given a document whose root is the stream element
+/// (e.g. <photons>), yields each direct child element (each <photon>) as a
+/// complete tree. Supports incremental feeding for transport use.
+class XmlItemReader {
+ public:
+  XmlItemReader() = default;
+  explicit XmlItemReader(std::string_view input) {
+    parser_.Feed(input);
+    parser_.Finalize();
+  }
+
+  void Feed(std::string_view chunk) { parser_.Feed(chunk); }
+  void Finalize() { parser_.Finalize(); }
+
+  /// Returns the next complete item, nullptr if no complete item is
+  /// buffered yet (call Feed and retry) or the stream has ended. Use
+  /// AtEnd() to distinguish the two nullptr cases.
+  Result<std::unique_ptr<XmlNode>> NextItem();
+
+  /// True once the root element has been closed.
+  bool AtEnd() const { return at_end_; }
+
+  /// The stream (root) element name; empty until the root start tag has
+  /// been consumed.
+  const std::string& stream_name() const { return stream_name_; }
+
+ private:
+  XmlPullParser parser_;
+  std::string stream_name_;
+  bool at_end_ = false;
+  // Partial parse state of the item under construction; preserved across
+  // NextItem() calls so feeding may be chunked at arbitrary byte
+  // boundaries.
+  std::unique_ptr<XmlNode> item_;
+  std::vector<XmlNode*> stack_;
+};
+
+}  // namespace streamshare::xml
+
+#endif  // STREAMSHARE_XML_XML_PARSER_H_

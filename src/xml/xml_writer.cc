@@ -1,0 +1,80 @@
+#include "xml/xml_writer.h"
+
+namespace streamshare::xml {
+
+namespace {
+
+void WriteCompactTo(const XmlNode& node, std::string* out) {
+  if (node.children().empty() && node.text().empty()) {
+    out->append("<").append(node.name()).append("/>");
+    return;
+  }
+  out->append("<").append(node.name()).append(">");
+  out->append(EscapeText(node.text()));
+  for (const auto& child : node.children()) {
+    WriteCompactTo(*child, out);
+  }
+  out->append("</").append(node.name()).append(">");
+}
+
+void WritePrettyTo(const XmlNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (node.children().empty() && node.text().empty()) {
+    out->append("<").append(node.name()).append("/>\n");
+    return;
+  }
+  out->append("<").append(node.name()).append(">");
+  if (node.children().empty()) {
+    out->append(EscapeText(node.text()));
+    out->append("</").append(node.name()).append(">\n");
+    return;
+  }
+  out->append("\n");
+  if (!node.text().empty()) {
+    out->append(static_cast<size_t>(depth + 1) * 2, ' ');
+    out->append(EscapeText(node.text())).append("\n");
+  }
+  for (const auto& child : node.children()) {
+    WritePrettyTo(*child, depth + 1, out);
+  }
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append("</").append(node.name()).append(">\n");
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string WriteCompact(const XmlNode& node) {
+  std::string out;
+  out.reserve(node.SerializedSize());
+  WriteCompactTo(node, &out);
+  return out;
+}
+
+std::string WritePretty(const XmlNode& node) {
+  std::string out;
+  WritePrettyTo(node, 0, &out);
+  return out;
+}
+
+}  // namespace streamshare::xml

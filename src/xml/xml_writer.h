@@ -1,0 +1,27 @@
+// Serialization of XmlNode trees back to XML text.
+
+#ifndef STREAMSHARE_XML_XML_WRITER_H_
+#define STREAMSHARE_XML_XML_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/xml_node.h"
+
+namespace streamshare::xml {
+
+/// Escapes &, <, > in character data.
+std::string EscapeText(std::string_view text);
+
+/// Serializes `node` compactly (no whitespace between tags). An empty
+/// element is written as <name/>. XmlNode::SerializedSize() returns the
+/// length of exactly this form.
+std::string WriteCompact(const XmlNode& node);
+
+/// Serializes `node` with newlines and two-space indentation, for human
+/// consumption in examples and logs.
+std::string WritePretty(const XmlNode& node);
+
+}  // namespace streamshare::xml
+
+#endif  // STREAMSHARE_XML_XML_WRITER_H_

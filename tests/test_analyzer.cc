@@ -1,0 +1,255 @@
+// Unit tests for the WXQuery semantic analyzer: properties derivation for
+// the paper's queries, projection/selection extraction, aggregate
+// handling, and rejection of unsupported / invalid subscriptions.
+
+#include "wxquery/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_queries.h"
+
+namespace streamshare::wxquery {
+namespace {
+
+using properties::AggregateFunc;
+using properties::AggregationOp;
+using properties::ProjectionOp;
+using properties::SelectionOp;
+using properties::WindowType;
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+
+AnalyzedQuery MustAnalyze(std::string_view text) {
+  Result<AnalyzedQuery> analyzed = ParseAndAnalyze(text);
+  EXPECT_TRUE(analyzed.ok()) << analyzed.status() << "\n" << text;
+  return analyzed.ok() ? std::move(analyzed).value() : AnalyzedQuery{};
+}
+
+TEST(AnalyzerTest, Query1PropertiesShape) {
+  AnalyzedQuery query = MustAnalyze(workload::kQuery1);
+  EXPECT_EQ(query.wrapper_tag, "photons");
+  ASSERT_EQ(query.bindings.size(), 1u);
+  const StreamBinding& binding = query.bindings[0];
+  EXPECT_EQ(binding.var, "p");
+  EXPECT_EQ(binding.stream_name, "photons");
+  EXPECT_EQ(binding.stream_root, "photons");
+  EXPECT_EQ(binding.item_path.ToString(), "photon");
+  EXPECT_EQ(binding.item_predicates.size(), 4u);
+  EXPECT_FALSE(binding.window.has_value());
+  EXPECT_FALSE(binding.aggregate.has_value());
+  EXPECT_FALSE(binding.returns_whole_item);
+  // Referenced = {ra, dec, phc, en, det_time} — Fig. 3's π condition.
+  EXPECT_EQ(binding.referenced_paths.size(), 5u);
+
+  ASSERT_EQ(query.props.inputs().size(), 1u);
+  const auto& input = query.props.inputs()[0];
+  ASSERT_NE(input.selection(), nullptr);
+  ASSERT_NE(input.projection(), nullptr);
+  EXPECT_EQ(input.aggregation(), nullptr);
+  EXPECT_EQ(input.projection()->output.size(), 5u);
+}
+
+TEST(AnalyzerTest, Query3AggregateProperties) {
+  AnalyzedQuery query = MustAnalyze(workload::kQuery3);
+  const StreamBinding& binding = query.bindings[0];
+  ASSERT_TRUE(binding.window.has_value());
+  EXPECT_EQ(binding.window->type, WindowType::kDiff);
+  ASSERT_TRUE(binding.aggregate.has_value());
+  EXPECT_EQ(binding.aggregate->func, AggregateFunc::kAvg);
+  EXPECT_EQ(binding.aggregate->path, P("en"));
+  EXPECT_TRUE(binding.result_filter.empty());
+  // Window reference element must be referenced (survives projection).
+  bool has_det_time = false;
+  for (const xml::Path& path : binding.referenced_paths) {
+    if (path == P("det_time")) has_det_time = true;
+  }
+  EXPECT_TRUE(has_det_time);
+
+  const auto& input = query.props.inputs()[0];
+  const AggregationOp* agg = input.aggregation();
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->pre_selection.size(), 4u);
+  EXPECT_TRUE(agg->result_filter.empty());
+  // Aggregate subscriptions also expose σ and Π for cross-kind matching.
+  EXPECT_NE(input.selection(), nullptr);
+  EXPECT_NE(input.projection(), nullptr);
+}
+
+TEST(AnalyzerTest, Query4ResultFilter) {
+  AnalyzedQuery query = MustAnalyze(workload::kQuery4);
+  const StreamBinding& binding = query.bindings[0];
+  ASSERT_EQ(binding.result_filter.size(), 1u);
+  EXPECT_EQ(binding.result_filter[0].lhs, properties::AggregateValuePath());
+  EXPECT_EQ(binding.result_filter[0].op, predicate::ComparisonOp::kGe);
+  EXPECT_EQ(binding.result_filter[0].constant,
+            Decimal::Parse("1.3").value());
+  const AggregationOp* agg = query.props.inputs()[0].aggregation();
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->result_filter.size(), 1u);
+}
+
+TEST(AnalyzerTest, WholeItemOutputSkipsProjection) {
+  AnalyzedQuery query = MustAnalyze(
+      "<out> { for $p in stream(\"photons\")/photons/photon "
+      "where $p/en >= 1.0 return $p } </out>");
+  EXPECT_TRUE(query.bindings[0].returns_whole_item);
+  EXPECT_EQ(query.props.inputs()[0].projection(), nullptr);
+  EXPECT_NE(query.props.inputs()[0].selection(), nullptr);
+}
+
+TEST(AnalyzerTest, PathConditionsMergeWithWhere) {
+  AnalyzedQuery query = MustAnalyze(
+      "for $p in stream(\"s\")/r/item[a >= 1 and b <= 2] "
+      "where $p/c >= 3 return <x> { $p/a } </x>");
+  EXPECT_EQ(query.bindings[0].item_predicates.size(), 3u);
+}
+
+TEST(AnalyzerTest, IfConditionPathsAreReferenced) {
+  AnalyzedQuery query = MustAnalyze(
+      "for $p in stream(\"s\")/r/item where $p/a >= 1 "
+      "return if $p/hidden >= 5 then <h/> else <l> { $p/a } </l>");
+  bool has_hidden = false;
+  for (const xml::Path& path : query.bindings[0].referenced_paths) {
+    if (path == P("hidden")) has_hidden = true;
+  }
+  EXPECT_TRUE(has_hidden);
+}
+
+TEST(AnalyzerTest, RejectsNestedFlwr) {
+  Status status =
+      ParseAndAnalyze(
+          "for $p in stream(\"s\")/r/i return "
+          "<o> { for $q in stream(\"s\")/r/i return <x/> } </o>")
+          .status();
+  EXPECT_TRUE(status.IsUnsupported()) << status;
+}
+
+TEST(AnalyzerTest, RejectsUndefinedVariables) {
+  EXPECT_TRUE(ParseAndAnalyze("for $p in stream(\"s\")/r/i "
+                              "where $q/a >= 1 return <x/>")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseAndAnalyze("for $p in stream(\"s\")/r/i "
+                              "return <x> { $q/a } </x>")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseAndAnalyze("for $p in stream(\"s\")/r/i "
+                              "return $q")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, RejectsDuplicateBindings) {
+  EXPECT_TRUE(ParseAndAnalyze("for $p in stream(\"s\")/r/i "
+                              "for $p in stream(\"s\")/r/i return <x/>")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, RejectsUnsatisfiableSelection) {
+  Status status = ParseAndAnalyze(
+                      "for $p in stream(\"s\")/r/i "
+                      "where $p/a >= 10 and $p/a <= 5 return <x/>")
+                      .status();
+  EXPECT_TRUE(status.IsUnsatisfiable()) << status;
+}
+
+TEST(AnalyzerTest, RejectsShortBindingPath) {
+  EXPECT_TRUE(ParseAndAnalyze("for $p in stream(\"s\")/r return <x/>")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, RejectsAggregateWithoutWindow) {
+  Status status = ParseAndAnalyze(
+                      "for $p in stream(\"s\")/r/i "
+                      "let $a := avg($p/x) return <o> { $a } </o>")
+                      .status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status;
+}
+
+TEST(AnalyzerTest, RejectsLetOverUndefinedVariable) {
+  EXPECT_FALSE(ParseAndAnalyze("for $w in stream(\"s\")/r/i |count 5| "
+                               "let $a := avg($q/x) return <o> { $a } </o>")
+                   .ok());
+}
+
+TEST(AnalyzerTest, RejectsAggregateComparedToPath) {
+  Status status =
+      ParseAndAnalyze(
+          "for $w in stream(\"s\")/r/i |count 5| let $a := avg($w/x) "
+          "where $a >= $w/x return <o> { $a } </o>")
+          .status();
+  EXPECT_TRUE(status.IsUnsupported()) << status;
+}
+
+TEST(AnalyzerTest, CrossBindingPredicatesBecomeJoinConditions) {
+  AnalyzedQuery query = MustAnalyze(
+      "for $p in stream(\"s\")/r/i for $q in stream(\"t\")/r/i "
+      "where $p/a >= $q/b and $p/c >= 1 return ( $p/a, $q/b )");
+  // The cross-binding atom lands in join_conditions, never in any
+  // input's properties (combination results are not shared, §3.1).
+  ASSERT_EQ(query.join_conditions.size(), 1u);
+  EXPECT_EQ(query.join_conditions[0].lhs.var, "p");
+  EXPECT_EQ(query.join_conditions[0].rhs->var, "q");
+  EXPECT_EQ(query.bindings[0].item_predicates.size(), 1u);  // $p/c >= 1
+  EXPECT_TRUE(query.bindings[1].item_predicates.empty());
+  // Both sides survive projection.
+  bool p_has_a = false, q_has_b = false;
+  for (const xml::Path& path : query.bindings[0].referenced_paths) {
+    if (path == P("a")) p_has_a = true;
+  }
+  for (const xml::Path& path : query.bindings[1].referenced_paths) {
+    if (path == P("b")) q_has_b = true;
+  }
+  EXPECT_TRUE(p_has_a);
+  EXPECT_TRUE(q_has_b);
+  // Undefined rhs variables are still rejected.
+  EXPECT_TRUE(ParseAndAnalyze("for $p in stream(\"s\")/r/i "
+                              "where $p/a >= $z/b return <x/>")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, MultiInputWindowsRejected) {
+  Status status =
+      ParseAndAnalyze(
+          "for $p in stream(\"s\")/r/i "
+          "for $w in stream(\"t\")/r/i |count 5| "
+          "let $a := avg($w/x) "
+          "where $p/a >= 1 return ( $p/a, $a )")
+          .status();
+  EXPECT_TRUE(status.IsUnsupported()) << status;
+}
+
+TEST(AnalyzerTest, MultiInputQueriesGetOnePropsEntryPerStream) {
+  AnalyzedQuery query = MustAnalyze(
+      "<o> { for $p in stream(\"s\")/r/i for $q in stream(\"t\")/r/i "
+      "where $p/a >= 1 and $q/b <= 2 "
+      "return ( $p/a, $q/b ) } </o>");
+  ASSERT_EQ(query.bindings.size(), 2u);
+  ASSERT_EQ(query.props.inputs().size(), 2u);
+  EXPECT_EQ(query.props.inputs()[0].stream_name, "s");
+  EXPECT_EQ(query.props.inputs()[1].stream_name, "t");
+  EXPECT_EQ(query.bindings[0].item_predicates.size(), 1u);
+  EXPECT_EQ(query.bindings[1].item_predicates.size(), 1u);
+}
+
+TEST(AnalyzerTest, WindowWithoutAggregateBecomesOpaqueOperator) {
+  AnalyzedQuery query = MustAnalyze(
+      "for $w in stream(\"s\")/r/i |count 10 step 5| "
+      "return <win> { $w/x } </win>");
+  const auto& ops = query.props.inputs()[0].operators;
+  bool has_udf = false;
+  for (const auto& op : ops) {
+    if (std::holds_alternative<properties::UserDefinedOp>(op)) {
+      has_udf = true;
+      EXPECT_EQ(std::get<properties::UserDefinedOp>(op).name,
+                "window-contents");
+    }
+  }
+  EXPECT_TRUE(has_udf);
+}
+
+}  // namespace
+}  // namespace streamshare::wxquery

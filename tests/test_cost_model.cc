@@ -1,0 +1,176 @@
+// Unit tests for the cost model: selectivity estimation, size/frequency
+// derivation (§3.2's size(p) and freq(p)), operator loads, and the cost
+// function C(P) with its exponential overload penalty.
+
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wxquery/analyzer.h"
+#include "workload/paper_queries.h"
+#include "workload/photon_gen.h"
+
+namespace streamshare::cost {
+namespace {
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StreamStatistics stats(workload::PhotonGenerator::Schema(),
+                           /*item_frequency_hz=*/100.0);
+    stats.SetRange(P("coord/cel/ra"), {0.0, 360.0});
+    stats.SetRange(P("coord/cel/dec"), {-90.0, 90.0});
+    stats.SetRange(P("en"), {0.1, 2.4});
+    stats.SetAvgIncrement(P("det_time"), 0.5);
+    registry_.Register("photons", std::move(stats));
+    model_ = std::make_unique<CostModel>(&registry_, CostParams{});
+  }
+
+  properties::InputStreamProperties PropsOf(const char* text) {
+    Result<wxquery::AnalyzedQuery> analyzed =
+        wxquery::ParseAndAnalyze(text);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status();
+    return analyzed->props.inputs()[0];
+  }
+
+  StatisticsRegistry registry_;
+  std::unique_ptr<CostModel> model_;
+};
+
+TEST_F(CostModelTest, OriginalStreamEstimate) {
+  properties::InputStreamProperties original;
+  original.stream_name = "photons";
+  Result<StreamEstimate> estimate = model_->EstimateStream(original);
+  ASSERT_TRUE(estimate.ok()) << estimate.status();
+  EXPECT_DOUBLE_EQ(estimate->frequency_hz, 100.0);
+  EXPECT_NEAR(estimate->item_size_bytes,
+              workload::PhotonGenerator::Schema()->AvgItemSize(), 1e-9);
+  EXPECT_GT(estimate->RateKbps(), 0.0);
+}
+
+TEST_F(CostModelTest, UnknownStreamFails) {
+  properties::InputStreamProperties props;
+  props.stream_name = "neutrinos";
+  EXPECT_TRUE(model_->EstimateStream(props).status().IsNotFound());
+}
+
+TEST_F(CostModelTest, SelectionReducesFrequencyByBoxFraction) {
+  Result<StreamEstimate> estimate =
+      model_->EstimateStream(PropsOf(workload::kQuery1));
+  ASSERT_TRUE(estimate.ok());
+  // Q1's box: ra ∈ [120,138] of 360 (5%), dec ∈ [−49,−40] of 180 (5%).
+  double expected_sel = (18.0 / 360.0) * (9.0 / 180.0);
+  EXPECT_NEAR(estimate->frequency_hz, 100.0 * expected_sel, 1e-9);
+}
+
+TEST_F(CostModelTest, ProjectionReducesItemSize) {
+  Result<StreamEstimate> estimate =
+      model_->EstimateStream(PropsOf(workload::kQuery1));
+  ASSERT_TRUE(estimate.ok());
+  double full = workload::PhotonGenerator::Schema()->AvgItemSize();
+  EXPECT_LT(estimate->item_size_bytes, full);
+  EXPECT_GT(estimate->item_size_bytes, 0.0);
+  // Q1 keeps ra, dec, phc, en, det_time — drops the coord/det subtree.
+  double det_subtree = workload::PhotonGenerator::Schema()->AvgSubtreeSize(
+      P("coord/det"));
+  EXPECT_NEAR(estimate->item_size_bytes, full - det_subtree, 1e-9);
+}
+
+TEST_F(CostModelTest, AggregateEstimateUsesWindowStep) {
+  Result<StreamEstimate> estimate =
+      model_->EstimateStream(PropsOf(workload::kQuery3));
+  ASSERT_TRUE(estimate.ok());
+  // Time-based windows update once per µ reference units regardless of
+  // the pre-selection: selection thins the items but stretches the
+  // survivor increment by the same factor. With raw frequency 100/s and
+  // avg det_time increment 0.5, the axis advances 50 units/s; step 10 ⇒
+  // 5 windows per second.
+  double expected_freq = 100.0 * 0.5 / 10.0;
+  EXPECT_NEAR(estimate->frequency_hz, expected_freq, 1e-9);
+  EXPECT_DOUBLE_EQ(estimate->item_size_bytes,
+                   model_->params().aggregate_item_size);
+}
+
+TEST_F(CostModelTest, ResultFilterThinsAggregateStream) {
+  Result<StreamEstimate> filtered =
+      model_->EstimateStream(PropsOf(workload::kQuery4));
+  ASSERT_TRUE(filtered.ok());
+  // Q4 filters $a >= 1.3 over en ∈ [0.1, 2.4]: fraction (2.4−1.3)/2.3.
+  Result<StreamEstimate> unfiltered =
+      model_->EstimateStream(PropsOf(workload::kQuery3));
+  ASSERT_TRUE(unfiltered.ok());
+  // Q4 also has a coarser step (40 vs 10 ⇒ ×1/4 frequency).
+  double expected =
+      unfiltered->frequency_hz / 4.0 * ((2.4 - 1.3) / 2.3);
+  EXPECT_NEAR(filtered->frequency_hz, expected, 1e-9);
+}
+
+TEST_F(CostModelTest, SelectivityForWindowDivisor) {
+  predicate::PredicateGraph box = predicate::PredicateGraph::Build({
+      predicate::AtomicPredicate::Compare(
+          P("en"), predicate::ComparisonOp::kGe,
+          Decimal::Parse("1.25").value()),
+  });
+  Result<double> selectivity = model_->SelectivityFor("photons", box);
+  ASSERT_TRUE(selectivity.ok());
+  EXPECT_NEAR(*selectivity, (2.4 - 1.25) / 2.3, 1e-9);
+
+  properties::WindowSpec count = properties::WindowSpec::Count(30, 15).value();
+  EXPECT_DOUBLE_EQ(model_->WindowUpdateDivisor("photons", count).value(),
+                   15.0);
+  properties::WindowSpec diff =
+      properties::WindowSpec::Diff(P("det_time"), Decimal::FromInt(20),
+                                   Decimal::FromInt(10))
+          .value();
+  EXPECT_DOUBLE_EQ(model_->WindowUpdateDivisor("photons", diff).value(),
+                   10.0 / 0.5);
+}
+
+TEST_F(CostModelTest, UnconstrainedRangeGivesSelectivityOne) {
+  predicate::PredicateGraph graph = predicate::PredicateGraph::Build({
+      predicate::AtomicPredicate::Compare(
+          P("unknown_element"), predicate::ComparisonOp::kGe,
+          Decimal::FromInt(0)),
+  });
+  // No range statistics for the element: no reduction.
+  EXPECT_DOUBLE_EQ(model_->SelectivityFor("photons", graph).value(), 1.0);
+}
+
+TEST_F(CostModelTest, VarVarPredicatesUseHeuristicFactor) {
+  predicate::PredicateGraph graph = predicate::PredicateGraph::Build({
+      predicate::AtomicPredicate::CompareVars(
+          P("coord/cel/ra"), predicate::ComparisonOp::kLe,
+          P("coord/cel/dec"), Decimal::FromInt(0)),
+  });
+  EXPECT_DOUBLE_EQ(model_->SelectivityFor("photons", graph).value(),
+                   model_->params().var_var_selectivity);
+}
+
+TEST(PlanCostTest, GammaWeighting) {
+  std::vector<ResourceUsage> connections{{0.4, 1.0}};
+  std::vector<ResourceUsage> peers{{0.2, 1.0}};
+  EXPECT_DOUBLE_EQ(PlanCost(connections, peers, 1.0), 0.4);
+  EXPECT_DOUBLE_EQ(PlanCost(connections, peers, 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(PlanCost(connections, peers, 0.5), 0.3);
+}
+
+TEST(PlanCostTest, OverloadPenaltyIsExponential) {
+  // u − a = 0.5 overload: penalty 0.5·e^0.5 on top of u.
+  std::vector<ResourceUsage> overloaded{{1.0, 0.5}};
+  double expected = 1.0 + 0.5 * std::exp(0.5);
+  EXPECT_NEAR(PlanCost(overloaded, {}, 1.0), expected, 1e-12);
+  // No penalty at or below capacity.
+  std::vector<ResourceUsage> exact{{0.5, 0.5}};
+  EXPECT_DOUBLE_EQ(PlanCost(exact, {}, 1.0), 0.5);
+}
+
+TEST(PlanCostTest, EmptyPlanCostsNothing) {
+  EXPECT_DOUBLE_EQ(PlanCost({}, {}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace streamshare::cost

@@ -1,0 +1,130 @@
+// Unit tests for fixed-point decimal arithmetic.
+
+#include "common/decimal.h"
+
+#include <gtest/gtest.h>
+
+namespace streamshare {
+namespace {
+
+TEST(DecimalTest, ParseIntegers) {
+  Result<Decimal> value = Decimal::Parse("42");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->unscaled(), 42);
+  EXPECT_EQ(value->scale(), 0);
+  EXPECT_EQ(value->ToString(), "42");
+}
+
+TEST(DecimalTest, ParseNegative) {
+  Result<Decimal> value = Decimal::Parse("-120");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->unscaled(), -120);
+  EXPECT_EQ(value->ToString(), "-120");
+}
+
+TEST(DecimalTest, ParseFractions) {
+  Result<Decimal> value = Decimal::Parse("1.3");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->unscaled(), 13);
+  EXPECT_EQ(value->scale(), 1);
+  EXPECT_EQ(value->ToString(), "1.3");
+}
+
+TEST(DecimalTest, ParseNegativeFraction) {
+  Result<Decimal> value = Decimal::Parse("-49.0");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->unscaled(), -490);
+  EXPECT_EQ(value->scale(), 1);
+  EXPECT_EQ(value->ToString(), "-49.0");
+}
+
+TEST(DecimalTest, ParseLeadingDot) {
+  Result<Decimal> value = Decimal::Parse(".5");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->ToDouble(), 0.5);
+}
+
+TEST(DecimalTest, ParseTrailingDot) {
+  Result<Decimal> value = Decimal::Parse("7.");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->unscaled(), 7);
+  EXPECT_EQ(value->scale(), 0);
+}
+
+TEST(DecimalTest, ParsePlusSign) {
+  Result<Decimal> value = Decimal::Parse("+3.25");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->ToString(), "3.25");
+}
+
+TEST(DecimalTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Decimal::Parse("").ok());
+  EXPECT_FALSE(Decimal::Parse("abc").ok());
+  EXPECT_FALSE(Decimal::Parse("1.2.3").ok());
+  EXPECT_FALSE(Decimal::Parse("1e5").ok());
+  EXPECT_FALSE(Decimal::Parse("-").ok());
+  EXPECT_FALSE(Decimal::Parse(".").ok());
+  EXPECT_FALSE(Decimal::Parse("12,5").ok());
+}
+
+TEST(DecimalTest, ParseRejectsTooManyFractionalDigits) {
+  EXPECT_FALSE(Decimal::Parse("0.1234567890123456").ok());
+  EXPECT_TRUE(Decimal::Parse("0.123456789012345").ok());
+}
+
+TEST(DecimalTest, CompareAcrossScales) {
+  Decimal a = Decimal::Parse("1.3").value();
+  Decimal b = Decimal::Parse("1.30").value();
+  Decimal c = Decimal::Parse("1.31").value();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_GT(c, b);
+}
+
+TEST(DecimalTest, CompareNegativeValues) {
+  Decimal a = Decimal::Parse("-49.0").value();
+  Decimal b = Decimal::Parse("-40").value();
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+}
+
+TEST(DecimalTest, AdditionAlignsScales) {
+  Decimal a = Decimal::Parse("1.25").value();
+  Decimal b = Decimal::Parse("2.5").value();
+  EXPECT_EQ((a + b).ToString(), "3.75");
+  EXPECT_EQ((b - a).ToString(), "1.25");
+}
+
+TEST(DecimalTest, NegationAndUlp) {
+  Decimal a = Decimal::Parse("1.3").value();
+  EXPECT_EQ((-a).ToString(), "-1.3");
+  EXPECT_EQ(a.Ulp().ToString(), "0.1");
+  EXPECT_EQ((a - a.Ulp()).ToString(), "1.2");
+}
+
+TEST(DecimalTest, FromDoubleRounds) {
+  EXPECT_EQ(Decimal::FromDouble(1.25, 1).ToString(), "1.3");
+  EXPECT_EQ(Decimal::FromDouble(-0.04999, 1).ToString(), "0.0");
+  EXPECT_EQ(Decimal::FromDouble(3.14159, 4).ToString(), "3.1416");
+}
+
+TEST(DecimalTest, ToDoubleRoundTrip) {
+  Decimal a = Decimal::Parse("132.6604").value();
+  EXPECT_DOUBLE_EQ(a.ToDouble(), 132.6604);
+}
+
+TEST(DecimalTest, RescalingPreservesValue) {
+  Decimal a = Decimal::Parse("1.3").value();
+  Decimal rescaled = a.Rescaled(4);
+  EXPECT_EQ(rescaled.scale(), 4);
+  EXPECT_EQ(rescaled.unscaled(), 13000);
+  EXPECT_EQ(a, rescaled);
+}
+
+TEST(DecimalTest, ZeroFormsCompareEqual) {
+  EXPECT_EQ(Decimal::Parse("0").value(), Decimal::Parse("0.00").value());
+  EXPECT_EQ(Decimal::Parse("-0.0").value(), Decimal());
+}
+
+}  // namespace
+}  // namespace streamshare

@@ -1,0 +1,191 @@
+// End-to-end integration tests: the paper's running example (Q1–Q4 over
+// the photons stream on the Fig. 1/2 topology) registered under all three
+// strategies, executed on generated photons, with results and sharing
+// behaviour verified.
+
+#include <gtest/gtest.h>
+
+#include "sharing/system.h"
+#include "workload/paper_queries.h"
+#include "workload/scenario.h"
+
+namespace streamshare {
+namespace {
+
+using sharing::RegistrationResult;
+using sharing::Strategy;
+using sharing::StreamShareSystem;
+using sharing::SystemConfig;
+using workload::ExtendedExampleScenario;
+using workload::ScenarioSpec;
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = ExtendedExampleScenario(/*seed=*/11, /*query_count=*/4);
+    SystemConfig config;
+    config.keep_results = true;
+    Result<std::unique_ptr<StreamShareSystem>> system =
+        workload::BuildSystem(scenario_, config);
+    ASSERT_TRUE(system.ok()) << system.status();
+    system_ = std::move(system).value();
+  }
+
+  Result<RegistrationResult> Register(const char* text, int node,
+                                      Strategy strategy) {
+    return system_->RegisterQuery(text, node, strategy);
+  }
+
+  Status RunPhotons(size_t count) {
+    workload::PhotonGenerator generator(scenario_.streams[0].gen);
+    std::map<std::string, std::vector<engine::ItemPtr>> items;
+    items["photons"] = generator.Generate(count);
+    return system_->Run(items);
+  }
+
+  ScenarioSpec scenario_;
+  std::unique_ptr<StreamShareSystem> system_;
+};
+
+TEST_F(EndToEndTest, PaperQueriesParseAnalyzeAndRegister) {
+  for (const char* text : {workload::kQuery1, workload::kQuery2,
+                           workload::kQuery3, workload::kQuery4}) {
+    Result<RegistrationResult> result =
+        Register(text, 1, Strategy::kStreamSharing);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->accepted);
+  }
+}
+
+TEST_F(EndToEndTest, Query2ReusesQuery1Stream) {
+  Result<RegistrationResult> q1 =
+      Register(workload::kQuery1, 1, Strategy::kStreamSharing);
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  Result<RegistrationResult> q2 =
+      Register(workload::kQuery2, 7, Strategy::kStreamSharing);
+  ASSERT_TRUE(q2.ok()) << q2.status();
+
+  // Q2's plan must reuse the derived stream Q1 registered (id 1; id 0 is
+  // the original photons stream), not ship the raw stream again.
+  ASSERT_EQ(q2->plan.inputs.size(), 1u);
+  EXPECT_GT(q2->plan.inputs[0].reused_stream, 0)
+      << q2->plan.ToString();
+}
+
+TEST_F(EndToEndTest, Query4ReusesQuery3Aggregate) {
+  Result<RegistrationResult> q3 =
+      Register(workload::kQuery3, 3, Strategy::kStreamSharing);
+  ASSERT_TRUE(q3.ok()) << q3.status();
+  Result<RegistrationResult> q4 =
+      Register(workload::kQuery4, 0, Strategy::kStreamSharing);
+  ASSERT_TRUE(q4.ok()) << q4.status();
+  ASSERT_EQ(q4->plan.inputs.size(), 1u);
+  EXPECT_GT(q4->plan.inputs[0].reused_stream, 0)
+      << q4->plan.ToString();
+  // The residual work is a window recombination plus the result filter.
+  bool has_combine = false;
+  for (const auto& op : q4->plan.inputs[0].ops) {
+    if (op.kind == sharing::EngineOpSpec::Kind::kAggCombine) {
+      has_combine = true;
+    }
+  }
+  EXPECT_TRUE(has_combine) << q4->plan.ToString();
+}
+
+TEST_F(EndToEndTest, ResultsMatchAcrossStrategies) {
+  // Register Q1+Q2 under stream sharing here, and under data shipping in a
+  // twin system; both must produce identical result items.
+  Result<RegistrationResult> q1 =
+      Register(workload::kQuery1, 1, Strategy::kStreamSharing);
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  Result<RegistrationResult> q2 =
+      Register(workload::kQuery2, 7, Strategy::kStreamSharing);
+  ASSERT_TRUE(q2.ok()) << q2.status();
+  ASSERT_TRUE(RunPhotons(500).ok());
+
+  SystemConfig config;
+  config.keep_results = true;
+  Result<std::unique_ptr<StreamShareSystem>> twin =
+      workload::BuildSystem(scenario_, config);
+  ASSERT_TRUE(twin.ok()) << twin.status();
+  Result<RegistrationResult> t1 = (*twin)->RegisterQuery(
+      workload::kQuery1, 1, Strategy::kDataShipping);
+  ASSERT_TRUE(t1.ok()) << t1.status();
+  Result<RegistrationResult> t2 = (*twin)->RegisterQuery(
+      workload::kQuery2, 7, Strategy::kDataShipping);
+  ASSERT_TRUE(t2.ok()) << t2.status();
+  {
+    workload::PhotonGenerator generator(scenario_.streams[0].gen);
+    std::map<std::string, std::vector<engine::ItemPtr>> items;
+    items["photons"] = generator.Generate(500);
+    ASSERT_TRUE((*twin)->Run(items).ok());
+  }
+
+  ASSERT_EQ(q1->sink->item_count(), t1->sink->item_count());
+  ASSERT_EQ(q2->sink->item_count(), t2->sink->item_count());
+  for (size_t i = 0; i < q1->sink->items().size(); ++i) {
+    EXPECT_TRUE(q1->sink->items()[i]->Equals(*t1->sink->items()[i]));
+  }
+  for (size_t i = 0; i < q2->sink->items().size(); ++i) {
+    EXPECT_TRUE(q2->sink->items()[i]->Equals(*t2->sink->items()[i]));
+  }
+  // Q2's results must be non-trivial for the comparison to mean anything.
+  EXPECT_GT(q1->sink->item_count(), 0u);
+  EXPECT_GT(q2->sink->item_count(), 0u);
+}
+
+TEST_F(EndToEndTest, SharingReducesTrafficVersusDataShipping) {
+  ScenarioSpec scenario = ExtendedExampleScenario(11, 25);
+  SystemConfig config;
+  Result<workload::ScenarioRun> sharing = workload::RunScenario(
+      scenario, Strategy::kStreamSharing, config, 400);
+  ASSERT_TRUE(sharing.ok()) << sharing.status();
+  Result<workload::ScenarioRun> shipping = workload::RunScenario(
+      scenario, Strategy::kDataShipping, config, 400);
+  ASSERT_TRUE(shipping.ok()) << shipping.status();
+
+  EXPECT_EQ(sharing->registration_failures, 0);
+  EXPECT_EQ(shipping->registration_failures, 0);
+  EXPECT_EQ(sharing->accepted, 25);
+
+  uint64_t sharing_bytes = sharing->system->metrics().TotalBytes();
+  uint64_t shipping_bytes = shipping->system->metrics().TotalBytes();
+  EXPECT_LT(sharing_bytes, shipping_bytes / 2)
+      << "stream sharing should transmit far less than data shipping";
+}
+
+TEST_F(EndToEndTest, AggregateValuesMatchDirectComputation) {
+  // Q3 under stream sharing (after Q1, so it reuses Q1's stream) must
+  // yield the same averages as Q3 alone under query shipping.
+  Result<RegistrationResult> q1 =
+      Register(workload::kQuery1, 1, Strategy::kStreamSharing);
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  Result<RegistrationResult> q3 =
+      Register(workload::kQuery3, 3, Strategy::kStreamSharing);
+  ASSERT_TRUE(q3.ok()) << q3.status();
+  ASSERT_TRUE(RunPhotons(2000).ok());
+
+  SystemConfig config;
+  config.keep_results = true;
+  Result<std::unique_ptr<StreamShareSystem>> twin =
+      workload::BuildSystem(scenario_, config);
+  ASSERT_TRUE(twin.ok());
+  Result<RegistrationResult> t3 = (*twin)->RegisterQuery(
+      workload::kQuery3, 3, Strategy::kQueryShipping);
+  ASSERT_TRUE(t3.ok()) << t3.status();
+  {
+    workload::PhotonGenerator generator(scenario_.streams[0].gen);
+    std::map<std::string, std::vector<engine::ItemPtr>> items;
+    items["photons"] = generator.Generate(2000);
+    ASSERT_TRUE((*twin)->Run(items).ok());
+  }
+  ASSERT_GT(q3->sink->item_count(), 0u);
+  ASSERT_EQ(q3->sink->item_count(), t3->sink->item_count());
+  for (size_t i = 0; i < q3->sink->items().size(); ++i) {
+    EXPECT_TRUE(q3->sink->items()[i]->Equals(*t3->sink->items()[i]))
+        << "window " << i;
+  }
+}
+
+}  // namespace
+}  // namespace streamshare

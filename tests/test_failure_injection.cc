@@ -1,0 +1,131 @@
+// Failure injection: errors arising deep inside a deployed operator
+// network (malformed items, unsorted reference elements, non-numeric
+// values) must surface as descriptive Statuses from Run(), never as
+// crashes or silent data corruption.
+
+#include <gtest/gtest.h>
+
+#include "sharing/system.h"
+#include "workload/paper_queries.h"
+#include "workload/photon_gen.h"
+
+namespace streamshare {
+namespace {
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+
+engine::ItemPtr Photon(const char* ra, const char* en,
+                       const char* det_time) {
+  auto node = std::make_unique<xml::XmlNode>("photon");
+  auto* cel = node->AddChild("coord")->AddChild("cel");
+  cel->AddLeaf("ra", ra);
+  cel->AddLeaf("dec", "-45.0");
+  node->AddLeaf("en", en);
+  node->AddLeaf("det_time", det_time);
+  return engine::MakeItem(std::move(node));
+}
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sharing::SystemConfig config;
+    config.keep_results = true;
+    system_ = std::make_unique<sharing::StreamShareSystem>(
+        network::Topology::ExtendedExample(), config);
+    ASSERT_TRUE(system_
+                    ->RegisterStream("photons",
+                                     workload::PhotonGenerator::Schema(),
+                                     100.0, 4)
+                    .ok());
+    ASSERT_TRUE(
+        system_->SetRange("photons", P("coord/cel/ra"), {0.0, 360.0}).ok());
+    ASSERT_TRUE(
+        system_->SetAvgIncrement("photons", P("det_time"), 0.5).ok());
+  }
+
+  Status RunItems(std::vector<engine::ItemPtr> items) {
+    std::map<std::string, std::vector<engine::ItemPtr>> by_stream;
+    by_stream["photons"] = std::move(items);
+    return system_->Run(by_stream);
+  }
+
+  std::unique_ptr<sharing::StreamShareSystem> system_;
+};
+
+TEST_F(FailureInjectionTest, NonNumericPredicateValueSurfaces) {
+  ASSERT_TRUE(
+      system_
+          ->RegisterQuery(workload::kQuery1, 1,
+                          sharing::Strategy::kStreamSharing)
+          .ok());
+  Status status = RunItems(
+      {Photon("125.0", "1.5", "1.0"), Photon("corrupted", "1.5", "2.0")});
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsParseError()) << status;
+  EXPECT_NE(status.message().find("coord/cel/ra"), std::string::npos)
+      << status;
+}
+
+TEST_F(FailureInjectionTest, UnsortedReferenceElementSurfaces) {
+  ASSERT_TRUE(
+      system_
+          ->RegisterQuery(workload::kQuery3, 3,
+                          sharing::Strategy::kStreamSharing)
+          .ok());
+  Status status = RunItems(
+      {Photon("125.0", "1.5", "10.0"), Photon("126.0", "1.5", "5.0")});
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument()) << status;
+  EXPECT_NE(status.message().find("sorted"), std::string::npos) << status;
+}
+
+TEST_F(FailureInjectionTest, MissingReferenceElementSurfaces) {
+  ASSERT_TRUE(
+      system_
+          ->RegisterQuery(workload::kQuery3, 3,
+                          sharing::Strategy::kStreamSharing)
+          .ok());
+  auto node = std::make_unique<xml::XmlNode>("photon");
+  auto* cel = node->AddChild("coord")->AddChild("cel");
+  cel->AddLeaf("ra", "125.0");
+  cel->AddLeaf("dec", "-45.0");
+  node->AddLeaf("en", "1.5");  // no det_time
+  Status status = RunItems({engine::MakeItem(std::move(node))});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("reference element"), std::string::npos)
+      << status;
+}
+
+TEST_F(FailureInjectionTest, ItemsOutsideSelectionNeverReachTheFault) {
+  // A corrupt element only matters if an operator actually reads it: a
+  // photon outside every selection box flows past untouched... but Q1's
+  // selection must read ra, so corrupt ra always faults. Corrupt phc
+  // (referenced but only projected, never compared) must NOT fault.
+  ASSERT_TRUE(
+      system_
+          ->RegisterQuery(workload::kQuery1, 1,
+                          sharing::Strategy::kStreamSharing)
+          .ok());
+  auto node = std::make_unique<xml::XmlNode>("photon");
+  auto* cel = node->AddChild("coord")->AddChild("cel");
+  cel->AddLeaf("ra", "125.0");
+  cel->AddLeaf("dec", "-45.0");
+  node->AddLeaf("phc", "not-a-number");
+  node->AddLeaf("en", "1.5");
+  node->AddLeaf("det_time", "1.0");
+  EXPECT_TRUE(RunItems({engine::MakeItem(std::move(node))}).ok());
+}
+
+TEST_F(FailureInjectionTest, SinksSeeNothingAfterFailure) {
+  Result<sharing::RegistrationResult> q1 = system_->RegisterQuery(
+      workload::kQuery1, 1, sharing::Strategy::kStreamSharing);
+  ASSERT_TRUE(q1.ok());
+  // First item faults immediately; the run aborts before any delivery.
+  Status status = RunItems({Photon("corrupted", "1.5", "1.0"),
+                            Photon("125.0", "1.5", "2.0")});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(q1->sink->item_count(), 0u);
+}
+
+}  // namespace
+}  // namespace streamshare

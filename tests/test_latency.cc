@@ -1,0 +1,147 @@
+// Tests for the latency extension (§3.2: "Other parameters, e.g., latency
+// of network connections, could easily be added"): per-link latencies,
+// path latency accumulation, per-plan latency estimates, and
+// latency-aware candidate choice when latency_weight > 0.
+
+#include <gtest/gtest.h>
+
+#include "sharing/subscribe.h"
+#include "workload/paper_queries.h"
+#include "workload/photon_gen.h"
+
+namespace streamshare::sharing {
+namespace {
+
+using network::NodeId;
+using network::RegisteredStream;
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+
+TEST(LatencyTest, PathLatencyAccumulates) {
+  network::Topology topology;
+  NodeId a = topology.AddPeer("A");
+  NodeId b = topology.AddPeer("B");
+  NodeId c = topology.AddPeer("C");
+  ASSERT_TRUE(topology.AddLink(a, b, 1000.0, /*latency_ms=*/2.5).ok());
+  ASSERT_TRUE(topology.AddLink(b, c, 1000.0, /*latency_ms=*/7.5).ok());
+  Result<double> latency = topology.PathLatencyMs({a, b, c});
+  ASSERT_TRUE(latency.ok());
+  EXPECT_DOUBLE_EQ(*latency, 10.0);
+  EXPECT_DOUBLE_EQ(topology.PathLatencyMs({a}).value(), 0.0);
+  EXPECT_FALSE(topology.PathLatencyMs({a, c}).ok());  // no direct link
+}
+
+class LatencyPlannerTest : public ::testing::Test {
+ protected:
+  // A diamond: source SP0; two disjoint 2-hop paths to SP3 — a fast one
+  // via SP1 (1 ms per hop) and a slow one via SP2 (50 ms per hop).
+  void SetUp() override {
+    NodeId sp0 = topology_.AddPeer("SP0", 5000.0);
+    NodeId sp1 = topology_.AddPeer("SP1", 5000.0);
+    NodeId sp2 = topology_.AddPeer("SP2", 5000.0);
+    NodeId sp3 = topology_.AddPeer("SP3", 5000.0);
+    ASSERT_TRUE(topology_.AddLink(sp0, sp1, 100000.0, 1.0).ok());
+    ASSERT_TRUE(topology_.AddLink(sp1, sp3, 100000.0, 1.0).ok());
+    ASSERT_TRUE(topology_.AddLink(sp0, sp2, 100000.0, 50.0).ok());
+    ASSERT_TRUE(topology_.AddLink(sp2, sp3, 100000.0, 50.0).ok());
+    state_ = std::make_unique<network::NetworkState>(&topology_);
+
+    cost::StreamStatistics stats(workload::PhotonGenerator::Schema(),
+                                 100.0);
+    stats.SetRange(P("coord/cel/ra"), {0.0, 360.0});
+    stats.SetRange(P("coord/cel/dec"), {-90.0, 90.0});
+    stats.SetRange(P("en"), {0.1, 2.4});
+    statistics_.Register("photons", std::move(stats));
+
+    // Original stream at SP0.
+    RegisteredStream original;
+    original.variant_of = "photons";
+    original.props.stream_name = "photons";
+    original.source_node = 0;
+    original.target_node = 0;
+    original.route = {0};
+    registry_.Register(std::move(original));
+
+    // Two identical derived streams (Q1's canonical content), one flowing
+    // over the fast path, one over the slow path, both ending at SP3.
+    Result<wxquery::AnalyzedQuery> q1 =
+        wxquery::ParseAndAnalyze(workload::kQuery1);
+    ASSERT_TRUE(q1.ok());
+    for (auto [route, latency] :
+         {std::make_pair(std::vector<NodeId>{0, 1, 3}, 0.0),
+          std::make_pair(std::vector<NodeId>{0, 2, 3}, 0.0)}) {
+      RegisteredStream derived;
+      derived.variant_of = "photons";
+      derived.props = q1->props.inputs()[0];
+      derived.source_node = route.front();
+      derived.target_node = route.back();
+      derived.route = route;
+      derived.upstream = 0;
+      derived.source_latency_ms = latency;
+      registry_.Register(std::move(derived));
+    }
+  }
+
+  Planner MakePlanner(double latency_weight) {
+    cost::CostParams params;
+    params.latency_weight = latency_weight;
+    cost_model_ =
+        std::make_unique<cost::CostModel>(&statistics_, params);
+    return Planner(&topology_, state_.get(), &registry_,
+                   cost_model_.get(), PlannerOptions{});
+  }
+
+  network::Topology topology_;
+  std::unique_ptr<network::NetworkState> state_;
+  network::StreamRegistry registry_;
+  cost::StatisticsRegistry statistics_;
+  std::unique_ptr<cost::CostModel> cost_model_;
+};
+
+TEST_F(LatencyPlannerTest, PlanCarriesLatencyEstimate) {
+  Planner planner = MakePlanner(0.0);
+  Result<wxquery::AnalyzedQuery> q1 =
+      wxquery::ParseAndAnalyze(workload::kQuery1);
+  ASSERT_TRUE(q1.ok());
+  Result<EvaluationPlan> plan = planner.Subscribe(*q1, 3);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Tapping either derived stream at SP3 directly: latency = that
+  // stream's path; the fast one is 2 ms end to end.
+  EXPECT_GT(plan->inputs[0].estimated_latency_ms, 0.0);
+}
+
+TEST_F(LatencyPlannerTest, LatencyWeightSteersCandidateChoice) {
+  Result<wxquery::AnalyzedQuery> q1 =
+      wxquery::ParseAndAnalyze(workload::kQuery1);
+  ASSERT_TRUE(q1.ok());
+
+  // With latency in the cost, the plan must end up on the fast path
+  // (latency 2 ms), never the slow one (100 ms).
+  Planner weighted = MakePlanner(/*latency_weight=*/0.01);
+  Result<EvaluationPlan> plan = weighted.Subscribe(*q1, 3);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_LE(plan->inputs[0].estimated_latency_ms, 2.5)
+      << plan->inputs[0].ToString();
+  // Stream #1 is the fast-path stream (route 0-1-3).
+  EXPECT_EQ(plan->inputs[0].reused_stream, 1);
+}
+
+TEST_F(LatencyPlannerTest, ZeroWeightReproducesPaperCost) {
+  // With weight 0 the two identical candidates cost the same; the plan
+  // cost must not contain any latency term.
+  Planner unweighted = MakePlanner(0.0);
+  Result<wxquery::AnalyzedQuery> q1 =
+      wxquery::ParseAndAnalyze(workload::kQuery1);
+  ASSERT_TRUE(q1.ok());
+  Result<InputPlan> fast = unweighted.GenerateSharedPlan(
+      registry_.stream(1), 3, 3, q1->bindings[0], q1->props.inputs()[0]);
+  Result<InputPlan> slow = unweighted.GenerateSharedPlan(
+      registry_.stream(2), 3, 3, q1->bindings[0], q1->props.inputs()[0]);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_DOUBLE_EQ(fast->cost, slow->cost);
+  EXPECT_LT(fast->estimated_latency_ms, slow->estimated_latency_ms);
+}
+
+}  // namespace
+}  // namespace streamshare::sharing

@@ -1,0 +1,124 @@
+// Tests for the local (single-process) WXQuery evaluator, including its
+// role as the reference for the distributed execution path.
+
+#include "engine/local_query.h"
+
+#include <gtest/gtest.h>
+
+#include "sharing/system.h"
+#include "workload/paper_queries.h"
+#include "workload/photon_gen.h"
+#include "xml/xml_writer.h"
+
+namespace streamshare::engine {
+namespace {
+
+TEST(LocalQueryTest, FilterOverDocument) {
+  const char* document =
+      "<photons>"
+      "<photon><coord><cel><ra>125.0</ra><dec>-45.0</dec></cel></coord>"
+      "<phc>3</phc><en>1.5</en><det_time>1.0</det_time></photon>"
+      "<photon><coord><cel><ra>200.0</ra><dec>-45.0</dec></cel></coord>"
+      "<phc>4</phc><en>1.5</en><det_time>2.0</det_time></photon>"
+      "</photons>";
+  Result<LocalQueryResult> result =
+      RunLocalQuery(workload::kQuery1, document);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->wrapper_tag, "photons");
+  ASSERT_EQ(result->items.size(), 1u);
+  EXPECT_EQ(result->items[0]->name(), "vela");
+  EXPECT_EQ(result->items[0]->FirstChild("ra")->text(), "125.0");
+  // The wrapped document form.
+  EXPECT_EQ(result->ToDocument().substr(0, 9), "<photons>");
+}
+
+TEST(LocalQueryTest, AggregateOverDocument) {
+  std::string document = "<photons>";
+  for (int i = 0; i < 40; ++i) {
+    document += "<photon><coord><cel><ra>125.0</ra><dec>-45.0</dec></cel>"
+                "</coord><en>2.0</en><det_time>" +
+                std::to_string(i) + ".0</det_time></photon>";
+  }
+  document += "</photons>";
+  Result<LocalQueryResult> result =
+      RunLocalQuery(workload::kQuery3, document);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GT(result->items.size(), 1u);
+  EXPECT_EQ(result->items[0]->name(), "avg_en");
+  // Constant energy 2.0: every window average is 2.
+  EXPECT_EQ(Decimal::Parse(result->items[0]->text()).value(),
+            Decimal::FromInt(2));
+}
+
+TEST(LocalQueryTest, RootMismatchRejected) {
+  Status status =
+      RunLocalQuery(workload::kQuery1, "<neutrinos></neutrinos>")
+          .status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status;
+}
+
+TEST(LocalQueryTest, ParseErrorsPropagate) {
+  EXPECT_TRUE(RunLocalQuery("nonsense", "<photons/>")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(RunLocalQuery(workload::kQuery1, "<photons><broken")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(LocalQueryTest, MatchesDistributedExecution) {
+  // The local evaluator is the semantic reference: the distributed system
+  // must produce the same items for the same query and input.
+  workload::PhotonGenConfig gen_config;
+  gen_config.hot_regions = {{120.0, 138.0, -49.0, -40.0}};
+  gen_config.hot_weights = {3.0};
+  workload::PhotonGenerator generator(gen_config);
+  std::vector<ItemPtr> photons = generator.Generate(1000);
+
+  Result<wxquery::AnalyzedQuery> query =
+      wxquery::ParseAndAnalyze(workload::kQuery2);
+  ASSERT_TRUE(query.ok());
+  Result<LocalQueryResult> local = RunLocalQuery(*query, photons);
+  ASSERT_TRUE(local.ok()) << local.status();
+
+  sharing::SystemConfig config;
+  config.keep_results = true;
+  sharing::StreamShareSystem system(network::Topology::ExtendedExample(),
+                                    config);
+  ASSERT_TRUE(system
+                  .RegisterStream("photons",
+                                  workload::PhotonGenerator::Schema(),
+                                  100.0, 4)
+                  .ok());
+  Result<sharing::RegistrationResult> registered = system.RegisterQuery(
+      workload::kQuery2, 1, sharing::Strategy::kStreamSharing);
+  ASSERT_TRUE(registered.ok()) << registered.status();
+  std::map<std::string, std::vector<ItemPtr>> items;
+  items["photons"] = photons;
+  ASSERT_TRUE(system.Run(items).ok());
+
+  ASSERT_GT(local->items.size(), 0u);
+  ASSERT_EQ(local->items.size(), registered->sink->item_count());
+  for (size_t i = 0; i < local->items.size(); ++i) {
+    EXPECT_TRUE(local->items[i]->Equals(*registered->sink->items()[i]))
+        << "item " << i;
+  }
+}
+
+TEST(LocalQueryTest, WindowContentsLocally) {
+  const char* query =
+      "<out> { for $w in stream(\"s\")/s/m |count 2| "
+      "return <pair> { $w/x } </pair> } </out>";
+  const char* document =
+      "<s><m><x>1</x></m><m><x>2</x></m><m><x>3</x></m></s>";
+  Result<LocalQueryResult> result = RunLocalQuery(query, document);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->items.size(), 2u);
+  EXPECT_EQ(xml::WriteCompact(*result->items[0]),
+            "<pair><x>1</x><x>2</x></pair>");
+  EXPECT_EQ(xml::WriteCompact(*result->items[1]),
+            "<pair><x>3</x></pair>");
+}
+
+}  // namespace
+}  // namespace streamshare::engine

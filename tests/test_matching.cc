@@ -1,0 +1,347 @@
+// Unit tests for Algorithm 2 (MatchProperties) and MatchAggregations,
+// including a parameterized sweep of the window-compatibility rules
+// Δ′ mod Δ = 0, Δ mod µ = 0, µ′ mod µ = 0.
+
+#include <gtest/gtest.h>
+
+#include "matching/match_aggregations.h"
+#include "matching/match_properties.h"
+#include "wxquery/analyzer.h"
+#include "workload/paper_queries.h"
+
+namespace streamshare::matching {
+namespace {
+
+using properties::AggregateFunc;
+using properties::AggregationOp;
+using properties::InputStreamProperties;
+using properties::ProjectionOp;
+using properties::SelectionOp;
+using properties::UserDefinedOp;
+using properties::WindowSpec;
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+Decimal D(const char* text) { return Decimal::Parse(text).value(); }
+
+predicate::AtomicPredicate Ge(const char* path, const char* constant) {
+  return predicate::AtomicPredicate::Compare(
+      P(path), predicate::ComparisonOp::kGe, D(constant));
+}
+predicate::AtomicPredicate Le(const char* path, const char* constant) {
+  return predicate::AtomicPredicate::Compare(
+      P(path), predicate::ComparisonOp::kLe, D(constant));
+}
+
+InputStreamProperties PropsOf(const char* query_text) {
+  Result<wxquery::AnalyzedQuery> analyzed =
+      wxquery::ParseAndAnalyze(query_text);
+  EXPECT_TRUE(analyzed.ok()) << analyzed.status();
+  return analyzed->props.inputs()[0];
+}
+
+TEST(MatchPropertiesTest, DifferentInputStreamsNeverMatch) {
+  InputStreamProperties a;
+  a.stream_name = "photons";
+  InputStreamProperties b;
+  b.stream_name = "neutrinos";
+  EXPECT_FALSE(MatchProperties(a, b));
+}
+
+TEST(MatchPropertiesTest, OriginalStreamMatchesEverything) {
+  InputStreamProperties original;
+  original.stream_name = "photons";
+  EXPECT_TRUE(MatchProperties(original, PropsOf(workload::kQuery1)));
+  EXPECT_TRUE(MatchProperties(original, PropsOf(workload::kQuery3)));
+}
+
+TEST(MatchPropertiesTest, PaperQ1StreamServesQ2) {
+  EXPECT_TRUE(MatchProperties(PropsOf(workload::kQuery1),
+                              PropsOf(workload::kQuery2)));
+  // Not the other way around: Q2's stream is narrower and lacks phc.
+  EXPECT_FALSE(MatchProperties(PropsOf(workload::kQuery2),
+                               PropsOf(workload::kQuery1)));
+}
+
+TEST(MatchPropertiesTest, Q1StreamServesQ3Aggregate) {
+  // Q3 aggregates over the same sky box Q1 filters; Q1's stream carries
+  // ra, dec, en, det_time — everything Q3 needs.
+  EXPECT_TRUE(MatchProperties(PropsOf(workload::kQuery1),
+                              PropsOf(workload::kQuery3)));
+}
+
+TEST(MatchPropertiesTest, Q3StreamServesQ4ButNotViceVersa) {
+  EXPECT_TRUE(MatchProperties(PropsOf(workload::kQuery3),
+                              PropsOf(workload::kQuery4)));
+  // Q4's stream is filtered ($a >= 1.3) and coarser; Q3 needs unfiltered
+  // finer windows.
+  EXPECT_FALSE(MatchProperties(PropsOf(workload::kQuery4),
+                               PropsOf(workload::kQuery3)));
+}
+
+TEST(MatchPropertiesTest, AggregateStreamCannotServePlainQuery) {
+  EXPECT_FALSE(MatchProperties(PropsOf(workload::kQuery3),
+                               PropsOf(workload::kQuery1)));
+  EXPECT_FALSE(MatchProperties(PropsOf(workload::kQuery3),
+                               PropsOf(workload::kQuery2)));
+}
+
+TEST(MatchPropertiesTest, SelectionContainmentDirection) {
+  InputStreamProperties wide;
+  wide.stream_name = "s";
+  wide.operators.push_back(
+      SelectionOp::Create({Ge("x", "0"), Le("x", "100")}).value());
+
+  InputStreamProperties narrow;
+  narrow.stream_name = "s";
+  narrow.operators.push_back(
+      SelectionOp::Create({Ge("x", "10"), Le("x", "20")}).value());
+
+  EXPECT_TRUE(MatchProperties(wide, narrow));
+  EXPECT_FALSE(MatchProperties(narrow, wide));
+}
+
+TEST(MatchPropertiesTest, SelectedStreamRejectsUnselectedSubscription) {
+  InputStreamProperties selected;
+  selected.stream_name = "s";
+  selected.operators.push_back(SelectionOp::Create({Ge("x", "0")}).value());
+  InputStreamProperties everything;
+  everything.stream_name = "s";
+  // The subscription needs the whole stream; a filtered one won't do.
+  EXPECT_FALSE(MatchProperties(selected, everything));
+  EXPECT_TRUE(MatchProperties(everything, selected));
+}
+
+TEST(MatchPropertiesTest, ProjectionCoverage) {
+  InputStreamProperties projected;
+  projected.stream_name = "s";
+  ProjectionOp proj;
+  proj.output = {P("coord/cel"), P("en")};
+  proj.referenced = proj.output;
+  projected.operators.push_back(proj);
+
+  InputStreamProperties sub_covered;
+  sub_covered.stream_name = "s";
+  ProjectionOp need_covered;
+  need_covered.referenced = {P("coord/cel/ra"), P("en")};
+  need_covered.output = need_covered.referenced;
+  sub_covered.operators.push_back(need_covered);
+  EXPECT_TRUE(MatchProperties(projected, sub_covered));
+
+  InputStreamProperties sub_missing;
+  sub_missing.stream_name = "s";
+  ProjectionOp need_missing;
+  need_missing.referenced = {P("coord/det/dx")};
+  need_missing.output = need_missing.referenced;
+  sub_missing.operators.push_back(need_missing);
+  EXPECT_FALSE(MatchProperties(projected, sub_missing));
+}
+
+TEST(MatchPropertiesTest, UserDefinedOperatorsRequireIdenticalInvocation) {
+  InputStreamProperties stream;
+  stream.stream_name = "s";
+  stream.operators.push_back(UserDefinedOp{"blur", {"3", "fast"}});
+
+  InputStreamProperties same = stream;
+  EXPECT_TRUE(MatchProperties(stream, same));
+
+  InputStreamProperties different_params;
+  different_params.stream_name = "s";
+  different_params.operators.push_back(UserDefinedOp{"blur", {"5", "fast"}});
+  EXPECT_FALSE(MatchProperties(stream, different_params));
+
+  InputStreamProperties different_name;
+  different_name.stream_name = "s";
+  different_name.operators.push_back(
+      UserDefinedOp{"sharpen", {"3", "fast"}});
+  EXPECT_FALSE(MatchProperties(stream, different_name));
+}
+
+TEST(MatchPropertiesTest, EdgeLocalVsCompleteOption) {
+  // Derived bound x ≤ 3 (via y) implies x ≤ 5 only for the complete test.
+  InputStreamProperties stream;
+  stream.stream_name = "s";
+  stream.operators.push_back(SelectionOp::Create({Le("x", "5")}).value());
+
+  InputStreamProperties sub;
+  sub.stream_name = "s";
+  sub.operators.push_back(
+      SelectionOp::Create(
+          {predicate::AtomicPredicate::CompareVars(
+               P("x"), predicate::ComparisonOp::kLe, P("y"), Decimal()),
+           Le("y", "3")})
+          .value());
+
+  MatchOptions edge_local;
+  EXPECT_FALSE(MatchProperties(stream, sub, edge_local));
+  MatchOptions complete;
+  complete.edge_local_predicates = false;
+  EXPECT_TRUE(MatchProperties(stream, sub, complete));
+}
+
+TEST(ProjectionCoversTest, PrefixSemantics) {
+  std::vector<xml::Path> output{P("coord/cel"), P("en")};
+  EXPECT_TRUE(ProjectionCovers(output, {P("coord/cel/ra")}));
+  EXPECT_TRUE(ProjectionCovers(output, {P("coord/cel"), P("en")}));
+  EXPECT_FALSE(ProjectionCovers(output, {P("coord")}));
+  EXPECT_FALSE(ProjectionCovers(output, {P("det_time")}));
+  EXPECT_TRUE(ProjectionCovers(output, {}));
+  EXPECT_FALSE(ProjectionCovers({}, {P("en")}));
+}
+
+// --- MatchAggregations ----------------------------------------------------
+
+AggregationOp MakeAgg(AggregateFunc func, const char* element, int size,
+                      int step,
+                      std::vector<predicate::AtomicPredicate> pre = {},
+                      std::vector<predicate::AtomicPredicate> filter = {}) {
+  WindowSpec window =
+      WindowSpec::Diff(P("det_time"), Decimal::FromInt(size),
+                       Decimal::FromInt(step))
+          .value();
+  return AggregationOp::Create(func, P(element), window, std::move(pre),
+                               std::move(filter))
+      .value();
+}
+
+TEST(MatchAggregationsTest, PaperQ3Q4Windows) {
+  AggregationOp q3 = MakeAgg(AggregateFunc::kAvg, "en", 20, 10,
+                             {Ge("coord/cel/ra", "120.0")});
+  predicate::AtomicPredicate filter = Ge("$agg", "1.3");
+  filter.lhs = properties::AggregateValuePath();
+  AggregationOp q4 = MakeAgg(AggregateFunc::kAvg, "en", 60, 40,
+                             {Ge("coord/cel/ra", "120.0")}, {filter});
+  EXPECT_TRUE(MatchAggregations(q3, q4));
+  EXPECT_FALSE(MatchAggregations(q4, q3));  // filtered + coarser
+}
+
+TEST(MatchAggregationsTest, DifferentElementOrPreSelectionRejected) {
+  AggregationOp en = MakeAgg(AggregateFunc::kAvg, "en", 20, 10);
+  AggregationOp phc = MakeAgg(AggregateFunc::kAvg, "phc", 20, 10);
+  EXPECT_FALSE(MatchAggregations(en, phc));
+
+  AggregationOp with_pre = MakeAgg(AggregateFunc::kAvg, "en", 20, 10,
+                                   {Ge("coord/cel/ra", "120.0")});
+  EXPECT_FALSE(MatchAggregations(en, with_pre));
+  EXPECT_FALSE(MatchAggregations(with_pre, en));
+  // Pre-selection equality must be semantic, not syntactic.
+  AggregationOp same_pre_reordered =
+      MakeAgg(AggregateFunc::kAvg, "en", 40, 20,
+              {Ge("coord/cel/ra", "120.0")});
+  EXPECT_TRUE(MatchAggregations(with_pre, same_pre_reordered));
+}
+
+TEST(MatchAggregationsTest, AvgServesSumAndCount) {
+  AggregationOp avg = MakeAgg(AggregateFunc::kAvg, "en", 20, 10);
+  AggregationOp sum = MakeAgg(AggregateFunc::kSum, "en", 20, 10);
+  AggregationOp count = MakeAgg(AggregateFunc::kCount, "en", 20, 10);
+  AggregationOp min = MakeAgg(AggregateFunc::kMin, "en", 20, 10);
+  EXPECT_TRUE(MatchAggregations(avg, sum));
+  EXPECT_TRUE(MatchAggregations(avg, count));
+  EXPECT_FALSE(MatchAggregations(avg, min));
+  EXPECT_FALSE(MatchAggregations(sum, avg));  // sum alone can't make avg
+  EXPECT_FALSE(MatchAggregations(count, sum));
+}
+
+TEST(MatchAggregationsTest, FilteredStreamRequiresIdenticalWindow) {
+  predicate::AtomicPredicate filter;
+  filter.lhs = properties::AggregateValuePath();
+  filter.op = predicate::ComparisonOp::kGe;
+  filter.constant = D("1.0");
+  AggregationOp filtered =
+      MakeAgg(AggregateFunc::kAvg, "en", 20, 10, {}, {filter});
+
+  // Identical window + same filter: shareable.
+  AggregationOp same = MakeAgg(AggregateFunc::kAvg, "en", 20, 10, {},
+                               {filter});
+  EXPECT_TRUE(MatchAggregations(filtered, same));
+
+  // Identical window + stricter filter: shareable.
+  predicate::AtomicPredicate stricter = filter;
+  stricter.constant = D("1.5");
+  AggregationOp strict_sub =
+      MakeAgg(AggregateFunc::kAvg, "en", 20, 10, {}, {stricter});
+  EXPECT_TRUE(MatchAggregations(filtered, strict_sub));
+
+  // Identical window + weaker filter: not shareable.
+  predicate::AtomicPredicate weaker = filter;
+  weaker.constant = D("0.5");
+  AggregationOp weak_sub =
+      MakeAgg(AggregateFunc::kAvg, "en", 20, 10, {}, {weaker});
+  EXPECT_FALSE(MatchAggregations(filtered, weak_sub));
+
+  // Coarser window: never shareable from a filtered stream.
+  AggregationOp coarser =
+      MakeAgg(AggregateFunc::kAvg, "en", 40, 20, {}, {stricter});
+  EXPECT_FALSE(MatchAggregations(filtered, coarser));
+}
+
+TEST(MatchAggregationsTest, CountVsDiffWindowsIncompatible) {
+  AggregationOp diff = MakeAgg(AggregateFunc::kSum, "en", 20, 10);
+  WindowSpec count_window = WindowSpec::Count(20, 10).value();
+  AggregationOp count_agg =
+      AggregationOp::Create(AggregateFunc::kSum, P("en"), count_window)
+          .value();
+  EXPECT_FALSE(MatchAggregations(diff, count_agg));
+  EXPECT_FALSE(MatchAggregations(count_agg, diff));
+}
+
+TEST(MatchAggregationsTest, DifferentReferenceElementsIncompatible) {
+  WindowSpec by_time =
+      WindowSpec::Diff(P("det_time"), Decimal::FromInt(20)).value();
+  WindowSpec by_energy =
+      WindowSpec::Diff(P("en"), Decimal::FromInt(20)).value();
+  AggregationOp a =
+      AggregationOp::Create(AggregateFunc::kSum, P("en"), by_time).value();
+  AggregationOp b =
+      AggregationOp::Create(AggregateFunc::kSum, P("en"), by_energy)
+          .value();
+  EXPECT_FALSE(MatchAggregations(a, b));
+}
+
+// Parameterized sweep of the three divisibility rules.
+struct WindowCase {
+  int fine_size, fine_step, coarse_size, coarse_step;
+  bool compatible;
+};
+
+class WindowCompatSweep : public ::testing::TestWithParam<WindowCase> {};
+
+TEST_P(WindowCompatSweep, DivisibilityRules) {
+  const WindowCase& c = GetParam();
+  WindowSpec fine = WindowSpec::Diff(P("t"), Decimal::FromInt(c.fine_size),
+                                     Decimal::FromInt(c.fine_step))
+                        .value();
+  WindowSpec coarse =
+      WindowSpec::Diff(P("t"), Decimal::FromInt(c.coarse_size),
+                       Decimal::FromInt(c.coarse_step))
+          .value();
+  EXPECT_EQ(WindowsCompatible(fine, coarse), c.compatible)
+      << "fine " << fine.ToString() << " coarse " << coarse.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, WindowCompatSweep,
+    ::testing::Values(
+        WindowCase{20, 10, 60, 40, true},    // the paper's Q3/Q4 pair
+        WindowCase{20, 10, 20, 10, true},    // identical
+        WindowCase{20, 10, 40, 10, true},    // coarser size, same step
+        WindowCase{20, 10, 60, 15, false},   // µ′ mod µ ≠ 0
+        WindowCase{20, 10, 50, 40, false},   // Δ′ mod Δ ≠ 0
+        WindowCase{20, 15, 60, 30, false},   // Δ mod µ ≠ 0 (no tiling)
+        WindowCase{10, 10, 100, 50, true},   // tumbling fine windows
+        WindowCase{10, 20, 100, 40, false},  // sampling fine (Δ mod µ ≠ 0)
+        WindowCase{20, 10, 20, 40, true},    // sampling coarse is fine
+        WindowCase{20, 10, 10, 10, false},   // finer than reused
+        WindowCase{1, 1, 1000, 1, true}));   // extreme ratio
+
+TEST(DecimalDividesTest, ExactDecimalArithmetic) {
+  EXPECT_TRUE(DecimalDivides(D("0.5"), D("2.0")));
+  EXPECT_TRUE(DecimalDivides(D("0.25"), D("1")));
+  EXPECT_FALSE(DecimalDivides(D("0.3"), D("1")));
+  EXPECT_FALSE(DecimalDivides(D("0"), D("1")));
+  EXPECT_TRUE(DecimalDivides(D("7"), D("49")));
+  EXPECT_FALSE(DecimalDivides(D("7"), D("50")));
+}
+
+}  // namespace
+}  // namespace streamshare::matching

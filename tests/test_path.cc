@@ -1,0 +1,83 @@
+// Unit tests for child-axis paths.
+
+#include "xml/path.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml_parser.h"
+
+namespace streamshare::xml {
+namespace {
+
+TEST(PathTest, ParseAndToString) {
+  Result<Path> path = Path::Parse("coord/cel/ra");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->size(), 3u);
+  EXPECT_EQ(path->ToString(), "coord/cel/ra");
+}
+
+TEST(PathTest, EmptyPath) {
+  Result<Path> path = Path::Parse("");
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(path->empty());
+  EXPECT_EQ(path->ToString(), "");
+}
+
+TEST(PathTest, RejectsUnsupportedSyntax) {
+  EXPECT_FALSE(Path::Parse("a//b").ok());      // descendant axis
+  EXPECT_FALSE(Path::Parse("a/*").ok());       // wildcard
+  EXPECT_FALSE(Path::Parse("a[b>1]/c").ok());  // embedded condition
+  EXPECT_FALSE(Path::Parse("/a").ok());        // leading slash
+}
+
+TEST(PathTest, EvaluateSelectsAllMatches) {
+  auto doc = ParseDocument(
+      "<photon><coord><cel><ra>1</ra></cel><cel><ra>2</ra></cel></coord>"
+      "</photon>");
+  ASSERT_TRUE(doc.ok());
+  Path path = Path::Parse("coord/cel/ra").value();
+  std::vector<const XmlNode*> nodes = path.Evaluate(**doc);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0]->text(), "1");
+  EXPECT_EQ(nodes[1]->text(), "2");
+  EXPECT_EQ(path.EvaluateFirst(**doc)->text(), "1");
+}
+
+TEST(PathTest, EvaluateMissingPath) {
+  auto doc = ParseDocument("<photon><en>1.3</en></photon>");
+  ASSERT_TRUE(doc.ok());
+  Path path = Path::Parse("coord/cel/ra").value();
+  EXPECT_TRUE(path.Evaluate(**doc).empty());
+  EXPECT_EQ(path.EvaluateFirst(**doc), nullptr);
+}
+
+TEST(PathTest, EmptyPathSelectsContext) {
+  auto doc = ParseDocument("<photon/>");
+  ASSERT_TRUE(doc.ok());
+  Path path;
+  std::vector<const XmlNode*> nodes = path.Evaluate(**doc);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], doc->get());
+}
+
+TEST(PathTest, PrefixRelation) {
+  Path a = Path::Parse("coord/cel").value();
+  Path b = Path::Parse("coord/cel/ra").value();
+  Path c = Path::Parse("coord/det").value();
+  EXPECT_TRUE(a.IsPrefixOf(b));
+  EXPECT_TRUE(a.IsPrefixOf(a));
+  EXPECT_FALSE(b.IsPrefixOf(a));
+  EXPECT_FALSE(c.IsPrefixOf(b));
+  EXPECT_TRUE(Path().IsPrefixOf(a));
+}
+
+TEST(PathTest, ConcatAndOrdering) {
+  Path a = Path::Parse("coord").value();
+  Path b = Path::Parse("cel/ra").value();
+  EXPECT_EQ(a.Concat(b).ToString(), "coord/cel/ra");
+  EXPECT_EQ(Path().Concat(b), b);
+  EXPECT_LT(Path::Parse("a").value(), Path::Parse("b").value());
+}
+
+}  // namespace
+}  // namespace streamshare::xml

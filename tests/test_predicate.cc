@@ -1,0 +1,172 @@
+// Unit tests for atomic predicates: normalization to difference bounds and
+// evaluation against XML items.
+
+#include <gtest/gtest.h>
+
+#include "predicate/atomic.h"
+#include "predicate/eval.h"
+#include "xml/xml_parser.h"
+
+namespace streamshare::predicate {
+namespace {
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+Decimal D(const char* text) { return Decimal::Parse(text).value(); }
+
+TEST(AtomicPredicateTest, ToStringForms) {
+  EXPECT_EQ(AtomicPredicate::Compare(P("en"), ComparisonOp::kGe, D("1.3"))
+                .ToString(),
+            "en >= 1.3");
+  EXPECT_EQ(AtomicPredicate::CompareVars(P("a"), ComparisonOp::kLe, P("b"),
+                                         D("3"))
+                .ToString(),
+            "a <= b + 3");
+  EXPECT_EQ(AtomicPredicate::CompareVars(P("a"), ComparisonOp::kLt, P("b"),
+                                         D("-2"))
+                .ToString(),
+            "a < b - 2");
+  EXPECT_EQ(AtomicPredicate::CompareVars(P("a"), ComparisonOp::kEq, P("b"),
+                                         Decimal())
+                .ToString(),
+            "a = b");
+}
+
+TEST(NormalizeTest, LessEqualBecomesOneBound) {
+  auto constraints = Normalize(
+      AtomicPredicate::Compare(P("ra"), ComparisonOp::kLe, D("138.0")));
+  ASSERT_EQ(constraints.size(), 1u);
+  EXPECT_EQ(constraints[0].source, P("ra"));
+  EXPECT_TRUE(constraints[0].target.empty());  // zero node
+  EXPECT_EQ(constraints[0].bound.value, D("138.0"));
+  EXPECT_FALSE(constraints[0].bound.strict);
+}
+
+TEST(NormalizeTest, GreaterEqualFlips) {
+  auto constraints = Normalize(
+      AtomicPredicate::Compare(P("ra"), ComparisonOp::kGe, D("120.0")));
+  ASSERT_EQ(constraints.size(), 1u);
+  EXPECT_TRUE(constraints[0].source.empty());
+  EXPECT_EQ(constraints[0].target, P("ra"));
+  EXPECT_EQ(constraints[0].bound.value, D("-120.0"));
+}
+
+TEST(NormalizeTest, StrictOpsCarryStrictness) {
+  auto lt = Normalize(
+      AtomicPredicate::Compare(P("x"), ComparisonOp::kLt, D("5")));
+  ASSERT_EQ(lt.size(), 1u);
+  EXPECT_TRUE(lt[0].bound.strict);
+  auto gt = Normalize(
+      AtomicPredicate::Compare(P("x"), ComparisonOp::kGt, D("5")));
+  ASSERT_EQ(gt.size(), 1u);
+  EXPECT_TRUE(gt[0].bound.strict);
+}
+
+TEST(NormalizeTest, EqualityBecomesTwoBounds) {
+  auto constraints = Normalize(AtomicPredicate::CompareVars(
+      P("a"), ComparisonOp::kEq, P("b"), D("2")));
+  ASSERT_EQ(constraints.size(), 2u);
+  EXPECT_EQ(constraints[0].bound.value, D("2"));
+  EXPECT_EQ(constraints[1].bound.value, D("-2"));
+}
+
+TEST(BoundTest, ImplicationOrdering) {
+  Bound tight{D("3"), false};
+  Bound tighter{D("2"), false};
+  Bound strict3{D("3"), true};
+  EXPECT_TRUE(tighter.ImpliesBound(tight));
+  EXPECT_FALSE(tight.ImpliesBound(tighter));
+  EXPECT_TRUE(strict3.ImpliesBound(tight));   // x<3 ⇒ x≤3
+  EXPECT_FALSE(tight.ImpliesBound(strict3));  // x≤3 ⇏ x<3
+  EXPECT_TRUE(tight.ImpliesBound(tight));
+  EXPECT_TRUE(tighter.TighterThan(tight));
+  EXPECT_FALSE(tight.TighterThan(tight));
+}
+
+TEST(BoundTest, CompositionAddsAndInfectsStrictness) {
+  Bound a{D("1.5"), false};
+  Bound b{D("2"), true};
+  Bound sum = a + b;
+  EXPECT_EQ(sum.value, D("3.5"));
+  EXPECT_TRUE(sum.strict);
+}
+
+TEST(BoundTest, InfeasibleCycles) {
+  EXPECT_TRUE((Bound{D("-1"), false}).IsInfeasibleCycle());
+  EXPECT_TRUE((Bound{D("0"), true}).IsInfeasibleCycle());
+  EXPECT_FALSE((Bound{D("0"), false}).IsInfeasibleCycle());
+  EXPECT_FALSE((Bound{D("1"), true}).IsInfeasibleCycle());
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = xml::ParseDocument(
+        "<photon><coord><cel><ra>130.0</ra><dec>-45.5</dec></cel></coord>"
+        "<en>1.3</en><bad>oops</bad></photon>");
+    ASSERT_TRUE(doc.ok());
+    item_ = std::move(doc).value();
+  }
+  std::unique_ptr<xml::XmlNode> item_;
+};
+
+TEST_F(EvalTest, ExtractValue) {
+  Result<Decimal> ra = ExtractValue(*item_, P("coord/cel/ra"));
+  ASSERT_TRUE(ra.ok());
+  EXPECT_EQ(*ra, D("130.0"));
+  EXPECT_TRUE(ExtractValue(*item_, P("missing")).status().IsNotFound());
+  EXPECT_TRUE(ExtractValue(*item_, P("bad")).status().IsParseError());
+}
+
+TEST_F(EvalTest, EvaluateComparisons) {
+  auto eval = [&](ComparisonOp op, const char* constant) {
+    return EvaluatePredicate(
+               AtomicPredicate::Compare(P("en"), op, D(constant)), *item_)
+        .value();
+  };
+  EXPECT_TRUE(eval(ComparisonOp::kGe, "1.3"));
+  EXPECT_TRUE(eval(ComparisonOp::kLe, "1.3"));
+  EXPECT_TRUE(eval(ComparisonOp::kEq, "1.3"));
+  EXPECT_FALSE(eval(ComparisonOp::kLt, "1.3"));
+  EXPECT_FALSE(eval(ComparisonOp::kGt, "1.3"));
+  EXPECT_TRUE(eval(ComparisonOp::kGt, "1.2"));
+}
+
+TEST_F(EvalTest, VariableVsVariablePlusConstant) {
+  // ra <= dec + 176:  130.0 <= -45.5 + 176 = 130.5  → true.
+  Result<bool> result = EvaluatePredicate(
+      AtomicPredicate::CompareVars(P("coord/cel/ra"), ComparisonOp::kLe,
+                                   P("coord/cel/dec"), D("176")),
+      *item_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+  // ra <= dec + 175: 130.0 <= 129.5 → false.
+  result = EvaluatePredicate(
+      AtomicPredicate::CompareVars(P("coord/cel/ra"), ComparisonOp::kLe,
+                                   P("coord/cel/dec"), D("175")),
+      *item_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST_F(EvalTest, MissingElementEvaluatesFalse) {
+  Result<bool> result = EvaluatePredicate(
+      AtomicPredicate::Compare(P("nothere"), ComparisonOp::kGe, D("0")),
+      *item_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST_F(EvalTest, ConjunctionShortCircuitsToFalse) {
+  std::vector<AtomicPredicate> conjunction{
+      AtomicPredicate::Compare(P("en"), ComparisonOp::kGe, D("1.0")),
+      AtomicPredicate::Compare(P("coord/cel/ra"), ComparisonOp::kGe,
+                               D("135.0")),
+  };
+  Result<bool> result = EvaluateConjunction(conjunction, *item_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+  EXPECT_TRUE(EvaluateConjunction({}, *item_).value());  // empty = true
+}
+
+}  // namespace
+}  // namespace streamshare::predicate

@@ -1,0 +1,350 @@
+// Tests for predicate graphs: construction, satisfiability, minimization,
+// and implication — including a randomized property sweep checking the
+// complete implication test against brute-force evaluation on sampled
+// assignments, and the soundness relation between the edge-local
+// (Algorithm 3) and complete tests.
+
+#include "predicate/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "matching/match_predicates.h"
+#include "predicate/eval.h"
+#include "xml/xml_node.h"
+
+namespace streamshare::predicate {
+namespace {
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+Decimal D(const char* text) { return Decimal::Parse(text).value(); }
+
+AtomicPredicate Cmp(const char* path, ComparisonOp op, const char* c) {
+  return AtomicPredicate::Compare(P(path), op, D(c));
+}
+
+TEST(PredicateGraphTest, EmptyGraphIsSatisfiableAndImpliedByAll) {
+  PredicateGraph empty;
+  EXPECT_TRUE(empty.IsSatisfiable());
+  PredicateGraph some = PredicateGraph::Build(
+      {Cmp("x", ComparisonOp::kGe, "1")});
+  EXPECT_TRUE(some.Implies(empty));
+  EXPECT_FALSE(empty.Implies(some));
+}
+
+TEST(PredicateGraphTest, BuildKeepsTightestParallelEdge) {
+  PredicateGraph graph = PredicateGraph::Build({
+      Cmp("x", ComparisonOp::kLe, "10"),
+      Cmp("x", ComparisonOp::kLe, "5"),
+      Cmp("x", ComparisonOp::kLe, "7"),
+  });
+  std::optional<int> x = graph.FindNode(P("x"));
+  ASSERT_TRUE(x.has_value());
+  std::optional<Bound> bound = graph.EdgeBound(*x, 0);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(bound->value, D("5"));
+}
+
+TEST(PredicateGraphTest, SatisfiableBox) {
+  PredicateGraph graph = PredicateGraph::Build({
+      Cmp("ra", ComparisonOp::kGe, "120.0"),
+      Cmp("ra", ComparisonOp::kLe, "138.0"),
+      Cmp("dec", ComparisonOp::kGe, "-49.0"),
+      Cmp("dec", ComparisonOp::kLe, "-40.0"),
+  });
+  EXPECT_TRUE(graph.IsSatisfiable());
+}
+
+TEST(PredicateGraphTest, ContradictionIsUnsatisfiable) {
+  PredicateGraph graph = PredicateGraph::Build({
+      Cmp("x", ComparisonOp::kGe, "10"),
+      Cmp("x", ComparisonOp::kLe, "5"),
+  });
+  EXPECT_FALSE(graph.IsSatisfiable());
+}
+
+TEST(PredicateGraphTest, StrictCycleIsUnsatisfiable) {
+  // x < y and y < x: zero-weight cycle with strict edges.
+  PredicateGraph graph = PredicateGraph::Build({
+      AtomicPredicate::CompareVars(P("x"), ComparisonOp::kLt, P("y"),
+                                   Decimal()),
+      AtomicPredicate::CompareVars(P("y"), ComparisonOp::kLt, P("x"),
+                                   Decimal()),
+  });
+  EXPECT_FALSE(graph.IsSatisfiable());
+  // Non-strict version (x ≤ y, y ≤ x) is satisfiable: x = y.
+  PredicateGraph nonstrict = PredicateGraph::Build({
+      AtomicPredicate::CompareVars(P("x"), ComparisonOp::kLe, P("y"),
+                                   Decimal()),
+      AtomicPredicate::CompareVars(P("y"), ComparisonOp::kLe, P("x"),
+                                   Decimal()),
+  });
+  EXPECT_TRUE(nonstrict.IsSatisfiable());
+}
+
+TEST(PredicateGraphTest, TransitiveContradictionThroughVariables) {
+  // x ≤ y - 1, y ≤ z - 1, z ≤ x - 1: negative cycle.
+  PredicateGraph graph = PredicateGraph::Build({
+      AtomicPredicate::CompareVars(P("x"), ComparisonOp::kLe, P("y"),
+                                   D("-1")),
+      AtomicPredicate::CompareVars(P("y"), ComparisonOp::kLe, P("z"),
+                                   D("-1")),
+      AtomicPredicate::CompareVars(P("z"), ComparisonOp::kLe, P("x"),
+                                   D("-1")),
+  });
+  EXPECT_FALSE(graph.IsSatisfiable());
+}
+
+TEST(PredicateGraphTest, SelfLoopVacuousOrInfeasible) {
+  PredicateGraph vacuous = PredicateGraph::Build({
+      AtomicPredicate::CompareVars(P("x"), ComparisonOp::kLe, P("x"),
+                                   D("0")),
+  });
+  EXPECT_TRUE(vacuous.IsSatisfiable());
+  PredicateGraph infeasible = PredicateGraph::Build({
+      AtomicPredicate::CompareVars(P("x"), ComparisonOp::kLt, P("x"),
+                                   D("0")),
+  });
+  EXPECT_FALSE(infeasible.IsSatisfiable());
+}
+
+TEST(PredicateGraphTest, MinimizeRemovesRedundantEdges) {
+  // x ≤ 5 and x ≤ 7: after the tightest-parallel-edge collapse only x ≤ 5
+  // remains anyway; add a transitive redundancy instead:
+  // x ≤ y, y ≤ 3, x ≤ 10 (implied: x ≤ 3 < 10).
+  PredicateGraph graph = PredicateGraph::Build({
+      AtomicPredicate::CompareVars(P("x"), ComparisonOp::kLe, P("y"),
+                                   Decimal()),
+      Cmp("y", ComparisonOp::kLe, "3"),
+      Cmp("x", ComparisonOp::kLe, "10"),
+  });
+  size_t before = graph.edge_count();
+  graph.Minimize();
+  EXPECT_LT(graph.edge_count(), before);
+  // The minimized graph must still imply the original constraint set.
+  PredicateGraph original = PredicateGraph::Build({
+      AtomicPredicate::CompareVars(P("x"), ComparisonOp::kLe, P("y"),
+                                   Decimal()),
+      Cmp("y", ComparisonOp::kLe, "3"),
+      Cmp("x", ComparisonOp::kLe, "10"),
+  });
+  EXPECT_TRUE(graph.Implies(original));
+  EXPECT_TRUE(original.Implies(graph));
+}
+
+TEST(PredicateGraphTest, PaperExampleQ2ImpliesQ1) {
+  // The matching of Fig. 4: Query 2's predicates imply Query 1's.
+  PredicateGraph q1 = PredicateGraph::Build({
+      Cmp("ra", ComparisonOp::kGe, "120.0"),
+      Cmp("ra", ComparisonOp::kLe, "138.0"),
+      Cmp("dec", ComparisonOp::kGe, "-49.0"),
+      Cmp("dec", ComparisonOp::kLe, "-40.0"),
+  });
+  PredicateGraph q2 = PredicateGraph::Build({
+      Cmp("en", ComparisonOp::kGe, "1.3"),
+      Cmp("ra", ComparisonOp::kGe, "130.5"),
+      Cmp("ra", ComparisonOp::kLe, "135.5"),
+      Cmp("dec", ComparisonOp::kGe, "-48.0"),
+      Cmp("dec", ComparisonOp::kLe, "-45.0"),
+  });
+  EXPECT_TRUE(q2.Implies(q1));
+  EXPECT_FALSE(q1.Implies(q2));
+  EXPECT_TRUE(matching::MatchPredicatesEdgeLocal(q1, q2));
+  EXPECT_FALSE(matching::MatchPredicatesEdgeLocal(q2, q1));
+}
+
+TEST(PredicateGraphTest, ImplicationUsesDerivedBounds) {
+  // Stronger: x ≤ y and y ≤ 3. Weaker: x ≤ 5. The direct edge x→0 does
+  // not exist in the stronger graph; only the derived bound x ≤ 3 proves
+  // the implication — the edge-local test must fail, the complete one
+  // succeed.
+  PredicateGraph stronger = PredicateGraph::Build({
+      AtomicPredicate::CompareVars(P("x"), ComparisonOp::kLe, P("y"),
+                                   Decimal()),
+      Cmp("y", ComparisonOp::kLe, "3"),
+  });
+  PredicateGraph weaker = PredicateGraph::Build({
+      Cmp("x", ComparisonOp::kLe, "5"),
+  });
+  EXPECT_TRUE(stronger.Implies(weaker));
+  EXPECT_TRUE(matching::MatchPredicatesComplete(weaker, stronger));
+  EXPECT_FALSE(matching::MatchPredicatesEdgeLocal(weaker, stronger));
+}
+
+TEST(PredicateGraphTest, StrictnessBlocksImplication) {
+  PredicateGraph nonstrict =
+      PredicateGraph::Build({Cmp("x", ComparisonOp::kLe, "5")});
+  PredicateGraph strict =
+      PredicateGraph::Build({Cmp("x", ComparisonOp::kLt, "5")});
+  EXPECT_TRUE(strict.Implies(nonstrict));
+  EXPECT_FALSE(nonstrict.Implies(strict));
+}
+
+TEST(PredicateGraphTest, ToPredicatesRoundTrips) {
+  std::vector<AtomicPredicate> conjunction{
+      Cmp("ra", ComparisonOp::kGe, "120.0"),
+      Cmp("ra", ComparisonOp::kLt, "138.0"),
+      AtomicPredicate::CompareVars(P("a"), ComparisonOp::kLe, P("b"),
+                                   D("2.5")),
+  };
+  PredicateGraph graph = PredicateGraph::Build(conjunction);
+  PredicateGraph rebuilt = PredicateGraph::Build(graph.ToPredicates());
+  EXPECT_TRUE(graph.EquivalentTo(rebuilt));
+}
+
+// ---------------------------------------------------------------------------
+// Property-based sweep: random conjunctions over a small variable/constant
+// domain. Checks
+//   (1) implication soundness against brute-force sampling,
+//   (2) edge-local ⇒ complete (Algorithm 3 is conservative),
+//   (3) minimization preserves equivalence,
+//   (4) satisfiability agrees with existence of a satisfying sample.
+// ---------------------------------------------------------------------------
+
+class RandomGraphSweep : public ::testing::TestWithParam<int> {};
+
+std::vector<AtomicPredicate> RandomConjunction(std::mt19937_64* rng) {
+  static const char* const kVars[] = {"u", "v", "w"};
+  std::uniform_int_distribution<int> count_dist(1, 5);
+  std::uniform_int_distribution<int> var_dist(0, 2);
+  std::uniform_int_distribution<int> const_dist(-4, 4);
+  std::uniform_int_distribution<int> op_dist(0, 4);
+  std::uniform_int_distribution<int> kind_dist(0, 2);
+  static const ComparisonOp kOps[] = {ComparisonOp::kEq, ComparisonOp::kLt,
+                                      ComparisonOp::kLe, ComparisonOp::kGt,
+                                      ComparisonOp::kGe};
+  std::vector<AtomicPredicate> out;
+  int count = count_dist(*rng);
+  for (int i = 0; i < count; ++i) {
+    ComparisonOp op = kOps[op_dist(*rng)];
+    int lhs = var_dist(*rng);
+    if (kind_dist(*rng) == 0) {
+      int rhs = var_dist(*rng);
+      if (rhs == lhs) rhs = (rhs + 1) % 3;
+      out.push_back(AtomicPredicate::CompareVars(
+          P(kVars[lhs]), op, P(kVars[rhs]),
+          Decimal::FromInt(const_dist(*rng))));
+    } else {
+      out.push_back(AtomicPredicate::Compare(
+          P(kVars[lhs]), op, Decimal::FromInt(const_dist(*rng))));
+    }
+  }
+  return out;
+}
+
+// Fast direct evaluation of a conjunction on an assignment over doubles.
+// Variable names are "u", "v", "w".
+bool EvalOnAssignment(const std::vector<AtomicPredicate>& conjunction,
+                      double u, double v, double w) {
+  auto value_of = [&](const xml::Path& path) {
+    const std::string& name = path.steps().front();
+    if (name == "u") return u;
+    if (name == "v") return v;
+    return w;
+  };
+  for (const AtomicPredicate& pred : conjunction) {
+    double lhs = value_of(pred.lhs);
+    double rhs = pred.constant.ToDouble();
+    if (pred.rhs_var.has_value()) rhs += value_of(*pred.rhs_var);
+    bool ok = false;
+    switch (pred.op) {
+      case ComparisonOp::kEq:
+        ok = lhs == rhs;
+        break;
+      case ComparisonOp::kLt:
+        ok = lhs < rhs;
+        break;
+      case ComparisonOp::kLe:
+        ok = lhs <= rhs;
+        break;
+      case ComparisonOp::kGt:
+        ok = lhs > rhs;
+        break;
+      case ComparisonOp::kGe:
+        ok = lhs >= rhs;
+        break;
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+TEST_P(RandomGraphSweep, ImplicationSoundAndEdgeLocalConservative) {
+  std::mt19937_64 rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    std::vector<AtomicPredicate> a_preds = RandomConjunction(&rng);
+    std::vector<AtomicPredicate> b_preds = RandomConjunction(&rng);
+    PredicateGraph a = PredicateGraph::Build(a_preds);
+    PredicateGraph b = PredicateGraph::Build(b_preds);
+    if (!a.IsSatisfiable() || !b.IsSatisfiable()) continue;
+    a.Minimize();
+    b.Minimize();
+
+    // (1) Soundness: if a ⇒ b, every sampled assignment satisfying
+    // a_preds must satisfy b_preds (half-step grid catches strict-bound
+    // violations that integer grids miss).
+    if (a.Implies(b)) {
+      for (double u = -6.0; u <= 6.0; u += 0.5) {
+        for (double v = -6.0; v <= 6.0; v += 0.5) {
+          for (double w = -6.0; w <= 6.0; w += 0.5) {
+            if (EvalOnAssignment(a_preds, u, v, w)) {
+              ASSERT_TRUE(EvalOnAssignment(b_preds, u, v, w))
+                  << "counterexample (" << u << "," << v << "," << w
+                  << ")\nA: " << a.ToString() << "\nB: " << b.ToString();
+            }
+          }
+        }
+      }
+    }
+    // (2) Edge-local acceptance implies complete acceptance.
+    if (matching::MatchPredicatesEdgeLocal(b, a)) {
+      EXPECT_TRUE(matching::MatchPredicatesComplete(b, a))
+          << "A: " << a.ToString() << "\nB: " << b.ToString();
+    }
+  }
+}
+
+TEST_P(RandomGraphSweep, MinimizationPreservesEquivalence) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  for (int round = 0; round < 60; ++round) {
+    std::vector<AtomicPredicate> preds = RandomConjunction(&rng);
+    PredicateGraph graph = PredicateGraph::Build(preds);
+    if (!graph.IsSatisfiable()) continue;
+    PredicateGraph original = graph;
+    graph.Minimize();
+    EXPECT_TRUE(graph.EquivalentTo(original))
+        << "original:\n"
+        << original.ToString() << "\nminimized:\n"
+        << graph.ToString();
+    EXPECT_LE(graph.edge_count(), original.edge_count());
+  }
+}
+
+TEST_P(RandomGraphSweep, SatisfiabilityAgreesWithBruteForce) {
+  // Both directions, checked soundly: an UNSAT verdict means no sampled
+  // assignment may satisfy the conjunction; a SAT verdict must be
+  // witnessed by some assignment on a quarter-step grid (constants are in
+  // [-4,4] and at most 4 nodes take part in any cycle, so satisfiable
+  // systems have rational models with denominator ≤ 4 inside [-8,8]³).
+  std::mt19937_64 rng(GetParam() + 2000);
+  for (int round = 0; round < 25; ++round) {
+    std::vector<AtomicPredicate> preds = RandomConjunction(&rng);
+    PredicateGraph graph = PredicateGraph::Build(preds);
+    bool witnessed = false;
+    for (double u = -8.0; u <= 8.0 && !witnessed; u += 0.25) {
+      for (double v = -8.0; v <= 8.0 && !witnessed; v += 0.25) {
+        for (double w = -8.0; w <= 8.0 && !witnessed; w += 0.25) {
+          witnessed = EvalOnAssignment(preds, u, v, w);
+        }
+      }
+    }
+    EXPECT_EQ(graph.IsSatisfiable(), witnessed) << graph.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace streamshare::predicate

@@ -1,0 +1,125 @@
+// Direct unit tests for the properties module: operator descriptors,
+// accessors, display forms, and construction-time validation.
+
+#include "properties/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "properties/operators.h"
+#include "wxquery/analyzer.h"
+
+namespace streamshare::properties {
+namespace {
+
+using predicate::AtomicPredicate;
+using predicate::ComparisonOp;
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+Decimal D(const char* text) { return Decimal::Parse(text).value(); }
+
+TEST(SelectionOpTest, CreateBuildsMinimizedGraph) {
+  Result<SelectionOp> selection = SelectionOp::Create({
+      AtomicPredicate::Compare(P("x"), ComparisonOp::kLe, D("5")),
+      AtomicPredicate::Compare(P("x"), ComparisonOp::kLe, D("9")),
+  });
+  ASSERT_TRUE(selection.ok());
+  // The redundant x <= 9 disappears in the minimized graph; the original
+  // conjunction is preserved verbatim for execution.
+  EXPECT_EQ(selection->predicates.size(), 2u);
+  EXPECT_EQ(selection->graph.edge_count(), 1u);
+  EXPECT_EQ(selection->ToString(), "σ[x <= 5 and x <= 9]");
+}
+
+TEST(SelectionOpTest, CreateRejectsUnsatisfiable) {
+  Result<SelectionOp> selection = SelectionOp::Create({
+      AtomicPredicate::Compare(P("x"), ComparisonOp::kGe, D("5")),
+      AtomicPredicate::Compare(P("x"), ComparisonOp::kLt, D("5")),
+  });
+  EXPECT_TRUE(selection.status().IsUnsatisfiable());
+}
+
+TEST(AggregationOpTest, CreateValidatesEverything) {
+  WindowSpec window = WindowSpec::Count(10, 5).value();
+  Result<AggregationOp> ok = AggregationOp::Create(
+      AggregateFunc::kAvg, P("en"), window,
+      {AtomicPredicate::Compare(P("ra"), ComparisonOp::kGe, D("0"))},
+      {AtomicPredicate::Compare(AggregateValuePath(), ComparisonOp::kGe,
+                                D("1.3"))});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->func, AggregateFunc::kAvg);
+  EXPECT_NE(ok->ToString().find("avg(en)"), std::string::npos);
+  EXPECT_NE(ok->ToString().find("having"), std::string::npos);
+
+  // Bad window.
+  WindowSpec bad;
+  bad.type = WindowType::kCount;
+  bad.size = Decimal();
+  bad.step = Decimal::FromInt(1);
+  EXPECT_FALSE(AggregationOp::Create(AggregateFunc::kSum, P("en"), bad)
+                   .ok());
+  // Unsatisfiable pre-selection.
+  EXPECT_TRUE(
+      AggregationOp::Create(
+          AggregateFunc::kSum, P("en"), window,
+          {AtomicPredicate::Compare(P("x"), ComparisonOp::kGt, D("5")),
+           AtomicPredicate::Compare(P("x"), ComparisonOp::kLt, D("5"))})
+          .status()
+          .IsUnsatisfiable());
+}
+
+TEST(OperatorKindTest, KindOfAndToString) {
+  Operator selection = SelectionOp::Create({}).value();
+  Operator projection = ProjectionOp{};
+  Operator aggregation =
+      AggregationOp::Create(AggregateFunc::kMin, P("en"),
+                            WindowSpec::Count(5).value())
+          .value();
+  Operator udf = UserDefinedOp{"blur", {"3"}};
+  EXPECT_EQ(KindOf(selection), OperatorKind::kSelection);
+  EXPECT_EQ(KindOf(projection), OperatorKind::kProjection);
+  EXPECT_EQ(KindOf(aggregation), OperatorKind::kAggregation);
+  EXPECT_EQ(KindOf(udf), OperatorKind::kUserDefined);
+  EXPECT_EQ(OperatorToString(udf), "blur(3)");
+}
+
+TEST(AggregateFuncTest, NamesAndClasses) {
+  EXPECT_EQ(AggregateFuncToString(AggregateFunc::kAvg), "avg");
+  EXPECT_EQ(AggregateFuncToString(AggregateFunc::kCount), "count");
+  EXPECT_TRUE(IsDistributive(AggregateFunc::kMin));
+  EXPECT_TRUE(IsDistributive(AggregateFunc::kSum));
+  EXPECT_FALSE(IsDistributive(AggregateFunc::kAvg));  // algebraic
+}
+
+TEST(PropertiesTest, AccessorsAndOriginality) {
+  Properties props = Properties::ForOriginalStream("photons");
+  EXPECT_TRUE(props.IsOriginal());
+  ASSERT_NE(props.FindInput("photons"), nullptr);
+  EXPECT_EQ(props.FindInput("neutrinos"), nullptr);
+
+  InputStreamProperties& input = *props.mutable_inputs().begin();
+  input.operators.push_back(SelectionOp::Create({}).value());
+  EXPECT_FALSE(props.IsOriginal());
+  EXPECT_NE(input.selection(), nullptr);
+  EXPECT_EQ(input.projection(), nullptr);
+  EXPECT_EQ(input.aggregation(), nullptr);
+
+  Properties multi;
+  multi.AddInput("a");
+  multi.AddInput("b");
+  EXPECT_EQ(multi.inputs().size(), 2u);
+  EXPECT_NE(multi.ToString().find("input 'a'"), std::string::npos);
+}
+
+TEST(PropertiesTest, AggregateValuePathIsReserved) {
+  // The reserved aggregate-value path must not collide with any element
+  // path a WXQuery can reference: element names cannot start with '$', so
+  // the query parser can never produce this path.
+  xml::Path reserved = AggregateValuePath();
+  EXPECT_EQ(reserved.ToString(), "$agg");
+  Result<wxquery::AnalyzedQuery> colliding = wxquery::ParseAndAnalyze(
+      "for $p in stream(\"s\")/r/i where $p/$agg >= 1 return <x/>");
+  EXPECT_FALSE(colliding.ok());
+}
+
+}  // namespace
+}  // namespace streamshare::properties

@@ -1,0 +1,67 @@
+// Unit tests for the stream registry: registration, originals, and
+// per-node availability along routes.
+
+#include "network/stream_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace streamshare::network {
+namespace {
+
+RegisteredStream MakeStream(const char* variant_of,
+                            std::vector<NodeId> route, bool original) {
+  RegisteredStream stream;
+  stream.variant_of = variant_of;
+  stream.props.stream_name = variant_of;
+  if (!original) {
+    stream.props.operators.push_back(
+        properties::UserDefinedOp{"udf", {}});
+  }
+  stream.source_node = route.front();
+  stream.target_node = route.back();
+  stream.route = std::move(route);
+  return stream;
+}
+
+TEST(StreamRegistryTest, RegisterAssignsIds) {
+  StreamRegistry registry;
+  StreamId first = registry.Register(MakeStream("photons", {0}, true));
+  StreamId second =
+      registry.Register(MakeStream("photons", {0, 1, 2}, false));
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  EXPECT_EQ(registry.streams().size(), 2u);
+  EXPECT_EQ(registry.stream(second).route.size(), 3u);
+}
+
+TEST(StreamRegistryTest, FindOriginalSkipsDerived) {
+  StreamRegistry registry;
+  registry.Register(MakeStream("photons", {0, 1}, false));  // derived
+  EXPECT_EQ(registry.FindOriginal("photons"), nullptr);
+  StreamId original = registry.Register(MakeStream("photons", {0}, true));
+  ASSERT_NE(registry.FindOriginal("photons"), nullptr);
+  EXPECT_EQ(registry.FindOriginal("photons")->id, original);
+  EXPECT_EQ(registry.FindOriginal("neutrinos"), nullptr);
+}
+
+TEST(StreamRegistryTest, AvailabilityCoversWholeRoute) {
+  StreamRegistry registry;
+  registry.Register(MakeStream("photons", {0, 1, 2}, true));
+  registry.Register(MakeStream("photons", {2, 3}, false));
+  registry.Register(MakeStream("neutrinos", {1, 4}, true));
+
+  EXPECT_EQ(registry.AvailableAt(0, "photons").size(), 1u);
+  EXPECT_EQ(registry.AvailableAt(2, "photons").size(), 2u);  // both pass SP2
+  EXPECT_EQ(registry.AvailableAt(3, "photons").size(), 1u);
+  EXPECT_EQ(registry.AvailableAt(4, "photons").size(), 0u);
+  EXPECT_EQ(registry.AvailableAt(1, "neutrinos").size(), 1u);
+  EXPECT_EQ(registry.AvailableAt(1, "photons").size(), 1u);
+}
+
+TEST(StreamRegistryTest, IsOriginalReflectsOperators) {
+  EXPECT_TRUE(MakeStream("s", {0}, true).IsOriginal());
+  EXPECT_FALSE(MakeStream("s", {0}, false).IsOriginal());
+}
+
+}  // namespace
+}  // namespace streamshare::network

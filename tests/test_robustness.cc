@@ -1,0 +1,185 @@
+// Robustness tests: malformed, truncated, and randomly mutated inputs
+// must produce error Statuses — never crashes, hangs, or corrupted
+// system state.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sharing/system.h"
+#include "workload/paper_queries.h"
+#include "workload/photon_gen.h"
+#include "wxquery/parser.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace streamshare {
+namespace {
+
+TEST(RobustnessTest, RandomBytesToXmlParser) {
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<int> len_dist(0, 200);
+  std::uniform_int_distribution<int> byte_dist(1, 126);
+  for (int round = 0; round < 500; ++round) {
+    std::string garbage;
+    int len = len_dist(rng);
+    for (int i = 0; i < len; ++i) {
+      garbage += static_cast<char>(byte_dist(rng));
+    }
+    // Must terminate with either a tree or an error.
+    Result<std::unique_ptr<xml::XmlNode>> parsed =
+        xml::ParseDocument(garbage);
+    if (parsed.ok()) {
+      EXPECT_NE(*parsed, nullptr);
+    }
+  }
+}
+
+TEST(RobustnessTest, MutatedPhotonDocuments) {
+  workload::PhotonGenerator generator(workload::PhotonGenConfig{});
+  std::string document = "<photons>";
+  for (const engine::ItemPtr& photon : generator.Generate(5)) {
+    document += xml::WriteCompact(*photon);
+  }
+  document += "</photons>";
+
+  std::mt19937_64 rng(2);
+  std::uniform_int_distribution<size_t> pos_dist(0, document.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(1, 126);
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = document;
+    // 1-3 random byte flips.
+    int flips = 1 + round % 3;
+    for (int f = 0; f < flips; ++f) {
+      mutated[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+    }
+    xml::XmlItemReader reader(mutated);
+    // Drain items until error or end; must terminate.
+    for (int guard = 0; guard < 100; ++guard) {
+      Result<std::unique_ptr<xml::XmlNode>> item = reader.NextItem();
+      if (!item.ok() || *item == nullptr) break;
+    }
+  }
+}
+
+TEST(RobustnessTest, TruncatedDocumentsError) {
+  workload::PhotonGenerator generator(workload::PhotonGenConfig{});
+  std::string document =
+      "<photons>" + xml::WriteCompact(*generator.Next()) + "</photons>";
+  for (size_t cut = 1; cut < document.size(); cut += 7) {
+    Result<std::unique_ptr<xml::XmlNode>> parsed =
+        xml::ParseDocument(document.substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(RobustnessTest, MutatedQueriesToParser) {
+  std::string base = workload::kQuery3;
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<size_t> pos_dist(0, base.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(32, 126);
+  int parsed_ok = 0;
+  for (int round = 0; round < 1000; ++round) {
+    std::string mutated = base;
+    mutated[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+    Result<wxquery::ExprPtr> parsed = wxquery::ParseQuery(mutated);
+    if (parsed.ok()) ++parsed_ok;
+  }
+  // Some mutations are benign (e.g. inside constants); most are not.
+  EXPECT_LT(parsed_ok, 1000);
+}
+
+TEST(RobustnessTest, TruncatedQueriesError) {
+  std::string base = workload::kQuery4;
+  for (size_t cut = 1; cut < base.size(); cut += 5) {
+    Result<wxquery::ExprPtr> parsed =
+        wxquery::ParseQuery(std::string_view(base).substr(0, cut));
+    // Truncations parse successfully only if they end exactly at a
+    // whitespace suffix of the full query; all real cuts must error.
+    if (parsed.ok()) {
+      EXPECT_GE(cut, base.find_last_not_of(" \n\t") + 1);
+    }
+  }
+}
+
+TEST(RobustnessTest, SystemSurvivesGarbageRegistrations) {
+  sharing::SystemConfig config;
+  config.keep_results = true;
+  sharing::StreamShareSystem system(network::Topology::ExtendedExample(),
+                                    config);
+  ASSERT_TRUE(system
+                  .RegisterStream("photons",
+                                  workload::PhotonGenerator::Schema(),
+                                  100.0, 4)
+                  .ok());
+
+  std::mt19937_64 rng(4);
+  std::uniform_int_distribution<int> byte_dist(32, 126);
+  for (int round = 0; round < 100; ++round) {
+    std::string garbage;
+    for (int i = 0; i < 60; ++i) {
+      garbage += static_cast<char>(byte_dist(rng));
+    }
+    Result<sharing::RegistrationResult> result = system.RegisterQuery(
+        garbage, 1, sharing::Strategy::kStreamSharing);
+    EXPECT_FALSE(result.ok());
+  }
+  // Failed registrations leave no residue: no phantom streams, no usage.
+  EXPECT_EQ(system.registry().streams().size(), 1u);
+  for (size_t link = 0; link < system.topology().link_count(); ++link) {
+    EXPECT_DOUBLE_EQ(
+        system.state().UsedBandwidthKbps(static_cast<int>(link)), 0.0);
+  }
+
+  // The system still works afterwards.
+  Result<sharing::RegistrationResult> good = system.RegisterQuery(
+      workload::kQuery1, 1, sharing::Strategy::kStreamSharing);
+  ASSERT_TRUE(good.ok()) << good.status();
+  workload::PhotonGenConfig gen_config;
+  gen_config.hot_regions = {{120.0, 138.0, -49.0, -40.0}};
+  gen_config.hot_weights = {2.0};
+  workload::PhotonGenerator generator(gen_config);
+  std::map<std::string, std::vector<engine::ItemPtr>> items;
+  items["photons"] = generator.Generate(300);
+  ASSERT_TRUE(system.Run(items).ok());
+  EXPECT_GT(good->sink->item_count(), 0u);
+}
+
+TEST(RobustnessTest, ChunkedFeedingAtRandomBoundaries) {
+  workload::PhotonGenerator generator(workload::PhotonGenConfig{});
+  std::string document = "<photons>";
+  std::vector<engine::ItemPtr> originals = generator.Generate(20);
+  for (const engine::ItemPtr& photon : originals) {
+    document += xml::WriteCompact(*photon);
+  }
+  document += "</photons>";
+
+  std::mt19937_64 rng(5);
+  for (int round = 0; round < 50; ++round) {
+    xml::XmlItemReader reader;
+    size_t pos = 0;
+    std::uniform_int_distribution<size_t> chunk_dist(1, 37);
+    size_t count = 0;
+    while (pos < document.size() || !reader.AtEnd()) {
+      if (pos < document.size()) {
+        size_t chunk = std::min(chunk_dist(rng), document.size() - pos);
+        reader.Feed(document.substr(pos, chunk));
+        pos += chunk;
+        if (pos == document.size()) reader.Finalize();
+      }
+      while (true) {
+        Result<std::unique_ptr<xml::XmlNode>> item = reader.NextItem();
+        ASSERT_TRUE(item.ok()) << item.status();
+        if (*item == nullptr) break;
+        ASSERT_LT(count, originals.size());
+        EXPECT_TRUE((*item)->Equals(*originals[count]));
+        ++count;
+      }
+      if (reader.AtEnd()) break;
+    }
+    EXPECT_EQ(count, originals.size());
+  }
+}
+
+}  // namespace
+}  // namespace streamshare

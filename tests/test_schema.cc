@@ -1,0 +1,80 @@
+// Unit tests for stream schemas and their size/occurrence statistics.
+
+#include "xml/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/photon_gen.h"
+#include "xml/xml_writer.h"
+
+namespace streamshare::xml {
+namespace {
+
+StreamSchema MakePhotonSchema() {
+  StreamSchema schema("photons", "photon");
+  SchemaElement& photon = schema.item();
+  photon.AddChild("phc", 1.0, 3.0);
+  SchemaElement* coord = photon.AddChild("coord");
+  SchemaElement* cel = coord->AddChild("cel");
+  cel->AddChild("ra", 1.0, 8.0);
+  cel->AddChild("dec", 1.0, 8.0);
+  photon.AddChild("en", 1.0, 5.0);
+  return schema;
+}
+
+TEST(SchemaTest, ResolvePaths) {
+  StreamSchema schema = MakePhotonSchema();
+  EXPECT_TRUE(schema.Contains(Path::Parse("coord/cel/ra").value()));
+  EXPECT_TRUE(schema.Contains(Path::Parse("en").value()));
+  EXPECT_FALSE(schema.Contains(Path::Parse("coord/det").value()));
+  EXPECT_TRUE(schema.Contains(Path()));  // the item itself
+}
+
+TEST(SchemaTest, OccurrencesMultiplyAlongPath) {
+  StreamSchema schema("s", "item");
+  SchemaElement* group = schema.item().AddChild("group", 2.0);
+  group->AddChild("member", 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(
+      schema.OccurrencePerItem(Path::Parse("group/member").value()), 6.0);
+  EXPECT_DOUBLE_EQ(schema.OccurrencePerItem(Path::Parse("group").value()),
+                   2.0);
+  EXPECT_DOUBLE_EQ(schema.OccurrencePerItem(Path::Parse("nope").value()),
+                   0.0);
+}
+
+TEST(SchemaTest, LeafAndAllPaths) {
+  StreamSchema schema = MakePhotonSchema();
+  std::vector<Path> leaves = schema.LeafPaths();
+  EXPECT_EQ(leaves.size(), 4u);  // phc, ra, dec, en
+  std::vector<Path> all = schema.AllPaths();
+  EXPECT_EQ(all.size(), 6u);  // + coord, cel
+}
+
+TEST(SchemaTest, AvgItemSizeMatchesGeneratedPhotons) {
+  // The schema's size model must track the actual serialized size of
+  // generated photons within a small tolerance (text sizes are averages).
+  auto schema = workload::PhotonGenerator::Schema();
+  workload::PhotonGenConfig config;
+  workload::PhotonGenerator generator(config);
+  double total = 0.0;
+  const int kCount = 500;
+  for (int i = 0; i < kCount; ++i) {
+    total += static_cast<double>(generator.Next()->SerializedSize());
+  }
+  double measured = total / kCount;
+  double estimated = schema->AvgItemSize();
+  EXPECT_NEAR(estimated, measured, measured * 0.1)
+      << "estimated=" << estimated << " measured=" << measured;
+}
+
+TEST(SchemaTest, SubtreeSizeIsAdditive) {
+  StreamSchema schema = MakePhotonSchema();
+  double cel = schema.AvgSubtreeSize(Path::Parse("coord/cel").value());
+  double ra = schema.AvgSubtreeSize(Path::Parse("coord/cel/ra").value());
+  double dec = schema.AvgSubtreeSize(Path::Parse("coord/cel/dec").value());
+  // <cel> wrapper adds 2*3+5 = 11 bytes around ra + dec.
+  EXPECT_DOUBLE_EQ(cel, ra + dec + 11.0);
+}
+
+}  // namespace
+}  // namespace streamshare::xml

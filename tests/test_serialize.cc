@@ -1,0 +1,166 @@
+// Tests for properties serialization: the metadata format super-peers
+// exchange. Round-trips must preserve semantic equality — verified
+// against the paper's queries, the full generated workload, and via
+// MatchProperties behaving identically on originals and round-tripped
+// copies.
+
+#include "properties/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/match_properties.h"
+#include "workload/paper_queries.h"
+#include "workload/query_gen.h"
+#include "wxquery/analyzer.h"
+
+namespace streamshare::properties {
+namespace {
+
+Properties PropsOf(const std::string& query_text) {
+  Result<wxquery::AnalyzedQuery> analyzed =
+      wxquery::ParseAndAnalyze(query_text);
+  EXPECT_TRUE(analyzed.ok()) << analyzed.status();
+  return analyzed->props;
+}
+
+/// Semantic equality of per-input properties via mutual matching.
+bool InputsEquivalent(const InputStreamProperties& a,
+                      const InputStreamProperties& b) {
+  matching::MatchOptions complete;
+  complete.edge_local_predicates = false;
+  return matching::MatchProperties(a, b, complete) &&
+         matching::MatchProperties(b, a, complete);
+}
+
+TEST(PredicateTextTest, RoundTripsAllForms) {
+  const char* texts[] = {
+      "coord/cel/ra >= 120.0", "en < 1.3",     "phc = 7",
+      "a <= b + 3",            "a < b - 2.5",  "x > y",
+      "det_time <= 99999.5",
+  };
+  for (const char* text : texts) {
+    Result<predicate::AtomicPredicate> parsed = PredicateFromText(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << " for " << text;
+    EXPECT_EQ(PredicateToText(*parsed), text);
+  }
+}
+
+TEST(PredicateTextTest, RejectsMalformed) {
+  EXPECT_FALSE(PredicateFromText("").ok());
+  EXPECT_FALSE(PredicateFromText("a").ok());
+  EXPECT_FALSE(PredicateFromText("a >=").ok());
+  EXPECT_FALSE(PredicateFromText("a ~ 5").ok());
+  EXPECT_FALSE(PredicateFromText("a >= 5 extra").ok());
+  EXPECT_FALSE(PredicateFromText("a >= b * 3").ok());
+  EXPECT_FALSE(PredicateFromText("5 >= 6").ok());  // constant lhs
+}
+
+TEST(SerializeTest, PaperQueriesRoundTrip) {
+  for (const char* query : {workload::kQuery1, workload::kQuery2,
+                            workload::kQuery3, workload::kQuery4}) {
+    Properties original = PropsOf(query);
+    std::string text = PropertiesToText(original);
+    Result<Properties> parsed = PropertiesFromText(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+    ASSERT_EQ(parsed->inputs().size(), original.inputs().size());
+    for (size_t i = 0; i < original.inputs().size(); ++i) {
+      EXPECT_EQ(parsed->inputs()[i].stream_name,
+                original.inputs()[i].stream_name);
+      EXPECT_EQ(parsed->inputs()[i].operators.size(),
+                original.inputs()[i].operators.size());
+      EXPECT_TRUE(
+          InputsEquivalent(parsed->inputs()[i], original.inputs()[i]))
+          << text;
+    }
+  }
+}
+
+TEST(SerializeTest, GeneratedWorkloadRoundTrips) {
+  workload::QueryGenerator generator(
+      workload::QueryGenConfig::Default(55));
+  for (const std::string& query : generator.Generate(150)) {
+    Properties original = PropsOf(query);
+    Result<Properties> parsed =
+        PropertiesFromText(PropertiesToText(original));
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << query;
+    for (size_t i = 0; i < original.inputs().size(); ++i) {
+      EXPECT_TRUE(
+          InputsEquivalent(parsed->inputs()[i], original.inputs()[i]))
+          << query;
+    }
+  }
+}
+
+TEST(SerializeTest, MatchingAgreesAcrossTheWire) {
+  // Matching decisions must be identical whether computed on the local
+  // properties or on copies that crossed the (serialized) wire.
+  Properties q1 = PropsOf(workload::kQuery1);
+  Properties q2 = PropsOf(workload::kQuery2);
+  Properties q3 = PropsOf(workload::kQuery3);
+  Properties wire_q1 = PropertiesFromText(PropertiesToText(q1)).value();
+  Properties wire_q2 = PropertiesFromText(PropertiesToText(q2)).value();
+  Properties wire_q3 = PropertiesFromText(PropertiesToText(q3)).value();
+
+  EXPECT_TRUE(matching::MatchProperties(wire_q1.inputs()[0],
+                                        wire_q2.inputs()[0]));
+  EXPECT_FALSE(matching::MatchProperties(wire_q2.inputs()[0],
+                                         wire_q1.inputs()[0]));
+  EXPECT_TRUE(matching::MatchProperties(wire_q1.inputs()[0],
+                                        wire_q3.inputs()[0]));
+  EXPECT_FALSE(matching::MatchProperties(wire_q3.inputs()[0],
+                                         wire_q1.inputs()[0]));
+}
+
+TEST(SerializeTest, UserDefinedOperators) {
+  Properties props;
+  InputStreamProperties& input = props.AddInput("photons");
+  input.operators.push_back(UserDefinedOp{"blur", {"3", "fast mode"}});
+  Result<Properties> parsed =
+      PropertiesFromText(PropertiesToText(props));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& udf =
+      std::get<UserDefinedOp>(parsed->inputs()[0].operators[0]);
+  EXPECT_EQ(udf.name, "blur");
+  EXPECT_EQ(udf.params, (std::vector<std::string>{"3", "fast mode"}));
+}
+
+TEST(SerializeTest, OriginalStreamProperties) {
+  Properties props = Properties::ForOriginalStream("photons");
+  Result<Properties> parsed =
+      PropertiesFromText(PropertiesToText(props));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->IsOriginal());
+  EXPECT_EQ(parsed->inputs()[0].stream_name, "photons");
+}
+
+TEST(SerializeTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(PropertiesFromText("<nope/>").ok());
+  EXPECT_FALSE(PropertiesFromText("<properties><input/></properties>")
+                   .ok());  // no stream
+  EXPECT_FALSE(
+      PropertiesFromText("<properties><input><stream>s</stream>"
+                         "<mystery/></input></properties>")
+          .ok());
+  EXPECT_FALSE(
+      PropertiesFromText("<properties><input><stream>s</stream>"
+                         "<selection><pred>garbage !!</pred></selection>"
+                         "</input></properties>")
+          .ok());
+  // Unsatisfiable selections are rejected at parse, like at registration.
+  EXPECT_TRUE(
+      PropertiesFromText("<properties><input><stream>s</stream>"
+                         "<selection><pred>x &gt;= 5</pred>"
+                         "<pred>x &lt;= 1</pred></selection>"
+                         "</input></properties>")
+          .status()
+          .IsUnsatisfiable());
+  // Aggregations need fn/element/window.
+  EXPECT_FALSE(
+      PropertiesFromText("<properties><input><stream>s</stream>"
+                         "<aggregation><fn>avg</fn></aggregation>"
+                         "</input></properties>")
+          .ok());
+}
+
+}  // namespace
+}  // namespace streamshare::properties

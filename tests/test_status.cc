@@ -1,0 +1,99 @@
+// Unit tests for Status / Result error handling.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace streamshare {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("no such stream");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.message(), "no such stream");
+  EXPECT_EQ(status.ToString(), "not found: no such stream");
+}
+
+TEST(StatusTest, AllFactoryPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+  EXPECT_TRUE(Status::Unsatisfiable("x").IsUnsatisfiable());
+  EXPECT_TRUE(Status::Overload("x").IsOverload());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status status = Status::ParseError("bad digit").WithContext("line 3");
+  EXPECT_EQ(status.message(), "line 3: bad digit");
+  EXPECT_TRUE(status.IsParseError());
+  // OK statuses pass through untouched.
+  EXPECT_TRUE(Status::Ok().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status status = Status::Internal("boom");
+  Status copy = status;
+  EXPECT_EQ(copy.message(), "boom");
+  EXPECT_TRUE(copy.IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("gone");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+namespace {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseMacros(int x, int* out) {
+  SS_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  SS_RETURN_IF_ERROR(Status::Ok());
+  *out = value * 2;
+  return Status::Ok();
+}
+
+}  // namespace
+
+TEST(ResultTest, MacrosPropagateErrors) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  Status failed = UseMacros(-1, &out);
+  EXPECT_TRUE(failed.IsInvalidArgument());
+  EXPECT_EQ(out, 42);  // unchanged on failure
+}
+
+}  // namespace
+}  // namespace streamshare

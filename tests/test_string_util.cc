@@ -1,0 +1,55 @@
+// Unit tests for string helpers.
+
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace streamshare {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  EXPECT_EQ(Split("a/b/c", '/'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a//b", '/'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("/a", '/'), (std::vector<std::string>{"", "a"}));
+  EXPECT_EQ(Split("a/", '/'), (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(Split("", '/'), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  std::vector<std::string> parts{"coord", "cel", "ra"};
+  EXPECT_EQ(Join(parts, "/"), "coord/cel/ra");
+  EXPECT_EQ(Join({}, "/"), "");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  abc \t\n"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" a b "), "a b");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("photons", "pho"));
+  EXPECT_FALSE(StartsWith("pho", "photons"));
+  EXPECT_TRUE(EndsWith("det_time", "time"));
+  EXPECT_FALSE(EndsWith("time", "det_time"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123456789"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("-12"));
+  EXPECT_FALSE(IsAllDigits("1.2"));
+}
+
+}  // namespace
+}  // namespace streamshare

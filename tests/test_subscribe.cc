@@ -1,0 +1,278 @@
+// Unit tests for the Planner: Algorithm 1 (Subscribe), the two baseline
+// strategies, residual-operator derivation, plan costing, and search
+// pruning.
+
+#include "sharing/subscribe.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_queries.h"
+#include "workload/photon_gen.h"
+
+namespace streamshare::sharing {
+namespace {
+
+using network::NodeId;
+using network::RegisteredStream;
+using network::StreamId;
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topology_ = network::Topology::ExtendedExample();
+    state_ = std::make_unique<network::NetworkState>(&topology_);
+
+    cost::StreamStatistics stats(workload::PhotonGenerator::Schema(),
+                                 100.0);
+    stats.SetRange(P("coord/cel/ra"), {0.0, 360.0});
+    stats.SetRange(P("coord/cel/dec"), {-90.0, 90.0});
+    stats.SetRange(P("en"), {0.1, 2.4});
+    stats.SetAvgIncrement(P("det_time"), 0.5);
+    statistics_.Register("photons", std::move(stats));
+    cost_model_ =
+        std::make_unique<cost::CostModel>(&statistics_, cost::CostParams{});
+
+    // Original photons stream at SP4.
+    RegisteredStream original;
+    original.variant_of = "photons";
+    original.props.stream_name = "photons";
+    original.source_node = 4;
+    original.target_node = 4;
+    original.route = {4};
+    original.rate_kbps =
+        cost_model_->EstimateStream(original.props)->RateKbps();
+    registry_.Register(std::move(original));
+
+    planner_ = std::make_unique<Planner>(&topology_, state_.get(),
+                                         &registry_, cost_model_.get(),
+                                         PlannerOptions{});
+  }
+
+  wxquery::AnalyzedQuery Analyze(const char* text) {
+    Result<wxquery::AnalyzedQuery> analyzed =
+        wxquery::ParseAndAnalyze(text);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status();
+    return std::move(analyzed).value();
+  }
+
+  /// Registers the derived stream a plan would create, so later plans can
+  /// reuse it (mimics StreamShareSystem::DeployPlan's bookkeeping).
+  void CommitPlan(const InputPlan& plan) {
+    if (!plan.new_stream.has_value()) return;
+    RegisteredStream stream;
+    stream.variant_of = plan.input_stream_name;
+    stream.props = plan.new_stream->props;
+    stream.source_node = plan.new_stream->source_node;
+    stream.target_node = plan.new_stream->target_node;
+    stream.route = plan.new_stream->route;
+    stream.rate_kbps = plan.new_stream->rate_kbps;
+    registry_.Register(std::move(stream));
+    for (const auto& [link, kbps] : plan.added_bandwidth_kbps) {
+      state_->AddBandwidth(link, kbps);
+    }
+    for (const auto& [peer, load] : plan.added_load) {
+      state_->AddLoad(peer, load);
+    }
+  }
+
+  network::Topology topology_;
+  std::unique_ptr<network::NetworkState> state_;
+  network::StreamRegistry registry_;
+  cost::StatisticsRegistry statistics_;
+  std::unique_ptr<cost::CostModel> cost_model_;
+  std::unique_ptr<Planner> planner_;
+};
+
+TEST_F(PlannerTest, DataShippingShipsRawToTarget) {
+  wxquery::AnalyzedQuery query = Analyze(workload::kQuery1);
+  Result<EvaluationPlan> plan = planner_->DataShipping(query, 1);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const InputPlan& input = plan->inputs[0];
+  EXPECT_TRUE(input.ships_raw_stream);
+  EXPECT_EQ(input.reuse_node, 4);
+  ASSERT_TRUE(input.new_stream.has_value());
+  EXPECT_TRUE(input.new_stream->props.operators.empty());  // raw
+  EXPECT_EQ(input.new_stream->route.front(), 4);
+  EXPECT_EQ(input.new_stream->route.back(), 1);
+  // All operators run at the query's super-peer.
+  for (const EngineOpSpec& op : input.ops) {
+    EXPECT_EQ(op.node, 1);
+  }
+  EXPECT_EQ(input.ops.size(), 2u);  // select + project
+}
+
+TEST_F(PlannerTest, QueryShippingEvaluatesAtSource) {
+  wxquery::AnalyzedQuery query = Analyze(workload::kQuery1);
+  Result<EvaluationPlan> plan = planner_->QueryShipping(query, 1);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const InputPlan& input = plan->inputs[0];
+  EXPECT_FALSE(input.ships_raw_stream);
+  for (const EngineOpSpec& op : input.ops) {
+    EXPECT_EQ(op.node, 4);  // the source super-peer
+  }
+  ASSERT_TRUE(input.new_stream.has_value());
+  EXPECT_FALSE(input.new_stream->props.operators.empty());  // transformed
+}
+
+TEST_F(PlannerTest, QueryShippingCheaperThanDataShippingOnTraffic) {
+  wxquery::AnalyzedQuery query = Analyze(workload::kQuery1);
+  double data_rate =
+      planner_->DataShipping(query, 1)->inputs[0].new_stream->rate_kbps;
+  double query_rate =
+      planner_->QueryShipping(query, 1)->inputs[0].new_stream->rate_kbps;
+  EXPECT_LT(query_rate, data_rate / 10);
+}
+
+TEST_F(PlannerTest, SubscribePrefersInNetworkEvaluation) {
+  // With nothing else in the network, Subscribe should behave like query
+  // shipping (filter at the source, ship the small stream).
+  wxquery::AnalyzedQuery query = Analyze(workload::kQuery1);
+  SearchStats stats;
+  Result<EvaluationPlan> plan = planner_->Subscribe(query, 1, &stats);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const InputPlan& input = plan->inputs[0];
+  EXPECT_FALSE(input.ships_raw_stream);
+  EXPECT_EQ(input.reuse_node, 4);
+  EXPECT_EQ(input.reused_stream, 0);
+  EXPECT_GT(stats.plans_generated, 0);
+  EXPECT_GT(stats.nodes_visited, 0);
+}
+
+TEST_F(PlannerTest, SubscribeReusesExistingDerivedStream) {
+  wxquery::AnalyzedQuery q1 = Analyze(workload::kQuery1);
+  Result<EvaluationPlan> p1 = planner_->Subscribe(q1, 1);
+  ASSERT_TRUE(p1.ok());
+  CommitPlan(p1->inputs[0]);
+
+  wxquery::AnalyzedQuery q2 = Analyze(workload::kQuery2);
+  Result<EvaluationPlan> p2 = planner_->Subscribe(q2, 7);
+  ASSERT_TRUE(p2.ok());
+  const InputPlan& input = p2->inputs[0];
+  EXPECT_EQ(input.reused_stream, 1);  // Q1's derived stream
+  // Q1's stream route (4→…→1) passes SP7 or SP5; the tap node must be on
+  // that route.
+  const RegisteredStream& reused = registry_.stream(1);
+  EXPECT_NE(std::find(reused.route.begin(), reused.route.end(),
+                      input.reuse_node),
+            reused.route.end());
+}
+
+TEST_F(PlannerTest, IdenticalQueryReusedWithoutNewOperators) {
+  wxquery::AnalyzedQuery q1 = Analyze(workload::kQuery1);
+  Result<EvaluationPlan> p1 = planner_->Subscribe(q1, 1);
+  ASSERT_TRUE(p1.ok());
+  CommitPlan(p1->inputs[0]);
+
+  // The same query registered at the same super-peer again: tap in place,
+  // no ops, no new stream.
+  wxquery::AnalyzedQuery q1_again = Analyze(workload::kQuery1);
+  Result<EvaluationPlan> p2 = planner_->Subscribe(q1_again, 1);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->inputs[0].reused_stream, 1);
+  EXPECT_TRUE(p2->inputs[0].ops.empty());
+  EXPECT_FALSE(p2->inputs[0].new_stream.has_value());
+  EXPECT_LT(p2->inputs[0].cost, p1->inputs[0].cost);
+}
+
+TEST_F(PlannerTest, AggregateReusePlansCombineAndFilter) {
+  wxquery::AnalyzedQuery q3 = Analyze(workload::kQuery3);
+  Result<EvaluationPlan> p3 = planner_->Subscribe(q3, 3);
+  ASSERT_TRUE(p3.ok());
+  // Q3 over an empty network: full aggregation chain at the source.
+  bool has_window_agg = false;
+  for (const EngineOpSpec& op : p3->inputs[0].ops) {
+    if (op.kind == EngineOpSpec::Kind::kWindowAgg) has_window_agg = true;
+  }
+  EXPECT_TRUE(has_window_agg);
+  CommitPlan(p3->inputs[0]);
+
+  wxquery::AnalyzedQuery q4 = Analyze(workload::kQuery4);
+  Result<EvaluationPlan> p4 = planner_->Subscribe(q4, 0);
+  ASSERT_TRUE(p4.ok());
+  const InputPlan& input = p4->inputs[0];
+  EXPECT_EQ(input.reused_stream, 1);  // Q3's aggregate stream
+  bool has_combine = false, has_filter = false, has_agg = false;
+  for (const EngineOpSpec& op : input.ops) {
+    if (op.kind == EngineOpSpec::Kind::kAggCombine) has_combine = true;
+    if (op.kind == EngineOpSpec::Kind::kAggFilter) has_filter = true;
+    if (op.kind == EngineOpSpec::Kind::kWindowAgg) has_agg = true;
+  }
+  EXPECT_TRUE(has_combine);
+  EXPECT_TRUE(has_filter);
+  EXPECT_FALSE(has_agg);  // no re-aggregation from raw items
+}
+
+TEST_F(PlannerTest, UnknownStreamIsRejected) {
+  wxquery::AnalyzedQuery query = Analyze(
+      "<o> { for $p in stream(\"neutrinos\")/ns/n where $p/e >= 1 "
+      "return <x> { $p/e } </x> } </o>");
+  EXPECT_TRUE(planner_->Subscribe(query, 1).status().IsNotFound());
+  EXPECT_TRUE(planner_->DataShipping(query, 1).status().IsNotFound());
+  EXPECT_TRUE(planner_->QueryShipping(query, 1).status().IsNotFound());
+}
+
+TEST_F(PlannerTest, PruningVisitsFewerNodes) {
+  // Commit Q1 so there is something to find.
+  wxquery::AnalyzedQuery q1 = Analyze(workload::kQuery1);
+  Result<EvaluationPlan> p1 = planner_->Subscribe(q1, 1);
+  ASSERT_TRUE(p1.ok());
+  CommitPlan(p1->inputs[0]);
+
+  PlannerOptions unpruned_options;
+  unpruned_options.prune_search = false;
+  Planner unpruned(&topology_, state_.get(), &registry_, cost_model_.get(),
+                   unpruned_options);
+
+  wxquery::AnalyzedQuery q2 = Analyze(workload::kQuery2);
+  SearchStats pruned_stats, unpruned_stats;
+  Result<EvaluationPlan> pruned_plan =
+      planner_->Subscribe(q2, 7, &pruned_stats);
+  Result<EvaluationPlan> unpruned_plan =
+      unpruned.Subscribe(q2, 7, &unpruned_stats);
+  ASSERT_TRUE(pruned_plan.ok());
+  ASSERT_TRUE(unpruned_plan.ok());
+  EXPECT_LT(pruned_stats.nodes_visited, unpruned_stats.nodes_visited);
+  // Pruning must not lose the winning plan here (streams span the
+  // relevant region).
+  EXPECT_DOUBLE_EQ(pruned_plan->TotalCost(), unpruned_plan->TotalCost());
+}
+
+TEST_F(PlannerTest, OverloadMarksPlanInfeasible) {
+  // Saturate every link out of SP4 so the raw stream cannot be shipped.
+  for (size_t link = 0; link < topology_.link_count(); ++link) {
+    state_->AddBandwidth(static_cast<network::LinkId>(link),
+                         topology_.link(link).bandwidth_kbps);
+  }
+  for (size_t peer = 0; peer < topology_.peer_count(); ++peer) {
+    state_->AddLoad(static_cast<NodeId>(peer),
+                    topology_.peer(peer).max_load);
+  }
+  wxquery::AnalyzedQuery query = Analyze(workload::kQuery1);
+  Result<EvaluationPlan> plan = planner_->DataShipping(query, 1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->Feasible());
+  // The overload penalty makes the saturated plan cost more than the same
+  // plan on an empty network.
+  network::NetworkState fresh(&topology_);
+  Planner fresh_planner(&topology_, &fresh, &registry_, cost_model_.get(),
+                        PlannerOptions{});
+  Result<EvaluationPlan> unloaded = fresh_planner.DataShipping(query, 1);
+  ASSERT_TRUE(unloaded.ok());
+  EXPECT_TRUE(unloaded->Feasible());
+  EXPECT_GT(plan->TotalCost(), unloaded->TotalCost());
+}
+
+TEST_F(PlannerTest, CostReflectsRouteLength) {
+  wxquery::AnalyzedQuery query = Analyze(workload::kQuery1);
+  // Registering at the far corner costs more than next to the source.
+  Result<EvaluationPlan> near = planner_->QueryShipping(query, 5);
+  Result<EvaluationPlan> far = planner_->QueryShipping(query, 3);
+  ASSERT_TRUE(near.ok());
+  ASSERT_TRUE(far.ok());
+  EXPECT_LT(near->TotalCost(), far->TotalCost());
+}
+
+}  // namespace
+}  // namespace streamshare::sharing

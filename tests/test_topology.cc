@@ -1,0 +1,108 @@
+// Unit tests for the network substrate: topology building, shortest paths,
+// and utilization state.
+
+#include "network/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "network/state.h"
+
+namespace streamshare::network {
+namespace {
+
+TEST(TopologyTest, AddPeersAndLinks) {
+  Topology topology;
+  NodeId a = topology.AddPeer("A");
+  NodeId b = topology.AddPeer("B");
+  Result<LinkId> link = topology.AddLink(a, b, 1000.0);
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(topology.peer_count(), 2u);
+  EXPECT_EQ(topology.link_count(), 1u);
+  EXPECT_EQ(topology.link(*link).bandwidth_kbps, 1000.0);
+  EXPECT_EQ(topology.FindLink(a, b), link.value());
+  EXPECT_EQ(topology.FindLink(b, a), link.value());  // undirected
+  EXPECT_EQ(topology.FindPeer("B"), b);
+  EXPECT_FALSE(topology.FindPeer("C").has_value());
+}
+
+TEST(TopologyTest, RejectsBadLinks) {
+  Topology topology;
+  NodeId a = topology.AddPeer("A");
+  NodeId b = topology.AddPeer("B");
+  EXPECT_TRUE(topology.AddLink(a, a).status().IsInvalidArgument());
+  EXPECT_TRUE(topology.AddLink(a, 99).status().IsInvalidArgument());
+  ASSERT_TRUE(topology.AddLink(a, b).ok());
+  EXPECT_TRUE(topology.AddLink(b, a).status().IsAlreadyExists());
+}
+
+TEST(TopologyTest, ShortestPathOnGrid) {
+  Topology grid = Topology::Grid(4, 4);
+  EXPECT_EQ(grid.peer_count(), 16u);
+  EXPECT_EQ(grid.link_count(), 24u);  // 2·4·3 horizontal+vertical
+  // Corner to corner: 6 hops, 7 nodes.
+  Result<std::vector<NodeId>> path = grid.ShortestPath(0, 15);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->size(), 7u);
+  EXPECT_EQ(path->front(), 0);
+  EXPECT_EQ(path->back(), 15);
+  // Consecutive nodes are linked.
+  Result<std::vector<LinkId>> links = grid.LinksOnPath(*path);
+  ASSERT_TRUE(links.ok());
+  EXPECT_EQ(links->size(), 6u);
+}
+
+TEST(TopologyTest, ShortestPathTrivialAndUnreachable) {
+  Topology topology;
+  NodeId a = topology.AddPeer("A");
+  NodeId b = topology.AddPeer("B");
+  Result<std::vector<NodeId>> self = topology.ShortestPath(a, a);
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(*self, std::vector<NodeId>{a});
+  EXPECT_TRUE(topology.ShortestPath(a, b).status().IsNotFound());
+}
+
+TEST(TopologyTest, ShortestPathIsDeterministic) {
+  Topology grid = Topology::Grid(3, 3);
+  Result<std::vector<NodeId>> first = grid.ShortestPath(0, 8);
+  Result<std::vector<NodeId>> second = grid.ShortestPath(0, 8);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+}
+
+TEST(TopologyTest, ExtendedExampleMatchesPaperRoutes) {
+  Topology example = Topology::ExtendedExample();
+  EXPECT_EQ(example.peer_count(), 8u);
+  // The running example: photons enters at SP4; Q1 registers at SP1.
+  Result<std::vector<NodeId>> path = example.ShortestPath(4, 1);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->size(), 4u);  // 3 hops
+  // SP5 lies on the route (the node where Q2 later taps Q1's stream).
+  EXPECT_NE(std::find(path->begin(), path->end(), 5), path->end());
+}
+
+TEST(NetworkStateTest, TracksUsageAndAvailability) {
+  Topology topology;
+  NodeId a = topology.AddPeer("A", /*max_load=*/100.0);
+  NodeId b = topology.AddPeer("B");
+  LinkId link = topology.AddLink(a, b, /*bandwidth_kbps=*/1000.0).value();
+
+  NetworkState state(&topology);
+  EXPECT_DOUBLE_EQ(state.AvailableBandwidth(link), 1.0);
+  EXPECT_DOUBLE_EQ(state.AvailableLoad(a), 1.0);
+
+  state.AddBandwidth(link, 250.0);
+  EXPECT_DOUBLE_EQ(state.RelativeBandwidthUse(link), 0.25);
+  EXPECT_DOUBLE_EQ(state.AvailableBandwidth(link), 0.75);
+
+  state.AddLoad(a, 150.0);  // beyond capacity
+  EXPECT_DOUBLE_EQ(state.RelativeLoadUse(a), 1.5);
+  EXPECT_DOUBLE_EQ(state.AvailableLoad(a), 0.0);  // clamped
+
+  // Releasing restores capacity.
+  state.AddBandwidth(link, -250.0);
+  EXPECT_DOUBLE_EQ(state.AvailableBandwidth(link), 1.0);
+}
+
+}  // namespace
+}  // namespace streamshare::network

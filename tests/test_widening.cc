@@ -1,0 +1,302 @@
+// Tests for the stream-widening extension (paper §6 future work): the DBM
+// join of predicate graphs, widening plan generation, in-place operator
+// reconfiguration, and — crucially — that widening a deployed stream never
+// changes any subscriber's results (compensation operators).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "predicate/graph.h"
+#include "sharing/system.h"
+#include "workload/photon_gen.h"
+
+namespace streamshare {
+namespace {
+
+using predicate::AtomicPredicate;
+using predicate::ComparisonOp;
+using predicate::PredicateGraph;
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+Decimal D(const char* text) { return Decimal::Parse(text).value(); }
+
+AtomicPredicate Cmp(const char* path, ComparisonOp op, const char* c) {
+  return AtomicPredicate::Compare(P(path), op, D(c));
+}
+
+TEST(PredicateUnionTest, BoxUnionTakesLooserBounds) {
+  PredicateGraph a = PredicateGraph::Build({
+      Cmp("ra", ComparisonOp::kGe, "120.0"),
+      Cmp("ra", ComparisonOp::kLe, "138.0"),
+      Cmp("dec", ComparisonOp::kGe, "-49.0"),
+      Cmp("dec", ComparisonOp::kLe, "-40.0"),
+  });
+  PredicateGraph b = PredicateGraph::Build({
+      Cmp("ra", ComparisonOp::kGe, "100.0"),
+      Cmp("ra", ComparisonOp::kLe, "130.0"),
+      Cmp("dec", ComparisonOp::kGe, "-45.0"),
+      Cmp("dec", ComparisonOp::kLe, "-30.0"),
+  });
+  PredicateGraph joined = PredicateGraph::UnionOf(a, b);
+  // The union box: ra ∈ [100, 138], dec ∈ [−49, −30].
+  EXPECT_TRUE(a.Implies(joined));
+  EXPECT_TRUE(b.Implies(joined));
+  PredicateGraph expected = PredicateGraph::Build({
+      Cmp("ra", ComparisonOp::kGe, "100.0"),
+      Cmp("ra", ComparisonOp::kLe, "138.0"),
+      Cmp("dec", ComparisonOp::kGe, "-49.0"),
+      Cmp("dec", ComparisonOp::kLe, "-30.0"),
+  });
+  EXPECT_TRUE(joined.EquivalentTo(expected)) << joined.ToString();
+}
+
+TEST(PredicateUnionTest, VariablesConstrainedInOnlyOneInputAreDropped) {
+  PredicateGraph a = PredicateGraph::Build({
+      Cmp("x", ComparisonOp::kLe, "10"),
+      Cmp("y", ComparisonOp::kGe, "0"),
+  });
+  PredicateGraph b = PredicateGraph::Build({
+      Cmp("x", ComparisonOp::kLe, "20"),
+  });
+  PredicateGraph joined = PredicateGraph::UnionOf(a, b);
+  EXPECT_TRUE(a.Implies(joined));
+  EXPECT_TRUE(b.Implies(joined));
+  // y is unconstrained in b, so it must be unconstrained in the union.
+  std::optional<int> y = joined.FindNode(P("y"));
+  if (y.has_value()) {
+    EXPECT_TRUE(joined.EdgesConnectedTo(*y).empty());
+  }
+  // x keeps the looser bound 20.
+  PredicateGraph expected =
+      PredicateGraph::Build({Cmp("x", ComparisonOp::kLe, "20")});
+  EXPECT_TRUE(joined.EquivalentTo(expected));
+}
+
+TEST(PredicateUnionTest, StrictnessJoinsCorrectly) {
+  PredicateGraph strict =
+      PredicateGraph::Build({Cmp("x", ComparisonOp::kLt, "5")});
+  PredicateGraph nonstrict =
+      PredicateGraph::Build({Cmp("x", ComparisonOp::kLe, "5")});
+  PredicateGraph joined = PredicateGraph::UnionOf(strict, nonstrict);
+  // x < 5 ∨ x ≤ 5 ⇒ x ≤ 5 (looser of the two).
+  EXPECT_TRUE(joined.EquivalentTo(nonstrict)) << joined.ToString();
+}
+
+TEST(PredicateUnionTest, RandomizedSoundness) {
+  // For random satisfiable graphs: both inputs imply their union.
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> const_dist(-10, 10);
+  std::uniform_int_distribution<int> var_dist(0, 2);
+  std::uniform_int_distribution<int> op_dist(0, 3);
+  static const char* const kVars[] = {"u", "v", "w"};
+  static const ComparisonOp kOps[] = {ComparisonOp::kLt, ComparisonOp::kLe,
+                                      ComparisonOp::kGt,
+                                      ComparisonOp::kGe};
+  auto random_graph = [&]() {
+    std::vector<AtomicPredicate> preds;
+    int count = 1 + var_dist(rng);
+    for (int i = 0; i < count; ++i) {
+      preds.push_back(AtomicPredicate::Compare(
+          P(kVars[var_dist(rng)]), kOps[op_dist(rng)],
+          Decimal::FromInt(const_dist(rng))));
+    }
+    return PredicateGraph::Build(preds);
+  };
+  int tested = 0;
+  for (int round = 0; round < 200; ++round) {
+    PredicateGraph a = random_graph();
+    PredicateGraph b = random_graph();
+    if (!a.IsSatisfiable() || !b.IsSatisfiable()) continue;
+    a.Minimize();
+    b.Minimize();
+    PredicateGraph joined = PredicateGraph::UnionOf(a, b);
+    EXPECT_TRUE(a.Implies(joined)) << a.ToString() << joined.ToString();
+    EXPECT_TRUE(b.Implies(joined)) << b.ToString() << joined.ToString();
+    EXPECT_TRUE(joined.IsSatisfiable());
+    ++tested;
+  }
+  EXPECT_GT(tested, 100);
+}
+
+// --- system-level widening --------------------------------------------------
+
+constexpr const char* kBoxA =
+    "<out> { for $p in stream(\"photons\")/photons/photon "
+    "where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0 "
+    "and $p/coord/cel/dec >= -49.0 and $p/coord/cel/dec <= -40.0 "
+    "return <a> { $p/coord/cel/ra } { $p/coord/cel/dec } { $p/en } </a> } "
+    "</out>";
+
+// Overlapping but NOT contained box: plain sharing cannot reuse A's
+// stream; widening can.
+constexpr const char* kBoxB =
+    "<out> { for $p in stream(\"photons\")/photons/photon "
+    "where $p/coord/cel/ra >= 110.0 and $p/coord/cel/ra <= 130.0 "
+    "and $p/coord/cel/dec >= -49.0 and $p/coord/cel/dec <= -40.0 "
+    "return <b> { $p/coord/cel/ra } { $p/coord/cel/dec } { $p/en } </b> } "
+    "</out>";
+
+class WideningSystemTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<sharing::StreamShareSystem> MakeSystem(bool widening) {
+    sharing::SystemConfig config;
+    config.keep_results = true;
+    config.planner.enable_widening = widening;
+    auto system = std::make_unique<sharing::StreamShareSystem>(
+        network::Topology::ExtendedExample(), config);
+    EXPECT_TRUE(system
+                    ->RegisterStream("photons",
+                                     workload::PhotonGenerator::Schema(),
+                                     100.0, 4)
+                    .ok());
+    EXPECT_TRUE(
+        system->SetRange("photons", P("coord/cel/ra"), {0.0, 360.0}).ok());
+    EXPECT_TRUE(
+        system->SetRange("photons", P("coord/cel/dec"), {-90.0, 90.0})
+            .ok());
+    EXPECT_TRUE(system->SetRange("photons", P("en"), {0.1, 2.4}).ok());
+    return system;
+  }
+
+  workload::PhotonGenConfig PhotonConfig() {
+    workload::PhotonGenConfig config;
+    config.hot_regions = {{100.0, 140.0, -50.0, -30.0}};
+    config.hot_weights = {4.0};
+    return config;
+  }
+
+  Status Run(sharing::StreamShareSystem* system, size_t count) {
+    workload::PhotonGenerator generator(PhotonConfig());
+    std::map<std::string, std::vector<engine::ItemPtr>> items;
+    items["photons"] = generator.Generate(count);
+    return system->Run(items);
+  }
+};
+
+TEST_F(WideningSystemTest, OverlappingBoxTriggersWidening) {
+  auto system = MakeSystem(/*widening=*/true);
+  Result<sharing::RegistrationResult> a = system->RegisterQuery(
+      kBoxA, 1, sharing::Strategy::kStreamSharing);
+  ASSERT_TRUE(a.ok()) << a.status();
+  Result<sharing::RegistrationResult> b = system->RegisterQuery(
+      kBoxB, 3, sharing::Strategy::kStreamSharing);
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  // B's plan must widen A's stream (stream #1) rather than tap the
+  // original (#0): the original sits one hop further from SP3's side and
+  // the widened stream is far thinner than the raw one.
+  ASSERT_TRUE(b->plan.inputs[0].widening.has_value())
+      << b->plan.ToString();
+  EXPECT_EQ(b->plan.inputs[0].widening->stream, 1);
+  EXPECT_EQ(b->plan.inputs[0].reused_stream, 1);
+
+  // The registry now describes the widened content.
+  const network::RegisteredStream& widened = system->registry().stream(1);
+  const properties::SelectionOp* selection = widened.props.selection();
+  ASSERT_NE(selection, nullptr);
+  PredicateGraph expected = PredicateGraph::Build({
+      Cmp("coord/cel/ra", ComparisonOp::kGe, "110.0"),
+      Cmp("coord/cel/ra", ComparisonOp::kLe, "138.0"),
+      Cmp("coord/cel/dec", ComparisonOp::kGe, "-49.0"),
+      Cmp("coord/cel/dec", ComparisonOp::kLe, "-40.0"),
+  });
+  EXPECT_TRUE(selection->graph.EquivalentTo(expected))
+      << selection->graph.ToString();
+}
+
+TEST_F(WideningSystemTest, WideningPreservesAllSubscribersResults) {
+  // Twin systems: widening on (B reuses A's widened stream) vs. data
+  // shipping (independent evaluation). Both must produce identical
+  // results for BOTH queries — in particular A, whose stream got widened
+  // underneath it after registration.
+  auto shared_system = MakeSystem(/*widening=*/true);
+  Result<sharing::RegistrationResult> a1 = shared_system->RegisterQuery(
+      kBoxA, 1, sharing::Strategy::kStreamSharing);
+  ASSERT_TRUE(a1.ok());
+  Result<sharing::RegistrationResult> b1 = shared_system->RegisterQuery(
+      kBoxB, 3, sharing::Strategy::kStreamSharing);
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b1->plan.inputs[0].widening.has_value());
+  ASSERT_TRUE(Run(shared_system.get(), 2000).ok());
+
+  auto shipping_system = MakeSystem(/*widening=*/false);
+  Result<sharing::RegistrationResult> a2 = shipping_system->RegisterQuery(
+      kBoxA, 1, sharing::Strategy::kDataShipping);
+  ASSERT_TRUE(a2.ok());
+  Result<sharing::RegistrationResult> b2 = shipping_system->RegisterQuery(
+      kBoxB, 3, sharing::Strategy::kDataShipping);
+  ASSERT_TRUE(b2.ok());
+  ASSERT_TRUE(Run(shipping_system.get(), 2000).ok());
+
+  ASSERT_GT(a1->sink->item_count(), 10u);
+  ASSERT_GT(b1->sink->item_count(), 10u);
+  ASSERT_EQ(a1->sink->item_count(), a2->sink->item_count());
+  ASSERT_EQ(b1->sink->item_count(), b2->sink->item_count());
+  for (size_t i = 0; i < a1->sink->items().size(); ++i) {
+    EXPECT_TRUE(a1->sink->items()[i]->Equals(*a2->sink->items()[i]));
+  }
+  for (size_t i = 0; i < b1->sink->items().size(); ++i) {
+    EXPECT_TRUE(b1->sink->items()[i]->Equals(*b2->sink->items()[i]));
+  }
+}
+
+TEST_F(WideningSystemTest, DisabledWideningFallsBackToOriginal) {
+  auto system = MakeSystem(/*widening=*/false);
+  ASSERT_TRUE(
+      system->RegisterQuery(kBoxA, 1, sharing::Strategy::kStreamSharing)
+          .ok());
+  Result<sharing::RegistrationResult> b = system->RegisterQuery(
+      kBoxB, 3, sharing::Strategy::kStreamSharing);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b->plan.inputs[0].widening.has_value());
+  EXPECT_EQ(b->plan.inputs[0].reused_stream, 0);  // the original
+}
+
+TEST_F(WideningSystemTest, AggregateStreamsAreNotWidened) {
+  auto system = MakeSystem(/*widening=*/true);
+  const char* agg_a =
+      "<out> { for $w in stream(\"photons\")/photons/photon "
+      "[coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0] "
+      "|det_time diff 20 step 20| let $s := avg($w/en) "
+      "return <v> { $s } </v> } </out>";
+  const char* agg_b =
+      "<out> { for $w in stream(\"photons\")/photons/photon "
+      "[coord/cel/ra >= 110.0 and coord/cel/ra <= 130.0] "
+      "|det_time diff 20 step 20| let $s := avg($w/en) "
+      "return <v> { $s } </v> } </out>";
+  ASSERT_TRUE(
+      system->RegisterQuery(agg_a, 1, sharing::Strategy::kStreamSharing)
+          .ok());
+  Result<sharing::RegistrationResult> b = system->RegisterQuery(
+      agg_b, 3, sharing::Strategy::kStreamSharing);
+  ASSERT_TRUE(b.ok()) << b.status();
+  // The aggregate stream must not be widened (different pre-selection is
+  // a hard wall for aggregates); the planner falls back to the original.
+  EXPECT_FALSE(b->plan.inputs[0].widening.has_value())
+      << b->plan.ToString();
+  EXPECT_EQ(b->plan.inputs[0].reused_stream, 0);
+}
+
+TEST_F(WideningSystemTest, WideningAccountsBandwidthDelta) {
+  auto system = MakeSystem(/*widening=*/true);
+  ASSERT_TRUE(
+      system->RegisterQuery(kBoxA, 1, sharing::Strategy::kStreamSharing)
+          .ok());
+  double before = 0.0;
+  for (size_t link = 0; link < system->topology().link_count(); ++link) {
+    before += system->state().UsedBandwidthKbps(static_cast<int>(link));
+  }
+  Result<sharing::RegistrationResult> b = system->RegisterQuery(
+      kBoxB, 3, sharing::Strategy::kStreamSharing);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b->plan.inputs[0].widening.has_value());
+  double after = 0.0;
+  for (size_t link = 0; link < system->topology().link_count(); ++link) {
+    after += system->state().UsedBandwidthKbps(static_cast<int>(link));
+  }
+  EXPECT_GT(after, before);  // the widened stream carries more data
+}
+
+}  // namespace
+}  // namespace streamshare

@@ -1,0 +1,77 @@
+// Unit tests for window specifications.
+
+#include "properties/window.h"
+
+#include <gtest/gtest.h>
+
+namespace streamshare::properties {
+namespace {
+
+TEST(WindowSpecTest, CountWindowDefaults) {
+  Result<WindowSpec> window = WindowSpec::Count(20);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->type, WindowType::kCount);
+  EXPECT_EQ(window->size, Decimal::FromInt(20));
+  EXPECT_EQ(window->step, Decimal::FromInt(20));  // tumbling default
+  EXPECT_EQ(window->ToString(), "|count 20|");
+}
+
+TEST(WindowSpecTest, CountWindowWithStep) {
+  Result<WindowSpec> window = WindowSpec::Count(20, 10);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->ToString(), "|count 20 step 10|");
+}
+
+TEST(WindowSpecTest, DiffWindow) {
+  Result<WindowSpec> window =
+      WindowSpec::Diff(xml::Path::Parse("det_time").value(),
+                       Decimal::FromInt(60), Decimal::FromInt(40));
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->type, WindowType::kDiff);
+  EXPECT_EQ(window->ToString(), "|det_time diff 60 step 40|");
+}
+
+TEST(WindowSpecTest, DiffWindowDefaultsStep) {
+  Result<WindowSpec> window = WindowSpec::Diff(
+      xml::Path::Parse("t").value(), Decimal::Parse("2.5").value());
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->step, Decimal::Parse("2.5").value());
+  EXPECT_EQ(window->ToString(), "|t diff 2.5|");
+}
+
+TEST(WindowSpecTest, ValidationRejectsBadSpecs) {
+  EXPECT_TRUE(WindowSpec::Count(0).status().IsInvalidArgument());
+  EXPECT_TRUE(WindowSpec::Count(-5).status().IsInvalidArgument());
+  EXPECT_TRUE(WindowSpec::Count(10, -1).status().IsInvalidArgument());
+  EXPECT_TRUE(WindowSpec::Diff(xml::Path(), Decimal::FromInt(10))
+                  .status()
+                  .IsInvalidArgument());  // no reference element
+  EXPECT_TRUE(WindowSpec::Diff(xml::Path::Parse("t").value(), Decimal())
+                  .status()
+                  .IsInvalidArgument());  // zero size
+
+  // Count windows with fractional size/step are rejected at Validate.
+  WindowSpec bad;
+  bad.type = WindowType::kCount;
+  bad.size = Decimal::Parse("2.5").value();
+  bad.step = Decimal::FromInt(1);
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+
+  WindowSpec ref_on_count;
+  ref_on_count.type = WindowType::kCount;
+  ref_on_count.size = Decimal::FromInt(5);
+  ref_on_count.step = Decimal::FromInt(5);
+  ref_on_count.reference = xml::Path::Parse("t").value();
+  EXPECT_TRUE(ref_on_count.Validate().IsInvalidArgument());
+}
+
+TEST(WindowSpecTest, Equality) {
+  WindowSpec a = WindowSpec::Count(20, 10).value();
+  WindowSpec b = WindowSpec::Count(20, 10).value();
+  WindowSpec c = WindowSpec::Count(20, 5).value();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace streamshare::properties

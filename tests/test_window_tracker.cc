@@ -1,0 +1,138 @@
+// Unit tests for the shared window bookkeeping (WindowTracker), including
+// a parameterized sweep verifying the closed/contains invariants across
+// window shapes.
+
+#include "engine/window_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace streamshare::engine {
+namespace {
+
+using properties::WindowSpec;
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+
+TEST(WindowTrackerTest, TumblingCountWindows) {
+  WindowTracker tracker(WindowSpec::Count(3).value());
+  std::vector<int64_t> closed;
+  for (int i = 0; i < 7; ++i) {
+    Result<WindowTracker::Update> update = tracker.OnItemCount();
+    ASSERT_TRUE(update.ok());
+    for (int64_t seq : update->closed) closed.push_back(seq);
+    ASSERT_EQ(update->contains.size(), 1u);
+    EXPECT_EQ(update->contains[0], i / 3);
+  }
+  EXPECT_EQ(closed, (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(tracker.Flush(), (std::vector<int64_t>{2}));
+}
+
+TEST(WindowTrackerTest, SlidingWindowsContainOverlaps) {
+  WindowTracker tracker(WindowSpec::Count(4, 2).value());
+  // Item 3 (0-based) lies in windows 0 [0,4) and 1 [2,6).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(tracker.OnItemCount().ok());
+  }
+  Result<WindowTracker::Update> update = tracker.OnItemCount();
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->contains, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(WindowTrackerTest, SamplingStepLeavesGaps) {
+  WindowTracker tracker(WindowSpec::Count(2, 4).value());
+  std::vector<size_t> contains_counts;
+  for (int i = 0; i < 8; ++i) {
+    Result<WindowTracker::Update> update = tracker.OnItemCount();
+    ASSERT_TRUE(update.ok());
+    contains_counts.push_back(update->contains.size());
+  }
+  // Items 0,1 in window 0; 2,3 in none; 4,5 in window 1; 6,7 in none.
+  EXPECT_EQ(contains_counts,
+            (std::vector<size_t>{1, 1, 0, 0, 1, 1, 0, 0}));
+}
+
+TEST(WindowTrackerTest, TimeAxisUnsortedRejected) {
+  WindowTracker tracker(
+      WindowSpec::Diff(P("t"), Decimal::FromInt(10)).value());
+  ASSERT_TRUE(tracker.OnPosition(Decimal::FromInt(5)).ok());
+  EXPECT_TRUE(tracker.OnPosition(Decimal::FromInt(3))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(WindowTrackerTest, FastForwardSkipsDeadWindows) {
+  WindowTracker tracker(
+      WindowSpec::Diff(P("t"), Decimal::FromInt(10)).value());
+  Result<WindowTracker::Update> update =
+      tracker.OnPosition(Decimal::FromInt(1000));
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(update->closed.empty());  // no flood of empty windows
+  ASSERT_EQ(update->contains.size(), 1u);
+  EXPECT_EQ(update->contains[0], 100);
+}
+
+TEST(WindowTrackerTest, GapEmitsEmptyWindowsForContinuity) {
+  WindowTracker tracker(
+      WindowSpec::Diff(P("t"), Decimal::FromInt(10)).value());
+  ASSERT_TRUE(tracker.OnPosition(Decimal::FromInt(5)).ok());
+  Result<WindowTracker::Update> update =
+      tracker.OnPosition(Decimal::FromInt(35));
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->closed, (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(update->contains, (std::vector<int64_t>{3}));
+}
+
+struct TrackerCase {
+  int size;
+  int step;
+};
+
+class TrackerSweep : public ::testing::TestWithParam<TrackerCase> {};
+
+TEST_P(TrackerSweep, InvariantsHoldOnDenseTimeAxis) {
+  const TrackerCase& c = GetParam();
+  WindowTracker tracker(WindowSpec::Diff(P("t"),
+                                         Decimal::FromInt(c.size),
+                                         Decimal::FromInt(c.step))
+                            .value());
+  std::set<int64_t> closed_seen;
+  int64_t max_closed = -1;
+  for (int t = 0; t < 500; t += 3) {
+    Result<WindowTracker::Update> update =
+        tracker.OnPosition(Decimal::FromInt(t));
+    ASSERT_TRUE(update.ok());
+    for (int64_t seq : update->closed) {
+      // Each window closes exactly once, in ascending order.
+      EXPECT_TRUE(closed_seen.insert(seq).second) << seq;
+      EXPECT_GT(seq, max_closed);
+      max_closed = seq;
+      // A closed window's span truly ended before the position.
+      EXPECT_LE(seq * c.step + c.size, t);
+    }
+    for (int64_t seq : update->contains) {
+      // The position lies inside every containing window's span.
+      EXPECT_LE(seq * c.step, t);
+      EXPECT_LT(t, seq * c.step + c.size);
+      EXPECT_EQ(closed_seen.count(seq), 0u);
+    }
+  }
+  // Flushed windows are exactly the never-closed opened ones, ascending.
+  std::vector<int64_t> flushed = tracker.Flush();
+  for (size_t i = 0; i + 1 < flushed.size(); ++i) {
+    EXPECT_LT(flushed[i], flushed[i + 1]);
+  }
+  for (int64_t seq : flushed) {
+    EXPECT_EQ(closed_seen.count(seq), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TrackerSweep,
+    ::testing::Values(TrackerCase{20, 10},   // overlapping
+                      TrackerCase{10, 10},   // tumbling
+                      TrackerCase{10, 25},   // sampling
+                      TrackerCase{50, 5},    // heavily overlapping
+                      TrackerCase{1, 1}));   // degenerate
+
+}  // namespace
+}  // namespace streamshare::engine

@@ -1,0 +1,261 @@
+// Unit tests for the WXQuery parser: all seven grammar forms of
+// Definition 2.1, window syntax, condition forms, error reporting, and the
+// print/parse round-trip property.
+
+#include "wxquery/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_queries.h"
+#include "workload/query_gen.h"
+
+namespace streamshare::wxquery {
+namespace {
+
+ExprPtr MustParse(std::string_view text) {
+  Result<ExprPtr> parsed = ParseQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status() << "\nquery: " << text;
+  return parsed.ok() ? std::move(parsed).value() : nullptr;
+}
+
+TEST(ParserTest, EmptyElementConstructor) {
+  ExprPtr expr = MustParse("<t/>");
+  ASSERT_NE(expr, nullptr);
+  const auto* element = expr->As<ElementExpr>();
+  ASSERT_NE(element, nullptr);
+  EXPECT_EQ(element->tag, "t");
+  EXPECT_TRUE(element->content.empty());
+}
+
+TEST(ParserTest, NestedElementConstructors) {
+  ExprPtr expr = MustParse("<a><b/><c><d/></c></a>");
+  const auto* a = expr->As<ElementExpr>();
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->content.size(), 2u);
+  EXPECT_EQ(a->content[0]->As<ElementExpr>()->tag, "b");
+  EXPECT_EQ(a->content[1]->As<ElementExpr>()->tag, "c");
+}
+
+TEST(ParserTest, MismatchedTagsRejected) {
+  EXPECT_FALSE(ParseQuery("<a></b>").ok());
+  EXPECT_FALSE(ParseQuery("<a>").ok());
+}
+
+TEST(ParserTest, PaperQuery1Structure) {
+  ExprPtr expr = MustParse(workload::kQuery1);
+  const auto* wrapper = expr->As<ElementExpr>();
+  ASSERT_NE(wrapper, nullptr);
+  EXPECT_EQ(wrapper->tag, "photons");
+  ASSERT_EQ(wrapper->content.size(), 1u);
+  const auto* flwr = wrapper->content[0]->As<FlwrExpr>();
+  ASSERT_NE(flwr, nullptr);
+  ASSERT_EQ(flwr->clauses.size(), 1u);
+  const auto& for_clause = std::get<ForClause>(flwr->clauses[0]);
+  EXPECT_EQ(for_clause.var, "p");
+  EXPECT_EQ(for_clause.source_stream, "photons");
+  EXPECT_EQ(for_clause.path.ToString(), "photons/photon");
+  EXPECT_FALSE(for_clause.window.has_value());
+  EXPECT_EQ(flwr->where.size(), 4u);
+  EXPECT_EQ(flwr->where[0].lhs.var, "p");
+  EXPECT_EQ(flwr->where[0].lhs.path.ToString(), "coord/cel/ra");
+  EXPECT_EQ(flwr->where[0].op, predicate::ComparisonOp::kGe);
+  EXPECT_EQ(flwr->where[0].constant, Decimal::Parse("120.0").value());
+}
+
+TEST(ParserTest, PaperQuery3WindowAndLet) {
+  ExprPtr expr = MustParse(workload::kQuery3);
+  const auto* flwr =
+      expr->As<ElementExpr>()->content[0]->As<FlwrExpr>();
+  ASSERT_NE(flwr, nullptr);
+  ASSERT_EQ(flwr->clauses.size(), 2u);
+  const auto& for_clause = std::get<ForClause>(flwr->clauses[0]);
+  EXPECT_EQ(for_clause.path_conditions.size(), 4u);
+  ASSERT_TRUE(for_clause.window.has_value());
+  EXPECT_EQ(for_clause.window->type, properties::WindowType::kDiff);
+  EXPECT_EQ(for_clause.window->reference.ToString(), "det_time");
+  EXPECT_EQ(for_clause.window->size, Decimal::FromInt(20));
+  EXPECT_EQ(for_clause.window->step, Decimal::FromInt(10));
+  const auto& let_clause = std::get<LetClause>(flwr->clauses[1]);
+  EXPECT_EQ(let_clause.var, "a");
+  EXPECT_EQ(let_clause.func, properties::AggregateFunc::kAvg);
+  EXPECT_EQ(let_clause.source_var, "w");
+  EXPECT_EQ(let_clause.path.ToString(), "en");
+}
+
+TEST(ParserTest, CountWindowDefaultsStepToSize) {
+  ExprPtr expr = MustParse(
+      "for $w in stream(\"s\")/root/item |count 20| "
+      "let $a := sum($w/x) return <r> { $a } </r>");
+  const auto* flwr = expr->As<FlwrExpr>();
+  const auto& for_clause = std::get<ForClause>(flwr->clauses[0]);
+  ASSERT_TRUE(for_clause.window.has_value());
+  EXPECT_EQ(for_clause.window->type, properties::WindowType::kCount);
+  EXPECT_EQ(for_clause.window->size, Decimal::FromInt(20));
+  EXPECT_EQ(for_clause.window->step, Decimal::FromInt(20));
+}
+
+TEST(ParserTest, CountWindowWithStep) {
+  ExprPtr expr = MustParse(
+      "for $w in stream(\"s\")/root/item |count 20 step 10| "
+      "let $a := min($w/x) return <r> { $a } </r>");
+  const auto& for_clause =
+      std::get<ForClause>(expr->As<FlwrExpr>()->clauses[0]);
+  EXPECT_EQ(for_clause.window->step, Decimal::FromInt(10));
+}
+
+TEST(ParserTest, AllAggregateFunctions) {
+  for (const char* func : {"min", "max", "sum", "count", "avg"}) {
+    std::string text = std::string("for $w in stream(\"s\")/r/i |count 5| "
+                                   "let $a := ") +
+                       func + "($w/x) return <r> { $a } </r>";
+    EXPECT_TRUE(ParseQuery(text).ok()) << func;
+  }
+  EXPECT_FALSE(
+      ParseQuery("for $w in stream(\"s\")/r/i |count 5| "
+                 "let $a := median($w/x) return <r> { $a } </r>")
+          .ok());
+}
+
+TEST(ParserTest, IfThenElse) {
+  ExprPtr expr = MustParse(
+      "for $p in stream(\"s\")/r/i where $p/x >= 1 "
+      "return if $p/x >= 5 then <big> { $p/x } </big> "
+      "else <small> { $p/x } </small>");
+  const auto* flwr = expr->As<FlwrExpr>();
+  const auto* branch = flwr->return_expr->As<IfExpr>();
+  ASSERT_NE(branch, nullptr);
+  EXPECT_EQ(branch->condition.size(), 1u);
+  EXPECT_EQ(branch->then_expr->As<ElementExpr>()->tag, "big");
+  EXPECT_EQ(branch->else_expr->As<ElementExpr>()->tag, "small");
+}
+
+TEST(ParserTest, SequenceExpression) {
+  ExprPtr expr = MustParse(
+      "for $p in stream(\"s\")/r/i return ( $p/a, $p/b, <x/> )");
+  const auto* sequence =
+      expr->As<FlwrExpr>()->return_expr->As<SequenceExpr>();
+  ASSERT_NE(sequence, nullptr);
+  EXPECT_EQ(sequence->items.size(), 3u);
+  EXPECT_NE(sequence->items[0]->As<PathOutputExpr>(), nullptr);
+}
+
+TEST(ParserTest, EmptySequence) {
+  ExprPtr expr = MustParse("for $p in stream(\"s\")/r/i return ()");
+  EXPECT_TRUE(
+      expr->As<FlwrExpr>()->return_expr->As<SequenceExpr>()->items.empty());
+}
+
+TEST(ParserTest, VariableVsVariablePlusConstant) {
+  ExprPtr expr = MustParse(
+      "for $p in stream(\"s\")/r/i where $p/a <= $p/b + 3.5 "
+      "return <r/>");
+  const auto& atom = expr->As<FlwrExpr>()->where[0];
+  ASSERT_TRUE(atom.rhs.has_value());
+  EXPECT_EQ(atom.rhs->path.ToString(), "b");
+  EXPECT_EQ(atom.constant, Decimal::Parse("3.5").value());
+}
+
+TEST(ParserTest, VariableMinusConstant) {
+  ExprPtr expr = MustParse(
+      "for $p in stream(\"s\")/r/i where $p/a > $p/b - 2 return <r/>");
+  const auto& atom = expr->As<FlwrExpr>()->where[0];
+  EXPECT_EQ(atom.constant, Decimal::Parse("-2").value());
+}
+
+TEST(ParserTest, ConstantOnLeftIsFlipped) {
+  ExprPtr expr = MustParse(
+      "for $p in stream(\"s\")/r/i where 5 <= $p/a return <r/>");
+  const auto& atom = expr->As<FlwrExpr>()->where[0];
+  EXPECT_EQ(atom.lhs.path.ToString(), "a");
+  EXPECT_EQ(atom.op, predicate::ComparisonOp::kGe);
+  EXPECT_EQ(atom.constant, Decimal::FromInt(5));
+}
+
+TEST(ParserTest, MidPathConditionsParseAndRoundTrip) {
+  const char* text =
+      "for $p in stream(\"s\")/r/i where $p/n >= 0 "
+      "return <o> { $p/sensor[quality >= 5 and quality <= 9]/"
+      "reading[v >= 10] } </o>";
+  ExprPtr expr = MustParse(text);
+  ASSERT_NE(expr, nullptr);
+  const auto* path_out = expr->As<FlwrExpr>()
+                             ->return_expr->As<ElementExpr>()
+                             ->content[0]
+                             ->As<PathOutputExpr>();
+  ASSERT_NE(path_out, nullptr);
+  ASSERT_EQ(path_out->steps.size(), 2u);
+  EXPECT_EQ(path_out->steps[0].name, "sensor");
+  EXPECT_EQ(path_out->steps[0].conditions.size(), 2u);
+  EXPECT_EQ(path_out->steps[1].name, "reading");
+  EXPECT_EQ(path_out->steps[1].conditions.size(), 1u);
+  EXPECT_EQ(path_out->PlainPath().ToString(), "sensor/reading");
+  EXPECT_TRUE(path_out->HasConditions());
+  // Round trip.
+  std::string printed = PrintExpr(*expr);
+  ExprPtr reparsed = MustParse(printed);
+  ASSERT_NE(reparsed, nullptr);
+  EXPECT_EQ(printed, PrintExpr(*reparsed));
+}
+
+TEST(ParserTest, XQueryCommentsAreSkipped) {
+  EXPECT_TRUE(ParseQuery("(: header :) <a> (: inner (: nested :) :) "
+                         "{ for $p in stream(\"s\")/r/i return <b/> } "
+                         "</a>")
+                  .ok());
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  Result<ExprPtr> bad = ParseQuery("for $p in stream(\"s\")/r/i return");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find(" at "), std::string::npos);
+}
+
+TEST(ParserTest, RejectsVariousMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("for in stream(\"s\")/r/i return <a/>").ok());
+  EXPECT_FALSE(ParseQuery("for $p stream(\"s\")/r/i return <a/>").ok());
+  EXPECT_FALSE(
+      ParseQuery("for $p in stream(s)/r/i return <a/>").ok());  // quotes
+  EXPECT_FALSE(
+      ParseQuery("for $p in stream(\"s\")/r/i where return <a/>").ok());
+  EXPECT_FALSE(ParseQuery("<a> { } </a>").ok());
+  EXPECT_FALSE(ParseQuery("<a/> trailing").ok());
+  EXPECT_FALSE(ParseQuery("for $w in stream(\"s\")/r/i |count 0| "
+                          "let $a := avg($w/x) return <r/>")
+                   .ok());  // zero-size window
+  EXPECT_FALSE(ParseQuery("for $w in stream(\"s\")/r/i |diff 5| "
+                          "let $a := avg($w/x) return <r/>")
+                   .ok());  // diff needs a reference element
+}
+
+TEST(ParserTest, PrintParseRoundTrip) {
+  const char* queries[] = {workload::kQuery1, workload::kQuery2,
+                           workload::kQuery3, workload::kQuery4};
+  for (const char* text : queries) {
+    ExprPtr first = MustParse(text);
+    ASSERT_NE(first, nullptr);
+    std::string printed = PrintExpr(*first);
+    ExprPtr second = MustParse(printed);
+    ASSERT_NE(second, nullptr) << printed;
+    EXPECT_EQ(printed, PrintExpr(*second)) << printed;
+  }
+}
+
+TEST(ParserTest, GeneratedQueriesAllParse) {
+  workload::QueryGenerator generator(
+      workload::QueryGenConfig::Default(99));
+  for (const std::string& text : generator.Generate(200)) {
+    Result<ExprPtr> parsed = ParseQuery(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+    if (parsed.ok()) {
+      // Round-trip stability.
+      std::string printed = PrintExpr(**parsed);
+      Result<ExprPtr> reparsed = ParseQuery(printed);
+      ASSERT_TRUE(reparsed.ok()) << printed;
+      EXPECT_EQ(printed, PrintExpr(**reparsed));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamshare::wxquery

@@ -1,0 +1,194 @@
+// Unit tests for the XML substrate: node trees, parsing (including
+// incremental feeding and malformed input), serialization, and the item
+// reader.
+
+#include <gtest/gtest.h>
+
+#include "xml/xml_node.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace streamshare::xml {
+namespace {
+
+TEST(XmlNodeTest, BuildAndNavigate) {
+  XmlNode photon("photon");
+  photon.AddLeaf("en", "1.3");
+  XmlNode* coord = photon.AddChild("coord");
+  coord->AddLeaf("ra", "120.5");
+  coord->AddLeaf("dec", "-45.0");
+
+  EXPECT_EQ(photon.children().size(), 2u);
+  ASSERT_NE(photon.FirstChild("en"), nullptr);
+  EXPECT_EQ(photon.FirstChild("en")->text(), "1.3");
+  EXPECT_EQ(photon.FirstChild("nope"), nullptr);
+  EXPECT_EQ(photon.Children("coord").size(), 1u);
+  EXPECT_TRUE(photon.FirstChild("en")->IsLeaf());
+  EXPECT_FALSE(photon.IsLeaf());
+}
+
+TEST(XmlNodeTest, CloneIsDeepAndEqual) {
+  XmlNode root("a");
+  root.AddLeaf("b", "x")->append_text("y");
+  root.AddChild("c")->AddLeaf("d", "z");
+  auto copy = root.Clone();
+  EXPECT_TRUE(root.Equals(*copy));
+  copy->AddLeaf("e", "w");
+  EXPECT_FALSE(root.Equals(*copy));
+}
+
+TEST(XmlNodeTest, SerializedSizeMatchesWriter) {
+  XmlNode root("photon");
+  root.AddLeaf("en", "1.3");
+  XmlNode* coord = root.AddChild("coord");
+  coord->AddLeaf("ra", "120.5");
+  root.AddChild("empty");
+  root.AddLeaf("esc", "a<b&c");
+  EXPECT_EQ(root.SerializedSize(), WriteCompact(root).size());
+}
+
+TEST(XmlWriterTest, CompactForm) {
+  XmlNode root("a");
+  root.AddLeaf("b", "1");
+  root.AddChild("c");
+  EXPECT_EQ(WriteCompact(root), "<a><b>1</b><c/></a>");
+}
+
+TEST(XmlWriterTest, EscapesSpecialCharacters) {
+  XmlNode root("t");
+  root.set_text("a<b>&c");
+  EXPECT_EQ(WriteCompact(root), "<t>a&lt;b&gt;&amp;c</t>");
+}
+
+TEST(XmlParserTest, ParseRoundTrip) {
+  const char* doc = "<photon><en>1.3</en><coord><ra>120.5</ra></coord>"
+                    "<flag/></photon>";
+  Result<std::unique_ptr<XmlNode>> parsed = ParseDocument(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(WriteCompact(**parsed), doc);
+}
+
+TEST(XmlParserTest, DecodesEntities) {
+  Result<std::unique_ptr<XmlNode>> parsed =
+      ParseDocument("<t>a&lt;b&gt;&amp;&quot;&apos;&#65;&#x42;</t>");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)->text(), "a<b>&\"'AB");
+}
+
+TEST(XmlParserTest, AttributesBecomeChildElements) {
+  Result<std::unique_ptr<XmlNode>> parsed =
+      ParseDocument("<photon en=\"1.3\" id='7'><phc>3</phc></photon>");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_NE((*parsed)->FirstChild("en"), nullptr);
+  EXPECT_EQ((*parsed)->FirstChild("en")->text(), "1.3");
+  EXPECT_EQ((*parsed)->FirstChild("id")->text(), "7");
+  EXPECT_EQ((*parsed)->FirstChild("phc")->text(), "3");
+}
+
+TEST(XmlParserTest, SkipsPrologCommentsAndCdata) {
+  const char* doc =
+      "<?xml version=\"1.0\"?><!DOCTYPE photons [<!ELEMENT x (y)>]>"
+      "<!-- comment --><t><![CDATA[raw <text>]]></t>";
+  Result<std::unique_ptr<XmlNode>> parsed = ParseDocument(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)->text(), "raw <text>");
+}
+
+TEST(XmlParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseDocument("").ok());
+  EXPECT_FALSE(ParseDocument("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseDocument("<a>").ok());
+  EXPECT_FALSE(ParseDocument("<a/><b/>").ok());
+  EXPECT_FALSE(ParseDocument("text outside").ok());
+  EXPECT_FALSE(ParseDocument("<a>&bogus;</a>").ok());
+  EXPECT_FALSE(ParseDocument("<a x=unquoted></a>").ok());
+  EXPECT_FALSE(ParseDocument("<1tag/>").ok());
+}
+
+TEST(XmlParserTest, WhitespaceBetweenElementsIsInsignificant) {
+  Result<std::unique_ptr<XmlNode>> parsed =
+      ParseDocument("<a>\n  <b>1</b>\n  <c/>\n</a>");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)->text(), "");
+  EXPECT_EQ((*parsed)->children().size(), 2u);
+}
+
+TEST(XmlPullParserTest, IncrementalFeedAcrossTagBoundaries) {
+  // Split the document at hostile positions: inside tags, names, and
+  // entities.
+  const std::string doc =
+      "<photons><photon><en>1&#46;3</en></photon></photons>";
+  for (size_t split = 1; split + 1 < doc.size(); ++split) {
+    XmlPullParser parser;
+    parser.Feed(doc.substr(0, split));
+    std::vector<XmlEvent::Kind> kinds;
+    bool fed_rest = false;
+    while (true) {
+      Result<XmlEvent> event = parser.Next();
+      ASSERT_TRUE(event.ok()) << event.status() << " split=" << split;
+      if (event->kind == XmlEvent::Kind::kNeedMoreData) {
+        ASSERT_FALSE(fed_rest) << "stuck after full feed, split=" << split;
+        parser.Feed(doc.substr(split));
+        parser.Finalize();
+        fed_rest = true;
+        continue;
+      }
+      if (event->kind == XmlEvent::Kind::kEndOfDocument) break;
+      kinds.push_back(event->kind);
+    }
+    EXPECT_EQ(kinds.size(), 7u) << "split=" << split;
+  }
+}
+
+TEST(XmlItemReaderTest, YieldsItemsOneByOne) {
+  XmlItemReader reader(
+      "<photons><photon><en>1.0</en></photon>"
+      "<photon><en>2.0</en></photon></photons>");
+  Result<std::unique_ptr<XmlNode>> first = reader.NextItem();
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_NE(*first, nullptr);
+  EXPECT_EQ((*first)->FirstChild("en")->text(), "1.0");
+  EXPECT_EQ(reader.stream_name(), "photons");
+
+  Result<std::unique_ptr<XmlNode>> second = reader.NextItem();
+  ASSERT_TRUE(second.ok());
+  ASSERT_NE(*second, nullptr);
+  EXPECT_EQ((*second)->FirstChild("en")->text(), "2.0");
+
+  Result<std::unique_ptr<XmlNode>> done = reader.NextItem();
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(*done, nullptr);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(XmlItemReaderTest, IncrementalFeeding) {
+  XmlItemReader reader;
+  reader.Feed("<photons><photon><en>1.");
+  Result<std::unique_ptr<XmlNode>> item = reader.NextItem();
+  ASSERT_TRUE(item.ok()) << item.status();
+  EXPECT_EQ(*item, nullptr);  // incomplete
+  EXPECT_FALSE(reader.AtEnd());
+
+  reader.Feed("0</en></photon></photons>");
+  reader.Finalize();
+  item = reader.NextItem();
+  ASSERT_TRUE(item.ok()) << item.status();
+  ASSERT_NE(*item, nullptr);
+  EXPECT_EQ((*item)->FirstChild("en")->text(), "1.0");
+
+  item = reader.NextItem();
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(*item, nullptr);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(XmlItemReaderTest, EmptyStream) {
+  XmlItemReader reader("<photons></photons>");
+  Result<std::unique_ptr<XmlNode>> item = reader.NextItem();
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(*item, nullptr);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace streamshare::xml

@@ -1,0 +1,158 @@
+// streamshare_sim — run one of the paper's evaluation scenarios from the
+// command line and print the measured per-peer / per-connection series.
+//
+//   streamshare_sim [--scenario=extended|grid] [--strategy=data|query|share]
+//                   [--queries=N] [--items=N] [--seed=N] [--widening]
+//                   [--hierarchical] [--enforce-limits]
+//
+// Exit code 0 on success.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/scenario.h"
+
+using namespace streamshare;
+
+namespace {
+
+struct Options {
+  std::string scenario = "extended";
+  sharing::Strategy strategy = sharing::Strategy::kStreamSharing;
+  size_t queries = 25;
+  size_t items = 2000;
+  uint64_t seed = 11;
+  bool widening = false;
+  bool enforce_limits = false;
+  bool hierarchical = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage(const char* program) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scenario=extended|grid] "
+      "[--strategy=data|query|share] [--queries=N] [--items=N] "
+      "[--seed=N] [--widening] [--hierarchical] [--enforce-limits]\n",
+      program);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--scenario", &value)) {
+      options.scenario = value;
+    } else if (ParseFlag(argv[i], "--strategy", &value)) {
+      if (value == "data") {
+        options.strategy = sharing::Strategy::kDataShipping;
+      } else if (value == "query") {
+        options.strategy = sharing::Strategy::kQueryShipping;
+      } else if (value == "share") {
+        options.strategy = sharing::Strategy::kStreamSharing;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (ParseFlag(argv[i], "--queries", &value)) {
+      options.queries = static_cast<size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--items", &value)) {
+      options.items = static_cast<size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--widening") == 0) {
+      options.widening = true;
+    } else if (std::strcmp(argv[i], "--hierarchical") == 0) {
+      options.hierarchical = true;
+    } else if (std::strcmp(argv[i], "--enforce-limits") == 0) {
+      options.enforce_limits = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  workload::ScenarioSpec scenario;
+  if (options.scenario == "extended") {
+    scenario =
+        workload::ExtendedExampleScenario(options.seed, options.queries);
+  } else if (options.scenario == "grid") {
+    scenario = workload::GridScenario(options.seed, options.queries);
+  } else {
+    return Usage(argv[0]);
+  }
+
+  sharing::SystemConfig config;
+  config.planner.enable_widening = options.widening;
+  config.enforce_limits = options.enforce_limits;
+  if (options.hierarchical) {
+    // Quadrants for the grid; halves for the extended example.
+    size_t peers = scenario.topology.peer_count();
+    config.subnet_assignment.resize(peers);
+    if (options.scenario == "grid") {
+      for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+          config.subnet_assignment[r * 4 + c] =
+              (r >= 2 ? 2 : 0) + (c >= 2 ? 1 : 0);
+        }
+      }
+    } else {
+      config.subnet_assignment = {0, 1, 1, 1, 0, 0, 0, 1};
+    }
+  }
+  Result<workload::ScenarioRun> run = workload::RunScenario(
+      scenario, options.strategy, config, options.items);
+  if (!run.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 run.status().ToString().c_str());
+    return 2;
+  }
+
+  const network::Topology& topology = scenario.topology;
+  const engine::Metrics& metrics = run->system->metrics();
+  std::printf("scenario=%s strategy=%s queries=%zu items=%zu seed=%llu\n",
+              options.scenario.c_str(),
+              std::string(sharing::StrategyToString(options.strategy))
+                  .c_str(),
+              options.queries, options.items,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("accepted=%d rejected=%d duration=%.1fs\n\n", run->accepted,
+              run->rejected, run->duration_s);
+
+  std::printf("%-8s %14s %14s\n", "peer", "cpu %", "work units");
+  for (size_t peer = 0; peer < topology.peer_count(); ++peer) {
+    std::printf("%-8s %14.2f %14.1f\n", topology.peer(peer).name.c_str(),
+                metrics.PeerCpuPercent(static_cast<network::NodeId>(peer),
+                                       run->duration_s,
+                                       topology.peer(peer).max_load),
+                metrics.WorkAtPeer(static_cast<network::NodeId>(peer)));
+  }
+  std::printf("\n%-12s %14s %14s\n", "connection", "kbps", "bytes");
+  for (size_t link = 0; link < topology.link_count(); ++link) {
+    const network::Link& l = topology.link(link);
+    std::string label = std::to_string(l.a) + "-" + std::to_string(l.b);
+    std::printf("%-12s %14.2f %14llu\n", label.c_str(),
+                metrics.LinkKbps(static_cast<network::LinkId>(link),
+                                 run->duration_s),
+                static_cast<unsigned long long>(metrics.BytesOnLink(
+                    static_cast<network::LinkId>(link))));
+  }
+  std::printf("\ntotal bytes=%llu total work=%.1f streams=%zu\n",
+              static_cast<unsigned long long>(metrics.TotalBytes()),
+              metrics.TotalWork(),
+              run->system->registry().streams().size());
+  return 0;
+}

@@ -1,0 +1,94 @@
+// wxquery — run a WXQuery subscription over an XML document from the
+// command line (the local, network-free evaluator).
+//
+//   wxquery QUERY_FILE XML_FILE          evaluate and print the result
+//   wxquery --explain QUERY_FILE         parse/analyze and print the
+//                                        derived properties instead
+//
+// Exit code: 0 on success, 1 on usage errors, 2 on parse/analysis errors.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/local_query.h"
+#include "wxquery/analyzer.h"
+#include "xml/xml_writer.h"
+
+using namespace streamshare;
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Explain(const char* query_path) {
+  std::string query_text;
+  if (!ReadFile(query_path, &query_text)) {
+    std::fprintf(stderr, "cannot read %s\n", query_path);
+    return 1;
+  }
+  Result<wxquery::AnalyzedQuery> analyzed =
+      wxquery::ParseAndAnalyze(query_text);
+  if (!analyzed.ok()) {
+    std::fprintf(stderr, "%s\n", analyzed.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", analyzed->props.ToString().c_str());
+  for (const wxquery::StreamBinding& binding : analyzed->bindings) {
+    std::printf("binding $%s over stream '%s' (item path %s)\n",
+                binding.var.c_str(), binding.stream_name.c_str(),
+                binding.item_path.ToString().c_str());
+    if (binding.window.has_value()) {
+      std::printf("  window %s\n", binding.window->ToString().c_str());
+    }
+    if (binding.aggregate.has_value()) {
+      std::printf("  aggregate $%s := %s(%s)\n",
+                  binding.aggregate->var.c_str(),
+                  std::string(properties::AggregateFuncToString(
+                                  binding.aggregate->func))
+                      .c_str(),
+                  binding.aggregate->path.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--explain") {
+    return Explain(argv[2]);
+  }
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s QUERY_FILE XML_FILE\n"
+                 "       %s --explain QUERY_FILE\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+  std::string query_text, document;
+  if (!ReadFile(argv[1], &query_text)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[1]);
+    return 1;
+  }
+  if (!ReadFile(argv[2], &document)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  Result<engine::LocalQueryResult> result =
+      engine::RunLocalQuery(query_text, document);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", result->ToDocument().c_str());
+  return 0;
+}
