@@ -8,6 +8,10 @@ CombinePortOp::CombinePortOp(std::string label, CombineOp* parent,
                              size_t index)
     : Operator(std::move(label)), parent_(parent), index_(index) {}
 
+void CombinePortOp::AppendHardSuccessors(std::vector<Operator*>* out) {
+  out->push_back(parent_);
+}
+
 Status CombinePortOp::Process(const ItemPtr& item) {
   return parent_->BufferItem(index_, item);
 }

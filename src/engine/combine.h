@@ -34,6 +34,11 @@ class CombinePortOp : public Operator {
  public:
   CombinePortOp(std::string label, CombineOp* parent, size_t index);
 
+  /// The combiner is invoked through a direct pointer (all ports mutate
+  /// its buffers), so a partitioned executor must co-locate it with its
+  /// ports.
+  void AppendHardSuccessors(std::vector<Operator*>* out) override;
+
  protected:
   Status Process(const ItemPtr& item) override;
   Status OnFinish() override;

@@ -16,16 +16,22 @@ Status RunStreams(const std::vector<Operator*>& entries,
     return Status::InvalidArgument(
         "RunStreams: entries and item lists differ in count");
   }
-  size_t max_items = 0;
-  for (const auto& items : item_lists) {
-    max_items = std::max(max_items, items.size());
+  // Round-robin over the streams that still have items: exhausted streams
+  // drop out of `active` instead of being re-tested every round.
+  std::vector<size_t> cursors(entries.size(), 0);
+  std::vector<size_t> active;
+  active.reserve(entries.size());
+  for (size_t s = 0; s < entries.size(); ++s) {
+    if (!item_lists[s].empty()) active.push_back(s);
   }
-  for (size_t i = 0; i < max_items; ++i) {
-    for (size_t s = 0; s < entries.size(); ++s) {
-      if (i < item_lists[s].size()) {
-        SS_RETURN_IF_ERROR(entries[s]->Push(item_lists[s][i]));
-      }
+  while (!active.empty()) {
+    size_t write = 0;
+    for (size_t idx = 0; idx < active.size(); ++idx) {
+      size_t s = active[idx];
+      SS_RETURN_IF_ERROR(entries[s]->Push(item_lists[s][cursors[s]++]));
+      if (cursors[s] < item_lists[s].size()) active[write++] = s;
     }
+    active.resize(write);
   }
   if (finish) {
     for (Operator* entry : entries) {

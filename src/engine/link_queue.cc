@@ -1,0 +1,77 @@
+#include "engine/link_queue.h"
+
+#include <chrono>
+
+namespace streamshare::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(Clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           since)
+          .count());
+}
+
+}  // namespace
+
+LinkQueue::LinkQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void LinkQueue::Push(Entry entry) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (entries_.size() >= capacity_) {
+    Clock::time_point start = Clock::now();
+    not_full_.wait(lock, [this] { return entries_.size() < capacity_; });
+    producer_blocked_ns_.fetch_add(ElapsedNs(start),
+                                   std::memory_order_relaxed);
+  }
+  entries_.push_back(std::move(entry));
+  pushed_count_.fetch_add(1, std::memory_order_relaxed);
+  // The consumer only ever waits on an empty queue, so one entry is
+  // enough to wake it; notify under the lock to keep TSAN-obvious.
+  if (entries_.size() == 1) not_empty_.notify_one();
+}
+
+void LinkQueue::PushBatch(std::vector<Entry>* batch) {
+  if (batch->empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t pushed = 0;
+  for (Entry& entry : *batch) {
+    if (entries_.size() >= capacity_) {
+      if (pushed > 0) not_empty_.notify_one();
+      Clock::time_point start = Clock::now();
+      not_full_.wait(lock, [this] { return entries_.size() < capacity_; });
+      producer_blocked_ns_.fetch_add(ElapsedNs(start),
+                                     std::memory_order_relaxed);
+    }
+    entries_.push_back(std::move(entry));
+    ++pushed;
+  }
+  pushed_count_.fetch_add(pushed, std::memory_order_relaxed);
+  not_empty_.notify_one();
+  batch->clear();
+}
+
+void LinkQueue::PopBatch(std::vector<Entry>* out, size_t max_entries) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (entries_.empty()) {
+    Clock::time_point start = Clock::now();
+    not_empty_.wait(lock, [this] { return !entries_.empty(); });
+    consumer_blocked_ns_.fetch_add(ElapsedNs(start),
+                                   std::memory_order_relaxed);
+  }
+  size_t take = std::min(max_entries, entries_.size());
+  for (size_t i = 0; i < take; ++i) {
+    out->push_back(std::move(entries_.front()));
+    entries_.pop_front();
+  }
+  // Waking every blocked producer is correct (they re-check capacity) and
+  // cheap: producers block only when the queue was full, and we just made
+  // `take` slots.
+  not_full_.notify_all();
+}
+
+}  // namespace streamshare::engine

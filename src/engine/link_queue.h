@@ -1,0 +1,75 @@
+// Bounded MPSC handoff between execution workers. Every operator-graph
+// edge that crosses a peer partition (a LinkOp boundary in the deployed
+// network) is serviced by the consumer worker's LinkQueue: producers block
+// when the queue is full (backpressure, so a fast upstream peer cannot
+// flood a slow one), and each producer ends its stream with one poison
+// pill so the consumer knows when every input is drained.
+//
+// Blocked time is counted on both sides; the speedup bench reports it so
+// queue-capacity tuning is measurable rather than guessed.
+
+#ifndef STREAMSHARE_ENGINE_LINK_QUEUE_H_
+#define STREAMSHARE_ENGINE_LINK_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "engine/item.h"
+
+namespace streamshare::engine {
+
+class Operator;
+
+class LinkQueue {
+ public:
+  /// One handoff: deliver `item` to `target` on the consumer's thread.
+  /// A null target is a poison pill — "this producer is done".
+  struct Entry {
+    Operator* target = nullptr;
+    ItemPtr item;
+  };
+
+  explicit LinkQueue(size_t capacity);
+
+  /// Enqueues one entry, blocking while the queue is at capacity.
+  void Push(Entry entry);
+  /// Enqueues a whole batch in order, blocking for space as needed. The
+  /// batch is consumed (entries are moved out).
+  void PushBatch(std::vector<Entry>* batch);
+
+  /// Dequeues at least one and at most `max_entries` entries into `out`
+  /// (appended), blocking while the queue is empty.
+  void PopBatch(std::vector<Entry>* out, size_t max_entries);
+
+  size_t capacity() const { return capacity_; }
+  /// Total entries ever pushed (pills included).
+  uint64_t pushed_count() const {
+    return pushed_count_.load(std::memory_order_relaxed);
+  }
+  /// Nanoseconds producers spent blocked on a full queue.
+  uint64_t producer_blocked_ns() const {
+    return producer_blocked_ns_.load(std::memory_order_relaxed);
+  }
+  /// Nanoseconds the consumer spent blocked on an empty queue.
+  uint64_t consumer_blocked_ns() const {
+    return consumer_blocked_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Entry> entries_;
+  std::atomic<uint64_t> pushed_count_{0};
+  std::atomic<uint64_t> producer_blocked_ns_{0};
+  std::atomic<uint64_t> consumer_blocked_ns_{0};
+};
+
+}  // namespace streamshare::engine
+
+#endif  // STREAMSHARE_ENGINE_LINK_QUEUE_H_

@@ -9,6 +9,7 @@
 #define STREAMSHARE_ENGINE_OPERATOR_H_
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,7 +42,30 @@ class Operator {
         std::remove(downstreams_.begin(), downstreams_.end(), downstream),
         downstreams_.end());
   }
+  /// Swaps `from` for `to` in place, preserving emission order. Used by
+  /// the parallel executor to splice queue ports into cross-peer edges
+  /// (and to splice the original consumers back afterwards).
+  void ReplaceDownstream(Operator* from, Operator* to) {
+    std::replace(downstreams_.begin(), downstreams_.end(), from, to);
+  }
   const std::vector<Operator*>& downstreams() const { return downstreams_; }
+
+  /// Successors invoked through direct pointers rather than the
+  /// downstream list (e.g. a combine port feeding its combiner). They
+  /// share this operator's state unsynchronized, so a partitioned
+  /// executor must keep them on the same worker.
+  virtual void AppendHardSuccessors(std::vector<Operator*>*) {}
+
+  /// Metrics sinks this operator writes to (accounting, link traffic).
+  virtual void AppendMetricsTargets(std::vector<Metrics*>* out) {
+    if (metrics_ != nullptr) out->push_back(metrics_);
+  }
+  /// Redirects every metrics pointer currently equal to `from` to `to` —
+  /// the parallel executor points operators at per-worker shards for the
+  /// duration of a run, then back.
+  virtual void RebindMetrics(Metrics* from, Metrics* to) {
+    if (metrics_ == from) metrics_ = to;
+  }
 
   /// Bills `work_per_item` units to `peer` in `metrics` on every Push.
   void SetAccounting(Metrics* metrics, network::NodeId peer,
@@ -56,6 +80,16 @@ class Operator {
   Status Push(const ItemPtr& item) {
     if (metrics_ != nullptr) metrics_->AddWork(peer_, work_per_item_);
     return Process(item);
+  }
+
+  /// Feeds a batch of items. The default loops over Push (identical
+  /// accounting and semantics); dispatchers use it to amortize virtual
+  /// dispatch and queue handoff over a whole batch.
+  virtual Status PushBatch(std::span<const ItemPtr> items) {
+    for (const ItemPtr& item : items) {
+      SS_RETURN_IF_ERROR(Push(item));
+    }
+    return Status::Ok();
   }
 
   /// Signals end of stream; flushes buffered state downstream. Idempotent.
@@ -131,6 +165,15 @@ class LinkOp : public Operator {
  public:
   LinkOp(std::string label, Metrics* metrics, network::LinkId link)
       : Operator(std::move(label)), link_metrics_(metrics), link_(link) {}
+
+  void AppendMetricsTargets(std::vector<Metrics*>* out) override {
+    Operator::AppendMetricsTargets(out);
+    if (link_metrics_ != nullptr) out->push_back(link_metrics_);
+  }
+  void RebindMetrics(Metrics* from, Metrics* to) override {
+    Operator::RebindMetrics(from, to);
+    if (link_metrics_ == from) link_metrics_ = to;
+  }
 
  protected:
   Status Process(const ItemPtr& item) override;

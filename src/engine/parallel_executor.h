@@ -1,0 +1,84 @@
+// Peer-partitioned parallel execution of a deployed operator network.
+//
+// The serial executor pushes every item through every peer's operators on
+// one thread; here the operator graph is partitioned by the peer each
+// operator is deployed on (the paper's unit of concurrency — a super-peer
+// evaluates its resident operators independently), every edge that
+// crosses a partition is spliced onto a bounded MPSC LinkQueue, and one
+// worker thread drives each partition. Workers are formed in topological
+// order of the operator DAG: a peer's operators stay on one worker unless
+// that would close a cycle among workers — then the peer splits into a
+// second worker — so blocking pushes always point down a DAG and
+// backpressure cannot deadlock. (A Tarjan SCC pass remains as a safety
+// net for graphs that are themselves cyclic.)
+//
+// End of stream uses poison pills: each producer (the feeder, and every
+// upstream worker) enqueues one pill after its last item; once a worker
+// has collected all expected pills it calls Finish() on its boundary
+// operators — exactly once per operator, on the operator's own thread.
+//
+// Metrics are sharded per worker: operators are rebound to a worker-local
+// Metrics for the duration of the run (the hot path stays atomic-free)
+// and the shards are merged into the original Metrics at the end.
+
+#ifndef STREAMSHARE_ENGINE_PARALLEL_EXECUTOR_H_
+#define STREAMSHARE_ENGINE_PARALLEL_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace streamshare::engine {
+
+struct ParallelOptions {
+  /// Entries each worker's inbound queue holds before producers block.
+  size_t queue_capacity = 1024;
+  /// Max entries moved per queue handoff and per dispatch batch.
+  size_t batch_size = 64;
+};
+
+/// Per-worker observability for one Run (queue pressure, partition
+/// shape). Indexed by worker id.
+struct ParallelWorkerStats {
+  /// Peers whose operators run on this worker (usually exactly one; a
+  /// peer may also appear on several workers when its operators were
+  /// split to keep the worker handoff graph acyclic).
+  std::vector<network::NodeId> peers;
+  size_t operator_count = 0;
+  /// Entries pushed into this worker's queue, poison pills included.
+  uint64_t entries_received = 0;
+  /// Time producers spent blocked on this worker's full queue.
+  uint64_t producer_blocked_ns = 0;
+  /// Time this worker spent blocked waiting for input.
+  uint64_t consumer_blocked_ns = 0;
+};
+
+class ParallelExecutor {
+ public:
+  explicit ParallelExecutor(ParallelOptions options = ParallelOptions());
+
+  /// Feeds `item_lists[s]` into `entries[s]` (round-robin across streams,
+  /// per-stream order preserved), then signals end of stream — the same
+  /// single-shot contract as RunStreams(..., finish=true). The operator
+  /// graph is restored to its serial wiring before returning, so serial
+  /// and parallel runs can alternate on one deployment.
+  Status Run(const std::vector<Operator*>& entries,
+             const std::vector<std::vector<ItemPtr>>& item_lists);
+
+  /// Single-stream convenience, mirroring RunStream.
+  Status Run(Operator* entry, const std::vector<ItemPtr>& items);
+
+  /// Stats of the most recent Run.
+  const std::vector<ParallelWorkerStats>& worker_stats() const {
+    return worker_stats_;
+  }
+
+ private:
+  ParallelOptions options_;
+  std::vector<ParallelWorkerStats> worker_stats_;
+};
+
+}  // namespace streamshare::engine
+
+#endif  // STREAMSHARE_ENGINE_PARALLEL_EXECUTOR_H_

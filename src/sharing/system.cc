@@ -508,11 +508,27 @@ Status CollectEntries(
 Status StreamShareSystem::Run(
     const std::map<std::string, std::vector<engine::ItemPtr>>&
         items_by_stream) {
+  if (config_.executor == ExecutorKind::kParallel) {
+    return RunParallel(items_by_stream);
+  }
   std::vector<engine::Operator*> entries;
   std::vector<std::vector<engine::ItemPtr>> item_lists;
   SS_RETURN_IF_ERROR(CollectEntries(stream_entries_, items_by_stream,
                                     &entries, &item_lists));
   return engine::RunStreams(entries, item_lists, /*finish=*/true);
+}
+
+Status StreamShareSystem::RunParallel(
+    const std::map<std::string, std::vector<engine::ItemPtr>>&
+        items_by_stream) {
+  std::vector<engine::Operator*> entries;
+  std::vector<std::vector<engine::ItemPtr>> item_lists;
+  SS_RETURN_IF_ERROR(CollectEntries(stream_entries_, items_by_stream,
+                                    &entries, &item_lists));
+  engine::ParallelExecutor executor(config_.parallel);
+  Status status = executor.Run(entries, item_lists);
+  parallel_stats_ = executor.worker_stats();
+  return status;
 }
 
 Status StreamShareSystem::Feed(

@@ -20,6 +20,7 @@
 #include "engine/executor.h"
 #include "engine/metrics.h"
 #include "engine/operator.h"
+#include "engine/parallel_executor.h"
 #include "network/state.h"
 #include "network/stream_registry.h"
 #include "network/subnet.h"
@@ -35,6 +36,12 @@ enum class Strategy { kDataShipping, kQueryShipping, kStreamSharing };
 
 std::string_view StrategyToString(Strategy strategy);
 
+/// How Run() drives the deployed operator network: serial on the calling
+/// thread (the default and the correctness oracle), or partitioned by
+/// super-peer across worker threads with bounded queues on the peer
+/// boundaries.
+enum class ExecutorKind { kSerial, kParallel };
+
 struct SystemConfig {
   cost::CostParams cost_params;
   PlannerOptions planner;
@@ -49,6 +56,10 @@ struct SystemConfig {
   /// subnet first, escalating per `hierarchy` options.
   std::vector<int> subnet_assignment;
   HierarchicalOptions hierarchy;
+  /// Executor Run() uses; RunParallel() forces kParallel regardless.
+  ExecutorKind executor = ExecutorKind::kSerial;
+  /// Queue capacity / dispatch batching for the parallel executor.
+  engine::ParallelOptions parallel;
 };
 
 /// Outcome of registering one continuous query.
@@ -117,6 +128,20 @@ class StreamShareSystem {
   /// batches.
   Status Run(const std::map<std::string, std::vector<engine::ItemPtr>>&
                  items_by_stream);
+
+  /// Single-shot run on the peer-partitioned parallel executor (one
+  /// worker thread per super-peer partition, bounded queues on the peer
+  /// boundaries), regardless of the configured ExecutorKind. Results and
+  /// merged metrics match a serial Run of the same items.
+  Status RunParallel(
+      const std::map<std::string, std::vector<engine::ItemPtr>>&
+          items_by_stream);
+
+  /// Per-worker queue/blocking stats of the most recent parallel run
+  /// (empty if no parallel run happened yet).
+  const std::vector<engine::ParallelWorkerStats>& parallel_stats() const {
+    return parallel_stats_;
+  }
 
   /// Continuous operation: feeds a batch without signalling end of
   /// stream. Subscriptions may be registered and deregistered between
@@ -199,6 +224,7 @@ class StreamShareSystem {
   std::vector<RegistrationResult> registrations_;
   /// Indexed by query id (one entry per registration, rejected included).
   std::vector<QueryDeployment> deployments_;
+  std::vector<engine::ParallelWorkerStats> parallel_stats_;
 };
 
 }  // namespace streamshare::sharing

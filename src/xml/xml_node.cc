@@ -29,11 +29,13 @@ size_t EscapedSize(std::string_view text) {
 
 XmlNode* XmlNode::AddChild(std::string name) {
   children_.push_back(std::make_unique<XmlNode>(std::move(name)));
+  cached_size_.store(0, std::memory_order_relaxed);
   return children_.back().get();
 }
 
 XmlNode* XmlNode::AddChild(std::unique_ptr<XmlNode> child) {
   children_.push_back(std::move(child));
+  cached_size_.store(0, std::memory_order_relaxed);
   return children_.back().get();
 }
 
@@ -65,6 +67,8 @@ std::unique_ptr<XmlNode> XmlNode::Clone() const {
   for (const auto& child : children_) {
     copy->children_.push_back(child->Clone());
   }
+  copy->cached_size_.store(cached_size_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
   return copy;
 }
 
@@ -80,14 +84,19 @@ bool XmlNode::Equals(const XmlNode& other) const {
 }
 
 size_t XmlNode::SerializedSize() const {
+  size_t cached = cached_size_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  size_t size;
   if (children_.empty() && text_.empty()) {
-    return name_.size() + 3;  // <name/>
+    size = name_.size() + 3;  // <name/>
+  } else {
+    size = 2 * name_.size() + 5;  // <name> ... </name>
+    size += EscapedSize(text_);
+    for (const auto& child : children_) {
+      size += child->SerializedSize();
+    }
   }
-  size_t size = 2 * name_.size() + 5;  // <name> ... </name>
-  size += EscapedSize(text_);
-  for (const auto& child : children_) {
-    size += child->SerializedSize();
-  }
+  cached_size_.store(size, std::memory_order_relaxed);
   return size;
 }
 

@@ -6,6 +6,7 @@
 #ifndef STREAMSHARE_XML_XML_NODE_H_
 #define STREAMSHARE_XML_XML_NODE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -22,8 +23,14 @@ class XmlNode {
 
   const std::string& name() const { return name_; }
   const std::string& text() const { return text_; }
-  void set_text(std::string text) { text_ = std::move(text); }
-  void append_text(std::string_view text) { text_.append(text); }
+  void set_text(std::string text) {
+    text_ = std::move(text);
+    cached_size_.store(0, std::memory_order_relaxed);
+  }
+  void append_text(std::string_view text) {
+    text_.append(text);
+    cached_size_.store(0, std::memory_order_relaxed);
+  }
 
   const std::vector<std::unique_ptr<XmlNode>>& children() const {
     return children_;
@@ -52,12 +59,20 @@ class XmlNode {
 
   /// Total serialized size in bytes (tags + text), matching XmlWriter's
   /// compact output. Used by the cost model and traffic accounting.
+  /// Memoized on first call: stream items are immutable once flowing, and
+  /// every link and sink they cross re-asks for the size. Mutating this
+  /// node invalidates its own cache but not an ancestor's — compute sizes
+  /// only once a subtree is fully built (items are const after MakeItem).
   size_t SerializedSize() const;
 
  private:
   std::string name_;
   std::string text_;
   std::vector<std::unique_ptr<XmlNode>> children_;
+  /// 0 = not yet computed (a node never serializes to 0 bytes). Atomic so
+  /// concurrent first calls from parallel workers are a benign double
+  /// compute, not a data race.
+  mutable std::atomic<size_t> cached_size_{0};
 };
 
 }  // namespace streamshare::xml

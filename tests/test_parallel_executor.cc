@@ -1,0 +1,315 @@
+// The parallel executor's contract: results item-for-item identical to
+// the serial executor (per-stream order preserved), merged metrics equal
+// to serial metrics, backpressure on tiny queues without deadlock, and
+// clean error propagation across workers.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/link_queue.h"
+#include "engine/parallel_executor.h"
+#include "workload/scenario.h"
+
+namespace streamshare {
+namespace {
+
+using engine::ItemPtr;
+using engine::LinkQueue;
+using engine::Operator;
+using engine::ParallelExecutor;
+using engine::ParallelOptions;
+
+ItemPtr Leaf(const std::string& name, const std::string& text) {
+  auto node = std::make_unique<xml::XmlNode>(name);
+  node->set_text(text);
+  return engine::MakeItem(std::move(node));
+}
+
+TEST(LinkQueueTest, BoundedFifoAcrossThreads) {
+  LinkQueue queue(/*capacity=*/4);
+  engine::OperatorGraph graph;
+  Operator* target = graph.Add<engine::PassOp>("t");
+
+  constexpr int kCount = 1000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      queue.Push(LinkQueue::Entry{target, Leaf("n", std::to_string(i))});
+    }
+    queue.Push(LinkQueue::Entry{nullptr, nullptr});  // pill
+  });
+
+  std::vector<LinkQueue::Entry> batch;
+  int next = 0;
+  bool done = false;
+  while (!done) {
+    batch.clear();
+    queue.PopBatch(&batch, 16);
+    EXPECT_LE(batch.size(), 16u);
+    for (LinkQueue::Entry& entry : batch) {
+      if (entry.target == nullptr) {
+        done = true;
+        continue;
+      }
+      EXPECT_EQ(entry.item->text(), std::to_string(next));
+      ++next;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(next, kCount);
+  EXPECT_EQ(queue.pushed_count(), static_cast<uint64_t>(kCount + 1));
+  // Capacity 4 against 1000 items: the producer must have hit a full
+  // queue at least once.
+  EXPECT_GT(queue.producer_blocked_ns(), 0u);
+}
+
+TEST(LinkQueueTest, PushBatchKeepsOrderAndRespectsCapacity) {
+  LinkQueue queue(/*capacity=*/2);
+  engine::OperatorGraph graph;
+  Operator* target = graph.Add<engine::PassOp>("t");
+
+  std::vector<LinkQueue::Entry> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.push_back(LinkQueue::Entry{target, Leaf("n", std::to_string(i))});
+  }
+  std::thread producer([&] { queue.PushBatch(&batch); });
+
+  std::vector<LinkQueue::Entry> out;
+  while (out.size() < 100) {
+    queue.PopBatch(&out, 7);
+  }
+  producer.join();
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i].item->text(), std::to_string(i));
+  }
+  EXPECT_TRUE(batch.empty());  // consumed by PushBatch
+}
+
+TEST(RunStreamsTest, SkipsExhaustedStreamsRoundRobin) {
+  engine::OperatorGraph graph;
+  auto* sink_a = graph.Add<engine::SinkOp>("a", /*keep_items=*/true);
+  auto* sink_b = graph.Add<engine::SinkOp>("b", /*keep_items=*/true);
+  // Unequal lengths: stream B exhausts first, A must keep flowing.
+  std::vector<ItemPtr> a_items, b_items;
+  for (int i = 0; i < 5; ++i) a_items.push_back(Leaf("a", std::to_string(i)));
+  for (int i = 0; i < 2; ++i) b_items.push_back(Leaf("b", std::to_string(i)));
+  ASSERT_TRUE(
+      engine::RunStreams({sink_a, sink_b}, {a_items, b_items}).ok());
+  ASSERT_EQ(sink_a->item_count(), 5u);
+  ASSERT_EQ(sink_b->item_count(), 2u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sink_a->items()[i]->text(), std::to_string(i));
+  }
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(sink_b->items()[i]->text(), std::to_string(i));
+  }
+}
+
+/// Runs the extended-example scenario (Fig. 6: 8 super-peers, 25 queries)
+/// serial and parallel on two identically-built systems and demands
+/// item-for-item identical sink contents and equal merged metrics.
+void ExpectParallelMatchesSerial(const engine::ParallelOptions& options) {
+  workload::ScenarioSpec scenario =
+      workload::ExtendedExampleScenario(/*seed=*/11, /*query_count=*/25);
+
+  sharing::SystemConfig serial_config;
+  serial_config.keep_results = true;
+
+  sharing::SystemConfig parallel_config = serial_config;
+  parallel_config.executor = sharing::ExecutorKind::kParallel;
+  parallel_config.parallel = options;
+
+  constexpr size_t kItems = 400;
+  Result<workload::ScenarioRun> serial = workload::RunScenario(
+      scenario, sharing::Strategy::kStreamSharing, serial_config, kItems);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  Result<workload::ScenarioRun> parallel = workload::RunScenario(
+      scenario, sharing::Strategy::kStreamSharing, parallel_config, kItems);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  const auto& serial_regs = serial->system->registrations();
+  const auto& parallel_regs = parallel->system->registrations();
+  ASSERT_EQ(serial_regs.size(), parallel_regs.size());
+  size_t sinks_with_output = 0;
+  for (size_t q = 0; q < serial_regs.size(); ++q) {
+    if (serial_regs[q].sink == nullptr) {
+      EXPECT_EQ(parallel_regs[q].sink, nullptr);
+      continue;
+    }
+    const auto& expect_items = serial_regs[q].sink->items();
+    const auto& got_items = parallel_regs[q].sink->items();
+    ASSERT_EQ(expect_items.size(), got_items.size())
+        << "query " << q << " result count diverged";
+    if (!expect_items.empty()) ++sinks_with_output;
+    for (size_t i = 0; i < expect_items.size(); ++i) {
+      EXPECT_TRUE(expect_items[i]->Equals(*got_items[i]))
+          << "query " << q << " item " << i << " diverged";
+    }
+  }
+  EXPECT_GT(sinks_with_output, 0u) << "workload produced no output at all";
+
+  // Merged shard metrics must equal the serial counters: bytes and
+  // invocation counts exactly, work within FP merge tolerance.
+  const engine::Metrics& sm = serial->system->metrics();
+  const engine::Metrics& pm = parallel->system->metrics();
+  ASSERT_EQ(sm.link_count(), pm.link_count());
+  ASSERT_EQ(sm.peer_count(), pm.peer_count());
+  for (size_t link = 0; link < sm.link_count(); ++link) {
+    EXPECT_EQ(sm.BytesOnLink(static_cast<int>(link)),
+              pm.BytesOnLink(static_cast<int>(link)))
+        << "link " << link;
+  }
+  for (size_t peer = 0; peer < sm.peer_count(); ++peer) {
+    EXPECT_EQ(sm.OperatorInvocationsAtPeer(static_cast<int>(peer)),
+              pm.OperatorInvocationsAtPeer(static_cast<int>(peer)))
+        << "peer " << peer;
+    EXPECT_NEAR(sm.WorkAtPeer(static_cast<int>(peer)),
+                pm.WorkAtPeer(static_cast<int>(peer)),
+                1e-6 * (1.0 + sm.WorkAtPeer(static_cast<int>(peer))))
+        << "peer " << peer;
+  }
+
+  // The deployment spans several peers, so the run must actually have
+  // been partitioned across more than one worker.
+  EXPECT_GT(parallel->system->parallel_stats().size(), 1u);
+}
+
+TEST(ParallelExecutorTest, MatchesSerialOnExtendedWorkload) {
+  ExpectParallelMatchesSerial(engine::ParallelOptions{});
+}
+
+TEST(ParallelExecutorTest, TinyQueueBackpressureWithoutDeadlock) {
+  engine::ParallelOptions options;
+  options.queue_capacity = 1;  // every handoff hits a full queue
+  options.batch_size = 1;
+  ExpectParallelMatchesSerial(options);
+}
+
+TEST(ParallelExecutorTest, RestoresSerialWiringAndShardedMetrics) {
+  // Two peers joined by one link: entry and link op bill peer 0, the
+  // sink's upstream pass bills peer 1 — the edge between them crosses a
+  // worker boundary and gets a queue spliced in for the run. Afterwards
+  // the downstream lists must be byte-for-byte the serial wiring again,
+  // and the merged metrics must equal a serial run's.
+  network::Topology topology;
+  network::NodeId p0 = topology.AddPeer("SP0");
+  network::NodeId p1 = topology.AddPeer("SP1");
+  Result<network::LinkId> link = topology.AddLink(p0, p1);
+  ASSERT_TRUE(link.ok());
+
+  auto build = [&](engine::OperatorGraph* graph, engine::Metrics* metrics,
+                   engine::Operator** entry_out,
+                   engine::SinkOp** sink_out) {
+    auto* entry = graph->Add<engine::PassOp>("entry");
+    auto* link_op =
+        graph->Add<engine::LinkOp>("link", metrics, *link);
+    auto* remote = graph->Add<engine::PassOp>("remote");
+    auto* sink = graph->Add<engine::SinkOp>("sink", /*keep_items=*/true);
+    entry->SetAccounting(metrics, p0, 1.0);
+    link_op->SetAccounting(metrics, p0, 0.5);
+    remote->SetAccounting(metrics, p1, 2.0);
+    entry->AddDownstream(link_op);
+    link_op->AddDownstream(remote);
+    remote->AddDownstream(sink);
+    *entry_out = entry;
+    *sink_out = sink;
+  };
+
+  std::vector<ItemPtr> items;
+  for (int i = 0; i < 200; ++i) items.push_back(Leaf("n", std::to_string(i)));
+
+  engine::OperatorGraph serial_graph;
+  engine::Metrics serial_metrics(topology);
+  engine::Operator* serial_entry = nullptr;
+  engine::SinkOp* serial_sink = nullptr;
+  build(&serial_graph, &serial_metrics, &serial_entry, &serial_sink);
+  ASSERT_TRUE(engine::RunStream(serial_entry, items).ok());
+
+  engine::OperatorGraph graph;
+  engine::Metrics metrics(topology);
+  engine::Operator* entry = nullptr;
+  engine::SinkOp* sink = nullptr;
+  build(&graph, &metrics, &entry, &sink);
+  std::vector<std::vector<Operator*>> before;
+  for (Operator* op = entry; op != nullptr;
+       op = op->downstreams().empty() ? nullptr : op->downstreams()[0]) {
+    before.push_back(op->downstreams());
+  }
+
+  ParallelOptions options;
+  options.queue_capacity = 8;  // force some backpressure
+  ParallelExecutor executor(options);
+  ASSERT_TRUE(executor.Run(entry, items).ok());
+  EXPECT_EQ(executor.worker_stats().size(), 2u);
+
+  std::vector<std::vector<Operator*>> after;
+  for (Operator* op = entry; op != nullptr;
+       op = op->downstreams().empty() ? nullptr : op->downstreams()[0]) {
+    after.push_back(op->downstreams());
+  }
+  EXPECT_EQ(before, after);
+
+  ASSERT_EQ(sink->item_count(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(sink->items()[i]->text(), std::to_string(i));
+  }
+  EXPECT_EQ(metrics.BytesOnLink(*link), serial_metrics.BytesOnLink(*link));
+  EXPECT_EQ(metrics.OperatorInvocationsAtPeer(p0),
+            serial_metrics.OperatorInvocationsAtPeer(p0));
+  EXPECT_EQ(metrics.OperatorInvocationsAtPeer(p1),
+            serial_metrics.OperatorInvocationsAtPeer(p1));
+  EXPECT_DOUBLE_EQ(metrics.WorkAtPeer(p0), serial_metrics.WorkAtPeer(p0));
+  EXPECT_DOUBLE_EQ(metrics.WorkAtPeer(p1), serial_metrics.WorkAtPeer(p1));
+}
+
+/// An operator that fails after a fixed number of items — exercises error
+/// propagation out of a worker thread.
+class FailAfterOp final : public Operator {
+ public:
+  FailAfterOp(std::string label, int fail_after)
+      : Operator(std::move(label)), remaining_(fail_after) {}
+
+ protected:
+  Status Process(const ItemPtr& item) override {
+    if (remaining_-- <= 0) {
+      return Status::Internal("injected failure");
+    }
+    return Emit(item);
+  }
+
+ private:
+  int remaining_;
+};
+
+TEST(ParallelExecutorTest, PropagatesOperatorErrorWithoutHanging) {
+  engine::OperatorGraph graph;
+  auto* entry = graph.Add<engine::PassOp>("entry");
+  auto* fail = graph.Add<FailAfterOp>("fail", 10);
+  auto* sink = graph.Add<engine::SinkOp>("sink");
+  entry->AddDownstream(fail);
+  fail->AddDownstream(sink);
+
+  std::vector<ItemPtr> items;
+  for (int i = 0; i < 1000; ++i) items.push_back(Leaf("n", "x"));
+
+  ParallelExecutor executor;
+  Status status = executor.Run(entry, items);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("injected failure"), std::string::npos);
+}
+
+TEST(ParallelExecutorTest, EmptyStreamStillFinishes) {
+  engine::OperatorGraph graph;
+  auto* entry = graph.Add<engine::PassOp>("entry");
+  auto* sink = graph.Add<engine::SinkOp>("sink", /*keep_items=*/true);
+  entry->AddDownstream(sink);
+  ParallelExecutor executor;
+  ASSERT_TRUE(executor.Run(entry, {}).ok());
+  EXPECT_EQ(sink->item_count(), 0u);
+}
+
+}  // namespace
+}  // namespace streamshare
