@@ -9,6 +9,7 @@
 // starting with '#'); pipe through tools/bench_to_json to persist
 // BENCH_engine.json. Usage: bench_parallel_speedup [items_per_stream]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -112,11 +113,13 @@ int main(int argc, char** argv) {
   }
 
   uint64_t producer_blocked_ns = 0, consumer_blocked_ns = 0;
+  uint64_t max_queue_depth = 0;
   size_t workers = (*parallel)->parallel_stats().size();
   for (const engine::ParallelWorkerStats& stats :
        (*parallel)->parallel_stats()) {
     producer_blocked_ns += stats.producer_blocked_ns;
     consumer_blocked_ns += stats.consumer_blocked_ns;
+    max_queue_depth = std::max(max_queue_depth, stats.max_queue_depth);
   }
 
   double serial_rate = static_cast<double>(total_items) / serial_s;
@@ -144,6 +147,9 @@ int main(int argc, char** argv) {
               static_cast<double>(producer_blocked_ns) / 1e6);
   std::printf("consumer_blocked_ms=%.3f\n",
               static_cast<double>(consumer_blocked_ns) / 1e6);
+  std::printf("queue_max_depth=%llu\n",
+              static_cast<unsigned long long>(max_queue_depth));
+  std::printf("queue_capacity=%zu\n", config.parallel.queue_capacity);
   if (!identical) {
     std::fprintf(stderr,
                  "FAIL: parallel output is not identical to serial\n");

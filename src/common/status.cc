@@ -32,6 +32,17 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "unknown";
 }
 
+std::string JoinContext(std::string_view outer, std::string_view inner) {
+  if (outer.empty()) return std::string(inner);
+  if (inner.empty()) return std::string(outer);
+  std::string out;
+  out.reserve(outer.size() + 2 + inner.size());
+  out.append(outer);
+  out.append(": ");
+  out.append(inner);
+  return out;
+}
+
 Status::Status(StatusCode code, std::string message) {
   assert(code != StatusCode::kOk && "use Status::Ok() for success");
   state_ = std::make_shared<const State>(State{code, std::move(message)});
@@ -43,20 +54,12 @@ const std::string& Status::message() const {
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out(StatusCodeToString(code()));
-  if (!message().empty()) {
-    out += ": ";
-    out += message();
-  }
-  return out;
+  return JoinContext(StatusCodeToString(code()), message());
 }
 
 Status Status::WithContext(std::string_view context) const {
   if (ok()) return *this;
-  std::string msg(context);
-  msg += ": ";
-  msg += message();
-  return Status(code(), std::move(msg));
+  return Status(code(), JoinContext(context, message()));
 }
 
 std::ostream& operator<<(std::ostream& os, const Status& status) {

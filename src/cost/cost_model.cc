@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "obs/metrics_registry.h"
+
 #include "matching/match_properties.h"
 
 namespace streamshare::cost {
@@ -108,6 +110,10 @@ double CostModel::SelectionSelectivity(
 
 Result<StreamEstimate> CostModel::EstimateStream(
     const InputStreamProperties& props) const {
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Default().GetCounter(
+          "cost.estimate_stream.calls");
+  if (obs::Enabled()) calls->Add(1);
   const StreamStatistics* stats = statistics_->Find(props.stream_name);
   if (stats == nullptr) {
     return Status::NotFound("no statistics registered for stream '" +
@@ -277,6 +283,9 @@ double CostModel::OperatorLoad(const Operator& op, double pindex,
 
 double PlanCost(const std::vector<ResourceUsage>& connections,
                 const std::vector<ResourceUsage>& peers, double gamma) {
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Default().GetCounter("cost.plan_cost.calls");
+  if (obs::Enabled()) calls->Add(1);
   auto term = [](const ResourceUsage& usage) {
     double overload = usage.added - usage.available;
     double penalty =

@@ -1,12 +1,36 @@
 #include "engine/executor.h"
 
+#include "obs/event_log.h"
+
 namespace streamshare::engine {
+
+std::string OperatorContext(std::string_view action, const Operator& op) {
+  return std::string(action) + " " + op.label();
+}
+
+Status WrapOperatorFailure(Status status, std::string_view action,
+                           const Operator& op) {
+  obs::EventLog& log = obs::EventLog::Default();
+  if (log.ShouldLog(obs::Severity::kError)) {
+    log.Log(obs::Severity::kError, "engine", "operator failed",
+            {obs::F("action", action), obs::F("operator", op.label()),
+             obs::F("status", status.ToString())});
+  }
+  return status.WithContext(OperatorContext(action, op));
+}
 
 Status RunStream(Operator* entry, const std::vector<ItemPtr>& items) {
   for (const ItemPtr& item : items) {
-    SS_RETURN_IF_ERROR(entry->Push(item));
+    Status status = entry->Push(item);
+    if (!status.ok()) {
+      return WrapOperatorFailure(std::move(status), "push", *entry);
+    }
   }
-  return entry->Finish();
+  Status status = entry->Finish();
+  if (!status.ok()) {
+    return WrapOperatorFailure(std::move(status), "finish", *entry);
+  }
+  return Status::Ok();
 }
 
 Status RunStreams(const std::vector<Operator*>& entries,
@@ -28,14 +52,20 @@ Status RunStreams(const std::vector<Operator*>& entries,
     size_t write = 0;
     for (size_t idx = 0; idx < active.size(); ++idx) {
       size_t s = active[idx];
-      SS_RETURN_IF_ERROR(entries[s]->Push(item_lists[s][cursors[s]++]));
+      Status status = entries[s]->Push(item_lists[s][cursors[s]++]);
+      if (!status.ok()) {
+        return WrapOperatorFailure(std::move(status), "push", *entries[s]);
+      }
       if (cursors[s] < item_lists[s].size()) active[write++] = s;
     }
     active.resize(write);
   }
   if (finish) {
     for (Operator* entry : entries) {
-      SS_RETURN_IF_ERROR(entry->Finish());
+      Status status = entry->Finish();
+      if (!status.ok()) {
+        return WrapOperatorFailure(std::move(status), "finish", *entry);
+      }
     }
   }
   return Status::Ok();

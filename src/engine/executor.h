@@ -6,11 +6,24 @@
 #define STREAMSHARE_ENGINE_EXECUTOR_H_
 
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "engine/operator.h"
 
 namespace streamshare::engine {
+
+/// Canonical context prefix for a Status escaping `op` during `action`
+/// ("push" or "finish"): "<action> <label>". Both the serial and the
+/// parallel executor wrap operator failures through WrapOperatorFailure,
+/// so a failing query reports the same string either way.
+std::string OperatorContext(std::string_view action, const Operator& op);
+
+/// Prefixes `status` with OperatorContext and emits an error event to the
+/// default obs::EventLog (when a sink is installed).
+Status WrapOperatorFailure(Status status, std::string_view action,
+                           const Operator& op);
 
 /// Owns a set of operators wired into a dataflow graph.
 class OperatorGraph {

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace streamshare::engine {
 
 namespace {
@@ -15,6 +17,18 @@ uint64_t ElapsedNs(Clock::time_point since) {
           .count());
 }
 
+/// Records the just-finished blocked interval on the calling thread's
+/// trace track, so stalls show up as explicit spans in chrome://tracing.
+void TraceBlocked(const char* name, uint64_t blocked_ns) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+  if (!recorder.enabled()) return;
+  uint64_t duration_us = blocked_ns / 1000;
+  uint64_t end_us = recorder.NowMicros();
+  recorder.RecordComplete(name, "queue",
+                          end_us > duration_us ? end_us - duration_us : 0,
+                          duration_us, {});
+}
+
 }  // namespace
 
 LinkQueue::LinkQueue(size_t capacity)
@@ -25,10 +39,12 @@ void LinkQueue::Push(Entry entry) {
   if (entries_.size() >= capacity_) {
     Clock::time_point start = Clock::now();
     not_full_.wait(lock, [this] { return entries_.size() < capacity_; });
-    producer_blocked_ns_.fetch_add(ElapsedNs(start),
-                                   std::memory_order_relaxed);
+    uint64_t blocked = ElapsedNs(start);
+    producer_blocked_ns_.fetch_add(blocked, std::memory_order_relaxed);
+    TraceBlocked("queue.blocked.producer", blocked);
   }
   entries_.push_back(std::move(entry));
+  NoteDepthLocked();
   pushed_count_.fetch_add(1, std::memory_order_relaxed);
   // The consumer only ever waits on an empty queue, so one entry is
   // enough to wake it; notify under the lock to keep TSAN-obvious.
@@ -44,10 +60,12 @@ void LinkQueue::PushBatch(std::vector<Entry>* batch) {
       if (pushed > 0) not_empty_.notify_one();
       Clock::time_point start = Clock::now();
       not_full_.wait(lock, [this] { return entries_.size() < capacity_; });
-      producer_blocked_ns_.fetch_add(ElapsedNs(start),
-                                     std::memory_order_relaxed);
+      uint64_t blocked = ElapsedNs(start);
+      producer_blocked_ns_.fetch_add(blocked, std::memory_order_relaxed);
+      TraceBlocked("queue.blocked.producer", blocked);
     }
     entries_.push_back(std::move(entry));
+    NoteDepthLocked();
     ++pushed;
   }
   pushed_count_.fetch_add(pushed, std::memory_order_relaxed);
@@ -60,8 +78,9 @@ void LinkQueue::PopBatch(std::vector<Entry>* out, size_t max_entries) {
   if (entries_.empty()) {
     Clock::time_point start = Clock::now();
     not_empty_.wait(lock, [this] { return !entries_.empty(); });
-    consumer_blocked_ns_.fetch_add(ElapsedNs(start),
-                                   std::memory_order_relaxed);
+    uint64_t blocked = ElapsedNs(start);
+    consumer_blocked_ns_.fetch_add(blocked, std::memory_order_relaxed);
+    TraceBlocked("queue.blocked.consumer", blocked);
   }
   size_t take = std::min(max_entries, entries_.size());
   for (size_t i = 0; i < take; ++i) {

@@ -58,8 +58,20 @@ class LinkQueue {
   uint64_t consumer_blocked_ns() const {
     return consumer_blocked_ns_.load(std::memory_order_relaxed);
   }
+  /// High-water mark of the queue depth (pills included). Shows how close
+  /// the queue came to its capacity, i.e. whether backpressure engaged.
+  uint64_t max_depth() const {
+    return max_depth_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Called with mu_ held after every insertion.
+  void NoteDepthLocked() {
+    uint64_t depth = entries_.size();
+    if (depth > max_depth_.load(std::memory_order_relaxed))
+      max_depth_.store(depth, std::memory_order_relaxed);
+  }
+
   const size_t capacity_;
   std::mutex mu_;
   std::condition_variable not_full_;
@@ -68,6 +80,7 @@ class LinkQueue {
   std::atomic<uint64_t> pushed_count_{0};
   std::atomic<uint64_t> producer_blocked_ns_{0};
   std::atomic<uint64_t> consumer_blocked_ns_{0};
+  std::atomic<uint64_t> max_depth_{0};
 };
 
 }  // namespace streamshare::engine

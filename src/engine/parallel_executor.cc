@@ -10,12 +10,36 @@
 #include <unordered_map>
 #include <utility>
 
+#include "engine/executor.h"
 #include "engine/link_queue.h"
 #include "engine/metrics.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace streamshare::engine {
 
 namespace {
+
+/// Registry series fed by every parallel run. Looked up once; updates are
+/// per-shard relaxed adds on the worker's pinned shard.
+struct ParallelSeries {
+  obs::Counter* items;
+  obs::Counter* batches;
+  obs::Histogram* batch_items;
+
+  static const ParallelSeries& Get() {
+    static const ParallelSeries series = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      return ParallelSeries{
+          registry.GetCounter("engine.parallel.items"),
+          registry.GetCounter("engine.parallel.batches"),
+          registry.GetHistogram("engine.parallel.batch_items",
+                                obs::Histogram::ExponentialBounds(1, 2, 12)),
+      };
+    }();
+    return series;
+  }
+};
 
 /// Sending half of a cross-worker edge: buffers emitted items and flushes
 /// them onto the consumer worker's queue in batches. Lives on the
@@ -166,6 +190,26 @@ class AbortState {
 
 void WorkerMain(WorkerPlan* plan, std::vector<WorkerPlan>* all,
                 size_t batch_size, AbortState* abort) {
+  size_t worker_index = static_cast<size_t>(plan - all->data());
+  // Pin this worker's registry updates to its own shard so worker
+  // threads never contend on a metric cache line.
+  obs::ScopedShard pinned(worker_index);
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+  if (recorder.enabled()) {
+    std::string name = "worker-" + std::to_string(worker_index);
+    if (!plan->peers.empty()) {
+      name += " [";
+      for (size_t i = 0; i < plan->peers.size(); ++i) {
+        if (i > 0) name += ",";
+        name += "SP" + std::to_string(plan->peers[i]);
+      }
+      name += "]";
+    }
+    recorder.SetThreadName(std::move(name));
+  }
+  const ParallelSeries& series = ParallelSeries::Get();
+  const bool count_metrics = obs::Enabled();
+
   std::vector<LinkQueue::Entry> batch;
   batch.reserve(batch_size);
   std::vector<ItemPtr> scratch;
@@ -191,15 +235,37 @@ void WorkerMain(WorkerPlan* plan, std::vector<WorkerPlan>* all,
         scratch.push_back(std::move(batch[idx].item));
         ++idx;
       }
+      uint64_t span_start = 0;
+      const bool tracing = recorder.enabled();
+      if (tracing) span_start = recorder.NowMicros();
       Status status = target->PushBatch(scratch);
-      if (!status.ok()) abort->Record(std::move(status));
+      if (tracing) {
+        recorder.RecordComplete(
+            target->label(), "op", span_start,
+            recorder.NowMicros() - span_start,
+            {obs::TraceArg::Num("items",
+                                static_cast<double>(scratch.size()))});
+      }
+      if (count_metrics) {
+        series.items->AddToShard(worker_index, scratch.size());
+        series.batches->AddToShard(worker_index, 1);
+        series.batch_items->ObserveToShard(
+            worker_index, static_cast<double>(scratch.size()));
+      }
+      if (!status.ok()) {
+        abort->Record(
+            WrapOperatorFailure(std::move(status), "push", *target));
+      }
     }
   }
   if (!abort->aborted()) {
     for (Operator* root : plan->roots) {
+      obs::TraceSpan finish_span(&recorder, "finish:" + root->label(),
+                                 "op");
       Status status = root->Finish();
       if (!status.ok()) {
-        abort->Record(std::move(status));
+        abort->Record(
+            WrapOperatorFailure(std::move(status), "finish", *root));
         break;
       }
     }
@@ -513,6 +579,12 @@ Status ParallelExecutor::Run(
   }
 
   // --- Run: one thread per worker, the calling thread feeds. ---
+  obs::TraceSpan run_span(&obs::TraceRecorder::Default(), "parallel.run",
+                          "engine");
+  run_span.AddArg(
+      obs::TraceArg::Num("workers", static_cast<double>(worker_count)));
+  run_span.AddArg(
+      obs::TraceArg::Num("operators", static_cast<double>(ops.size())));
   AbortState abort;
   std::vector<std::thread> threads;
   threads.reserve(worker_count);
@@ -576,6 +648,7 @@ Status ParallelExecutor::Run(
     stats.entries_received = plan.queue->pushed_count();
     stats.producer_blocked_ns = plan.queue->producer_blocked_ns();
     stats.consumer_blocked_ns = plan.queue->consumer_blocked_ns();
+    stats.max_queue_depth = plan.queue->max_depth();
     worker_stats_.push_back(std::move(stats));
   }
   return abort.TakeStatus();

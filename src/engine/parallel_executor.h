@@ -52,6 +52,8 @@ struct ParallelWorkerStats {
   uint64_t producer_blocked_ns = 0;
   /// Time this worker spent blocked waiting for input.
   uint64_t consumer_blocked_ns = 0;
+  /// High-water mark of this worker's queue depth (pills included).
+  uint64_t max_queue_depth = 0;
 };
 
 class ParallelExecutor {

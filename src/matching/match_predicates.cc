@@ -1,5 +1,8 @@
 #include "matching/match_predicates.h"
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
 namespace streamshare::matching {
 
 using predicate::PredicateGraph;
@@ -26,6 +29,12 @@ bool EdgeImplies(const PredicateGraph& stream_graph,
 
 bool MatchPredicatesEdgeLocal(const PredicateGraph& stream_graph,
                               const PredicateGraph& sub_graph) {
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Default().GetCounter(
+          "matching.predicates.edge_local");
+  if (obs::Enabled()) calls->Add(1);
+  obs::TraceSpan span(&obs::TraceRecorder::Default(),
+                      "MatchPredicates.edge_local", "matching");
   const auto& nodes = stream_graph.nodes();
   for (size_t v = 0; v < nodes.size(); ++v) {
     std::vector<PredicateGraph::Edge> incident =
@@ -57,6 +66,12 @@ bool MatchPredicatesEdgeLocal(const PredicateGraph& stream_graph,
 
 bool MatchPredicatesComplete(const PredicateGraph& stream_graph,
                              const PredicateGraph& sub_graph) {
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Default().GetCounter(
+          "matching.predicates.complete");
+  if (obs::Enabled()) calls->Add(1);
+  obs::TraceSpan span(&obs::TraceRecorder::Default(),
+                      "MatchPredicates.complete", "matching");
   return sub_graph.Implies(stream_graph);
 }
 

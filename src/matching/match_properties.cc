@@ -2,6 +2,8 @@
 
 #include "matching/match_aggregations.h"
 #include "matching/match_predicates.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace streamshare::matching {
 
@@ -70,6 +72,20 @@ bool OperatorsCompatible(const Operator& stream_op, const Operator& sub_op,
 bool MatchProperties(const InputStreamProperties& stream,
                      const InputStreamProperties& sub,
                      const MatchOptions& options) {
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Default().GetCounter(
+          "matching.properties.calls");
+  static obs::Counter* matches =
+      obs::MetricsRegistry::Default().GetCounter(
+          "matching.properties.matched");
+  const bool count = obs::Enabled();
+  if (count) calls->Add(1);
+  obs::TraceSpan span(&obs::TraceRecorder::Default(), "MatchProperties",
+                      "matching");
+  if (span.active()) {
+    span.AddArg(obs::TraceArg::Str("stream", stream.stream_name));
+  }
+
   // Lines 1–4: both must transform the same original input stream.
   if (stream.stream_name != sub.stream_name) return false;
 
@@ -87,6 +103,7 @@ bool MatchProperties(const InputStreamProperties& stream,
     }
     if (!matched) return false;
   }
+  if (count) matches->Add(1);
   return true;
 }
 

@@ -7,7 +7,9 @@ namespace streamshare::network {
 NetworkState::NetworkState(const Topology* topology)
     : topology_(topology),
       used_bandwidth_(topology->link_count(), 0.0),
-      used_load_(topology->peer_count(), 0.0) {}
+      used_load_(topology->peer_count(), 0.0),
+      peak_bandwidth_(topology->link_count(), 0.0),
+      peak_load_(topology->peer_count(), 0.0) {}
 
 double NetworkState::RelativeBandwidthUse(LinkId link) const {
   double capacity = topology_->link(link).bandwidth_kbps;
@@ -29,10 +31,13 @@ double NetworkState::AvailableLoad(NodeId peer) const {
 
 void NetworkState::AddBandwidth(LinkId link, double kbps) {
   used_bandwidth_[link] += kbps;
+  peak_bandwidth_[link] =
+      std::max(peak_bandwidth_[link], used_bandwidth_[link]);
 }
 
 void NetworkState::AddLoad(NodeId peer, double work_units_per_s) {
   used_load_[peer] += work_units_per_s;
+  peak_load_[peer] = std::max(peak_load_[peer], used_load_[peer]);
 }
 
 }  // namespace streamshare::network

@@ -37,10 +37,20 @@ class NetworkState {
   void AddBandwidth(LinkId link, double kbps);
   void AddLoad(NodeId peer, double work_units_per_s);
 
+  /// High-water marks of absolute usage over the state's lifetime —
+  /// releases (query deregistration) do not lower them, so they show the
+  /// most the system ever committed.
+  double PeakBandwidthKbps(LinkId link) const {
+    return peak_bandwidth_[link];
+  }
+  double PeakLoad(NodeId peer) const { return peak_load_[peer]; }
+
  private:
   const Topology* topology_;
   std::vector<double> used_bandwidth_;
   std::vector<double> used_load_;
+  std::vector<double> peak_bandwidth_;
+  std::vector<double> peak_load_;
 };
 
 }  // namespace streamshare::network

@@ -1,0 +1,116 @@
+#include "obs/event_log.h"
+
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace streamshare::obs {
+
+std::string_view SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kDebug:
+      return "debug";
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+LogField F(std::string key, std::string value) {
+  return LogField{std::move(key), std::move(value)};
+}
+LogField F(std::string key, std::string_view value) {
+  return LogField{std::move(key), std::string(value)};
+}
+LogField F(std::string key, const char* value) {
+  return LogField{std::move(key), std::string(value)};
+}
+LogField F(std::string key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return LogField{std::move(key), buf};
+}
+LogField F(std::string key, bool value) {
+  return LogField{std::move(key), value ? "true" : "false"};
+}
+
+std::string FormatLogEvent(const LogEvent& event) {
+  char head[48];
+  std::snprintf(head, sizeof(head), "%10.6f [%s] ",
+                static_cast<double>(event.ts_us) / 1e6,
+                std::string(SeverityToString(event.severity)).c_str());
+  // The component prefixes the message exactly like a Status context
+  // chain prefixes an error, so log lines and status strings read alike.
+  std::string out =
+      std::string(head) + JoinContext(event.component, event.message);
+  for (const LogField& field : event.fields) {
+    out += " " + field.key + "=" + field.value;
+  }
+  return out;
+}
+
+void StderrSink::Consume(const LogEvent& event) {
+  std::string line = FormatLogEvent(event);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void MemorySink::Consume(const LogEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+std::vector<LogEvent> MemorySink::TakeEvents() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogEvent> out = std::move(events_);
+  events_.clear();
+  return out;
+}
+
+size_t MemorySink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+EventLog::EventLog() : epoch_(std::chrono::steady_clock::now()) {}
+
+EventLog& EventLog::Default() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+void EventLog::SetSink(std::shared_ptr<EventSink> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+  has_sink_.store(sink_ != nullptr, std::memory_order_relaxed);
+}
+
+void EventLog::SetMinSeverity(Severity severity) {
+  min_severity_.store(static_cast<int>(severity),
+                      std::memory_order_relaxed);
+}
+
+void EventLog::Log(Severity severity, std::string_view component,
+                   std::string_view message, std::vector<LogField> fields) {
+  if (!ShouldLog(severity)) return;
+  LogEvent event;
+  event.severity = severity;
+  event.component.assign(component);
+  event.message.assign(message);
+  event.fields = std::move(fields);
+  event.ts_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  std::shared_ptr<EventSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = sink_;
+  }
+  if (sink != nullptr) sink->Consume(event);
+}
+
+}  // namespace streamshare::obs

@@ -1,0 +1,136 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace streamshare::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+std::string_view KindName(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter:
+      return "counter";
+    case MetricSnapshot::Kind::kGauge:
+      return "gauge";
+    case MetricSnapshot::Kind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Status WriteStringToFile(const std::string& content,
+                         const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open metrics file '" + path +
+                                   "' for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  int close_result = std::fclose(file);
+  if (written != content.size() || close_result != 0) {
+    return Status::Internal("short write to metrics file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string MetricsToJson(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out = "{\"metrics\":[";
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const MetricSnapshot& metric = snapshot[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"name\":\"" + JsonEscape(metric.name) + "\",\"type\":\"" +
+           std::string(KindName(metric.kind)) + "\"";
+    if (metric.kind == MetricSnapshot::Kind::kHistogram) {
+      out += ",\"count\":" + std::to_string(metric.count) +
+             ",\"sum\":" + Number(metric.sum) + ",\"bounds\":[";
+      for (size_t b = 0; b < metric.bounds.size(); ++b) {
+        if (b > 0) out += ",";
+        out += Number(metric.bounds[b]);
+      }
+      out += "],\"buckets\":[";
+      for (size_t b = 0; b < metric.buckets.size(); ++b) {
+        if (b > 0) out += ",";
+        out += std::to_string(metric.buckets[b]);
+      }
+      out += "]";
+    } else {
+      out += ",\"value\":" + Number(metric.value);
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string MetricsToCsv(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out = "name,type,value,count,sum\n";
+  for (const MetricSnapshot& metric : snapshot) {
+    if (metric.kind == MetricSnapshot::Kind::kHistogram) {
+      out += metric.name + ",histogram," + "," +
+             std::to_string(metric.count) + "," + Number(metric.sum) + "\n";
+      for (size_t b = 0; b < metric.buckets.size(); ++b) {
+        std::string edge = b < metric.bounds.size()
+                               ? "le=" + Number(metric.bounds[b])
+                               : "le=+inf";
+        out += metric.name + "{" + edge + "},bucket," +
+               std::to_string(metric.buckets[b]) + ",,\n";
+      }
+    } else {
+      out += metric.name + "," + std::string(KindName(metric.kind)) + "," +
+             Number(metric.value) + ",,\n";
+    }
+  }
+  return out;
+}
+
+Status WriteMetricsJson(const std::vector<MetricSnapshot>& snapshot,
+                        const std::string& path) {
+  return WriteStringToFile(MetricsToJson(snapshot), path);
+}
+
+Status WriteMetricsCsv(const std::vector<MetricSnapshot>& snapshot,
+                       const std::string& path) {
+  return WriteStringToFile(MetricsToCsv(snapshot), path);
+}
+
+Status WriteMetricsFile(const std::vector<MetricSnapshot>& snapshot,
+                        const std::string& path) {
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    return WriteMetricsCsv(snapshot, path);
+  }
+  return WriteMetricsJson(snapshot, path);
+}
+
+}  // namespace streamshare::obs

@@ -1,0 +1,33 @@
+// Snapshot exporters: render a folded MetricsRegistry snapshot as JSON
+// (one object per metric under "metrics", machine-validated in CI) or as
+// CSV (name,type,value,count,sum — histograms additionally get one row
+// per bucket). The string builders are exposed for tests; the Write*
+// variants add file plumbing.
+
+#ifndef STREAMSHARE_OBS_EXPORT_H_
+#define STREAMSHARE_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+
+namespace streamshare::obs {
+
+std::string MetricsToJson(const std::vector<MetricSnapshot>& snapshot);
+std::string MetricsToCsv(const std::vector<MetricSnapshot>& snapshot);
+
+Status WriteMetricsJson(const std::vector<MetricSnapshot>& snapshot,
+                        const std::string& path);
+Status WriteMetricsCsv(const std::vector<MetricSnapshot>& snapshot,
+                       const std::string& path);
+
+/// Dispatches on the file extension: ".csv" writes CSV, anything else
+/// JSON.
+Status WriteMetricsFile(const std::vector<MetricSnapshot>& snapshot,
+                        const std::string& path);
+
+}  // namespace streamshare::obs
+
+#endif  // STREAMSHARE_OBS_EXPORT_H_

@@ -1,0 +1,218 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace streamshare::obs {
+
+namespace {
+
+std::atomic<size_t> g_next_shard{0};
+
+size_t* ThreadShardSlot() {
+  thread_local size_t shard = g_next_shard.fetch_add(
+                                  1, std::memory_order_relaxed) %
+                              kMetricShards;
+  return &shard;
+}
+
+}  // namespace
+
+size_t CurrentShard() { return *ThreadShardSlot(); }
+
+ScopedShard::ScopedShard(size_t shard) {
+  size_t* slot = ThreadShardSlot();
+  previous_ = *slot;
+  *slot = shard % kMetricShards;
+}
+
+ScopedShard::~ScopedShard() { *ThreadShardSlot() = previous_; }
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         "histogram bounds must be sorted");
+  for (Shard& shard : shards_) {
+    shard.buckets =
+        std::make_unique<std::atomic<uint64_t>[]>(bucket_count());
+    for (size_t i = 0; i < bucket_count(); ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t Histogram::BucketFor(double value) const {
+  // Smallest bound >= value; ties land in the bucket whose upper edge the
+  // value equals (inclusive upper edges).
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void Histogram::ObserveToShard(size_t shard_index, double value) {
+  Shard& shard = shards_[shard_index % kMetricShards];
+  shard.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketValue(size_t bucket) const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.buckets[bucket].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::ShardBucketValue(size_t shard, size_t bucket) const {
+  return shards_[shard % kMetricShards].buckets[bucket].load(
+      std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (size_t i = 0; i < bucket_count(); ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> Histogram::ExponentialBounds(double first,
+                                                 double factor,
+                                                 size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double edge = first;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::LinearBounds(double first, double step,
+                                            size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(first + step * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot snapshot;
+    snapshot.name = name;
+    snapshot.kind = MetricSnapshot::Kind::kCounter;
+    snapshot.value = static_cast<double>(counter->Value());
+    out.push_back(std::move(snapshot));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshot snapshot;
+    snapshot.name = name;
+    snapshot.kind = MetricSnapshot::Kind::kGauge;
+    snapshot.value = gauge->Value();
+    out.push_back(std::move(snapshot));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSnapshot snapshot;
+    snapshot.name = name;
+    snapshot.kind = MetricSnapshot::Kind::kHistogram;
+    snapshot.count = histogram->Count();
+    snapshot.sum = histogram->Sum();
+    snapshot.bounds = histogram->bounds();
+    snapshot.buckets.reserve(histogram->bucket_count());
+    for (size_t i = 0; i < histogram->bucket_count(); ++i) {
+      snapshot.buckets.push_back(histogram->BucketValue(i));
+    }
+    out.push_back(std::move(snapshot));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Set(0.0);
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace streamshare::obs

@@ -1,0 +1,7 @@
+#include "obs/obs.h"
+
+namespace streamshare::obs::detail {
+
+std::atomic<bool> g_enabled{true};
+
+}  // namespace streamshare::obs::detail

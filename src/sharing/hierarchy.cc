@@ -1,5 +1,7 @@
 #include "sharing/hierarchy.h"
 
+#include <iterator>
+
 namespace streamshare::sharing {
 
 Result<EvaluationPlan> HierarchicalPlanner::Subscribe(
@@ -40,9 +42,18 @@ Result<EvaluationPlan> HierarchicalPlanner::Subscribe(
       local_stats.candidates_examined += global_stats.candidates_examined;
       local_stats.candidates_matched += global_stats.candidates_matched;
       local_stats.plans_generated += global_stats.plans_generated;
-      if (global_plan.TotalCost() < plan.TotalCost()) {
-        plan = std::move(global_plan);
+      bool global_wins = global_plan.TotalCost() < plan.TotalCost();
+      // Exactly one candidate per input stays chosen: the losing search's
+      // chosen flags are cleared before the candidate lists concatenate.
+      for (CandidatePlanInfo& candidate :
+           global_wins ? local_stats.candidates : global_stats.candidates) {
+        candidate.chosen = false;
       }
+      local_stats.candidates.insert(
+          local_stats.candidates.end(),
+          std::make_move_iterator(global_stats.candidates.begin()),
+          std::make_move_iterator(global_stats.candidates.end()));
+      if (global_wins) plan = std::move(global_plan);
     }
   }
   if (stats != nullptr) *stats = local_stats;

@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "obs/trace.h"
+
 namespace streamshare::sharing {
 
 using network::NodeId;
@@ -534,11 +536,28 @@ Result<EvaluationPlan> Planner::Subscribe(
     return allowed_nodes == nullptr || allowed_nodes->count(node) != 0;
   };
   SearchStats local_stats;
+  // Appends one candidate record and returns its index in `candidates`.
+  auto record_candidate = [&local_stats](const StreamBinding& binding,
+                                         const InputPlan& candidate,
+                                         bool widening) {
+    CandidatePlanInfo info;
+    info.input_stream = binding.stream_name;
+    info.reused_stream = candidate.reused_stream;
+    info.reuse_node = candidate.reuse_node;
+    info.cost = candidate.cost;
+    info.feasible = candidate.feasible;
+    info.widening = widening;
+    local_stats.candidates.push_back(std::move(info));
+    return local_stats.candidates.size() - 1;
+  };
   EvaluationPlan plan;  // line 1: P ← ∅
   // Line 2: iterate over the subscription's input streams.
   for (size_t i = 0; i < query.bindings.size(); ++i) {
     const StreamBinding& binding = query.bindings[i];
     const InputStreamProperties& sub_props = query.props.inputs()[i];
+    obs::TraceSpan input_span(&obs::TraceRecorder::Default(),
+                              "Subscribe:" + binding.stream_name,
+                              "sharing");
     const RegisteredStream* original =
         registry_->FindOriginal(binding.stream_name);
     if (original == nullptr) {
@@ -569,6 +588,8 @@ Result<EvaluationPlan> Planner::Subscribe(
       best = std::move(initial);
       ++local_stats.plans_generated;
     }
+    size_t best_candidate =
+        record_candidate(binding, best, /*widening=*/false);
 
     // A candidate replaces the incumbent if it is strictly better by C —
     // preferring feasible plans when configured (the overload test).
@@ -605,7 +626,12 @@ Result<EvaluationPlan> Planner::Subscribe(
                 GenerateWideningPlan(*p, v, vq, binding, sub_props);
             if (widened.ok()) {
               ++local_stats.plans_generated;
-              if (better(*widened, best)) best = std::move(*widened);
+              size_t idx =
+                  record_candidate(binding, *widened, /*widening=*/true);
+              if (better(*widened, best)) {
+                best = std::move(*widened);
+                best_candidate = idx;
+              }
             } else if (!widened.status().IsUnsupported()) {
               return widened.status();
             }
@@ -630,7 +656,12 @@ Result<EvaluationPlan> Planner::Subscribe(
           return candidate.status();
         }
         ++local_stats.plans_generated;
-        if (better(*candidate, best)) best = std::move(*candidate);
+        size_t idx =
+            record_candidate(binding, *candidate, /*widening=*/false);
+        if (better(*candidate, best)) {
+          best = std::move(*candidate);
+          best_candidate = idx;
+        }
       }
 
       if (!options_.prune_search) {
@@ -644,9 +675,20 @@ Result<EvaluationPlan> Planner::Subscribe(
         }
       }
     }
+    local_stats.candidates[best_candidate].chosen = true;
+    if (input_span.active()) {
+      input_span.AddArg(obs::TraceArg::Num("C(P)", best.cost));
+      input_span.AddArg(obs::TraceArg::Num(
+          "plans", static_cast<double>(local_stats.plans_generated)));
+      input_span.AddArg(obs::TraceArg::Num(
+          "nodes_visited",
+          static_cast<double>(local_stats.nodes_visited)));
+      input_span.AddArg(obs::TraceArg::Str(
+          "reuse_node", "SP" + std::to_string(best.reuse_node)));
+    }
     plan.inputs.push_back(std::move(best));
   }
-  if (stats != nullptr) *stats = local_stats;
+  if (stats != nullptr) *stats = std::move(local_stats);
   return plan;
 }
 

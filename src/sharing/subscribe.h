@@ -20,6 +20,8 @@
 #define STREAMSHARE_SHARING_SUBSCRIBE_H_
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "cost/cost_model.h"
 #include "matching/match_properties.h"
@@ -50,12 +52,29 @@ struct PlannerOptions {
   bool enable_widening = false;
 };
 
+/// One plan the search generated and costed, in generation order. The
+/// final choice per input is flagged `chosen`; the rest are the
+/// alternatives it beat — the raw material of `--explain`.
+struct CandidatePlanInfo {
+  std::string input_stream;
+  network::StreamId reused_stream = -1;
+  network::NodeId reuse_node = -1;
+  /// C(P) as computed by cost::CostModel (latency-weighted).
+  double cost = 0.0;
+  bool feasible = false;
+  /// Plan widens a deployed stream (paper §6) before reusing it.
+  bool widening = false;
+  bool chosen = false;
+};
+
 /// Search-effort counters of one Subscribe run.
 struct SearchStats {
   int nodes_visited = 0;
   int candidates_examined = 0;
   int candidates_matched = 0;
   int plans_generated = 0;
+  /// Every costed plan, including the initial ship-to-vq fallback.
+  std::vector<CandidatePlanInfo> candidates;
 };
 
 class Planner {

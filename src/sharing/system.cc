@@ -6,6 +6,8 @@
 #include "engine/combine.h"
 #include "engine/restructure.h"
 #include "engine/window_agg.h"
+#include "obs/event_log.h"
+#include "obs/trace.h"
 
 namespace streamshare::sharing {
 
@@ -86,6 +88,13 @@ Status StreamShareSystem::RegisterStream(
       graph_.Add<engine::PassOp>("source:" + name);
   taps_[id].taps = {entry};
   stream_entries_[name] = entry;
+  obs::EventLog& log = obs::EventLog::Default();
+  if (log.ShouldLog(obs::Severity::kInfo)) {
+    log.Log(obs::Severity::kInfo, "sharing", "stream registered",
+            {obs::F("stream", name),
+             obs::F("source", topology_.peer(source).name),
+             obs::F("rate_kbps", registry_.stream(id).rate_kbps)});
+  }
   return Status::Ok();
 }
 
@@ -122,6 +131,11 @@ Result<RegistrationResult> StreamShareSystem::RegisterQuery(
     return Status::InvalidArgument("query target peer out of range");
   }
   auto start = std::chrono::steady_clock::now();
+  obs::TraceSpan span(&obs::TraceRecorder::Default(), "RegisterQuery",
+                      "sharing");
+  span.AddArg(obs::TraceArg::Str("strategy",
+                                 std::string(StrategyToString(strategy))));
+  span.AddArg(obs::TraceArg::Str("vq", topology_.peer(vq).name));
 
   RegistrationResult result;
   result.query_id = static_cast<int>(registrations_.size());
@@ -164,6 +178,44 @@ Result<RegistrationResult> StreamShareSystem::RegisterQuery(
   auto end = std::chrono::steady_clock::now();
   result.registration_micros =
       std::chrono::duration<double, std::micro>(end - start).count();
+
+  span.AddArg(obs::TraceArg::Num("C(P)", result.plan.TotalCost()));
+  span.AddArg(obs::TraceArg::Num(
+      "plans_generated",
+      static_cast<double>(result.search.plans_generated)));
+  span.AddArg(obs::TraceArg::Str("accepted",
+                                 result.accepted ? "true" : "false"));
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    static obs::Histogram* micros = registry.GetHistogram(
+        "sharing.subscribe.micros",
+        obs::Histogram::ExponentialBounds(10, 4, 10));
+    static obs::Histogram* costs = registry.GetHistogram(
+        "sharing.plan.cost",
+        obs::Histogram::ExponentialBounds(0.001, 4, 14));
+    static obs::Counter* accepted =
+        registry.GetCounter("sharing.queries.accepted");
+    static obs::Counter* rejected =
+        registry.GetCounter("sharing.queries.rejected");
+    micros->Observe(result.registration_micros);
+    costs->Observe(result.plan.TotalCost());
+    (result.accepted ? accepted : rejected)->Add(1);
+  }
+  obs::EventLog& log = obs::EventLog::Default();
+  if (log.ShouldLog(obs::Severity::kInfo)) {
+    std::vector<obs::LogField> fields = {
+        obs::F("query", result.query_id),
+        obs::F("strategy", StrategyToString(strategy)),
+        obs::F("vq", topology_.peer(vq).name),
+        obs::F("cost", result.plan.TotalCost()),
+        obs::F("accepted", result.accepted)};
+    if (!result.accepted) {
+      fields.push_back(obs::F("reason", result.reject_reason));
+    }
+    log.Log(obs::Severity::kInfo, "sharing", "query registered",
+            std::move(fields));
+  }
+
   registrations_.push_back(result);
   return result;
 }
@@ -229,6 +281,11 @@ Status StreamShareSystem::UnregisterQuery(int query_id) {
     }
   }
   deployment.active = false;
+  obs::EventLog& log = obs::EventLog::Default();
+  if (log.ShouldLog(obs::Severity::kInfo)) {
+    log.Log(obs::Severity::kInfo, "sharing", "query deregistered",
+            {obs::F("query", query_id)});
+  }
   return Status::Ok();
 }
 
@@ -603,6 +660,48 @@ std::string StreamShareSystem::DescribeDeployment() const {
     out += registration.plan.ToString() + "\n";
   }
   return out;
+}
+
+void StreamShareSystem::ExportMetrics(obs::MetricsRegistry* registry) const {
+  // Absolute measurements re-exported on every call: gauges, not
+  // counters, so repeated exports overwrite instead of double-counting.
+  for (size_t l = 0; l < topology_.link_count(); ++l) {
+    network::LinkId link = static_cast<network::LinkId>(l);
+    const network::Link& edge = topology_.link(link);
+    std::string name = topology_.peer(edge.a).name + "-" +
+                       topology_.peer(edge.b).name;
+    registry->GetGauge("engine.link." + name + ".bytes")
+        ->Set(static_cast<double>(metrics_.BytesOnLink(link)));
+    registry->GetGauge("network.link." + name + ".utilization")
+        ->Set(state_.RelativeBandwidthUse(link));
+    registry->GetGauge("network.link." + name + ".peak_kbps")
+        ->Set(state_.PeakBandwidthKbps(link));
+  }
+  for (size_t p = 0; p < topology_.peer_count(); ++p) {
+    network::NodeId peer = static_cast<network::NodeId>(p);
+    const std::string& name = topology_.peer(peer).name;
+    registry->GetGauge("engine.peer." + name + ".work")
+        ->Set(metrics_.WorkAtPeer(peer));
+    registry->GetGauge("engine.peer." + name + ".items")
+        ->Set(static_cast<double>(
+            metrics_.OperatorInvocationsAtPeer(peer)));
+    registry->GetGauge("network.peer." + name + ".utilization")
+        ->Set(state_.RelativeLoadUse(peer));
+    registry->GetGauge("network.peer." + name + ".peak_load")
+        ->Set(state_.PeakLoad(peer));
+  }
+  for (size_t w = 0; w < parallel_stats_.size(); ++w) {
+    const engine::ParallelWorkerStats& stats = parallel_stats_[w];
+    std::string prefix = "engine.worker." + std::to_string(w);
+    registry->GetGauge(prefix + ".entries_received")
+        ->Set(static_cast<double>(stats.entries_received));
+    registry->GetGauge(prefix + ".producer_blocked_ns")
+        ->Set(static_cast<double>(stats.producer_blocked_ns));
+    registry->GetGauge(prefix + ".consumer_blocked_ns")
+        ->Set(static_cast<double>(stats.consumer_blocked_ns));
+    registry->GetGauge(prefix + ".max_queue_depth")
+        ->Set(static_cast<double>(stats.max_queue_depth));
+  }
 }
 
 }  // namespace streamshare::sharing

@@ -25,6 +25,7 @@
 #include "network/stream_registry.h"
 #include "network/subnet.h"
 #include "network/topology.h"
+#include "obs/metrics_registry.h"
 #include "sharing/hierarchy.h"
 #include "sharing/plan.h"
 #include "sharing/subscribe.h"
@@ -170,6 +171,13 @@ class StreamShareSystem {
   /// the network (content, route, rate, consumers) and every active
   /// subscription.
   std::string DescribeDeployment() const;
+
+  /// Folds the system's own measurements into named registry series:
+  /// engine.link.<a>-<b>.bytes and engine.peer.<name>.{work,items} from
+  /// the deployment's Metrics, engine.worker.<i>.* from the most recent
+  /// parallel run, and network.{link,peer}.<...>.utilization gauges from
+  /// the committed plan usage. Call before exporting a snapshot.
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
 
  private:
   Status DeployPlan(const EvaluationPlan& plan,

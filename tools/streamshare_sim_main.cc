@@ -4,14 +4,27 @@
 //   streamshare_sim [--scenario=extended|grid] [--strategy=data|query|share]
 //                   [--queries=N] [--items=N] [--seed=N] [--widening]
 //                   [--hierarchical] [--enforce-limits]
+//                   [--executor=serial|parallel] [--trace=FILE]
+//                   [--metrics=FILE] [--explain] [--log]
+//
+// Observability: --trace writes a Chrome trace_event JSON (load it in
+// chrome://tracing or Perfetto), --metrics writes a registry snapshot
+// (JSON, or CSV when FILE ends in .csv), --explain prints the candidate
+// plans Subscribe costed per query with the chosen one marked, and --log
+// streams structured events to stderr.
 //
 // Exit code 0 on success.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "obs/event_log.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "workload/scenario.h"
 
 using namespace streamshare;
@@ -27,6 +40,11 @@ struct Options {
   bool widening = false;
   bool enforce_limits = false;
   bool hierarchical = false;
+  bool parallel = false;
+  bool explain = false;
+  bool log = false;
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -43,7 +61,9 @@ int Usage(const char* program) {
       stderr,
       "usage: %s [--scenario=extended|grid] "
       "[--strategy=data|query|share] [--queries=N] [--items=N] "
-      "[--seed=N] [--widening] [--hierarchical] [--enforce-limits]\n",
+      "[--seed=N] [--widening] [--hierarchical] [--enforce-limits] "
+      "[--executor=serial|parallel] [--trace=FILE] [--metrics=FILE] "
+      "[--explain] [--log]\n",
       program);
   return 1;
 }
@@ -80,9 +100,32 @@ int main(int argc, char** argv) {
       options.hierarchical = true;
     } else if (std::strcmp(argv[i], "--enforce-limits") == 0) {
       options.enforce_limits = true;
+    } else if (ParseFlag(argv[i], "--executor", &value)) {
+      if (value == "serial") {
+        options.parallel = false;
+      } else if (value == "parallel") {
+        options.parallel = true;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (ParseFlag(argv[i], "--trace", &value)) {
+      options.trace_path = value;
+    } else if (ParseFlag(argv[i], "--metrics", &value)) {
+      options.metrics_path = value;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      options.explain = true;
+    } else if (std::strcmp(argv[i], "--log") == 0) {
+      options.log = true;
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  if (!options.trace_path.empty()) {
+    obs::TraceRecorder::Default().SetEnabled(true);
+  }
+  if (options.log) {
+    obs::EventLog::Default().SetSink(std::make_shared<obs::StderrSink>());
   }
 
   workload::ScenarioSpec scenario;
@@ -98,6 +141,9 @@ int main(int argc, char** argv) {
   sharing::SystemConfig config;
   config.planner.enable_widening = options.widening;
   config.enforce_limits = options.enforce_limits;
+  if (options.parallel) {
+    config.executor = sharing::ExecutorKind::kParallel;
+  }
   if (options.hierarchical) {
     // Quadrants for the grid; halves for the extended example.
     size_t peers = scenario.topology.peer_count();
@@ -154,5 +200,83 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(metrics.TotalBytes()),
               metrics.TotalWork(),
               run->system->registry().streams().size());
+
+  if (options.parallel) {
+    std::printf("\n%-8s %10s %10s %16s %16s %10s\n", "worker", "peers",
+                "entries", "prod blocked ms", "cons blocked ms",
+                "max depth");
+    const auto& worker_stats = run->system->parallel_stats();
+    for (size_t w = 0; w < worker_stats.size(); ++w) {
+      const engine::ParallelWorkerStats& stats = worker_stats[w];
+      std::string peers;
+      for (size_t i = 0; i < stats.peers.size(); ++i) {
+        if (i > 0) peers += ",";
+        peers += topology.peer(stats.peers[i]).name;
+      }
+      std::printf("%-8zu %10s %10llu %16.2f %16.2f %10llu\n", w,
+                  peers.c_str(),
+                  static_cast<unsigned long long>(stats.entries_received),
+                  static_cast<double>(stats.producer_blocked_ns) / 1e6,
+                  static_cast<double>(stats.consumer_blocked_ns) / 1e6,
+                  static_cast<unsigned long long>(stats.max_queue_depth));
+    }
+  }
+
+  if (options.explain) {
+    // Candidate-plan cost breakdown: every plan Subscribe costed, with
+    // the one the cost model chose marked '*'. The chosen line's C(P)
+    // equals the deployed plan's per-input cost.
+    std::printf("\n=== explain: candidate plans ===\n");
+    for (const sharing::RegistrationResult& registration :
+         run->system->registrations()) {
+      std::printf("q%d%s\n", registration.query_id,
+                  registration.accepted ? "" : " [rejected]");
+      if (registration.search.candidates.empty()) {
+        std::printf("    (strategy bypasses the candidate search)\n");
+        continue;
+      }
+      for (const sharing::CandidatePlanInfo& candidate :
+           registration.search.candidates) {
+        const char* reuse_peer =
+            candidate.reuse_node >= 0 &&
+                    static_cast<size_t>(candidate.reuse_node) <
+                        topology.peer_count()
+                ? topology.peer(candidate.reuse_node).name.c_str()
+                : "?";
+        std::printf("  %c input=%s reuse=#%d@%s cost=%.6f%s%s\n",
+                    candidate.chosen ? '*' : ' ',
+                    candidate.input_stream.c_str(),
+                    candidate.reused_stream, reuse_peer,
+                    candidate.cost,
+                    candidate.feasible ? "" : " [infeasible]",
+                    candidate.widening ? " [widening]" : "");
+      }
+    }
+  }
+
+  if (!options.metrics_path.empty()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    run->system->ExportMetrics(&registry);
+    Status status =
+        obs::WriteMetricsFile(registry.Snapshot(), options.metrics_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "writing metrics failed: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+    std::printf("metrics written to %s\n", options.metrics_path.c_str());
+  }
+  if (!options.trace_path.empty()) {
+    Status status =
+        obs::TraceRecorder::Default().WriteJson(options.trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "writing trace failed: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+    std::printf("trace written to %s (%zu events)\n",
+                options.trace_path.c_str(),
+                obs::TraceRecorder::Default().event_count());
+  }
   return 0;
 }
