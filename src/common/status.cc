@@ -28,6 +28,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "overload";
     case StatusCode::kInternal:
       return "internal error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

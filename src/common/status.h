@@ -28,6 +28,10 @@ enum class StatusCode {
   kUnsatisfiable,
   kOverload,
   kInternal,
+  /// A blocking operation exceeded its deadline (transport send timeout).
+  kDeadlineExceeded,
+  /// The peer endpoint is gone or was closed (transport channel shutdown).
+  kUnavailable,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -81,6 +85,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -102,6 +112,12 @@ class Status {
   }
   bool IsOverload() const { return code() == StatusCode::kOverload; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const {
+    return code() == StatusCode::kUnavailable;
+  }
 
   /// Renders "OK" or "<code>: <message>".
   std::string ToString() const;

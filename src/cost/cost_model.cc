@@ -7,6 +7,7 @@
 #include "obs/metrics_registry.h"
 
 #include "matching/match_properties.h"
+#include "xml/xml_node.h"
 
 namespace streamshare::cost {
 
@@ -23,7 +24,8 @@ namespace {
 /// Serialized size of one schema subtree, matching
 /// StreamSchema::AvgSubtreeSize's accounting.
 double FullSubtreeSize(const xml::SchemaElement& element) {
-  double size = 2.0 * static_cast<double>(element.name.size()) + 5.0 +
+  double size = static_cast<double>(xml::XmlNode::TagBytes(
+                    element.name.size(), /*empty=*/false)) +
                 element.avg_text_size;
   for (const auto& child : element.children) {
     size += child->avg_occurrence * FullSubtreeSize(*child);
@@ -53,7 +55,8 @@ double ProjectedSubtreeSize(const xml::SchemaElement& element,
     }
   }
   if (!is_ancestor) return 0.0;
-  double size = 2.0 * static_cast<double>(element.name.size()) + 5.0 +
+  double size = static_cast<double>(xml::XmlNode::TagBytes(
+                    element.name.size(), /*empty=*/false)) +
                 element.avg_text_size;
   for (const auto& child : element.children) {
     prefix->push_back(child->name);

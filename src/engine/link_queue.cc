@@ -34,6 +34,14 @@ void TraceBlocked(const char* name, uint64_t blocked_ns) {
 LinkQueue::LinkQueue(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
+void LinkQueue::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pushed_count_.store(0, std::memory_order_relaxed);
+  producer_blocked_ns_.store(0, std::memory_order_relaxed);
+  consumer_blocked_ns_.store(0, std::memory_order_relaxed);
+  max_depth_.store(entries_.size(), std::memory_order_relaxed);
+}
+
 void LinkQueue::Push(Entry entry) {
   std::unique_lock<std::mutex> lock(mu_);
   if (entries_.size() >= capacity_) {

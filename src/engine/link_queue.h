@@ -64,6 +64,11 @@ class LinkQueue {
     return max_depth_.load(std::memory_order_relaxed);
   }
 
+  /// Zeroes every counter, max_depth included, so a queue that outlives
+  /// one executor run reports per-run stats instead of all-time ones.
+  /// Call only while no producer or consumer is active.
+  void ResetStats();
+
  private:
   /// Called with mu_ held after every insertion.
   void NoteDepthLocked() {

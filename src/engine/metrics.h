@@ -49,6 +49,14 @@ class Metrics {
     work_per_peer_[peer] += work_units;
     items_per_peer_[peer] += 1;
   }
+  /// Adds already-aggregated measurements — merging a shard whose raw
+  /// vectors arrived over a cross-process report channel, where AddWork's
+  /// one-invocation-per-call accounting does not apply.
+  void AddMeasured(network::NodeId peer, double work_units,
+                   uint64_t invocations) {
+    work_per_peer_[peer] += work_units;
+    items_per_peer_[peer] += invocations;
+  }
 
   uint64_t BytesOnLink(network::LinkId link) const {
     return bytes_per_link_[link];

@@ -77,9 +77,40 @@ Status LinkOp::Process(const ItemPtr& item) {
   return Emit(item);
 }
 
+namespace {
+
+/// Order-sensitive FNV-1a over one subtree's structure (name, text,
+/// children). Sinks sum these per item, so the aggregate is insensitive
+/// to cross-stream arrival order — which execution modes do not fix —
+/// while any changed or missing item changes the sum.
+uint64_t MixBytes(uint64_t hash, std::string_view bytes) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kPrime;
+  }
+  hash ^= 0xff;  // separator, so ("ab","c") != ("a","bc")
+  hash *= kPrime;
+  return hash;
+}
+
+uint64_t HashSubtree(const xml::XmlNode& node, uint64_t hash) {
+  hash = MixBytes(hash, node.name());
+  hash = MixBytes(hash, node.text());
+  for (const auto& child : node.children()) {
+    hash = HashSubtree(*child, hash);
+  }
+  return hash;
+}
+
+}  // namespace
+
 Status SinkOp::Process(const ItemPtr& item) {
   ++item_count_;
   total_bytes_ += item->SerializedSize();
+  if (hash_items_) {
+    content_hash_ += HashSubtree(*item, 14695981039346656037ull);
+  }
   if (keep_items_) items_.push_back(item);
   return Status::Ok();
 }

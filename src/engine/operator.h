@@ -175,6 +175,11 @@ class LinkOp : public Operator {
     if (link_metrics_ == from) link_metrics_ = to;
   }
 
+  /// The topology connection this operator transmits over — lets the
+  /// transport layer attribute measured bytes-on-wire to the same link
+  /// the cost model predicted u_b(e) for.
+  network::LinkId link() const { return link_; }
+
  protected:
   Status Process(const ItemPtr& item) override;
 
@@ -193,13 +198,31 @@ class SinkOp : public Operator {
   uint64_t total_bytes() const { return total_bytes_; }
   const std::vector<ItemPtr>& items() const { return items_; }
 
+  /// Starts folding every received item into content_hash() (an
+  /// order-insensitive structural hash). Off by default so the hot path
+  /// of ordinary runs is unchanged; the transport runner enables it to
+  /// compare results across execution modes.
+  void EnableContentHash() { hash_items_ = true; }
+  uint64_t content_hash() const { return content_hash_; }
+
+  /// Folds counts collected by another process's copy of this sink (the
+  /// transport layer's multi-process mode reports them back over a pipe).
+  void MergeCounts(uint64_t item_count, uint64_t total_bytes,
+                   uint64_t content_hash) {
+    item_count_ += item_count;
+    total_bytes_ += total_bytes;
+    content_hash_ += content_hash;
+  }
+
  protected:
   Status Process(const ItemPtr& item) override;
 
  private:
   bool keep_items_;
+  bool hash_items_ = false;
   uint64_t item_count_ = 0;
   uint64_t total_bytes_ = 0;
+  uint64_t content_hash_ = 0;
   std::vector<ItemPtr> items_;
 };
 

@@ -8,6 +8,8 @@
 #include "engine/window_agg.h"
 #include "obs/event_log.h"
 #include "obs/trace.h"
+#include "transport/loopback.h"
+#include "transport/tcp.h"
 
 namespace streamshare::sharing {
 
@@ -568,6 +570,9 @@ Status StreamShareSystem::Run(
   if (config_.executor == ExecutorKind::kParallel) {
     return RunParallel(items_by_stream);
   }
+  if (config_.executor == ExecutorKind::kTransport) {
+    return RunTransport(items_by_stream);
+  }
   std::vector<engine::Operator*> entries;
   std::vector<std::vector<engine::ItemPtr>> item_lists;
   SS_RETURN_IF_ERROR(CollectEntries(stream_entries_, items_by_stream,
@@ -585,6 +590,39 @@ Status StreamShareSystem::RunParallel(
   engine::ParallelExecutor executor(config_.parallel);
   Status status = executor.Run(entries, item_lists);
   parallel_stats_ = executor.worker_stats();
+  return status;
+}
+
+Status StreamShareSystem::RunTransport(
+    const std::map<std::string, std::vector<engine::ItemPtr>>&
+        items_by_stream) {
+  std::vector<engine::Operator*> entries;
+  std::vector<std::vector<engine::ItemPtr>> item_lists;
+  SS_RETURN_IF_ERROR(CollectEntries(stream_entries_, items_by_stream,
+                                    &entries, &item_lists));
+  std::unique_ptr<transport::Transport> transport;
+  if (config_.transport == "loopback") {
+    transport = std::make_unique<transport::LoopbackTransport>();
+  } else if (config_.transport == "tcp") {
+    transport = std::make_unique<transport::TcpTransport>();
+  } else {
+    return Status::InvalidArgument("unknown transport '" +
+                                   config_.transport +
+                                   "' (expected loopback or tcp)");
+  }
+  transport::RunnerOptions options;
+  options.parallel = config_.parallel;
+  options.flow = config_.flow;
+  options.faults = config_.faults;
+  options.mode = config_.transport_processes
+                     ? transport::RunnerOptions::Mode::kProcesses
+                     : transport::RunnerOptions::Mode::kThreads;
+  transport::PartitionedRunner runner(transport.get(), options);
+  Status status = runner.Run(entries, item_lists);
+  transport_stats_ = runner.run_stats();
+  // The transport runner's workers mirror the parallel executor's, so
+  // their queue stats export through the same engine.worker.* gauges.
+  parallel_stats_ = transport_stats_.workers;
   return status;
 }
 
@@ -689,6 +727,49 @@ void StreamShareSystem::ExportMetrics(obs::MetricsRegistry* registry) const {
         ->Set(state_.RelativeLoadUse(peer));
     registry->GetGauge("network.peer." + name + ".peak_load")
         ->Set(state_.PeakLoad(peer));
+  }
+  // Transport measurements of the most recent RunTransport: measured
+  // traffic per topology link, next to the committed bandwidth u_b(e)
+  // the cost model predicted for that link.
+  if (!transport_stats_.transport.empty()) {
+    std::map<int, uint64_t> encoded_per_link;
+    std::map<int, uint64_t> items_per_link;
+    for (const transport::EdgeTrafficStats& edge : transport_stats_.edges) {
+      if (edge.link < 0) continue;
+      encoded_per_link[edge.link] += edge.encoded_bytes;
+      items_per_link[edge.link] += edge.items;
+    }
+    for (const auto& [link, encoded_bytes] : encoded_per_link) {
+      const network::Link& edge =
+          topology_.link(static_cast<network::LinkId>(link));
+      std::string name = topology_.peer(edge.a).name + "-" +
+                         topology_.peer(edge.b).name;
+      registry->GetGauge("transport.link." + name + ".encoded_bytes")
+          ->Set(static_cast<double>(encoded_bytes));
+      registry->GetGauge("transport.link." + name + ".items")
+          ->Set(static_cast<double>(items_per_link[link]));
+      registry->GetGauge("transport.link." + name + ".predicted_kbps")
+          ->Set(state_.UsedBandwidthKbps(
+              static_cast<network::LinkId>(link)));
+    }
+    uint64_t wire_bytes = 0, frames = 0, stalls = 0, stall_ns = 0;
+    for (const transport::ChannelTrafficStats& channel :
+         transport_stats_.channels) {
+      wire_bytes += channel.stats.bytes_sent;
+      frames += channel.stats.frames_sent;
+      stalls += channel.stats.credit_stalls;
+      stall_ns += channel.stats.credit_stall_ns;
+    }
+    registry->GetGauge("transport.run.wire_bytes")
+        ->Set(static_cast<double>(wire_bytes));
+    registry->GetGauge("transport.run.frames")
+        ->Set(static_cast<double>(frames));
+    registry->GetGauge("transport.run.credit_stalls")
+        ->Set(static_cast<double>(stalls));
+    registry->GetGauge("transport.run.credit_stall_ns")
+        ->Set(static_cast<double>(stall_ns));
+    registry->GetGauge("transport.run.processes")
+        ->Set(static_cast<double>(transport_stats_.process_count));
   }
   for (size_t w = 0; w < parallel_stats_.size(); ++w) {
     const engine::ParallelWorkerStats& stats = parallel_stats_[w];

@@ -29,6 +29,7 @@
 #include "sharing/hierarchy.h"
 #include "sharing/plan.h"
 #include "sharing/subscribe.h"
+#include "transport/runner.h"
 #include "wxquery/analyzer.h"
 
 namespace streamshare::sharing {
@@ -38,10 +39,12 @@ enum class Strategy { kDataShipping, kQueryShipping, kStreamSharing };
 std::string_view StrategyToString(Strategy strategy);
 
 /// How Run() drives the deployed operator network: serial on the calling
-/// thread (the default and the correctness oracle), or partitioned by
+/// thread (the default and the correctness oracle), partitioned by
 /// super-peer across worker threads with bounded queues on the peer
-/// boundaries.
-enum class ExecutorKind { kSerial, kParallel };
+/// boundaries, or partitioned across a transport (binary codec +
+/// credit-based flow control; with config.transport = "tcp" and
+/// transport_processes, each partition becomes its own OS process).
+enum class ExecutorKind { kSerial, kParallel, kTransport };
 
 struct SystemConfig {
   cost::CostParams cost_params;
@@ -61,6 +64,16 @@ struct SystemConfig {
   ExecutorKind executor = ExecutorKind::kSerial;
   /// Queue capacity / dispatch batching for the parallel executor.
   engine::ParallelOptions parallel;
+  /// Transport RunTransport() uses: "loopback" (in-process frame pipes,
+  /// the default) or "tcp" (one localhost TCP connection per
+  /// cross-worker channel).
+  std::string transport = "loopback";
+  /// Run each worker partition as its own OS process instead of a
+  /// thread. Requires a transport whose pipes survive fork ("tcp").
+  bool transport_processes = false;
+  /// Credit window / timeouts and fault injection for RunTransport().
+  transport::FlowOptions flow;
+  transport::FaultPlan faults;
 };
 
 /// Outcome of registering one continuous query.
@@ -144,6 +157,22 @@ class StreamShareSystem {
     return parallel_stats_;
   }
 
+  /// Single-shot run over the configured transport (config.transport,
+  /// config.transport_processes): the partitioned operator network
+  /// exchanges encoded items through flow-controlled channels,
+  /// optionally with every worker in its own OS process. Results and
+  /// merged metrics match a serial Run of the same items.
+  Status RunTransport(
+      const std::map<std::string, std::vector<engine::ItemPtr>>&
+          items_by_stream);
+
+  /// Traffic measured by the most recent RunTransport (bytes-on-wire per
+  /// channel, encoded bytes per cross edge, credit stalls). Empty
+  /// transport name if no transport run happened yet.
+  const transport::TransportRunStats& transport_stats() const {
+    return transport_stats_;
+  }
+
   /// Continuous operation: feeds a batch without signalling end of
   /// stream. Subscriptions may be registered and deregistered between
   /// batches; window state carries across.
@@ -175,8 +204,11 @@ class StreamShareSystem {
   /// Folds the system's own measurements into named registry series:
   /// engine.link.<a>-<b>.bytes and engine.peer.<name>.{work,items} from
   /// the deployment's Metrics, engine.worker.<i>.* from the most recent
-  /// parallel run, and network.{link,peer}.<...>.utilization gauges from
-  /// the committed plan usage. Call before exporting a snapshot.
+  /// parallel run, network.{link,peer}.<...>.utilization gauges from
+  /// the committed plan usage, and — after a RunTransport —
+  /// transport.link.<a>-<b>.{encoded_bytes,predicted_kbps} gauges that
+  /// put measured bytes-on-wire next to the cost model's committed
+  /// bandwidth u_b(e). Call before exporting a snapshot.
   void ExportMetrics(obs::MetricsRegistry* registry) const;
 
  private:
@@ -233,6 +265,7 @@ class StreamShareSystem {
   /// Indexed by query id (one entry per registration, rejected included).
   std::vector<QueryDeployment> deployments_;
   std::vector<engine::ParallelWorkerStats> parallel_stats_;
+  transport::TransportRunStats transport_stats_;
 };
 
 }  // namespace streamshare::sharing

@@ -1,0 +1,95 @@
+#include "transport/codec.h"
+
+#include "transport/wire.h"
+
+namespace streamshare::transport {
+
+void ItemEncoder::Encode(const xml::XmlNode& node, std::string* out) {
+  out->reserve(out->size() + node.SerializedSize());
+  EncodeNode(node, out);
+}
+
+void ItemEncoder::EncodeNode(const xml::XmlNode& node, std::string* out) {
+  auto it = ids_.find(node.name());
+  if (it != ids_.end()) {
+    PutVarint(out, (it->second + 1) << 1);
+  } else {
+    PutVarint(out, (static_cast<uint64_t>(node.name().size()) << 1) | 1);
+    out->append(node.name());
+    if (ids_.size() < kMaxDictionaryNames) {
+      ids_.emplace(node.name(), ids_.size());
+    }
+  }
+  PutVarint(out, node.text().size());
+  out->append(node.text());
+  PutVarint(out, node.children().size());
+  for (const auto& child : node.children()) {
+    EncodeNode(*child, out);
+  }
+}
+
+void ItemEncoder::Reset() { ids_.clear(); }
+
+Status ItemDecoder::Decode(std::string_view data,
+                           std::unique_ptr<xml::XmlNode>* out) {
+  SS_RETURN_IF_ERROR(DecodeNode(&data, 0, out));
+  if (!data.empty()) {
+    return Status::ParseError("item decode: trailing bytes after tree");
+  }
+  return Status::Ok();
+}
+
+Status ItemDecoder::DecodeNode(std::string_view* data, size_t depth,
+                               std::unique_ptr<xml::XmlNode>* out) {
+  if (depth > kMaxDecodeDepth) {
+    return Status::ParseError("item decode: nesting too deep");
+  }
+  uint64_t tag = 0;
+  if (!GetVarint(data, &tag) || tag == 0) {
+    return Status::ParseError("item decode: bad tag varint");
+  }
+  std::string name;
+  if (tag & 1) {
+    uint64_t len = tag >> 1;
+    if (len == 0 || len > data->size()) {
+      return Status::ParseError("item decode: bad literal name length");
+    }
+    name.assign(data->substr(0, len));
+    data->remove_prefix(len);
+    if (names_.size() < kMaxDictionaryNames) names_.push_back(name);
+  } else {
+    uint64_t id = (tag >> 1) - 1;
+    if (id >= names_.size()) {
+      return Status::ParseError(
+          "item decode: unknown dictionary reference (dictionaries out of "
+          "sync — one-sided link reset?)");
+    }
+    name = names_[id];
+  }
+  auto node = std::make_unique<xml::XmlNode>(std::move(name));
+  uint64_t text_len = 0;
+  if (!GetVarint(data, &text_len) || text_len > data->size()) {
+    return Status::ParseError("item decode: bad text length");
+  }
+  if (text_len > 0) {
+    node->set_text(std::string(data->substr(0, text_len)));
+    data->remove_prefix(text_len);
+  }
+  uint64_t child_count = 0;
+  if (!GetVarint(data, &child_count) || child_count > data->size()) {
+    // Every child costs at least one byte, so a count beyond the
+    // remaining bytes is corruption — reject before looping on it.
+    return Status::ParseError("item decode: bad child count");
+  }
+  for (uint64_t i = 0; i < child_count; ++i) {
+    std::unique_ptr<xml::XmlNode> child;
+    SS_RETURN_IF_ERROR(DecodeNode(data, depth + 1, &child));
+    node->AddChild(std::move(child));
+  }
+  *out = std::move(node);
+  return Status::Ok();
+}
+
+void ItemDecoder::Reset() { names_.clear(); }
+
+}  // namespace streamshare::transport

@@ -1,0 +1,83 @@
+// Compact binary codec for stream items. One XmlNode serializes as
+//
+//   tag | varint(text length) | text bytes, raw | varint(#children) | children…
+//
+// where `tag` is a varint: an even value (id+1)<<1 references a name the
+// link has seen before (~1 byte for the repeated element names that
+// dominate stream items), an odd value (len<<1)|1 announces a literal
+// name of `len` bytes that follows — and registers it, on both ends, in
+// the link's dictionary while there is room. Text travels raw (no XML
+// entity escaping), which together with the dictionary is where the
+// bytes-on-wire win over xml_writer text comes from.
+//
+// Encoder and decoder dictionaries stay in lockstep because registration
+// is deterministic: first-literal-appearance order, capped at the same
+// size on both sides. A link restart must Reset() both ends together —
+// a one-sided reset shows up as a decode error, not silent corruption.
+
+#ifndef STREAMSHARE_TRANSPORT_CODEC_H_
+#define STREAMSHARE_TRANSPORT_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/xml_node.h"
+
+namespace streamshare::transport {
+
+/// Names a link remembers per direction; beyond this, names travel
+/// literally every time. Both ends enforce the same cap.
+inline constexpr size_t kMaxDictionaryNames = 4096;
+
+/// Decoder safety rail against corrupted frames.
+inline constexpr size_t kMaxDecodeDepth = 512;
+
+/// Encodes items for one link. Not thread-safe; one encoder per channel,
+/// driven by the sending worker's thread.
+class ItemEncoder {
+ public:
+  /// Appends the encoding of `node` to *out. Reserves using
+  /// XmlNode::SerializedSize() — the text form bounds the binary form.
+  void Encode(const xml::XmlNode& node, std::string* out);
+
+  /// Drops the dictionary (link restart). The peer decoder must reset in
+  /// the same place in the stream.
+  void Reset();
+
+  size_t dictionary_size() const { return ids_.size(); }
+
+ private:
+  void EncodeNode(const xml::XmlNode& node, std::string* out);
+
+  std::unordered_map<std::string, uint64_t> ids_;
+};
+
+/// Decodes items from one link. Mirror-image dictionary of the peer's
+/// ItemEncoder. Not thread-safe.
+class ItemDecoder {
+ public:
+  /// Decodes one item occupying all of `data`. Fails on truncation,
+  /// trailing bytes, unknown dictionary references (the symptom of a
+  /// one-sided dictionary reset), or over-deep nesting.
+  Status Decode(std::string_view data, std::unique_ptr<xml::XmlNode>* out);
+
+  /// Drops the dictionary (link restart).
+  void Reset();
+
+  size_t dictionary_size() const { return names_.size(); }
+
+ private:
+  Status DecodeNode(std::string_view* data, size_t depth,
+                    std::unique_ptr<xml::XmlNode>* out);
+
+  std::vector<std::string> names_;
+};
+
+}  // namespace streamshare::transport
+
+#endif  // STREAMSHARE_TRANSPORT_CODEC_H_

@@ -1,0 +1,22 @@
+// In-process transport: frames are handed between ends as moved strings
+// under a mutex — no serialization to a wire, no byte copies beyond the
+// frame body itself. The default transport; also what lets the whole
+// flow-control protocol run under TSAN in one process.
+
+#ifndef STREAMSHARE_TRANSPORT_LOOPBACK_H_
+#define STREAMSHARE_TRANSPORT_LOOPBACK_H_
+
+#include "transport/transport.h"
+
+namespace streamshare::transport {
+
+class LoopbackTransport final : public Transport {
+ public:
+  const char* name() const override { return "loopback"; }
+  Status CreatePipe(const std::string& label, PipePair* pair) override;
+  bool SupportsProcesses() const override { return false; }
+};
+
+}  // namespace streamshare::transport
+
+#endif  // STREAMSHARE_TRANSPORT_LOOPBACK_H_

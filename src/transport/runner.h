@@ -1,0 +1,96 @@
+// Executes a deployed operator network over a pluggable transport. The
+// operator graph is partitioned with engine::PlanPeerPartitions (the same
+// planner the in-process parallel executor uses), one channel —
+// flow-controlled per flow.h — connects every pair of workers joined by a
+// cross edge, and each worker drains a bounded LinkQueue exactly like a
+// parallel-executor worker. Two modes:
+//
+//   kThreads    every worker is a thread of this process (any transport;
+//               this is how the TCP stack runs under TSAN)
+//   kProcesses  every worker fork()s into its own OS process (requires a
+//               transport whose pipes survive fork, i.e. TCP); children
+//               report metrics shards, sink counts, and traffic stats
+//               back over a pipe and the parent merges them
+//
+// Operator indices from the partition plan double as cross-process
+// operator ids: discovery order is deterministic, so parent and children
+// agree on every index without any registration protocol.
+
+#ifndef STREAMSHARE_TRANSPORT_RUNNER_H_
+#define STREAMSHARE_TRANSPORT_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/parallel_executor.h"
+#include "engine/partition.h"
+#include "transport/flow.h"
+#include "transport/transport.h"
+
+namespace streamshare::transport {
+
+struct RunnerOptions {
+  engine::ParallelOptions parallel;
+  FlowOptions flow;
+  /// Applied to every channel's sender (drop/delay/duplicate frames);
+  /// wired to the robustness tests.
+  FaultPlan faults;
+
+  enum class Mode { kThreads, kProcesses };
+  Mode mode = Mode::kThreads;
+};
+
+/// Traffic of one cross-worker edge in the last run.
+struct EdgeTrafficStats {
+  size_t source_op = 0;  ///< partition-plan op index
+  size_t target_op = 0;
+  size_t source_worker = 0;
+  size_t target_worker = 0;
+  /// Topology link the source operator transmits over, if the source is
+  /// a LinkOp; -1 otherwise.
+  int link = -1;
+  uint64_t items = 0;
+  uint64_t encoded_bytes = 0;  ///< codec output, before frame overhead
+};
+
+/// Traffic of one worker-pair channel in the last run (sender side).
+struct ChannelTrafficStats {
+  size_t source_worker = 0;
+  size_t target_worker = 0;
+  ChannelStats stats;
+};
+
+/// Everything the last Run measured, for System::ExportMetrics.
+struct TransportRunStats {
+  std::string transport;
+  size_t process_count = 0;  ///< children forked (0 in thread mode)
+  std::vector<EdgeTrafficStats> edges;
+  std::vector<ChannelTrafficStats> channels;
+  std::vector<engine::ParallelWorkerStats> workers;
+};
+
+class PartitionedRunner {
+ public:
+  /// `transport` must outlive the runner.
+  PartitionedRunner(Transport* transport, RunnerOptions options);
+
+  /// Feeds `item_lists[s]` into `entries[s]` and runs to end of stream —
+  /// the same contract as ParallelExecutor::Run. The graph is restored
+  /// to its serial wiring before returning. In kProcesses mode, metrics,
+  /// sink counts, and content hashes measured in the children are merged
+  /// into this process's objects before returning.
+  Status Run(const std::vector<engine::Operator*>& entries,
+             const std::vector<std::vector<engine::ItemPtr>>& item_lists);
+
+  const TransportRunStats& run_stats() const { return run_stats_; }
+
+ private:
+  Transport* transport_;
+  RunnerOptions options_;
+  TransportRunStats run_stats_;
+};
+
+}  // namespace streamshare::transport
+
+#endif  // STREAMSHARE_TRANSPORT_RUNNER_H_

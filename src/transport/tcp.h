@@ -1,0 +1,24 @@
+// Localhost TCP transport. Every pipe is one TCP connection on
+// 127.0.0.1 (an ephemeral listener per pipe, closed after the
+// connect/accept handshake), so the two ends survive fork() into
+// different processes — this is what backs `streamshare_sim
+// --transport=tcp` running each super-peer partition as its own OS
+// process.
+
+#ifndef STREAMSHARE_TRANSPORT_TCP_H_
+#define STREAMSHARE_TRANSPORT_TCP_H_
+
+#include "transport/transport.h"
+
+namespace streamshare::transport {
+
+class TcpTransport final : public Transport {
+ public:
+  const char* name() const override { return "tcp"; }
+  Status CreatePipe(const std::string& label, PipePair* pair) override;
+  bool SupportsProcesses() const override { return true; }
+};
+
+}  // namespace streamshare::transport
+
+#endif  // STREAMSHARE_TRANSPORT_TCP_H_

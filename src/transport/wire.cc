@@ -1,0 +1,75 @@
+#include "transport/wire.h"
+
+namespace streamshare::transport {
+
+void PutVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint(const uint8_t** pos, const uint8_t* end, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  const uint8_t* p = *pos;
+  while (p < end && shift < 64) {
+    uint8_t byte = *p++;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated, or continuation bits past 64 bits
+}
+
+bool GetVarint(std::string_view* data, uint64_t* value) {
+  const uint8_t* pos = reinterpret_cast<const uint8_t*>(data->data());
+  const uint8_t* end = pos + data->size();
+  if (!GetVarint(&pos, end, value)) return false;
+  data->remove_prefix(
+      static_cast<size_t>(pos -
+                          reinterpret_cast<const uint8_t*>(data->data())));
+  return true;
+}
+
+void AppendFrame(std::string* out, FrameType type, std::string_view body) {
+  PutVarint(out, body.size() + 2);  // version + type
+  out->push_back(static_cast<char>(kWireVersion));
+  out->push_back(static_cast<char>(type));
+  out->append(body);
+}
+
+ParseResult ParseFrame(std::string_view buffer, Frame* frame,
+                       size_t* consumed) {
+  std::string_view rest = buffer;
+  uint64_t length = 0;
+  if (!GetVarint(&rest, &length)) {
+    // A varint never needs more than 10 bytes; more without termination
+    // means garbage, not a short read.
+    return buffer.size() >= 10 ? ParseResult::kMalformed
+                               : ParseResult::kNeedMore;
+  }
+  if (length < 2 || length > kMaxFramePayload + 2) {
+    return ParseResult::kMalformed;
+  }
+  if (rest.size() < length) return ParseResult::kNeedMore;
+  if (static_cast<uint8_t>(rest[0]) != kWireVersion) {
+    return ParseResult::kMalformed;
+  }
+  uint8_t type = static_cast<uint8_t>(rest[1]);
+  if (type < static_cast<uint8_t>(FrameType::kData) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    return ParseResult::kMalformed;
+  }
+  frame->type = static_cast<FrameType>(type);
+  frame->body = rest.substr(2, length - 2);
+  *consumed = (buffer.size() - rest.size()) + length;
+  return ParseResult::kFrame;
+}
+
+}  // namespace streamshare::transport

@@ -1,0 +1,75 @@
+// Binary wire format shared by every transport: LEB128 varints and
+// length-prefixed, versioned frames. A frame on the wire is
+//
+//   varint(payload length) | version u8 | type u8 | body
+//
+// where the length covers version, type, and body. Frame bodies:
+//
+//   DATA    varint seq | varint target op index | encoded item (codec.h)
+//   EOS     varint total DATA frames sent (dropped ones included)
+//   CREDIT  varint credits granted
+//   ERROR   message bytes, raw
+//
+// See docs/TRANSPORT.md for the full format table.
+
+#ifndef STREAMSHARE_TRANSPORT_WIRE_H_
+#define STREAMSHARE_TRANSPORT_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace streamshare::transport {
+
+/// Bump when the frame layout changes; a receiver rejects frames whose
+/// version it does not speak.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Largest payload a receiver accepts — a corrupted length prefix must
+/// not make it allocate gigabytes.
+inline constexpr uint64_t kMaxFramePayload = 64ull * 1024 * 1024;
+
+enum class FrameType : uint8_t {
+  kData = 1,
+  kEos = 2,
+  kCredit = 3,
+  kError = 4,
+};
+
+/// Appends `value` LEB128-encoded (7 bits per byte, high bit = more).
+void PutVarint(std::string* out, uint64_t value);
+
+/// Decodes a varint from [*pos, end). Advances *pos past it. False on
+/// truncated or over-long (>10 byte) input.
+bool GetVarint(const uint8_t** pos, const uint8_t* end, uint64_t* value);
+
+/// Convenience over a string_view cursor: decodes a varint from the front
+/// of *data and strips it. False on malformed input.
+bool GetVarint(std::string_view* data, uint64_t* value);
+
+/// Appends one whole frame (length prefix, version, type, body).
+void AppendFrame(std::string* out, FrameType type, std::string_view body);
+
+/// One parsed frame; `body` aliases the parse buffer.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string_view body;
+};
+
+/// Outcome of trying to parse a frame from a byte buffer.
+enum class ParseResult {
+  kFrame,      // *frame filled, *consumed bytes used
+  kNeedMore,   // buffer holds only a frame prefix so far
+  kMalformed,  // bad length, version, or type — the stream is unusable
+};
+
+/// Parses the first frame of `buffer`. On kFrame, `frame->body` points
+/// into `buffer` and `*consumed` is the total encoded size.
+ParseResult ParseFrame(std::string_view buffer, Frame* frame,
+                       size_t* consumed);
+
+}  // namespace streamshare::transport
+
+#endif  // STREAMSHARE_TRANSPORT_WIRE_H_

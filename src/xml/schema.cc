@@ -1,5 +1,7 @@
 #include "xml/schema.h"
 
+#include "xml/xml_node.h"
+
 namespace streamshare::xml {
 
 SchemaElement* SchemaElement::AddChild(std::string child_name, double occ,
@@ -51,10 +53,11 @@ double StreamSchema::OccurrencePerItem(const Path& path) const {
 namespace {
 
 double SubtreeSize(const SchemaElement& element) {
-  // Matches XmlNode::SerializedSize for the compact form: <name>..</name>
-  // plus text, or <name/> when empty. We approximate with the non-empty
-  // form since generated data always carries text at leaves.
-  double size = 2.0 * static_cast<double>(element.name.size()) + 5.0;
+  // Delegates the tag accounting to XmlNode::SerializedSize so estimate
+  // and serialization agree byte for byte. We use the non-empty form
+  // since generated data always carries text at leaves.
+  double size = static_cast<double>(
+      XmlNode::TagBytes(element.name.size(), /*empty=*/false));
   size += element.avg_text_size;
   for (const auto& child : element.children) {
     size += child->avg_occurrence * SubtreeSize(*child);

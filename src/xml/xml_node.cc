@@ -2,10 +2,7 @@
 
 namespace streamshare::xml {
 
-namespace {
-
-// Size of `text` after escaping &, <, > as entities, matching XmlWriter.
-size_t EscapedSize(std::string_view text) {
+size_t XmlNode::EscapedTextBytes(std::string_view text) {
   size_t size = 0;
   for (char c : text) {
     switch (c) {
@@ -24,8 +21,6 @@ size_t EscapedSize(std::string_view text) {
   }
   return size;
 }
-
-}  // namespace
 
 XmlNode* XmlNode::AddChild(std::string name) {
   children_.push_back(std::make_unique<XmlNode>(std::move(name)));
@@ -86,12 +81,10 @@ bool XmlNode::Equals(const XmlNode& other) const {
 size_t XmlNode::SerializedSize() const {
   size_t cached = cached_size_.load(std::memory_order_relaxed);
   if (cached != 0) return cached;
-  size_t size;
-  if (children_.empty() && text_.empty()) {
-    size = name_.size() + 3;  // <name/>
-  } else {
-    size = 2 * name_.size() + 5;  // <name> ... </name>
-    size += EscapedSize(text_);
+  bool empty = children_.empty() && text_.empty();
+  size_t size = TagBytes(name_.size(), empty);
+  if (!empty) {
+    size += EscapedTextBytes(text_);
     for (const auto& child : children_) {
       size += child->SerializedSize();
     }

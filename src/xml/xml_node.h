@@ -65,6 +65,17 @@ class XmlNode {
   /// only once a subtree is fully built (items are const after MakeItem).
   size_t SerializedSize() const;
 
+  /// Tag-overhead bytes of one element in XmlWriter's compact form:
+  /// `<name/>` when empty, `<name>…</name>` otherwise. The schema-based
+  /// size estimators (cost model) delegate here so estimate and
+  /// serialization agree on what a byte is.
+  static size_t TagBytes(size_t name_size, bool empty) {
+    return empty ? name_size + 3 : 2 * name_size + 5;
+  }
+  /// Size of `text` after escaping &, <, > as entities, matching
+  /// XmlWriter's output.
+  static size_t EscapedTextBytes(std::string_view text);
+
  private:
   std::string name_;
   std::string text_;

@@ -88,6 +88,44 @@ TEST(LinkQueueTest, PushBatchKeepsOrderAndRespectsCapacity) {
   EXPECT_TRUE(batch.empty());  // consumed by PushBatch
 }
 
+TEST(LinkQueueTest, ResetStatsZeroesEveryCounter) {
+  LinkQueue queue(/*capacity=*/4);
+  engine::OperatorGraph graph;
+  Operator* target = graph.Add<engine::PassOp>("t");
+
+  // First "run": generate some traffic, including a blocked producer.
+  std::thread producer([&] {
+    for (int i = 0; i < 50; ++i) {
+      queue.Push(LinkQueue::Entry{target, Leaf("n", std::to_string(i))});
+    }
+  });
+  std::vector<LinkQueue::Entry> batch;
+  size_t popped = 0;
+  while (popped < 50) {
+    batch.clear();
+    queue.PopBatch(&batch, 8);
+    popped += batch.size();
+  }
+  producer.join();
+  EXPECT_EQ(queue.pushed_count(), 50u);
+  EXPECT_GT(queue.max_depth(), 0u);
+
+  // A queue reused for the next run reports per-run stats, not all-time.
+  queue.ResetStats();
+  EXPECT_EQ(queue.pushed_count(), 0u);
+  EXPECT_EQ(queue.producer_blocked_ns(), 0u);
+  EXPECT_EQ(queue.consumer_blocked_ns(), 0u);
+  EXPECT_EQ(queue.max_depth(), 0u);
+
+  queue.Push(LinkQueue::Entry{target, Leaf("n", "after")});
+  EXPECT_EQ(queue.pushed_count(), 1u);
+  EXPECT_EQ(queue.max_depth(), 1u);
+  batch.clear();
+  queue.PopBatch(&batch, 8);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].item->text(), "after");
+}
+
 TEST(RunStreamsTest, SkipsExhaustedStreamsRoundRobin) {
   engine::OperatorGraph graph;
   auto* sink_a = graph.Add<engine::SinkOp>("a", /*keep_items=*/true);

@@ -1,0 +1,335 @@
+// Wire primitives and the binary item codec: varint and frame round
+// trips, malformed-input rejection, dictionary behavior (repeats shrink,
+// lockstep reset, one-sided reset detected), and a property-style sweep
+// of randomized trees — deep nesting, empty elements, many distinct
+// names, large text — that must round-trip to byte-identical XML text.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "transport/codec.h"
+#include "transport/wire.h"
+#include "xml/xml_node.h"
+#include "xml/xml_writer.h"
+
+namespace streamshare {
+namespace {
+
+using transport::FrameType;
+using transport::ItemDecoder;
+using transport::ItemEncoder;
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             300,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             UINT64_MAX};
+  for (uint64_t value : values) {
+    std::string buffer;
+    transport::PutVarint(&buffer, value);
+    EXPECT_LE(buffer.size(), 10u);
+    std::string_view view = buffer;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(transport::GetVarint(&view, &decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(view.empty());
+  }
+}
+
+TEST(VarintTest, RejectsTruncatedAndOverlongInput) {
+  std::string buffer;
+  transport::PutVarint(&buffer, UINT64_MAX);
+  std::string_view truncated(buffer.data(), buffer.size() - 1);
+  uint64_t value = 0;
+  EXPECT_FALSE(transport::GetVarint(&truncated, &value));
+
+  // Eleven continuation bytes cannot be a valid 64-bit varint.
+  std::string overlong(11, '\x80');
+  std::string_view view = overlong;
+  EXPECT_FALSE(transport::GetVarint(&view, &value));
+}
+
+TEST(FrameTest, RoundTripsEveryType) {
+  for (FrameType type : {FrameType::kData, FrameType::kEos,
+                         FrameType::kCredit, FrameType::kError}) {
+    std::string buffer;
+    transport::AppendFrame(&buffer, type, "payload");
+    transport::Frame frame;
+    size_t consumed = 0;
+    ASSERT_EQ(transport::ParseFrame(buffer, &frame, &consumed),
+              transport::ParseResult::kFrame);
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.body, "payload");
+    EXPECT_EQ(consumed, buffer.size());
+  }
+}
+
+TEST(FrameTest, PartialBufferNeedsMore) {
+  std::string buffer;
+  transport::AppendFrame(&buffer, FrameType::kData, "some item bytes");
+  transport::Frame frame;
+  size_t consumed = 0;
+  for (size_t cut = 0; cut < buffer.size(); ++cut) {
+    EXPECT_EQ(transport::ParseFrame(std::string_view(buffer.data(), cut),
+                                    &frame, &consumed),
+              transport::ParseResult::kNeedMore)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(FrameTest, RejectsBadVersionTypeAndLength) {
+  std::string good;
+  transport::AppendFrame(&good, FrameType::kData, "x");
+  transport::Frame frame;
+  size_t consumed = 0;
+
+  std::string bad_version = good;
+  bad_version[1] = static_cast<char>(transport::kWireVersion + 1);
+  EXPECT_EQ(transport::ParseFrame(bad_version, &frame, &consumed),
+            transport::ParseResult::kMalformed);
+
+  std::string bad_type = good;
+  bad_type[2] = 0x7f;
+  EXPECT_EQ(transport::ParseFrame(bad_type, &frame, &consumed),
+            transport::ParseResult::kMalformed);
+
+  // A length prefix beyond the payload cap must be rejected before any
+  // allocation happens.
+  std::string huge;
+  transport::PutVarint(&huge, transport::kMaxFramePayload + 3);
+  EXPECT_EQ(transport::ParseFrame(huge, &frame, &consumed),
+            transport::ParseResult::kMalformed);
+}
+
+// --- Item codec ---------------------------------------------------------
+
+std::unique_ptr<xml::XmlNode> Photon(int id) {
+  auto photon = std::make_unique<xml::XmlNode>("photon");
+  photon->AddLeaf("ra", std::to_string(180.0 + id));
+  photon->AddLeaf("decl", std::to_string(-30.0 + id));
+  photon->AddLeaf("energy", std::to_string(1000 + id));
+  auto* obs = photon->AddChild("observation");
+  obs->AddLeaf("telescope", "HESS");
+  obs->AddLeaf("time", std::to_string(1234567 + id));
+  return photon;
+}
+
+/// Round-trips one tree through the given encoder/decoder pair and
+/// demands structural equality plus byte-identical compact XML text.
+void ExpectRoundTrip(ItemEncoder* encoder, ItemDecoder* decoder,
+                     const xml::XmlNode& tree) {
+  std::string encoded;
+  encoder->Encode(tree, &encoded);
+  std::unique_ptr<xml::XmlNode> back;
+  Status status = decoder->Decode(encoded, &back);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_NE(back, nullptr);
+  EXPECT_TRUE(tree.Equals(*back));
+  EXPECT_EQ(xml::WriteCompact(tree), xml::WriteCompact(*back));
+}
+
+TEST(ItemCodecTest, RoundTripsTypicalItem) {
+  ItemEncoder encoder;
+  ItemDecoder decoder;
+  ExpectRoundTrip(&encoder, &decoder, *Photon(1));
+  EXPECT_EQ(encoder.dictionary_size(), decoder.dictionary_size());
+  EXPECT_EQ(encoder.dictionary_size(), 7u);  // distinct names registered
+}
+
+TEST(ItemCodecTest, DictionaryShrinksRepeatedItems) {
+  ItemEncoder encoder;
+  ItemDecoder decoder;
+  std::string first, second;
+  encoder.Encode(*Photon(1), &first);
+  encoder.Encode(*Photon(2), &second);
+  // Same shape, same-length values: the second item references every
+  // name by id (~1 byte each) instead of spelling it out.
+  EXPECT_LT(second.size(), first.size());
+  // And both stay decodable in order.
+  std::unique_ptr<xml::XmlNode> a, b;
+  ASSERT_TRUE(decoder.Decode(first, &a).ok());
+  ASSERT_TRUE(decoder.Decode(second, &b).ok());
+  EXPECT_TRUE(Photon(1)->Equals(*a));
+  EXPECT_TRUE(Photon(2)->Equals(*b));
+  // Binary form beats the XML text form even on the first item (no
+  // closing tags, no entity escaping).
+  EXPECT_LT(first.size(), xml::WriteCompact(*Photon(1)).size());
+}
+
+TEST(ItemCodecTest, LockstepResetWorksOneSidedResetFails) {
+  ItemEncoder encoder;
+  ItemDecoder decoder;
+  ExpectRoundTrip(&encoder, &decoder, *Photon(1));
+
+  // Link restart: both ends reset together, the stream continues.
+  encoder.Reset();
+  decoder.Reset();
+  EXPECT_EQ(encoder.dictionary_size(), 0u);
+  EXPECT_EQ(decoder.dictionary_size(), 0u);
+  ExpectRoundTrip(&encoder, &decoder, *Photon(2));
+
+  // One-sided reset: the encoder still references dictionary ids the
+  // decoder no longer has — a decode error, not silent corruption.
+  decoder.Reset();
+  std::string encoded;
+  encoder.Encode(*Photon(3), &encoded);
+  std::unique_ptr<xml::XmlNode> out;
+  Status status = decoder.Decode(encoded, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("dictionary"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ItemCodecTest, RejectsTrailingBytesAndTruncation) {
+  ItemEncoder encoder;
+  ItemDecoder decoder;
+  std::string encoded;
+  encoder.Encode(*Photon(1), &encoded);
+
+  std::unique_ptr<xml::XmlNode> out;
+  std::string trailing = encoded + "junk";
+  EXPECT_FALSE(decoder.Decode(trailing, &out).ok());
+
+  ItemDecoder fresh;
+  std::string truncated = encoded.substr(0, encoded.size() / 2);
+  EXPECT_FALSE(fresh.Decode(truncated, &out).ok());
+}
+
+TEST(ItemCodecTest, RejectsOverDeepNesting) {
+  auto root = std::make_unique<xml::XmlNode>("n");
+  xml::XmlNode* tip = root.get();
+  for (size_t i = 0; i < transport::kMaxDecodeDepth + 10; ++i) {
+    tip = tip->AddChild("n");
+  }
+  ItemEncoder encoder;
+  ItemDecoder decoder;
+  std::string encoded;
+  encoder.Encode(*root, &encoded);
+  std::unique_ptr<xml::XmlNode> out;
+  Status status = decoder.Decode(encoded, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("deep"), std::string::npos)
+      << status.ToString();
+}
+
+// --- Property-style randomized sweep ------------------------------------
+
+/// Random tree generator exercising the codec's edge shapes: deep chains,
+/// wide fan-out, empty elements, empty and large text, names drawn from a
+/// small pool (dictionary hits) and fresh names (literals).
+class TreeGen {
+ public:
+  explicit TreeGen(uint64_t seed) : rng_(seed) {}
+
+  std::unique_ptr<xml::XmlNode> Tree() {
+    int shape = Pick(4);
+    if (shape == 0) return Chain(Pick(60) + 1);
+    return Random(/*depth=*/0, /*max_depth=*/2 + Pick(5));
+  }
+
+ private:
+  int Pick(int bound) {
+    return static_cast<int>(rng_() % static_cast<uint64_t>(bound));
+  }
+
+  std::string Name() {
+    // Mostly from a pool (repeats), sometimes brand new.
+    static const char* kPool[] = {"photon", "ra",   "decl", "energy",
+                                  "obs",    "time", "id",   "flux"};
+    if (Pick(5) != 0) return kPool[Pick(8)];
+    return "name" + std::to_string(next_fresh_++);
+  }
+
+  std::string Text() {
+    switch (Pick(5)) {
+      case 0:
+        return "";
+      case 1: {  // characters the XML form must escape, raw here
+        return "a<b&c>d";
+      }
+      case 2: {  // large text payload
+        return std::string(static_cast<size_t>(512 + Pick(4096)), 'x');
+      }
+      default:
+        return std::to_string(rng_());
+    }
+  }
+
+  std::unique_ptr<xml::XmlNode> Chain(int depth) {
+    auto root = std::make_unique<xml::XmlNode>(Name());
+    xml::XmlNode* tip = root.get();
+    for (int i = 0; i < depth; ++i) tip = tip->AddChild(Name());
+    tip->set_text(Text());
+    return root;
+  }
+
+  std::unique_ptr<xml::XmlNode> Random(int depth, int max_depth) {
+    auto node = std::make_unique<xml::XmlNode>(Name());
+    if (Pick(3) != 0) node->set_text(Text());
+    if (depth < max_depth) {
+      int children = Pick(depth == 0 ? 6 : 4);
+      for (int i = 0; i < children; ++i) {
+        node->AddChild(Random(depth + 1, max_depth));
+      }
+    }
+    return node;
+  }
+
+  std::mt19937_64 rng_;
+  int next_fresh_ = 0;
+};
+
+TEST(ItemCodecPropertyTest, RandomizedTreesRoundTripByteIdentically) {
+  TreeGen gen(/*seed=*/20260807);
+  ItemEncoder encoder;
+  ItemDecoder decoder;
+  for (int i = 0; i < 300; ++i) {
+    std::unique_ptr<xml::XmlNode> tree = gen.Tree();
+    SCOPED_TRACE("tree " + std::to_string(i));
+    ExpectRoundTrip(&encoder, &decoder, *tree);
+    // Dictionaries stay in lockstep across the whole stream.
+    ASSERT_EQ(encoder.dictionary_size(), decoder.dictionary_size());
+  }
+}
+
+TEST(ItemCodecPropertyTest, FreshDecoderPerItemAlsoWorksAfterReset) {
+  // The same stream with a reset between every item: no state may leak.
+  TreeGen gen(/*seed=*/7);
+  ItemEncoder encoder;
+  ItemDecoder decoder;
+  for (int i = 0; i < 50; ++i) {
+    encoder.Reset();
+    decoder.Reset();
+    std::unique_ptr<xml::XmlNode> tree = gen.Tree();
+    SCOPED_TRACE("tree " + std::to_string(i));
+    ExpectRoundTrip(&encoder, &decoder, *tree);
+  }
+}
+
+TEST(ItemCodecTest, EncodeReservesFromSerializedSize) {
+  // The binary form never exceeds the compact XML text form (that bound
+  // is what Encode's reserve call relies on).
+  TreeGen gen(/*seed=*/99);
+  for (int i = 0; i < 100; ++i) {
+    ItemEncoder encoder;  // fresh dictionary: worst case, all literals
+    std::unique_ptr<xml::XmlNode> tree = gen.Tree();
+    std::string encoded;
+    encoder.Encode(*tree, &encoded);
+    EXPECT_LE(encoded.size(), tree->SerializedSize())
+        << xml::WriteCompact(*tree).substr(0, 200);
+  }
+}
+
+}  // namespace
+}  // namespace streamshare

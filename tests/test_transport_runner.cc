@@ -1,0 +1,410 @@
+// The partitioned transport runner's contract: results and merged
+// metrics identical to a serial run — over loopback threads, TCP
+// threads, and (outside TSAN) TCP with every worker fork()ed into its
+// own OS process — plus serial-wiring restore, measured traffic stats,
+// fault-injection failure propagation, and sink content hashes that
+// survive the cross-process report.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/metrics.h"
+#include "engine/operator.h"
+#include "engine/parallel_executor.h"
+#include "network/topology.h"
+#include "transport/loopback.h"
+#include "transport/runner.h"
+#include "transport/tcp.h"
+#include "workload/scenario.h"
+
+// fork() and TSAN don't mix: TSAN's runtime owns threads the child
+// can't inherit safely. Process-mode cases run everywhere else.
+#if defined(__SANITIZE_THREAD__)
+#define STREAMSHARE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define STREAMSHARE_TSAN 1
+#endif
+#endif
+#ifndef STREAMSHARE_TSAN
+#define STREAMSHARE_TSAN 0
+#endif
+
+namespace streamshare {
+namespace {
+
+using engine::ItemPtr;
+using engine::Operator;
+using transport::LoopbackTransport;
+using transport::PartitionedRunner;
+using transport::RunnerOptions;
+using transport::TcpTransport;
+
+ItemPtr Leaf(const std::string& name, const std::string& text) {
+  auto node = std::make_unique<xml::XmlNode>(name);
+  node->set_text(text);
+  return engine::MakeItem(std::move(node));
+}
+
+/// One transport/mode combination under test.
+struct RunnerCase {
+  const char* label;
+  const char* transport;  // "loopback" | "tcp"
+  RunnerOptions::Mode mode;
+};
+
+std::unique_ptr<transport::Transport> MakeTransport(const char* name) {
+  if (std::string(name) == "tcp") return std::make_unique<TcpTransport>();
+  return std::make_unique<LoopbackTransport>();
+}
+
+std::vector<RunnerCase> AllCases() {
+  std::vector<RunnerCase> cases = {
+      {"loopback-threads", "loopback", RunnerOptions::Mode::kThreads},
+      {"tcp-threads", "tcp", RunnerOptions::Mode::kThreads},
+  };
+#if !STREAMSHARE_TSAN
+  cases.push_back(
+      {"tcp-processes", "tcp", RunnerOptions::Mode::kProcesses});
+#endif
+  return cases;
+}
+
+/// Runs the extended-example scenario (Fig. 6: 8 super-peers, 25
+/// queries) serial and over the given transport on two identically
+/// built systems and demands item-for-item identical sink contents and
+/// equal merged metrics — the acceptance bar from the paper repro: the
+/// distribution mechanism must be invisible in the results.
+void ExpectTransportMatchesSerial(const RunnerCase& test_case) {
+  SCOPED_TRACE(test_case.label);
+  workload::ScenarioSpec scenario =
+      workload::ExtendedExampleScenario(/*seed=*/11, /*query_count=*/25);
+
+  sharing::SystemConfig serial_config;
+  serial_config.keep_results = true;
+
+  sharing::SystemConfig transport_config = serial_config;
+  transport_config.executor = sharing::ExecutorKind::kTransport;
+  transport_config.transport = test_case.transport;
+  transport_config.transport_processes =
+      test_case.mode == RunnerOptions::Mode::kProcesses;
+
+  constexpr size_t kItems = 300;
+  Result<workload::ScenarioRun> serial = workload::RunScenario(
+      scenario, sharing::Strategy::kStreamSharing, serial_config, kItems);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  Result<workload::ScenarioRun> over_wire =
+      workload::RunScenario(scenario, sharing::Strategy::kStreamSharing,
+                            transport_config, kItems);
+  ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+
+  const auto& serial_regs = serial->system->registrations();
+  const auto& wire_regs = over_wire->system->registrations();
+  ASSERT_EQ(serial_regs.size(), wire_regs.size());
+  size_t sinks_with_output = 0;
+  for (size_t q = 0; q < serial_regs.size(); ++q) {
+    if (serial_regs[q].sink == nullptr) {
+      EXPECT_EQ(wire_regs[q].sink, nullptr);
+      continue;
+    }
+    ASSERT_NE(wire_regs[q].sink, nullptr);
+    EXPECT_EQ(serial_regs[q].sink->item_count(),
+              wire_regs[q].sink->item_count())
+        << "query " << q << " result count diverged";
+    EXPECT_EQ(serial_regs[q].sink->total_bytes(),
+              wire_regs[q].sink->total_bytes())
+        << "query " << q << " result bytes diverged";
+    if (serial_regs[q].sink->item_count() > 0) ++sinks_with_output;
+    // In process mode the items themselves stayed in the children; the
+    // order-insensitive content hash came back in the report and must
+    // match a hash of the serial results.
+    engine::SinkOp hasher("h");
+    hasher.EnableContentHash();
+    for (const ItemPtr& item : serial_regs[q].sink->items()) {
+      ASSERT_TRUE(hasher.Push(item).ok());
+    }
+    EXPECT_EQ(hasher.content_hash(), wire_regs[q].sink->content_hash())
+        << "query " << q << " content hash diverged";
+  }
+  EXPECT_GT(sinks_with_output, 0u) << "workload produced no output at all";
+
+  // Merged metrics equal the serial counters (work within FP merge
+  // tolerance), exactly like the in-process parallel executor.
+  const engine::Metrics& sm = serial->system->metrics();
+  const engine::Metrics& tm = over_wire->system->metrics();
+  ASSERT_EQ(sm.link_count(), tm.link_count());
+  ASSERT_EQ(sm.peer_count(), tm.peer_count());
+  for (size_t link = 0; link < sm.link_count(); ++link) {
+    EXPECT_EQ(sm.BytesOnLink(static_cast<int>(link)),
+              tm.BytesOnLink(static_cast<int>(link)))
+        << "link " << link;
+  }
+  for (size_t peer = 0; peer < sm.peer_count(); ++peer) {
+    EXPECT_EQ(sm.OperatorInvocationsAtPeer(static_cast<int>(peer)),
+              tm.OperatorInvocationsAtPeer(static_cast<int>(peer)))
+        << "peer " << peer;
+    EXPECT_NEAR(sm.WorkAtPeer(static_cast<int>(peer)),
+                tm.WorkAtPeer(static_cast<int>(peer)),
+                1e-6 * (1.0 + sm.WorkAtPeer(static_cast<int>(peer))))
+        << "peer " << peer;
+  }
+
+  // The run went over the wire: partitioned across several workers,
+  // with measured traffic on the cross edges.
+  const transport::TransportRunStats& stats =
+      over_wire->system->transport_stats();
+  EXPECT_EQ(stats.transport, test_case.transport);
+  EXPECT_GT(stats.workers.size(), 1u);
+  EXPECT_FALSE(stats.edges.empty());
+  EXPECT_FALSE(stats.channels.empty());
+  uint64_t items_crossed = 0, encoded_bytes = 0;
+  for (const transport::EdgeTrafficStats& edge : stats.edges) {
+    items_crossed += edge.items;
+    encoded_bytes += edge.encoded_bytes;
+  }
+  EXPECT_GT(items_crossed, 0u);
+  EXPECT_GT(encoded_bytes, 0u);
+  uint64_t frames = 0;
+  for (const transport::ChannelTrafficStats& channel : stats.channels) {
+    frames += channel.stats.frames_sent;
+  }
+  EXPECT_EQ(frames, items_crossed)
+      << "every cross-edge item travels as exactly one DATA frame";
+  if (test_case.mode == RunnerOptions::Mode::kProcesses) {
+    EXPECT_EQ(stats.process_count, stats.workers.size());
+  } else {
+    EXPECT_EQ(stats.process_count, 0u);
+  }
+}
+
+TEST(TransportRunnerTest, MatchesSerialOnExtendedWorkload) {
+  for (const RunnerCase& test_case : AllCases()) {
+    ExpectTransportMatchesSerial(test_case);
+  }
+}
+
+TEST(TransportRunnerTest, TinyQueuesAndCreditsBackpressureWithoutDeadlock) {
+  // Capacity-1 queues and a 2-credit window: every handoff stalls, both
+  // locally and across the wire, and the run must still complete.
+  RunnerCase test_case{"loopback-threads", "loopback",
+                       RunnerOptions::Mode::kThreads};
+  SCOPED_TRACE("squeezed");
+  workload::ScenarioSpec scenario =
+      workload::ExtendedExampleScenario(/*seed=*/11, /*query_count=*/10);
+
+  sharing::SystemConfig config;
+  config.keep_results = true;
+  config.executor = sharing::ExecutorKind::kTransport;
+  config.transport = test_case.transport;
+  config.parallel.queue_capacity = 1;
+  config.parallel.batch_size = 1;
+  config.flow.initial_credits = 2;
+
+  Result<workload::ScenarioRun> run = workload::RunScenario(
+      scenario, sharing::Strategy::kStreamSharing, config, /*items=*/150);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  uint64_t stalls = 0;
+  for (const auto& channel : run->system->transport_stats().channels) {
+    stalls += channel.stats.credit_stalls;
+  }
+  EXPECT_GT(stalls, 0u) << "a 2-credit window never stalling is a bug";
+}
+
+// --- Direct runner tests on a hand-built two-peer graph ------------------
+
+struct SmallGraph {
+  engine::OperatorGraph graph;
+  std::unique_ptr<engine::Metrics> metrics;
+  Operator* entry = nullptr;
+  engine::SinkOp* sink = nullptr;
+  network::LinkId link = -1;
+  network::NodeId p0 = -1, p1 = -1;
+};
+
+/// entry(p0) → link(p0→p1) → remote pass(p1) → sink: the one edge
+/// crosses a worker boundary, so every item travels the transport.
+void BuildSmallGraph(SmallGraph* g) {
+  network::Topology topology;
+  g->p0 = topology.AddPeer("SP0");
+  g->p1 = topology.AddPeer("SP1");
+  Result<network::LinkId> link = topology.AddLink(g->p0, g->p1);
+  ASSERT_TRUE(link.ok());
+  g->link = *link;
+  g->metrics = std::make_unique<engine::Metrics>(topology);
+
+  auto* entry = g->graph.Add<engine::PassOp>("entry");
+  auto* link_op =
+      g->graph.Add<engine::LinkOp>("link", g->metrics.get(), g->link);
+  auto* remote = g->graph.Add<engine::PassOp>("remote");
+  auto* sink = g->graph.Add<engine::SinkOp>("sink", /*keep_items=*/true);
+  entry->SetAccounting(g->metrics.get(), g->p0, 1.0);
+  link_op->SetAccounting(g->metrics.get(), g->p0, 0.5);
+  remote->SetAccounting(g->metrics.get(), g->p1, 2.0);
+  entry->AddDownstream(link_op);
+  link_op->AddDownstream(remote);
+  remote->AddDownstream(sink);
+  g->entry = entry;
+  g->sink = sink;
+}
+
+TEST(TransportRunnerTest, RestoresSerialWiring) {
+  SmallGraph g;
+  BuildSmallGraph(&g);
+  ASSERT_TRUE(g.entry != nullptr);
+
+  std::vector<std::vector<Operator*>> before;
+  for (Operator* op = g.entry; op != nullptr;
+       op = op->downstreams().empty() ? nullptr : op->downstreams()[0]) {
+    before.push_back(op->downstreams());
+  }
+
+  std::vector<ItemPtr> items;
+  for (int i = 0; i < 100; ++i) items.push_back(Leaf("n", std::to_string(i)));
+
+  LoopbackTransport transport;
+  PartitionedRunner runner(&transport, RunnerOptions{});
+  ASSERT_TRUE(runner.Run({g.entry}, {items}).ok());
+
+  std::vector<std::vector<Operator*>> after;
+  for (Operator* op = g.entry; op != nullptr;
+       op = op->downstreams().empty() ? nullptr : op->downstreams()[0]) {
+    after.push_back(op->downstreams());
+  }
+  EXPECT_EQ(before, after);
+
+  ASSERT_EQ(g.sink->item_count(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(g.sink->items()[i]->text(), std::to_string(i));
+  }
+  // The cross edge is attributed to the topology link the LinkOp rides.
+  const transport::TransportRunStats& stats = runner.run_stats();
+  ASSERT_EQ(stats.edges.size(), 1u);
+  EXPECT_EQ(stats.edges[0].link, g.link);
+  EXPECT_EQ(stats.edges[0].items, 100u);
+}
+
+TEST(TransportRunnerTest, DropFaultFailsTheRunCleanly) {
+  SmallGraph g;
+  BuildSmallGraph(&g);
+
+  std::vector<ItemPtr> items;
+  for (int i = 0; i < 50; ++i) items.push_back(Leaf("n", "x"));
+
+  RunnerOptions options;
+  options.faults.drop_period = 10;
+  LoopbackTransport transport;
+  PartitionedRunner runner(&transport, options);
+  Status status = runner.Run({g.entry}, {items});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("loss"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(TransportRunnerTest, DuplicateFaultIsAbsorbedByTheReceiver) {
+  SmallGraph g;
+  BuildSmallGraph(&g);
+
+  std::vector<ItemPtr> items;
+  for (int i = 0; i < 60; ++i) items.push_back(Leaf("n", std::to_string(i)));
+
+  RunnerOptions options;
+  options.faults.duplicate_period = 4;
+  LoopbackTransport transport;
+  PartitionedRunner runner(&transport, options);
+  ASSERT_TRUE(runner.Run({g.entry}, {items}).ok());
+
+  // Duplicates were discarded before delivery: results are untouched.
+  ASSERT_EQ(g.sink->item_count(), 60u);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(g.sink->items()[i]->text(), std::to_string(i));
+  }
+  uint64_t discarded = 0;
+  for (const auto& channel : runner.run_stats().channels) {
+    discarded += channel.stats.duplicates_discarded;
+  }
+  EXPECT_EQ(discarded, 15u);  // every 4th of 60 frames
+}
+
+TEST(TransportRunnerTest, OperatorFailurePropagatesAcrossTheWire) {
+  // The failing operator lives downstream of the cross edge; its error
+  // must travel back out of the worker (and, in process mode, out of the
+  // child process) without wedging any channel.
+  class FailAfterOp final : public Operator {
+   public:
+    FailAfterOp(std::string label, int fail_after)
+        : Operator(std::move(label)), remaining_(fail_after) {}
+
+   protected:
+    Status Process(const ItemPtr& item) override {
+      if (remaining_-- <= 0) return Status::Internal("injected failure");
+      return Emit(item);
+    }
+
+   private:
+    int remaining_;
+  };
+
+  network::Topology topology;
+  network::NodeId p0 = topology.AddPeer("SP0");
+  network::NodeId p1 = topology.AddPeer("SP1");
+  Result<network::LinkId> link = topology.AddLink(p0, p1);
+  ASSERT_TRUE(link.ok());
+  engine::Metrics metrics(topology);
+
+  for (const RunnerCase& test_case : AllCases()) {
+    SCOPED_TRACE(test_case.label);
+    engine::OperatorGraph graph;
+    auto* entry = graph.Add<engine::PassOp>("entry");
+    auto* link_op = graph.Add<engine::LinkOp>("link", &metrics, *link);
+    auto* fail = graph.Add<FailAfterOp>("fail", 5);
+    auto* sink = graph.Add<engine::SinkOp>("sink");
+    entry->SetAccounting(&metrics, p0, 1.0);
+    link_op->SetAccounting(&metrics, p0, 0.5);
+    fail->SetAccounting(&metrics, p1, 1.0);
+    entry->AddDownstream(link_op);
+    link_op->AddDownstream(fail);
+    fail->AddDownstream(sink);
+
+    std::vector<ItemPtr> items;
+    for (int i = 0; i < 500; ++i) items.push_back(Leaf("n", "x"));
+
+    auto transport = MakeTransport(test_case.transport);
+    RunnerOptions options;
+    options.mode = test_case.mode;
+    PartitionedRunner runner(transport.get(), options);
+    Status status = runner.Run({entry}, {items});
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("injected failure"),
+              std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST(TransportRunnerTest, EmptyStreamStillFinishes) {
+  SmallGraph g;
+  BuildSmallGraph(&g);
+  LoopbackTransport transport;
+  PartitionedRunner runner(&transport, RunnerOptions{});
+  ASSERT_TRUE(runner.Run({g.entry}, {{}}).ok());
+  EXPECT_EQ(g.sink->item_count(), 0u);
+}
+
+TEST(TransportRunnerTest, ProcessModeRequiresForkSafeTransport) {
+  SmallGraph g;
+  BuildSmallGraph(&g);
+  RunnerOptions options;
+  options.mode = RunnerOptions::Mode::kProcesses;
+  LoopbackTransport transport;  // SupportsProcesses() == false
+  PartitionedRunner runner(&transport, options);
+  Status status = runner.Run({g.entry}, {{Leaf("n", "x")}});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+      << status.ToString();
+}
+
+}  // namespace
+}  // namespace streamshare

@@ -47,6 +47,31 @@ TEST(XmlNodeTest, SerializedSizeMatchesWriter) {
   EXPECT_EQ(root.SerializedSize(), WriteCompact(root).size());
 }
 
+TEST(XmlNodeTest, TagAndTextHelpersComposeToSerializedSize) {
+  // The static per-piece estimators (used by the cost model on schemas,
+  // where no node exists yet) must agree byte-for-byte with the writer.
+  EXPECT_EQ(XmlNode::TagBytes(5, /*empty=*/true),
+            std::string("<empty/>").size());
+  EXPECT_EQ(XmlNode::TagBytes(1, /*empty=*/false),
+            std::string("<a></a>").size());
+  EXPECT_EQ(XmlNode::EscapedTextBytes("a<b>&c"),
+            std::string("a&lt;b&gt;&amp;c").size());
+  EXPECT_EQ(XmlNode::EscapedTextBytes("plain"), 5u);
+  EXPECT_EQ(XmlNode::EscapedTextBytes(""), 0u);
+
+  // Composing them by hand reproduces SerializedSize exactly.
+  XmlNode leaf("esc");
+  leaf.set_text("a<b&c");
+  EXPECT_EQ(leaf.SerializedSize(),
+            XmlNode::TagBytes(3, false) +
+                XmlNode::EscapedTextBytes("a<b&c"));
+  EXPECT_EQ(leaf.SerializedSize(), WriteCompact(leaf).size());
+
+  XmlNode empty("hollow");
+  EXPECT_EQ(empty.SerializedSize(), XmlNode::TagBytes(6, true));
+  EXPECT_EQ(empty.SerializedSize(), WriteCompact(empty).size());
+}
+
 TEST(XmlWriterTest, CompactForm) {
   XmlNode root("a");
   root.AddLeaf("b", "1");

@@ -4,8 +4,15 @@
 //   streamshare_sim [--scenario=extended|grid] [--strategy=data|query|share]
 //                   [--queries=N] [--items=N] [--seed=N] [--widening]
 //                   [--hierarchical] [--enforce-limits]
-//                   [--executor=serial|parallel] [--trace=FILE]
+//                   [--executor=serial|parallel] [--transport=loopback|tcp]
+//                   [--transport-threads] [--trace=FILE]
 //                   [--metrics=FILE] [--explain] [--log]
+//
+// --transport runs the deployed network over the transport layer (binary
+// codec + credit-based flow control) instead of in-process pointer
+// handoff; with tcp every super-peer partition becomes its own OS
+// process exchanging frames over localhost sockets
+// (--transport-threads keeps tcp in one process, e.g. under TSAN).
 //
 // Observability: --trace writes a Chrome trace_event JSON (load it in
 // chrome://tracing or Perfetto), --metrics writes a registry snapshot
@@ -41,6 +48,8 @@ struct Options {
   bool enforce_limits = false;
   bool hierarchical = false;
   bool parallel = false;
+  std::string transport;  // empty = no transport layer
+  bool transport_threads = false;
   bool explain = false;
   bool log = false;
   std::string trace_path;
@@ -62,7 +71,8 @@ int Usage(const char* program) {
       "usage: %s [--scenario=extended|grid] "
       "[--strategy=data|query|share] [--queries=N] [--items=N] "
       "[--seed=N] [--widening] [--hierarchical] [--enforce-limits] "
-      "[--executor=serial|parallel] [--trace=FILE] [--metrics=FILE] "
+      "[--executor=serial|parallel] [--transport=loopback|tcp] "
+      "[--transport-threads] [--trace=FILE] [--metrics=FILE] "
       "[--explain] [--log]\n",
       program);
   return 1;
@@ -108,6 +118,11 @@ int main(int argc, char** argv) {
       } else {
         return Usage(argv[0]);
       }
+    } else if (ParseFlag(argv[i], "--transport", &value)) {
+      if (value != "loopback" && value != "tcp") return Usage(argv[0]);
+      options.transport = value;
+    } else if (std::strcmp(argv[i], "--transport-threads") == 0) {
+      options.transport_threads = true;
     } else if (ParseFlag(argv[i], "--trace", &value)) {
       options.trace_path = value;
     } else if (ParseFlag(argv[i], "--metrics", &value)) {
@@ -143,6 +158,14 @@ int main(int argc, char** argv) {
   config.enforce_limits = options.enforce_limits;
   if (options.parallel) {
     config.executor = sharing::ExecutorKind::kParallel;
+  }
+  if (!options.transport.empty()) {
+    // TCP defaults to one OS process per super-peer partition; loopback
+    // pipes cannot cross fork() and always run worker threads.
+    config.executor = sharing::ExecutorKind::kTransport;
+    config.transport = options.transport;
+    config.transport_processes =
+        options.transport == "tcp" && !options.transport_threads;
   }
   if (options.hierarchical) {
     // Quadrants for the grid; halves for the extended example.
@@ -219,6 +242,26 @@ int main(int argc, char** argv) {
                   static_cast<double>(stats.producer_blocked_ns) / 1e6,
                   static_cast<double>(stats.consumer_blocked_ns) / 1e6,
                   static_cast<unsigned long long>(stats.max_queue_depth));
+    }
+  }
+
+  if (!options.transport.empty()) {
+    const transport::TransportRunStats& tstats =
+        run->system->transport_stats();
+    std::printf("\ntransport=%s processes=%zu\n", tstats.transport.c_str(),
+                tstats.process_count);
+    std::printf("%-12s %12s %12s %12s %10s\n", "channel", "frames",
+                "wire bytes", "items", "stalls");
+    for (const transport::ChannelTrafficStats& channel : tstats.channels) {
+      std::string label = "w" + std::to_string(channel.source_worker) +
+                          "->w" + std::to_string(channel.target_worker);
+      std::printf("%-12s %12llu %12llu %12llu %10llu\n", label.c_str(),
+                  static_cast<unsigned long long>(channel.stats.frames_sent),
+                  static_cast<unsigned long long>(channel.stats.bytes_sent),
+                  static_cast<unsigned long long>(
+                      channel.stats.items_delivered),
+                  static_cast<unsigned long long>(
+                      channel.stats.credit_stalls));
     }
   }
 
