@@ -539,7 +539,8 @@ Result<EvaluationPlan> Planner::Subscribe(
   // Appends one candidate record and returns its index in `candidates`.
   auto record_candidate = [&local_stats](const StreamBinding& binding,
                                          const InputPlan& candidate,
-                                         bool widening) {
+                                         bool widening,
+                                         bool baseline = false) {
     CandidatePlanInfo info;
     info.input_stream = binding.stream_name;
     info.reused_stream = candidate.reused_stream;
@@ -547,6 +548,7 @@ Result<EvaluationPlan> Planner::Subscribe(
     info.cost = candidate.cost;
     info.feasible = candidate.feasible;
     info.widening = widening;
+    info.baseline = baseline;
     local_stats.candidates.push_back(std::move(info));
     return local_stats.candidates.size() - 1;
   };
@@ -588,8 +590,9 @@ Result<EvaluationPlan> Planner::Subscribe(
       best = std::move(initial);
       ++local_stats.plans_generated;
     }
-    size_t best_candidate =
-        record_candidate(binding, best, /*widening=*/false);
+    size_t best_candidate = record_candidate(binding, best,
+                                             /*widening=*/false,
+                                             /*baseline=*/true);
 
     // A candidate replaces the incumbent if it is strictly better by C —
     // preferring feasible plans when configured (the overload test).

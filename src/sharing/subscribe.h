@@ -65,6 +65,10 @@ struct CandidatePlanInfo {
   /// Plan widens a deployed stream (paper §6) before reusing it.
   bool widening = false;
   bool chosen = false;
+  /// The no-sharing fallback (original stream shipped to vq, all
+  /// evaluation there). Always recorded first per input; the
+  /// differential oracle compares the chosen plan's C(P) against it.
+  bool baseline = false;
 };
 
 /// Search-effort counters of one Subscribe run.

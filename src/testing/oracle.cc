@@ -1,0 +1,339 @@
+#include "testing/oracle.h"
+
+#include <map>
+#include <memory>
+
+#include "sharing/system.h"
+#include "xml/xml_writer.h"
+
+namespace streamshare::testing {
+
+namespace {
+
+using sharing::ExecutorKind;
+using sharing::RegistrationResult;
+using sharing::StreamShareSystem;
+using sharing::SystemConfig;
+
+/// The photon DTD statistics every scenario stream carries (mirrors
+/// workload::BuildSystem's ranges; the generator varies rates and hot
+/// regions, not the DTD).
+Status InstallStatistics(StreamShareSystem* system,
+                         const FuzzStreamSpec& stream,
+                         const workload::PhotonGenConfig& gen) {
+  auto path = [](const char* text) {
+    return xml::Path::Parse(text).value();
+  };
+  SS_RETURN_IF_ERROR(system->SetRange(stream.name, path("coord/cel/ra"),
+                                      {0.0, 360.0}));
+  SS_RETURN_IF_ERROR(system->SetRange(stream.name, path("coord/cel/dec"),
+                                      {-90.0, 90.0}));
+  SS_RETURN_IF_ERROR(
+      system->SetRange(stream.name, path("en"), {gen.en_min, gen.en_max}));
+  SS_RETURN_IF_ERROR(
+      system->SetRange(stream.name, path("phc"), {0.0, 255.0}));
+  SS_RETURN_IF_ERROR(
+      system->SetRange(stream.name, path("coord/det/dx"), {0.0, 511.0}));
+  SS_RETURN_IF_ERROR(
+      system->SetRange(stream.name, path("coord/det/dy"), {0.0, 511.0}));
+  SS_RETURN_IF_ERROR(
+      system->SetRange(stream.name, path("det_time"), {0.0, 1e9}));
+  return system->SetAvgIncrement(stream.name, path("det_time"),
+                                 gen.det_time_increment_mean);
+}
+
+struct BuiltSystem {
+  std::unique_ptr<StreamShareSystem> system;
+  std::vector<QueryObservation> registrations;
+  /// Scenario query index -> index into system->registrations(), or -1
+  /// when RegisterQuery failed outright (failed calls append nothing).
+  std::vector<int> registration_index;
+};
+
+/// Builds a system for the scenario, registers every stream and query
+/// under `strategy`, and enables content hashing on all sinks. Keeps
+/// results only when asked (the two serial systems that item-diff).
+Result<BuiltSystem> BuildAndRegister(const FuzzScenario& scenario,
+                                     sharing::Strategy strategy,
+                                     SystemConfig config) {
+  SS_ASSIGN_OR_RETURN(network::Topology topology,
+                      scenario.topology.Build());
+  BuiltSystem built;
+  built.system =
+      std::make_unique<StreamShareSystem>(std::move(topology), config);
+  for (const FuzzStreamSpec& stream : scenario.streams) {
+    workload::PhotonGenConfig gen = StreamGenConfig(scenario, stream);
+    SS_RETURN_IF_ERROR(built.system->RegisterStream(
+        stream.name, workload::PhotonGenerator::Schema(),
+        gen.frequency_hz, stream.source));
+    SS_RETURN_IF_ERROR(
+        InstallStatistics(built.system.get(), stream, gen));
+  }
+  for (const FuzzQuerySpec& query : scenario.queries) {
+    QueryObservation observation;
+    Result<RegistrationResult> result = built.system->RegisterQuery(
+        query.ToQueryText(), query.target, strategy);
+    if (!result.ok()) {
+      observation.registration_error = result.status().ToString();
+      built.registration_index.push_back(-1);
+    } else {
+      observation.accepted = result->accepted;
+      if (result->sink != nullptr) result->sink->EnableContentHash();
+      built.registration_index.push_back(result->query_id);
+    }
+    built.registrations.push_back(std::move(observation));
+  }
+  return built;
+}
+
+std::map<std::string, std::vector<engine::ItemPtr>> GenerateItems(
+    const FuzzScenario& scenario) {
+  std::map<std::string, std::vector<engine::ItemPtr>> items;
+  for (const FuzzStreamSpec& stream : scenario.streams) {
+    workload::PhotonGenerator generator(StreamGenConfig(scenario, stream));
+    items[stream.name] = generator.Generate(scenario.items_per_stream);
+  }
+  return items;
+}
+
+/// Folds the post-run sink state into the registration observations.
+void Observe(const BuiltSystem& built, ModeObservation* mode) {
+  mode->queries = built.registrations;
+  const std::vector<RegistrationResult>& registrations =
+      built.system->registrations();
+  for (size_t q = 0; q < mode->queries.size(); ++q) {
+    int index = built.registration_index[q];
+    if (index < 0) continue;
+    const engine::SinkOp* sink = registrations[index].sink;
+    if (sink == nullptr) continue;
+    mode->queries[q].items = sink->item_count();
+    mode->queries[q].bytes = sink->total_bytes();
+    mode->queries[q].content_hash = sink->content_hash();
+  }
+}
+
+std::string DescribeQuery(const FuzzScenario& scenario, size_t q) {
+  return "q" + std::to_string(q) + " [" +
+         scenario.queries[q].ToQueryText() + "]";
+}
+
+}  // namespace
+
+Result<OracleReport> RunOracle(const FuzzScenario& scenario,
+                               const OracleOptions& options) {
+  OracleReport report;
+  auto fail = [&report](std::string message) {
+    if (report.failure.empty()) report.failure = std::move(message);
+  };
+
+  std::map<std::string, std::vector<engine::ItemPtr>> items =
+      GenerateItems(scenario);
+
+  // --- Reference: stream sharing, serial executor, kept results. -------
+  SystemConfig serial_config;
+  serial_config.keep_results = true;
+  SS_ASSIGN_OR_RETURN(
+      BuiltSystem reference,
+      BuildAndRegister(scenario, sharing::Strategy::kStreamSharing,
+                       serial_config));
+  SS_RETURN_IF_ERROR(reference.system->Run(items));
+  ModeObservation reference_mode;
+  reference_mode.mode = "serial";
+  Observe(reference, &reference_mode);
+  report.modes.push_back(reference_mode);
+
+  for (const QueryObservation& query : reference_mode.queries) {
+    if (query.accepted) ++report.accepted;
+    report.total_results += query.items;
+  }
+  for (const RegistrationResult& registration :
+       reference.system->registrations()) {
+    if (!registration.accepted || registration.plan.inputs.empty()) {
+      continue;
+    }
+    bool derived = false;
+    for (const sharing::InputPlan& input : registration.plan.inputs) {
+      if (input.reused_stream >= 0 &&
+          !reference.system->registry()
+               .stream(input.reused_stream)
+               .IsOriginal()) {
+        derived = true;
+      }
+    }
+    if (derived) ++report.shared_reuses;
+  }
+
+  // --- The other three executor modes. ---------------------------------
+  struct ModeSpec {
+    const char* name;
+    ExecutorKind executor;
+    const char* transport;
+    bool processes;
+  };
+  std::vector<ModeSpec> mode_specs;
+  if (options.run_parallel) {
+    mode_specs.push_back({"parallel", ExecutorKind::kParallel, "", false});
+  }
+  if (options.run_loopback) {
+    mode_specs.push_back(
+        {"transport-loopback", ExecutorKind::kTransport, "loopback",
+         false});
+  }
+  if (options.run_tcp) {
+    mode_specs.push_back({"transport-tcp", ExecutorKind::kTransport, "tcp",
+                          options.tcp_processes});
+  }
+
+  for (const ModeSpec& spec : mode_specs) {
+    SystemConfig config;  // no keep_results: counts/bytes/hashes suffice
+    config.executor = spec.executor;
+    if (spec.transport[0] != '\0') {
+      config.transport = spec.transport;
+      config.transport_processes = spec.processes;
+    }
+    SS_ASSIGN_OR_RETURN(
+        BuiltSystem built,
+        BuildAndRegister(scenario, sharing::Strategy::kStreamSharing,
+                         config));
+    Status run_status = spec.executor == ExecutorKind::kTransport
+                            ? built.system->RunTransport(items)
+                            : built.system->RunParallel(items);
+    SS_RETURN_IF_ERROR(run_status.WithContext(spec.name));
+    ModeObservation mode;
+    mode.mode = spec.name;
+    Observe(built, &mode);
+
+    if (!options.inject_divergence_mode.empty() &&
+        options.inject_divergence_mode == spec.name) {
+      // Deliberate equivalence bug (self-test): aggregation queries with
+      // a big enough window report one item too few and a skewed hash.
+      for (size_t q = 0; q < mode.queries.size(); ++q) {
+        const FuzzQuerySpec& query = scenario.queries[q];
+        if (query.kind == FuzzQuerySpec::Kind::kAggregation &&
+            query.window_size >= options.inject_min_window &&
+            mode.queries[q].items > 0) {
+          mode.queries[q].items -= 1;
+          mode.queries[q].content_hash ^= 0xDEADBEEF;
+        }
+      }
+    }
+    report.modes.push_back(std::move(mode));
+  }
+
+  // --- N-way diff against the serial reference. ------------------------
+  for (size_t m = 1; m < report.modes.size(); ++m) {
+    const ModeObservation& mode = report.modes[m];
+    for (size_t q = 0; q < mode.queries.size(); ++q) {
+      const QueryObservation& expected = reference_mode.queries[q];
+      const QueryObservation& actual = mode.queries[q];
+      if (expected.accepted != actual.accepted ||
+          expected.registration_error != actual.registration_error) {
+        report.equivalence_ok = false;
+        fail(mode.mode + ": registration outcome diverged on " +
+             DescribeQuery(scenario, q));
+        continue;
+      }
+      if (expected.items != actual.items ||
+          expected.bytes != actual.bytes ||
+          expected.content_hash != actual.content_hash) {
+        report.equivalence_ok = false;
+        fail(mode.mode + ": results diverged on " +
+             DescribeQuery(scenario, q) + " — serial items=" +
+             std::to_string(expected.items) + " bytes=" +
+             std::to_string(expected.bytes) + " hash=" +
+             std::to_string(expected.content_hash) + ", " + mode.mode +
+             " items=" + std::to_string(actual.items) + " bytes=" +
+             std::to_string(actual.bytes) + " hash=" +
+             std::to_string(actual.content_hash));
+      }
+    }
+  }
+
+  // --- Sharing oracle: item-identical to data shipping, C(P) no worse. --
+  SS_ASSIGN_OR_RETURN(
+      BuiltSystem baseline,
+      BuildAndRegister(scenario, sharing::Strategy::kDataShipping,
+                       serial_config));
+  SS_RETURN_IF_ERROR(baseline.system->Run(items));
+
+  const auto& all_shared_regs = reference.system->registrations();
+  const auto& all_baseline_regs = baseline.system->registrations();
+  for (size_t q = 0; q < scenario.queries.size(); ++q) {
+    int shared_index = reference.registration_index[q];
+    int baseline_index = baseline.registration_index[q];
+    if ((shared_index < 0) != (baseline_index < 0)) {
+      report.sharing_ok = false;
+      fail("sharing oracle: " + DescribeQuery(scenario, q) +
+           " registration outcome differs between sharing and data "
+           "shipping");
+      continue;
+    }
+    if (shared_index < 0) continue;
+    const RegistrationResult& shared_reg = all_shared_regs[shared_index];
+    const RegistrationResult& baseline_reg =
+        all_baseline_regs[baseline_index];
+    if (shared_reg.sink == nullptr || baseline_reg.sink == nullptr) {
+      continue;
+    }
+    const auto& shared_items = shared_reg.sink->items();
+    const auto& baseline_items = baseline_reg.sink->items();
+    if (shared_items.size() != baseline_items.size()) {
+      report.sharing_ok = false;
+      fail("sharing oracle: " + DescribeQuery(scenario, q) +
+           " delivered " + std::to_string(shared_items.size()) +
+           " items shared vs " + std::to_string(baseline_items.size()) +
+           " items independent");
+      continue;
+    }
+    for (size_t i = 0; i < shared_items.size(); ++i) {
+      if (!shared_items[i]->Equals(*baseline_items[i])) {
+        report.sharing_ok = false;
+        fail("sharing oracle: " + DescribeQuery(scenario, q) + " item " +
+             std::to_string(i) + " differs — shared " +
+             xml::WriteCompact(*shared_items[i]) + " vs independent " +
+             xml::WriteCompact(*baseline_items[i]));
+        break;
+      }
+    }
+
+    // Plan-cost half: the chosen plan must never beat the fallback it
+    // displaced on price. Per input stream: chosen C(P) <= baseline C(P).
+    std::map<std::string, double> baseline_cost;
+    for (const sharing::CandidatePlanInfo& candidate :
+         shared_reg.search.candidates) {
+      if (candidate.baseline) {
+        baseline_cost.emplace(candidate.input_stream, candidate.cost);
+      }
+    }
+    for (const sharing::CandidatePlanInfo& candidate :
+         shared_reg.search.candidates) {
+      if (!candidate.chosen) continue;
+      auto it = baseline_cost.find(candidate.input_stream);
+      if (it == baseline_cost.end()) continue;
+      // Allow for FP noise in cost accumulation; a real regression is
+      // orders of magnitude above this.
+      if (candidate.cost > it->second * (1.0 + 1e-9) + 1e-12) {
+        report.sharing_ok = false;
+        fail("sharing oracle: " + DescribeQuery(scenario, q) +
+             " chose a plan with C(P)=" + std::to_string(candidate.cost) +
+             " over a cheaper no-sharing baseline C(P)=" +
+             std::to_string(it->second));
+      }
+    }
+  }
+
+  if (options.metrics != nullptr) {
+    options.metrics->GetCounter("fuzz.scenarios")->Add(1);
+    options.metrics->GetCounter("fuzz.queries")
+        ->Add(scenario.queries.size());
+    if (!report.equivalence_ok) {
+      options.metrics->GetCounter("fuzz.divergences")->Add(1);
+    }
+    if (!report.sharing_ok) {
+      options.metrics->GetCounter("fuzz.sharing_violations")->Add(1);
+    }
+  }
+  return report;
+}
+
+}  // namespace streamshare::testing

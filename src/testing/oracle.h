@@ -1,0 +1,89 @@
+// The differential oracle. One scenario is executed four ways — serial
+// (the reference), parallel workers, transport over loopback pipes, and
+// transport over localhost TCP — and every query's sink observations
+// (item count, byte count, order-insensitive content hash) are N-way
+// diffed. Separately the *sharing* oracle checks the paper's core claim:
+// the stream-sharing deployment delivers item-identical results to an
+// independent data-shipping evaluation of the same subscriptions, and the
+// plan Subscribe chose never costs more than the no-sharing baseline plan
+// it was allowed to fall back to.
+//
+// A divergence is a report, not an error Status: Status is reserved for
+// infrastructure failures (a scenario that cannot even be built), so a
+// sweep can distinguish "the system disagrees with itself" from "the
+// harness broke".
+
+#ifndef STREAMSHARE_TESTING_ORACLE_H_
+#define STREAMSHARE_TESTING_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+#include "testing/fuzz_scenario.h"
+
+namespace streamshare::testing {
+
+/// What one execution mode observed at one query's sink.
+struct QueryObservation {
+  bool accepted = false;
+  std::string registration_error;  // non-empty if RegisterQuery failed
+  uint64_t items = 0;
+  uint64_t bytes = 0;
+  uint64_t content_hash = 0;
+};
+
+struct ModeObservation {
+  std::string mode;
+  std::vector<QueryObservation> queries;
+};
+
+struct OracleOptions {
+  bool run_parallel = true;
+  bool run_loopback = true;
+  bool run_tcp = true;
+  /// Fork one OS process per partition in the TCP mode (slower; exercises
+  /// the cross-process sink-report path).
+  bool tcp_processes = false;
+
+  /// Self-test hook: perturbs the named mode's observed content hash and
+  /// item count for aggregation queries with window size >= min_window —
+  /// a deliberately injected equivalence bug the harness must catch and
+  /// shrink (tests/test_fuzz_harness.cc demos this).
+  std::string inject_divergence_mode;
+  int inject_min_window = 0;
+
+  /// When set, per-scenario divergence counters are folded in:
+  /// fuzz.scenarios, fuzz.queries, fuzz.divergences,
+  /// fuzz.sharing_violations, fuzz.infra_failures.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct OracleReport {
+  /// All executor modes agreed with the serial reference.
+  bool equivalence_ok = true;
+  /// Sharing-vs-baseline results identical and chosen C(P) <= baseline.
+  bool sharing_ok = true;
+  /// First divergence, human-readable; empty when ok().
+  std::string failure;
+
+  std::vector<ModeObservation> modes;
+  int accepted = 0;
+  uint64_t total_results = 0;
+  /// Registrations whose chosen plan reuses a derived (non-original)
+  /// stream — how much sharing the scenario actually exercised.
+  int shared_reuses = 0;
+
+  bool ok() const { return equivalence_ok && sharing_ok; }
+};
+
+/// Executes the scenario under every enabled mode and diffs. Status errors
+/// are infrastructure failures only; divergences come back in the report.
+Result<OracleReport> RunOracle(const FuzzScenario& scenario,
+                               const OracleOptions& options = {});
+
+}  // namespace streamshare::testing
+
+#endif  // STREAMSHARE_TESTING_ORACLE_H_

@@ -1,0 +1,80 @@
+#include "testing/reproducer.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "testing/scenario_json.h"
+
+namespace streamshare::testing {
+namespace {
+
+/// Embeds arbitrary text as a C++ raw string literal, picking a delimiter
+/// the text cannot contain.
+std::string RawLiteral(const std::string& text) {
+  std::string delim = "json";
+  while (text.find(")" + delim + "\"") != std::string::npos) delim += "_";
+  return "R\"" + delim + "(" + text + ")" + delim + "\"";
+}
+
+}  // namespace
+
+std::string ReproducerTestSnippet(const FuzzScenario& scenario,
+                                  const std::string& test_name,
+                                  const std::string& failure) {
+  std::ostringstream out;
+  out << "// Minimized reproducer emitted by streamshare_fuzz (seed "
+      << scenario.seed << ").\n";
+  out << "// Original failure:\n";
+  std::istringstream lines(failure);
+  for (std::string line; std::getline(lines, line);) {
+    out << "//   " << line << "\n";
+  }
+  out << "\n";
+  out << "#include <gtest/gtest.h>\n";
+  out << "\n";
+  out << "#include \"testing/oracle.h\"\n";
+  out << "#include \"testing/scenario_json.h\"\n";
+  out << "\n";
+  out << "namespace streamshare::testing {\n";
+  out << "namespace {\n";
+  out << "\n";
+  out << "constexpr char kScenarioJson[] = " << RawLiteral(ToJson(scenario))
+      << ";\n";
+  out << "\n";
+  out << "TEST(FuzzRegression, " << test_name << ") {\n";
+  out << "  auto scenario = FromJson(kScenarioJson);\n";
+  out << "  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();\n";
+  out << "  auto report = RunOracle(*scenario);\n";
+  out << "  ASSERT_TRUE(report.ok()) << report.status().ToString();\n";
+  out << "  EXPECT_TRUE(report->ok()) << report->failure;\n";
+  out << "}\n";
+  out << "\n";
+  out << "}  // namespace\n";
+  out << "}  // namespace streamshare::testing\n";
+  return out.str();
+}
+
+Result<std::string> WriteReproducer(const FuzzScenario& scenario,
+                                    const std::string& dir,
+                                    const std::string& failure) {
+  const std::string stem = dir + "/repro_seed_" + std::to_string(scenario.seed);
+  const std::string json_path = stem + ".json";
+  SS_RETURN_IF_ERROR(WriteScenarioFile(scenario, json_path));
+
+  const std::string cc_path = stem + ".cc";
+  std::ofstream out(cc_path);
+  if (!out) {
+    return Status(StatusCode::kInternal,
+                  "cannot write reproducer test: " + cc_path);
+  }
+  out << ReproducerTestSnippet(scenario,
+                               "Seed" + std::to_string(scenario.seed),
+                               failure);
+  if (!out.flush()) {
+    return Status(StatusCode::kInternal,
+                  "short write on reproducer test: " + cc_path);
+  }
+  return json_path;
+}
+
+}  // namespace streamshare::testing

@@ -1,0 +1,34 @@
+// Reproducer emission. When a sweep finds a divergence, the harness
+// shrinks the scenario and writes two artifacts: the scenario as replayable
+// JSON (feed it back with `streamshare_fuzz --scenario FILE`) and a
+// self-contained C++ gtest snippet that embeds the JSON and re-runs the
+// oracle — paste it under tests/regression/ and it is a regression test.
+
+#ifndef STREAMSHARE_TESTING_REPRODUCER_H_
+#define STREAMSHARE_TESTING_REPRODUCER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "testing/fuzz_scenario.h"
+#include "testing/oracle.h"
+
+namespace streamshare::testing {
+
+/// The C++ regression-test snippet for a minimized failing scenario.
+/// `failure` is the oracle's failure string (quoted in a comment so the
+/// test file records what diverged); `test_name` must be a valid C++
+/// identifier.
+std::string ReproducerTestSnippet(const FuzzScenario& scenario,
+                                  const std::string& test_name,
+                                  const std::string& failure);
+
+/// Writes `<dir>/repro_seed_<seed>.json` and `<dir>/repro_seed_<seed>.cc`.
+/// Returns the JSON path. The directory must already exist.
+Result<std::string> WriteReproducer(const FuzzScenario& scenario,
+                                    const std::string& dir,
+                                    const std::string& failure);
+
+}  // namespace streamshare::testing
+
+#endif  // STREAMSHARE_TESTING_REPRODUCER_H_

@@ -1,0 +1,32 @@
+// JSON replay format for fuzz scenarios. ToJson/FromJson round-trip a
+// FuzzScenario bit-identically, so a failure found in CI ships as a small
+// file that `streamshare_fuzz --scenario=FILE` re-executes anywhere. The
+// parser handles exactly the JSON this writer produces (objects, arrays,
+// strings without exotic escapes, finite numbers) — it is a replay codec,
+// not a general JSON library.
+
+#ifndef STREAMSHARE_TESTING_SCENARIO_JSON_H_
+#define STREAMSHARE_TESTING_SCENARIO_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "testing/fuzz_scenario.h"
+
+namespace streamshare::testing {
+
+/// Serializes the scenario (stable field order, round-trip exact).
+std::string ToJson(const FuzzScenario& scenario);
+
+/// Parses a scenario previously produced by ToJson.
+Result<FuzzScenario> FromJson(std::string_view json);
+
+/// File convenience wrappers.
+Status WriteScenarioFile(const FuzzScenario& scenario,
+                         const std::string& path);
+Result<FuzzScenario> ReadScenarioFile(const std::string& path);
+
+}  // namespace streamshare::testing
+
+#endif  // STREAMSHARE_TESTING_SCENARIO_JSON_H_

@@ -1,0 +1,39 @@
+// Scenario minimization. Given a failing scenario and a predicate that
+// re-runs the oracle, Shrink greedily applies reduction passes until a
+// fixpoint: drop whole subscriptions (ddmin-style chunks, then singles),
+// drop streams, halve the item count, simplify each query (drop optional
+// predicates, projection, result filter; shrink windows), and prune
+// unreferenced peers. Every accepted step keeps the scenario failing, so
+// the result is a minimal reproducer of the same divergence.
+
+#ifndef STREAMSHARE_TESTING_SHRINK_H_
+#define STREAMSHARE_TESTING_SHRINK_H_
+
+#include <functional>
+
+#include "testing/fuzz_scenario.h"
+
+namespace streamshare::testing {
+
+/// Returns true when the candidate scenario still exhibits the failure
+/// being minimized (divergence or sharing violation). Infrastructure
+/// errors count as "does not fail" so shrinking never trades one bug for
+/// a different breakage.
+using FailurePredicate = std::function<bool(const FuzzScenario&)>;
+
+struct ShrinkStats {
+  int predicate_runs = 0;
+  int accepted_steps = 0;
+};
+
+/// Minimizes `scenario` under `still_fails`. `still_fails(scenario)` must
+/// be true on entry; the returned scenario also satisfies it. Runs at
+/// most `max_rounds` full passes (each pass is O(queries + predicates)
+/// predicate evaluations).
+FuzzScenario Shrink(FuzzScenario scenario,
+                    const FailurePredicate& still_fails,
+                    int max_rounds = 4, ShrinkStats* stats = nullptr);
+
+}  // namespace streamshare::testing
+
+#endif  // STREAMSHARE_TESTING_SHRINK_H_

@@ -122,10 +122,28 @@ Status ChannelSender::SendError(std::string_view message) {
   return Status::Ok();
 }
 
+void ChannelSender::DrainUntilPeerClose() {
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.send_timeout_ms);
+  while (true) {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return;
+    FrameType type;
+    std::string body;
+    Status status =
+        end_->RecvFrame(&type, &body, static_cast<int>(left.count()));
+    if (!status.ok()) return;  // peer closed (the goal) or timed out
+  }
+}
+
 ChannelReceiver::ChannelReceiver(std::string label,
                                  std::unique_ptr<PipeEnd> end,
-                                 FlowOptions options)
-    : label_(std::move(label)), end_(std::move(end)), options_(options) {}
+                                 FlowOptions options, FaultPlan faults)
+    : label_(std::move(label)),
+      end_(std::move(end)),
+      options_(options),
+      faults_(faults) {}
 
 Status ChannelReceiver::Recv(Incoming* out) {
   while (true) {
@@ -186,6 +204,14 @@ Status ChannelReceiver::Recv(Incoming* out) {
 }
 
 void ChannelReceiver::GrantCredit(uint64_t count) {
+  ++credit_frames_;
+  if (faults_.credit_drop_period != 0 &&
+      credit_frames_ % faults_.credit_drop_period == 0) {
+    // Swallow the grant: the sender must survive via timeout/retry and,
+    // when no later grant arrives, fail with DeadlineExceeded — not hang.
+    ++stats_.faults_credits_dropped;
+    return;
+  }
   std::string body;
   PutVarint(&body, count);
   // A failed grant means the sender is gone; it has its own error path.

@@ -45,17 +45,21 @@ struct FlowOptions {
   int retry_backoff_ms = 50;
 };
 
-/// Deterministic fault plan, applied by the sender to DATA frames only
-/// (protocol frames stay intact so failures are clean, not wedged).
-/// Periods count DATA frames on the channel, 0 disables a fault.
+/// Deterministic fault plan. The sender-side faults apply to DATA frames
+/// only; credit_drop_period is the one receiver-side fault — it swallows
+/// CREDIT frames, starving the sender so the timeout/retry path (and its
+/// DeadlineExceeded escape) is testable. Periods count frames of the
+/// faulted type on the channel, 0 disables a fault.
 struct FaultPlan {
   uint64_t drop_period = 0;       ///< drop every Nth DATA frame
   uint64_t duplicate_period = 0;  ///< send every Nth DATA frame twice
   uint64_t delay_period = 0;      ///< delay every Nth DATA frame …
   int delay_ms = 0;               ///< … by this much
+  uint64_t credit_drop_period = 0;  ///< receiver drops every Nth CREDIT
 
   bool any() const {
-    return drop_period != 0 || duplicate_period != 0 || delay_period != 0;
+    return drop_period != 0 || duplicate_period != 0 ||
+           delay_period != 0 || credit_drop_period != 0;
   }
 };
 
@@ -69,7 +73,8 @@ struct ChannelStats {
   uint64_t faults_dropped = 0;
   uint64_t faults_duplicated = 0;
   uint64_t faults_delayed = 0;
-  uint64_t duplicates_discarded = 0;  ///< receiver-side
+  uint64_t duplicates_discarded = 0;   ///< receiver-side
+  uint64_t faults_credits_dropped = 0;  ///< receiver-side
 };
 
 /// Sending half of one channel. Single-threaded (the producing worker).
@@ -89,6 +94,14 @@ class ChannelSender {
 
   /// Forwards a failure downstream so remote workers stop cleanly.
   Status SendError(std::string_view message);
+
+  /// Call after SendEos/SendError, before the channel's fds can close:
+  /// consumes whatever CREDIT frames are still in flight until the peer
+  /// closes its end (bounded by the send timeout). This leaves the pipe's
+  /// receive buffer empty at close time — a TCP socket closed with unread
+  /// data aborts the connection (RST) and can destroy the peer's
+  /// still-buffered EOS; the cross-process runner hit exactly that race.
+  void DrainUntilPeerClose();
 
   void Close() { end_->Close(); }
 
@@ -122,7 +135,7 @@ class ChannelReceiver {
   };
 
   ChannelReceiver(std::string label, std::unique_ptr<PipeEnd> end,
-                  FlowOptions options);
+                  FlowOptions options, FaultPlan faults = {});
 
   /// Blocks for the next DATA / EOS / ERROR. Duplicates are discarded
   /// internally; a sequence gap or short EOS total fails with
@@ -143,7 +156,9 @@ class ChannelReceiver {
   std::string label_;
   std::unique_ptr<PipeEnd> end_;
   FlowOptions options_;
+  FaultPlan faults_;
   uint64_t expected_seq_ = 0;
+  uint64_t credit_frames_ = 0;
   ChannelStats stats_;
 };
 

@@ -205,6 +205,10 @@ void ReceiveChannel(WorkerRt* w, ChannelRt* ch, const PartitionPlan& plan,
                                     engine::MakeItem(std::move(node))});
     ch->receiver->GrantCredit(1);
   }
+  // Close promptly: the sender side holds its end open until this close
+  // arrives (DrainUntilPeerClose), which keeps TCP teardown orderly when
+  // each worker is its own process.
+  ch->receiver->Close();
   w->queue->Push(LinkQueue::Entry{nullptr, nullptr});
 }
 
@@ -321,6 +325,12 @@ void RunWorker(WorkerRt* w, const PartitionPlan& plan,
                         : ch->sender->SendEos();
     if (!status.ok() && !abort->aborted()) abort->Record(std::move(status));
   }
+  // Only after EOS went down every channel: wait (bounded) for each peer
+  // to acknowledge by closing its end, so no channel still has unread
+  // CREDIT frames when this worker's fds close. A process-mode exit that
+  // skips this can turn into a TCP reset that destroys the peer's
+  // still-buffered EOS.
+  for (ChannelRt* ch : w->outbound) ch->sender->DrainUntilPeerClose();
   for (std::thread& helper : helpers) helper.join();
 }
 
@@ -532,7 +542,7 @@ Status PartitionedRunner::Run(
     channel->sender = std::make_unique<ChannelSender>(
         label, std::move(pair.ends[0]), options_.flow, options_.faults);
     channel->receiver = std::make_unique<ChannelReceiver>(
-        label, std::move(pair.ends[1]), options_.flow);
+        label, std::move(pair.ends[1]), options_.flow, options_.faults);
     workers[src].outbound.push_back(channel.get());
     workers[dst].inbound.push_back(channel.get());
     channel_of[key] = channel.get();

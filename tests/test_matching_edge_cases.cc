@@ -1,0 +1,215 @@
+// Matching edge cases the paper's running example never exercises:
+// MatchPredicates implication over cross-variable atoms ($v θ $w + c) —
+// including the gap between the edge-local test and complete implication
+// via derived bounds — boundary constants where only strictness differs,
+// and MatchAggregations window compatibility when the step µ does not
+// divide the size Δ.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "matching/match_aggregations.h"
+#include "matching/match_predicates.h"
+#include "predicate/atomic.h"
+#include "predicate/graph.h"
+#include "properties/operators.h"
+#include "properties/window.h"
+
+namespace streamshare::matching {
+namespace {
+
+using predicate::AtomicPredicate;
+using predicate::ComparisonOp;
+using predicate::PredicateGraph;
+using properties::AggregateFunc;
+using properties::AggregationOp;
+using properties::WindowSpec;
+using properties::WindowType;
+
+xml::Path P(const char* text) { return xml::Path::Parse(text).value(); }
+Decimal D(const char* text) { return Decimal::Parse(text).value(); }
+
+AtomicPredicate Cmp(const char* lhs, ComparisonOp op, const char* c) {
+  return AtomicPredicate::Compare(P(lhs), op, D(c));
+}
+AtomicPredicate Vars(const char* lhs, ComparisonOp op, const char* rhs,
+                     const char* c) {
+  return AtomicPredicate::CompareVars(P(lhs), op, P(rhs), D(c));
+}
+PredicateGraph G(std::vector<AtomicPredicate> conjuncts) {
+  return PredicateGraph::Build(conjuncts);
+}
+
+// --- Cross-variable implication -------------------------------------------
+
+TEST(CrossVariableMatchTest, IdenticalSkewAtomImplies) {
+  // dx <= dy + 5 implies itself.
+  PredicateGraph stream = G({Vars("dx", ComparisonOp::kLe, "dy", "5")});
+  PredicateGraph sub = G({Vars("dx", ComparisonOp::kLe, "dy", "5")});
+  EXPECT_TRUE(MatchPredicatesEdgeLocal(stream, sub));
+  EXPECT_TRUE(MatchPredicatesComplete(stream, sub));
+}
+
+TEST(CrossVariableMatchTest, TighterSkewConstantImplies) {
+  // dx <= dy + 2 is tighter than dx <= dy + 5: items of the subscription
+  // all pass the stream's selection.
+  PredicateGraph stream = G({Vars("dx", ComparisonOp::kLe, "dy", "5")});
+  PredicateGraph sub = G({Vars("dx", ComparisonOp::kLe, "dy", "2")});
+  EXPECT_TRUE(MatchPredicatesEdgeLocal(stream, sub));
+  EXPECT_TRUE(MatchPredicatesComplete(stream, sub));
+  // And never the reverse: a looser subscription wants items the stream
+  // already filtered away.
+  EXPECT_FALSE(MatchPredicatesEdgeLocal(sub, stream));
+  EXPECT_FALSE(MatchPredicatesComplete(sub, stream));
+}
+
+TEST(CrossVariableMatchTest, FlippedComparisonNormalizesToSameEdge) {
+  // dy >= dx - 5 is literally the same constraint as dx <= dy + 5 after
+  // normalization; both tests must see through the surface form.
+  PredicateGraph stream = G({Vars("dx", ComparisonOp::kLe, "dy", "5")});
+  PredicateGraph sub = G({Vars("dy", ComparisonOp::kGe, "dx", "-5")});
+  EXPECT_TRUE(MatchPredicatesEdgeLocal(stream, sub));
+  EXPECT_TRUE(MatchPredicatesComplete(stream, sub));
+}
+
+TEST(CrossVariableMatchTest, EqualityImpliesBothInequalities) {
+  // dx = dy + 1 pins the difference; it implies dx <= dy + 3 but not
+  // dx <= dy - 2.
+  PredicateGraph sub = G({Vars("dx", ComparisonOp::kEq, "dy", "1")});
+  EXPECT_TRUE(MatchPredicatesComplete(
+      G({Vars("dx", ComparisonOp::kLe, "dy", "3")}), sub));
+  EXPECT_TRUE(MatchPredicatesComplete(
+      G({Vars("dx", ComparisonOp::kGe, "dy", "0")}), sub));
+  EXPECT_FALSE(MatchPredicatesComplete(
+      G({Vars("dx", ComparisonOp::kLe, "dy", "-2")}), sub));
+}
+
+TEST(CrossVariableMatchTest, TransitiveChainNeedsCompleteImplication) {
+  // Subscription: dx <= dy + 1 and dy <= dz + 1. The derived bound
+  // dx <= dz + 2 satisfies the stream's only constraint, but no direct
+  // edge between dx and dz exists — the edge-local test (which never
+  // derives bounds) conservatively rejects, complete implication accepts.
+  // This is exactly the A3 ablation gap.
+  PredicateGraph stream = G({Vars("dx", ComparisonOp::kLe, "dz", "2")});
+  PredicateGraph sub = G({Vars("dx", ComparisonOp::kLe, "dy", "1"),
+                          Vars("dy", ComparisonOp::kLe, "dz", "1")});
+  EXPECT_TRUE(MatchPredicatesComplete(stream, sub));
+  EXPECT_FALSE(MatchPredicatesEdgeLocal(stream, sub));
+}
+
+TEST(CrossVariableMatchTest, VariableConstantChainDerivesCrossBound) {
+  // dx <= 10 and dy >= 8 derive dx <= dy + 2 through the zero node.
+  PredicateGraph stream = G({Vars("dx", ComparisonOp::kLe, "dy", "2")});
+  PredicateGraph sub = G({Cmp("dx", ComparisonOp::kLe, "10"),
+                          Cmp("dy", ComparisonOp::kGe, "8")});
+  EXPECT_TRUE(MatchPredicatesComplete(stream, sub));
+  // Weaken one endpoint and the derivation no longer holds.
+  PredicateGraph weaker = G({Cmp("dx", ComparisonOp::kLe, "10"),
+                             Cmp("dy", ComparisonOp::kGe, "7")});
+  EXPECT_FALSE(MatchPredicatesComplete(stream, weaker));
+}
+
+// --- Boundary constants: strictness at equality ---------------------------
+
+TEST(BoundaryConstantTest, StrictImpliesNonStrictAtSameConstant) {
+  // ra < 120 is tighter than ra <= 120; the reverse loses the boundary
+  // item ra = 120.
+  PredicateGraph non_strict = G({Cmp("ra", ComparisonOp::kLe, "120")});
+  PredicateGraph strict = G({Cmp("ra", ComparisonOp::kLt, "120")});
+  EXPECT_TRUE(MatchPredicatesEdgeLocal(non_strict, strict));
+  EXPECT_TRUE(MatchPredicatesComplete(non_strict, strict));
+  EXPECT_FALSE(MatchPredicatesEdgeLocal(strict, non_strict));
+  EXPECT_FALSE(MatchPredicatesComplete(strict, non_strict));
+}
+
+TEST(BoundaryConstantTest, StrictnessAppliesToCrossVariableAtomsToo) {
+  PredicateGraph non_strict = G({Vars("dx", ComparisonOp::kLe, "dy", "0")});
+  PredicateGraph strict = G({Vars("dx", ComparisonOp::kLt, "dy", "0")});
+  EXPECT_TRUE(MatchPredicatesComplete(non_strict, strict));
+  EXPECT_FALSE(MatchPredicatesComplete(strict, non_strict));
+}
+
+TEST(BoundaryConstantTest, TouchingBoxesShareOnlyTheirBoundary) {
+  // Stream keeps ra in [100, 120]; a subscription pinned exactly to the
+  // shared edge ra = 120 is implied, one past it is not.
+  PredicateGraph stream = G({Cmp("ra", ComparisonOp::kGe, "100"),
+                             Cmp("ra", ComparisonOp::kLe, "120")});
+  PredicateGraph on_edge = G({Cmp("ra", ComparisonOp::kEq, "120")});
+  PredicateGraph past_edge = G({Cmp("ra", ComparisonOp::kGe, "120"),
+                                Cmp("ra", ComparisonOp::kLe, "121")});
+  EXPECT_TRUE(MatchPredicatesComplete(stream, on_edge));
+  EXPECT_FALSE(MatchPredicatesComplete(stream, past_edge));
+}
+
+// --- Window compatibility when µ does not divide Δ ------------------------
+
+WindowSpec CountWindow(int64_t size, int64_t step) {
+  return WindowSpec::Count(size, step).value();
+}
+
+TEST(WindowStepTest, StepNotDividingSizeIsValidButNotRecombinable) {
+  // Δ=25, µ=10: a legal sliding window (windows overlap by 15). An
+  // *identical* subscription shares it directly — no recombination — but
+  // the paper's recombination rule requires Δ mod µ = 0 on the reused
+  // stream, so nothing coarser can ever be built from it: the window
+  // boundaries drift.
+  WindowSpec reused = CountWindow(25, 10);
+  ASSERT_TRUE(reused.Validate().ok());
+  EXPECT_TRUE(WindowsCompatible(reused, CountWindow(25, 10)));
+  EXPECT_FALSE(WindowsCompatible(reused, CountWindow(50, 10)));
+  EXPECT_FALSE(WindowsCompatible(reused, CountWindow(75, 25)));
+  EXPECT_FALSE(WindowsCompatible(reused, CountWindow(50, 20)));
+}
+
+TEST(WindowStepTest, SubscriptionStepNeedNotDivideItsOwnSize) {
+  // The divisibility constraints bind Δ′ to Δ and µ′ to µ, not µ′ to Δ′:
+  // a subscription with Δ′=50, µ′=15 recombines fine from a Δ=10, µ=5
+  // stream (50 = 5·10, 15 = 3·5) even though 15 ∤ 50.
+  WindowSpec reused = CountWindow(10, 5);
+  WindowSpec sub = CountWindow(50, 15);
+  ASSERT_TRUE(sub.Validate().ok());
+  EXPECT_TRUE(WindowsCompatible(reused, sub));
+}
+
+TEST(WindowStepTest, PrimedSizeMustBeMultipleOfSize) {
+  WindowSpec reused = CountWindow(20, 10);
+  EXPECT_TRUE(WindowsCompatible(reused, CountWindow(40, 20)));
+  EXPECT_FALSE(WindowsCompatible(reused, CountWindow(50, 10)));
+  EXPECT_FALSE(WindowsCompatible(reused, CountWindow(20, 15)));
+}
+
+TEST(WindowStepTest, FullMatchRejectsDriftingReusedWindow) {
+  // The full MatchAggregations must reject when only the window rule
+  // fails, everything else being identical.
+  AggregationOp reused =
+      AggregationOp::Create(AggregateFunc::kAvg, P("en"),
+                            CountWindow(25, 10))
+          .value();
+  AggregationOp sub =
+      AggregationOp::Create(AggregateFunc::kAvg, P("en"),
+                            CountWindow(50, 10))
+          .value();
+  EXPECT_FALSE(MatchAggregations(reused, sub));
+
+  AggregationOp clean =
+      AggregationOp::Create(AggregateFunc::kAvg, P("en"),
+                            CountWindow(25, 5))
+          .value();
+  EXPECT_TRUE(MatchAggregations(clean, sub));
+}
+
+TEST(WindowStepTest, DiffWindowsWithFractionalStepFollowSameRule) {
+  // Time-based windows use exact decimal arithmetic: Δ=1.5, µ=0.5 is
+  // recombinable; Δ=1.5, µ=0.4 drifts (1.5 / 0.4 is not integral).
+  WindowSpec fine =
+      WindowSpec::Diff(P("det_time"), D("1.5"), D("0.5")).value();
+  WindowSpec drifting =
+      WindowSpec::Diff(P("det_time"), D("1.5"), D("0.4")).value();
+  WindowSpec sub = WindowSpec::Diff(P("det_time"), D("3.0"), D("1.0")).value();
+  EXPECT_TRUE(WindowsCompatible(fine, sub));
+  EXPECT_FALSE(WindowsCompatible(drifting, sub));
+}
+
+}  // namespace
+}  // namespace streamshare::matching
