@@ -95,6 +95,12 @@ class Operator {
   /// Signals end of stream; flushes buffered state downstream. Idempotent.
   Status Finish();
 
+  /// Windows currently open in this operator that hold partial content —
+  /// state that is destroyed (not flushed) when the operator is detached
+  /// by failure recovery. Stateless operators report 0. Recovery sums
+  /// this over a torn-down plan into the recover.lost_windows counter.
+  virtual size_t OpenWindowCount() const { return 0; }
+
  protected:
   virtual Status Process(const ItemPtr& item) = 0;
   /// Flush hook for stateful operators; may Emit.

@@ -114,7 +114,7 @@ class AbortState {
 };
 
 void WorkerMain(WorkerPlan* plan, std::vector<WorkerPlan>* all,
-                size_t batch_size, AbortState* abort) {
+                size_t batch_size, AbortState* abort, bool finish) {
   size_t worker_index = static_cast<size_t>(plan - all->data());
   // Pin this worker's registry updates to its own shard so worker
   // threads never contend on a metric cache line.
@@ -183,7 +183,7 @@ void WorkerMain(WorkerPlan* plan, std::vector<WorkerPlan>* all,
       }
     }
   }
-  if (!abort->aborted()) {
+  if (finish && !abort->aborted()) {
     for (Operator* root : plan->roots) {
       obs::TraceSpan finish_span(&recorder, "finish:" + root->label(),
                                  "op");
@@ -219,7 +219,7 @@ Status ParallelExecutor::Run(Operator* entry,
 
 Status ParallelExecutor::Run(
     const std::vector<Operator*>& entries,
-    const std::vector<std::vector<ItemPtr>>& item_lists) {
+    const std::vector<std::vector<ItemPtr>>& item_lists, bool finish) {
   worker_stats_.clear();
   if (entries.size() != item_lists.size()) {
     return Status::InvalidArgument(
@@ -316,7 +316,7 @@ Status ParallelExecutor::Run(
   threads.reserve(worker_count);
   for (size_t w = 0; w < worker_count; ++w) {
     threads.emplace_back(WorkerMain, &workers[w], &workers,
-                         options_.batch_size, &abort);
+                         options_.batch_size, &abort, finish);
   }
 
   {

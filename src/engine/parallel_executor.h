@@ -64,9 +64,12 @@ class ParallelExecutor {
   /// per-stream order preserved), then signals end of stream — the same
   /// single-shot contract as RunStreams(..., finish=true). The operator
   /// graph is restored to its serial wiring before returning, so serial
-  /// and parallel runs can alternate on one deployment.
+  /// and parallel runs can alternate on one deployment. With
+  /// finish=false the workers drain their pills but skip Finish(), so
+  /// windowed state survives for a later segment (mid-run churn).
   Status Run(const std::vector<Operator*>& entries,
-             const std::vector<std::vector<ItemPtr>>& item_lists);
+             const std::vector<std::vector<ItemPtr>>& item_lists,
+             bool finish = true);
 
   /// Single-stream convenience, mirroring RunStream.
   Status Run(Operator* entry, const std::vector<ItemPtr>& items);

@@ -89,11 +89,22 @@ Result<AggItem> ParseAggItem(const xml::XmlNode& item) {
 }
 
 WindowAggOp::WindowAggOp(std::string label, AggregateFunc func,
-                         xml::Path aggregated_element, WindowSpec window)
+                         xml::Path aggregated_element, WindowSpec window,
+                         bool resume)
     : Operator(std::move(label)),
       func_(func),
       aggregated_element_(std::move(aggregated_element)),
-      tracker_(std::move(window)) {}
+      tracker_(std::move(window)) {
+  if (resume) tracker_.EnableResume();
+}
+
+size_t WindowAggOp::OpenWindowCount() const {
+  size_t open = 0;
+  for (const auto& [seq, window] : open_) {
+    if (window.count > 0) ++open;
+  }
+  return open;
+}
 
 void WindowAggOp::Accumulate(WindowState* window, const Decimal& value) {
   window->sum = window->sum + value;
@@ -165,8 +176,19 @@ Status WindowAggOp::OnFinish() {
   return Status::Ok();
 }
 
-WindowContentsOp::WindowContentsOp(std::string label, WindowSpec window)
-    : Operator(std::move(label)), tracker_(std::move(window)) {}
+WindowContentsOp::WindowContentsOp(std::string label, WindowSpec window,
+                                   bool resume)
+    : Operator(std::move(label)), tracker_(std::move(window)) {
+  if (resume) tracker_.EnableResume();
+}
+
+size_t WindowContentsOp::OpenWindowCount() const {
+  size_t open = 0;
+  for (const auto& [seq, members] : open_) {
+    if (!members.empty()) ++open;
+  }
+  return open;
+}
 
 Status WindowContentsOp::EmitWindow(int64_t seq) {
   auto node = std::make_unique<xml::XmlNode>("window");
@@ -225,6 +247,24 @@ AggCombineOp::AggCombineOp(std::string label, AggregateFunc func,
   fine_size_steps_ = fine.size.Rescaled(scale).unscaled() / fine_step;
   coarse_size_steps_ = coarse.size.Rescaled(scale).unscaled() / fine_step;
   coarse_step_steps_ = coarse.step.Rescaled(scale).unscaled() / fine_step;
+}
+
+size_t AggCombineOp::OpenWindowCount() const {
+  // Coarse windows at or past next_coarse_ with at least one buffered
+  // fine part: partially recombined state a teardown destroys.
+  if (buffer_.empty()) return 0;
+  const int64_t parts = coarse_size_steps_ / fine_size_steps_;
+  size_t open = 0;
+  int64_t last = buffer_.rbegin()->first / coarse_step_steps_ + 1;
+  for (int64_t j = next_coarse_; j <= last; ++j) {
+    for (int64_t t = 0; t < parts; ++t) {
+      if (buffer_.count(j * coarse_step_steps_ + t * fine_size_steps_)) {
+        ++open;
+        break;
+      }
+    }
+  }
+  return open;
 }
 
 Status AggCombineOp::Process(const ItemPtr& item) {

@@ -57,8 +57,15 @@ Result<AggItem> ParseAggItem(const xml::XmlNode& item);
 /// (overlapping when µ < Δ, sampling when µ > Δ).
 class WindowAggOp : public Operator {
  public:
+  /// `resume` anchors the tracker in resume mode (see
+  /// WindowTracker::EnableResume): the operator is being rebuilt
+  /// mid-stream by failure recovery and must suppress windows already
+  /// underway at its first input rather than emit them partially filled.
   WindowAggOp(std::string label, properties::AggregateFunc func,
-              xml::Path aggregated_element, properties::WindowSpec window);
+              xml::Path aggregated_element, properties::WindowSpec window,
+              bool resume = false);
+
+  size_t OpenWindowCount() const override;
 
  protected:
   Status Process(const ItemPtr& item) override;
@@ -87,7 +94,10 @@ class WindowAggOp : public Operator {
 /// (§3.3's unknown-operator rule applies to them).
 class WindowContentsOp : public Operator {
  public:
-  WindowContentsOp(std::string label, properties::WindowSpec window);
+  WindowContentsOp(std::string label, properties::WindowSpec window,
+                   bool resume = false);
+
+  size_t OpenWindowCount() const override;
 
  protected:
   Status Process(const ItemPtr& item) override;
@@ -109,6 +119,8 @@ class AggCombineOp : public Operator {
  public:
   AggCombineOp(std::string label, properties::AggregateFunc func,
                properties::WindowSpec fine, properties::WindowSpec coarse);
+
+  size_t OpenWindowCount() const override;
 
  protected:
   Status Process(const ItemPtr& item) override;

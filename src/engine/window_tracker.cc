@@ -36,8 +36,13 @@ Result<WindowTracker::Update> WindowTracker::OnPosition(
 
   if (!anchored_) {
     anchored_ = true;
+    // Default: the first window still open at the position (fast-forward
+    // past windows that ended before the stream began). Resume: the
+    // first window *starting* at or after it — windows already underway
+    // at the resume point would be partial, so they never open.
     int64_t first_alive =
-        FloorDiv(position - window_.size, window_.step) + 1;
+        resume_ ? -FloorDiv(Decimal::FromInt(0) - position, window_.step)
+                : FloorDiv(position - window_.size, window_.step) + 1;
     next_seq_ = std::max<int64_t>(0, first_alive);
   }
 

@@ -33,6 +33,15 @@ class WindowTracker {
     std::vector<int64_t> contains;
   };
 
+  /// Resume mode, for operators rebuilt mid-stream after a failure: the
+  /// first position anchors at the first window whose *start* is at or
+  /// after it, instead of the first window still open at it. Windows
+  /// straddling the resume point would be partially aggregated (their
+  /// head was lost with the failed plan), so they are suppressed
+  /// entirely — the gap-not-garbage guarantee. Call before the first
+  /// item. No effect on a fresh stream starting at position 0.
+  void EnableResume() { resume_ = true; }
+
   /// Advances the axis to `position` (the item index for count windows,
   /// the reference element value for diff windows). Fails on unsorted
   /// positions.
@@ -55,6 +64,7 @@ class WindowTracker {
   int64_t items_seen_ = 0;
   Decimal last_position_;
   bool anchored_ = false;
+  bool resume_ = false;
   std::deque<int64_t> open_;
   int64_t next_seq_ = 0;
 };

@@ -6,6 +6,7 @@ namespace streamshare::network {
 
 NetworkState::NetworkState(const Topology* topology)
     : topology_(topology),
+      health_(topology),
       used_bandwidth_(topology->link_count(), 0.0),
       used_load_(topology->peer_count(), 0.0),
       peak_bandwidth_(topology->link_count(), 0.0),

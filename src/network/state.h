@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "network/health.h"
 #include "network/topology.h"
 
 namespace streamshare::network {
@@ -17,6 +18,11 @@ class NetworkState {
   explicit NetworkState(const Topology* topology);
 
   const Topology& topology() const { return *topology_; }
+
+  /// Liveness overlay: which peers are suspect/dead, which links are
+  /// down. The planner routes around anything marked dead here.
+  const PeerHealth& health() const { return health_; }
+  PeerHealth& mutable_health() { return health_; }
 
   /// Absolute bandwidth in use on a connection, kbit/s.
   double UsedBandwidthKbps(LinkId link) const {
@@ -47,6 +53,7 @@ class NetworkState {
 
  private:
   const Topology* topology_;
+  PeerHealth health_;
   std::vector<double> used_bandwidth_;
   std::vector<double> used_load_;
   std::vector<double> peak_bandwidth_;

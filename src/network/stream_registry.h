@@ -53,6 +53,10 @@ struct RegisteredStream {
   /// True once the owning subscription has been deregistered and the
   /// stream stopped flowing; retired streams are never reuse candidates.
   bool retired = false;
+  /// Live subscriptions currently tapping this stream (one per query
+  /// input wired to it). Unsubscribe and failure recovery retire a
+  /// derived stream when its last consumer leaves.
+  int consumers = 0;
 
   bool IsOriginal() const { return props.operators.empty(); }
 };
@@ -70,6 +74,14 @@ class StreamRegistry {
 
   /// The original stream registered under `name`, or nullptr.
   const RegisteredStream* FindOriginal(std::string_view name) const;
+
+  /// Consumer refcounting: one reference per query input wired to the
+  /// stream. ReleaseConsumer returns the count left (never below zero).
+  void AddConsumer(StreamId id) { ++streams_[id].consumers; }
+  int ReleaseConsumer(StreamId id) {
+    if (streams_[id].consumers > 0) --streams_[id].consumers;
+    return streams_[id].consumers;
+  }
 
   /// All streams that are variants of `variant_of` and flow over `node`.
   std::vector<const RegisteredStream*> AvailableAt(

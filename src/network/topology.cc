@@ -57,9 +57,19 @@ const std::vector<NodeId>& Topology::Neighbors(NodeId node) const {
 
 Result<std::vector<NodeId>> Topology::ShortestPath(NodeId from,
                                                    NodeId to) const {
+  return ShortestPath(from, to, nullptr, nullptr);
+}
+
+Result<std::vector<NodeId>> Topology::ShortestPath(
+    NodeId from, NodeId to, const std::function<bool(NodeId)>& node_ok,
+    const std::function<bool(LinkId)>& link_ok) const {
   if (from < 0 || to < 0 || from >= static_cast<NodeId>(peers_.size()) ||
       to >= static_cast<NodeId>(peers_.size())) {
     return Status::InvalidArgument("shortest-path endpoint out of range");
+  }
+  if (node_ok && (!node_ok(from) || !node_ok(to))) {
+    return Status::NotFound("no path from " + peers_[from].name + " to " +
+                            peers_[to].name + ": endpoint excluded");
   }
   if (from == to) return std::vector<NodeId>{from};
   std::vector<NodeId> parent(peers_.size(), -1);
@@ -70,6 +80,11 @@ Result<std::vector<NodeId>> Topology::ShortestPath(NodeId from,
     queue.pop_front();
     for (NodeId next : neighbors_[node]) {
       if (parent[next] != -1) continue;
+      if (node_ok && !node_ok(next)) continue;
+      if (link_ok) {
+        std::optional<LinkId> link = FindLink(node, next);
+        if (!link.has_value() || !link_ok(*link)) continue;
+      }
       parent[next] = node;
       if (next == to) {
         std::vector<NodeId> path{to};

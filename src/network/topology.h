@@ -8,6 +8,7 @@
 #ifndef STREAMSHARE_NETWORK_TOPOLOGY_H_
 #define STREAMSHARE_NETWORK_TOPOLOGY_H_
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -72,6 +73,15 @@ class Topology {
   /// Hop-count shortest path from `from` to `to`, inclusive of both
   /// endpoints. Fails if unreachable. Deterministic (lowest-id tie-break).
   Result<std::vector<NodeId>> ShortestPath(NodeId from, NodeId to) const;
+
+  /// ShortestPath restricted to nodes/links the predicates admit (null =
+  /// admit all). The endpoints themselves are also checked against
+  /// node_ok, so routing from or to an excluded peer fails. This is how
+  /// the planner routes around dead peers and cut links.
+  Result<std::vector<NodeId>> ShortestPath(
+      NodeId from, NodeId to,
+      const std::function<bool(NodeId)>& node_ok,
+      const std::function<bool(LinkId)>& link_ok) const;
 
   /// The links along a node path.
   Result<std::vector<LinkId>> LinksOnPath(

@@ -1,0 +1,51 @@
+#include "recover/report.h"
+
+namespace streamshare::recover {
+
+const char* OutcomeName(QueryRecovery::Outcome outcome) {
+  switch (outcome) {
+    case QueryRecovery::Outcome::kReplanned:
+      return "re-planned";
+    case QueryRecovery::Outcome::kLost:
+      return "lost";
+    case QueryRecovery::Outcome::kDeadTarget:
+      return "dead target";
+  }
+  return "?";
+}
+
+std::string RecoveryReport::ToString() const {
+  std::string out = "=== recovery: " + trigger + " ===\n";
+  out += "severed streams: ";
+  if (severed_streams.empty()) {
+    out += "none";
+  } else {
+    for (size_t i = 0; i < severed_streams.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "#" + std::to_string(severed_streams[i]);
+    }
+  }
+  out += "\n";
+  for (const QueryRecovery& query : queries) {
+    out += "q" + std::to_string(query.query_id) + " [" +
+           OutcomeName(query.outcome) + "]";
+    if (query.outcome == QueryRecovery::Outcome::kReplanned) {
+      out += " C(P) " + std::to_string(query.old_cost) + " -> " +
+             std::to_string(query.new_cost);
+    } else if (!query.detail.empty()) {
+      out += " " + query.detail;
+    }
+    if (query.lost_windows > 0) {
+      out += "  lost_windows=" + std::to_string(query.lost_windows);
+    }
+    out += "\n";
+  }
+  out += "orphaned=" + std::to_string(orphaned_queries) +
+         " replanned=" + std::to_string(replans) +
+         " lost=" + std::to_string(lost_queries) +
+         " dead_targets=" + std::to_string(dead_targets) +
+         " lost_windows=" + std::to_string(lost_windows) + "\n";
+  return out;
+}
+
+}  // namespace streamshare::recover

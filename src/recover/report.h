@@ -1,0 +1,80 @@
+// What one failure event did to the deployment. System::FailPeer /
+// System::CutLink return a RecoveryReport (and retain it in
+// recovery_reports()): which streams stopped flowing, which queries were
+// orphaned and how each one ended up — re-planned onto the surviving
+// topology, lost (no surviving route or source), or torn down because
+// its own target peer died — plus the windowed state destroyed along the
+// way and a snapshot of every surviving sink at the moment recovery
+// completed (the epoch boundary the differential oracle compares
+// against).
+
+#ifndef STREAMSHARE_RECOVER_REPORT_H_
+#define STREAMSHARE_RECOVER_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "network/stream_registry.h"
+#include "network/topology.h"
+
+namespace streamshare::recover {
+
+/// How recovery resolved one affected query.
+struct QueryRecovery {
+  enum class Outcome {
+    kReplanned,   ///< re-subscribed against the surviving topology
+    kLost,        ///< no surviving plan (source dead or unreachable)
+    kDeadTarget,  ///< the query's own super-peer died; torn down
+  };
+
+  int query_id = -1;
+  Outcome outcome = Outcome::kReplanned;
+  /// C(P) of the plan that was torn down.
+  double old_cost = 0.0;
+  /// C(P) of the replacement plan (kReplanned only).
+  double new_cost = 0.0;
+  /// Why the query is lost / how it was re-planned, human-readable.
+  std::string detail;
+  /// Windows holding partial content destroyed with the old plan.
+  uint64_t lost_windows = 0;
+};
+
+const char* OutcomeName(QueryRecovery::Outcome outcome);
+
+/// Sink counters of one query at recovery completion — the epoch
+/// boundary. Output produced after this point by a re-planned query
+/// covers only post-recovery epochs.
+struct SinkSnapshot {
+  uint64_t items = 0;
+  uint64_t bytes = 0;
+  uint64_t content_hash = 0;
+};
+
+struct RecoveryReport {
+  /// "fail-peer SP3" or "cut-link SP1-SP2".
+  std::string trigger;
+  /// Streams that stopped flowing (route broken, or fed by one that is),
+  /// in registry order.
+  std::vector<network::StreamId> severed_streams;
+  /// One entry per affected query, in query-id order.
+  std::vector<QueryRecovery> queries;
+  /// Totals (the recover.* counters of this event).
+  size_t replans = 0;
+  size_t orphaned_queries = 0;
+  size_t dead_targets = 0;
+  size_t lost_queries = 0;
+  /// All windows destroyed, including cascaded stream teardowns not
+  /// attributable to a single query.
+  uint64_t lost_windows = 0;
+  /// Sink state of every still-active query when recovery completed,
+  /// keyed by query id.
+  std::map<int, SinkSnapshot> snapshots;
+
+  std::string ToString() const;
+};
+
+}  // namespace streamshare::recover
+
+#endif  // STREAMSHARE_RECOVER_REPORT_H_

@@ -16,6 +16,52 @@ using properties::InputStreamProperties;
 using wxquery::AnalyzedQuery;
 using wxquery::StreamBinding;
 
+namespace {
+
+/// Reuse of the stream leaves no window state behind the recovery point:
+/// plain σ/Π streams are item-by-item, but aggregate and window-contents
+/// streams carry windows possibly straddling an epoch boundary.
+bool EpochSafeReuse(const RegisteredStream& stream) {
+  for (const properties::Operator& op : stream.props.operators) {
+    switch (properties::KindOf(op)) {
+      case properties::OperatorKind::kAggregation:
+      case properties::OperatorKind::kUserDefined:
+        return false;
+      case properties::OperatorKind::kSelection:
+      case properties::OperatorKind::kProjection:
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<NodeId>> Planner::RoutePath(NodeId from,
+                                               NodeId to) const {
+  const network::PeerHealth& health = state_->health();
+  if (health.AllHealthy()) return topology_->ShortestPath(from, to);
+  return topology_->ShortestPath(
+      from, to,
+      [&health](NodeId node) { return health.RoutesThrough(node); },
+      [&health](network::LinkId link) { return health.LinkUp(link); });
+}
+
+bool Planner::StreamUsable(const RegisteredStream& stream) const {
+  const network::PeerHealth& health = state_->health();
+  if (health.AllHealthy()) return true;
+  for (NodeId node : stream.route) {
+    if (!health.RoutesThrough(node)) return false;
+  }
+  Result<std::vector<network::LinkId>> links =
+      topology_->LinksOnPath(stream.route);
+  if (!links.ok()) return false;
+  for (network::LinkId link : *links) {
+    if (!health.LinkUp(link)) return false;
+  }
+  return true;
+}
+
 bool Planner::PropsEquivalent(const InputStreamProperties& a,
                               const InputStreamProperties& b) const {
   matching::MatchOptions complete;
@@ -350,7 +396,7 @@ Result<InputPlan> Planner::BuildPlan(
     stream.props = sub_props;
     stream.source_node = v;
     stream.target_node = vq;
-    SS_ASSIGN_OR_RETURN(stream.route, topology_->ShortestPath(v, vq));
+    SS_ASSIGN_OR_RETURN(stream.route, RoutePath(v, vq));
     plan.new_stream = std::move(stream);
   }
   SS_RETURN_IF_ERROR(CostPlan(&plan, binding, reused, vq));
@@ -488,6 +534,12 @@ Result<EvaluationPlan> Planner::DataShipping(const AnalyzedQuery& query,
       return Status::NotFound("query references unregistered stream '" +
                               binding.stream_name + "'");
     }
+    if (original->retired ||
+        state_->health().IsDead(original->source_node)) {
+      return Status::Unavailable(
+          "input stream '" + binding.stream_name + "' is lost: source " +
+          topology_->peer(original->source_node).name + " failed");
+    }
     InputPlan input;
     input.input_stream_name = binding.stream_name;
     input.reused_stream = original->id;
@@ -501,7 +553,7 @@ Result<EvaluationPlan> Planner::DataShipping(const AnalyzedQuery& query,
     stream.source_node = original->source_node;
     stream.target_node = vq;
     SS_ASSIGN_OR_RETURN(stream.route,
-                        topology_->ShortestPath(stream.source_node, vq));
+                        RoutePath(stream.source_node, vq));
     input.new_stream = std::move(stream);
     SS_RETURN_IF_ERROR(CostPlan(&input, binding, *original, vq));
     plan.inputs.push_back(std::move(input));
@@ -520,6 +572,12 @@ Result<EvaluationPlan> Planner::QueryShipping(const AnalyzedQuery& query,
       return Status::NotFound("query references unregistered stream '" +
                               binding.stream_name + "'");
     }
+    if (original->retired ||
+        state_->health().IsDead(original->source_node)) {
+      return Status::Unavailable(
+          "input stream '" + binding.stream_name + "' is lost: source " +
+          topology_->peer(original->source_node).name + " failed");
+    }
     SS_ASSIGN_OR_RETURN(
         InputPlan input,
         GenerateSharedPlan(*original, original->source_node, vq, binding,
@@ -533,7 +591,8 @@ Result<EvaluationPlan> Planner::Subscribe(
     const AnalyzedQuery& query, NodeId vq, SearchStats* stats,
     const std::set<NodeId>* allowed_nodes) const {
   auto allowed = [&](NodeId node) {
-    return allowed_nodes == nullptr || allowed_nodes->count(node) != 0;
+    return (allowed_nodes == nullptr || allowed_nodes->count(node) != 0) &&
+           state_->health().RoutesThrough(node);
   };
   SearchStats local_stats;
   // Appends one candidate record and returns its index in `candidates`.
@@ -566,6 +625,12 @@ Result<EvaluationPlan> Planner::Subscribe(
       return Status::NotFound("query references unregistered stream '" +
                               binding.stream_name + "'");
     }
+    if (original->retired ||
+        state_->health().IsDead(original->source_node)) {
+      return Status::Unavailable(
+          "input stream '" + binding.stream_name + "' is lost: source " +
+          topology_->peer(original->source_node).name + " failed");
+    }
 
     // Lines 3–6: initial plan — the original input stream routed to vq
     // via a shortest path, all evaluation at the target peer.
@@ -584,7 +649,7 @@ Result<EvaluationPlan> Planner::Subscribe(
       stream.props = original->props;
       stream.source_node = vb;
       stream.target_node = vq;
-      SS_ASSIGN_OR_RETURN(stream.route, topology_->ShortestPath(vb, vq));
+      SS_ASSIGN_OR_RETURN(stream.route, RoutePath(vb, vq));
       initial.new_stream = std::move(stream);
       SS_RETURN_IF_ERROR(CostPlan(&initial, binding, *original, vq));
       best = std::move(initial);
@@ -619,12 +684,18 @@ Result<EvaluationPlan> Planner::Subscribe(
           registry_->AvailableAt(v, binding.stream_name);
       for (const RegisteredStream* p : candidates) {
         ++local_stats.candidates_examined;
+        // A stream whose route crosses a dead peer or down link no
+        // longer flows; under epoch-safe re-planning, windowed streams
+        // are excluded from reuse entirely.
+        if (!StreamUsable(*p)) continue;
+        if (options_.epoch_safe_only && !EpochSafeReuse(*p)) continue;
         if (!matching::MatchProperties(p->props, sub_props,
                                        options_.match_options)) {
           // Non-matching streams do not extend the search — but with
           // widening enabled, a too-narrow stream may still be usable
           // after relaxing its operators (paper §6).
-          if (options_.enable_widening && p->widenable) {
+          if (options_.enable_widening && !options_.epoch_safe_only &&
+              p->widenable) {
             Result<InputPlan> widened =
                 GenerateWideningPlan(*p, v, vq, binding, sub_props);
             if (widened.ok()) {

@@ -50,6 +50,14 @@ struct PlannerOptions {
   /// step, so widening upstream never changes delivered results. Must be
   /// chosen for the lifetime of a system, not toggled per query.
   bool enable_widening = false;
+  /// Restrict reuse to epoch-safe candidates: skip deployed streams that
+  /// carry aggregation or window-contents operators, and skip widening.
+  /// Failure recovery re-plans under this restriction so a query rebuilt
+  /// mid-stream depends only on post-recovery items — a shared aggregate
+  /// stream's in-flight windows may straddle the recovery point, which
+  /// would break the gap-not-garbage guarantee (windowed residual ops
+  /// are instead rebuilt fresh in resume mode).
+  bool epoch_safe_only = false;
 };
 
 /// One plan the search generated and costed, in generation order. The
@@ -131,6 +139,15 @@ class Planner {
       const properties::InputStreamProperties& sub_props) const;
 
  private:
+  /// ShortestPath that routes around dead peers and down links (per
+  /// state_->health()); identical to the plain path while all-healthy.
+  Result<std::vector<network::NodeId>> RoutePath(network::NodeId from,
+                                                 network::NodeId to) const;
+
+  /// False when the stream's route crosses a dead peer or a down link —
+  /// the stream no longer flows and must not be reused.
+  bool StreamUsable(const network::RegisteredStream& stream) const;
+
   Result<InputPlan> BuildPlan(const network::RegisteredStream& reused,
                               network::NodeId v, network::NodeId vq,
                               const wxquery::StreamBinding& binding,

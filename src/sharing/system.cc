@@ -35,6 +35,9 @@ StreamShareSystem::StreamShareSystem(network::Topology topology,
       config_(config),
       state_(&topology_),
       metrics_(topology_) {
+  // A resumed system must not reuse aggregate streams whose windows may
+  // straddle the resume point — see PlannerOptions::epoch_safe_only.
+  if (config_.resume_mode) config_.planner.epoch_safe_only = true;
   cost_model_ =
       std::make_unique<cost::CostModel>(&statistics_, config_.cost_params);
   planner_ = std::make_unique<Planner>(&topology_, &state_, &registry_,
@@ -141,6 +144,8 @@ Result<RegistrationResult> StreamShareSystem::RegisterQuery(
 
   RegistrationResult result;
   result.query_id = static_cast<int>(registrations_.size());
+  result.vq = vq;
+  result.strategy = strategy;
 
   SS_ASSIGN_OR_RETURN(wxquery::AnalyzedQuery analyzed,
                       wxquery::ParseAndAnalyze(query_text));
@@ -240,7 +245,8 @@ Status StreamShareSystem::UnregisterQuery(int query_id) {
         " widened a shared stream; widening is irreversible while later "
         "subscriptions may rely on the widened content");
   }
-  // The query's own streams must have no remaining active consumers.
+  // The query's own streams must have no remaining consumers (active
+  // subscriptions, or deferred chains of departed ones).
   for (const QueryDeployment::InputWiring& wiring : deployment.inputs) {
     if (wiring.registered_stream < 0) continue;
     for (size_t other = 0; other < deployments_.size(); ++other) {
@@ -259,30 +265,22 @@ Status StreamShareSystem::UnregisterQuery(int query_id) {
         }
       }
     }
+    if (registry_.stream(wiring.registered_stream).consumers > 0) {
+      return Status::InvalidArgument(
+          "stream #" + std::to_string(wiring.registered_stream) +
+          " registered by query " + std::to_string(query_id) +
+          " still feeds a departed subscription's deferred chain; "
+          "deregister consumers first");
+    }
   }
 
-  // Detach the private chains from the shared taps; the streams this
-  // query registered stop flowing and retire from the registry.
-  for (const QueryDeployment::InputWiring& wiring : deployment.inputs) {
-    if (wiring.tap != nullptr && wiring.first != nullptr) {
-      wiring.tap->RemoveDownstream(wiring.first);
-    }
-    if (wiring.registered_stream >= 0) {
-      registry_.mutable_stream(wiring.registered_stream).retired = true;
-      taps_.erase(wiring.registered_stream);
-    }
-  }
-  // Release the plan's committed resources.
-  const EvaluationPlan& plan = registrations_[query_id].plan;
-  for (const InputPlan& input : plan.inputs) {
-    for (const auto& [link, kbps] : input.added_bandwidth_kbps) {
-      state_.AddBandwidth(link, -kbps);
-    }
-    for (const auto& [peer, load] : input.added_load) {
-      state_.AddLoad(peer, -load);
-    }
-  }
+  // With no consumers left, every wiring dismantles immediately: private
+  // chains detach from the shared taps, the query's streams retire, and
+  // the plan's committed resources are released per input.
   deployment.active = false;
+  ParkWirings(query_id, &deployment, registrations_[query_id].plan,
+              nullptr);
+  GcStreams();
   obs::EventLog& log = obs::EventLog::Default();
   if (log.ShouldLog(obs::Severity::kInfo)) {
     log.Log(obs::Severity::kInfo, "sharing", "query deregistered",
@@ -294,12 +292,13 @@ Status StreamShareSystem::UnregisterQuery(int query_id) {
 Status StreamShareSystem::WireInput(
     const InputPlan& input,
     std::shared_ptr<const wxquery::AnalyzedQuery> query, NodeId vq,
-    Strategy strategy, int query_id, engine::Operator* terminal,
-    QueryDeployment::InputWiring* wiring) {
+    Strategy strategy, int query_id, bool resume,
+    engine::Operator* terminal, QueryDeployment::InputWiring* wiring) {
   const cost::CostParams& params = cost_model_->params();
   (void)query;
   (void)vq;
   wiring->reused_stream = input.reused_stream;
+  registry_.AddConsumer(input.reused_stream);
 
   // Stream widening: relax the deployed producer operators and update the
   // registry before the new subscription attaches. Consumers are immune
@@ -334,11 +333,17 @@ Status StreamShareSystem::WireInput(
   wiring->tap = tap;
 
   // Records the head of this query's private chain — the operator the tap
-  // must shed on deregistration.
+  // must shed on deregistration — and, once past the stream tail, the
+  // head of the private tail behind a registered shared stream.
+  bool past_tail = false;
   auto attach = [&](engine::Operator* op) {
     if (current == tap && wiring->first == nullptr) wiring->first = op;
+    if (past_tail && wiring->private_head == nullptr) {
+      wiring->private_head = op;
+    }
     current->AddDownstream(op);
     current = op;
+    wiring->private_ops.push_back(op);
   };
 
   auto make_engine_op =
@@ -355,7 +360,8 @@ Status StreamShareSystem::WireInput(
         break;
       case EngineOpSpec::Kind::kWindowAgg:
         op = graph_.Add<engine::WindowAggOp>(
-            label, spec.func, spec.aggregated_element, spec.window);
+            label, spec.func, spec.aggregated_element, spec.window,
+            resume);
         break;
       case EngineOpSpec::Kind::kAggCombine:
         op = graph_.Add<engine::AggCombineOp>(label, spec.func,
@@ -366,7 +372,8 @@ Status StreamShareSystem::WireInput(
                                              spec.predicates);
         break;
       case EngineOpSpec::Kind::kWindowContents:
-        op = graph_.Add<engine::WindowContentsOp>(label, spec.window);
+        op = graph_.Add<engine::WindowContentsOp>(label, spec.window,
+                                                  resume);
         break;
     }
     op->SetAccounting(&metrics_, spec.node,
@@ -415,6 +422,13 @@ Status StreamShareSystem::WireInput(
     }
   }
 
+  // Everything attached from here on is private to this query even when
+  // it registers a shared stream — `current` is the stream's final tap,
+  // and Unsubscribe cuts behind it while other consumers remain.
+  wiring->stream_tail = current;
+  wiring->tail_boundary = wiring->private_ops.size();
+  past_tail = true;
+
   // Operators at the query's super-peer: data shipping places everything
   // here, and compensation operators always deploy behind the tap points.
   for (const EngineOpSpec& spec : input.ops) {
@@ -429,6 +443,7 @@ Status StreamShareSystem::WireInput(
   // Hand the input's stream to the query's terminal (the restructuring
   // operator, or one combination port for multi-input subscriptions).
   if (current == tap && wiring->first == nullptr) wiring->first = terminal;
+  if (wiring->private_head == nullptr) wiring->private_head = terminal;
   current->AddDownstream(terminal);
 
   // Under stream sharing, the new (pre-restructuring) stream becomes a
@@ -485,10 +500,11 @@ Status StreamShareSystem::WireInput(
   return Status::Ok();
 }
 
-Status StreamShareSystem::DeployPlan(
+Status StreamShareSystem::BuildDeployment(
     const EvaluationPlan& plan,
     std::shared_ptr<const wxquery::AnalyzedQuery> query, NodeId vq,
-    Strategy strategy, RegistrationResult* result) {
+    Strategy strategy, int query_id, bool resume, engine::SinkOp** sink,
+    QueryDeployment* deployment) {
   const cost::CostParams& params = cost_model_->params();
   if (plan.inputs.size() != query->bindings.size()) {
     return Status::Internal("plan inputs do not match query bindings");
@@ -501,7 +517,7 @@ Status StreamShareSystem::DeployPlan(
   engine::Operator* sink_parent = nullptr;
   if (query->bindings.size() == 1) {
     engine::Operator* restructure = graph_.Add<engine::RestructureOp>(
-        "q" + std::to_string(result->query_id) + ":restructure", query);
+        "q" + std::to_string(query_id) + ":restructure", query);
     restructure->SetAccounting(
         &metrics_, vq,
         params.bload_restructure * topology_.peer(vq).pindex);
@@ -509,11 +525,10 @@ Status StreamShareSystem::DeployPlan(
     sink_parent = restructure;
   } else {
     auto* combiner = graph_.Add<engine::CombineOp>(
-        "q" + std::to_string(result->query_id) + ":combine", query);
+        "q" + std::to_string(query_id) + ":combine", query);
     for (size_t i = 0; i < query->bindings.size(); ++i) {
       engine::Operator* port = graph_.Add<engine::CombinePortOp>(
-          "q" + std::to_string(result->query_id) + ":port" +
-              std::to_string(i),
+          "q" + std::to_string(query_id) + ":port" + std::to_string(i),
           combiner, i);
       port->SetAccounting(
           &metrics_, vq,
@@ -522,23 +537,41 @@ Status StreamShareSystem::DeployPlan(
     }
     sink_parent = combiner;
   }
-  auto* sink = graph_.Add<engine::SinkOp>(
-      "q" + std::to_string(result->query_id) + ":sink",
-      config_.keep_results);
-  sink_parent->AddDownstream(sink);
-  result->sink = sink;
+  // Recovery re-plans into the query's existing sink so its counters (and
+  // anything holding a pointer to it) survive the failure.
+  if (*sink == nullptr) {
+    *sink = graph_.Add<engine::SinkOp>(
+        "q" + std::to_string(query_id) + ":sink", config_.keep_results);
+  }
+  sink_parent->AddDownstream(*sink);
 
-  QueryDeployment deployment;
-  deployment.inputs.resize(plan.inputs.size());
+  deployment->query = query;
+  deployment->inputs.clear();
+  deployment->inputs.resize(plan.inputs.size());
+  deployment->widened_a_stream = false;
   for (size_t i = 0; i < plan.inputs.size(); ++i) {
     SS_RETURN_IF_ERROR(WireInput(plan.inputs[i], query, vq, strategy,
-                                 result->query_id, terminals[i],
-                                 &deployment.inputs[i]));
+                                 query_id, resume, terminals[i],
+                                 &deployment->inputs[i]));
     if (plan.inputs[i].widening.has_value()) {
-      deployment.widened_a_stream = true;
+      deployment->widened_a_stream = true;
     }
   }
-  deployment.active = true;
+  deployment->active = true;
+  return Status::Ok();
+}
+
+Status StreamShareSystem::DeployPlan(
+    const EvaluationPlan& plan,
+    std::shared_ptr<const wxquery::AnalyzedQuery> query, NodeId vq,
+    Strategy strategy, RegistrationResult* result) {
+  engine::SinkOp* sink = nullptr;
+  QueryDeployment deployment;
+  SS_RETURN_IF_ERROR(BuildDeployment(plan, query, vq, strategy,
+                                     result->query_id,
+                                     config_.resume_mode, &sink,
+                                     &deployment));
+  result->sink = sink;
   deployments_.push_back(std::move(deployment));
   return Status::Ok();
 }
@@ -600,11 +633,18 @@ Status StreamShareSystem::RunTransport(
   std::vector<std::vector<engine::ItemPtr>> item_lists;
   SS_RETURN_IF_ERROR(CollectEntries(stream_entries_, items_by_stream,
                                     &entries, &item_lists));
+  return RunTransportImpl(entries, item_lists, /*finish=*/true);
+}
+
+Status StreamShareSystem::RunTransportImpl(
+    const std::vector<engine::Operator*>& entries,
+    const std::vector<std::vector<engine::ItemPtr>>& item_lists,
+    bool finish) {
   std::unique_ptr<transport::Transport> transport;
   if (config_.transport == "loopback") {
     transport = std::make_unique<transport::LoopbackTransport>();
   } else if (config_.transport == "tcp") {
-    transport = std::make_unique<transport::TcpTransport>();
+    transport = std::make_unique<transport::TcpTransport>(config_.tcp);
   } else {
     return Status::InvalidArgument("unknown transport '" +
                                    config_.transport +
@@ -618,11 +658,29 @@ Status StreamShareSystem::RunTransport(
                      ? transport::RunnerOptions::Mode::kProcesses
                      : transport::RunnerOptions::Mode::kThreads;
   transport::PartitionedRunner runner(transport.get(), options);
-  Status status = runner.Run(entries, item_lists);
+  Status status = runner.Run(entries, item_lists, finish);
   transport_stats_ = runner.run_stats();
   // The transport runner's workers mirror the parallel executor's, so
   // their queue stats export through the same engine.worker.* gauges.
   parallel_stats_ = transport_stats_.workers;
+  // Liveness detection: a sender that exhausted its credit-wait retries
+  // observed a stalled-or-gone receiver. Promote the symptom into
+  // suspicion of the receiving worker's peers — advisory only (routing is
+  // unchanged); FailPeer confirms and commits recovery.
+  if (status.IsDeadlineExceeded()) {
+    for (const transport::ChannelTrafficStats& channel :
+         transport_stats_.channels) {
+      if (channel.stats.deadline_failures == 0) continue;
+      if (channel.target_worker >= transport_stats_.workers.size()) {
+        continue;
+      }
+      for (network::NodeId peer :
+           transport_stats_.workers[channel.target_worker].peers) {
+        state_.mutable_health().MarkSuspect(
+            peer, "transport: " + status.message());
+      }
+    }
+  }
   return status;
 }
 
@@ -631,9 +689,30 @@ Status StreamShareSystem::Feed(
         items_by_stream) {
   std::vector<engine::Operator*> entries;
   std::vector<std::vector<engine::ItemPtr>> item_lists;
-  SS_RETURN_IF_ERROR(CollectEntries(stream_entries_, items_by_stream,
-                                    &entries, &item_lists));
-  return engine::RunStreams(entries, item_lists, /*finish=*/false);
+  // A stream whose source peer failed no longer produces: its batches are
+  // dropped so the harness can keep feeding one item map across a failure.
+  for (const auto& [name, items] : items_by_stream) {
+    const RegisteredStream* original = registry_.FindOriginal(name);
+    if (original == nullptr) {
+      return Status::NotFound("stream '" + name + "' is not registered");
+    }
+    if (original->retired) continue;
+    entries.push_back(stream_entries_.at(name));
+    item_lists.push_back(items);
+  }
+  switch (config_.executor) {
+    case ExecutorKind::kSerial:
+      return engine::RunStreams(entries, item_lists, /*finish=*/false);
+    case ExecutorKind::kParallel: {
+      engine::ParallelExecutor executor(config_.parallel);
+      Status status = executor.Run(entries, item_lists, /*finish=*/false);
+      parallel_stats_ = executor.worker_stats();
+      return status;
+    }
+    case ExecutorKind::kTransport:
+      return RunTransportImpl(entries, item_lists, /*finish=*/false);
+  }
+  return Status::Internal("unknown executor kind");
 }
 
 Status StreamShareSystem::Shutdown() {
@@ -714,6 +793,8 @@ void StreamShareSystem::ExportMetrics(obs::MetricsRegistry* registry) const {
         ->Set(state_.RelativeBandwidthUse(link));
     registry->GetGauge("network.link." + name + ".peak_kbps")
         ->Set(state_.PeakBandwidthKbps(link));
+    registry->GetGauge("network.link." + name + ".up")
+        ->Set(state_.health().LinkUp(link) ? 1.0 : 0.0);
   }
   for (size_t p = 0; p < topology_.peer_count(); ++p) {
     network::NodeId peer = static_cast<network::NodeId>(p);
@@ -727,6 +808,9 @@ void StreamShareSystem::ExportMetrics(obs::MetricsRegistry* registry) const {
         ->Set(state_.RelativeLoadUse(peer));
     registry->GetGauge("network.peer." + name + ".peak_load")
         ->Set(state_.PeakLoad(peer));
+    // 0 = alive, 1 = suspect, 2 = dead.
+    registry->GetGauge("network.peer." + name + ".health")
+        ->Set(static_cast<double>(state_.health().status(peer)));
   }
   // Transport measurements of the most recent RunTransport: measured
   // traffic per topology link, next to the committed bandwidth u_b(e)

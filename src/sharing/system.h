@@ -26,10 +26,12 @@
 #include "network/subnet.h"
 #include "network/topology.h"
 #include "obs/metrics_registry.h"
+#include "recover/report.h"
 #include "sharing/hierarchy.h"
 #include "sharing/plan.h"
 #include "sharing/subscribe.h"
 #include "transport/runner.h"
+#include "transport/tcp.h"
 #include "wxquery/analyzer.h"
 
 namespace streamshare::sharing {
@@ -74,6 +76,16 @@ struct SystemConfig {
   /// Credit window / timeouts and fault injection for RunTransport().
   transport::FlowOptions flow;
   transport::FaultPlan faults;
+  /// Connect retry/backoff for the "tcp" transport.
+  transport::TcpOptions tcp;
+  /// Resume mode: the system is (re)started mid-stream — item positions do
+  /// not begin at zero. Every deployed window operator anchors at the first
+  /// window that STARTS at or after the first item it sees (straddling
+  /// windows are suppressed, gap-not-garbage), and planning is restricted
+  /// to epoch-safe reuse. The differential oracle uses this to build the
+  /// fresh reference run a recovered deployment must match over
+  /// post-recovery epochs.
+  bool resume_mode = false;
 };
 
 /// Outcome of registering one continuous query.
@@ -88,6 +100,13 @@ struct RegistrationResult {
   /// Result collector of this query (borrowed; valid while the system
   /// lives). nullptr if rejected.
   engine::SinkOp* sink = nullptr;
+  /// Super-peer the query registered at; failure recovery tears the query
+  /// down (instead of re-planning) when this peer dies.
+  network::NodeId vq = -1;
+  /// Strategy the query registered under; recovery re-plans under the
+  /// same strategy family (stream sharing re-registers shareable streams,
+  /// the shipping baselines do not).
+  Strategy strategy = Strategy::kStreamSharing;
 };
 
 class StreamShareSystem {
@@ -130,6 +149,40 @@ class StreamShareSystem {
   /// widened a stream (widening is irreversible while consumers may rely
   /// on the widened content).
   Status UnregisterQuery(int query_id);
+
+  /// Refcounted deregistration: the query leaves immediately, but a shared
+  /// stream it registered keeps flowing while other subscriptions still
+  /// consume it — only the query's private tail is cut. Once the last
+  /// consumer of such a stream leaves, the stream and its whole deferred
+  /// chain are garbage-collected (cascading up the reuse chain) and the
+  /// resources released. Unlike UnregisterQuery this never refuses for
+  /// live consumers; it still refuses for queries that widened a stream
+  /// (widening is irreversible).
+  Status Unsubscribe(int query_id);
+
+  /// Declares a super-peer dead (operator intervention, or promotion of a
+  /// transport liveness verdict): marks it dead in the health view, cuts
+  /// its incident links, and recovers every subscription that transitively
+  /// depended on it — orphaned queries are re-planned against the
+  /// surviving topology under epoch-safe reuse, with windowed residual
+  /// operators rebuilt in resume mode so each recovered query resumes at
+  /// the next window boundary (gap-not-garbage); queries with no surviving
+  /// plan, and queries registered AT the dead peer, are torn down. Shared
+  /// streams whose last consumer left are garbage-collected. Idempotent
+  /// per peer (failing a dead peer is an error).
+  Result<recover::RecoveryReport> FailPeer(network::NodeId peer);
+  Result<recover::RecoveryReport> FailPeer(const std::string& peer_name);
+
+  /// Severs one link (both peers stay alive) and recovers every
+  /// subscription whose plan routed over it, with the same semantics as
+  /// FailPeer. Cutting a link that is already down is an error.
+  Result<recover::RecoveryReport> CutLink(network::NodeId a,
+                                          network::NodeId b);
+
+  /// Reports of every FailPeer / CutLink event, in order.
+  const std::vector<recover::RecoveryReport>& recovery_reports() const {
+    return recovery_reports_;
+  }
 
   /// True while the query is deployed (false after UnregisterQuery or for
   /// rejected registrations).
@@ -212,31 +265,99 @@ class StreamShareSystem {
   void ExportMetrics(obs::MetricsRegistry* registry) const;
 
  private:
-  Status DeployPlan(const EvaluationPlan& plan,
-                    std::shared_ptr<const wxquery::AnalyzedQuery> query,
-                    network::NodeId vq, Strategy strategy,
-                    RegistrationResult* result);
-  /// Wires one input's operator chain from its tap point to the query's
-  /// terminal stage (restructuring, or a combination port).
   /// How one registered query is wired into the engine (for later
-  /// deregistration).
+  /// deregistration and failure recovery).
   struct QueryDeployment {
     struct InputWiring {
       engine::Operator* tap = nullptr;    // shared stream's tap operator
       engine::Operator* first = nullptr;  // head of the private chain
       network::StreamId registered_stream = -1;  // -1 if none registered
       network::StreamId reused_stream = -1;
+      /// Last operator of the segment that produces registered_stream
+      /// (the stream's final tap); everything attached after it is
+      /// private to this query.
+      engine::Operator* stream_tail = nullptr;
+      /// First operator attached after stream_tail (a vq-side residual op
+      /// or the query's terminal stage).
+      engine::Operator* private_head = nullptr;
+      /// Every operator this wiring created, in wire order; window
+      /// operators among them are what recovery counts as lost.
+      std::vector<engine::Operator*> private_ops;
+      /// Index into private_ops where the private tail begins (ops before
+      /// it produce registered_stream and may outlive the query).
+      size_t tail_boundary = 0;
+      bool tail_cut = false;       // private tail detached (deferred GC)
+      bool tail_counted = false;   // tail's lost windows already tallied
     };
     std::vector<InputWiring> inputs;
+    /// The analyzed query this deployment evaluates (recovery re-plans
+    /// from it). Null for rejected placeholders.
+    std::shared_ptr<const wxquery::AnalyzedQuery> query;
     bool active = false;
     bool widened_a_stream = false;
   };
 
+  /// A dismantled-but-deferred wiring: its registered stream still has
+  /// consumers, so the shared segment keeps flowing after the owning
+  /// query left. Carries the resource deltas of the plan input that
+  /// deployed it, released when the wiring finally goes.
+  struct ParkedWiring {
+    int query_id = -1;
+    QueryDeployment::InputWiring wiring;
+    std::vector<std::pair<network::LinkId, double>> added_bandwidth_kbps;
+    std::vector<std::pair<network::NodeId, double>> added_load;
+  };
+
+  Status DeployPlan(const EvaluationPlan& plan,
+                    std::shared_ptr<const wxquery::AnalyzedQuery> query,
+                    network::NodeId vq, Strategy strategy,
+                    RegistrationResult* result);
+  /// Builds the terminal stage + input chains of `plan` and attaches them
+  /// to `sink` (created fresh when null, reused across a recovery
+  /// re-plan otherwise). With `resume` true, window operators anchor at
+  /// the next window boundary at or after their first item. Fills
+  /// `deployment` (not pushed — caller decides whether this is a new
+  /// deployment or replaces an existing one's wiring).
+  Status BuildDeployment(const EvaluationPlan& plan,
+                         std::shared_ptr<const wxquery::AnalyzedQuery> query,
+                         network::NodeId vq, Strategy strategy, int query_id,
+                         bool resume, engine::SinkOp** sink,
+                         QueryDeployment* deployment);
+  /// Wires one input's operator chain from its tap point to the query's
+  /// terminal stage (restructuring, or a combination port).
   Status WireInput(const InputPlan& input,
                    std::shared_ptr<const wxquery::AnalyzedQuery> query,
                    network::NodeId vq, Strategy strategy, int query_id,
-                   engine::Operator* terminal,
+                   bool resume, engine::Operator* terminal,
                    QueryDeployment::InputWiring* wiring);
+
+  /// Detaches a wiring from the operator network if nothing else consumes
+  /// its registered stream (retiring the stream, releasing the parked
+  /// resources, dropping the consumer ref on the reused stream); otherwise
+  /// cuts only the private tail. Returns true when fully dismantled.
+  /// `lost_windows`, when non-null, accumulates open windows destroyed.
+  bool TryDismantle(ParkedWiring* parked, uint64_t* lost_windows);
+  /// Moves every wiring of `deployment` into parked_ (dismantling the
+  /// ones nothing depends on), releasing resources per the plan inputs in
+  /// `plan`. The deployment's wiring list is cleared.
+  void ParkWirings(int query_id, QueryDeployment* deployment,
+                   const EvaluationPlan& plan, uint64_t* lost_windows);
+  /// Fixed point over parked_: dismantles every parked wiring whose
+  /// registered stream lost its last consumer; cascades up reuse chains.
+  uint64_t GcStreams();
+  /// Shared implementation of FailPeer / CutLink: after the health view
+  /// has been mutated, severs dead streams, classifies and recovers
+  /// affected queries, GCs, snapshots sinks, and records the report.
+  Result<recover::RecoveryReport> RecoverAfter(std::string trigger);
+  /// Route crosses a dead peer or a down link (the stream stopped
+  /// flowing), or its upstream chain does.
+  bool StreamSevered(network::StreamId id,
+                     const std::vector<bool>& severed) const;
+  /// Shared body of RunTransport and transport-mode Feed.
+  Status RunTransportImpl(
+      const std::vector<engine::Operator*>& entries,
+      const std::vector<std::vector<engine::ItemPtr>>& item_lists,
+      bool finish);
 
   network::Topology topology_;
   SystemConfig config_;
@@ -264,6 +385,10 @@ class StreamShareSystem {
   std::vector<RegistrationResult> registrations_;
   /// Indexed by query id (one entry per registration, rejected included).
   std::vector<QueryDeployment> deployments_;
+  /// Wirings of departed queries whose registered streams still feed
+  /// other subscriptions (see ParkedWiring).
+  std::vector<ParkedWiring> parked_;
+  std::vector<recover::RecoveryReport> recovery_reports_;
   std::vector<engine::ParallelWorkerStats> parallel_stats_;
   transport::TransportRunStats transport_stats_;
 };

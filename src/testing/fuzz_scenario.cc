@@ -1,7 +1,9 @@
 #include "testing/fuzz_scenario.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <set>
 
 namespace streamshare::testing {
 
@@ -149,6 +151,15 @@ std::string FuzzScenario::ToString() const {
     out += "  q" + std::to_string(q) + " @SP" +
            std::to_string(queries[q].target) + ": " +
            queries[q].ToQueryText() + "\n";
+  }
+  for (const FuzzChurnEvent& event : churn) {
+    if (event.kind == FuzzChurnEvent::Kind::kFailPeer) {
+      out += "  churn fail-peer SP" + std::to_string(event.peer);
+    } else {
+      out += "  churn cut-link " + std::to_string(event.link_a) + "-" +
+             std::to_string(event.link_b);
+    }
+    out += " @item " + std::to_string(event.at_offset) + "\n";
   }
   return out;
 }
@@ -328,6 +339,139 @@ FuzzScenario GenerateScenario(uint64_t seed,
   scenario.items_per_stream = static_cast<size_t>(rng.Between(
       static_cast<int64_t>(options.min_items),
       static_cast<int64_t>(options.max_items)));
+
+  // Churn draws come strictly after every clean draw, so enabling churn
+  // never perturbs the clean part a seed generates.
+  if (options.churn_probability > 0.0 &&
+      rng.Chance(options.churn_probability)) {
+    // Redundancy chords: recovery is only interesting when the residual
+    // topology can still route around a failure, and random spanning
+    // trees rarely can. Scenarios that carry churn get a few extra links
+    // the clean generator would not have drawn — scenarios without churn
+    // (in particular every scenario at the default probability 0) are
+    // untouched.
+    int extra_links = static_cast<int>(
+        rng.Between(1, std::max(2, scenario.topology.peers / 2)));
+    for (int i = 0; i < extra_links; ++i) {
+      int a = static_cast<int>(
+          rng.Below(static_cast<uint64_t>(scenario.topology.peers)));
+      int b = static_cast<int>(
+          rng.Below(static_cast<uint64_t>(scenario.topology.peers)));
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      bool duplicate = false;
+      for (const auto& link : scenario.topology.links) {
+        if (link == std::make_pair(a, b)) duplicate = true;
+      }
+      if (!duplicate) scenario.topology.links.emplace_back(a, b);
+    }
+    int count = static_cast<int>(rng.Between(options.min_churn_events,
+                                             options.max_churn_events));
+    // Mid-band offsets: early enough that windows are mid-flight, late
+    // enough that pre-failure output exists to diff against.
+    std::vector<size_t> offsets;
+    for (int i = 0; i < count; ++i) {
+      offsets.push_back(static_cast<size_t>(
+          rng.Between(static_cast<int64_t>(scenario.items_per_stream / 4),
+                      static_cast<int64_t>(
+                          (scenario.items_per_stream * 3) / 4))));
+    }
+    std::sort(offsets.begin(), offsets.end());
+    // Assign events in offset order so independence is checkable as we
+    // go: no repeated peer, no link cut twice or after an endpoint died.
+    // Stream sources never fail — killing the producer severs the whole
+    // workload, which tests nothing recovery-specific.
+    std::vector<bool> failed(scenario.topology.peers, false);
+    std::vector<bool> source(scenario.topology.peers, false);
+    for (const FuzzStreamSpec& stream : scenario.streams) {
+      source[stream.source] = true;
+    }
+    std::set<std::pair<int, int>> cut;
+    // True iff the surviving peers stay mutually reachable after also
+    // failing `extra_peer` (or -1) and cutting `extra_cut` (or {-1,-1}).
+    // Failures that keep the residual graph connected are the ones
+    // recovery can *re-plan* around instead of tearing queries down, so
+    // the generator prefers them — "gap, not garbage" is only testable
+    // when a gap is actually recoverable.
+    auto residual_connected = [&](int extra_peer,
+                                  std::pair<int, int> extra_cut) {
+      auto alive = [&](int p) { return !failed[p] && p != extra_peer; };
+      std::vector<std::vector<int>> adjacency(scenario.topology.peers);
+      for (const auto& link : scenario.topology.links) {
+        if (cut.count(link) != 0 || link == extra_cut) continue;
+        if (!alive(link.first) || !alive(link.second)) continue;
+        adjacency[link.first].push_back(link.second);
+        adjacency[link.second].push_back(link.first);
+      }
+      int start = -1, alive_count = 0;
+      for (int p = 0; p < scenario.topology.peers; ++p) {
+        if (!alive(p)) continue;
+        ++alive_count;
+        if (start < 0) start = p;
+      }
+      if (start < 0) return false;
+      std::vector<bool> seen(scenario.topology.peers, false);
+      std::vector<int> stack = {start};
+      seen[start] = true;
+      int visited = 1;
+      while (!stack.empty()) {
+        int p = stack.back();
+        stack.pop_back();
+        for (int n : adjacency[p]) {
+          if (seen[n]) continue;
+          seen[n] = true;
+          ++visited;
+          stack.push_back(n);
+        }
+      }
+      return visited == alive_count;
+    };
+    for (size_t offset : offsets) {
+      std::vector<int> peer_candidates;
+      for (int p = 0; p < scenario.topology.peers; ++p) {
+        if (!failed[p] && !source[p]) peer_candidates.push_back(p);
+      }
+      std::vector<std::pair<int, int>> link_candidates;
+      for (const auto& link : scenario.topology.links) {
+        if (failed[link.first] || failed[link.second]) continue;
+        if (cut.count(link) != 0) continue;
+        link_candidates.push_back(link);
+      }
+      // Prefer survivable events 3:1 when any exist; the disconnecting
+      // ones stay in the mix to keep the kLost teardown path exercised.
+      std::vector<int> safe_peers;
+      for (int p : peer_candidates) {
+        if (residual_connected(p, {-1, -1})) safe_peers.push_back(p);
+      }
+      std::vector<std::pair<int, int>> safe_links;
+      for (const auto& link : link_candidates) {
+        if (residual_connected(-1, link)) safe_links.push_back(link);
+      }
+      bool prefer_safe =
+          (!safe_peers.empty() || !safe_links.empty()) && !rng.Chance(0.25);
+      if (prefer_safe) {
+        peer_candidates = safe_peers;
+        link_candidates = safe_links;
+      }
+      if (peer_candidates.empty() && link_candidates.empty()) break;
+      FuzzChurnEvent event;
+      event.at_offset = offset;
+      bool fail_peer = !peer_candidates.empty() &&
+                       (link_candidates.empty() || rng.Chance(0.5));
+      if (fail_peer) {
+        event.kind = FuzzChurnEvent::Kind::kFailPeer;
+        event.peer = peer_candidates[rng.Below(peer_candidates.size())];
+        failed[event.peer] = true;
+      } else {
+        event.kind = FuzzChurnEvent::Kind::kCutLink;
+        auto link = link_candidates[rng.Below(link_candidates.size())];
+        event.link_a = link.first;
+        event.link_b = link.second;
+        cut.insert(link);
+      }
+      scenario.churn.push_back(event);
+    }
+  }
   return scenario;
 }
 

@@ -112,6 +112,23 @@ struct FuzzTopologySpec {
   Result<network::Topology> Build() const;
 };
 
+/// One mid-run failure. After `at_offset` items per stream have been fed,
+/// the harness calls System::FailPeer (kFailPeer) or System::CutLink
+/// (kCutLink) and keeps feeding — the recovery oracle then checks that
+/// every surviving subscription matches a fresh no-failure run over the
+/// post-recovery epochs. Events are kept sorted by offset and mutually
+/// independent (no peer fails twice, no link is cut twice or after an
+/// endpoint died), so replaying them in order can never hit the
+/// "already dead / already down" argument errors.
+struct FuzzChurnEvent {
+  enum class Kind { kFailPeer, kCutLink };
+
+  Kind kind = Kind::kFailPeer;
+  int peer = 0;              // kFailPeer
+  int link_a = 0, link_b = 0;  // kCutLink
+  size_t at_offset = 0;
+};
+
 /// A complete differential-test scenario.
 struct FuzzScenario {
   uint64_t seed = 0;
@@ -120,6 +137,8 @@ struct FuzzScenario {
   std::vector<workload::SkyBox> boxes;
   std::vector<FuzzStreamSpec> streams;
   std::vector<FuzzQuerySpec> queries;
+  /// Mid-run failures, sorted by offset; empty for a clean scenario.
+  std::vector<FuzzChurnEvent> churn;
   size_t items_per_stream = 200;
 
   std::string ToString() const;
@@ -130,6 +149,14 @@ struct GeneratorOptions {
   int min_streams = 1, max_streams = 2;
   int min_queries = 2, max_queries = 8;
   size_t min_items = 120, max_items = 320;
+  /// Probability that a scenario carries churn events at all. The churn
+  /// draws happen after every other draw, so at the default 0 a seed's
+  /// scenario is bit-identical to what it generated before churn existed.
+  /// A scenario that does draw churn additionally gains a few redundancy
+  /// links (so failures are survivable, not just fatal) — its clean part
+  /// is a superset of, not identical to, the churn-free scenario.
+  double churn_probability = 0.0;
+  int min_churn_events = 1, max_churn_events = 2;
 };
 
 /// Generates scenario `seed` deterministically (same seed + options →

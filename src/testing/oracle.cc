@@ -1,5 +1,6 @@
 #include "testing/oracle.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 
@@ -53,9 +54,14 @@ struct BuiltSystem {
 /// Builds a system for the scenario, registers every stream and query
 /// under `strategy`, and enables content hashing on all sinks. Keeps
 /// results only when asked (the two serial systems that item-diff).
+/// The transport knobs under test ride along in every config so the
+/// transport-mode runs exercise them.
 Result<BuiltSystem> BuildAndRegister(const FuzzScenario& scenario,
                                      sharing::Strategy strategy,
-                                     SystemConfig config) {
+                                     SystemConfig config,
+                                     const OracleOptions& options) {
+  config.flow = options.flow;
+  config.tcp = options.tcp;
   SS_ASSIGN_OR_RETURN(network::Topology topology,
                       scenario.topology.Build());
   BuiltSystem built;
@@ -117,6 +123,90 @@ std::string DescribeQuery(const FuzzScenario& scenario, size_t q) {
          scenario.queries[q].ToQueryText() + "]";
 }
 
+// ------------------------------------------------------- churn machinery
+
+/// Per-stream sub-batches [from, to) of the full item lists.
+std::map<std::string, std::vector<engine::ItemPtr>> SliceItems(
+    const std::map<std::string, std::vector<engine::ItemPtr>>& items,
+    size_t from, size_t to) {
+  std::map<std::string, std::vector<engine::ItemPtr>> slice;
+  for (const auto& [name, list] : items) {
+    size_t hi = std::min(to, list.size());
+    size_t lo = std::min(from, hi);
+    slice[name].assign(list.begin() + lo, list.begin() + hi);
+  }
+  return slice;
+}
+
+Status ApplyChurn(StreamShareSystem* system, const FuzzChurnEvent& event) {
+  if (event.kind == FuzzChurnEvent::Kind::kFailPeer) {
+    return system->FailPeer(event.peer).status();
+  }
+  return system->CutLink(event.link_a, event.link_b).status();
+}
+
+/// One churned execution: the scenario's items fed in segments with the
+/// churn events applied at their offsets, plus what every sink held right
+/// after each recovery completed (the epoch boundaries the invariants
+/// diff against).
+struct ChurnRun {
+  ModeObservation final_mode;
+  /// after_event[j][q]: query q's sink right after event j's recovery.
+  std::vector<std::vector<QueryObservation>> after_event;
+  std::vector<recover::RecoveryReport> reports;
+  /// Scenario query index -> query id (as BuiltSystem::registration_index).
+  std::vector<int> registration_index;
+};
+
+Result<ChurnRun> RunChurned(
+    const FuzzScenario& scenario,
+    const std::map<std::string, std::vector<engine::ItemPtr>>& items,
+    SystemConfig config, const char* name, const OracleOptions& options) {
+  SS_ASSIGN_OR_RETURN(
+      BuiltSystem built,
+      BuildAndRegister(scenario, sharing::Strategy::kStreamSharing,
+                       config, options));
+  ChurnRun run;
+  size_t fed = 0;
+  for (const FuzzChurnEvent& event : scenario.churn) {
+    size_t upto = std::min(event.at_offset, scenario.items_per_stream);
+    if (upto > fed) {
+      SS_RETURN_IF_ERROR(
+          built.system->Feed(SliceItems(items, fed, upto))
+              .WithContext(name));
+      fed = upto;
+    }
+    SS_RETURN_IF_ERROR(ApplyChurn(built.system.get(), event)
+                           .WithContext(name));
+    ModeObservation snapshot;
+    Observe(built, &snapshot);
+    run.after_event.push_back(std::move(snapshot.queries));
+  }
+  if (fed < scenario.items_per_stream) {
+    SS_RETURN_IF_ERROR(
+        built.system->Feed(SliceItems(items, fed,
+                                      scenario.items_per_stream))
+            .WithContext(name));
+  }
+  SS_RETURN_IF_ERROR(built.system->Shutdown().WithContext(name));
+  run.final_mode.mode = name;
+  Observe(built, &run.final_mode);
+  run.reports = built.system->recovery_reports();
+  run.registration_index = built.registration_index;
+  return run;
+}
+
+bool SameObservation(const QueryObservation& a, const QueryObservation& b) {
+  return a.accepted == b.accepted && a.items == b.items &&
+         a.bytes == b.bytes && a.content_hash == b.content_hash;
+}
+
+std::string ObservationString(const QueryObservation& o) {
+  return "items=" + std::to_string(o.items) + " bytes=" +
+         std::to_string(o.bytes) + " hash=" +
+         std::to_string(o.content_hash);
+}
+
 }  // namespace
 
 Result<OracleReport> RunOracle(const FuzzScenario& scenario,
@@ -135,7 +225,7 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
   SS_ASSIGN_OR_RETURN(
       BuiltSystem reference,
       BuildAndRegister(scenario, sharing::Strategy::kStreamSharing,
-                       serial_config));
+                       serial_config, options));
   SS_RETURN_IF_ERROR(reference.system->Run(items));
   ModeObservation reference_mode;
   reference_mode.mode = "serial";
@@ -194,7 +284,7 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     SS_ASSIGN_OR_RETURN(
         BuiltSystem built,
         BuildAndRegister(scenario, sharing::Strategy::kStreamSharing,
-                         config));
+                         config, options));
     Status run_status = spec.executor == ExecutorKind::kTransport
                             ? built.system->RunTransport(items)
                             : built.system->RunParallel(items);
@@ -253,7 +343,7 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
   SS_ASSIGN_OR_RETURN(
       BuiltSystem baseline,
       BuildAndRegister(scenario, sharing::Strategy::kDataShipping,
-                       serial_config));
+                       serial_config, options));
   SS_RETURN_IF_ERROR(baseline.system->Run(items));
 
   const auto& all_shared_regs = reference.system->registrations();
@@ -322,6 +412,234 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     }
   }
 
+  // --- Recovery oracle: replay with churn and diff the epochs. ----------
+  if (!scenario.churn.empty()) {
+    report.churn_events = static_cast<int>(scenario.churn.size());
+    auto recovery_fail = [&](std::string message) {
+      report.recovery_ok = false;
+      fail("recovery oracle: " + std::move(message));
+    };
+
+    struct ChurnSpec {
+      const char* name;
+      ExecutorKind executor;
+      const char* transport;
+    };
+    std::vector<ChurnSpec> churn_specs = {
+        {"serial+churn", ExecutorKind::kSerial, ""}};
+    if (options.run_parallel) {
+      churn_specs.push_back(
+          {"parallel+churn", ExecutorKind::kParallel, ""});
+    }
+    if (options.run_tcp) {
+      // Threads, not processes: segmented Feed needs the window state to
+      // live in one address space across segments.
+      churn_specs.push_back(
+          {"transport-tcp+churn", ExecutorKind::kTransport, "tcp"});
+    }
+
+    std::vector<ChurnRun> runs;
+    for (const ChurnSpec& spec : churn_specs) {
+      SystemConfig config;
+      config.executor = spec.executor;
+      if (spec.transport[0] != '\0') config.transport = spec.transport;
+      SS_ASSIGN_OR_RETURN(
+          ChurnRun run,
+          RunChurned(scenario, items, config, spec.name, options));
+      if (!options.inject_churn_mode.empty() &&
+          options.inject_churn_mode == spec.name) {
+        // Planted recovery bug (self-test): the mode under-reports — a
+        // failure that only exists while churn events remain, so the
+        // shrinker must preserve them.
+        for (QueryObservation& query : run.final_mode.queries) {
+          if (query.items > 0) {
+            query.items -= 1;
+            query.content_hash ^= 0xBADC0DEull;
+          }
+        }
+      }
+      report.modes.push_back(run.final_mode);
+      runs.push_back(std::move(run));
+    }
+
+    const ChurnRun& serial_churn = runs.front();
+    for (const recover::RecoveryReport& event : serial_churn.reports) {
+      report.churn_replans += static_cast<int>(event.replans);
+      report.churn_lost +=
+          static_cast<int>(event.lost_queries + event.dead_targets);
+    }
+
+    // (i) Cross-mode agreement: final sinks, every post-recovery epoch
+    // snapshot, and the recovery outcomes themselves.
+    for (size_t m = 1; m < runs.size(); ++m) {
+      const ChurnRun& other = runs[m];
+      const std::string& mode = other.final_mode.mode;
+      for (size_t q = 0; q < scenario.queries.size(); ++q) {
+        if (!SameObservation(serial_churn.final_mode.queries[q],
+                             other.final_mode.queries[q])) {
+          recovery_fail(
+              mode + " diverged from serial+churn on " +
+              DescribeQuery(scenario, q) + " — serial " +
+              ObservationString(serial_churn.final_mode.queries[q]) +
+              ", " + mode + " " +
+              ObservationString(other.final_mode.queries[q]));
+        }
+      }
+      for (size_t j = 0; j < serial_churn.after_event.size() &&
+                         j < other.after_event.size();
+           ++j) {
+        for (size_t q = 0; q < scenario.queries.size(); ++q) {
+          if (!SameObservation(serial_churn.after_event[j][q],
+                               other.after_event[j][q])) {
+            recovery_fail(mode + ": post-recovery snapshot of event " +
+                          std::to_string(j) + " diverged on " +
+                          DescribeQuery(scenario, q));
+          }
+        }
+      }
+      if (other.reports.size() != serial_churn.reports.size()) {
+        recovery_fail(mode + ": recovered " +
+                      std::to_string(other.reports.size()) +
+                      " events, serial+churn recovered " +
+                      std::to_string(serial_churn.reports.size()));
+        continue;
+      }
+      for (size_t j = 0; j < serial_churn.reports.size(); ++j) {
+        const auto& expected = serial_churn.reports[j].queries;
+        const auto& actual = other.reports[j].queries;
+        bool same = expected.size() == actual.size();
+        for (size_t k = 0; same && k < expected.size(); ++k) {
+          same = expected[k].query_id == actual[k].query_id &&
+                 expected[k].outcome == actual[k].outcome;
+        }
+        if (!same) {
+          recovery_fail(mode + ": recovery outcomes of event " +
+                        std::to_string(j) +
+                        " diverged from serial+churn");
+        }
+      }
+    }
+
+    // Classify every query from the serial churned run's reports: touched
+    // by any event, torn down at some event, re-planned at the last one.
+    const size_t query_count = scenario.queries.size();
+    std::vector<bool> affected(query_count, false);
+    std::vector<bool> final_replanned(query_count, false);
+    std::vector<int> terminal_event(query_count, -1);
+    std::map<int, size_t> by_query_id;
+    for (size_t q = 0; q < query_count; ++q) {
+      if (serial_churn.registration_index[q] >= 0) {
+        by_query_id[serial_churn.registration_index[q]] = q;
+      }
+    }
+    for (size_t j = 0; j < serial_churn.reports.size(); ++j) {
+      for (const recover::QueryRecovery& rec :
+           serial_churn.reports[j].queries) {
+        auto it = by_query_id.find(rec.query_id);
+        if (it == by_query_id.end()) continue;
+        size_t q = it->second;
+        affected[q] = true;
+        if (rec.outcome != recover::QueryRecovery::Outcome::kReplanned &&
+            terminal_event[q] < 0) {
+          terminal_event[q] = static_cast<int>(j);
+        }
+        if (j + 1 == serial_churn.reports.size()) {
+          final_replanned[q] =
+              rec.outcome == recover::QueryRecovery::Outcome::kReplanned;
+        }
+      }
+    }
+
+    // (ii) Subscriptions no failure touched must match the no-failure
+    // reference bit for bit.
+    for (size_t q = 0; q < query_count; ++q) {
+      if (affected[q] || serial_churn.registration_index[q] < 0) continue;
+      if (!SameObservation(serial_churn.final_mode.queries[q],
+                           reference_mode.queries[q])) {
+        recovery_fail(
+            "untouched " + DescribeQuery(scenario, q) +
+            " diverged from the no-failure reference — churned " +
+            ObservationString(serial_churn.final_mode.queries[q]) +
+            ", reference " +
+            ObservationString(reference_mode.queries[q]));
+      }
+    }
+
+    // (iii) Torn-down subscriptions (dead target, no surviving plan) must
+    // emit nothing after their terminal event.
+    for (size_t q = 0; q < query_count; ++q) {
+      if (terminal_event[q] < 0) continue;
+      const QueryObservation& at_teardown =
+          serial_churn.after_event[terminal_event[q]][q];
+      const QueryObservation& final_obs =
+          serial_churn.final_mode.queries[q];
+      if (final_obs.items != at_teardown.items ||
+          final_obs.content_hash != at_teardown.content_hash) {
+        recovery_fail("torn-down " + DescribeQuery(scenario, q) +
+                      " kept producing after event " +
+                      std::to_string(terminal_event[q]) + " — at teardown " +
+                      ObservationString(at_teardown) + ", final " +
+                      ObservationString(final_obs));
+      }
+    }
+
+    // (iv) Gap, not garbage: a subscription re-planned at the last event
+    // must produce post-recovery output item-identical to a fresh run
+    // that never saw a failure — same damaged topology, resume-mode
+    // deployment, fed only the post-recovery items. Counts, bytes and the
+    // additive content hash all subtract across the epoch boundary.
+    bool any_final_replan = false;
+    for (size_t q = 0; q < query_count; ++q) {
+      any_final_replan = any_final_replan || final_replanned[q];
+    }
+    if (any_final_replan) {
+      size_t resume_from = std::min(scenario.churn.back().at_offset,
+                                    scenario.items_per_stream);
+      SystemConfig restricted_config;
+      restricted_config.resume_mode = true;
+      SS_ASSIGN_OR_RETURN(
+          BuiltSystem restricted,
+          BuildAndRegister(scenario, sharing::Strategy::kStreamSharing,
+                           restricted_config, options));
+      for (const FuzzChurnEvent& event : scenario.churn) {
+        SS_RETURN_IF_ERROR(ApplyChurn(restricted.system.get(), event)
+                               .WithContext("restricted reference"));
+      }
+      SS_RETURN_IF_ERROR(
+          restricted.system
+              ->Feed(SliceItems(items, resume_from,
+                                scenario.items_per_stream))
+              .WithContext("restricted reference"));
+      SS_RETURN_IF_ERROR(restricted.system->Shutdown().WithContext(
+          "restricted reference"));
+      ModeObservation restricted_mode;
+      restricted_mode.mode = "restricted-reference";
+      Observe(restricted, &restricted_mode);
+
+      const std::vector<QueryObservation>& last_snapshot =
+          serial_churn.after_event.back();
+      for (size_t q = 0; q < query_count; ++q) {
+        if (!final_replanned[q]) continue;
+        const QueryObservation& final_obs =
+            serial_churn.final_mode.queries[q];
+        const QueryObservation& snap = last_snapshot[q];
+        QueryObservation delta;
+        delta.items = final_obs.items - snap.items;
+        delta.bytes = final_obs.bytes - snap.bytes;
+        delta.content_hash = final_obs.content_hash - snap.content_hash;
+        const QueryObservation& fresh = restricted_mode.queries[q];
+        if (delta.items != fresh.items || delta.bytes != fresh.bytes ||
+            delta.content_hash != fresh.content_hash) {
+          recovery_fail(
+              "re-planned " + DescribeQuery(scenario, q) +
+              " is not gap-clean — post-recovery delta " +
+              ObservationString(delta) + ", fresh restricted run " +
+              ObservationString(fresh));
+        }
+      }
+    }
+  }
+
   if (options.metrics != nullptr) {
     options.metrics->GetCounter("fuzz.scenarios")->Add(1);
     options.metrics->GetCounter("fuzz.queries")
@@ -331,6 +649,9 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     }
     if (!report.sharing_ok) {
       options.metrics->GetCounter("fuzz.sharing_violations")->Add(1);
+    }
+    if (!report.recovery_ok) {
+      options.metrics->GetCounter("fuzz.recovery_violations")->Add(1);
     }
   }
   return report;

@@ -8,6 +8,16 @@
 // plan Subscribe chose never costs more than the no-sharing baseline plan
 // it was allowed to fall back to.
 //
+// Scenarios carrying churn events additionally exercise the *recovery*
+// oracle: the same workload is replayed with peers killed / links cut at
+// fixed item offsets (serial, parallel, and transport-TCP), and the
+// invariant is "gap, not garbage" — every subscription re-planned at the
+// last failure must produce post-recovery output item-identical to a
+// fresh no-failure run restricted to the post-recovery epochs, every
+// untouched subscription must match the clean reference exactly, and
+// every torn-down subscription must emit nothing after its terminal
+// event.
+//
 // A divergence is a report, not an error Status: Status is reserved for
 // infrastructure failures (a scenario that cannot even be built), so a
 // sweep can distinguish "the system disagrees with itself" from "the
@@ -23,6 +33,8 @@
 #include "common/status.h"
 #include "obs/metrics_registry.h"
 #include "testing/fuzz_scenario.h"
+#include "transport/flow.h"
+#include "transport/tcp.h"
 
 namespace streamshare::testing {
 
@@ -55,9 +67,21 @@ struct OracleOptions {
   std::string inject_divergence_mode;
   int inject_min_window = 0;
 
+  /// Self-test hook for the recovery oracle: perturbs the named *churned*
+  /// mode's final observations, a planted recovery bug that only
+  /// reproduces while churn events remain — the shrinker must keep them.
+  std::string inject_churn_mode;
+
+  /// Transport knobs under test: the credit window / timeout / retry
+  /// configuration every transport-mode run uses, and the TCP connect
+  /// retry policy. Defaults match production; the fuzz tool sweeps them.
+  transport::FlowOptions flow;
+  transport::TcpOptions tcp;
+
   /// When set, per-scenario divergence counters are folded in:
   /// fuzz.scenarios, fuzz.queries, fuzz.divergences,
-  /// fuzz.sharing_violations, fuzz.infra_failures.
+  /// fuzz.sharing_violations, fuzz.recovery_violations,
+  /// fuzz.infra_failures.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
@@ -66,6 +90,13 @@ struct OracleReport {
   bool equivalence_ok = true;
   /// Sharing-vs-baseline results identical and chosen C(P) <= baseline.
   bool sharing_ok = true;
+  /// Recovery invariants held under the scenario's churn events: all
+  /// churned modes agreed, subscriptions untouched by any failure matched
+  /// the no-failure reference exactly, subscriptions re-planned at the
+  /// last failure produced post-recovery output item-identical to a fresh
+  /// restricted (resume-mode) run, and torn-down subscriptions emitted
+  /// nothing after their terminal event. Vacuously true without churn.
+  bool recovery_ok = true;
   /// First divergence, human-readable; empty when ok().
   std::string failure;
 
@@ -75,8 +106,13 @@ struct OracleReport {
   /// Registrations whose chosen plan reuses a derived (non-original)
   /// stream — how much sharing the scenario actually exercised.
   int shared_reuses = 0;
+  /// Churn events the scenario replayed, and how many subscriptions the
+  /// recovery runs re-planned / lost across them (serial churned run).
+  int churn_events = 0;
+  int churn_replans = 0;
+  int churn_lost = 0;
 
-  bool ok() const { return equivalence_ok && sharing_ok; }
+  bool ok() const { return equivalence_ok && sharing_ok && recovery_ok; }
 };
 
 /// Executes the scenario under every enabled mode and diffs. Status errors

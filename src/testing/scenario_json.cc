@@ -333,7 +333,25 @@ std::string ToJson(const FuzzScenario& scenario) {
         << ", \"agg_func\": " << StringToJson(query.agg_func)
         << ", \"agg_filter\": " << OptionalToJson(query.agg_filter) << "}";
   }
-  out << "\n  ],\n  \"items_per_stream\": " << scenario.items_per_stream
+  out << "\n  ],\n";
+  // Omitted entirely for clean scenarios: their JSON stays byte-identical
+  // to the format written before churn existed.
+  if (!scenario.churn.empty()) {
+    out << "  \"churn\": [";
+    for (size_t i = 0; i < scenario.churn.size(); ++i) {
+      const FuzzChurnEvent& event = scenario.churn[i];
+      if (i > 0) out << ", ";
+      if (event.kind == FuzzChurnEvent::Kind::kFailPeer) {
+        out << "{\"kind\": \"fail-peer\", \"peer\": " << event.peer;
+      } else {
+        out << "{\"kind\": \"cut-link\", \"link_a\": " << event.link_a
+            << ", \"link_b\": " << event.link_b;
+      }
+      out << ", \"at_offset\": " << event.at_offset << "}";
+    }
+    out << "],\n";
+  }
+  out << "  \"items_per_stream\": " << scenario.items_per_stream
       << "\n}\n";
   return out.str();
 }
@@ -428,6 +446,32 @@ Result<FuzzScenario> FromJson(std::string_view json) {
     SS_ASSIGN_OR_RETURN(query.agg_func, StrField(entry, "agg_func"));
     SS_ASSIGN_OR_RETURN(query.agg_filter, OptField(entry, "agg_filter"));
     scenario.queries.push_back(std::move(query));
+  }
+
+  // Optional for compatibility: reproducers written before churn existed
+  // have no "churn" field and replay as clean scenarios.
+  if (root.object.count("churn") != 0) {
+    SS_ASSIGN_OR_RETURN(const JsonValue* churn, Field(root, "churn"));
+    for (const JsonValue& entry : churn->array) {
+      FuzzChurnEvent event;
+      SS_ASSIGN_OR_RETURN(std::string kind, StrField(entry, "kind"));
+      if (kind == "fail-peer") {
+        event.kind = FuzzChurnEvent::Kind::kFailPeer;
+        SS_ASSIGN_OR_RETURN(double peer, NumField(entry, "peer"));
+        event.peer = static_cast<int>(peer);
+      } else if (kind == "cut-link") {
+        event.kind = FuzzChurnEvent::Kind::kCutLink;
+        SS_ASSIGN_OR_RETURN(double a, NumField(entry, "link_a"));
+        SS_ASSIGN_OR_RETURN(double b, NumField(entry, "link_b"));
+        event.link_a = static_cast<int>(a);
+        event.link_b = static_cast<int>(b);
+      } else {
+        return Status::ParseError("unknown churn kind '" + kind + "'");
+      }
+      SS_ASSIGN_OR_RETURN(double offset, NumField(entry, "at_offset"));
+      event.at_offset = static_cast<size_t>(offset);
+      scenario.churn.push_back(event);
+    }
   }
 
   SS_ASSIGN_OR_RETURN(double items, NumField(root, "items_per_stream"));

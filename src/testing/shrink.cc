@@ -19,6 +19,7 @@ class Shrinker {
   FuzzScenario Run(int max_rounds) {
     for (int round = 0; round < max_rounds; ++round) {
       bool changed = false;
+      changed |= DropChurn();
       changed |= DropQueries();
       changed |= DropStreams();
       changed |= ReduceItems();
@@ -37,6 +38,30 @@ class Shrinker {
     scenario_ = candidate;
     if (stats_ != nullptr) ++stats_->accepted_steps;
     return true;
+  }
+
+  /// Churn first: a failure that reproduces without any churn (or with
+  /// fewer events) is a plain differential bug, not a recovery bug, and
+  /// the smaller event list pins down which failure actually matters.
+  /// Dropping events never invalidates the list — independence (no
+  /// repeated peer, no doubly-cut link) is closed under removal.
+  bool DropChurn() {
+    bool changed = false;
+    if (!scenario_.churn.empty()) {
+      FuzzScenario candidate = scenario_;
+      candidate.churn.clear();
+      if (Try(candidate)) return true;
+    }
+    for (size_t i = 0; i < scenario_.churn.size();) {
+      FuzzScenario candidate = scenario_;
+      candidate.churn.erase(candidate.churn.begin() + i);
+      if (Try(candidate)) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
   }
 
   /// ddmin-style: first try removing halves, then individual queries.
@@ -88,6 +113,11 @@ class Shrinker {
     while (scenario_.items_per_stream > 8) {
       FuzzScenario candidate = scenario_;
       candidate.items_per_stream = scenario_.items_per_stream / 2;
+      // Scale churn offsets along so events stay mid-run instead of
+      // collecting past the (shrunken) end of the stream.
+      for (FuzzChurnEvent& event : candidate.churn) {
+        event.at_offset /= 2;
+      }
       if (!Try(candidate)) break;
       changed = true;
     }
@@ -162,6 +192,13 @@ class Shrinker {
       for (const auto& q : scenario_.queries) {
         if (q.target == p) used = true;
       }
+      for (const auto& e : scenario_.churn) {
+        if (e.kind == FuzzChurnEvent::Kind::kFailPeer) {
+          if (e.peer == p) used = true;
+        } else if (e.link_a == p || e.link_b == p) {
+          used = true;
+        }
+      }
       if (used) continue;
       FuzzScenario candidate = scenario_;
       RemovePeer(&candidate.topology, p);
@@ -170,6 +207,11 @@ class Shrinker {
       }
       for (auto& q : candidate.queries) {
         if (q.target > p) --q.target;
+      }
+      for (auto& e : candidate.churn) {
+        if (e.peer > p) --e.peer;
+        if (e.link_a > p) --e.link_a;
+        if (e.link_b > p) --e.link_b;
       }
       if (Try(candidate)) changed = true;
     }

@@ -63,6 +63,7 @@ Status ChannelSender::AwaitCredit() {
     return Status::Ok();
   }
   stats_.credit_stall_ns += ElapsedNs(stall_start);
+  ++stats_.deadline_failures;
   return Status::DeadlineExceeded(
       "channel " + label_ + ": no credit after " +
       std::to_string(options_.max_retries + 1) + " waits of " +

@@ -75,6 +75,10 @@ struct ChannelStats {
   uint64_t faults_delayed = 0;
   uint64_t duplicates_discarded = 0;   ///< receiver-side
   uint64_t faults_credits_dropped = 0;  ///< receiver-side
+  /// Credit waits that exhausted every retry — the sender gave up with
+  /// DeadlineExceeded. The liveness symptom the system promotes into
+  /// peer suspicion (network::PeerStatus::kSuspect).
+  uint64_t deadline_failures = 0;
 };
 
 /// Sending half of one channel. Single-threaded (the producing worker).

@@ -251,7 +251,7 @@ void FeedEntries(WorkerRt* w, const std::vector<Operator*>& entries,
 void RunWorker(WorkerRt* w, const PartitionPlan& plan,
                const std::vector<Operator*>& entries,
                const std::vector<std::vector<ItemPtr>>& item_lists,
-               size_t batch_size, AbortState* abort) {
+               size_t batch_size, AbortState* abort, bool finish) {
   obs::ScopedShard pinned(w->index);
   obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
   if (recorder.enabled()) {
@@ -309,7 +309,7 @@ void RunWorker(WorkerRt* w, const PartitionPlan& plan,
       }
     }
   }
-  if (!abort->aborted()) {
+  if (finish && !abort->aborted()) {
     for (Operator* root : w->roots) {
       Status status = root->Finish();
       if (!status.ok()) {
@@ -390,6 +390,8 @@ void PutChannelStats(std::string* out, const ChannelStats& s) {
   PutVarint(out, s.faults_duplicated);
   PutVarint(out, s.faults_delayed);
   PutVarint(out, s.duplicates_discarded);
+  PutVarint(out, s.faults_credits_dropped);
+  PutVarint(out, s.deadline_failures);
 }
 
 bool GetChannelStats(std::string_view* data, ChannelStats* s) {
@@ -402,7 +404,9 @@ bool GetChannelStats(std::string_view* data, ChannelStats* s) {
          GetVarint(data, &s->faults_dropped) &&
          GetVarint(data, &s->faults_duplicated) &&
          GetVarint(data, &s->faults_delayed) &&
-         GetVarint(data, &s->duplicates_discarded);
+         GetVarint(data, &s->duplicates_discarded) &&
+         GetVarint(data, &s->faults_credits_dropped) &&
+         GetVarint(data, &s->deadline_failures);
 }
 
 /// Adds every field of `from` into `into` (the two halves of a channel
@@ -418,6 +422,8 @@ void AddChannelStats(ChannelStats* into, const ChannelStats& from) {
   into->faults_duplicated += from.faults_duplicated;
   into->faults_delayed += from.faults_delayed;
   into->duplicates_discarded += from.duplicates_discarded;
+  into->faults_credits_dropped += from.faults_credits_dropped;
+  into->deadline_failures += from.deadline_failures;
 }
 
 bool WriteAll(int fd, std::string_view data) {
@@ -477,7 +483,7 @@ PartitionedRunner::PartitionedRunner(Transport* transport,
 
 Status PartitionedRunner::Run(
     const std::vector<Operator*>& entries,
-    const std::vector<std::vector<ItemPtr>>& item_lists) {
+    const std::vector<std::vector<ItemPtr>>& item_lists, bool finish) {
   run_stats_ = TransportRunStats{};
   run_stats_.transport = transport_->name();
   if (entries.size() != item_lists.size()) {
@@ -489,6 +495,12 @@ Status PartitionedRunner::Run(
     return Status::InvalidArgument(
         std::string("transport '") + transport_->name() +
         "' cannot span processes; use Mode::kThreads");
+  }
+  if (!finish && options_.mode == RunnerOptions::Mode::kProcesses) {
+    return Status::Unsupported(
+        "PartitionedRunner: segmented runs (finish=false) need operator "
+        "state to survive between segments, which forked worker "
+        "processes cannot provide; use Mode::kThreads");
   }
 
   PartitionPlan plan;
@@ -652,7 +664,7 @@ Status PartitionedRunner::Run(
     for (size_t w = 0; w < worker_count; ++w) {
       threads.emplace_back(RunWorker, &workers[w], std::cref(plan),
                            std::cref(entries), std::cref(item_lists),
-                           batch_size, &abort);
+                           batch_size, &abort, finish);
     }
     for (std::thread& thread : threads) thread.join();
     run_status = abort.Snapshot();
@@ -728,7 +740,7 @@ Status PartitionedRunner::Run(
 
         AbortState abort;
         RunWorker(&workers[w], plan, entries, item_lists, batch_size,
-                  &abort);
+                  &abort, /*finish=*/true);
         Status status = abort.Snapshot();
 
         std::string report;

@@ -79,9 +79,13 @@ class PartitionedRunner {
   /// the same contract as ParallelExecutor::Run. The graph is restored
   /// to its serial wiring before returning. In kProcesses mode, metrics,
   /// sink counts, and content hashes measured in the children are merged
-  /// into this process's objects before returning.
+  /// into this process's objects before returning. With finish=false the
+  /// workers skip Finish() so windowed state survives for a later
+  /// segment (mid-run churn); only kThreads supports it — a forked child
+  /// takes its operator state to the grave.
   Status Run(const std::vector<engine::Operator*>& entries,
-             const std::vector<std::vector<engine::ItemPtr>>& item_lists);
+             const std::vector<std::vector<engine::ItemPtr>>& item_lists,
+             bool finish = true);
 
   const TransportRunStats& run_stats() const { return run_stats_; }
 

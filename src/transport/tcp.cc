@@ -11,6 +11,7 @@
 #include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 
 namespace streamshare::transport {
 
@@ -162,18 +163,30 @@ Status TcpTransport::CreatePipe(const std::string& label, PipePair* pair) {
     return status;
   }
 
-  int client = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (client < 0) {
-    Status status = Errno(label + ": socket");
-    ::close(listener);
-    return status;
-  }
-  if (::connect(client, reinterpret_cast<struct sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
+  int client = -1;
+  for (int attempt = 0; attempt <= options_.connect_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(attempt * options_.connect_backoff_ms));
+    }
+    client = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (client < 0) {
+      Status status = Errno(label + ": socket");
+      ::close(listener);
+      return status;
+    }
+    if (::connect(client, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
     Status status = Errno(label + ": connect");
     ::close(client);
-    ::close(listener);
-    return status;
+    client = -1;
+    if (attempt == options_.connect_retries) {
+      ::close(listener);
+      return status.WithContext("after " + std::to_string(attempt + 1) +
+                                " attempts");
+    }
   }
   int server = ::accept(listener, nullptr, nullptr);
   ::close(listener);

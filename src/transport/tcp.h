@@ -12,11 +12,26 @@
 
 namespace streamshare::transport {
 
+struct TcpOptions {
+  /// connect() attempts beyond the first before giving up. The
+  /// listener exists before connect is issued, so on a healthy host the
+  /// first attempt succeeds; retries absorb transient refusals under
+  /// load (backlog overflow) instead of failing the whole run.
+  int connect_retries = 2;
+  /// Backoff added per retry: retry k sleeps k * this before connecting.
+  int connect_backoff_ms = 20;
+};
+
 class TcpTransport final : public Transport {
  public:
+  explicit TcpTransport(TcpOptions options = {}) : options_(options) {}
+
   const char* name() const override { return "tcp"; }
   Status CreatePipe(const std::string& label, PipePair* pair) override;
   bool SupportsProcesses() const override { return true; }
+
+ private:
+  TcpOptions options_;
 };
 
 }  // namespace streamshare::transport

@@ -1,5 +1,6 @@
 #include "workload/scenario.h"
 
+#include <algorithm>
 #include <random>
 
 #include "workload/paper_queries.h"
@@ -130,10 +131,28 @@ Result<std::unique_ptr<sharing::StreamShareSystem>> BuildSystem(
   return system;
 }
 
+namespace {
+
+/// Per-stream sub-batches [from, to) of the full item lists.
+std::map<std::string, std::vector<engine::ItemPtr>> SliceItems(
+    const std::map<std::string, std::vector<engine::ItemPtr>>& items,
+    size_t from, size_t to) {
+  std::map<std::string, std::vector<engine::ItemPtr>> slice;
+  for (const auto& [name, list] : items) {
+    size_t hi = std::min(to, list.size());
+    size_t lo = std::min(from, hi);
+    slice[name].assign(list.begin() + lo, list.begin() + hi);
+  }
+  return slice;
+}
+
+}  // namespace
+
 Result<ScenarioRun> RunScenario(const ScenarioSpec& scenario,
                                 sharing::Strategy strategy,
                                 sharing::SystemConfig config,
-                                size_t items_per_stream) {
+                                size_t items_per_stream,
+                                const std::vector<ChurnEvent>& churn) {
   ScenarioRun run;
   SS_ASSIGN_OR_RETURN(run.system, BuildSystem(scenario, config));
   for (const QuerySpec& query : scenario.queries) {
@@ -157,7 +176,29 @@ Result<ScenarioRun> RunScenario(const ScenarioSpec& scenario,
     duration = std::max(duration, static_cast<double>(items_per_stream) /
                                       stream.gen.frequency_hz);
   }
-  SS_RETURN_IF_ERROR(run.system->Run(items));
+  if (churn.empty()) {
+    SS_RETURN_IF_ERROR(run.system->Run(items));
+  } else {
+    size_t fed = 0;
+    for (const ChurnEvent& event : churn) {
+      size_t upto = std::min(event.at_offset, items_per_stream);
+      if (upto > fed) {
+        SS_RETURN_IF_ERROR(run.system->Feed(SliceItems(items, fed, upto)));
+        fed = upto;
+      }
+      if (event.kind == ChurnEvent::Kind::kFailPeer) {
+        SS_RETURN_IF_ERROR(run.system->FailPeer(event.peer).status());
+      } else {
+        SS_RETURN_IF_ERROR(
+            run.system->CutLink(event.link_a, event.link_b).status());
+      }
+    }
+    if (fed < items_per_stream) {
+      SS_RETURN_IF_ERROR(
+          run.system->Feed(SliceItems(items, fed, items_per_stream)));
+    }
+    SS_RETURN_IF_ERROR(run.system->Shutdown());
+  }
   run.duration_s = duration;
   return run;
 }

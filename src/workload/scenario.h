@@ -71,13 +71,30 @@ struct ScenarioRun {
   int registration_failures = 0;  // parse/analysis errors (should be 0)
 };
 
+/// One mid-run failure injected into RunScenario: after `at_offset` items
+/// per stream, FailPeer (kFailPeer) or CutLink (kCutLink) fires and the
+/// remaining items keep flowing through the re-planned deployment. The
+/// recovery reports land in system->recovery_reports().
+struct ChurnEvent {
+  enum class Kind { kFailPeer, kCutLink };
+
+  Kind kind = Kind::kFailPeer;
+  network::NodeId peer = 0;             // kFailPeer
+  network::NodeId link_a = 0, link_b = 0;  // kCutLink
+  size_t at_offset = 0;
+};
+
 /// Builds the system, registers all queries under `strategy`, generates
 /// `items_per_stream` photons per stream, and runs them through the
-/// deployed network.
+/// deployed network. With `churn` events (sorted by offset) the items are
+/// fed in segments with each failure applied at its offset; churn is
+/// incompatible with transport_processes (per-segment Feed needs window
+/// state in one address space).
 Result<ScenarioRun> RunScenario(const ScenarioSpec& scenario,
                                 sharing::Strategy strategy,
                                 sharing::SystemConfig config,
-                                size_t items_per_stream);
+                                size_t items_per_stream,
+                                const std::vector<ChurnEvent>& churn = {});
 
 }  // namespace streamshare::workload
 

@@ -8,12 +8,22 @@
 //   streamshare_fuzz [--seeds=N] [--seed-base=B] [--seed=S]
 //                    [--scenario=FILE] [--out-dir=DIR] [--metrics=FILE]
 //                    [--no-parallel] [--no-loopback] [--no-tcp]
-//                    [--tcp-processes] [--no-shrink]
-//                    [--inject-mode=MODE] [--inject-min-window=N]
+//                    [--tcp-processes] [--no-shrink] [--churn=P]
+//                    [--sweep-flow] [--inject-mode=MODE]
+//                    [--inject-min-window=N] [--inject-churn-mode=MODE]
 //
 // --seeds sweeps seeds [B, B+N); --seed runs exactly one; --scenario
 // replays a JSON file emitted by an earlier run. --inject-mode plants a
-// deliberate divergence in the named mode (self-test of the harness).
+// deliberate divergence in the named mode (self-test of the harness);
+// --inject-churn-mode plants one in a churned recovery mode.
+//
+// --churn=P gives each generated scenario probability P of carrying
+// mid-run kill-peer / cut-link events (chaos testing; the recovery
+// oracle then checks the "gap, not garbage" invariants). --sweep-flow
+// derives the transport flow-control and TCP retry knobs (credit
+// window, send timeout, retry count/backoff, connect retries) from each
+// seed, so a sweep exercises many transport configurations instead of
+// only the production defaults.
 //
 // Exit codes: 0 clean, 1 divergence found, 2 infrastructure failure.
 
@@ -45,8 +55,25 @@ struct Options {
   std::string out_dir = ".";
   std::string metrics_path;
   bool shrink = true;
+  double churn_probability = 0.0;
+  bool sweep_flow = false;
   OracleOptions oracle;
 };
+
+/// Seed-derived transport knobs for --sweep-flow. Drawn from a distinct
+/// stream (seed ^ tag) so they never correlate with the scenario's own
+/// draws. Timeouts stay generous — the sweep is after correctness under
+/// odd configurations, not artificial deadline failures.
+void DeriveFlowKnobs(uint64_t seed, OracleOptions* oracle) {
+  DetRng rng(seed ^ 0xf10bcafeULL);
+  oracle->flow.initial_credits =
+      static_cast<int>(uint64_t{1} << rng.Between(3, 8));
+  oracle->flow.send_timeout_ms = static_cast<int>(1000 * rng.Between(1, 4));
+  oracle->flow.max_retries = static_cast<int>(rng.Between(1, 4));
+  oracle->flow.retry_backoff_ms = static_cast<int>(rng.Between(1, 25));
+  oracle->tcp.connect_retries = static_cast<int>(rng.Between(0, 3));
+  oracle->tcp.connect_backoff_ms = static_cast<int>(rng.Between(1, 10));
+}
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
   size_t len = std::strlen(name);
@@ -62,8 +89,9 @@ int Usage(const char* program) {
                "usage: %s [--seeds=N] [--seed-base=B] [--seed=S] "
                "[--scenario=FILE] [--out-dir=DIR] [--metrics=FILE] "
                "[--no-parallel] [--no-loopback] [--no-tcp] "
-               "[--tcp-processes] [--no-shrink] [--inject-mode=MODE] "
-               "[--inject-min-window=N]\n",
+               "[--tcp-processes] [--no-shrink] [--churn=P] "
+               "[--sweep-flow] [--inject-mode=MODE] "
+               "[--inject-min-window=N] [--inject-churn-mode=MODE]\n",
                program);
   return 2;
 }
@@ -150,11 +178,17 @@ int main(int argc, char** argv) {
       options.oracle.tcp_processes = true;
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       options.shrink = false;
+    } else if (ParseFlag(argv[i], "--churn", &value)) {
+      options.churn_probability = std::strtod(value.c_str(), nullptr);
+    } else if (std::strcmp(argv[i], "--sweep-flow") == 0) {
+      options.sweep_flow = true;
     } else if (ParseFlag(argv[i], "--inject-mode", &value)) {
       options.oracle.inject_divergence_mode = value;
     } else if (ParseFlag(argv[i], "--inject-min-window", &value)) {
       options.oracle.inject_min_window =
           static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--inject-churn-mode", &value)) {
+      options.oracle.inject_churn_mode = value;
     } else {
       return Usage(argv[0]);
     }
@@ -174,11 +208,17 @@ int main(int argc, char** argv) {
     }
     worst = RunOne(*scenario, options);
   } else if (options.single_seed) {
-    worst = RunOne(GenerateScenario(options.seed), options);
+    GeneratorOptions gen;
+    gen.churn_probability = options.churn_probability;
+    if (options.sweep_flow) DeriveFlowKnobs(options.seed, &options.oracle);
+    worst = RunOne(GenerateScenario(options.seed, gen), options);
   } else {
+    GeneratorOptions gen;
+    gen.churn_probability = options.churn_probability;
     for (uint64_t s = 0; s < options.seeds; ++s) {
       const uint64_t seed = options.seed_base + s;
-      int rc = RunOne(GenerateScenario(seed), options);
+      if (options.sweep_flow) DeriveFlowKnobs(seed, &options.oracle);
+      int rc = RunOne(GenerateScenario(seed, gen), options);
       if (rc > worst) worst = rc;
       if ((s + 1) % 50 == 0) {
         std::fprintf(stderr, "... %llu/%llu seeds\n",

@@ -5,7 +5,8 @@
 //                   [--queries=N] [--items=N] [--seed=N] [--widening]
 //                   [--hierarchical] [--enforce-limits]
 //                   [--executor=serial|parallel] [--transport=loopback|tcp]
-//                   [--transport-threads] [--trace=FILE]
+//                   [--transport-threads] [--fail-peer=ID@OFFSET]
+//                   [--cut-link=A-B@OFFSET] [--trace=FILE]
 //                   [--metrics=FILE] [--explain] [--log]
 //
 // --transport runs the deployed network over the transport layer (binary
@@ -13,6 +14,13 @@
 // handoff; with tcp every super-peer partition becomes its own OS
 // process exchanging frames over localhost sockets
 // (--transport-threads keeps tcp in one process, e.g. under TSAN).
+//
+// --fail-peer / --cut-link (repeatable) inject failures mid-run: after
+// OFFSET items per stream the peer dies / the link goes down, the
+// orphaned subscriptions are re-planned against the surviving topology,
+// and the remaining items keep flowing. A recovery report per event
+// (re-planned queries with old vs new C(P), lost queries, destroyed
+// windows) is printed after the run. Churn forces tcp into thread mode.
 //
 // Observability: --trace writes a Chrome trace_event JSON (load it in
 // chrome://tracing or Perfetto), --metrics writes a registry snapshot
@@ -22,11 +30,13 @@
 //
 // Exit code 0 on success.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/event_log.h"
 #include "obs/export.h"
@@ -54,6 +64,7 @@ struct Options {
   bool log = false;
   std::string trace_path;
   std::string metrics_path;
+  std::vector<workload::ChurnEvent> churn;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -65,6 +76,39 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
   return false;
 }
 
+/// "<id>@<offset>" → kFailPeer event.
+bool ParseFailPeer(const std::string& value, workload::ChurnEvent* event) {
+  size_t at = value.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= value.size()) {
+    return false;
+  }
+  event->kind = workload::ChurnEvent::Kind::kFailPeer;
+  event->peer = static_cast<network::NodeId>(
+      std::strtol(value.substr(0, at).c_str(), nullptr, 10));
+  event->at_offset = static_cast<size_t>(
+      std::strtoull(value.c_str() + at + 1, nullptr, 10));
+  return true;
+}
+
+/// "<a>-<b>@<offset>" → kCutLink event.
+bool ParseCutLink(const std::string& value, workload::ChurnEvent* event) {
+  size_t dash = value.find('-');
+  size_t at = value.find('@');
+  if (dash == std::string::npos || at == std::string::npos || dash == 0 ||
+      at < dash + 2 || at + 1 >= value.size()) {
+    return false;
+  }
+  event->kind = workload::ChurnEvent::Kind::kCutLink;
+  event->link_a = static_cast<network::NodeId>(
+      std::strtol(value.substr(0, dash).c_str(), nullptr, 10));
+  event->link_b = static_cast<network::NodeId>(
+      std::strtol(value.substr(dash + 1, at - dash - 1).c_str(), nullptr,
+                  10));
+  event->at_offset = static_cast<size_t>(
+      std::strtoull(value.c_str() + at + 1, nullptr, 10));
+  return true;
+}
+
 int Usage(const char* program) {
   std::fprintf(
       stderr,
@@ -72,7 +116,8 @@ int Usage(const char* program) {
       "[--strategy=data|query|share] [--queries=N] [--items=N] "
       "[--seed=N] [--widening] [--hierarchical] [--enforce-limits] "
       "[--executor=serial|parallel] [--transport=loopback|tcp] "
-      "[--transport-threads] [--trace=FILE] [--metrics=FILE] "
+      "[--transport-threads] [--fail-peer=ID@OFFSET] "
+      "[--cut-link=A-B@OFFSET] [--trace=FILE] [--metrics=FILE] "
       "[--explain] [--log]\n",
       program);
   return 1;
@@ -123,6 +168,14 @@ int main(int argc, char** argv) {
       options.transport = value;
     } else if (std::strcmp(argv[i], "--transport-threads") == 0) {
       options.transport_threads = true;
+    } else if (ParseFlag(argv[i], "--fail-peer", &value)) {
+      workload::ChurnEvent event;
+      if (!ParseFailPeer(value, &event)) return Usage(argv[0]);
+      options.churn.push_back(event);
+    } else if (ParseFlag(argv[i], "--cut-link", &value)) {
+      workload::ChurnEvent event;
+      if (!ParseCutLink(value, &event)) return Usage(argv[0]);
+      options.churn.push_back(event);
     } else if (ParseFlag(argv[i], "--trace", &value)) {
       options.trace_path = value;
     } else if (ParseFlag(argv[i], "--metrics", &value)) {
@@ -161,12 +214,20 @@ int main(int argc, char** argv) {
   }
   if (!options.transport.empty()) {
     // TCP defaults to one OS process per super-peer partition; loopback
-    // pipes cannot cross fork() and always run worker threads.
+    // pipes cannot cross fork() and always run worker threads. Churn
+    // needs segmented feeding, which keeps window state in one address
+    // space — it forces thread mode too.
     config.executor = sharing::ExecutorKind::kTransport;
     config.transport = options.transport;
-    config.transport_processes =
-        options.transport == "tcp" && !options.transport_threads;
+    config.transport_processes = options.transport == "tcp" &&
+                                 !options.transport_threads &&
+                                 options.churn.empty();
   }
+  std::stable_sort(options.churn.begin(), options.churn.end(),
+                   [](const workload::ChurnEvent& a,
+                      const workload::ChurnEvent& b) {
+                     return a.at_offset < b.at_offset;
+                   });
   if (options.hierarchical) {
     // Quadrants for the grid; halves for the extended example.
     size_t peers = scenario.topology.peer_count();
@@ -183,7 +244,7 @@ int main(int argc, char** argv) {
     }
   }
   Result<workload::ScenarioRun> run = workload::RunScenario(
-      scenario, options.strategy, config, options.items);
+      scenario, options.strategy, config, options.items, options.churn);
   if (!run.ok()) {
     std::fprintf(stderr, "simulation failed: %s\n",
                  run.status().ToString().c_str());
@@ -262,6 +323,16 @@ int main(int argc, char** argv) {
                       channel.stats.items_delivered),
                   static_cast<unsigned long long>(
                       channel.stats.credit_stalls));
+    }
+  }
+
+  if (!options.churn.empty()) {
+    std::printf("\n=== recovery ===\n");
+    const auto& reports = run->system->recovery_reports();
+    for (size_t i = 0; i < reports.size(); ++i) {
+      std::printf("event %zu @item %zu:\n%s", i,
+                  options.churn[i].at_offset,
+                  reports[i].ToString().c_str());
     }
   }
 
