@@ -52,31 +52,66 @@ int main(int argc, char** argv) {
   sharing::SystemConfig config;
   config.keep_results = true;  // needed for the bit-identity check
 
+  sharing::SystemConfig dom_config = config;
+  dom_config.record_path = false;  // the pre-record DOM baseline
+
   Result<std::unique_ptr<sharing::StreamShareSystem>> serial =
       Deploy(scenario, config);
+  Result<std::unique_ptr<sharing::StreamShareSystem>> serial_dom =
+      Deploy(scenario, dom_config);
   Result<std::unique_ptr<sharing::StreamShareSystem>> parallel =
       Deploy(scenario, config);
-  if (!serial.ok() || !parallel.ok()) {
+  if (!serial.ok() || !serial_dom.ok() || !parallel.ok()) {
     std::fprintf(stderr, "deploy failed: %s\n",
-                 (!serial.ok() ? serial : parallel).status()
+                 (!serial.ok()   ? serial
+                  : !serial_dom.ok() ? serial_dom
+                                     : parallel)
+                     .status()
                      .ToString()
                      .c_str());
     return 1;
   }
 
+  // The serial record run is fed straight from generator record batches
+  // (no source DOM at all); the DOM and parallel runs get materialized
+  // item lists from identically-seeded generators, so all three runs see
+  // the same logical stream.
   std::map<std::string, std::vector<engine::ItemPtr>> items;
+  std::map<std::string, std::vector<engine::ItemBatch>> batches;
   size_t total_items = 0;
   for (const workload::StreamSpec& stream : scenario.streams) {
     workload::PhotonGenerator generator(stream.gen);
     items[stream.name] = generator.Generate(items_per_stream);
+    workload::PhotonGenerator record_generator(stream.gen);
+    batches[stream.name] = record_generator.GenerateBatches(
+        items_per_stream, config.parallel.batch_size);
     total_items += items_per_stream;
   }
 
+  // Profiling aid: BENCH_SERIAL_ONLY=1 runs just the serial record path
+  // (no DOM baseline, no parallel run, no identity check) so a profile
+  // samples exactly the configuration under study.
+  const bool serial_only = std::getenv("BENCH_SERIAL_ONLY") != nullptr;
+
   Clock::time_point start = Clock::now();
-  Status status = (*serial)->Run(items);
+  Status status = (*serial)->RunBatches(&batches);
   double serial_s = SecondsSince(start);
   if (!status.ok()) {
     std::fprintf(stderr, "serial run failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  if (serial_only) {
+    std::printf("serial_items_per_s=%.1f\n",
+                static_cast<double>(total_items) / serial_s);
+    return 0;
+  }
+
+  start = Clock::now();
+  status = (*serial_dom)->Run(items);
+  double serial_dom_s = SecondsSince(start);
+  if (!status.ok()) {
+    std::fprintf(stderr, "serial DOM run failed: %s\n",
                  status.ToString().c_str());
     return 1;
   }
@@ -94,20 +129,22 @@ int main(int argc, char** argv) {
   // in order.
   bool identical = true;
   const auto& serial_regs = (*serial)->registrations();
-  const auto& parallel_regs = (*parallel)->registrations();
-  for (size_t q = 0; q < serial_regs.size() && identical; ++q) {
-    const engine::SinkOp* expect = serial_regs[q].sink;
-    const engine::SinkOp* got = parallel_regs[q].sink;
-    if ((expect == nullptr) != (got == nullptr)) identical = false;
-    if (expect == nullptr || got == nullptr) continue;
-    if (expect->items().size() != got->items().size()) {
-      identical = false;
-      break;
-    }
-    for (size_t i = 0; i < expect->items().size(); ++i) {
-      if (!expect->items()[i]->Equals(*got->items()[i])) {
+  for (const auto* other : {&**serial_dom, &**parallel}) {
+    const auto& other_regs = other->registrations();
+    for (size_t q = 0; q < serial_regs.size() && identical; ++q) {
+      const engine::SinkOp* expect = serial_regs[q].sink;
+      const engine::SinkOp* got = other_regs[q].sink;
+      if ((expect == nullptr) != (got == nullptr)) identical = false;
+      if (expect == nullptr || got == nullptr) continue;
+      if (expect->items().size() != got->items().size()) {
         identical = false;
         break;
+      }
+      for (size_t i = 0; i < expect->items().size(); ++i) {
+        if (!expect->items()[i]->Equals(*got->items()[i])) {
+          identical = false;
+          break;
+        }
       }
     }
   }
@@ -123,6 +160,7 @@ int main(int argc, char** argv) {
   }
 
   double serial_rate = static_cast<double>(total_items) / serial_s;
+  double serial_dom_rate = static_cast<double>(total_items) / serial_dom_s;
   double parallel_rate = static_cast<double>(total_items) / parallel_s;
   std::printf("# 4x4 grid, 100 queries, %zu items/stream, %u hw threads\n",
               items_per_stream, std::thread::hardware_concurrency());
@@ -139,6 +177,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.entries_received));
   }
   std::printf("serial_items_per_s=%.1f\n", serial_rate);
+  std::printf("serial_dom_items_per_s=%.1f\n", serial_dom_rate);
+  std::printf("record_speedup=%.3f\n",
+              serial_dom_rate > 0 ? serial_rate / serial_dom_rate : 0.0);
   std::printf("parallel_items_per_s=%.1f\n", parallel_rate);
   std::printf("speedup=%.3f\n",
               serial_rate > 0 ? parallel_rate / serial_rate : 0.0);

@@ -8,22 +8,6 @@
 
 namespace streamshare {
 
-namespace {
-
-int64_t Pow10(int n) {
-  assert(n >= 0 && n <= 18);
-  int64_t p = 1;
-  for (int i = 0; i < n; ++i) p *= 10;
-  return p;
-}
-
-}  // namespace
-
-Decimal::Decimal(int64_t unscaled, int scale)
-    : unscaled_(unscaled), scale_(scale) {
-  assert(scale >= 0 && scale <= kMaxScale);
-}
-
 Result<Decimal> Decimal::Parse(std::string_view text) {
   if (text.empty()) {
     return Status::ParseError("empty decimal literal");
@@ -95,30 +79,6 @@ std::string Decimal::ToString() const {
   out += '.';
   out += frac_str;
   return out;
-}
-
-Decimal Decimal::Rescaled(int new_scale) const {
-  assert(new_scale >= scale_ && new_scale <= kMaxScale);
-  return Decimal(unscaled_ * Pow10(new_scale - scale_), new_scale);
-}
-
-Decimal Decimal::operator+(const Decimal& other) const {
-  int s = std::max(scale_, other.scale_);
-  return Decimal(Rescaled(s).unscaled_ + other.Rescaled(s).unscaled_, s);
-}
-
-Decimal Decimal::operator-(const Decimal& other) const {
-  int s = std::max(scale_, other.scale_);
-  return Decimal(Rescaled(s).unscaled_ - other.Rescaled(s).unscaled_, s);
-}
-
-std::strong_ordering Decimal::operator<=>(const Decimal& other) const {
-  int s = std::max(scale_, other.scale_);
-  return Rescaled(s).unscaled_ <=> other.Rescaled(s).unscaled_;
-}
-
-bool Decimal::operator==(const Decimal& other) const {
-  return (*this <=> other) == std::strong_ordering::equal;
 }
 
 std::ostream& operator<<(std::ostream& os, const Decimal& d) {

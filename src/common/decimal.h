@@ -7,6 +7,8 @@
 #ifndef STREAMSHARE_COMMON_DECIMAL_H_
 #define STREAMSHARE_COMMON_DECIMAL_H_
 
+#include <algorithm>
+#include <cassert>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -31,7 +33,9 @@ class Decimal {
   Decimal() = default;
 
   /// Constructs `unscaled * 10^-scale`.
-  Decimal(int64_t unscaled, int scale);
+  Decimal(int64_t unscaled, int scale) : unscaled_(unscaled), scale_(scale) {
+    assert(scale >= 0 && scale <= kMaxScale);
+  }
 
   /// Constructs an integer value (scale 0).
   static Decimal FromInt(int64_t value) { return Decimal(value, 0); }
@@ -54,21 +58,41 @@ class Decimal {
   std::string ToString() const;
 
   /// Returns an equal value rescaled to `new_scale` >= scale().
-  Decimal Rescaled(int new_scale) const;
+  Decimal Rescaled(int new_scale) const {
+    assert(new_scale >= scale_ && new_scale <= kMaxScale);
+    return Decimal(unscaled_ * Pow10(new_scale - scale_), new_scale);
+  }
 
   /// The smallest positive decimal at this scale (10^-scale). Used to turn
   /// strict inequalities into non-strict ones: v < c  <=>  v <= c - ulp.
   Decimal Ulp() const { return Decimal(1, scale_); }
 
   Decimal operator-() const { return Decimal(-unscaled_, scale_); }
-  Decimal operator+(const Decimal& other) const;
-  Decimal operator-(const Decimal& other) const;
+  Decimal operator+(const Decimal& other) const {
+    int s = std::max(scale_, other.scale_);
+    return Decimal(Rescaled(s).unscaled_ + other.Rescaled(s).unscaled_, s);
+  }
+  Decimal operator-(const Decimal& other) const {
+    int s = std::max(scale_, other.scale_);
+    return Decimal(Rescaled(s).unscaled_ - other.Rescaled(s).unscaled_, s);
+  }
 
   /// Three-way comparison on the represented value (scale-insensitive).
-  std::strong_ordering operator<=>(const Decimal& other) const;
-  bool operator==(const Decimal& other) const;
+  std::strong_ordering operator<=>(const Decimal& other) const {
+    int s = std::max(scale_, other.scale_);
+    return Rescaled(s).unscaled_ <=> other.Rescaled(s).unscaled_;
+  }
+  bool operator==(const Decimal& other) const {
+    return (*this <=> other) == std::strong_ordering::equal;
+  }
 
  private:
+  static int64_t Pow10(int n) {
+    int64_t result = 1;
+    while (n-- > 0) result *= 10;
+    return result;
+  }
+
   int64_t unscaled_ = 0;
   int scale_ = 0;
 };

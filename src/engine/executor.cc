@@ -71,4 +71,86 @@ Status RunStreams(const std::vector<Operator*>& entries,
   return Status::Ok();
 }
 
+Status RunStreamsBatched(const std::vector<Operator*>& entries,
+                         const std::vector<std::vector<ItemPtr>>& item_lists,
+                         size_t batch_size, bool adopt, bool finish) {
+  if (entries.size() != item_lists.size()) {
+    return Status::InvalidArgument(
+        "RunStreamsBatched: entries and item lists differ in count");
+  }
+  if (batch_size == 0) batch_size = 1;
+  std::vector<size_t> cursors(entries.size(), 0);
+  std::vector<size_t> active;
+  active.reserve(entries.size());
+  for (size_t s = 0; s < entries.size(); ++s) {
+    if (!item_lists[s].empty()) active.push_back(s);
+  }
+  ItemBatch batch;
+  while (!active.empty()) {
+    size_t write = 0;
+    for (size_t idx = 0; idx < active.size(); ++idx) {
+      size_t s = active[idx];
+      const std::vector<ItemPtr>& items = item_lists[s];
+      size_t end = std::min(items.size(), cursors[s] + batch_size);
+      batch.clear();
+      batch.reserve(end - cursors[s]);
+      for (; cursors[s] < end; ++cursors[s]) {
+        batch.AppendItem(items[cursors[s]], adopt);
+      }
+      Status status = entries[s]->PushBatch(&batch);
+      if (!status.ok()) {
+        return WrapOperatorFailure(std::move(status), "push", *entries[s]);
+      }
+      if (cursors[s] < items.size()) active[write++] = s;
+    }
+    active.resize(write);
+  }
+  if (finish) {
+    for (Operator* entry : entries) {
+      Status status = entry->Finish();
+      if (!status.ok()) {
+        return WrapOperatorFailure(std::move(status), "finish", *entry);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status RunBatchStreams(const std::vector<Operator*>& entries,
+                       std::vector<std::vector<ItemBatch>>* batch_lists,
+                       bool finish) {
+  if (entries.size() != batch_lists->size()) {
+    return Status::InvalidArgument(
+        "RunBatchStreams: entries and batch lists differ in count");
+  }
+  std::vector<size_t> cursors(entries.size(), 0);
+  std::vector<size_t> active;
+  active.reserve(entries.size());
+  for (size_t s = 0; s < entries.size(); ++s) {
+    if (!(*batch_lists)[s].empty()) active.push_back(s);
+  }
+  while (!active.empty()) {
+    size_t write = 0;
+    for (size_t idx = 0; idx < active.size(); ++idx) {
+      size_t s = active[idx];
+      Status status =
+          entries[s]->PushBatch(&(*batch_lists)[s][cursors[s]++]);
+      if (!status.ok()) {
+        return WrapOperatorFailure(std::move(status), "push", *entries[s]);
+      }
+      if (cursors[s] < (*batch_lists)[s].size()) active[write++] = s;
+    }
+    active.resize(write);
+  }
+  if (finish) {
+    for (Operator* entry : entries) {
+      Status status = entry->Finish();
+      if (!status.ok()) {
+        return WrapOperatorFailure(std::move(status), "finish", *entry);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace streamshare::engine

@@ -57,6 +57,23 @@ Status RunStreams(const std::vector<Operator*>& entries,
                   const std::vector<std::vector<ItemPtr>>& item_lists,
                   bool finish = true);
 
+/// Batched drive of the same streams: chunks each stream's items into
+/// ItemBatches of `batch_size` (adopting photon-conforming items into
+/// compact records when `adopt` is true) and round-robins whole chunks
+/// across streams. Per-stream order and all sink aggregates match
+/// RunStreams; only the cross-stream interleave granularity differs
+/// (chunks instead of single items).
+Status RunStreamsBatched(const std::vector<Operator*>& entries,
+                         const std::vector<std::vector<ItemPtr>>& item_lists,
+                         size_t batch_size, bool adopt, bool finish = true);
+
+/// Round-robins pre-built per-stream batch lists (generator- or
+/// decoder-fed runs that never had a DOM to chunk). Batches are consumed
+/// in place: pushing may fill their lazy materialization caches.
+Status RunBatchStreams(const std::vector<Operator*>& entries,
+                       std::vector<std::vector<ItemBatch>>* batch_lists,
+                       bool finish = true);
+
 }  // namespace streamshare::engine
 
 #endif  // STREAMSHARE_ENGINE_EXECUTOR_H_

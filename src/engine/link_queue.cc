@@ -39,24 +39,27 @@ void LinkQueue::ResetStats() {
   pushed_count_.store(0, std::memory_order_relaxed);
   producer_blocked_ns_.store(0, std::memory_order_relaxed);
   consumer_blocked_ns_.store(0, std::memory_order_relaxed);
-  max_depth_.store(entries_.size(), std::memory_order_relaxed);
+  max_depth_.store(size_, std::memory_order_relaxed);
 }
 
 void LinkQueue::Push(Entry entry) {
+  size_t weight = Weight(entry);
   std::unique_lock<std::mutex> lock(mu_);
-  if (entries_.size() >= capacity_) {
+  if (size_ >= capacity_) {
     Clock::time_point start = Clock::now();
-    not_full_.wait(lock, [this] { return entries_.size() < capacity_; });
+    not_full_.wait(lock, [this] { return size_ < capacity_; });
     uint64_t blocked = ElapsedNs(start);
     producer_blocked_ns_.fetch_add(blocked, std::memory_order_relaxed);
     TraceBlocked("queue.blocked.producer", blocked);
   }
+  bool was_empty = entries_.empty();
   entries_.push_back(std::move(entry));
+  size_ += weight;
   NoteDepthLocked();
-  pushed_count_.fetch_add(1, std::memory_order_relaxed);
+  pushed_count_.fetch_add(weight, std::memory_order_relaxed);
   // The consumer only ever waits on an empty queue, so one entry is
   // enough to wake it; notify under the lock to keep TSAN-obvious.
-  if (entries_.size() == 1) not_empty_.notify_one();
+  if (was_empty) not_empty_.notify_one();
 }
 
 void LinkQueue::PushBatch(std::vector<Entry>* batch) {
@@ -64,24 +67,26 @@ void LinkQueue::PushBatch(std::vector<Entry>* batch) {
   std::unique_lock<std::mutex> lock(mu_);
   size_t pushed = 0;
   for (Entry& entry : *batch) {
-    if (entries_.size() >= capacity_) {
+    size_t weight = Weight(entry);
+    if (size_ >= capacity_) {
       if (pushed > 0) not_empty_.notify_one();
       Clock::time_point start = Clock::now();
-      not_full_.wait(lock, [this] { return entries_.size() < capacity_; });
+      not_full_.wait(lock, [this] { return size_ < capacity_; });
       uint64_t blocked = ElapsedNs(start);
       producer_blocked_ns_.fetch_add(blocked, std::memory_order_relaxed);
       TraceBlocked("queue.blocked.producer", blocked);
     }
     entries_.push_back(std::move(entry));
+    size_ += weight;
     NoteDepthLocked();
-    ++pushed;
+    pushed += weight;
   }
   pushed_count_.fetch_add(pushed, std::memory_order_relaxed);
   not_empty_.notify_one();
   batch->clear();
 }
 
-void LinkQueue::PopBatch(std::vector<Entry>* out, size_t max_entries) {
+void LinkQueue::PopBatch(std::vector<Entry>* out, size_t max_items) {
   std::unique_lock<std::mutex> lock(mu_);
   if (entries_.empty()) {
     Clock::time_point start = Clock::now();
@@ -90,14 +95,16 @@ void LinkQueue::PopBatch(std::vector<Entry>* out, size_t max_entries) {
     consumer_blocked_ns_.fetch_add(blocked, std::memory_order_relaxed);
     TraceBlocked("queue.blocked.consumer", blocked);
   }
-  size_t take = std::min(max_entries, entries_.size());
-  for (size_t i = 0; i < take; ++i) {
+  size_t taken = 0;
+  while (!entries_.empty() && (taken == 0 || taken < max_items)) {
+    taken += Weight(entries_.front());
     out->push_back(std::move(entries_.front()));
     entries_.pop_front();
   }
+  size_ -= taken;
   // Waking every blocked producer is correct (they re-check capacity) and
   // cheap: producers block only when the queue was full, and we just made
-  // `take` slots.
+  // room.
   not_full_.notify_all();
 }
 

@@ -5,6 +5,14 @@
 // flood a slow one), and each producer ends its stream with one poison
 // pill so the consumer knows when every input is drained.
 //
+// Entries carry whole ItemBatches, so a producer takes the lock and rings
+// the consumer once per batch instead of once per item — the contended
+// hot path the speedup bench's consumer-blocked time measures. Capacity
+// and all depth counters are in *items*, not entries (a pill counts as
+// one), so the configured bound means the same thing at any batch size; a
+// batch is admitted whole once any space is free, overshooting capacity
+// by at most one batch.
+//
 // Blocked time is counted on both sides; the speedup bench reports it so
 // queue-capacity tuning is measurable rather than guessed.
 
@@ -18,7 +26,7 @@
 #include <mutex>
 #include <vector>
 
-#include "engine/item.h"
+#include "engine/record.h"
 
 namespace streamshare::engine {
 
@@ -26,27 +34,29 @@ class Operator;
 
 class LinkQueue {
  public:
-  /// One handoff: deliver `item` to `target` on the consumer's thread.
-  /// A null target is a poison pill — "this producer is done".
+  /// One handoff: deliver every item of `batch` to `target` on the
+  /// consumer's thread. A null target is a poison pill — "this producer
+  /// is done" (its batch is empty).
   struct Entry {
     Operator* target = nullptr;
-    ItemPtr item;
+    ItemBatch batch;
   };
 
   explicit LinkQueue(size_t capacity);
 
   /// Enqueues one entry, blocking while the queue is at capacity.
   void Push(Entry entry);
-  /// Enqueues a whole batch in order, blocking for space as needed. The
-  /// batch is consumed (entries are moved out).
+  /// Enqueues a whole batch of entries in order, blocking for space as
+  /// needed. The vector is consumed (entries are moved out).
   void PushBatch(std::vector<Entry>* batch);
 
-  /// Dequeues at least one and at most `max_entries` entries into `out`
-  /// (appended), blocking while the queue is empty.
-  void PopBatch(std::vector<Entry>* out, size_t max_entries);
+  /// Dequeues entries into `out` (appended) until at least one entry and
+  /// at most ~`max_items` items have been taken, blocking while the queue
+  /// is empty. The first entry is always taken whole regardless of size.
+  void PopBatch(std::vector<Entry>* out, size_t max_items);
 
   size_t capacity() const { return capacity_; }
-  /// Total entries ever pushed (pills included).
+  /// Total items ever pushed (each pill counting as one).
   uint64_t pushed_count() const {
     return pushed_count_.load(std::memory_order_relaxed);
   }
@@ -58,8 +68,9 @@ class LinkQueue {
   uint64_t consumer_blocked_ns() const {
     return consumer_blocked_ns_.load(std::memory_order_relaxed);
   }
-  /// High-water mark of the queue depth (pills included). Shows how close
-  /// the queue came to its capacity, i.e. whether backpressure engaged.
+  /// High-water mark of the queued item count (pills included). Shows how
+  /// close the queue came to its capacity, i.e. whether backpressure
+  /// engaged.
   uint64_t max_depth() const {
     return max_depth_.load(std::memory_order_relaxed);
   }
@@ -70,11 +81,15 @@ class LinkQueue {
   void ResetStats();
 
  private:
+  /// Item weight of one entry: a pill stands for one item.
+  static size_t Weight(const Entry& entry) {
+    return entry.target == nullptr ? 1 : entry.batch.size();
+  }
+
   /// Called with mu_ held after every insertion.
   void NoteDepthLocked() {
-    uint64_t depth = entries_.size();
-    if (depth > max_depth_.load(std::memory_order_relaxed))
-      max_depth_.store(depth, std::memory_order_relaxed);
+    if (size_ > max_depth_.load(std::memory_order_relaxed))
+      max_depth_.store(size_, std::memory_order_relaxed);
   }
 
   const size_t capacity_;
@@ -82,6 +97,7 @@ class LinkQueue {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<Entry> entries_;
+  size_t size_ = 0;  // queued items (guarded by mu_)
   std::atomic<uint64_t> pushed_count_{0};
   std::atomic<uint64_t> producer_blocked_ns_{0};
   std::atomic<uint64_t> consumer_blocked_ns_{0};

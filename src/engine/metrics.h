@@ -49,6 +49,14 @@ class Metrics {
     work_per_peer_[peer] += work_units;
     items_per_peer_[peer] += 1;
   }
+  /// N invocations of AddWork in one call (a batch push). Loops the
+  /// floating-point adds instead of multiplying, so a batch of n items
+  /// bills bit-identically to n single pushes.
+  void AddWorkN(network::NodeId peer, double work_units, size_t n) {
+    double& work = work_per_peer_[peer];
+    for (size_t i = 0; i < n; ++i) work += work_units;
+    items_per_peer_[peer] += n;
+  }
   /// Adds already-aggregated measurements — merging a shard whose raw
   /// vectors arrived over a cross-process report channel, where AddWork's
   /// one-invocation-per-call accounting does not apply.

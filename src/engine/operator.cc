@@ -4,6 +4,15 @@
 
 namespace streamshare::engine {
 
+namespace {
+
+size_t SlotSerializedSize(const ItemBatch::Slot& slot) {
+  return slot.is_record ? slot.record.SerializedSize()
+                        : slot.item->SerializedSize();
+}
+
+}  // namespace
+
 Status Operator::Finish() {
   if (finished_) return Status::Ok();
   finished_ = true;
@@ -21,11 +30,47 @@ Status Operator::Emit(const ItemPtr& item) {
   return Status::Ok();
 }
 
+Status Operator::EmitBatch(ItemBatch* batch) {
+  for (Operator* downstream : downstreams_) {
+    SS_RETURN_IF_ERROR(downstream->PushBatch(batch));
+  }
+  return Status::Ok();
+}
+
 Status SelectOp::Process(const ItemPtr& item) {
   SS_ASSIGN_OR_RETURN(bool keep,
                       predicate::EvaluateConjunction(predicates_, *item));
   if (keep) return Emit(item);
   return Status::Ok();
+}
+
+Status SelectOp::ProcessBatch(ItemBatch* batch) {
+  if (!compiled_valid_) {
+    compiled_ = CompilePredicates(predicates_);
+    compiled_valid_ = true;
+  }
+  scratch_.clear();
+  Status failure;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    const ItemBatch::Slot& slot = batch->slot(i);
+    Result<bool> keep =
+        slot.is_record
+            ? EvalCompiledPredicates(compiled_, slot.record)
+            : predicate::EvaluateConjunction(predicates_, *slot.item);
+    if (!keep.ok()) {
+      failure = keep.status();
+      break;
+    }
+    if (*keep) scratch_.AppendSlot(slot);
+  }
+  // Flush the passers gathered so far even when evaluation failed, so the
+  // sink sees exactly the prefix the per-item path delivers before an
+  // abort; a downstream failure on those items takes precedence (it is
+  // the earlier item's error).
+  Status emitted = EmitBatch(&scratch_);
+  scratch_.clear();
+  if (!emitted.ok()) return emitted;
+  return failure;
 }
 
 namespace {
@@ -58,23 +103,56 @@ std::unique_ptr<xml::XmlNode> ProjectNode(
   return copy;
 }
 
-}  // namespace
-
-Status ProjectOp::Process(const ItemPtr& item) {
+std::unique_ptr<xml::XmlNode> ProjectTree(
+    const xml::XmlNode& item, const std::vector<xml::Path>& output) {
   std::vector<std::string> prefix;  // paths are relative to the item root
   std::unique_ptr<xml::XmlNode> projected =
-      ProjectNode(*item, &prefix, output_paths_);
+      ProjectNode(item, &prefix, output);
   if (projected == nullptr) {
     // Projection keeps the item element itself even when empty (the item
     // boundary is part of the stream structure).
-    projected = std::make_unique<xml::XmlNode>(item->name());
+    projected = std::make_unique<xml::XmlNode>(item.name());
   }
-  return Emit(MakeItem(std::move(projected)));
+  return projected;
+}
+
+}  // namespace
+
+Status ProjectOp::Process(const ItemPtr& item) {
+  return Emit(MakeItem(ProjectTree(*item, output_paths_)));
+}
+
+Status ProjectOp::ProcessBatch(ItemBatch* batch) {
+  if (!mask_valid_) {
+    keep_mask_ = CompileProjectionMask(output_paths_);
+    mask_valid_ = true;
+  }
+  scratch_.clear();
+  scratch_.reserve(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    const ItemBatch::Slot& slot = batch->slot(i);
+    if (slot.is_record) {
+      scratch_.AppendRecord(slot.record.Project(keep_mask_));
+    } else {
+      scratch_.AppendItem(MakeItem(ProjectTree(*slot.item, output_paths_)),
+                          /*adopt=*/false);
+    }
+  }
+  Status emitted = EmitBatch(&scratch_);
+  scratch_.clear();
+  return emitted;
 }
 
 Status LinkOp::Process(const ItemPtr& item) {
   link_metrics_->AddBytes(link_, item->SerializedSize());
   return Emit(item);
+}
+
+Status LinkOp::ProcessBatch(ItemBatch* batch) {
+  for (size_t i = 0; i < batch->size(); ++i) {
+    link_metrics_->AddBytes(link_, SlotSerializedSize(batch->slot(i)));
+  }
+  return EmitBatch(batch);
 }
 
 namespace {
@@ -105,13 +183,31 @@ uint64_t HashSubtree(const xml::XmlNode& node, uint64_t hash) {
 
 }  // namespace
 
+uint64_t HashItemContent(const xml::XmlNode& item) {
+  return HashSubtree(item, 14695981039346656037ull);
+}
+
 Status SinkOp::Process(const ItemPtr& item) {
   ++item_count_;
   total_bytes_ += item->SerializedSize();
   if (hash_items_) {
-    content_hash_ += HashSubtree(*item, 14695981039346656037ull);
+    content_hash_ += HashItemContent(*item);
   }
   if (keep_items_) items_.push_back(item);
+  return Status::Ok();
+}
+
+Status SinkOp::ProcessBatch(ItemBatch* batch) {
+  item_count_ += batch->size();
+  for (size_t i = 0; i < batch->size(); ++i) {
+    const ItemBatch::Slot& slot = batch->slot(i);
+    total_bytes_ += SlotSerializedSize(slot);
+    if (hash_items_) {
+      content_hash_ += slot.is_record ? slot.record.ContentHash()
+                                      : HashItemContent(*slot.item);
+    }
+    if (keep_items_) items_.push_back(batch->Materialize(i));
+  }
   return Status::Ok();
 }
 

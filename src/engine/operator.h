@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "engine/item.h"
 #include "engine/metrics.h"
+#include "engine/record.h"
 #include "predicate/atomic.h"
 #include "xml/path.h"
 
@@ -82,14 +83,17 @@ class Operator {
     return Process(item);
   }
 
-  /// Feeds a batch of items. The default loops over Push (identical
-  /// accounting and semantics); dispatchers use it to amortize virtual
-  /// dispatch and queue handoff over a whole batch.
-  virtual Status PushBatch(std::span<const ItemPtr> items) {
-    for (const ItemPtr& item : items) {
-      SS_RETURN_IF_ERROR(Push(item));
+  /// Feeds a batch of items. Billing is identical to size() Push calls
+  /// (AddWorkN loops the adds); ProcessBatch gives operators a whole-batch
+  /// hot path over the compact record slots. The batch stays owned by the
+  /// caller: receivers may materialize slots (filling the lazy XML cache)
+  /// but must not reshape the batch itself.
+  Status PushBatch(ItemBatch* batch) {
+    if (batch->empty()) return Status::Ok();
+    if (metrics_ != nullptr) {
+      metrics_->AddWorkN(peer_, work_per_item_, batch->size());
     }
-    return Status::Ok();
+    return ProcessBatch(batch);
   }
 
   /// Signals end of stream; flushes buffered state downstream. Idempotent.
@@ -103,11 +107,25 @@ class Operator {
 
  protected:
   virtual Status Process(const ItemPtr& item) = 0;
+  /// Batch hook. The default materializes each slot and loops Process, so
+  /// operators that genuinely need tree structure (window contents,
+  /// combine, restructure) keep exact per-item semantics. Vectorized
+  /// overrides that buffer output slots must flush the buffered results
+  /// downstream *before* returning an error, so a failing run delivers
+  /// exactly the prefix the per-item path would have.
+  virtual Status ProcessBatch(ItemBatch* batch) {
+    for (size_t i = 0; i < batch->size(); ++i) {
+      SS_RETURN_IF_ERROR(Process(batch->Materialize(i)));
+    }
+    return Status::Ok();
+  }
   /// Flush hook for stateful operators; may Emit.
   virtual Status OnFinish() { return Status::Ok(); }
 
   /// Forwards an item to all downstreams.
   Status Emit(const ItemPtr& item);
+  /// Forwards a batch to all downstreams.
+  Status EmitBatch(ItemBatch* batch);
 
  private:
   std::string label_;
@@ -133,13 +151,20 @@ class SelectOp : public Operator {
   /// subscription needs.
   void set_predicates(std::vector<predicate::AtomicPredicate> predicates) {
     predicates_ = std::move(predicates);
+    compiled_valid_ = false;
   }
 
  protected:
   Status Process(const ItemPtr& item) override;
+  /// Evaluates the conjunction compiled against the photon schema over
+  /// record slots, falling back to tree evaluation for opaque slots.
+  Status ProcessBatch(ItemBatch* batch) override;
 
  private:
   std::vector<predicate::AtomicPredicate> predicates_;
+  std::vector<CompiledPredicate> compiled_;
+  bool compiled_valid_ = false;
+  ItemBatch scratch_;
 };
 
 /// Π: rebuilds each item keeping only the subtrees covered by the output
@@ -156,13 +181,20 @@ class ProjectOp : public Operator {
   /// Reconfigures the kept paths in place (stream widening).
   void set_output_paths(std::vector<xml::Path> output_paths) {
     output_paths_ = std::move(output_paths);
+    mask_valid_ = false;
   }
 
  protected:
   Status Process(const ItemPtr& item) override;
+  /// Projects record slots by mask intersection (no allocation), opaque
+  /// slots by the tree rebuild.
+  Status ProcessBatch(ItemBatch* batch) override;
 
  private:
   std::vector<xml::Path> output_paths_;
+  uint16_t keep_mask_ = 0;
+  bool mask_valid_ = false;
+  ItemBatch scratch_;
 };
 
 /// Transmission over one network connection: counts the item's serialized
@@ -188,6 +220,8 @@ class LinkOp : public Operator {
 
  protected:
   Status Process(const ItemPtr& item) override;
+  /// Bills record sizes without materializing, then forwards the batch.
+  Status ProcessBatch(ItemBatch* batch) override;
 
  private:
   Metrics* link_metrics_;
@@ -222,6 +256,9 @@ class SinkOp : public Operator {
 
  protected:
   Status Process(const ItemPtr& item) override;
+  /// Counts, sizes and hashes straight off the record slots; materializes
+  /// a tree only when the sink keeps items.
+  Status ProcessBatch(ItemBatch* batch) override;
 
  private:
   bool keep_items_;
@@ -239,7 +276,13 @@ class PassOp : public Operator {
 
  protected:
   Status Process(const ItemPtr& item) override { return Emit(item); }
+  Status ProcessBatch(ItemBatch* batch) override { return EmitBatch(batch); }
 };
+
+/// Order-sensitive structural hash of one item (names, texts, children in
+/// pre-order). Sinks sum these per item into an order-insensitive
+/// aggregate; PhotonRecord::ContentHash() matches this exactly.
+uint64_t HashItemContent(const xml::XmlNode& item);
 
 }  // namespace streamshare::engine
 

@@ -42,10 +42,12 @@ struct ParallelSeries {
   }
 };
 
-/// Sending half of a cross-worker edge: buffers emitted items and flushes
-/// them onto the consumer worker's queue in batches. Lives on the
-/// producer's thread; never bills metrics (the replaced edge's target
-/// still does its own accounting when the consumer pushes into it).
+/// Sending half of a cross-worker edge: accumulates emitted slots into a
+/// pending ItemBatch and hands the whole batch to the consumer worker's
+/// queue as one entry — one lock acquisition and one wakeup per batch.
+/// Lives on the producer's thread; never bills metrics (the replaced
+/// edge's target still does its own accounting when the consumer pushes
+/// into it).
 class QueuePortOp final : public Operator {
  public:
   QueuePortOp(Operator* target, LinkQueue* queue, size_t buffer_limit)
@@ -53,15 +55,28 @@ class QueuePortOp final : public Operator {
         target_(target),
         queue_(queue),
         buffer_limit_(buffer_limit == 0 ? 1 : buffer_limit) {
-    buffer_.reserve(buffer_limit_);
+    pending_.reserve(buffer_limit_);
   }
 
-  void Flush() { queue_->PushBatch(&buffer_); }
+  void Flush() {
+    if (pending_.empty()) return;
+    queue_->Push(LinkQueue::Entry{target_, std::move(pending_)});
+    pending_ = ItemBatch();
+    pending_.reserve(buffer_limit_);
+  }
 
  protected:
   Status Process(const ItemPtr& item) override {
-    buffer_.push_back(LinkQueue::Entry{target_, item});
-    if (buffer_.size() >= buffer_limit_) Flush();
+    pending_.AppendItem(item, /*adopt=*/false);
+    if (pending_.size() >= buffer_limit_) Flush();
+    return Status::Ok();
+  }
+
+  Status ProcessBatch(ItemBatch* batch) override {
+    for (size_t i = 0; i < batch->size(); ++i) {
+      pending_.AppendSlot(batch->slot(i));
+      if (pending_.size() >= buffer_limit_) Flush();
+    }
     return Status::Ok();
   }
 
@@ -69,7 +84,7 @@ class QueuePortOp final : public Operator {
   Operator* target_;
   LinkQueue* queue_;
   size_t buffer_limit_;
-  std::vector<LinkQueue::Entry> buffer_;
+  ItemBatch pending_;
 };
 
 struct WorkerPlan {
@@ -136,50 +151,36 @@ void WorkerMain(WorkerPlan* plan, std::vector<WorkerPlan>* all,
   const bool count_metrics = obs::Enabled();
 
   std::vector<LinkQueue::Entry> batch;
-  batch.reserve(batch_size);
-  std::vector<ItemPtr> scratch;
-  scratch.reserve(batch_size);
   size_t pills = 0;
   while (pills < plan->expected_pills) {
     batch.clear();
     plan->queue->PopBatch(&batch, batch_size);
-    size_t idx = 0;
-    while (idx < batch.size()) {
-      if (batch[idx].target == nullptr) {
+    for (LinkQueue::Entry& entry : batch) {
+      if (entry.target == nullptr) {
         ++pills;
-        ++idx;
         continue;
       }
-      if (abort->aborted()) {  // drain without processing
-        ++idx;
-        continue;
-      }
-      Operator* target = batch[idx].target;
-      scratch.clear();
-      while (idx < batch.size() && batch[idx].target == target) {
-        scratch.push_back(std::move(batch[idx].item));
-        ++idx;
-      }
+      if (abort->aborted()) continue;  // drain without processing
       uint64_t span_start = 0;
       const bool tracing = recorder.enabled();
       if (tracing) span_start = recorder.NowMicros();
-      Status status = target->PushBatch(scratch);
+      Status status = entry.target->PushBatch(&entry.batch);
       if (tracing) {
         recorder.RecordComplete(
-            target->label(), "op", span_start,
+            entry.target->label(), "op", span_start,
             recorder.NowMicros() - span_start,
             {obs::TraceArg::Num("items",
-                                static_cast<double>(scratch.size()))});
+                                static_cast<double>(entry.batch.size()))});
       }
       if (count_metrics) {
-        series.items->AddToShard(worker_index, scratch.size());
+        series.items->AddToShard(worker_index, entry.batch.size());
         series.batches->AddToShard(worker_index, 1);
         series.batch_items->ObserveToShard(
-            worker_index, static_cast<double>(scratch.size()));
+            worker_index, static_cast<double>(entry.batch.size()));
       }
       if (!status.ok()) {
         abort->Record(
-            WrapOperatorFailure(std::move(status), "push", *target));
+            WrapOperatorFailure(std::move(status), "push", *entry.target));
       }
     }
   }
@@ -199,7 +200,7 @@ void WorkerMain(WorkerPlan* plan, std::vector<WorkerPlan>* all,
     for (QueuePortOp* port : plan->ports) port->Flush();
   }
   for (size_t downstream : plan->downstream_workers) {
-    (*all)[downstream].queue->Push(LinkQueue::Entry{nullptr, nullptr});
+    (*all)[downstream].queue->Push(LinkQueue::Entry{});
   }
 }
 
@@ -230,6 +231,10 @@ Status ParallelExecutor::Run(
   PartitionPlan partition;
   Status plan_status = PlanPeerPartitions(entries, &partition);
   if (!plan_status.ok()) return plan_status;
+  size_t max_workers = options_.max_workers != 0
+                           ? options_.max_workers
+                           : std::max(1u, std::thread::hardware_concurrency());
+  CoalesceWorkers(&partition, max_workers);
   const std::vector<Operator*>& ops = partition.ops;
   const std::vector<size_t>& worker_of = partition.worker_of;
   size_t worker_count = partition.worker_count;
@@ -320,7 +325,10 @@ Status ParallelExecutor::Run(
   }
 
   {
-    std::vector<std::vector<LinkQueue::Entry>> buffers(entries.size());
+    // Per-stream pending batches: items are adopted into compact records
+    // while buffering and each full batch crosses the queue as a single
+    // entry (one lock, one wakeup).
+    std::vector<ItemBatch> buffers(entries.size());
     std::vector<size_t> cursors(entries.size(), 0);
     std::vector<size_t> active;
     for (size_t s = 0; s < entries.size(); ++s) {
@@ -331,11 +339,13 @@ Status ParallelExecutor::Run(
       size_t write = 0;
       for (size_t idx = 0; idx < active.size(); ++idx) {
         size_t s = active[idx];
-        buffers[s].push_back(
-            LinkQueue::Entry{entries[s], item_lists[s][cursors[s]++]});
+        buffers[s].AppendItem(item_lists[s][cursors[s]++],
+                              options_.adopt_records);
         if (buffers[s].size() >= options_.batch_size) {
-          workers[partition.WorkerOf(entries[s])].queue->PushBatch(
-              &buffers[s]);
+          workers[partition.WorkerOf(entries[s])].queue->Push(
+              LinkQueue::Entry{entries[s], std::move(buffers[s])});
+          buffers[s] = ItemBatch();
+          buffers[s].reserve(options_.batch_size);
         }
         if (cursors[s] < item_lists[s].size()) active[write++] = s;
       }
@@ -343,12 +353,13 @@ Status ParallelExecutor::Run(
     }
     if (!abort.aborted()) {
       for (size_t s = 0; s < entries.size(); ++s) {
-        workers[partition.WorkerOf(entries[s])].queue->PushBatch(
-            &buffers[s]);
+        if (buffers[s].empty()) continue;
+        workers[partition.WorkerOf(entries[s])].queue->Push(
+            LinkQueue::Entry{entries[s], std::move(buffers[s])});
       }
     }
     for (size_t w : fed_workers) {
-      workers[w].queue->Push(LinkQueue::Entry{nullptr, nullptr});
+      workers[w].queue->Push(LinkQueue::Entry{});
     }
   }
   for (std::thread& thread : threads) thread.join();

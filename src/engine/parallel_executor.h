@@ -32,10 +32,22 @@
 namespace streamshare::engine {
 
 struct ParallelOptions {
-  /// Entries each worker's inbound queue holds before producers block.
+  /// Items each worker's inbound queue holds before producers block
+  /// (pills count as one item; a batch is admitted whole once any space
+  /// is free).
   size_t queue_capacity = 1024;
-  /// Max entries moved per queue handoff and per dispatch batch.
+  /// Items per ItemBatch handoff: the feeder and every queue port flush
+  /// once they have buffered this many.
   size_t batch_size = 64;
+  /// Cap on worker threads; 0 means std::thread::hardware_concurrency().
+  /// Peer partitions beyond the cap are coalesced along the worker DAG
+  /// (CoalesceWorkers), so one thread drives several peers instead of
+  /// oversubscribing the machine.
+  size_t max_workers = 0;
+  /// Convert photon-conforming items into compact records while feeding
+  /// (the batched hot path). Off, every slot stays an opaque tree and
+  /// operators take the same evaluation path as the serial executor.
+  bool adopt_records = true;
 };
 
 /// Per-worker observability for one Run (queue pressure, partition
@@ -46,7 +58,7 @@ struct ParallelWorkerStats {
   /// split to keep the worker handoff graph acyclic).
   std::vector<network::NodeId> peers;
   size_t operator_count = 0;
-  /// Entries pushed into this worker's queue, poison pills included.
+  /// Items pushed into this worker's queue, poison pills included.
   uint64_t entries_received = 0;
   /// Time producers spent blocked on this worker's full queue.
   uint64_t producer_blocked_ns = 0;

@@ -66,6 +66,16 @@ struct PartitionPlan {
 Status PlanPeerPartitions(const std::vector<Operator*>& entries,
                           PartitionPlan* plan);
 
+/// Merges the plan's workers down to at most `max_workers` (no-op when
+/// already within the cap or `max_workers` is 0). Workers are cut into
+/// contiguous segments of a topological order of the worker handoff DAG,
+/// balanced by operator count, so every surviving handoff edge still
+/// points down a DAG and the pill protocol stays deadlock-free. The
+/// in-process parallel executor applies this against hardware
+/// concurrency; the transport runner does not (its workers model distinct
+/// peers, which is semantic, not a tuning knob).
+void CoalesceWorkers(PartitionPlan* plan, size_t max_workers);
+
 }  // namespace streamshare::engine
 
 #endif  // STREAMSHARE_ENGINE_PARTITION_H_

@@ -20,17 +20,40 @@ namespace streamshare::engine {
 /// queries the incoming <wagg> item is finalized (avg = sum/cnt) and bound
 /// to the let variable; empty windows are skipped. Each top-level node the
 /// return expression produces is emitted as one result item.
+///
+/// Plain (non-window, non-aggregate) queries whose return expression is
+/// built from element constructors, sequences, condition-free output
+/// paths, whole-item outputs and leaf-only conditions are compiled once
+/// into a record program: record slots then produce their result trees
+/// straight from the record fields — no input materialization, no path
+/// navigation, no subtree cloning — byte-identical to the DOM evaluation.
 class RestructureOp : public Operator {
  public:
   RestructureOp(std::string label,
                 std::shared_ptr<const wxquery::AnalyzedQuery> query);
+  ~RestructureOp() override;
+
+  struct CompiledReturn;
 
  protected:
   Status Process(const ItemPtr& item) override;
+  /// Record slots run the compiled return program (when the query shape
+  /// admits one); opaque slots take the DOM evaluation. Buffered outputs
+  /// are flushed downstream before any error returns.
+  Status ProcessBatch(ItemBatch* batch) override;
 
  private:
+  /// DOM-path evaluation of one input item, appending each produced
+  /// result item to `out` (exactly the items Process would Emit).
+  Status EvaluateTree(const xml::XmlNode& item, ItemBatch* out);
+
   std::shared_ptr<const wxquery::AnalyzedQuery> query_;
   const wxquery::StreamBinding* binding_;  // single-input queries
+  /// Compiled record program; null when the query shape requires the DOM
+  /// evaluation (window contents, aggregates, nested FLWR, step
+  /// conditions, off-schema structural conditions).
+  std::unique_ptr<CompiledReturn> program_;
+  ItemBatch scratch_;
 };
 
 }  // namespace streamshare::engine

@@ -96,6 +96,12 @@ WindowAggOp::WindowAggOp(std::string label, AggregateFunc func,
       aggregated_element_(std::move(aggregated_element)),
       tracker_(std::move(window)) {
   if (resume) tracker_.EnableResume();
+  if (tracker_.window().type != WindowType::kCount) {
+    ref_node_ = PhotonSchema::Resolve(tracker_.window().reference);
+    ref_path_ = tracker_.window().reference.ToString();
+  }
+  agg_node_ = PhotonSchema::Resolve(aggregated_element_);
+  agg_path_ = aggregated_element_.ToString();
 }
 
 size_t WindowAggOp::OpenWindowCount() const {
@@ -159,6 +165,48 @@ Status WindowAggOp::Process(const ItemPtr& item) {
   }());
   for (int64_t seq : update->contains) {
     Accumulate(&open_[seq], value);
+  }
+  return Status::Ok();
+}
+
+Status WindowAggOp::ProcessRecord(const PhotonRecord& record) {
+  Result<WindowTracker::Update> update = [&]() {
+    if (tracker_.window().type == WindowType::kCount) {
+      return tracker_.OnItemCount();
+    }
+    Result<Decimal> ref = ExtractRecordValue(record, ref_node_, ref_path_);
+    if (!ref.ok()) {
+      return Result<WindowTracker::Update>(ref.status().WithContext(
+          "time-based window reference element"));
+    }
+    return tracker_.OnPosition(*ref);
+  }();
+  SS_RETURN_IF_ERROR(update.status());
+
+  for (int64_t seq : update->closed) {
+    SS_RETURN_IF_ERROR(EmitWindow(seq, open_[seq]));  // empty windows too
+    open_.erase(seq);
+  }
+  SS_ASSIGN_OR_RETURN(Decimal value, [&]() -> Result<Decimal> {
+    if (func_ == AggregateFunc::kCount && aggregated_element_.empty()) {
+      return Decimal::FromInt(1);  // count(*) style
+    }
+    return ExtractRecordValue(record, agg_node_, agg_path_);
+  }());
+  for (int64_t seq : update->contains) {
+    Accumulate(&open_[seq], value);
+  }
+  return Status::Ok();
+}
+
+Status WindowAggOp::ProcessBatch(ItemBatch* batch) {
+  for (size_t i = 0; i < batch->size(); ++i) {
+    const ItemBatch::Slot& slot = batch->slot(i);
+    if (slot.is_record) {
+      SS_RETURN_IF_ERROR(ProcessRecord(slot.record));
+    } else {
+      SS_RETURN_IF_ERROR(Process(batch->Materialize(i)));
+    }
   }
   return Status::Ok();
 }

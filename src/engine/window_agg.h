@@ -69,6 +69,9 @@ class WindowAggOp : public Operator {
 
  protected:
   Status Process(const ItemPtr& item) override;
+  /// Record slots update the trackers straight from the compiled field
+  /// lookups (no tree); opaque slots take the per-item path.
+  Status ProcessBatch(ItemBatch* batch) override;
   Status OnFinish() override;
 
  private:
@@ -80,11 +83,18 @@ class WindowAggOp : public Operator {
 
   Status EmitWindow(int64_t seq, const WindowState& window);
   void Accumulate(WindowState* window, const Decimal& value);
+  Status ProcessRecord(const PhotonRecord& record);
 
   properties::AggregateFunc func_;
   xml::Path aggregated_element_;
   WindowTracker tracker_;
   std::map<int64_t, WindowState> open_;
+  // Reference and aggregated element compiled against the photon schema
+  // (paths are fixed at construction).
+  int ref_node_ = -1;
+  std::string ref_path_;
+  int agg_node_ = -1;
+  std::string agg_path_;
 };
 
 /// Emits the *contents* of each completed data window as one

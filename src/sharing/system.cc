@@ -610,7 +610,38 @@ Status StreamShareSystem::Run(
   std::vector<std::vector<engine::ItemPtr>> item_lists;
   SS_RETURN_IF_ERROR(CollectEntries(stream_entries_, items_by_stream,
                                     &entries, &item_lists));
+  if (config_.record_path) {
+    return engine::RunStreamsBatched(entries, item_lists,
+                                     config_.parallel.batch_size,
+                                     /*adopt=*/true, /*finish=*/true);
+  }
   return engine::RunStreams(entries, item_lists, /*finish=*/true);
+}
+
+Status StreamShareSystem::RunBatches(
+    std::map<std::string, std::vector<engine::ItemBatch>>*
+        batches_by_stream) {
+  if (config_.executor != ExecutorKind::kSerial) {
+    return Status::InvalidArgument(
+        "RunBatches supports the serial executor only");
+  }
+  std::vector<engine::Operator*> entries;
+  std::vector<std::vector<engine::ItemBatch>> batch_lists;
+  for (auto& [name, batches] : *batches_by_stream) {
+    auto it = stream_entries_.find(name);
+    if (it == stream_entries_.end()) {
+      return Status::NotFound("no registered stream named '" + name + "'");
+    }
+    entries.push_back(it->second);
+    batch_lists.push_back(std::move(batches));
+  }
+  return engine::RunBatchStreams(entries, &batch_lists, /*finish=*/true);
+}
+
+engine::ParallelOptions StreamShareSystem::EffectiveParallelOptions() const {
+  engine::ParallelOptions options = config_.parallel;
+  options.adopt_records = options.adopt_records && config_.record_path;
+  return options;
 }
 
 Status StreamShareSystem::RunParallel(
@@ -620,7 +651,7 @@ Status StreamShareSystem::RunParallel(
   std::vector<std::vector<engine::ItemPtr>> item_lists;
   SS_RETURN_IF_ERROR(CollectEntries(stream_entries_, items_by_stream,
                                     &entries, &item_lists));
-  engine::ParallelExecutor executor(config_.parallel);
+  engine::ParallelExecutor executor(EffectiveParallelOptions());
   Status status = executor.Run(entries, item_lists);
   parallel_stats_ = executor.worker_stats();
   return status;
@@ -651,7 +682,7 @@ Status StreamShareSystem::RunTransportImpl(
                                    "' (expected loopback or tcp)");
   }
   transport::RunnerOptions options;
-  options.parallel = config_.parallel;
+  options.parallel = EffectiveParallelOptions();
   options.flow = config_.flow;
   options.faults = config_.faults;
   options.mode = config_.transport_processes
@@ -702,9 +733,14 @@ Status StreamShareSystem::Feed(
   }
   switch (config_.executor) {
     case ExecutorKind::kSerial:
+      if (config_.record_path) {
+        return engine::RunStreamsBatched(entries, item_lists,
+                                         config_.parallel.batch_size,
+                                         /*adopt=*/true, /*finish=*/false);
+      }
       return engine::RunStreams(entries, item_lists, /*finish=*/false);
     case ExecutorKind::kParallel: {
-      engine::ParallelExecutor executor(config_.parallel);
+      engine::ParallelExecutor executor(EffectiveParallelOptions());
       Status status = executor.Run(entries, item_lists, /*finish=*/false);
       parallel_stats_ = executor.worker_stats();
       return status;
@@ -855,6 +891,14 @@ void StreamShareSystem::ExportMetrics(obs::MetricsRegistry* registry) const {
     registry->GetGauge("transport.run.processes")
         ->Set(static_cast<double>(transport_stats_.process_count));
   }
+  // Batching configuration in effect, so a metrics snapshot records the
+  // knobs a run's queue/blocking numbers were measured under.
+  registry->GetGauge("engine.queue.capacity")
+      ->Set(static_cast<double>(config_.parallel.queue_capacity));
+  registry->GetGauge("engine.batch.size")
+      ->Set(static_cast<double>(config_.parallel.batch_size));
+  registry->GetGauge("engine.record_path")
+      ->Set(config_.record_path ? 1.0 : 0.0);
   for (size_t w = 0; w < parallel_stats_.size(); ++w) {
     const engine::ParallelWorkerStats& stats = parallel_stats_[w];
     std::string prefix = "engine.worker." + std::to_string(w);

@@ -66,6 +66,12 @@ struct SystemConfig {
   ExecutorKind executor = ExecutorKind::kSerial;
   /// Queue capacity / dispatch batching for the parallel executor.
   engine::ParallelOptions parallel;
+  /// Master switch for the compact-record hot path: serial runs chunk
+  /// items into batches and adopt photon-conforming items into
+  /// PhotonRecords, and the parallel/transport executors do the same
+  /// while feeding. Off, every run drives items one by one through the
+  /// DOM evaluation path — the differential oracle's reference mode.
+  bool record_path = true;
   /// Transport RunTransport() uses: "loopback" (in-process frame pipes,
   /// the default) or "tcp" (one localhost TCP connection per
   /// cross-worker channel).
@@ -195,6 +201,15 @@ class StreamShareSystem {
   /// batches.
   Status Run(const std::map<std::string, std::vector<engine::ItemPtr>>&
                  items_by_stream);
+
+  /// Single-shot serial run fed straight from pre-built record batches
+  /// (PhotonGenerator::GenerateBatches or a decoder) — the end-to-end
+  /// compact path that never builds a source DOM. Batches are consumed
+  /// in place (their lazy materialization caches may fill). Serial
+  /// executor only.
+  Status RunBatches(
+      std::map<std::string, std::vector<engine::ItemBatch>>*
+          batches_by_stream);
 
   /// Single-shot run on the peer-partitioned parallel executor (one
   /// worker thread per super-peer partition, bounded queues on the peer
@@ -353,6 +368,9 @@ class StreamShareSystem {
   /// flowing), or its upstream chain does.
   bool StreamSevered(network::StreamId id,
                      const std::vector<bool>& severed) const;
+  /// config_.parallel with adopt_records gated on config_.record_path
+  /// (the master switch wins over the per-executor knob).
+  engine::ParallelOptions EffectiveParallelOptions() const;
   /// Shared body of RunTransport and transport-mode Feed.
   Status RunTransportImpl(
       const std::vector<engine::Operator*>& entries,

@@ -219,9 +219,13 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
   std::map<std::string, std::vector<engine::ItemPtr>> items =
       GenerateItems(scenario);
 
-  // --- Reference: stream sharing, serial executor, kept results. -------
+  // --- Reference: stream sharing, serial executor, kept results. The
+  // reference always runs the per-item DOM path, so when the other modes
+  // run the record path the N-way diff is also the DOM-vs-record
+  // differential. -------------------------------------------------------
   SystemConfig serial_config;
   serial_config.keep_results = true;
+  serial_config.record_path = false;
   SS_ASSIGN_OR_RETURN(
       BuiltSystem reference,
       BuildAndRegister(scenario, sharing::Strategy::kStreamSharing,
@@ -277,6 +281,7 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
   for (const ModeSpec& spec : mode_specs) {
     SystemConfig config;  // no keep_results: counts/bytes/hashes suffice
     config.executor = spec.executor;
+    config.record_path = options.record_path;
     if (spec.transport[0] != '\0') {
       config.transport = spec.transport;
       config.transport_processes = spec.processes;
@@ -442,6 +447,8 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     for (const ChurnSpec& spec : churn_specs) {
       SystemConfig config;
       config.executor = spec.executor;
+      config.record_path = options.record_path &&
+                           spec.executor != ExecutorKind::kSerial;
       if (spec.transport[0] != '\0') config.transport = spec.transport;
       SS_ASSIGN_OR_RETURN(
           ChurnRun run,
@@ -597,6 +604,7 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
                                     scenario.items_per_stream);
       SystemConfig restricted_config;
       restricted_config.resume_mode = true;
+      restricted_config.record_path = false;  // pure DOM reference
       SS_ASSIGN_OR_RETURN(
           BuiltSystem restricted,
           BuildAndRegister(scenario, sharing::Strategy::kStreamSharing,

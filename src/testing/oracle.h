@@ -72,6 +72,13 @@ struct OracleOptions {
   /// reproduces while churn events remain — the shrinker must keep them.
   std::string inject_churn_mode;
 
+  /// Drive the non-reference modes over the compact-record hot path
+  /// (default). The serial reference always evaluates on DOM trees, so
+  /// with this on every equivalence diff doubles as a DOM-vs-record
+  /// differential. Off (the fuzz tool's --dom-path), every mode runs the
+  /// DOM path — the pre-record behavior.
+  bool record_path = true;
+
   /// Transport knobs under test: the credit window / timeout / retry
   /// configuration every transport-mode run uses, and the TCP connect
   /// retry policy. Defaults match production; the fuzz tool sweeps them.

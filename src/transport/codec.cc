@@ -1,30 +1,64 @@
 #include "transport/codec.h"
 
+#include <algorithm>
+
+#include "common/decimal.h"
+#include "common/string_util.h"
 #include "transport/wire.h"
 
 namespace streamshare::transport {
+
+using engine::PhotonRecord;
+using engine::PhotonSchema;
 
 void ItemEncoder::Encode(const xml::XmlNode& node, std::string* out) {
   out->reserve(out->size() + node.SerializedSize());
   EncodeNode(node, out);
 }
 
-void ItemEncoder::EncodeNode(const xml::XmlNode& node, std::string* out) {
-  auto it = ids_.find(node.name());
+void ItemEncoder::EncodeName(std::string_view name, std::string* out) {
+  auto it = ids_.find(name);
   if (it != ids_.end()) {
     PutVarint(out, (it->second + 1) << 1);
   } else {
-    PutVarint(out, (static_cast<uint64_t>(node.name().size()) << 1) | 1);
-    out->append(node.name());
+    PutVarint(out, (static_cast<uint64_t>(name.size()) << 1) | 1);
+    out->append(name);
     if (ids_.size() < kMaxDictionaryNames) {
-      ids_.emplace(node.name(), ids_.size());
+      ids_.emplace(std::string(name), ids_.size());
     }
   }
+}
+
+void ItemEncoder::EncodeNode(const xml::XmlNode& node, std::string* out) {
+  EncodeName(node.name(), out);
   PutVarint(out, node.text().size());
   out->append(node.text());
   PutVarint(out, node.children().size());
   for (const auto& child : node.children()) {
     EncodeNode(*child, out);
+  }
+}
+
+void ItemEncoder::EncodeRecord(const PhotonRecord& record, std::string* out) {
+  out->reserve(out->size() + record.SerializedSize());
+  EncodeRecordNode(record, PhotonSchema::kPhoton, out);
+}
+
+void ItemEncoder::EncodeRecordNode(const PhotonRecord& record, int node,
+                                   std::string* out) {
+  EncodeName(PhotonSchema::Name(node), out);
+  int field = PhotonSchema::FieldOf(node);
+  std::string_view text =
+      field >= 0 ? record.text(field) : std::string_view();
+  PutVarint(out, text.size());
+  out->append(text);
+  uint64_t child_count = 0;
+  for (int child : PhotonSchema::Children(node)) {
+    if (record.has_node(child)) ++child_count;
+  }
+  PutVarint(out, child_count);
+  for (int child : PhotonSchema::Children(node)) {
+    if (record.has_node(child)) EncodeRecordNode(record, child, out);
   }
 }
 
@@ -81,12 +115,103 @@ Status ItemDecoder::DecodeNode(std::string_view* data, size_t depth,
     // remaining bytes is corruption — reject before looping on it.
     return Status::ParseError("item decode: bad child count");
   }
+  // A child is at least 3 bytes (tag, text length, child count), which
+  // bounds how much reserving up front can over-allocate on a frame that
+  // lies about its count.
+  node->ReserveChildren(
+      std::min<uint64_t>(child_count, data->size() / 3 + 1));
   for (uint64_t i = 0; i < child_count; ++i) {
     std::unique_ptr<xml::XmlNode> child;
     SS_RETURN_IF_ERROR(DecodeNode(data, depth + 1, &child));
     node->AddChild(std::move(child));
   }
   *out = std::move(node);
+  return Status::Ok();
+}
+
+bool ItemDecoder::DecodeNameView(std::string_view* data,
+                                 std::string_view* name) {
+  uint64_t tag = 0;
+  if (!GetVarint(data, &tag) || tag == 0) return false;
+  if (tag & 1) {
+    uint64_t len = tag >> 1;
+    if (len == 0 || len > data->size()) return false;
+    std::string_view literal = data->substr(0, len);
+    data->remove_prefix(len);
+    if (names_.size() < kMaxDictionaryNames) names_.emplace_back(literal);
+    // The view aliases the frame buffer, which outlives the decode.
+    *name = literal;
+    return true;
+  }
+  uint64_t id = (tag >> 1) - 1;
+  if (id >= names_.size()) return false;
+  // Aliases the dictionary entry: valid only until the next literal
+  // registration, so callers must consume it before decoding further.
+  *name = names_[id];
+  return true;
+}
+
+bool ItemDecoder::DecodeRecordBody(std::string_view* data, int node,
+                                   PhotonRecord* record) {
+  uint64_t text_len = 0;
+  if (!GetVarint(data, &text_len) || text_len > data->size()) return false;
+  int field = PhotonSchema::FieldOf(node);
+  if (field >= 0) {
+    if (text_len > PhotonRecord::kMaxFieldText) return false;
+    std::string_view text = data->substr(0, text_len);
+    data->remove_prefix(text_len);
+    Result<Decimal> value = Decimal::Parse(Trim(text));
+    if (!value.ok()) return false;
+    uint64_t child_count = 0;
+    if (!GetVarint(data, &child_count) || child_count != 0) return false;
+    record->SetField(field, text, *value);
+    return true;
+  }
+  if (text_len != 0) return false;
+  record->MarkNode(node);
+  uint64_t child_count = 0;
+  if (!GetVarint(data, &child_count) || child_count > data->size()) {
+    return false;
+  }
+  // Same subsequence-in-document-order rule as PhotonRecord::FromXml.
+  std::span<const int> schema_children = PhotonSchema::Children(node);
+  size_t k = 0;
+  for (uint64_t i = 0; i < child_count; ++i) {
+    std::string_view name;
+    if (!DecodeNameView(data, &name)) return false;
+    while (k < schema_children.size() &&
+           PhotonSchema::Name(schema_children[k]) != name) {
+      ++k;
+    }
+    if (k == schema_children.size()) return false;
+    if (!DecodeRecordBody(data, schema_children[k], record)) return false;
+    ++k;
+  }
+  return true;
+}
+
+Status ItemDecoder::DecodeSlot(std::string_view data,
+                               engine::ItemBatch::Slot* out) {
+  const size_t dict_before = names_.size();
+  std::string_view cursor = data;
+  std::string_view root;
+  out->record = PhotonRecord();  // decode in place, no copy on success
+  if (DecodeNameView(&cursor, &root) &&
+      root == PhotonSchema::Name(PhotonSchema::kPhoton) &&
+      DecodeRecordBody(&cursor, PhotonSchema::kPhoton, &out->record) &&
+      cursor.empty()) {
+    out->item = nullptr;
+    out->is_record = true;
+    return Status::Ok();
+  }
+  // Non-conforming or corrupt: roll the dictionary back to the frame
+  // start and take the generic path, which registers names identically
+  // and raises the exact tree-decode error on corruption.
+  names_.resize(dict_before);
+  std::unique_ptr<xml::XmlNode> node;
+  SS_RETURN_IF_ERROR(Decode(data, &node));
+  out->item = engine::MakeItem(std::move(node));
+  out->is_record = false;
   return Status::Ok();
 }
 

@@ -14,6 +14,14 @@
 // is deterministic: first-literal-appearance order, capped at the same
 // size on both sides. A link restart must Reset() both ends together —
 // a one-sided reset shows up as a decode error, not silent corruption.
+//
+// PhotonRecords encode and decode without touching a DOM: EncodeRecord
+// walks the schema tables and produces the byte-identical wire form of
+// the record's materialized tree (same dictionary registrations, same
+// bytes), and DecodeSlot recognizes photon-conforming frames directly
+// into a record, falling back to the generic tree decode — with the
+// dictionary rolled back first, so both paths register names
+// identically — for everything else.
 
 #ifndef STREAMSHARE_TRANSPORT_CODEC_H_
 #define STREAMSHARE_TRANSPORT_CODEC_H_
@@ -26,6 +34,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/record.h"
 #include "xml/xml_node.h"
 
 namespace streamshare::transport {
@@ -45,6 +54,11 @@ class ItemEncoder {
   /// XmlNode::SerializedSize() — the text form bounds the binary form.
   void Encode(const xml::XmlNode& node, std::string* out);
 
+  /// Appends the encoding of `record` to *out: byte-identical to
+  /// Encode() of the record's materialized tree, dictionary state
+  /// included, without building the tree.
+  void EncodeRecord(const engine::PhotonRecord& record, std::string* out);
+
   /// Drops the dictionary (link restart). The peer decoder must reset in
   /// the same place in the stream.
   void Reset();
@@ -52,9 +66,19 @@ class ItemEncoder {
   size_t dictionary_size() const { return ids_.size(); }
 
  private:
-  void EncodeNode(const xml::XmlNode& node, std::string* out);
+  struct NameHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view name) const {
+      return std::hash<std::string_view>{}(name);
+    }
+  };
 
-  std::unordered_map<std::string, uint64_t> ids_;
+  void EncodeName(std::string_view name, std::string* out);
+  void EncodeNode(const xml::XmlNode& node, std::string* out);
+  void EncodeRecordNode(const engine::PhotonRecord& record, int node,
+                        std::string* out);
+
+  std::unordered_map<std::string, uint64_t, NameHash, std::equal_to<>> ids_;
 };
 
 /// Decodes items from one link. Mirror-image dictionary of the peer's
@@ -66,6 +90,12 @@ class ItemDecoder {
   /// one-sided dictionary reset), or over-deep nesting.
   Status Decode(std::string_view data, std::unique_ptr<xml::XmlNode>* out);
 
+  /// Decodes one item into a batch slot: frames whose tree conforms to
+  /// the photon schema become records directly (no DOM); everything else
+  /// takes the generic tree decode. Either way the dictionary ends up in
+  /// the exact state Decode() would have left it in.
+  Status DecodeSlot(std::string_view data, engine::ItemBatch::Slot* out);
+
   /// Drops the dictionary (link restart).
   void Reset();
 
@@ -74,6 +104,9 @@ class ItemDecoder {
  private:
   Status DecodeNode(std::string_view* data, size_t depth,
                     std::unique_ptr<xml::XmlNode>* out);
+  bool DecodeNameView(std::string_view* data, std::string_view* name);
+  bool DecodeRecordBody(std::string_view* data, int node,
+                        engine::PhotonRecord* record);
 
   std::vector<std::string> names_;
 };

@@ -128,6 +128,35 @@ class TransportPortOp final : public Operator {
     return sender_->SendItem(target_index_, buffer_);
   }
 
+  /// Record slots encode straight from the record's schema walk — same
+  /// wire bytes and dictionary state as encoding the materialized tree,
+  /// minus the tree.
+  Status ProcessBatch(engine::ItemBatch* batch) override {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+    for (size_t i = 0; i < batch->size(); ++i) {
+      const engine::ItemBatch::Slot& slot = batch->slot(i);
+      buffer_.clear();
+      const bool tracing = recorder.enabled();
+      uint64_t start = tracing ? recorder.NowMicros() : 0;
+      if (slot.is_record) {
+        encoder_->EncodeRecord(slot.record, &buffer_);
+      } else {
+        encoder_->Encode(*slot.item, &buffer_);
+      }
+      if (tracing) {
+        recorder.RecordComplete(
+            "codec.encode", "transport", start,
+            recorder.NowMicros() - start,
+            {obs::TraceArg::Num("bytes",
+                                static_cast<double>(buffer_.size()))});
+      }
+      ++edge_->items;
+      edge_->encoded_bytes += buffer_.size();
+      SS_RETURN_IF_ERROR(sender_->SendItem(target_index_, buffer_));
+    }
+    return Status::Ok();
+  }
+
  private:
   uint64_t target_index_;
   ChannelSender* sender_;
@@ -186,10 +215,10 @@ void ReceiveChannel(WorkerRt* w, ChannelRt* ch, const PartitionPlan& plan,
           ": DATA frame routed to a foreign operator index"));
       break;
     }
-    std::unique_ptr<xml::XmlNode> node;
+    engine::ItemBatch::Slot slot;
     const bool tracing = recorder.enabled();
     uint64_t start = tracing ? recorder.NowMicros() : 0;
-    Status decoded = decoder.Decode(in.item_bytes, &node);
+    Status decoded = decoder.DecodeSlot(in.item_bytes, &slot);
     if (tracing) {
       recorder.RecordComplete(
           "codec.decode", "transport", start, recorder.NowMicros() - start,
@@ -201,24 +230,27 @@ void ReceiveChannel(WorkerRt* w, ChannelRt* ch, const PartitionPlan& plan,
           decoded.WithContext("channel " + ch->receiver->label()));
       break;
     }
-    w->queue->Push(LinkQueue::Entry{plan.ops[in.target],
-                                    engine::MakeItem(std::move(node))});
+    LinkQueue::Entry entry;
+    entry.target = plan.ops[in.target];
+    entry.batch.AppendSlot(slot);
+    w->queue->Push(std::move(entry));
     ch->receiver->GrantCredit(1);
   }
   // Close promptly: the sender side holds its end open until this close
   // arrives (DrainUntilPeerClose), which keeps TCP teardown orderly when
   // each worker is its own process.
   ch->receiver->Close();
-  w->queue->Push(LinkQueue::Entry{nullptr, nullptr});
+  w->queue->Push(LinkQueue::Entry{});
 }
 
 /// Feeder thread: pushes this worker's own entry streams (round-robin
-/// across streams, per-stream order preserved), then one pill.
+/// across streams, per-stream order preserved), then one pill. Items are
+/// adopted into compact records while buffering; each full batch crosses
+/// the queue as one entry.
 void FeedEntries(WorkerRt* w, const std::vector<Operator*>& entries,
                  const std::vector<std::vector<ItemPtr>>& item_lists,
-                 size_t batch_size, AbortState* abort) {
-  std::vector<std::vector<LinkQueue::Entry>> buffers(
-      w->entry_streams.size());
+                 size_t batch_size, bool adopt_records, AbortState* abort) {
+  std::vector<engine::ItemBatch> buffers(w->entry_streams.size());
   std::vector<size_t> cursors(w->entry_streams.size(), 0);
   std::vector<size_t> active;
   for (size_t i = 0; i < w->entry_streams.size(); ++i) {
@@ -230,19 +262,25 @@ void FeedEntries(WorkerRt* w, const std::vector<Operator*>& entries,
     for (size_t idx = 0; idx < active.size(); ++idx) {
       size_t i = active[idx];
       size_t s = w->entry_streams[i];
-      buffers[i].push_back(
-          LinkQueue::Entry{entries[s], item_lists[s][cursors[i]++]});
+      buffers[i].AppendItem(item_lists[s][cursors[i]++], adopt_records);
       if (buffers[i].size() >= batch_size) {
-        w->queue->PushBatch(&buffers[i]);
+        w->queue->Push(LinkQueue::Entry{entries[s], std::move(buffers[i])});
+        buffers[i] = engine::ItemBatch();
+        buffers[i].reserve(batch_size);
       }
       if (cursors[i] < item_lists[s].size()) active[write++] = i;
     }
     active.resize(write);
   }
   if (!abort->aborted()) {
-    for (auto& buffer : buffers) w->queue->PushBatch(&buffer);
+    for (size_t i = 0; i < buffers.size(); ++i) {
+      if (buffers[i].empty()) continue;
+      w->queue->Push(
+          LinkQueue::Entry{entries[w->entry_streams[i]],
+                           std::move(buffers[i])});
+    }
   }
-  w->queue->Push(LinkQueue::Entry{nullptr, nullptr});
+  w->queue->Push(LinkQueue::Entry{});
 }
 
 /// One worker: receiver threads + feeder thread around the same drain
@@ -251,7 +289,8 @@ void FeedEntries(WorkerRt* w, const std::vector<Operator*>& entries,
 void RunWorker(WorkerRt* w, const PartitionPlan& plan,
                const std::vector<Operator*>& entries,
                const std::vector<std::vector<ItemPtr>>& item_lists,
-               size_t batch_size, AbortState* abort, bool finish) {
+               size_t batch_size, bool adopt_records, AbortState* abort,
+               bool finish) {
   obs::ScopedShard pinned(w->index);
   obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
   if (recorder.enabled()) {
@@ -274,38 +313,26 @@ void RunWorker(WorkerRt* w, const PartitionPlan& plan,
   }
   if (!w->entry_streams.empty()) {
     helpers.emplace_back(FeedEntries, w, std::cref(entries),
-                         std::cref(item_lists), batch_size, abort);
+                         std::cref(item_lists), batch_size, adopt_records,
+                         abort);
   }
 
   std::vector<LinkQueue::Entry> batch;
   batch.reserve(batch_size);
-  std::vector<ItemPtr> scratch;
-  scratch.reserve(batch_size);
   size_t pills = 0;
   while (pills < w->expected_pills) {
     batch.clear();
     w->queue->PopBatch(&batch, batch_size);
-    size_t idx = 0;
-    while (idx < batch.size()) {
-      if (batch[idx].target == nullptr) {
+    for (LinkQueue::Entry& entry : batch) {
+      if (entry.target == nullptr) {
         ++pills;
-        ++idx;
         continue;
       }
-      if (abort->aborted()) {  // drain without processing
-        ++idx;
-        continue;
-      }
-      Operator* target = batch[idx].target;
-      scratch.clear();
-      while (idx < batch.size() && batch[idx].target == target) {
-        scratch.push_back(std::move(batch[idx].item));
-        ++idx;
-      }
-      Status status = target->PushBatch(scratch);
+      if (abort->aborted()) continue;  // drain without processing
+      Status status = entry.target->PushBatch(&entry.batch);
       if (!status.ok()) {
-        abort->Record(
-            engine::WrapOperatorFailure(std::move(status), "push", *target));
+        abort->Record(engine::WrapOperatorFailure(std::move(status), "push",
+                                                  *entry.target));
       }
     }
   }
@@ -664,7 +691,8 @@ Status PartitionedRunner::Run(
     for (size_t w = 0; w < worker_count; ++w) {
       threads.emplace_back(RunWorker, &workers[w], std::cref(plan),
                            std::cref(entries), std::cref(item_lists),
-                           batch_size, &abort, finish);
+                           batch_size, options_.parallel.adopt_records,
+                           &abort, finish);
     }
     for (std::thread& thread : threads) thread.join();
     run_status = abort.Snapshot();
@@ -740,7 +768,7 @@ Status PartitionedRunner::Run(
 
         AbortState abort;
         RunWorker(&workers[w], plan, entries, item_lists, batch_size,
-                  &abort, /*finish=*/true);
+                  options_.parallel.adopt_records, &abort, /*finish=*/true);
         Status status = abort.Snapshot();
 
         std::string report;

@@ -13,12 +13,17 @@ std::string FormatFixed(double value, int decimals) {
   return buffer;
 }
 
+void SetDecimalField(engine::PhotonRecord* record, int field,
+                     const std::string& text) {
+  record->SetField(field, text, *Decimal::Parse(text));
+}
+
 }  // namespace
 
 PhotonGenerator::PhotonGenerator(PhotonGenConfig config)
     : config_(std::move(config)), rng_(config_.seed) {}
 
-engine::ItemPtr PhotonGenerator::Next() {
+engine::PhotonRecord PhotonGenerator::NextRecord() {
   std::uniform_real_distribution<double> unit(0.0, 1.0);
 
   // Pick a region: hot regions by weight, otherwise the whole sky.
@@ -46,18 +51,26 @@ engine::ItemPtr PhotonGenerator::Next() {
   std::uniform_int_distribution<int> phc_dist(0, 255);
   std::uniform_int_distribution<int> det_pixel(0, 511);
 
-  auto photon = std::make_unique<xml::XmlNode>("photon");
-  photon->AddLeaf("phc", std::to_string(phc_dist(rng_)));
-  xml::XmlNode* coord = photon->AddChild("coord");
-  xml::XmlNode* cel = coord->AddChild("cel");
-  cel->AddLeaf("ra", FormatFixed(ra, 4));
-  cel->AddLeaf("dec", FormatFixed(dec, 4));
-  xml::XmlNode* det = coord->AddChild("det");
-  det->AddLeaf("dx", std::to_string(det_pixel(rng_)));
-  det->AddLeaf("dy", std::to_string(det_pixel(rng_)));
-  photon->AddLeaf("en", FormatFixed(en, 3));
-  photon->AddLeaf("det_time", FormatFixed(det_time_, 1));
-  return engine::MakeItem(std::move(photon));
+  engine::PhotonRecord record;
+  SetDecimalField(&record, engine::PhotonSchema::kFieldPhc,
+                  std::to_string(phc_dist(rng_)));
+  SetDecimalField(&record, engine::PhotonSchema::kFieldRa,
+                  FormatFixed(ra, 4));
+  SetDecimalField(&record, engine::PhotonSchema::kFieldDec,
+                  FormatFixed(dec, 4));
+  SetDecimalField(&record, engine::PhotonSchema::kFieldDx,
+                  std::to_string(det_pixel(rng_)));
+  SetDecimalField(&record, engine::PhotonSchema::kFieldDy,
+                  std::to_string(det_pixel(rng_)));
+  SetDecimalField(&record, engine::PhotonSchema::kFieldEn,
+                  FormatFixed(en, 3));
+  SetDecimalField(&record, engine::PhotonSchema::kFieldDetTime,
+                  FormatFixed(det_time_, 1));
+  return record;
+}
+
+engine::ItemPtr PhotonGenerator::Next() {
+  return engine::MakeItem(NextRecord().MaterializeXml());
 }
 
 std::vector<engine::ItemPtr> PhotonGenerator::Generate(size_t count) {
@@ -65,6 +78,21 @@ std::vector<engine::ItemPtr> PhotonGenerator::Generate(size_t count) {
   items.reserve(count);
   for (size_t i = 0; i < count; ++i) items.push_back(Next());
   return items;
+}
+
+std::vector<engine::ItemBatch> PhotonGenerator::GenerateBatches(
+    size_t count, size_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  std::vector<engine::ItemBatch> batches;
+  batches.reserve((count + batch_size - 1) / batch_size);
+  for (size_t i = 0; i < count; ++i) {
+    if (i % batch_size == 0) {
+      batches.emplace_back();
+      batches.back().reserve(std::min(batch_size, count - i));
+    }
+    batches.back().AppendRecord(NextRecord());
+  }
+  return batches;
 }
 
 std::shared_ptr<const xml::StreamSchema> PhotonGenerator::Schema() {

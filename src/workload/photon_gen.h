@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "engine/item.h"
+#include "engine/record.h"
 #include "xml/schema.h"
 
 namespace streamshare::workload {
@@ -52,11 +53,21 @@ class PhotonGenerator {
  public:
   explicit PhotonGenerator(PhotonGenConfig config);
 
-  /// Generates the next photon item (det_time strictly increasing).
+  /// Generates the next photon as a compact record (det_time strictly
+  /// increasing) — no DOM tree is built.
+  engine::PhotonRecord NextRecord();
+
+  /// Generates the next photon item: the materialized tree of
+  /// NextRecord(), for consumers that need a DOM.
   engine::ItemPtr Next();
 
   /// Generates `count` photons.
   std::vector<engine::ItemPtr> Generate(size_t count);
+
+  /// Generates `count` photons straight into record batches of
+  /// `batch_size` (the allocation-free feed for batched runs).
+  std::vector<engine::ItemBatch> GenerateBatches(size_t count,
+                                                 size_t batch_size);
 
   const PhotonGenConfig& config() const { return config_; }
 

@@ -36,6 +36,9 @@ class XmlNode {
     return children_;
   }
 
+  /// Pre-sizes the child vector (decoders know the child count up front).
+  void ReserveChildren(size_t n) { children_.reserve(n); }
+
   /// Appends a child element and returns a pointer to it (owned by this).
   XmlNode* AddChild(std::string name);
   /// Appends an already-built subtree.

@@ -28,6 +28,14 @@ ItemPtr Leaf(const std::string& name, const std::string& text) {
   return engine::MakeItem(std::move(node));
 }
 
+/// One-item queue entry (the granularity these queue tests exercise).
+LinkQueue::Entry SingleEntry(Operator* target, const ItemPtr& item) {
+  LinkQueue::Entry entry;
+  entry.target = target;
+  entry.batch.AppendItem(item, /*adopt=*/false);
+  return entry;
+}
+
 TEST(LinkQueueTest, BoundedFifoAcrossThreads) {
   LinkQueue queue(/*capacity=*/4);
   engine::OperatorGraph graph;
@@ -36,9 +44,9 @@ TEST(LinkQueueTest, BoundedFifoAcrossThreads) {
   constexpr int kCount = 1000;
   std::thread producer([&] {
     for (int i = 0; i < kCount; ++i) {
-      queue.Push(LinkQueue::Entry{target, Leaf("n", std::to_string(i))});
+      queue.Push(SingleEntry(target, Leaf("n", std::to_string(i))));
     }
-    queue.Push(LinkQueue::Entry{nullptr, nullptr});  // pill
+    queue.Push(LinkQueue::Entry{});  // pill
   });
 
   std::vector<LinkQueue::Entry> batch;
@@ -53,7 +61,7 @@ TEST(LinkQueueTest, BoundedFifoAcrossThreads) {
         done = true;
         continue;
       }
-      EXPECT_EQ(entry.item->text(), std::to_string(next));
+      EXPECT_EQ(entry.batch.Materialize(0)->text(), std::to_string(next));
       ++next;
     }
   }
@@ -72,7 +80,7 @@ TEST(LinkQueueTest, PushBatchKeepsOrderAndRespectsCapacity) {
 
   std::vector<LinkQueue::Entry> batch;
   for (int i = 0; i < 100; ++i) {
-    batch.push_back(LinkQueue::Entry{target, Leaf("n", std::to_string(i))});
+    batch.push_back(SingleEntry(target, Leaf("n", std::to_string(i))));
   }
   std::thread producer([&] { queue.PushBatch(&batch); });
 
@@ -83,7 +91,7 @@ TEST(LinkQueueTest, PushBatchKeepsOrderAndRespectsCapacity) {
   producer.join();
   ASSERT_EQ(out.size(), 100u);
   for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(out[i].item->text(), std::to_string(i));
+    EXPECT_EQ(out[i].batch.Materialize(0)->text(), std::to_string(i));
   }
   EXPECT_TRUE(batch.empty());  // consumed by PushBatch
 }
@@ -96,7 +104,7 @@ TEST(LinkQueueTest, ResetStatsZeroesEveryCounter) {
   // First "run": generate some traffic, including a blocked producer.
   std::thread producer([&] {
     for (int i = 0; i < 50; ++i) {
-      queue.Push(LinkQueue::Entry{target, Leaf("n", std::to_string(i))});
+      queue.Push(SingleEntry(target, Leaf("n", std::to_string(i))));
     }
   });
   std::vector<LinkQueue::Entry> batch;
@@ -117,13 +125,13 @@ TEST(LinkQueueTest, ResetStatsZeroesEveryCounter) {
   EXPECT_EQ(queue.consumer_blocked_ns(), 0u);
   EXPECT_EQ(queue.max_depth(), 0u);
 
-  queue.Push(LinkQueue::Entry{target, Leaf("n", "after")});
+  queue.Push(SingleEntry(target, Leaf("n", "after")));
   EXPECT_EQ(queue.pushed_count(), 1u);
   EXPECT_EQ(queue.max_depth(), 1u);
   batch.clear();
   queue.PopBatch(&batch, 8);
   ASSERT_EQ(batch.size(), 1u);
-  EXPECT_EQ(batch[0].item->text(), "after");
+  EXPECT_EQ(batch[0].batch.Materialize(0)->text(), "after");
 }
 
 TEST(RunStreamsTest, SkipsExhaustedStreamsRoundRobin) {
@@ -216,11 +224,17 @@ void ExpectParallelMatchesSerial(const engine::ParallelOptions& options) {
 }
 
 TEST(ParallelExecutorTest, MatchesSerialOnExtendedWorkload) {
-  ExpectParallelMatchesSerial(engine::ParallelOptions{});
+  engine::ParallelOptions options;
+  // Pin the worker cap: the default (hardware_concurrency) would coalesce
+  // everything into one worker on a single-core runner, and this test is
+  // about multi-worker equivalence.
+  options.max_workers = 8;
+  ExpectParallelMatchesSerial(options);
 }
 
 TEST(ParallelExecutorTest, TinyQueueBackpressureWithoutDeadlock) {
   engine::ParallelOptions options;
+  options.max_workers = 8;
   options.queue_capacity = 1;  // every handoff hits a full queue
   options.batch_size = 1;
   ExpectParallelMatchesSerial(options);
@@ -278,6 +292,7 @@ TEST(ParallelExecutorTest, RestoresSerialWiringAndShardedMetrics) {
   }
 
   ParallelOptions options;
+  options.max_workers = 4;     // don't coalesce on single-core runners
   options.queue_capacity = 8;  // force some backpressure
   ParallelExecutor executor(options);
   ASSERT_TRUE(executor.Run(entry, items).ok());

@@ -9,7 +9,7 @@
 //                    [--scenario=FILE] [--out-dir=DIR] [--metrics=FILE]
 //                    [--no-parallel] [--no-loopback] [--no-tcp]
 //                    [--tcp-processes] [--no-shrink] [--churn=P]
-//                    [--sweep-flow] [--inject-mode=MODE]
+//                    [--sweep-flow] [--dom-path] [--inject-mode=MODE]
 //                    [--inject-min-window=N] [--inject-churn-mode=MODE]
 //
 // --seeds sweeps seeds [B, B+N); --seed runs exactly one; --scenario
@@ -23,7 +23,9 @@
 // derives the transport flow-control and TCP retry knobs (credit
 // window, send timeout, retry count/backoff, connect retries) from each
 // seed, so a sweep exercises many transport configurations instead of
-// only the production defaults.
+// only the production defaults. --dom-path turns the compact-record hot
+// path off in every mode (by default the non-reference modes run it, so
+// each equivalence diff is also a DOM-vs-record differential).
 //
 // Exit codes: 0 clean, 1 divergence found, 2 infrastructure failure.
 
@@ -90,7 +92,7 @@ int Usage(const char* program) {
                "[--scenario=FILE] [--out-dir=DIR] [--metrics=FILE] "
                "[--no-parallel] [--no-loopback] [--no-tcp] "
                "[--tcp-processes] [--no-shrink] [--churn=P] "
-               "[--sweep-flow] [--inject-mode=MODE] "
+               "[--sweep-flow] [--dom-path] [--inject-mode=MODE] "
                "[--inject-min-window=N] [--inject-churn-mode=MODE]\n",
                program);
   return 2;
@@ -176,6 +178,8 @@ int main(int argc, char** argv) {
       options.oracle.run_tcp = false;
     } else if (std::strcmp(argv[i], "--tcp-processes") == 0) {
       options.oracle.tcp_processes = true;
+    } else if (std::strcmp(argv[i], "--dom-path") == 0) {
+      options.oracle.record_path = false;
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       options.shrink = false;
     } else if (ParseFlag(argv[i], "--churn", &value)) {
