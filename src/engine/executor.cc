@@ -1,5 +1,6 @@
 #include "engine/executor.h"
 
+#include "engine/latency.h"
 #include "obs/event_log.h"
 
 namespace streamshare::engine {
@@ -20,7 +21,14 @@ Status WrapOperatorFailure(Status status, std::string_view action,
 }
 
 Status RunStream(Operator* entry, const std::vector<ItemPtr>& items) {
+  const bool stamping = latency::Enabled();
   for (const ItemPtr& item : items) {
+    // DOM pushes are synchronous, so the ingress stamp travels as the
+    // thread-local ambient; the scope clears it before Finish below, so
+    // window flushes emitted at end-of-stream stay unstamped.
+    latency::ItemStamp stamp;
+    if (stamping) stamp.ingress_us = latency::NowUs();
+    latency::AmbientScope scope(stamp);
     Status status = entry->Push(item);
     if (!status.ok()) {
       return WrapOperatorFailure(std::move(status), "push", *entry);
@@ -48,10 +56,14 @@ Status RunStreams(const std::vector<Operator*>& entries,
   for (size_t s = 0; s < entries.size(); ++s) {
     if (!item_lists[s].empty()) active.push_back(s);
   }
+  const bool stamping = latency::Enabled();
   while (!active.empty()) {
     size_t write = 0;
     for (size_t idx = 0; idx < active.size(); ++idx) {
       size_t s = active[idx];
+      latency::ItemStamp stamp;
+      if (stamping) stamp.ingress_us = latency::NowUs();
+      latency::AmbientScope scope(stamp);
       Status status = entries[s]->Push(item_lists[s][cursors[s]++]);
       if (!status.ok()) {
         return WrapOperatorFailure(std::move(status), "push", *entries[s]);
@@ -85,6 +97,7 @@ Status RunStreamsBatched(const std::vector<Operator*>& entries,
   for (size_t s = 0; s < entries.size(); ++s) {
     if (!item_lists[s].empty()) active.push_back(s);
   }
+  const bool stamping = latency::Enabled();
   ItemBatch batch;
   while (!active.empty()) {
     size_t write = 0;
@@ -94,8 +107,13 @@ Status RunStreamsBatched(const std::vector<Operator*>& entries,
       size_t end = std::min(items.size(), cursors[s] + batch_size);
       batch.clear();
       batch.reserve(end - cursors[s]);
+      // One ingress tick per chunk: the whole chunk enters the pipeline
+      // at this instant, and a single clock read keeps stamping overhead
+      // off the per-item fast path.
+      uint64_t now = stamping ? latency::NowUs() : 0;
       for (; cursors[s] < end; ++cursors[s]) {
         batch.AppendItem(items[cursors[s]], adopt);
+        if (stamping) batch.slot(batch.size() - 1).stamp.ingress_us = now;
       }
       Status status = entries[s]->PushBatch(&batch);
       if (!status.ok()) {
@@ -129,12 +147,20 @@ Status RunBatchStreams(const std::vector<Operator*>& entries,
   for (size_t s = 0; s < entries.size(); ++s) {
     if (!(*batch_lists)[s].empty()) active.push_back(s);
   }
+  const bool stamping = latency::Enabled();
   while (!active.empty()) {
     size_t write = 0;
     for (size_t idx = 0; idx < active.size(); ++idx) {
       size_t s = active[idx];
-      Status status =
-          entries[s]->PushBatch(&(*batch_lists)[s][cursors[s]++]);
+      ItemBatch& batch = (*batch_lists)[s][cursors[s]++];
+      if (stamping) {
+        uint64_t now = latency::NowUs();
+        for (size_t i = 0; i < batch.size(); ++i) {
+          ItemBatch::Slot& slot = batch.slot(i);
+          if (!slot.stamp.stamped()) slot.stamp.ingress_us = now;
+        }
+      }
+      Status status = entries[s]->PushBatch(&batch);
       if (!status.ok()) {
         return WrapOperatorFailure(std::move(status), "push", *entries[s]);
       }

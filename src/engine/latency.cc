@@ -1,0 +1,37 @@
+#include "engine/latency.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace streamshare::engine::latency {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+thread_local ItemStamp t_ambient;
+
+}  // namespace
+
+uint64_t NowUs() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+  // 0 means "unstamped"; the steady clock could in principle read 0 in
+  // the first microsecond after boot.
+  return us == 0 ? 1 : us;
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+const ItemStamp& Ambient() { return t_ambient; }
+
+void SetAmbient(const ItemStamp& stamp) { t_ambient = stamp; }
+
+void ClearAmbient() { t_ambient = ItemStamp(); }
+
+}  // namespace streamshare::engine::latency

@@ -1,0 +1,92 @@
+// The measured-latency plane. Every item is stamped with an ingress tick
+// when it enters the system (at the generator feed), and the stamp rides
+// with the item — in its batch slot on the record path, in a thread-local
+// ambient on the synchronous DOM push path, and as a varint frame
+// extension on the transport wire — accumulating queue-residency and
+// transport time along the way. Sinks turn arriving stamps into per-query
+// end-to-end histograms with stage attribution (pipeline / queue-wait /
+// transport).
+//
+// Stamps are metrics only: they are excluded from content hashes and
+// never change what a query outputs (an ARCHITECTURE invariant the fuzz
+// oracle enforces by diffing a stamped run against an unstamped one).
+
+#ifndef STREAMSHARE_ENGINE_LATENCY_H_
+#define STREAMSHARE_ENGINE_LATENCY_H_
+
+#include <cstdint>
+
+namespace streamshare::engine::latency {
+
+/// The per-item stamp. `ingress_us == 0` means "unstamped" — items that
+/// predate stamping (old wire frames, runs with stamping off) and
+/// operator outputs with no single originating item flow unstamped and
+/// are simply skipped by sink recording.
+struct ItemStamp {
+  /// NowUs() at the moment the item entered the system.
+  uint64_t ingress_us = 0;
+  /// Accumulated residency in bounded LinkQueues (parallel / transport
+  /// workers), µs.
+  uint64_t queue_us = 0;
+  /// Accumulated time on transport wires (send tick to receive tick,
+  /// summed over hops), µs.
+  uint64_t transport_us = 0;
+
+  bool stamped() const { return ingress_us != 0; }
+};
+
+/// Microseconds on the steady clock. On Linux this is CLOCK_MONOTONIC,
+/// which is system-wide — ticks taken in fork-per-worker transport
+/// children compare directly against the parent's. Never returns 0.
+uint64_t NowUs();
+
+/// Runtime master switch, default on. Stamping costs one clock read per
+/// item at the feed and one per queue/wire hop; the perf_smoke CI gate
+/// holds the overhead under 5%.
+bool Enabled();
+void SetEnabled(bool on);
+
+/// Conjunctive scoped override: enables stamping only if it was already
+/// enabled AND `on` is true; restores the previous state on destruction.
+/// System run paths wrap runs in this so SystemConfig::measure_latency
+/// composes with a process-wide --no-stamping.
+class ScopedEnabled {
+ public:
+  explicit ScopedEnabled(bool on) : previous_(Enabled()) {
+    SetEnabled(previous_ && on);
+  }
+  ~ScopedEnabled() { SetEnabled(previous_); }
+  ScopedEnabled(const ScopedEnabled&) = delete;
+  ScopedEnabled& operator=(const ScopedEnabled&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Ambient stamp of the item currently being pushed on this thread. The
+/// DOM path pushes items one by one through a synchronous operator
+/// cascade, so the stamp of the item under evaluation — and of anything
+/// it causes to be emitted, window flushes included — is a thread-local,
+/// not a slot field. Returns an unstamped ItemStamp outside a push.
+const ItemStamp& Ambient();
+void SetAmbient(const ItemStamp& stamp);
+void ClearAmbient();
+
+/// Sets the ambient stamp for one item push and restores the previous
+/// ambient on destruction (batch fallbacks nest inside feed loops).
+class AmbientScope {
+ public:
+  explicit AmbientScope(const ItemStamp& stamp) : previous_(Ambient()) {
+    SetAmbient(stamp);
+  }
+  ~AmbientScope() { SetAmbient(previous_); }
+  AmbientScope(const AmbientScope&) = delete;
+  AmbientScope& operator=(const AmbientScope&) = delete;
+
+ private:
+  ItemStamp previous_;
+};
+
+}  // namespace streamshare::engine::latency
+
+#endif  // STREAMSHARE_ENGINE_LATENCY_H_

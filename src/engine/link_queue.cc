@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "engine/latency.h"
+#include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
 namespace streamshare::engine {
@@ -43,6 +45,9 @@ void LinkQueue::ResetStats() {
 }
 
 void LinkQueue::Push(Entry entry) {
+  if (entry.enqueued_us == 0 && latency::Enabled()) {
+    entry.enqueued_us = latency::NowUs();
+  }
   size_t weight = Weight(entry);
   std::unique_lock<std::mutex> lock(mu_);
   if (size_ >= capacity_) {
@@ -64,6 +69,12 @@ void LinkQueue::Push(Entry entry) {
 
 void LinkQueue::PushBatch(std::vector<Entry>* batch) {
   if (batch->empty()) return;
+  if (latency::Enabled()) {
+    uint64_t now = latency::NowUs();
+    for (Entry& entry : *batch) {
+      if (entry.enqueued_us == 0) entry.enqueued_us = now;
+    }
+  }
   std::unique_lock<std::mutex> lock(mu_);
   size_t pushed = 0;
   for (Entry& entry : *batch) {
@@ -95,6 +106,7 @@ void LinkQueue::PopBatch(std::vector<Entry>* out, size_t max_items) {
     consumer_blocked_ns_.fetch_add(blocked, std::memory_order_relaxed);
     TraceBlocked("queue.blocked.consumer", blocked);
   }
+  size_t first_taken = out->size();
   size_t taken = 0;
   while (!entries_.empty() && (taken == 0 || taken < max_items)) {
     taken += Weight(entries_.front());
@@ -106,6 +118,27 @@ void LinkQueue::PopBatch(std::vector<Entry>* out, size_t max_items) {
   // cheap: producers block only when the queue was full, and we just made
   // room.
   not_full_.notify_all();
+  lock.unlock();
+
+  // Queue residency: how long each just-dequeued entry sat in the queue.
+  // Credited to every stamped slot (stage attribution at the sink) and
+  // observed once per entry on the residency histogram.
+  if (!latency::Enabled()) return;
+  uint64_t now = latency::NowUs();
+  for (size_t e = first_taken; e < out->size(); ++e) {
+    Entry& entry = (*out)[e];
+    if (entry.enqueued_us == 0) continue;
+    uint64_t wait_us = now > entry.enqueued_us ? now - entry.enqueued_us : 0;
+    entry.enqueued_us = 0;
+    if (residency_us_ != nullptr) {
+      residency_us_->Observe(static_cast<double>(wait_us));
+    }
+    if (entry.target == nullptr) continue;
+    for (size_t i = 0; i < entry.batch.size(); ++i) {
+      ItemBatch::Slot& slot = entry.batch.slot(i);
+      if (slot.stamp.stamped()) slot.stamp.queue_us += wait_us;
+    }
+  }
 }
 
 }  // namespace streamshare::engine

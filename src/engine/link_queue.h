@@ -28,6 +28,10 @@
 
 #include "engine/record.h"
 
+namespace streamshare::obs {
+class Histogram;
+}  // namespace streamshare::obs
+
 namespace streamshare::engine {
 
 class Operator;
@@ -40,6 +44,10 @@ class LinkQueue {
   struct Entry {
     Operator* target = nullptr;
     ItemBatch batch;
+    /// latency::NowUs() when the entry was enqueued (0 with stamping
+    /// off). PopBatch turns it into queue residency: credited to every
+    /// stamped slot's queue_us and observed on the residency histogram.
+    uint64_t enqueued_us = 0;
   };
 
   explicit LinkQueue(size_t capacity);
@@ -80,6 +88,13 @@ class LinkQueue {
   /// Call only while no producer or consumer is active.
   void ResetStats();
 
+  /// Installs a queue-residency histogram (µs per dequeued entry).
+  /// Optional; null disables observation. The executor that owns the
+  /// queue names it (e.g. engine.queue.worker.<i>.residency_us).
+  void SetResidencyHistogram(obs::Histogram* histogram) {
+    residency_us_ = histogram;
+  }
+
  private:
   /// Item weight of one entry: a pill stands for one item.
   static size_t Weight(const Entry& entry) {
@@ -102,6 +117,7 @@ class LinkQueue {
   std::atomic<uint64_t> producer_blocked_ns_{0};
   std::atomic<uint64_t> consumer_blocked_ns_{0};
   std::atomic<uint64_t> max_depth_{0};
+  obs::Histogram* residency_us_ = nullptr;
 };
 
 }  // namespace streamshare::engine

@@ -1,5 +1,8 @@
 #include "engine/operator.h"
 
+#include <algorithm>
+
+#include "obs/metrics_registry.h"
 #include "predicate/eval.h"
 
 namespace streamshare::engine {
@@ -137,6 +140,9 @@ Status ProjectOp::ProcessBatch(ItemBatch* batch) {
       scratch_.AppendItem(MakeItem(ProjectTree(*slot.item, output_paths_)),
                           /*adopt=*/false);
     }
+    // Append* builds a fresh (unstamped) slot; the projected item is still
+    // the same logical item, so its latency stamp rides along.
+    scratch_.slot(scratch_.size() - 1).stamp = slot.stamp;
   }
   Status emitted = EmitBatch(&scratch_);
   scratch_.clear();
@@ -187,6 +193,101 @@ uint64_t HashItemContent(const xml::XmlNode& item) {
   return HashSubtree(item, 14695981039346656037ull);
 }
 
+void SinkOp::EnableLatencyRecording(const std::string& query) {
+  // ~50us .. ~2.5s at factor 1.6: covers sub-millisecond in-process hops
+  // and multi-second backlogged queues with 25 buckets.
+  std::vector<double> bounds =
+      obs::Histogram::ExponentialBounds(50.0, 1.6, 24);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  std::string prefix = "latency.query." + query;
+  lat_e2e_ = registry.GetHistogram(prefix + ".e2e_us", bounds);
+  lat_pipeline_ =
+      registry.GetHistogram(prefix + ".stage.pipeline_us", bounds);
+  lat_queue_ = registry.GetHistogram(prefix + ".stage.queue_us", bounds);
+  lat_transport_ =
+      registry.GetHistogram(prefix + ".stage.transport_us", bounds);
+  for (LocalHist* local :
+       {&loc_e2e_, &loc_pipeline_, &loc_queue_, &loc_transport_}) {
+    local->buckets.assign(lat_e2e_->bucket_count(), 0);
+  }
+}
+
+namespace {
+// Stamped arrivals between registry folds. Large enough that the four
+// atomic MergeCounts amortize away, small enough that a mid-stream
+// metrics scrape (service-mode Feed) is at most this stale.
+constexpr uint64_t kLatencyFlushInterval = 512;
+}  // namespace
+
+void SinkOp::ObserveLocal(LocalHist* local, const obs::Histogram& hist,
+                          double value) {
+  // In-process latencies mostly land under the first bound (50us); skip
+  // the binary search for them — this runs per delivered item.
+  size_t bucket =
+      value <= hist.bounds().front() ? 0 : hist.BucketFor(value);
+  ++local->buckets[bucket];
+  ++local->count;
+  local->sum += value;
+  if (value > local->max) local->max = value;
+}
+
+void SinkOp::FlushLatency() {
+  if (unflushed_ == 0) return;
+  auto fold = [](LocalHist* local, obs::Histogram* hist) {
+    if (local->count == 0) return;
+    hist->MergeCounts(local->buckets, local->count, local->sum,
+                      local->max);
+    std::fill(local->buckets.begin(), local->buckets.end(), 0);
+    local->count = 0;
+    local->sum = 0.0;
+    local->max = 0.0;  // the shared histogram's max only ever raises
+  };
+  fold(&loc_e2e_, lat_e2e_);
+  fold(&loc_pipeline_, lat_pipeline_);
+  fold(&loc_queue_, lat_queue_);
+  fold(&loc_transport_, lat_transport_);
+  unflushed_ = 0;
+}
+
+Status SinkOp::OnFinish() {
+  FlushLatency();
+  return Status::Ok();
+}
+
+void SinkOp::RecordLatency(const latency::ItemStamp& stamp,
+                           uint64_t now) {
+  if (lat_e2e_ == nullptr || !stamp.stamped() || !latency::Enabled()) {
+    return;
+  }
+  uint64_t e2e = now > stamp.ingress_us ? now - stamp.ingress_us : 0;
+  // Pipeline time is what remains of the end-to-end span after the
+  // explicitly measured queue-wait and transport stages.
+  uint64_t overhead = stamp.queue_us + stamp.transport_us;
+  uint64_t pipeline = e2e > overhead ? e2e - overhead : 0;
+  ObserveLocal(&loc_e2e_, *lat_e2e_, static_cast<double>(e2e));
+  ObserveLocal(&loc_pipeline_, *lat_pipeline_,
+               static_cast<double>(pipeline));
+  // Queue and transport stages record only deliveries the stage actually
+  // touched: a zero wait is the absence of a queue (or wire) on the
+  // item's path, not a measurement of one — and skipping it keeps two
+  // histogram updates off the serial hot path, where both are always 0.
+  if (stamp.queue_us != 0) {
+    ObserveLocal(&loc_queue_, *lat_queue_,
+                 static_cast<double>(stamp.queue_us));
+  }
+  if (stamp.transport_us != 0) {
+    ObserveLocal(&loc_transport_, *lat_transport_,
+                 static_cast<double>(stamp.transport_us));
+  }
+  ++stamped_count_;
+  if (stamp.ingress_us < last_ingress_us_) {
+    ++stamp_regressions_;
+  } else {
+    last_ingress_us_ = stamp.ingress_us;
+  }
+  if (++unflushed_ >= kLatencyFlushInterval) FlushLatency();
+}
+
 Status SinkOp::Process(const ItemPtr& item) {
   ++item_count_;
   total_bytes_ += item->SerializedSize();
@@ -194,11 +295,19 @@ Status SinkOp::Process(const ItemPtr& item) {
     content_hash_ += HashItemContent(*item);
   }
   if (keep_items_) items_.push_back(item);
+  // The DOM push path carries the stamp in the thread-local ambient.
+  RecordLatency(latency::Ambient(), latency::NowUs());
   return Status::Ok();
 }
 
 Status SinkOp::ProcessBatch(ItemBatch* batch) {
   item_count_ += batch->size();
+  // One arrival tick for the whole batch — the slots are delivered by
+  // this very call, so they share an arrival instant the same way a fed
+  // chunk shares its ingress tick. Keeps the clock off the per-item path.
+  uint64_t now = lat_e2e_ != nullptr && latency::Enabled()
+                     ? latency::NowUs()
+                     : 0;
   for (size_t i = 0; i < batch->size(); ++i) {
     const ItemBatch::Slot& slot = batch->slot(i);
     total_bytes_ += SlotSerializedSize(slot);
@@ -207,6 +316,7 @@ Status SinkOp::ProcessBatch(ItemBatch* batch) {
                                       : HashItemContent(*slot.item);
     }
     if (keep_items_) items_.push_back(batch->Materialize(i));
+    RecordLatency(slot.stamp, now);
   }
   return Status::Ok();
 }

@@ -15,10 +15,15 @@
 
 #include "common/status.h"
 #include "engine/item.h"
+#include "engine/latency.h"
 #include "engine/metrics.h"
 #include "engine/record.h"
 #include "predicate/atomic.h"
 #include "xml/path.h"
+
+namespace streamshare::obs {
+class Histogram;
+}  // namespace streamshare::obs
 
 namespace streamshare::engine {
 
@@ -115,6 +120,10 @@ class Operator {
   /// exactly the prefix the per-item path would have.
   virtual Status ProcessBatch(ItemBatch* batch) {
     for (size_t i = 0; i < batch->size(); ++i) {
+      // The per-item fallback re-enters the synchronous DOM push path;
+      // surface the slot's latency stamp as the thread-local ambient so
+      // sinks (and window flushes triggered by this item) still see it.
+      latency::AmbientScope stamp(batch->slot(i).stamp);
       SS_RETURN_IF_ERROR(Process(batch->Materialize(i)));
     }
     return Status::Ok();
@@ -254,19 +263,69 @@ class SinkOp : public Operator {
     content_hash_ += content_hash;
   }
 
+  /// Starts recording measured end-to-end latency of stamped arrivals
+  /// into latency.query.<query>.{e2e_us,stage.*_us} histograms in the
+  /// default registry (sharded; fork-per-worker children report them back
+  /// through the transport pipe protocol). Stage attribution: queue-wait
+  /// and transport time accumulate in the stamp on the way here, pipeline
+  /// time is the end-to-end remainder. Unstamped items are skipped.
+  void EnableLatencyRecording(const std::string& query);
+
+  /// e2e histogram installed by EnableLatencyRecording (null before).
+  const obs::Histogram* latency_histogram() const { return lat_e2e_; }
+  /// Stamped arrivals recorded by this sink instance.
+  uint64_t stamped_count() const { return stamped_count_; }
+  /// Arrivals whose ingress tick ran backwards vs. the previous stamped
+  /// arrival. A serial run feeds and delivers in order, so the fuzz
+  /// oracle requires 0 here on its stamped serial run.
+  uint64_t stamp_regressions() const { return stamp_regressions_; }
+
  protected:
   Status Process(const ItemPtr& item) override;
   /// Counts, sizes and hashes straight off the record slots; materializes
   /// a tree only when the sink keeps items.
   Status ProcessBatch(ItemBatch* batch) override;
+  /// Folds any batched latency observations into the shared histograms.
+  Status OnFinish() override;
 
  private:
+  /// Latency observations accumulate in these plain (single-writer)
+  /// shards — a sink is only ever driven by one thread — and fold into
+  /// the sharded registry histograms every kLatencyFlushInterval stamped
+  /// arrivals and at Finish. Four atomic observes per delivered item
+  /// would dominate the record hot path otherwise.
+  struct LocalHist {
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+  static void ObserveLocal(LocalHist* local, const obs::Histogram& hist,
+                           double value);
+  void FlushLatency();
+  /// `now` is the arrival tick — NowUs() read once per delivered batch
+  /// (slots of one batch share their arrival instant, like a fed chunk
+  /// shares its ingress tick).
+  void RecordLatency(const latency::ItemStamp& stamp, uint64_t now);
+
   bool keep_items_;
   bool hash_items_ = false;
   uint64_t item_count_ = 0;
   uint64_t total_bytes_ = 0;
   uint64_t content_hash_ = 0;
   std::vector<ItemPtr> items_;
+  obs::Histogram* lat_e2e_ = nullptr;
+  obs::Histogram* lat_pipeline_ = nullptr;
+  obs::Histogram* lat_queue_ = nullptr;
+  obs::Histogram* lat_transport_ = nullptr;
+  LocalHist loc_e2e_;
+  LocalHist loc_pipeline_;
+  LocalHist loc_queue_;
+  LocalHist loc_transport_;
+  uint64_t unflushed_ = 0;
+  uint64_t last_ingress_us_ = 0;
+  uint64_t stamped_count_ = 0;
+  uint64_t stamp_regressions_ = 0;
 };
 
 /// Identity operator marking a tap point (stream entry at a node).

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "engine/executor.h"
+#include "engine/latency.h"
 #include "engine/link_queue.h"
 #include "engine/metrics.h"
 #include "engine/partition.h"
@@ -68,6 +69,9 @@ class QueuePortOp final : public Operator {
  protected:
   Status Process(const ItemPtr& item) override {
     pending_.AppendItem(item, /*adopt=*/false);
+    // A DOM-path emit carries its latency stamp in the thread-local
+    // ambient; persist it on the slot before the batch crosses threads.
+    pending_.slot(pending_.size() - 1).stamp = latency::Ambient();
     if (pending_.size() >= buffer_limit_) Flush();
     return Status::Ok();
   }
@@ -240,9 +244,16 @@ Status ParallelExecutor::Run(
   size_t worker_count = partition.worker_count;
 
   std::vector<WorkerPlan> workers(worker_count);
+  const bool stamping = latency::Enabled();
   for (size_t w = 0; w < worker_count; ++w) {
     workers[w].queue = std::make_unique<LinkQueue>(options_.queue_capacity);
     workers[w].queue->ResetStats();  // per-run stats even on reused queues
+    if (stamping && obs::Enabled()) {
+      workers[w].queue->SetResidencyHistogram(
+          obs::MetricsRegistry::Default().GetHistogram(
+              "engine.queue.worker." + std::to_string(w) + ".residency_us",
+              obs::Histogram::ExponentialBounds(50.0, 1.6, 24)));
+    }
     workers[w].peers = partition.worker_peers[w];
     workers[w].operator_count = partition.worker_operator_count[w];
     workers[w].downstream_workers = partition.worker_downstream[w];
@@ -341,6 +352,10 @@ Status ParallelExecutor::Run(
         size_t s = active[idx];
         buffers[s].AppendItem(item_lists[s][cursors[s]++],
                               options_.adopt_records);
+        if (stamping) {
+          buffers[s].slot(buffers[s].size() - 1).stamp.ingress_us =
+              latency::NowUs();
+        }
         if (buffers[s].size() >= options_.batch_size) {
           workers[partition.WorkerOf(entries[s])].queue->Push(
               LinkQueue::Entry{entries[s], std::move(buffers[s])});

@@ -30,6 +30,7 @@
 #include "common/decimal.h"
 #include "common/status.h"
 #include "engine/item.h"
+#include "engine/latency.h"
 #include "predicate/atomic.h"
 #include "xml/path.h"
 #include "xml/xml_node.h"
@@ -169,6 +170,11 @@ class ItemBatch {
     /// of `record` (is_record true; null until first Materialize).
     ItemPtr item;
     bool is_record = false;
+    /// Measured-latency stamp (latency.h). Unstamped by default; the
+    /// executors stamp freshly fed slots, AppendSlot forwards the stamp,
+    /// and operators that build new slots copy it explicitly. Excluded
+    /// from content hashes and equality — stamps never change results.
+    latency::ItemStamp stamp;
   };
 
   ItemBatch() = default;

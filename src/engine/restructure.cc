@@ -276,12 +276,19 @@ Status RestructureOp::ProcessBatch(ItemBatch* batch) {
   Status failure = Status::Ok();
   for (size_t i = 0; i < batch->size(); ++i) {
     ItemBatch::Slot& slot = batch->slot(i);
+    size_t first_output = scratch_.size();
     if (program_ != nullptr && slot.is_record) {
       program_->Run(slot.record, nullptr, &scratch_);
     } else {
       failure = EvaluateTree(*batch->Materialize(i), &scratch_);
-      if (!failure.ok()) break;
     }
+    // Every restructured output derives from this one input item, so its
+    // latency stamp carries over (including any outputs emitted before an
+    // evaluation error — the per-item path delivers that prefix too).
+    for (size_t j = first_output; j < scratch_.size(); ++j) {
+      scratch_.slot(j).stamp = slot.stamp;
+    }
+    if (!failure.ok()) break;
   }
   if (!scratch_.empty()) {
     SS_RETURN_IF_ERROR(EmitBatch(&scratch_));

@@ -202,6 +202,10 @@ Status WindowAggOp::ProcessRecord(const PhotonRecord& record) {
 Status WindowAggOp::ProcessBatch(ItemBatch* batch) {
   for (size_t i = 0; i < batch->size(); ++i) {
     const ItemBatch::Slot& slot = batch->slot(i);
+    // Window emissions ride the per-item Emit path; scope the triggering
+    // slot's stamp so a window that closes here is attributed to the item
+    // that closed it (matching the per-item fallback's semantics).
+    latency::AmbientScope stamp(slot.stamp);
     if (slot.is_record) {
       SS_RETURN_IF_ERROR(ProcessRecord(slot.record));
     } else {

@@ -74,7 +74,11 @@ std::string MetricsToJson(const std::vector<MetricSnapshot>& snapshot) {
            std::string(KindName(metric.kind)) + "\"";
     if (metric.kind == MetricSnapshot::Kind::kHistogram) {
       out += ",\"count\":" + std::to_string(metric.count) +
-             ",\"sum\":" + Number(metric.sum) + ",\"bounds\":[";
+             ",\"sum\":" + Number(metric.sum) +
+             ",\"max\":" + Number(metric.max) +
+             ",\"p50\":" + Number(metric.Quantile(0.50)) +
+             ",\"p95\":" + Number(metric.Quantile(0.95)) +
+             ",\"p99\":" + Number(metric.Quantile(0.99)) + ",\"bounds\":[";
       for (size_t b = 0; b < metric.bounds.size(); ++b) {
         if (b > 0) out += ",";
         out += Number(metric.bounds[b]);
@@ -95,21 +99,28 @@ std::string MetricsToJson(const std::vector<MetricSnapshot>& snapshot) {
 }
 
 std::string MetricsToCsv(const std::vector<MetricSnapshot>& snapshot) {
-  std::string out = "name,type,value,count,sum\n";
+  // Histograms export losslessly: a summary row carrying count / sum /
+  // max and the derived quantiles, then one bucket row per bucket
+  // (cumulative-free raw counts; `le=` is the inclusive upper edge), so
+  // the full vector a JSON consumer gets survives the CSV too.
+  std::string out = "name,type,value,count,sum,max,p50,p95,p99\n";
   for (const MetricSnapshot& metric : snapshot) {
     if (metric.kind == MetricSnapshot::Kind::kHistogram) {
-      out += metric.name + ",histogram," + "," +
-             std::to_string(metric.count) + "," + Number(metric.sum) + "\n";
+      out += metric.name + ",histogram,," + std::to_string(metric.count) +
+             "," + Number(metric.sum) + "," + Number(metric.max) + "," +
+             Number(metric.Quantile(0.50)) + "," +
+             Number(metric.Quantile(0.95)) + "," +
+             Number(metric.Quantile(0.99)) + "\n";
       for (size_t b = 0; b < metric.buckets.size(); ++b) {
         std::string edge = b < metric.bounds.size()
                                ? "le=" + Number(metric.bounds[b])
                                : "le=+inf";
         out += metric.name + "{" + edge + "},bucket," +
-               std::to_string(metric.buckets[b]) + ",,\n";
+               std::to_string(metric.buckets[b]) + ",,,,,,\n";
       }
     } else {
       out += metric.name + "," + std::string(KindName(metric.kind)) + "," +
-             Number(metric.value) + ",,\n";
+             Number(metric.value) + ",,,,,,\n";
     }
   }
   return out;

@@ -63,11 +63,20 @@ size_t Histogram::BucketFor(double value) const {
       bounds_.begin());
 }
 
+void Histogram::RaiseMax(std::atomic<double>* slot, double value) {
+  double seen = slot->load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot->compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
 void Histogram::ObserveToShard(size_t shard_index, double value) {
   Shard& shard = shards_[shard_index % kMetricShards];
   shard.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
   shard.count.fetch_add(1, std::memory_order_relaxed);
   shard.sum.fetch_add(value, std::memory_order_relaxed);
+  RaiseMax(&shard.max, value);
 }
 
 uint64_t Histogram::BucketValue(size_t bucket) const {
@@ -99,6 +108,14 @@ double Histogram::Sum() const {
   return total;
 }
 
+double Histogram::Max() const {
+  double max = 0.0;
+  for (const Shard& shard : shards_) {
+    max = std::max(max, shard.max.load(std::memory_order_relaxed));
+  }
+  return max;
+}
+
 void Histogram::Reset() {
   for (Shard& shard : shards_) {
     for (size_t i = 0; i < bucket_count(); ++i) {
@@ -106,7 +123,65 @@ void Histogram::Reset() {
     }
     shard.count.store(0, std::memory_order_relaxed);
     shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.max.store(0.0, std::memory_order_relaxed);
   }
+}
+
+double Histogram::QuantileFromBuckets(const std::vector<double>& bounds,
+                                      const std::vector<uint64_t>& buckets,
+                                      double q, double max_value) {
+  uint64_t total = 0;
+  for (uint64_t count : buckets) total += count;
+  if (total == 0 || buckets.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // The observation whose rank is ceil(q * total) (1-based); q = 0 asks
+  // for the first one.
+  double rank = q * static_cast<double>(total);
+  if (rank < 1.0) rank = 1.0;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    uint64_t before = cumulative;
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b >= bounds.size()) {
+      // Overflow bucket: no finite upper edge — report the tracked max,
+      // falling back to the last finite bound when nothing exceeded it
+      // (e.g. counts merged without a max).
+      double last = bounds.empty() ? 0.0 : bounds.back();
+      return std::max(max_value, last);
+    }
+    double lower = b == 0 ? 0.0 : bounds[b - 1];
+    double upper = bounds[b];
+    double within =
+        (rank - static_cast<double>(before)) /
+        static_cast<double>(buckets[b]);
+    double value = lower + (upper - lower) * within;
+    // Never report beyond what was actually observed.
+    if (max_value > 0.0 && value > max_value) value = max_value;
+    return value;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> buckets;
+  buckets.reserve(bucket_count());
+  for (size_t i = 0; i < bucket_count(); ++i) {
+    buckets.push_back(BucketValue(i));
+  }
+  return QuantileFromBuckets(bounds_, buckets, q, Max());
+}
+
+void Histogram::MergeCounts(const std::vector<uint64_t>& buckets,
+                            uint64_t count, double sum, double max_value) {
+  Shard& shard = shards_[CurrentShard() % kMetricShards];
+  size_t n = std::min(buckets.size(), bucket_count());
+  for (size_t i = 0; i < n; ++i) {
+    shard.buckets[i].fetch_add(buckets[i], std::memory_order_relaxed);
+  }
+  shard.count.fetch_add(count, std::memory_order_relaxed);
+  shard.sum.fetch_add(sum, std::memory_order_relaxed);
+  RaiseMax(&shard.max, max_value);
 }
 
 std::vector<double> Histogram::ExponentialBounds(double first,
@@ -170,6 +245,12 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return it->second.get();
 }
 
+Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
 std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSnapshot> out;
@@ -194,6 +275,7 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
     snapshot.kind = MetricSnapshot::Kind::kHistogram;
     snapshot.count = histogram->Count();
     snapshot.sum = histogram->Sum();
+    snapshot.max = histogram->Max();
     snapshot.bounds = histogram->bounds();
     snapshot.buckets.reserve(histogram->bucket_count());
     for (size_t i = 0; i < histogram->bucket_count(); ++i) {
@@ -206,6 +288,11 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
               return a.name < b.name;
             });
   return out;
+}
+
+double MetricSnapshot::Quantile(double q) const {
+  if (kind != Kind::kHistogram) return 0.0;
+  return Histogram::QuantileFromBuckets(bounds, buckets, q, max);
 }
 
 void MetricsRegistry::ResetAll() {

@@ -104,7 +104,30 @@ class Histogram {
   uint64_t ShardBucketValue(size_t shard, size_t bucket) const;
   uint64_t Count() const;
   double Sum() const;
+  /// Largest value ever observed (0 before any observation; meaningful
+  /// for the non-negative quantities this registry records).
+  double Max() const;
   void Reset();
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket the rank falls into. The first bucket interpolates from 0,
+  /// the overflow bucket returns the tracked max (or the last finite
+  /// bound when the max is not ahead of it); an empty histogram reports
+  /// 0. See QuantileFromBuckets for the exact rules.
+  double Quantile(double q) const;
+
+  /// The interpolation shared by Quantile and snapshot-side consumers
+  /// (exporters work from folded bucket vectors, not live histograms).
+  static double QuantileFromBuckets(const std::vector<double>& bounds,
+                                    const std::vector<uint64_t>& buckets,
+                                    double q, double max_value);
+
+  /// Folds externally collected counts into the calling thread's shard —
+  /// the cross-process merge path: a fork-per-worker transport child
+  /// snapshots its histograms into the report pipe and the parent folds
+  /// them here. `buckets` must have bucket_count() entries.
+  void MergeCounts(const std::vector<uint64_t>& buckets, uint64_t count,
+                   double sum, double max_value);
 
   /// Bounds {first, first*factor, ...} of length `count`.
   static std::vector<double> ExponentialBounds(double first, double factor,
@@ -118,7 +141,9 @@ class Histogram {
     std::unique_ptr<std::atomic<uint64_t>[]> buckets;
     std::atomic<uint64_t> count{0};
     std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
   };
+  static void RaiseMax(std::atomic<double>* slot, double value);
   std::vector<double> bounds_;
   std::array<Shard, kMetricShards> shards_;
 };
@@ -133,8 +158,12 @@ struct MetricSnapshot {
   /// Histogram-only fields.
   uint64_t count = 0;
   double sum = 0.0;
+  double max = 0.0;
   std::vector<double> bounds;
   std::vector<uint64_t> buckets;
+
+  /// Histogram quantile from the folded buckets (0 for other kinds).
+  double Quantile(double q) const;
 };
 
 /// Owns named metrics; pointers returned by Get* stay valid for the
@@ -153,6 +182,8 @@ class MetricsRegistry {
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name,
                           std::vector<double> upper_bounds);
+  /// The named histogram if it exists, else null (no creation).
+  Histogram* FindHistogram(std::string_view name) const;
 
   /// All metrics, folded, sorted by name.
   std::vector<MetricSnapshot> Snapshot() const;

@@ -1,0 +1,79 @@
+#include "sharing/latency_audit.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace streamshare::sharing {
+
+std::vector<QueryLatencyAudit> CollectLatencyAudit(
+    const std::vector<RegistrationResult>& registrations) {
+  std::vector<QueryLatencyAudit> audits;
+  for (const RegistrationResult& registration : registrations) {
+    if (!registration.accepted || registration.sink == nullptr) continue;
+    QueryLatencyAudit audit;
+    audit.query_id = registration.query_id;
+    for (const InputPlan& input : registration.plan.inputs) {
+      if (input.estimated_latency_ms > audit.predicted_ms) {
+        audit.predicted_ms = input.estimated_latency_ms;
+      }
+    }
+    const obs::Histogram* hist = registration.sink->latency_histogram();
+    if (hist != nullptr && hist->Count() > 0) {
+      audit.stamped_items = hist->Count();
+      audit.measured_p50_ms = hist->Quantile(0.50) / 1000.0;
+      audit.measured_p99_ms = hist->Quantile(0.99) / 1000.0;
+      audit.abs_error_ms =
+          std::fabs(audit.measured_p50_ms - audit.predicted_ms);
+      if (audit.predicted_ms > 0.0) {
+        audit.ratio = audit.measured_p50_ms / audit.predicted_ms;
+      }
+    }
+    audits.push_back(audit);
+  }
+  return audits;
+}
+
+void ExportLatencyAudit(const std::vector<QueryLatencyAudit>& audits,
+                        obs::MetricsRegistry* registry) {
+  for (const QueryLatencyAudit& audit : audits) {
+    if (!audit.has_measurement()) continue;
+    std::string prefix = "latency.audit.q" + std::to_string(audit.query_id);
+    registry->GetGauge(prefix + ".predicted_ms")->Set(audit.predicted_ms);
+    registry->GetGauge(prefix + ".measured_p50_ms")
+        ->Set(audit.measured_p50_ms);
+    registry->GetGauge(prefix + ".measured_p99_ms")
+        ->Set(audit.measured_p99_ms);
+    registry->GetGauge(prefix + ".abs_error_ms")->Set(audit.abs_error_ms);
+    registry->GetGauge(prefix + ".ratio")->Set(audit.ratio);
+  }
+}
+
+std::string FormatLatencyReport(
+    const std::vector<QueryLatencyAudit>& audits) {
+  std::string out = "=== latency audit (predicted vs measured) ===\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-6s %12s %12s %12s %10s %8s %8s\n",
+                "query", "predicted_ms", "meas_p50_ms", "meas_p99_ms",
+                "items", "err_ms", "ratio");
+  out += line;
+  for (const QueryLatencyAudit& audit : audits) {
+    if (!audit.has_measurement()) {
+      std::snprintf(line, sizeof(line), "q%-5d %12.3f %12s %12s %10s\n",
+                    audit.query_id, audit.predicted_ms, "-", "-",
+                    "(no stamps)");
+      out += line;
+      continue;
+    }
+    std::snprintf(
+        line, sizeof(line),
+        "q%-5d %12.3f %12.3f %12.3f %10llu %8.3f %8.2f\n", audit.query_id,
+        audit.predicted_ms, audit.measured_p50_ms, audit.measured_p99_ms,
+        static_cast<unsigned long long>(audit.stamped_items),
+        audit.abs_error_ms, audit.ratio);
+    out += line;
+  }
+  if (audits.empty()) out += "(no accepted queries)\n";
+  return out;
+}
+
+}  // namespace streamshare::sharing

@@ -4,9 +4,11 @@
 #include <chrono>
 
 #include "engine/combine.h"
+#include "engine/latency.h"
 #include "engine/restructure.h"
 #include "engine/window_agg.h"
 #include "obs/event_log.h"
+#include "sharing/latency_audit.h"
 #include "obs/trace.h"
 #include "transport/loopback.h"
 #include "transport/tcp.h"
@@ -542,6 +544,9 @@ Status StreamShareSystem::BuildDeployment(
   if (*sink == nullptr) {
     *sink = graph_.Add<engine::SinkOp>(
         "q" + std::to_string(query_id) + ":sink", config_.keep_results);
+    if (config_.measure_latency) {
+      (*sink)->EnableLatencyRecording("q" + std::to_string(query_id));
+    }
   }
   sink_parent->AddDownstream(*sink);
 
@@ -600,6 +605,7 @@ Status CollectEntries(
 Status StreamShareSystem::Run(
     const std::map<std::string, std::vector<engine::ItemPtr>>&
         items_by_stream) {
+  engine::latency::ScopedEnabled stamping(config_.measure_latency);
   if (config_.executor == ExecutorKind::kParallel) {
     return RunParallel(items_by_stream);
   }
@@ -621,6 +627,7 @@ Status StreamShareSystem::Run(
 Status StreamShareSystem::RunBatches(
     std::map<std::string, std::vector<engine::ItemBatch>>*
         batches_by_stream) {
+  engine::latency::ScopedEnabled stamping(config_.measure_latency);
   if (config_.executor != ExecutorKind::kSerial) {
     return Status::InvalidArgument(
         "RunBatches supports the serial executor only");
@@ -647,6 +654,7 @@ engine::ParallelOptions StreamShareSystem::EffectiveParallelOptions() const {
 Status StreamShareSystem::RunParallel(
     const std::map<std::string, std::vector<engine::ItemPtr>>&
         items_by_stream) {
+  engine::latency::ScopedEnabled stamping(config_.measure_latency);
   std::vector<engine::Operator*> entries;
   std::vector<std::vector<engine::ItemPtr>> item_lists;
   SS_RETURN_IF_ERROR(CollectEntries(stream_entries_, items_by_stream,
@@ -671,6 +679,7 @@ Status StreamShareSystem::RunTransportImpl(
     const std::vector<engine::Operator*>& entries,
     const std::vector<std::vector<engine::ItemPtr>>& item_lists,
     bool finish) {
+  engine::latency::ScopedEnabled stamping(config_.measure_latency);
   std::unique_ptr<transport::Transport> transport;
   if (config_.transport == "loopback") {
     transport = std::make_unique<transport::LoopbackTransport>();
@@ -718,6 +727,7 @@ Status StreamShareSystem::RunTransportImpl(
 Status StreamShareSystem::Feed(
     const std::map<std::string, std::vector<engine::ItemPtr>>&
         items_by_stream) {
+  engine::latency::ScopedEnabled stamping(config_.measure_latency);
   std::vector<engine::Operator*> entries;
   std::vector<std::vector<engine::ItemPtr>> item_lists;
   // A stream whose source peer failed no longer produces: its batches are
@@ -911,6 +921,28 @@ void StreamShareSystem::ExportMetrics(obs::MetricsRegistry* registry) const {
     registry->GetGauge(prefix + ".max_queue_depth")
         ->Set(static_cast<double>(stats.max_queue_depth));
   }
+  // Measured end-to-end latency per query. The sink histograms record
+  // microseconds (merged across worker processes in transport-process
+  // mode); the summary quantiles re-export as millisecond gauges so a
+  // JSON/CSV snapshot carries per-query p50/p95/p99 without the reader
+  // having to interpolate buckets itself.
+  for (const RegistrationResult& registration : registrations_) {
+    if (!registration.accepted || registration.sink == nullptr) continue;
+    const obs::Histogram* hist = registration.sink->latency_histogram();
+    if (hist == nullptr || hist->Count() == 0) continue;
+    std::string prefix =
+        "latency.query.q" + std::to_string(registration.query_id);
+    registry->GetGauge(prefix + ".p50_ms")
+        ->Set(hist->Quantile(0.50) / 1000.0);
+    registry->GetGauge(prefix + ".p95_ms")
+        ->Set(hist->Quantile(0.95) / 1000.0);
+    registry->GetGauge(prefix + ".p99_ms")
+        ->Set(hist->Quantile(0.99) / 1000.0);
+    registry->GetGauge(prefix + ".max_ms")->Set(hist->Max() / 1000.0);
+    registry->GetGauge(prefix + ".stamped_items")
+        ->Set(static_cast<double>(hist->Count()));
+  }
+  ExportLatencyAudit(CollectLatencyAudit(registrations_), registry);
 }
 
 }  // namespace streamshare::sharing

@@ -92,6 +92,12 @@ struct SystemConfig {
   /// fresh reference run a recovered deployment must match over
   /// post-recovery epochs.
   bool resume_mode = false;
+  /// Measured-latency plane: stamp every item at ingress and record
+  /// per-query end-to-end latency histograms at the sinks (exported as
+  /// latency.query.* / latency.audit.* metrics). Stamping never changes
+  /// results — only metrics — but costs one clock read per item, so
+  /// throughput benchmarks may switch it off.
+  bool measure_latency = true;
 };
 
 /// Outcome of registering one continuous query.

@@ -344,6 +344,60 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     }
   }
 
+  // --- Latency-plane oracle: stamping must never change results. -------
+  // The reference above ran with stamping on (the default). Re-run it
+  // with measure_latency off and demand bit-identical sink observations;
+  // then check the stamped reference itself saw monotone ingress ticks
+  // (serial feeding is ordered) and never stamped more than it delivered.
+  {
+    SystemConfig unstamped_config = serial_config;
+    unstamped_config.measure_latency = false;
+    SS_ASSIGN_OR_RETURN(
+        BuiltSystem unstamped,
+        BuildAndRegister(scenario, sharing::Strategy::kStreamSharing,
+                         unstamped_config, options));
+    SS_RETURN_IF_ERROR(
+        unstamped.system->Run(items).WithContext("serial-unstamped"));
+    ModeObservation unstamped_mode;
+    unstamped_mode.mode = "serial-unstamped";
+    Observe(unstamped, &unstamped_mode);
+    for (size_t q = 0; q < unstamped_mode.queries.size(); ++q) {
+      if (!SameObservation(reference_mode.queries[q],
+                           unstamped_mode.queries[q])) {
+        report.latency_ok = false;
+        fail("latency oracle: stamping changed results on " +
+             DescribeQuery(scenario, q) + " — stamped " +
+             ObservationString(reference_mode.queries[q]) +
+             ", unstamped " +
+             ObservationString(unstamped_mode.queries[q]));
+      }
+    }
+    for (const RegistrationResult& registration :
+         reference.system->registrations()) {
+      if (!registration.accepted || registration.sink == nullptr) continue;
+      report.stamped_results += registration.sink->stamped_count();
+      if (registration.sink->stamp_regressions() != 0) {
+        report.latency_ok = false;
+        fail("latency oracle: q" +
+             std::to_string(registration.query_id) + " observed " +
+             std::to_string(registration.sink->stamp_regressions()) +
+             " ingress-tick regressions on the serial reference");
+      }
+      // Every stamp belongs to a delivered item. Strict equality would be
+      // wrong for windowed queries: windows flushed at Finish are emitted
+      // after the feeding scopes unwind and are deliberately unstamped.
+      if (registration.sink->stamped_count() >
+          registration.sink->item_count()) {
+        report.latency_ok = false;
+        fail("latency oracle: q" +
+             std::to_string(registration.query_id) + " stamped " +
+             std::to_string(registration.sink->stamped_count()) + " of " +
+             std::to_string(registration.sink->item_count()) +
+             " delivered items on the serial reference");
+      }
+    }
+  }
+
   // --- Sharing oracle: item-identical to data shipping, C(P) no worse. --
   SS_ASSIGN_OR_RETURN(
       BuiltSystem baseline,
@@ -660,6 +714,9 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     }
     if (!report.recovery_ok) {
       options.metrics->GetCounter("fuzz.recovery_violations")->Add(1);
+    }
+    if (!report.latency_ok) {
+      options.metrics->GetCounter("fuzz.latency_violations")->Add(1);
     }
   }
   return report;

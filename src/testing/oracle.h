@@ -104,6 +104,13 @@ struct OracleReport {
   /// restricted (resume-mode) run, and torn-down subscriptions emitted
   /// nothing after their terminal event. Vacuously true without churn.
   bool recovery_ok = true;
+  /// Latency-plane invariants held: a serial run with stamping disabled
+  /// is bit-identical (counts, bytes, content hashes) to the stamped
+  /// serial reference — stamping changes metrics, never results — and
+  /// the stamped reference observed no ingress-tick regression at any
+  /// sink (serial feeding is ordered, so measured stamps must be
+  /// monotone non-decreasing).
+  bool latency_ok = true;
   /// First divergence, human-readable; empty when ok().
   std::string failure;
 
@@ -118,8 +125,14 @@ struct OracleReport {
   int churn_events = 0;
   int churn_replans = 0;
   int churn_lost = 0;
+  /// Results the stamped serial reference measured latency for (0 when a
+  /// scenario delivered nothing; otherwise every delivered item carried
+  /// its stamp to the sink).
+  uint64_t stamped_results = 0;
 
-  bool ok() const { return equivalence_ok && sharing_ok && recovery_ok; }
+  bool ok() const {
+    return equivalence_ok && sharing_ok && recovery_ok && latency_ok;
+  }
 };
 
 /// Executes the scenario under every enabled mode and diffs. Status errors

@@ -72,7 +72,8 @@ Status ChannelSender::AwaitCredit() {
 }
 
 Status ChannelSender::SendItem(uint64_t target,
-                               std::string_view encoded_item) {
+                               std::string_view encoded_item,
+                               const engine::latency::ItemStamp& stamp) {
   SS_RETURN_IF_ERROR(AwaitCredit());
   --credits_;
   uint64_t seq = next_seq_++;
@@ -88,18 +89,33 @@ Status ChannelSender::SendItem(uint64_t target,
         std::chrono::milliseconds(faults_.delay_ms));
   }
 
+  uint8_t version = kBaseWireVersion;
   std::string body;
-  body.reserve(encoded_item.size() + 12);
+  body.reserve(encoded_item.size() + 48);
   PutVarint(&body, seq);
   PutVarint(&body, target);
+  if (stamp.stamped() && engine::latency::Enabled()) {
+    // The v2 stamp extension, stateless per frame: the ingress tick is
+    // delta-encoded against this frame's own send tick (small varint),
+    // so an injected duplicate or drop cannot desynchronize decoding.
+    version = kWireVersion;
+    uint64_t send_tick = engine::latency::NowUs();
+    uint64_t ingress_delta =
+        send_tick > stamp.ingress_us ? send_tick - stamp.ingress_us : 0;
+    PutVarint(&body, 1);  // flags, bit 0 = stamped
+    PutVarint(&body, send_tick);
+    PutVarint(&body, ingress_delta);
+    PutVarint(&body, stamp.queue_us);
+    PutVarint(&body, stamp.transport_us);
+  }
   body.append(encoded_item);
-  Status status = end_->SendFrame(FrameType::kData, body);
+  Status status = end_->SendFrame(FrameType::kData, body, version);
   if (!status.ok()) return status.WithContext("channel " + label_);
   ++stats_.frames_sent;
   if (faults_.duplicate_period != 0 &&
       (seq + 1) % faults_.duplicate_period == 0) {
     ++stats_.faults_duplicated;
-    status = end_->SendFrame(FrameType::kData, body);
+    status = end_->SendFrame(FrameType::kData, body, version);
     if (!status.ok()) return status.WithContext("channel " + label_);
     ++stats_.frames_sent;
   }
@@ -150,7 +166,9 @@ Status ChannelReceiver::Recv(Incoming* out) {
   while (true) {
     FrameType type;
     std::string body;
-    Status status = end_->RecvFrame(&type, &body, /*timeout_ms=*/-1);
+    uint8_t version = kBaseWireVersion;
+    Status status =
+        end_->RecvFrame(&type, &body, /*timeout_ms=*/-1, &version);
     if (!status.ok()) return status.WithContext("channel " + label_);
     std::string_view view = body;
     switch (type) {
@@ -169,6 +187,28 @@ Status ChannelReceiver::Recv(Incoming* out) {
               "channel " + label_ + ": frame loss detected (expected seq " +
               std::to_string(expected_seq_) + ", got " +
               std::to_string(seq) + ")");
+        }
+        out->stamp = engine::latency::ItemStamp{};
+        if (version >= kWireVersion) {
+          uint64_t flags = 0, send_tick = 0, ingress_delta = 0;
+          uint64_t queue_us = 0, transport_us = 0;
+          if (!GetVarint(&view, &flags) || !GetVarint(&view, &send_tick) ||
+              !GetVarint(&view, &ingress_delta) ||
+              !GetVarint(&view, &queue_us) ||
+              !GetVarint(&view, &transport_us)) {
+            return Status::ParseError("channel " + label_ +
+                                      ": malformed DATA stamp extension");
+          }
+          if ((flags & 1) != 0) {
+            uint64_t now = engine::latency::NowUs();
+            out->stamp.ingress_us =
+                send_tick > ingress_delta ? send_tick - ingress_delta : 1;
+            out->stamp.queue_us = queue_us;
+            // This hop's wire time; the steady clock is system-wide, so
+            // the send tick of a fork-per-worker peer compares directly.
+            out->stamp.transport_us =
+                transport_us + (now > send_tick ? now - send_tick : 0);
+          }
         }
         ++expected_seq_;
         ++stats_.items_delivered;

@@ -28,6 +28,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "engine/latency.h"
 #include "transport/transport.h"
 #include "transport/wire.h"
 
@@ -90,7 +91,14 @@ class ChannelSender {
   /// Sends one encoded item to operator `target` on the receiving
   /// worker. Waits for credit first; a stall past the timeout budget
   /// (max_retries retries with backoff) fails with DeadlineExceeded.
-  Status SendItem(uint64_t target, std::string_view encoded_item);
+  /// A stamped `stamp` rides along as the v2 frame extension (the
+  /// receiver rebuilds it, transport time credited); an unstamped one
+  /// keeps the frame at the v1 layout, byte-identical to the old wire.
+  Status SendItem(uint64_t target, std::string_view encoded_item,
+                  const engine::latency::ItemStamp& stamp);
+  Status SendItem(uint64_t target, std::string_view encoded_item) {
+    return SendItem(target, encoded_item, engine::latency::ItemStamp{});
+  }
 
   /// Sends EOS carrying the total DATA count; the receiver uses it to
   /// detect tail loss. Call exactly once, after the last item.
@@ -136,6 +144,10 @@ class ChannelReceiver {
     uint64_t target = 0;     ///< DATA: operator index on this worker
     std::string item_bytes;  ///< DATA: encoded item
     std::string error;       ///< ERROR: the sender's message
+    /// DATA: the item's latency stamp, rebuilt from the v2 frame
+    /// extension with this hop's wire time added; unstamped for v1
+    /// frames and unstamped senders.
+    engine::latency::ItemStamp stamp;
   };
 
   ChannelReceiver(std::string label, std::unique_ptr<PipeEnd> end,

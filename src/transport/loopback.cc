@@ -13,11 +13,17 @@ namespace {
 
 /// State shared by the two ends. frames[i] holds frames destined for end
 /// i. The deques are unbounded here because the flow-control layer above
-/// bounds DATA frames in flight by the credit window.
+/// bounds DATA frames in flight by the credit window. Loopback never
+/// serializes frames, so the wire version rides in the queued entry.
 struct LoopbackState {
+  struct QueuedFrame {
+    FrameType type;
+    std::string body;
+    uint8_t version;
+  };
   std::mutex mu;
   std::condition_variable cv[2];
-  std::deque<std::pair<FrameType, std::string>> frames[2];
+  std::deque<QueuedFrame> frames[2];
   bool end_closed[2] = {false, false};
 };
 
@@ -28,19 +34,21 @@ class LoopbackEnd final : public PipeEnd {
 
   ~LoopbackEnd() override { Close(); }
 
-  Status SendFrame(FrameType type, std::string_view body) override {
+  Status SendFrame(FrameType type, std::string_view body,
+                   uint8_t version) override {
     int peer = 1 - side_;
     std::lock_guard<std::mutex> lock(state_->mu);
     if (state_->end_closed[side_] || state_->end_closed[peer]) {
       return Status::Unavailable("loopback pipe closed");
     }
-    state_->frames[peer].emplace_back(type, std::string(body));
+    state_->frames[peer].push_back(
+        LoopbackState::QueuedFrame{type, std::string(body), version});
     state_->cv[peer].notify_one();
     return Status::Ok();
   }
 
-  Status RecvFrame(FrameType* type, std::string* body,
-                   int timeout_ms) override {
+  Status RecvFrame(FrameType* type, std::string* body, int timeout_ms,
+                   uint8_t* version) override {
     std::unique_lock<std::mutex> lock(state_->mu);
     auto ready = [this] {
       return !state_->frames[side_].empty() ||
@@ -56,8 +64,9 @@ class LoopbackEnd final : public PipeEnd {
       return Status::Unavailable("loopback pipe closed");
     }
     auto& front = state_->frames[side_].front();
-    *type = front.first;
-    *body = std::move(front.second);
+    *type = front.type;
+    *body = std::move(front.body);
+    if (version != nullptr) *version = front.version;
     state_->frames[side_].pop_front();
     return Status::Ok();
   }

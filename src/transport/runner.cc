@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "engine/executor.h"
+#include "engine/latency.h"
 #include "engine/link_queue.h"
 #include "engine/metrics.h"
 #include "obs/metrics_registry.h"
@@ -125,7 +126,10 @@ class TransportPortOp final : public Operator {
     }
     ++edge_->items;
     edge_->encoded_bytes += buffer_.size();
-    return sender_->SendItem(target_index_, buffer_);
+    // DOM-path emits carry the latency stamp in the thread-local ambient;
+    // it crosses the wire as the v2 frame extension.
+    return sender_->SendItem(target_index_, buffer_,
+                             engine::latency::Ambient());
   }
 
   /// Record slots encode straight from the record's schema walk — same
@@ -152,7 +156,8 @@ class TransportPortOp final : public Operator {
       }
       ++edge_->items;
       edge_->encoded_bytes += buffer_.size();
-      SS_RETURN_IF_ERROR(sender_->SendItem(target_index_, buffer_));
+      SS_RETURN_IF_ERROR(
+          sender_->SendItem(target_index_, buffer_, slot.stamp));
     }
     return Status::Ok();
   }
@@ -230,6 +235,9 @@ void ReceiveChannel(WorkerRt* w, ChannelRt* ch, const PartitionPlan& plan,
           decoded.WithContext("channel " + ch->receiver->label()));
       break;
     }
+    // The wire carries the stamp outside the item bytes; restore it onto
+    // the decoded slot so it keeps riding toward the sink.
+    slot.stamp = in.stamp;
     LinkQueue::Entry entry;
     entry.target = plan.ops[in.target];
     entry.batch.AppendSlot(slot);
@@ -257,12 +265,17 @@ void FeedEntries(WorkerRt* w, const std::vector<Operator*>& entries,
     buffers[i].reserve(batch_size);
     if (!item_lists[w->entry_streams[i]].empty()) active.push_back(i);
   }
+  const bool stamping = engine::latency::Enabled();
   while (!active.empty() && !abort->aborted()) {
     size_t write = 0;
     for (size_t idx = 0; idx < active.size(); ++idx) {
       size_t i = active[idx];
       size_t s = w->entry_streams[i];
       buffers[i].AppendItem(item_lists[s][cursors[i]++], adopt_records);
+      if (stamping) {
+        buffers[i].slot(buffers[i].size() - 1).stamp.ingress_us =
+            engine::latency::NowUs();
+      }
       if (buffers[i].size() >= batch_size) {
         w->queue->Push(LinkQueue::Entry{entries[s], std::move(buffers[i])});
         buffers[i] = engine::ItemBatch();
@@ -366,7 +379,7 @@ void RunWorker(WorkerRt* w, const PartitionPlan& plan,
 // A child serializes everything it measured into one varint-framed blob
 // and writes it to its report pipe before _exit(0):
 //
-//   varint version (1)
+//   varint version (2)
 //   varint status code | string message
 //   varint #metric shards | per shard: varint #links, varint bytes each;
 //                           varint #peers, double work + varint items each
@@ -375,10 +388,18 @@ void RunWorker(WorkerRt* w, const PartitionPlan& plan,
 //   varint #channel halves | per half: varint channel index, 10 varints
 //                            (ChannelStats fields in declaration order)
 //   queue stats: 4 varints (entries, producer ns, consumer ns, max depth)
+//   varint #histograms | per histogram (v2): string name,
+//                        varint #bounds + double each,
+//                        varint count, double sum, double max,
+//                        varint #buckets + varint each
 //
 // Shard order is the deterministic first-seen order of the rebind pass,
 // which parent and child share (the child is a fork of the parent taken
-// after that pass), so no names or ids travel with the shards.
+// after that pass), so no names or ids travel with the shards. The
+// histogram section carries names: it ships every non-empty registry
+// histogram (latency and queue-residency series), and the child calls
+// MetricsRegistry::ResetAll right after fork so the counts are pure
+// run-deltas the parent can MergeCounts without double counting.
 
 void PutDouble(std::string* out, double value) {
   char bytes[sizeof(double)];
@@ -479,7 +500,7 @@ bool ReadAll(int fd, std::string* out) {
   }
 }
 
-inline constexpr uint64_t kReportVersion = 1;
+inline constexpr uint64_t kReportVersion = 2;
 
 struct SinkBaseline {
   size_t op_index = 0;
@@ -555,6 +576,15 @@ Status PartitionedRunner::Run(
     workers[w].operator_count = plan.worker_operator_count[w];
     workers[w].queue =
         std::make_unique<LinkQueue>(options_.parallel.queue_capacity);
+    if (engine::latency::Enabled() && obs::Enabled()) {
+      // Registered before any fork, so process-mode children observe into
+      // a histogram the parent also owns and can merge reports into.
+      workers[w].queue->SetResidencyHistogram(
+          obs::MetricsRegistry::Default().GetHistogram(
+              "transport.queue.worker." + std::to_string(w) +
+                  ".residency_us",
+              obs::Histogram::ExponentialBounds(50.0, 1.6, 24)));
+    }
   }
   for (size_t s = 0; s < entries.size(); ++s) {
     WorkerRt& w = workers[plan.WorkerOf(entries[s])];
@@ -765,6 +795,11 @@ Status PartitionedRunner::Run(
           if (channel->source_worker != w) channel->sender->Close();
           if (channel->target_worker != w) channel->receiver->Close();
         }
+        // Zero the inherited registry (identities survive, so cached
+        // histogram pointers stay valid): everything this child observes
+        // from here on is a pure run-delta its report can hand the parent
+        // to MergeCounts without double counting the pre-fork totals.
+        obs::MetricsRegistry::Default().ResetAll();
 
         AbortState abort;
         RunWorker(&workers[w], plan, entries, item_lists, batch_size,
@@ -843,6 +878,33 @@ Status PartitionedRunner::Run(
         PutVarint(&report, workers[w].queue->producer_blocked_ns());
         PutVarint(&report, workers[w].queue->consumer_blocked_ns());
         PutVarint(&report, workers[w].queue->max_depth());
+
+        {
+          std::vector<obs::MetricSnapshot> metrics =
+              obs::MetricsRegistry::Default().Snapshot();
+          uint64_t histogram_count = 0;
+          for (const obs::MetricSnapshot& m : metrics) {
+            if (m.kind == obs::MetricSnapshot::Kind::kHistogram &&
+                m.count > 0) {
+              ++histogram_count;
+            }
+          }
+          PutVarint(&report, histogram_count);
+          for (const obs::MetricSnapshot& m : metrics) {
+            if (m.kind != obs::MetricSnapshot::Kind::kHistogram ||
+                m.count == 0) {
+              continue;
+            }
+            PutString(&report, m.name);
+            PutVarint(&report, m.bounds.size());
+            for (double bound : m.bounds) PutDouble(&report, bound);
+            PutVarint(&report, m.count);
+            PutDouble(&report, m.sum);
+            PutDouble(&report, m.max);
+            PutVarint(&report, m.buckets.size());
+            for (uint64_t bucket : m.buckets) PutVarint(&report, bucket);
+          }
+        }
 
         WriteAll(report_write[w], report);
         ::close(report_write[w]);
@@ -972,6 +1034,41 @@ Status PartitionedRunner::Run(
         run_stats_.workers[w].producer_blocked_ns = producer_ns;
         run_stats_.workers[w].consumer_blocked_ns = consumer_ns;
         run_stats_.workers[w].max_queue_depth = max_depth;
+      }
+
+      uint64_t histogram_count = 0;
+      ok = ok && GetVarint(&data, &histogram_count);
+      for (uint64_t i = 0; ok && i < histogram_count; ++i) {
+        std::string name;
+        uint64_t bound_count = 0;
+        ok = GetString(&data, &name) && GetVarint(&data, &bound_count) &&
+             bound_count <= 4096;
+        std::vector<double> bounds;
+        bounds.reserve(ok ? bound_count : 0);
+        for (uint64_t b = 0; ok && b < bound_count; ++b) {
+          double edge = 0.0;
+          ok = GetDouble(&data, &edge);
+          bounds.push_back(edge);
+        }
+        uint64_t count = 0, bucket_count = 0;
+        double sum = 0.0, max_value = 0.0;
+        ok = ok && GetVarint(&data, &count) && GetDouble(&data, &sum) &&
+             GetDouble(&data, &max_value) &&
+             GetVarint(&data, &bucket_count) && bucket_count <= 4096;
+        std::vector<uint64_t> buckets;
+        buckets.reserve(ok ? bucket_count : 0);
+        for (uint64_t b = 0; ok && b < bucket_count; ++b) {
+          uint64_t value = 0;
+          ok = GetVarint(&data, &value);
+          buckets.push_back(value);
+        }
+        if (ok) {
+          // Usually already registered pre-fork (same-process identity);
+          // the bounds only matter for a series the parent never saw.
+          obs::MetricsRegistry::Default()
+              .GetHistogram(name, std::move(bounds))
+              ->MergeCounts(buckets, count, sum, max_value);
+        }
       }
       if (!ok && statuses[w].ok()) {
         report_error("truncated or malformed report");

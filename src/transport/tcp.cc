@@ -30,11 +30,12 @@ class TcpPipeEnd final : public PipeEnd {
 
   ~TcpPipeEnd() override { Close(); }
 
-  Status SendFrame(FrameType type, std::string_view body) override {
+  Status SendFrame(FrameType type, std::string_view body,
+                   uint8_t version) override {
     if (fd_ < 0) return Status::Unavailable(label_ + ": pipe closed");
     std::string frame;
     frame.reserve(body.size() + 12);
-    AppendFrame(&frame, type, body);
+    AppendFrame(&frame, type, body, version);
     size_t off = 0;
     while (off < frame.size()) {
       // MSG_NOSIGNAL: a vanished peer must surface as a Status, not a
@@ -54,8 +55,8 @@ class TcpPipeEnd final : public PipeEnd {
     return Status::Ok();
   }
 
-  Status RecvFrame(FrameType* type, std::string* body,
-                   int timeout_ms) override {
+  Status RecvFrame(FrameType* type, std::string* body, int timeout_ms,
+                   uint8_t* version) override {
     if (fd_ < 0) return Status::Unavailable(label_ + ": pipe closed");
     Clock::time_point deadline =
         Clock::now() + std::chrono::milliseconds(timeout_ms);
@@ -65,6 +66,7 @@ class TcpPipeEnd final : public PipeEnd {
       switch (ParseFrame(rx_buffer_, &frame, &consumed)) {
         case ParseResult::kFrame:
           *type = frame.type;
+          if (version != nullptr) *version = frame.version;
           body->assign(frame.body);
           rx_buffer_.erase(0, consumed);
           return Status::Ok();

@@ -22,15 +22,25 @@ class PipeEnd {
  public:
   virtual ~PipeEnd() = default;
 
-  /// Sends one frame. Blocks until the transport accepted it.
-  /// Unavailable once the peer end is closed.
-  virtual Status SendFrame(FrameType type, std::string_view body) = 0;
+  /// Sends one frame at `version` (kBaseWireVersion for extension-free
+  /// frames, kWireVersion for DATA with a latency stamp). Blocks until
+  /// the transport accepted it. Unavailable once the peer end is closed.
+  virtual Status SendFrame(FrameType type, std::string_view body,
+                           uint8_t version) = 0;
+  Status SendFrame(FrameType type, std::string_view body) {
+    return SendFrame(type, body, kBaseWireVersion);
+  }
 
-  /// Receives the next frame sent by the peer end into *type / *body.
-  /// Blocks up to `timeout_ms` (<0 = forever). DeadlineExceeded on
-  /// timeout, Unavailable when the peer closed with nothing left to read.
+  /// Receives the next frame sent by the peer end into *type / *body,
+  /// and its wire version into *version (may be null when the caller
+  /// does not care). Blocks up to `timeout_ms` (<0 = forever).
+  /// DeadlineExceeded on timeout, Unavailable when the peer closed with
+  /// nothing left to read.
   virtual Status RecvFrame(FrameType* type, std::string* body,
-                           int timeout_ms) = 0;
+                           int timeout_ms, uint8_t* version) = 0;
+  Status RecvFrame(FrameType* type, std::string* body, int timeout_ms) {
+    return RecvFrame(type, body, timeout_ms, nullptr);
+  }
 
   /// Closes this end; the peer's RecvFrame drains then reports
   /// Unavailable, its SendFrame may fail. Idempotent.

@@ -37,9 +37,10 @@ bool GetVarint(std::string_view* data, uint64_t* value) {
   return true;
 }
 
-void AppendFrame(std::string* out, FrameType type, std::string_view body) {
+void AppendFrame(std::string* out, FrameType type, std::string_view body,
+                 uint8_t version) {
   PutVarint(out, body.size() + 2);  // version + type
-  out->push_back(static_cast<char>(kWireVersion));
+  out->push_back(static_cast<char>(version));
   out->push_back(static_cast<char>(type));
   out->append(body);
 }
@@ -58,7 +59,8 @@ ParseResult ParseFrame(std::string_view buffer, Frame* frame,
     return ParseResult::kMalformed;
   }
   if (rest.size() < length) return ParseResult::kNeedMore;
-  if (static_cast<uint8_t>(rest[0]) != kWireVersion) {
+  uint8_t version = static_cast<uint8_t>(rest[0]);
+  if (version < kBaseWireVersion || version > kWireVersion) {
     return ParseResult::kMalformed;
   }
   uint8_t type = static_cast<uint8_t>(rest[1]);
@@ -67,6 +69,7 @@ ParseResult ParseFrame(std::string_view buffer, Frame* frame,
     return ParseResult::kMalformed;
   }
   frame->type = static_cast<FrameType>(type);
+  frame->version = version;
   frame->body = rest.substr(2, length - 2);
   *consumed = (buffer.size() - rest.size()) + length;
   return ParseResult::kFrame;

@@ -5,10 +5,21 @@
 //
 // where the length covers version, type, and body. Frame bodies:
 //
-//   DATA    varint seq | varint target op index | encoded item (codec.h)
-//   EOS     varint total DATA frames sent (dropped ones included)
-//   CREDIT  varint credits granted
-//   ERROR   message bytes, raw
+//   DATA v1  varint seq | varint target op index | encoded item (codec.h)
+//   DATA v2  varint seq | varint target | varint flags |
+//            varint send tick µs | varint (send tick − ingress tick) |
+//            varint queue µs | varint transport µs | encoded item
+//   EOS      varint total DATA frames sent (dropped ones included)
+//   CREDIT   varint credits granted
+//   ERROR    message bytes, raw
+//
+// Version 2 only exists to carry the measured-latency stamp
+// (engine/latency.h): flags bit 0 marks a stamped item, the ingress tick
+// is delta-encoded against the send tick, and the encoding is stateless
+// per frame so injected duplicates/drops cannot desynchronize it.
+// Frames without an extension — EOS, CREDIT, ERROR, and unstamped DATA —
+// are still emitted at version 1, byte-identical to the previous wire,
+// and a v1-only peer's frames still parse here.
 //
 // See docs/TRANSPORT.md for the full format table.
 
@@ -23,9 +34,15 @@
 
 namespace streamshare::transport {
 
-/// Bump when the frame layout changes; a receiver rejects frames whose
-/// version it does not speak.
-inline constexpr uint8_t kWireVersion = 1;
+/// Base frame layout every peer speaks. Extension-free frames (EOS,
+/// CREDIT, ERROR, unstamped DATA) are emitted at this version so a run
+/// with stamping off stays byte-identical to the original wire.
+inline constexpr uint8_t kBaseWireVersion = 1;
+
+/// Highest version this build emits or parses; a receiver rejects frames
+/// whose version it does not speak. Version 2 = DATA frames carrying the
+/// latency-stamp extension.
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Largest payload a receiver accepts — a corrupted length prefix must
 /// not make it allocate gigabytes.
@@ -50,11 +67,13 @@ bool GetVarint(const uint8_t** pos, const uint8_t* end, uint64_t* value);
 bool GetVarint(std::string_view* data, uint64_t* value);
 
 /// Appends one whole frame (length prefix, version, type, body).
-void AppendFrame(std::string* out, FrameType type, std::string_view body);
+void AppendFrame(std::string* out, FrameType type, std::string_view body,
+                 uint8_t version = kBaseWireVersion);
 
 /// One parsed frame; `body` aliases the parse buffer.
 struct Frame {
   FrameType type = FrameType::kError;
+  uint8_t version = kBaseWireVersion;
   std::string_view body;
 };
 

@@ -180,6 +180,83 @@ TEST(MetricsRegistryTest, ConcurrentIncrementsLoseNothing) {
             static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
+// ---------------- bucket-interpolating quantiles (p50/p95/p99) ----------
+
+TEST(HistogramQuantileTest, EmptyHistogramReportsZero) {
+  Histogram histogram({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      Histogram::QuantileFromBuckets({1.0, 2.0}, {}, 0.5, 0.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, SingleBucketInterpolatesAndClampsToMax) {
+  Histogram histogram({10.0});
+  for (int i = 0; i < 4; ++i) histogram.Observe(5.0);
+  // Rank q*4 interpolates linearly across the [0,10] bucket: rank 1 of 4
+  // lands a quarter of the way in. q=0 clamps its rank up to the first
+  // observation rather than reporting the impossible value 0-of-4.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 5.0);
+  // The interpolated upper edge (10) exceeds anything actually observed;
+  // the tracked max (5) caps the report.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 5.0);
+}
+
+TEST(HistogramQuantileTest, InterpolatesAcrossBuckets) {
+  Histogram histogram({10.0, 20.0, 30.0});
+  for (double value : {5.0, 15.0, 15.0, 25.0}) histogram.Observe(value);
+  // rank 2 of 4 falls in the (10,20] bucket holding observations 2..3:
+  // halfway through it.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 15.0);
+  // rank 3 of 4 is that bucket's last observation: its upper edge.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.75), 20.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 25.0);
+}
+
+TEST(HistogramQuantileTest, OverflowBucketReportsTrackedMax) {
+  Histogram histogram({1.0, 2.0});
+  histogram.Observe(0.5);
+  histogram.Observe(50.0);
+  histogram.Observe(80.0);
+  // p99's rank lands in the overflow bucket, which has no finite upper
+  // edge: the tracked max is the honest answer.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 80.0);
+  // Counts merged without a max (max_value = 0) fall back to the last
+  // finite bound instead of claiming a max nobody tracked.
+  EXPECT_DOUBLE_EQ(
+      Histogram::QuantileFromBuckets({1.0, 2.0}, {0, 0, 3}, 0.5, 0.0),
+      2.0);
+}
+
+TEST(HistogramQuantileTest, MergeCountsFoldsRemoteShardIn) {
+  Histogram histogram({1.0, 2.0});
+  histogram.Observe(0.5);
+  // A worker process's serialized shard: bucket counts, count, sum, max.
+  histogram.MergeCounts({1, 2, 1}, 4, 7.0, 5.0);
+  EXPECT_EQ(histogram.Count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 7.5);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 5.0);
+  EXPECT_EQ(histogram.BucketValue(0), 2u);
+  EXPECT_EQ(histogram.BucketValue(1), 2u);
+  EXPECT_EQ(histogram.BucketValue(2), 1u);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 5.0);
+}
+
+TEST(HistogramQuantileTest, SnapshotQuantileMatchesLiveHistogram) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("q.micros", {10.0, 20.0, 30.0});
+  for (double value : {5.0, 15.0, 15.0, 25.0}) histogram->Observe(value);
+  std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot[0].Quantile(0.5), histogram->Quantile(0.5));
+  EXPECT_DOUBLE_EQ(snapshot[0].Quantile(0.99), histogram->Quantile(0.99));
+  EXPECT_DOUBLE_EQ(snapshot[0].max, 25.0);
+}
+
 ItemPtr Leaf(const std::string& name, const std::string& text) {
   auto node = std::make_unique<xml::XmlNode>(name);
   node->set_text(text);

@@ -112,6 +112,61 @@ TEST(FrameTest, RejectsBadVersionTypeAndLength) {
             transport::ParseResult::kMalformed);
 }
 
+// --- Wire-format versioning (the v2 latency-stamp extension) ------------
+
+TEST(FrameVersionTest, DefaultFramesAreByteIdenticalToPriorWire) {
+  // A frame without the stamp extension must serialize exactly as wire
+  // version 1 did before the extension existed: len varint, version byte
+  // 1, type byte, body. Old decoders keep working on every frame the new
+  // code emits for EOS/CREDIT/ERROR and unstamped DATA.
+  std::string frame;
+  transport::AppendFrame(&frame, FrameType::kData, "abc");
+  std::string expected;
+  transport::PutVarint(&expected, 3 + 2);
+  expected.push_back(static_cast<char>(transport::kBaseWireVersion));
+  expected.push_back(static_cast<char>(FrameType::kData));
+  expected += "abc";
+  EXPECT_EQ(frame, expected);
+
+  std::string explicit_v1;
+  transport::AppendFrame(&explicit_v1, FrameType::kData, "abc",
+                         transport::kBaseWireVersion);
+  EXPECT_EQ(explicit_v1, frame);
+}
+
+TEST(FrameVersionTest, BothVersionsRoundTripAndReportTheirVersion) {
+  for (uint8_t version :
+       {transport::kBaseWireVersion, transport::kWireVersion}) {
+    std::string buffer;
+    transport::AppendFrame(&buffer, FrameType::kData, "payload", version);
+    transport::Frame frame;
+    size_t consumed = 0;
+    ASSERT_EQ(transport::ParseFrame(buffer, &frame, &consumed),
+              transport::ParseResult::kFrame)
+        << "version " << int{version};
+    EXPECT_EQ(frame.version, version);
+    EXPECT_EQ(frame.body, "payload");
+    EXPECT_EQ(consumed, buffer.size());
+  }
+}
+
+TEST(FrameVersionTest, PriorVersionFrameStillDecodes) {
+  // A byte stream captured from the pre-extension wire (version byte 1)
+  // must parse unchanged — mixed-version peers interoperate.
+  std::string old_wire;
+  transport::PutVarint(&old_wire, 2 + 7);
+  old_wire.push_back(1);  // the literal pre-extension version byte
+  old_wire.push_back(static_cast<char>(FrameType::kError));
+  old_wire += "oh dear";
+  transport::Frame frame;
+  size_t consumed = 0;
+  ASSERT_EQ(transport::ParseFrame(old_wire, &frame, &consumed),
+            transport::ParseResult::kFrame);
+  EXPECT_EQ(frame.version, transport::kBaseWireVersion);
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(frame.body, "oh dear");
+}
+
 // --- Item codec ---------------------------------------------------------
 
 std::unique_ptr<xml::XmlNode> Photon(int id) {

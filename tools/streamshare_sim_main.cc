@@ -8,6 +8,7 @@
 //                   [--transport-threads] [--fail-peer=ID@OFFSET]
 //                   [--cut-link=A-B@OFFSET] [--trace=FILE]
 //                   [--metrics=FILE] [--explain] [--log]
+//                   [--latency-report] [--no-stamping]
 //
 // --transport runs the deployed network over the transport layer (binary
 // codec + credit-based flow control) instead of in-process pointer
@@ -25,8 +26,13 @@
 // Observability: --trace writes a Chrome trace_event JSON (load it in
 // chrome://tracing or Perfetto), --metrics writes a registry snapshot
 // (JSON, or CSV when FILE ends in .csv), --explain prints the candidate
-// plans Subscribe costed per query with the chosen one marked, and --log
-// streams structured events to stderr.
+// plans Subscribe costed per query with the chosen one marked (plus each
+// accepted query's predicted-vs-measured latency), and --log streams
+// structured events to stderr. --latency-report prints the per-query
+// latency audit table: the plan's estimated delivery latency next to the
+// p50/p99 actually measured at the sink from per-item ingress stamps.
+// --no-stamping disables the measured-latency plane (items are not
+// stamped; the audit has nothing to report).
 //
 // Exit code 0 on success.
 
@@ -34,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,6 +49,7 @@
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "sharing/latency_audit.h"
 #include "workload/scenario.h"
 
 using namespace streamshare;
@@ -62,6 +70,8 @@ struct Options {
   bool transport_threads = false;
   bool explain = false;
   bool log = false;
+  bool latency_report = false;
+  bool no_stamping = false;
   std::string trace_path;
   std::string metrics_path;
   std::vector<workload::ChurnEvent> churn;
@@ -118,7 +128,7 @@ int Usage(const char* program) {
       "[--executor=serial|parallel] [--transport=loopback|tcp] "
       "[--transport-threads] [--fail-peer=ID@OFFSET] "
       "[--cut-link=A-B@OFFSET] [--trace=FILE] [--metrics=FILE] "
-      "[--explain] [--log]\n",
+      "[--explain] [--log] [--latency-report] [--no-stamping]\n",
       program);
   return 1;
 }
@@ -184,6 +194,10 @@ int main(int argc, char** argv) {
       options.explain = true;
     } else if (std::strcmp(argv[i], "--log") == 0) {
       options.log = true;
+    } else if (std::strcmp(argv[i], "--latency-report") == 0) {
+      options.latency_report = true;
+    } else if (std::strcmp(argv[i], "--no-stamping") == 0) {
+      options.no_stamping = true;
     } else {
       return Usage(argv[0]);
     }
@@ -209,6 +223,7 @@ int main(int argc, char** argv) {
   sharing::SystemConfig config;
   config.planner.enable_widening = options.widening;
   config.enforce_limits = options.enforce_limits;
+  config.measure_latency = !options.no_stamping;
   if (options.parallel) {
     config.executor = sharing::ExecutorKind::kParallel;
   }
@@ -336,6 +351,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::vector<sharing::QueryLatencyAudit> audits =
+      sharing::CollectLatencyAudit(run->system->registrations());
+  std::map<int, const sharing::QueryLatencyAudit*> audit_by_query;
+  for (const sharing::QueryLatencyAudit& audit : audits) {
+    audit_by_query[audit.query_id] = &audit;
+  }
+
+  if (options.latency_report) {
+    std::printf("\n%s", sharing::FormatLatencyReport(audits).c_str());
+  }
+
   if (options.explain) {
     // Candidate-plan cost breakdown: every plan Subscribe costed, with
     // the one the cost model chose marked '*'. The chosen line's C(P)
@@ -345,6 +371,17 @@ int main(int argc, char** argv) {
          run->system->registrations()) {
       std::printf("q%d%s\n", registration.query_id,
                   registration.accepted ? "" : " [rejected]");
+      auto audit_it = audit_by_query.find(registration.query_id);
+      if (audit_it != audit_by_query.end() &&
+          audit_it->second->has_measurement()) {
+        const sharing::QueryLatencyAudit& audit = *audit_it->second;
+        std::printf(
+            "    latency: predicted=%.3fms measured p50=%.3fms "
+            "p99=%.3fms over %llu stamped items\n",
+            audit.predicted_ms, audit.measured_p50_ms,
+            audit.measured_p99_ms,
+            static_cast<unsigned long long>(audit.stamped_items));
+      }
       if (registration.search.candidates.empty()) {
         std::printf("    (strategy bypasses the candidate search)\n");
         continue;
