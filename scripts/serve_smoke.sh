@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serve plane against real processes, proving the
+# ARCHITECTURE invariant live: a live-subscribed query's results are
+# byte-identical (counts, bytes, content hashes) to a batch run of the
+# same query over the same items —
+#
+#   1. across a full daemon lifecycle: subscribe four sharing-compatible
+#      paper queries, stream half the items, SIGTERM-drain (checkpoint),
+#      restart, re-attach, assert the catch-up plus the second half
+#      equals an uninterrupted 500-item batch run, and
+#   2. under chaos: the same workload with a FailPeer mid-stream on both
+#      sides of the diff.
+#
+# Usage: scripts/serve_smoke.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE="${BUILD_DIR}/tools/streamshare_serve"
+CLIENT="${BUILD_DIR}/tools/streamshare_client"
+SIM="${BUILD_DIR}/tools/streamshare_sim"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+
+cleanup() {
+  if [[ -n "${SERVE_PID}" ]] && kill -0 "${SERVE_PID}" 2>/dev/null; then
+    kill -9 "${SERVE_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+# Starts the daemon with the given extra flags, scrapes the bound
+# ephemeral port into $PORT, leaves the pid in $SERVE_PID.
+start_daemon() {
+  local log="$1"; shift
+  "${SERVE}" --port=0 --seed=11 "$@" > "${log}" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    if grep -q '^listening port=' "${log}"; then break; fi
+    sleep 0.1
+  done
+  PORT="$(sed -n 's/^listening port=\([0-9]*\).*/\1/p' "${log}" | head -1)"
+  [[ -n "${PORT}" ]] || { echo "daemon did not come up"; cat "${log}"; exit 1; }
+}
+
+extract_query_lines() {
+  grep -E '^q[0-9]+ items=' "$1"
+}
+
+echo "=== batch references ==="
+"${SIM}" --scenario=extended --queries=4 --items=500 --seed=11 \
+  --query-stats > "${WORK}/batch_clean.txt"
+extract_query_lines "${WORK}/batch_clean.txt" > "${WORK}/expect_clean.txt"
+"${SIM}" --scenario=extended --queries=4 --items=500 --seed=11 \
+  --fail-peer=5@250 --query-stats > "${WORK}/batch_chaos.txt"
+extract_query_lines "${WORK}/batch_chaos.txt" > "${WORK}/expect_chaos.txt"
+cat "${WORK}/expect_clean.txt"
+
+echo "=== serve lifecycle: subscribe, stream, drain, restart, catch up ==="
+start_daemon "${WORK}/serve1.log" --checkpoint="${WORK}/smoke.ckpt"
+"${CLIENT}" --port="${PORT}" \
+  --subscribe=q1@1 --subscribe=q2@7 --subscribe=q3@3 --subscribe=q4@0 \
+  --feed=250 --detach | tee "${WORK}/client1.txt"
+grep -q '^subscribed q1$' "${WORK}/client1.txt"
+
+# Graceful drain via SIGTERM: the daemon checkpoints and exits cleanly.
+kill -TERM "${SERVE_PID}"
+wait "${SERVE_PID}"
+SERVE_PID=""
+test -s "${WORK}/smoke.ckpt"
+grep -q '^drained epoch=0' "${WORK}/serve1.log"
+
+# Second service life: resume from the checkpoint, re-attach from seq 0
+# (replay rebuilt the sinks, so catch-up re-delivers epoch 0's results),
+# stream the rest, final-drain.
+start_daemon "${WORK}/serve2.log" --checkpoint="${WORK}/smoke.ckpt"
+grep -q 'epoch=1' "${WORK}/serve2.log"
+"${CLIENT}" --port="${PORT}" \
+  --attach=0@0 --attach=1@0 --attach=2@0 --attach=3@0 \
+  --feed=250 --drain=final --wait-eos | tee "${WORK}/client2.txt"
+wait "${SERVE_PID}"
+SERVE_PID=""
+grep -q '^eos final=1' "${WORK}/client2.txt"
+
+extract_query_lines "${WORK}/client2.txt" > "${WORK}/live_clean.txt"
+diff -u "${WORK}/expect_clean.txt" "${WORK}/live_clean.txt" \
+  || { echo "FAIL: live results diverged from the batch run"; exit 1; }
+echo "live-across-restart == batch: OK"
+
+echo "=== chaos variant: FailPeer mid-stream on both sides ==="
+# SP5 relays the deployed streams, so killing it forces real re-plans
+# (and destroys in-flight windows) on both sides of the diff.
+start_daemon "${WORK}/serve3.log"
+"${CLIENT}" --port="${PORT}" \
+  --subscribe=q1@1 --subscribe=q2@7 --subscribe=q3@3 --subscribe=q4@0 \
+  --feed=250 --fail-peer=5 --feed=250 \
+  --drain=final --wait-eos | tee "${WORK}/client3.txt"
+wait "${SERVE_PID}"
+SERVE_PID=""
+grep -q '^recovered replans=[1-9]' "${WORK}/client3.txt"
+
+extract_query_lines "${WORK}/client3.txt" > "${WORK}/live_chaos.txt"
+diff -u "${WORK}/expect_chaos.txt" "${WORK}/live_chaos.txt" \
+  || { echo "FAIL: churned live results diverged from the churned batch"; exit 1; }
+echo "chaos live == chaos batch: OK"
+
+echo "serve smoke passed"

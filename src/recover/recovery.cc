@@ -150,10 +150,7 @@ uint64_t StreamShareSystem::GcStreams() {
 }
 
 Status StreamShareSystem::Unsubscribe(int query_id) {
-  if (!IsActive(query_id)) {
-    return Status::NotFound("query " + std::to_string(query_id) +
-                            " is not an active subscription");
-  }
+  SS_RETURN_IF_ERROR(CheckActiveSubscription(query_id));
   QueryDeployment& deployment = deployments_[query_id];
   if (deployment.widened_a_stream) {
     return Status::InvalidArgument(

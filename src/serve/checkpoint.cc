@@ -1,0 +1,249 @@
+#include "serve/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "transport/wire.h"
+
+namespace streamshare::serve {
+
+namespace {
+
+using transport::GetVarint;
+using transport::PutVarint;
+
+constexpr char kMagic[] = "SSCKPT01";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  // splitmix64 finalizer as the fold step.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  uint64_t z = h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t MixString(uint64_t h, std::string_view text) {
+  h = Mix(h, text.size());
+  for (char c : text) h = Mix(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+uint64_t MixDouble(uint64_t h, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return Mix(h, bits);
+}
+
+void PutString(std::string* out, std::string_view text) {
+  PutVarint(out, text.size());
+  out->append(text);
+}
+
+bool GetString(std::string_view* data, std::string* out) {
+  uint64_t length = 0;
+  if (!GetVarint(data, &length) || data->size() < length) return false;
+  out->assign(data->substr(0, length));
+  data->remove_prefix(length);
+  return true;
+}
+
+uint64_t Zig(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+int64_t Unzig(uint64_t value) {
+  return static_cast<int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+bool GetSigned(std::string_view* data, int64_t* out) {
+  uint64_t raw = 0;
+  if (!GetVarint(data, &raw)) return false;
+  *out = Unzig(raw);
+  return true;
+}
+
+}  // namespace
+
+uint64_t ScenarioFingerprint(const workload::ScenarioSpec& scenario) {
+  uint64_t h = 0x5353464Eull;  // "SSFN"
+  h = MixString(h, scenario.name);
+  h = Mix(h, scenario.topology.peer_count());
+  h = Mix(h, scenario.topology.link_count());
+  for (const network::Link& link : scenario.topology.links()) {
+    h = Mix(h, static_cast<uint64_t>(link.a));
+    h = Mix(h, static_cast<uint64_t>(link.b));
+    h = MixDouble(h, link.bandwidth_kbps);
+  }
+  for (const network::Peer& peer : scenario.topology.peers()) {
+    h = MixString(h, peer.name);
+    h = MixDouble(h, peer.max_load);
+  }
+  h = Mix(h, scenario.streams.size());
+  for (const workload::StreamSpec& stream : scenario.streams) {
+    h = MixString(h, stream.name);
+    h = Mix(h, static_cast<uint64_t>(stream.source));
+    h = Mix(h, stream.gen.seed);
+    h = MixDouble(h, stream.gen.frequency_hz);
+    h = MixDouble(h, stream.gen.det_time_increment_mean);
+    h = Mix(h, stream.gen.hot_regions.size());
+    for (const workload::SkyBox& box : stream.gen.hot_regions) {
+      h = MixDouble(h, box.ra_min);
+      h = MixDouble(h, box.ra_max);
+      h = MixDouble(h, box.dec_min);
+      h = MixDouble(h, box.dec_max);
+    }
+    for (double weight : stream.gen.hot_weights) {
+      h = MixDouble(h, weight);
+    }
+  }
+  return h == 0 ? 1 : h;
+}
+
+Status SaveCheckpoint(const std::string& path,
+                      const Checkpoint& checkpoint) {
+  std::string out(kMagic, kMagicLen);
+  PutVarint(&out, checkpoint.scenario_fingerprint);
+  PutVarint(&out, checkpoint.epoch);
+  PutVarint(&out, checkpoint.items_fed);
+  PutVarint(&out, checkpoint.events.size());
+  for (const LogEvent& event : checkpoint.events) {
+    PutVarint(&out, static_cast<uint64_t>(event.kind));
+    PutVarint(&out, event.at_items);
+    switch (event.kind) {
+      case LogEvent::Kind::kSubscribe:
+        PutVarint(&out, Zig(event.vq));
+        PutVarint(&out, event.strategy);
+        PutString(&out, event.query_text);
+        break;
+      case LogEvent::Kind::kUnsubscribe:
+        PutVarint(&out, Zig(event.query_id));
+        break;
+      case LogEvent::Kind::kFailPeer:
+        PutVarint(&out, Zig(event.peer));
+        break;
+      case LogEvent::Kind::kCutLink:
+        PutVarint(&out, Zig(event.link_a));
+        PutVarint(&out, Zig(event.link_b));
+        break;
+    }
+  }
+  PutVarint(&out, checkpoint.deliveries.size());
+  for (const DeliverySnapshot& delivery : checkpoint.deliveries) {
+    PutVarint(&out, Zig(delivery.query_id));
+    PutVarint(&out, delivery.items);
+    PutVarint(&out, delivery.content_hash);
+  }
+
+  std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot write checkpoint " + temp + ": " +
+                            std::strerror(errno));
+  }
+  size_t written = std::fwrite(out.data(), 1, out.size(), file);
+  bool flushed = std::fflush(file) == 0;
+  std::fclose(file);
+  if (written != out.size() || !flushed) {
+    std::remove(temp.c_str());
+    return Status::Internal("short write on checkpoint " + temp);
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::Internal("cannot rename checkpoint into place: " +
+                            std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("no checkpoint at " + path);
+  }
+  std::string bytes;
+  char chunk[16384];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    bytes.append(chunk, n);
+  }
+  std::fclose(file);
+
+  std::string_view data = bytes;
+  if (data.size() < kMagicLen ||
+      data.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen)) {
+    return Status::ParseError(path + " is not a streamshare checkpoint");
+  }
+  data.remove_prefix(kMagicLen);
+
+  auto truncated = [&path]() {
+    return Status::ParseError("truncated checkpoint " + path);
+  };
+  Checkpoint checkpoint;
+  uint64_t event_count = 0;
+  if (!GetVarint(&data, &checkpoint.scenario_fingerprint) ||
+      !GetVarint(&data, &checkpoint.epoch) ||
+      !GetVarint(&data, &checkpoint.items_fed) ||
+      !GetVarint(&data, &event_count)) {
+    return truncated();
+  }
+  checkpoint.events.reserve(event_count);
+  for (uint64_t i = 0; i < event_count; ++i) {
+    LogEvent event;
+    uint64_t kind = 0, strategy = 0;
+    if (!GetVarint(&data, &kind) || !GetVarint(&data, &event.at_items)) {
+      return truncated();
+    }
+    if (kind < static_cast<uint64_t>(LogEvent::Kind::kSubscribe) ||
+        kind > static_cast<uint64_t>(LogEvent::Kind::kCutLink)) {
+      return Status::ParseError("unknown checkpoint event kind " +
+                                std::to_string(kind));
+    }
+    event.kind = static_cast<LogEvent::Kind>(kind);
+    switch (event.kind) {
+      case LogEvent::Kind::kSubscribe:
+        if (!GetSigned(&data, &event.vq) ||
+            !GetVarint(&data, &strategy) ||
+            !GetString(&data, &event.query_text)) {
+          return truncated();
+        }
+        event.strategy = static_cast<uint8_t>(strategy);
+        break;
+      case LogEvent::Kind::kUnsubscribe:
+        if (!GetSigned(&data, &event.query_id)) return truncated();
+        break;
+      case LogEvent::Kind::kFailPeer:
+        if (!GetSigned(&data, &event.peer)) return truncated();
+        break;
+      case LogEvent::Kind::kCutLink:
+        if (!GetSigned(&data, &event.link_a) ||
+            !GetSigned(&data, &event.link_b)) {
+          return truncated();
+        }
+        break;
+    }
+    checkpoint.events.push_back(std::move(event));
+  }
+  uint64_t delivery_count = 0;
+  if (!GetVarint(&data, &delivery_count)) return truncated();
+  checkpoint.deliveries.reserve(delivery_count);
+  for (uint64_t i = 0; i < delivery_count; ++i) {
+    DeliverySnapshot delivery;
+    if (!GetSigned(&data, &delivery.query_id) ||
+        !GetVarint(&data, &delivery.items) ||
+        !GetVarint(&data, &delivery.content_hash)) {
+      return truncated();
+    }
+    checkpoint.deliveries.push_back(delivery);
+  }
+  if (!data.empty()) {
+    return Status::ParseError("trailing bytes in checkpoint " + path);
+  }
+  return checkpoint;
+}
+
+}  // namespace streamshare::serve

@@ -1,0 +1,84 @@
+// The daemon's drain checkpoint: an event log in the pgcopydb sentinel
+// spirit. Instead of serializing engine state (open windows, dictionary
+// positions), the checkpoint records the *inputs* that produced it —
+// every subscription registration (accepted or admission-rejected, so
+// query-id assignment replays identically), every unsubscribe, every
+// FailPeer/CutLink, each positioned at the per-stream item offset it was
+// applied at, plus how many items each stream had fed. Because stream
+// items come from seeded deterministic generators, a restarted daemon
+// can rebuild the exact pre-drain engine state by replaying the log
+// interleaved with regenerated items (ResumeFlavor::kReplay), or skip
+// the history and resume gap-not-garbage at the recorded offset
+// (ResumeFlavor::kGap). Per-query delivered counts/hashes ride along as
+// a consistency check on the replay.
+
+#ifndef STREAMSHARE_SERVE_CHECKPOINT_H_
+#define STREAMSHARE_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/scenario.h"
+
+namespace streamshare::serve {
+
+struct LogEvent {
+  enum class Kind : uint8_t {
+    kSubscribe = 1,
+    kUnsubscribe = 2,
+    kFailPeer = 3,
+    kCutLink = 4,
+  };
+
+  Kind kind = Kind::kSubscribe;
+  /// Items per stream that had been fed when the event was applied.
+  uint64_t at_items = 0;
+
+  // kSubscribe
+  std::string query_text;
+  int64_t vq = 0;
+  uint8_t strategy = 2;
+
+  // kUnsubscribe
+  int64_t query_id = -1;
+
+  // kFailPeer / kCutLink
+  int64_t peer = -1;
+  int64_t link_a = -1, link_b = -1;
+};
+
+/// Delivered-output fingerprint of one query at drain time (replay
+/// consistency check; not needed to rebuild state).
+struct DeliverySnapshot {
+  int64_t query_id = -1;
+  uint64_t items = 0;
+  uint64_t content_hash = 0;
+};
+
+struct Checkpoint {
+  /// Guards against resuming a different scenario's checkpoint.
+  uint64_t scenario_fingerprint = 0;
+  /// Service life this checkpoint ends (the restarted daemon runs
+  /// epoch + 1).
+  uint64_t epoch = 0;
+  /// Items per stream fed before the drain.
+  uint64_t items_fed = 0;
+  std::vector<LogEvent> events;
+  std::vector<DeliverySnapshot> deliveries;
+};
+
+/// Stable hash of what determines the daemon's deterministic input:
+/// topology shape, stream names/sources/generator seeds, capacities.
+uint64_t ScenarioFingerprint(const workload::ScenarioSpec& scenario);
+
+/// Writes atomically (temp file + rename): a drain interrupted mid-write
+/// leaves the previous checkpoint intact.
+Status SaveCheckpoint(const std::string& path,
+                      const Checkpoint& checkpoint);
+Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace streamshare::serve
+
+#endif  // STREAMSHARE_SERVE_CHECKPOINT_H_

@@ -1,0 +1,232 @@
+#include "serve/client.h"
+
+#include <utility>
+
+#include "engine/latency.h"
+#include "engine/operator.h"
+#include "xml/xml_node.h"
+
+namespace streamshare::serve {
+
+namespace {
+
+using engine::latency::NowUs;
+
+}  // namespace
+
+ServeClient::ServeClient(ClientOptions options)
+    : options_(std::move(options)) {}
+
+Status ServeClient::Connect() {
+  SS_ASSIGN_OR_RETURN(
+      conn_, ConnectTcp(options_.host, options_.port, options_.timeout_ms));
+  decoder_.Reset();
+  ControlRequest hello;
+  hello.verb = Verb::kHello;
+  hello.protocol = kServeProtocolVersion;
+  hello.client_name = options_.name;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(hello));
+  SS_RETURN_IF_ERROR(ResponseStatus(response));
+  SS_ASSIGN_OR_RETURN(hello_, DecodeHelloReply(response.payload));
+  return Status::Ok();
+}
+
+void ServeClient::Close() { conn_.Close(); }
+
+Result<SubscribeReply> ServeClient::Subscribe(const std::string& query_text,
+                                              int64_t vq,
+                                              uint8_t strategy) {
+  ControlRequest request;
+  request.verb = Verb::kSubscribe;
+  request.query_text = query_text;
+  request.vq = vq;
+  request.strategy = strategy;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
+  SS_RETURN_IF_ERROR(ResponseStatus(response));
+  return DecodeSubscribeReply(response.payload);
+}
+
+Result<SubscribeReply> ServeClient::Attach(int64_t query_id,
+                                           uint64_t resume_from) {
+  ControlRequest request;
+  request.verb = Verb::kSubscribe;
+  request.attach_query_plus1 = static_cast<uint64_t>(query_id) + 1;
+  request.resume_from = resume_from;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
+  SS_RETURN_IF_ERROR(ResponseStatus(response));
+  return DecodeSubscribeReply(response.payload);
+}
+
+Status ServeClient::Unsubscribe(int64_t query_id) {
+  ControlRequest request;
+  request.verb = Verb::kUnsubscribe;
+  request.query_id = query_id;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
+  return ResponseStatus(response);
+}
+
+Result<RecoveryReply> ServeClient::FailPeer(int64_t peer) {
+  ControlRequest request;
+  request.verb = Verb::kFailPeer;
+  request.peer = peer;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
+  SS_RETURN_IF_ERROR(ResponseStatus(response));
+  return DecodeRecoveryReply(response.payload);
+}
+
+Result<RecoveryReply> ServeClient::CutLink(int64_t link_a, int64_t link_b) {
+  ControlRequest request;
+  request.verb = Verb::kCutLink;
+  request.link_a = link_a;
+  request.link_b = link_b;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
+  SS_RETURN_IF_ERROR(ResponseStatus(response));
+  return DecodeRecoveryReply(response.payload);
+}
+
+Result<StatsReply> ServeClient::Stats() {
+  ControlRequest request;
+  request.verb = Verb::kStats;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
+  SS_RETURN_IF_ERROR(ResponseStatus(response));
+  return DecodeStatsReply(response.payload);
+}
+
+Result<FeedReply> ServeClient::Feed(uint64_t count) {
+  ControlRequest request;
+  request.verb = Verb::kFeed;
+  request.feed_items = count;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
+  SS_RETURN_IF_ERROR(ResponseStatus(response));
+  return DecodeFeedReply(response.payload);
+}
+
+Result<DrainReply> ServeClient::Drain(bool final_drain) {
+  ControlRequest request;
+  request.verb = Verb::kDrain;
+  request.final_drain = final_drain;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
+  SS_RETURN_IF_ERROR(ResponseStatus(response));
+  return DecodeDrainReply(response.payload);
+}
+
+Status ServeClient::Detach() {
+  ControlRequest request;
+  request.verb = Verb::kDetach;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
+  return ResponseStatus(response);
+}
+
+Status ServeClient::PollResults(int timeout_ms) {
+  int wait_ms = timeout_ms;
+  while (true) {
+    transport::Frame frame;
+    Result<ConnEvent> event = conn_.RecvFrame(&frame, wait_ms);
+    if (!event.ok()) {
+      // Silence means everything in flight has arrived.
+      if (event.status().IsDeadlineExceeded()) return Status::Ok();
+      return event.status();
+    }
+    if (*event == ConnEvent::kUnsupported) continue;
+    if (frame.type == transport::FrameType::kResult) {
+      SS_RETURN_IF_ERROR(AccumulateResult(frame));
+      // Once deliveries are flowing, the rest follow back-to-back.
+      wait_ms = 50;
+      continue;
+    }
+    return Status::Internal("unexpected frame type " +
+                            std::to_string(frame.raw_type) +
+                            " while polling results");
+  }
+}
+
+Result<ServeEos> ServeClient::WaitEos(int timeout_ms) {
+  while (true) {
+    transport::Frame frame;
+    SS_ASSIGN_OR_RETURN(ConnEvent event,
+                        conn_.RecvFrame(&frame, timeout_ms));
+    if (event == ConnEvent::kUnsupported) continue;
+    if (frame.type == transport::FrameType::kResult) {
+      SS_RETURN_IF_ERROR(AccumulateResult(frame));
+      continue;
+    }
+    if (frame.type == transport::FrameType::kEos) {
+      return DecodeServeEos(frame.body);
+    }
+    return Status::Internal("unexpected frame type " +
+                            std::to_string(frame.raw_type) +
+                            " while waiting for EOS");
+  }
+}
+
+ClientQueryResults ServeClient::results(int64_t query_id) const {
+  auto it = results_.find(query_id);
+  return it == results_.end() ? ClientQueryResults() : it->second;
+}
+
+Result<ControlResponse> ServeClient::Call(const ControlRequest& request) {
+  ControlRequest stamped = request;
+  stamped.request_id = next_request_id_++;
+  SS_RETURN_IF_ERROR(conn_.QueueFrame(transport::FrameType::kControl,
+                                      EncodeRequest(stamped)));
+  SS_RETURN_IF_ERROR(conn_.FlushAll(options_.timeout_ms));
+  while (true) {
+    transport::Frame frame;
+    SS_ASSIGN_OR_RETURN(ConnEvent event,
+                        conn_.RecvFrame(&frame, options_.timeout_ms));
+    if (event == ConnEvent::kUnsupported) {
+      // A daemon never initiates traffic we can't decode; drop it.
+      continue;
+    }
+    if (frame.type == transport::FrameType::kResult) {
+      // Deliveries interleave freely with the ACK we are waiting for.
+      SS_RETURN_IF_ERROR(AccumulateResult(frame));
+      continue;
+    }
+    if (frame.type == transport::FrameType::kControlAck) {
+      SS_ASSIGN_OR_RETURN(ControlResponse response,
+                          DecodeResponse(frame.body));
+      if (response.request_id != 0 &&
+          response.request_id != stamped.request_id) {
+        return Status::Internal(
+            "response for request " +
+            std::to_string(response.request_id) + " while waiting on " +
+            std::to_string(stamped.request_id));
+      }
+      return response;
+    }
+    if (frame.type == transport::FrameType::kEos) {
+      SS_ASSIGN_OR_RETURN(ServeEos eos, DecodeServeEos(frame.body));
+      return Status::Unavailable(
+          eos.final_drain ? "daemon drained (final)"
+                          : "daemon drained (restartable)");
+    }
+    return Status::Internal("unexpected frame type " +
+                            std::to_string(frame.raw_type) +
+                            " while waiting for an ACK");
+  }
+}
+
+Status ServeClient::AccumulateResult(const transport::Frame& frame) {
+  uint64_t received_us = NowUs();
+  SS_ASSIGN_OR_RETURN(ResultFrame result, DecodeResultFrame(frame.body));
+  std::unique_ptr<xml::XmlNode> item;
+  SS_RETURN_IF_ERROR(decoder_.Decode(result.item, &item));
+  ClientQueryResults& query = results_[result.query_id];
+  // Mirror SinkOp::Process exactly so live observations diff cleanly
+  // against a batch run's sink.
+  query.items += 1;
+  query.bytes += item->SerializedSize();
+  query.content_hash += engine::HashItemContent(*item);
+  if (result.seq + 1 > query.next_seq) query.next_seq = result.seq + 1;
+  if (result.stamped) {
+    uint64_t wire_us =
+        received_us > result.send_us ? received_us - result.send_us : 0;
+    query.residency_us.push_back(result.residency_us);
+    query.total_us.push_back(result.residency_us + result.transport_us +
+                             wire_us);
+  }
+  return Status::Ok();
+}
+
+}  // namespace streamshare::serve

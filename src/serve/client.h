@@ -1,0 +1,120 @@
+// The attach/subscribe side of the serve plane. A ServeClient owns one
+// FrameConn to a daemon and exposes the control verbs as blocking
+// request/response calls; RESULT frames that interleave with an ACK are
+// accumulated on the fly into per-query observations (count, bytes,
+// order-insensitive content hash — computed exactly like engine::SinkOp
+// so a client-side observation is directly comparable to a batch run's
+// sink). The item decoder mirrors the daemon's per-connection encoder in
+// lockstep, so reconnecting means a fresh codec on both sides.
+
+#ifndef STREAMSHARE_SERVE_CLIENT_H_
+#define STREAMSHARE_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/control.h"
+#include "serve/net.h"
+#include "transport/codec.h"
+
+namespace streamshare::serve {
+
+/// What one query delivered to this client, accumulated from RESULT
+/// frames. Comparable field-for-field with a batch run's SinkOp.
+struct ClientQueryResults {
+  uint64_t items = 0;
+  uint64_t bytes = 0;
+  uint64_t content_hash = 0;
+  /// Highest delivery sequence received plus one (== the daemon-side
+  /// sink index to resume_from after a reconnect).
+  uint64_t next_seq = 0;
+  /// Measured per-delivery latencies (µs), from the RESULT stamps:
+  /// daemon residency and total (residency + client-measured wire hop).
+  std::vector<uint64_t> residency_us;
+  std::vector<uint64_t> total_us;
+};
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string name = "streamshare_client";
+  /// Per-request reply deadline.
+  int timeout_ms = 30000;
+};
+
+class ServeClient {
+ public:
+  explicit ServeClient(ClientOptions options);
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects and performs the Hello handshake. Reconnecting (after a
+  /// daemon restart) keeps the accumulated results; the item codec
+  /// resets on both ends with the connection.
+  Status Connect();
+  void Close();
+
+  /// Points the next Connect at a different port (a restarted daemon
+  /// binds a fresh ephemeral port).
+  void set_port(int port) { options_.port = port; }
+
+  const HelloReply& hello() const { return hello_; }
+
+  /// Registers a fresh continuous query. On Ok, the reply says whether
+  /// admission control accepted it (`accepted` false = structured E6
+  /// rejection, reject_reason says why — the connection stays usable).
+  Result<SubscribeReply> Subscribe(const std::string& query_text,
+                                   int64_t vq, uint8_t strategy = 2);
+
+  /// Re-attaches to an already-installed query, resuming delivery at
+  /// `resume_from` (use results(query_id).next_seq after a reconnect).
+  Result<SubscribeReply> Attach(int64_t query_id, uint64_t resume_from);
+
+  Status Unsubscribe(int64_t query_id);
+  Result<RecoveryReply> FailPeer(int64_t peer);
+  Result<RecoveryReply> CutLink(int64_t link_a, int64_t link_b);
+  Result<StatsReply> Stats();
+  /// Asks the daemon to feed `count` freshly generated items per stream
+  /// and forward the resulting deliveries.
+  Result<FeedReply> Feed(uint64_t count);
+  Result<DrainReply> Drain(bool final_drain);
+  /// Drops this connection's attachments but keeps the subscriptions
+  /// installed server-side.
+  Status Detach();
+
+  /// Drains buffered RESULT frames without issuing a request (useful
+  /// after Feed when deliveries may still be in flight). Waits up to
+  /// `timeout_ms` for the first frame, then keeps reading while more
+  /// arrive back-to-back.
+  Status PollResults(int timeout_ms);
+
+  /// Reads until the daemon's EOS (sent at drain), accumulating any
+  /// remaining RESULT frames.
+  Result<ServeEos> WaitEos(int timeout_ms);
+
+  /// Accumulated deliveries of one query (zero observation if none).
+  ClientQueryResults results(int64_t query_id) const;
+  const std::map<int64_t, ClientQueryResults>& all_results() const {
+    return results_;
+  }
+
+ private:
+  /// Sends one request and reads frames until its ACK, folding RESULT
+  /// frames into results_ along the way.
+  Result<ControlResponse> Call(const ControlRequest& request);
+  Status AccumulateResult(const transport::Frame& frame);
+
+  ClientOptions options_;
+  FrameConn conn_;
+  transport::ItemDecoder decoder_;
+  HelloReply hello_;
+  uint64_t next_request_id_ = 1;
+  std::map<int64_t, ClientQueryResults> results_;
+};
+
+}  // namespace streamshare::serve
+
+#endif  // STREAMSHARE_SERVE_CLIENT_H_

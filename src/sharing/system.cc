@@ -235,11 +235,24 @@ bool StreamShareSystem::IsActive(int query_id) const {
          deployments_[query_id].active;
 }
 
-Status StreamShareSystem::UnregisterQuery(int query_id) {
-  if (!IsActive(query_id)) {
+Status StreamShareSystem::CheckActiveSubscription(int query_id) const {
+  if (query_id < 0 ||
+      static_cast<size_t>(query_id) >= deployments_.size()) {
     return Status::NotFound("query " + std::to_string(query_id) +
-                            " is not an active subscription");
+                            " was never registered");
   }
+  if (deployments_[query_id].active) return Status::Ok();
+  if (static_cast<size_t>(query_id) < registrations_.size() &&
+      !registrations_[query_id].accepted) {
+    return Status::NotFound("query " + std::to_string(query_id) +
+                            " was rejected at admission and never deployed");
+  }
+  return Status::NotFound("query " + std::to_string(query_id) +
+                          " was already unsubscribed");
+}
+
+Status StreamShareSystem::UnregisterQuery(int query_id) {
+  SS_RETURN_IF_ERROR(CheckActiveSubscription(query_id));
   QueryDeployment& deployment = deployments_[query_id];
   if (deployment.widened_a_stream) {
     return Status::InvalidArgument(

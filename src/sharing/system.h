@@ -200,6 +200,13 @@ class StreamShareSystem {
   /// rejected registrations).
   bool IsActive(int query_id) const;
 
+  /// NotFound with a message naming why `query_id` is not an active
+  /// subscription — never registered, rejected at admission, or already
+  /// removed — or Ok while it is deployed. UnregisterQuery and
+  /// Unsubscribe both gate on this, so a double-unsubscribe is NotFound
+  /// everywhere, not whatever the registry walk happens to hit.
+  Status CheckActiveSubscription(int query_id) const;
+
   /// Single-shot run: feeds items of the named original streams through
   /// the deployed network (round-robin across streams), then signals end
   /// of stream — window operators flush their partial windows. Use

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 
+#include "serve/serve_oracle.h"
 #include "sharing/system.h"
 #include "xml/xml_writer.h"
 
@@ -194,6 +195,40 @@ Result<ChurnRun> RunChurned(
   run.reports = built.system->recovery_reports();
   run.registration_index = built.registration_index;
   return run;
+}
+
+/// The serve arm hosts a ScenarioSpec, not a FuzzScenario; render the
+/// fuzz form down. workload::BuildSystem installs the same statistics as
+/// InstallStatistics above (identical ranges, en from the gen config), so
+/// the daemon's planner sees exactly what the in-process arms saw.
+Result<workload::ScenarioSpec> ToScenarioSpec(
+    const FuzzScenario& scenario) {
+  workload::ScenarioSpec spec;
+  spec.name = "fuzz-" + std::to_string(scenario.seed);
+  SS_ASSIGN_OR_RETURN(spec.topology, scenario.topology.Build());
+  for (const FuzzStreamSpec& stream : scenario.streams) {
+    workload::StreamSpec out;
+    out.name = stream.name;
+    out.source = stream.source;
+    out.gen = StreamGenConfig(scenario, stream);
+    spec.streams.push_back(std::move(out));
+  }
+  for (const FuzzQuerySpec& query : scenario.queries) {
+    spec.queries.push_back({query.ToQueryText(), query.target});
+  }
+  return spec;
+}
+
+workload::ChurnEvent ToWorkloadChurn(const FuzzChurnEvent& event) {
+  workload::ChurnEvent out;
+  out.kind = event.kind == FuzzChurnEvent::Kind::kFailPeer
+                 ? workload::ChurnEvent::Kind::kFailPeer
+                 : workload::ChurnEvent::Kind::kCutLink;
+  out.peer = event.peer;
+  out.link_a = event.link_a;
+  out.link_b = event.link_b;
+  out.at_offset = event.at_offset;
+  return out;
 }
 
 bool SameObservation(const QueryObservation& a, const QueryObservation& b) {
@@ -702,6 +737,84 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     }
   }
 
+  // --- Serve arm: the same scenario hosted by a live daemon, every
+  // subscription installed over the CONTROL plane, every delivery
+  // accumulated client-side from RESULT frames over real TCP. The diff
+  // target is the serial reference — or, when the scenario churns, the
+  // serial churned run, since the daemon applies the same events through
+  // its FailPeer/CutLink verbs. ----------------------------------------
+  if (options.run_serve) {
+    bool registration_errors = false;
+    for (const QueryObservation& query : reference_mode.queries) {
+      registration_errors =
+          registration_errors || !query.registration_error.empty();
+    }
+    // A subscription the planner cannot even parse comes back from the
+    // daemon as a failed call, not an observation; nothing to diff.
+    if (!registration_errors) {
+      SS_ASSIGN_OR_RETURN(workload::ScenarioSpec spec,
+                          ToScenarioSpec(scenario));
+      serve::ServeRunOptions serve_options;
+      serve_options.items_per_stream = scenario.items_per_stream;
+      serve_options.feed_chunk = 13;  // ragged on purpose
+      serve_options.system.record_path = options.record_path;
+      for (const FuzzChurnEvent& event : scenario.churn) {
+        serve_options.churn.push_back(ToWorkloadChurn(event));
+      }
+      SS_ASSIGN_OR_RETURN(
+          serve::ServeRunReport serve_run,
+          serve::RunScenarioThroughDaemon(spec, serve_options));
+
+      const char* expected_name =
+          scenario.churn.empty() ? "serial" : "serial+churn";
+      const std::vector<QueryObservation>* expected =
+          &reference_mode.queries;
+      for (const ModeObservation& mode : report.modes) {
+        if (mode.mode == expected_name) expected = &mode.queries;
+      }
+
+      ModeObservation serve_mode;
+      serve_mode.mode = "serve";
+      for (const serve::ServeQueryObservation& observed :
+           serve_run.queries) {
+        QueryObservation query;
+        query.accepted = observed.accepted;
+        query.items = observed.items;
+        query.bytes = observed.bytes;
+        query.content_hash = observed.content_hash;
+        serve_mode.queries.push_back(std::move(query));
+      }
+      report.modes.push_back(serve_mode);
+
+      if (serve_mode.queries.size() != expected->size()) {
+        report.serve_ok = false;
+        fail("serve arm: daemon answered " +
+             std::to_string(serve_mode.queries.size()) +
+             " subscriptions for " + std::to_string(expected->size()) +
+             " queries");
+      } else {
+        for (size_t q = 0; q < expected->size(); ++q) {
+          if ((*expected)[q].accepted != serve_mode.queries[q].accepted) {
+            report.serve_ok = false;
+            fail("serve arm: admission outcome diverged on " +
+                 DescribeQuery(scenario, q) + " — " + expected_name +
+                 " accepted=" +
+                 std::to_string((*expected)[q].accepted) + ", serve " +
+                 std::to_string(serve_mode.queries[q].accepted));
+            continue;
+          }
+          if (!SameObservation((*expected)[q], serve_mode.queries[q])) {
+            report.serve_ok = false;
+            fail("serve arm: deliveries diverged on " +
+                 DescribeQuery(scenario, q) + " — " + expected_name +
+                 " " + ObservationString((*expected)[q]) + ", serve " +
+                 ObservationString(serve_mode.queries[q]));
+          }
+        }
+      }
+    }
+  }
+
   if (options.metrics != nullptr) {
     options.metrics->GetCounter("fuzz.scenarios")->Add(1);
     options.metrics->GetCounter("fuzz.queries")
@@ -717,6 +830,9 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     }
     if (!report.latency_ok) {
       options.metrics->GetCounter("fuzz.latency_violations")->Add(1);
+    }
+    if (!report.serve_ok) {
+      options.metrics->GetCounter("fuzz.serve_violations")->Add(1);
     }
   }
   return report;

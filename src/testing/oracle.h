@@ -60,6 +60,14 @@ struct OracleOptions {
   /// the cross-process sink-report path).
   bool tcp_processes = false;
 
+  /// Fifth arm: run the scenario through a live streamshare_serve daemon
+  /// + client over localhost TCP (subscriptions via the CONTROL plane,
+  /// deliveries via RESULT frames) and diff the client-side accumulation
+  /// against the serial reference — churned scenarios diff against the
+  /// serial churned run. Real sockets make it the slowest arm, so the
+  /// fuzz tool gates it behind --serve.
+  bool run_serve = false;
+
   /// Self-test hook: perturbs the named mode's observed content hash and
   /// item count for aggregation queries with window size >= min_window —
   /// a deliberately injected equivalence bug the harness must catch and
@@ -111,6 +119,12 @@ struct OracleReport {
   /// sink (serial feeding is ordered, so measured stamps must be
   /// monotone non-decreasing).
   bool latency_ok = true;
+  /// The serve arm's client-side deliveries (counts, bytes, content
+  /// hashes and admission outcomes, accumulated over real TCP) matched
+  /// the in-process reference for the same scenario. Vacuously true when
+  /// the arm is disabled or the scenario has registration errors (the
+  /// serve client surfaces those as call failures, not observations).
+  bool serve_ok = true;
   /// First divergence, human-readable; empty when ok().
   std::string failure;
 
@@ -131,7 +145,8 @@ struct OracleReport {
   uint64_t stamped_results = 0;
 
   bool ok() const {
-    return equivalence_ok && sharing_ok && recovery_ok && latency_ok;
+    return equivalence_ok && sharing_ok && recovery_ok && latency_ok &&
+           serve_ok;
   }
 };
 

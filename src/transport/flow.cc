@@ -240,6 +240,12 @@ Status ChannelReceiver::Recv(Incoming* out) {
       case FrameType::kCredit:
         return Status::Internal("channel " + label_ +
                                 ": CREDIT frame on the forward path");
+      case FrameType::kControl:
+      case FrameType::kControlAck:
+      case FrameType::kResult:
+        // Serve-plane frames never flow on a data channel.
+        return Status::Internal("channel " + label_ +
+                                ": serve-plane frame on a data channel");
     }
   }
 }

@@ -73,6 +73,14 @@ class TcpPipeEnd final : public PipeEnd {
         case ParseResult::kMalformed:
           return Status::ParseError(label_ +
                                     ": malformed frame on TCP stream");
+        case ParseResult::kUnsupported:
+          // Data-plane pipes connect peers of the same build; a frame we
+          // cannot dispatch here is a protocol error, not something to
+          // skip. (The serve control loop answers these instead.)
+          return Status::Unsupported(
+              label_ + ": unsupported frame (version " +
+              std::to_string(frame.version) + ", type " +
+              std::to_string(frame.raw_type) + ") on TCP stream");
         case ParseResult::kNeedMore:
           break;
       }

@@ -60,18 +60,20 @@ ParseResult ParseFrame(std::string_view buffer, Frame* frame,
   }
   if (rest.size() < length) return ParseResult::kNeedMore;
   uint8_t version = static_cast<uint8_t>(rest[0]);
-  if (version < kBaseWireVersion || version > kWireVersion) {
-    return ParseResult::kMalformed;
-  }
   uint8_t type = static_cast<uint8_t>(rest[1]);
-  if (type < static_cast<uint8_t>(FrameType::kData) ||
-      type > static_cast<uint8_t>(FrameType::kError)) {
-    return ParseResult::kMalformed;
-  }
-  frame->type = static_cast<FrameType>(type);
+  frame->raw_type = type;
   frame->version = version;
   frame->body = rest.substr(2, length - 2);
   *consumed = (buffer.size() - rest.size()) + length;
+  // The length prefix framed this correctly, so an unknown version or
+  // type is a vocabulary mismatch, not corruption: report it skippable
+  // and let the receiver answer with a decodable error.
+  if (version < kBaseWireVersion || version > kWireVersion ||
+      type < static_cast<uint8_t>(FrameType::kData) ||
+      type > kMaxKnownFrameType) {
+    return ParseResult::kUnsupported;
+  }
+  frame->type = static_cast<FrameType>(type);
   return ParseResult::kFrame;
 }
 

@@ -12,6 +12,11 @@
 //   EOS      varint total DATA frames sent (dropped ones included)
 //   CREDIT   varint credits granted
 //   ERROR    message bytes, raw
+//   CONTROL  varint request id | varint verb | verb payload (serve/control.h)
+//   ACK      varint request id | varint status code | varint message length |
+//            message | verb payload
+//   RESULT   varint query id | varint seq | stamp extension (DATA v2 layout,
+//            flags..transport µs) | encoded item
 //
 // Version 2 only exists to carry the measured-latency stamp
 // (engine/latency.h): flags bit 0 marks a stamped item, the ingress tick
@@ -53,7 +58,18 @@ enum class FrameType : uint8_t {
   kEos = 2,
   kCredit = 3,
   kError = 4,
+  // Service plane (serve/): request/response control channel and the
+  // per-query result stream a daemon forwards to attached clients.
+  kControl = 5,
+  kControlAck = 6,
+  kResult = 7,
 };
+
+/// Last frame type this build knows how to dispatch. Bytes above this
+/// parse as kUnsupported, not kMalformed, so a newer peer's frames can be
+/// skipped and answered instead of killing the connection.
+inline constexpr uint8_t kMaxKnownFrameType =
+    static_cast<uint8_t>(FrameType::kResult);
 
 /// Appends `value` LEB128-encoded (7 bits per byte, high bit = more).
 void PutVarint(std::string* out, uint64_t value);
@@ -70,18 +86,23 @@ bool GetVarint(std::string_view* data, uint64_t* value);
 void AppendFrame(std::string* out, FrameType type, std::string_view body,
                  uint8_t version = kBaseWireVersion);
 
-/// One parsed frame; `body` aliases the parse buffer.
+/// One parsed frame; `body` aliases the parse buffer. On kUnsupported,
+/// `raw_type` and `version` hold the peer's bytes verbatim (`type` is
+/// meaningless) so a receiver can name what it is rejecting.
 struct Frame {
   FrameType type = FrameType::kError;
+  uint8_t raw_type = 0;
   uint8_t version = kBaseWireVersion;
   std::string_view body;
 };
 
 /// Outcome of trying to parse a frame from a byte buffer.
 enum class ParseResult {
-  kFrame,      // *frame filled, *consumed bytes used
-  kNeedMore,   // buffer holds only a frame prefix so far
-  kMalformed,  // bad length, version, or type — the stream is unusable
+  kFrame,        // *frame filled, *consumed bytes used
+  kNeedMore,     // buffer holds only a frame prefix so far
+  kUnsupported,  // well-framed but unknown version or type; *consumed is
+                 // set — skip it and answer, the stream is still usable
+  kMalformed,    // bad length prefix — the stream is unusable
 };
 
 /// Parses the first frame of `buffer`. On kFrame, `frame->body` points

@@ -164,6 +164,11 @@ Result<ScenarioRun> RunScenario(const ScenarioSpec& scenario,
     }
     if (result->accepted) {
       ++run.accepted;
+      // Kept results are there to be compared (query-stats, serve-plane
+      // identity checks); the order-insensitive hash makes that cheap.
+      if (config.keep_results && result->sink != nullptr) {
+        result->sink->EnableContentHash();
+      }
     } else {
       ++run.rejected;
     }

@@ -96,6 +96,34 @@ TEST(OracleTest, CleanSeedsPassAllModes) {
   }
 }
 
+TEST(OracleTest, ServeArmMatchesSerialReference) {
+  // The fifth arm: the same scenario hosted by a live daemon, every
+  // subscription installed over the CONTROL plane, deliveries streamed
+  // back over real localhost TCP. A clean seed must agree with the
+  // serial reference byte for byte; a churned seed diffs against the
+  // serial churned run (the daemon applies the same FailPeer/CutLink
+  // events through its verbs).
+  OracleOptions options;
+  options.run_serve = true;
+  options.run_parallel = false;  // speed; the serve arm is under test
+  options.run_loopback = false;
+  options.run_tcp = false;
+  GeneratorOptions gen;
+  gen.churn_probability = 0.5;
+  int serve_modes = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto report = RunOracle(GenerateScenario(seed, gen), options);
+    ASSERT_TRUE(report.ok()) << "seed " << seed << ": "
+                             << report.status().ToString();
+    EXPECT_TRUE(report->serve_ok) << "seed " << seed << ": "
+                                  << report->failure;
+    for (const ModeObservation& mode : report->modes) {
+      if (mode.mode == "serve") ++serve_modes;
+    }
+  }
+  EXPECT_EQ(serve_modes, 6) << "the serve arm must actually run";
+}
+
 TEST(OracleTest, SweepExercisesSharing) {
   // Across a batch of seeds the generator's box-pool bias must actually
   // produce plans that reuse derived streams — otherwise the sharing

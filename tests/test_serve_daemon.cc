@@ -1,0 +1,355 @@
+// Behavior tests for the streamshare_serve daemon: live subscribe
+// through the real planner, delivery forwarding, double-unsubscribe
+// NotFound semantics, E6 admission rejection leaving the deployment
+// untouched, detach/re-attach catch-up, implicit unsubscribe on
+// disconnect, and the unsupported-frame answer path.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/net.h"
+#include "workload/scenario.h"
+
+namespace streamshare::serve {
+namespace {
+
+workload::ScenarioSpec SmallScenario() {
+  return workload::ExtendedExampleScenario(/*seed=*/11,
+                                           /*query_count=*/4);
+}
+
+/// The E6 setup: capacities so tight that repeatedly data-shipping the
+/// raw stream must overload a link or peer.
+workload::ScenarioSpec TinyCapacityScenario() {
+  workload::ScenarioSpec scenario = SmallScenario();
+  scenario.name = "tiny-capacity";
+  scenario.topology = network::Topology::ExtendedExample(
+      /*bandwidth_kbps=*/150.0, /*max_load=*/60.0);
+  return scenario;
+}
+
+std::unique_ptr<ServeDaemon> StartDaemon(
+    const workload::ScenarioSpec& scenario,
+    DaemonOptions options = DaemonOptions()) {
+  auto daemon = std::make_unique<ServeDaemon>(scenario, options);
+  Status started = daemon->Start();
+  EXPECT_TRUE(started.ok()) << started;
+  return started.ok() ? std::move(daemon) : nullptr;
+}
+
+ServeClient MakeClient(const ServeDaemon& daemon,
+                       const std::string& name) {
+  ClientOptions options;
+  options.port = daemon.port();
+  options.name = name;
+  return ServeClient(options);
+}
+
+TEST(ServeDaemon, SubscribeFeedForwardsDeliveriesMatchingSinks) {
+  workload::ScenarioSpec scenario = SmallScenario();
+  auto daemon = StartDaemon(scenario);
+  ASSERT_NE(daemon, nullptr);
+
+  ServeClient client = MakeClient(*daemon, "feeder");
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.hello().epoch, 0u);
+  EXPECT_EQ(client.hello().items_fed, 0u);
+
+  auto q0 = client.Subscribe(scenario.queries[0].text,
+                             scenario.queries[0].target);
+  auto q1 = client.Subscribe(scenario.queries[1].text,
+                             scenario.queries[1].target);
+  ASSERT_TRUE(q0.ok()) << q0.status();
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  ASSERT_TRUE(q0->accepted) << q0->reject_reason;
+  ASSERT_TRUE(q1->accepted) << q1->reject_reason;
+  EXPECT_NE(q0->query_id, q1->query_id);
+
+  auto fed = client.Feed(200);
+  ASSERT_TRUE(fed.ok()) << fed.status();
+  EXPECT_EQ(fed->items_fed, 200u);
+
+  // The daemon's own sink counters must agree with what reached the
+  // client: same items, same bytes, same order-insensitive hash.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->items_fed, 200u);
+  EXPECT_EQ(stats->admitted, 2u);
+  uint64_t sink_total = 0;
+  for (const QueryStat& query : stats->queries) {
+    ClientQueryResults results = client.results(query.query_id);
+    EXPECT_EQ(results.items, query.items) << "query " << query.query_id;
+    EXPECT_EQ(results.bytes, query.bytes) << "query " << query.query_id;
+    EXPECT_EQ(results.content_hash, query.content_hash)
+        << "query " << query.query_id;
+    sink_total += query.items;
+  }
+  EXPECT_GT(sink_total, 0u) << "workload produced no deliveries at all";
+  EXPECT_EQ(stats->results_forwarded, sink_total);
+
+  // Deliveries carry measured latency stamps.
+  ClientQueryResults r0 = client.results(q0->query_id);
+  EXPECT_EQ(r0.residency_us.size(), r0.items);
+  EXPECT_EQ(r0.total_us.size(), r0.items);
+
+  auto drained = client.Drain(/*final_drain=*/true);
+  ASSERT_TRUE(drained.ok()) << drained.status();
+  auto eos = client.WaitEos(10000);
+  ASSERT_TRUE(eos.ok()) << eos.status();
+  EXPECT_TRUE(eos->final_drain);
+  daemon->Join();
+  EXPECT_TRUE(daemon->loop_status().ok()) << daemon->loop_status();
+}
+
+TEST(ServeDaemon, DoubleUnsubscribeReturnsNotFound) {
+  workload::ScenarioSpec scenario = SmallScenario();
+  auto daemon = StartDaemon(scenario);
+  ASSERT_NE(daemon, nullptr);
+  ServeClient client = MakeClient(*daemon, "unsub");
+  ASSERT_TRUE(client.Connect().ok());
+
+  auto q0 = client.Subscribe(scenario.queries[0].text,
+                             scenario.queries[0].target);
+  ASSERT_TRUE(q0.ok() && q0->accepted);
+
+  EXPECT_TRUE(client.Unsubscribe(q0->query_id).ok());
+  // Again: the id once existed but was already removed.
+  Status again = client.Unsubscribe(q0->query_id);
+  EXPECT_TRUE(again.IsNotFound()) << again;
+  // Never registered at all.
+  Status never = client.Unsubscribe(4242);
+  EXPECT_TRUE(never.IsNotFound()) << never;
+  // The connection survives both errors.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_FALSE(stats->queries[0].active);
+
+  daemon->RequestDrain(/*final_drain=*/true);
+  daemon->Join();
+}
+
+TEST(ServeDaemon, AdmissionRejectionIsStructuredAndNonDisruptive) {
+  workload::ScenarioSpec scenario = TinyCapacityScenario();
+  DaemonOptions options;
+  options.system.enforce_limits = true;
+  auto daemon = StartDaemon(scenario, options);
+  ASSERT_NE(daemon, nullptr);
+  ServeClient client = MakeClient(*daemon, "overloader");
+  ASSERT_TRUE(client.Connect().ok());
+
+  // First data-shipped copy of the raw stream fits.
+  auto first = client.Subscribe(scenario.queries[0].text,
+                                scenario.queries[0].target,
+                                /*strategy=*/0);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(first->accepted) << first->reject_reason;
+  ASSERT_TRUE(client.Feed(50).ok());
+  ClientQueryResults before = client.results(first->query_id);
+
+  // Shipping more raw copies must hit the E6 admission wall: the daemon
+  // answers with a structured rejection, not an error, not an exit.
+  bool rejected = false;
+  std::string reason;
+  for (int i = 0; i < 6 && !rejected; ++i) {
+    auto result = client.Subscribe(scenario.queries[0].text,
+                                   scenario.queries[0].target,
+                                   /*strategy=*/0);
+    ASSERT_TRUE(result.ok()) << result.status();
+    if (!result->accepted) {
+      rejected = true;
+      reason = result->reject_reason;
+      EXPECT_GE(result->query_id, 0);  // the attempt consumed an id
+    }
+  }
+  ASSERT_TRUE(rejected);
+  EXPECT_FALSE(reason.empty());
+
+  // The installed population is untouched and still serving: the first
+  // query keeps receiving deliveries after the rejection.
+  ASSERT_TRUE(client.Feed(50).ok());
+  ClientQueryResults after = client.results(first->query_id);
+  EXPECT_GT(after.items, before.items);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->rejected, 1u);
+  for (const QueryStat& query : stats->queries) {
+    if (!query.accepted) EXPECT_FALSE(query.active);
+  }
+
+  daemon->RequestDrain(/*final_drain=*/true);
+  daemon->Join();
+  EXPECT_TRUE(daemon->loop_status().ok()) << daemon->loop_status();
+}
+
+TEST(ServeDaemon, DetachKeepsSubscriptionAndReattachCatchesUp) {
+  workload::ScenarioSpec scenario = SmallScenario();
+  auto daemon = StartDaemon(scenario);
+  ASSERT_NE(daemon, nullptr);
+
+  ServeClient first = MakeClient(*daemon, "first-life");
+  ASSERT_TRUE(first.Connect().ok());
+  auto q0 = first.Subscribe(scenario.queries[0].text,
+                            scenario.queries[0].target);
+  ASSERT_TRUE(q0.ok() && q0->accepted);
+  ASSERT_TRUE(first.Feed(100).ok());
+  ClientQueryResults first_results = first.results(q0->query_id);
+  ASSERT_TRUE(first.Detach().ok());
+
+  // While nobody is attached the subscription keeps accumulating.
+  ASSERT_TRUE(first.Feed(100).ok());
+  EXPECT_EQ(first.results(q0->query_id).items, first_results.items)
+      << "detached client must not receive deliveries";
+
+  // A second life re-attaches and catches up exactly the missed window.
+  ServeClient second = MakeClient(*daemon, "second-life");
+  ASSERT_TRUE(second.Connect().ok());
+  auto attached = second.Attach(q0->query_id, first_results.next_seq);
+  ASSERT_TRUE(attached.ok()) << attached.status();
+  EXPECT_EQ(attached->forward_from, first_results.next_seq);
+  ASSERT_TRUE(second.Feed(1).ok());
+
+  auto stats = second.Stats();
+  ASSERT_TRUE(stats.ok());
+  uint64_t sink_items = stats->queries[q0->query_id].items;
+  uint64_t sink_hash = stats->queries[q0->query_id].content_hash;
+  ClientQueryResults caught_up = second.results(q0->query_id);
+  EXPECT_EQ(first_results.items + caught_up.items, sink_items);
+  EXPECT_EQ(first_results.content_hash + caught_up.content_hash,
+            sink_hash);
+
+  daemon->RequestDrain(/*final_drain=*/true);
+  daemon->Join();
+}
+
+TEST(ServeDaemon, DisconnectImplicitlyUnsubscribes) {
+  workload::ScenarioSpec scenario = SmallScenario();
+  auto daemon = StartDaemon(scenario);
+  ASSERT_NE(daemon, nullptr);
+
+  {
+    ServeClient doomed = MakeClient(*daemon, "doomed");
+    ASSERT_TRUE(doomed.Connect().ok());
+    auto q0 = doomed.Subscribe(scenario.queries[0].text,
+                               scenario.queries[0].target);
+    ASSERT_TRUE(q0.ok() && q0->accepted);
+    doomed.Close();  // vanish without Unsubscribe or Detach
+  }
+
+  ServeClient observer = MakeClient(*daemon, "observer");
+  ASSERT_TRUE(observer.Connect().ok());
+  // The loop notices the EOF within a poll interval; the refcounted GC
+  // then removes the orphaned subscription.
+  bool inactive = false;
+  for (int i = 0; i < 100 && !inactive; ++i) {
+    auto stats = observer.Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    if (!stats->queries.empty() && !stats->queries[0].active) {
+      inactive = true;
+    }
+  }
+  EXPECT_TRUE(inactive) << "disconnect did not trigger unsubscribe";
+  auto final_stats = observer.Stats();
+  ASSERT_TRUE(final_stats.ok());
+  EXPECT_EQ(daemon->stats().unsubscribed, 1u);
+
+  daemon->RequestDrain(/*final_drain=*/true);
+  daemon->Join();
+}
+
+TEST(ServeDaemon, UnsupportedFrameGetsDecodableAnswerNotTeardown) {
+  workload::ScenarioSpec scenario = SmallScenario();
+  auto daemon = StartDaemon(scenario);
+  ASSERT_NE(daemon, nullptr);
+
+  auto conn = ConnectTcp("127.0.0.1", daemon->port(), 5000);
+  ASSERT_TRUE(conn.ok()) << conn.status();
+
+  // A frame type from the future: well-framed, undispatchable.
+  ASSERT_TRUE(conn->QueueFrame(static_cast<transport::FrameType>(0x41),
+                               "mystery-payload")
+                  .ok());
+  ASSERT_TRUE(conn->FlushAll(2000).ok());
+  transport::Frame frame;
+  auto event = conn->RecvFrame(&frame, 5000);
+  ASSERT_TRUE(event.ok()) << event.status();
+  ASSERT_EQ(*event, ConnEvent::kFrame);
+  ASSERT_EQ(frame.type, transport::FrameType::kControlAck);
+  auto response = DecodeResponse(frame.body);
+  ASSERT_TRUE(response.ok()) << response.status();
+  Status answer = ResponseStatus(*response);
+  EXPECT_TRUE(answer.IsUnsupported()) << answer;
+  EXPECT_NE(answer.message().find("type 65"), std::string::npos)
+      << answer.message();
+
+  // The connection is still usable: a proper handshake succeeds on it.
+  ControlRequest hello;
+  hello.request_id = 1;
+  hello.verb = Verb::kHello;
+  hello.client_name = "post-mystery";
+  ASSERT_TRUE(conn->QueueFrame(transport::FrameType::kControl,
+                               EncodeRequest(hello))
+                  .ok());
+  ASSERT_TRUE(conn->FlushAll(2000).ok());
+  event = conn->RecvFrame(&frame, 5000);
+  ASSERT_TRUE(event.ok()) << event.status();
+  ASSERT_EQ(frame.type, transport::FrameType::kControlAck);
+  response = DecodeResponse(frame.body);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(ResponseStatus(*response).ok());
+  EXPECT_EQ(daemon->stats().unsupported_frames, 1u);
+
+  daemon->RequestDrain(/*final_drain=*/true);
+  daemon->Join();
+}
+
+TEST(ServeDaemon, RestartableDrainCheckpointsAndExitsCleanly) {
+  workload::ScenarioSpec scenario = SmallScenario();
+  DaemonOptions options;
+  options.checkpoint_path =
+      ::testing::TempDir() + "/serve_drain_reject.ckpt";
+  std::remove(options.checkpoint_path.c_str());
+  auto daemon = StartDaemon(scenario, options);
+  ASSERT_NE(daemon, nullptr);
+
+  ServeClient client = MakeClient(*daemon, "late");
+  ASSERT_TRUE(client.Connect().ok());
+  auto q0 = client.Subscribe(scenario.queries[0].text,
+                             scenario.queries[0].target);
+  ASSERT_TRUE(q0.ok() && q0->accepted);
+  ASSERT_TRUE(client.Feed(50).ok());
+
+  auto drained = client.Drain(/*final_drain=*/false);
+  ASSERT_TRUE(drained.ok()) << drained.status();
+  auto eos = client.WaitEos(10000);
+  ASSERT_TRUE(eos.ok()) << eos.status();
+  EXPECT_FALSE(eos->final_drain);
+  daemon->Join();
+  EXPECT_TRUE(daemon->loop_status().ok()) << daemon->loop_status();
+
+  auto checkpoint = LoadCheckpoint(options.checkpoint_path);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status();
+  EXPECT_EQ(checkpoint->items_fed, 50u);
+  ASSERT_EQ(checkpoint->events.size(), 1u);
+  EXPECT_EQ(checkpoint->events[0].kind, LogEvent::Kind::kSubscribe);
+  std::remove(options.checkpoint_path.c_str());
+}
+
+TEST(ServeDaemon, RestartableDrainNeedsCheckpointPath) {
+  workload::ScenarioSpec scenario = SmallScenario();
+  auto daemon = StartDaemon(scenario);  // no checkpoint_path
+  ASSERT_NE(daemon, nullptr);
+  ServeClient client = MakeClient(*daemon, "no-ckpt");
+  ASSERT_TRUE(client.Connect().ok());
+  auto drained = client.Drain(/*final_drain=*/false);
+  EXPECT_TRUE(drained.status().IsInvalidArgument()) << drained.status();
+  daemon->RequestDrain(/*final_drain=*/true);
+  daemon->Join();
+}
+
+}  // namespace
+}  // namespace streamshare::serve

@@ -176,6 +176,79 @@ TEST_F(SystemTest, EnforceLimitsRejectsOverloadingQueries) {
   }
 }
 
+TEST_F(SystemTest, AdmissionRejectionLeavesDeploymentUntouched) {
+  SystemConfig config;
+  config.enforce_limits = true;
+  config.keep_results = true;
+  network::Topology tiny =
+      network::Topology::ExtendedExample(/*bandwidth_kbps=*/150.0,
+                                         /*max_load=*/60.0);
+  system_ = std::make_unique<StreamShareSystem>(tiny, config);
+  ASSERT_TRUE(system_
+                  ->RegisterStream("photons",
+                                   workload::PhotonGenerator::Schema(),
+                                   100.0, 4)
+                  .ok());
+  ASSERT_TRUE(
+      system_->SetRange("photons", P("coord/cel/ra"), {0.0, 360.0}).ok());
+  ASSERT_TRUE(
+      system_->SetRange("photons", P("coord/cel/dec"), {-90.0, 90.0}).ok());
+  ASSERT_TRUE(system_->SetRange("photons", P("en"), {0.1, 2.4}).ok());
+
+  Result<RegistrationResult> first = system_->RegisterQuery(
+      workload::kQuery1, 3, Strategy::kDataShipping);
+  ASSERT_TRUE(first.ok() && first->accepted);
+  first->sink->EnableContentHash();
+
+  double used_before = 0.0;
+  for (size_t link = 0; link < system_->topology().link_count(); ++link) {
+    used_before +=
+        system_->state().UsedBandwidthKbps(static_cast<int>(link));
+  }
+
+  // Push past the bandwidth/load cap: the E6 path must return a
+  // structured rejection, not an error, not a process exit.
+  Result<RegistrationResult> rejected(Status::Internal("unset"));
+  bool saw_rejection = false;
+  for (int i = 0; i < 6 && !saw_rejection; ++i) {
+    rejected = system_->RegisterQuery(workload::kQuery1, 3,
+                                      Strategy::kDataShipping);
+    ASSERT_TRUE(rejected.ok()) << rejected.status();
+    saw_rejection = !rejected->accepted;
+  }
+  ASSERT_TRUE(saw_rejection);
+  EXPECT_FALSE(rejected->reject_reason.empty());
+  EXPECT_EQ(rejected->sink, nullptr);
+
+  // Installed population untouched: same committed resources, the first
+  // query still active and still delivering.
+  double used_after = 0.0;
+  for (size_t link = 0; link < system_->topology().link_count(); ++link) {
+    used_after +=
+        system_->state().UsedBandwidthKbps(static_cast<int>(link));
+  }
+  EXPECT_DOUBLE_EQ(used_before, used_after);
+  EXPECT_TRUE(system_->IsActive(first->query_id));
+  EXPECT_FALSE(system_->IsActive(rejected->query_id));
+
+  workload::PhotonGenConfig gen;
+  gen.hot_regions = {{120.0, 138.0, -49.0, -40.0}};
+  gen.hot_weights = {2.0};
+  workload::PhotonGenerator generator(gen);
+  std::map<std::string, std::vector<engine::ItemPtr>> items;
+  items["photons"] = generator.Generate(500);
+  ASSERT_TRUE(system_->Run(items).ok());
+  EXPECT_GT(first->sink->item_count(), 0u);
+
+  // A rejected query was never deployed: unsubscribing it is NotFound
+  // with the admission story in the message.
+  Status unsub = system_->Unsubscribe(rejected->query_id);
+  EXPECT_TRUE(unsub.IsNotFound()) << unsub;
+  EXPECT_NE(unsub.message().find("rejected at admission"),
+            std::string::npos)
+      << unsub.message();
+}
+
 TEST_F(SystemTest, StreamSharingSurvivesLimitsThatKillDataShipping) {
   SystemConfig config;
   config.enforce_limits = true;

@@ -88,7 +88,10 @@ TEST(FrameTest, PartialBufferNeedsMore) {
   }
 }
 
-TEST(FrameTest, RejectsBadVersionTypeAndLength) {
+TEST(FrameTest, UnknownVersionOrTypeIsSkippableNotFatal) {
+  // A well-framed frame we cannot dispatch (newer peer) must come back
+  // kUnsupported with `consumed` covering the whole frame, so a receiver
+  // can skip it, answer with a decodable error, and keep the connection.
   std::string good;
   transport::AppendFrame(&good, FrameType::kData, "x");
   transport::Frame frame;
@@ -97,15 +100,35 @@ TEST(FrameTest, RejectsBadVersionTypeAndLength) {
   std::string bad_version = good;
   bad_version[1] = static_cast<char>(transport::kWireVersion + 1);
   EXPECT_EQ(transport::ParseFrame(bad_version, &frame, &consumed),
-            transport::ParseResult::kMalformed);
+            transport::ParseResult::kUnsupported);
+  EXPECT_EQ(consumed, bad_version.size());
+  EXPECT_EQ(frame.version, transport::kWireVersion + 1);
 
   std::string bad_type = good;
   bad_type[2] = 0x7f;
+  consumed = 0;
   EXPECT_EQ(transport::ParseFrame(bad_type, &frame, &consumed),
-            transport::ParseResult::kMalformed);
+            transport::ParseResult::kUnsupported);
+  EXPECT_EQ(consumed, bad_type.size());
+  EXPECT_EQ(frame.raw_type, 0x7f);
 
+  // A frame following the unsupported one must still parse: the stream
+  // survives the vocabulary mismatch.
+  std::string mixed = bad_type + good;
+  ASSERT_EQ(transport::ParseFrame(mixed, &frame, &consumed),
+            transport::ParseResult::kUnsupported);
+  mixed.erase(0, consumed);
+  ASSERT_EQ(transport::ParseFrame(mixed, &frame, &consumed),
+            transport::ParseResult::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kData);
+  EXPECT_EQ(frame.body, "x");
+}
+
+TEST(FrameTest, RejectsOversizedLength) {
   // A length prefix beyond the payload cap must be rejected before any
   // allocation happens.
+  transport::Frame frame;
+  size_t consumed = 0;
   std::string huge;
   transport::PutVarint(&huge, transport::kMaxFramePayload + 3);
   EXPECT_EQ(transport::ParseFrame(huge, &frame, &consumed),

@@ -135,6 +135,34 @@ TEST_F(UnregisterTest, InvalidIdsRejected) {
   EXPECT_TRUE(system_->UnregisterQuery(q1->query_id).IsNotFound());
 }
 
+TEST_F(UnregisterTest, DoubleUnsubscribeIsNotFoundOnBothPlanes) {
+  Result<sharing::RegistrationResult> q1 = system_->RegisterQuery(
+      workload::kQuery1, 1, sharing::Strategy::kStreamSharing);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(system_->Unsubscribe(q1->query_id).ok());
+
+  // Every not-an-active-subscription shape answers NotFound, with a
+  // message naming why, on the recovery-aware Unsubscribe path and the
+  // plain UnregisterQuery path alike.
+  Status removed = system_->Unsubscribe(q1->query_id);
+  EXPECT_TRUE(removed.IsNotFound()) << removed;
+  EXPECT_NE(removed.message().find("already unsubscribed"),
+            std::string::npos)
+      << removed.message();
+
+  Status never = system_->Unsubscribe(777);
+  EXPECT_TRUE(never.IsNotFound()) << never;
+  EXPECT_NE(never.message().find("never registered"), std::string::npos)
+      << never.message();
+
+  EXPECT_TRUE(system_->UnregisterQuery(q1->query_id).IsNotFound());
+  EXPECT_TRUE(system_->UnregisterQuery(777).IsNotFound());
+
+  // CheckActiveSubscription is the shared predicate behind both.
+  EXPECT_TRUE(system_->CheckActiveSubscription(q1->query_id).IsNotFound());
+  EXPECT_TRUE(system_->CheckActiveSubscription(-1).IsNotFound());
+}
+
 TEST_F(UnregisterTest, WideningQueriesCannotUnregister) {
   sharing::SystemConfig config;
   config.planner.enable_widening = true;

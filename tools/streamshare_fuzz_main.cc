@@ -9,8 +9,9 @@
 //                    [--scenario=FILE] [--out-dir=DIR] [--metrics=FILE]
 //                    [--no-parallel] [--no-loopback] [--no-tcp]
 //                    [--tcp-processes] [--no-shrink] [--churn=P]
-//                    [--sweep-flow] [--dom-path] [--inject-mode=MODE]
-//                    [--inject-min-window=N] [--inject-churn-mode=MODE]
+//                    [--sweep-flow] [--dom-path] [--serve]
+//                    [--inject-mode=MODE] [--inject-min-window=N]
+//                    [--inject-churn-mode=MODE]
 //
 // --seeds sweeps seeds [B, B+N); --seed runs exactly one; --scenario
 // replays a JSON file emitted by an earlier run. --inject-mode plants a
@@ -25,7 +26,12 @@
 // seed, so a sweep exercises many transport configurations instead of
 // only the production defaults. --dom-path turns the compact-record hot
 // path off in every mode (by default the non-reference modes run it, so
-// each equivalence diff is also a DOM-vs-record differential).
+// each equivalence diff is also a DOM-vs-record differential). --serve
+// adds the fifth oracle arm: every scenario also runs through a live
+// streamshare_serve daemon + client over localhost TCP and the
+// client-side deliveries must match the serial reference byte for byte.
+// Real sockets per scenario make it the slowest arm — CI gates it to a
+// small seed count.
 //
 // Exit codes: 0 clean, 1 divergence found, 2 infrastructure failure.
 
@@ -92,8 +98,9 @@ int Usage(const char* program) {
                "[--scenario=FILE] [--out-dir=DIR] [--metrics=FILE] "
                "[--no-parallel] [--no-loopback] [--no-tcp] "
                "[--tcp-processes] [--no-shrink] [--churn=P] "
-               "[--sweep-flow] [--dom-path] [--inject-mode=MODE] "
-               "[--inject-min-window=N] [--inject-churn-mode=MODE]\n",
+               "[--sweep-flow] [--dom-path] [--serve] "
+               "[--inject-mode=MODE] [--inject-min-window=N] "
+               "[--inject-churn-mode=MODE]\n",
                program);
   return 2;
 }
@@ -180,6 +187,8 @@ int main(int argc, char** argv) {
       options.oracle.tcp_processes = true;
     } else if (std::strcmp(argv[i], "--dom-path") == 0) {
       options.oracle.record_path = false;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      options.oracle.run_serve = true;
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       options.shrink = false;
     } else if (ParseFlag(argv[i], "--churn", &value)) {

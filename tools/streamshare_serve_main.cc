@@ -1,0 +1,198 @@
+// streamshare_serve — the long-lived service. Hosts one of the paper's
+// evaluation scenarios (topology + photon streams + deterministic
+// generators) with the engine running continuously, and serves the
+// CONTROL/RESULTS planes to streamshare_client connections: live
+// Subscribe through the real planner with admission control, Feed,
+// Stats, chaos verbs, graceful drain.
+//
+//   streamshare_serve [--port=N] [--scenario=extended|grid] [--seed=N]
+//                     [--checkpoint=FILE] [--resume=replay|gap]
+//                     [--enforce-limits] [--widening] [--poll-ms=N]
+//                     [--metrics=FILE] [--log]
+//
+// --port=0 (the default) binds an ephemeral port; the bound port is
+// printed as `listening port=N` on stdout either way, so a launcher can
+// scrape it. --checkpoint enables restartable drain: SIGTERM (or a
+// client's Drain verb) checkpoints the registration/churn event log to
+// FILE and exits; starting the daemon again with the same scenario and
+// --checkpoint resumes per --resume (replay = byte-identical catch-up,
+// gap = windows re-anchor). Without --checkpoint, SIGTERM performs a
+// final drain: in-flight windows flush to the attached clients, then the
+// service ends. SIGINT always final-drains.
+//
+// --metrics writes a registry snapshot (serve.* gauges plus the hosted
+// system's metrics) after the drain. Exit code 0 on a clean drain, 2 on
+// a startup or loop failure.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/event_log.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "serve/daemon.h"
+#include "workload/scenario.h"
+
+using namespace streamshare;
+
+namespace {
+
+struct Options {
+  int port = 0;
+  std::string scenario = "extended";
+  uint64_t seed = 11;
+  std::string checkpoint_path;
+  serve::ResumeFlavor resume = serve::ResumeFlavor::kReplay;
+  bool enforce_limits = false;
+  bool widening = false;
+  int poll_ms = 50;
+  std::string metrics_path;
+  bool log = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage(const char* program) {
+  std::fprintf(stderr,
+               "usage: %s [--port=N] [--scenario=extended|grid] "
+               "[--seed=N] [--checkpoint=FILE] [--resume=replay|gap] "
+               "[--enforce-limits] [--widening] [--poll-ms=N] "
+               "[--metrics=FILE] [--log]\n",
+               program);
+  return 2;
+}
+
+/// The signal path into the poll loop: RequestDrain is an atomic flag
+/// the loop notices within one poll interval, safe from a handler.
+serve::ServeDaemon* g_daemon = nullptr;
+
+void HandleSigterm(int) {
+  if (g_daemon != nullptr) g_daemon->RequestDrain(/*final_drain=*/false);
+}
+
+void HandleSigint(int) {
+  if (g_daemon != nullptr) g_daemon->RequestDrain(/*final_drain=*/true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--port", &value)) {
+      options.port = static_cast<int>(std::strtol(value.c_str(), nullptr,
+                                                  10));
+    } else if (ParseFlag(argv[i], "--scenario", &value)) {
+      options.scenario = value;
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--checkpoint", &value)) {
+      options.checkpoint_path = value;
+    } else if (ParseFlag(argv[i], "--resume", &value)) {
+      if (value == "replay") {
+        options.resume = serve::ResumeFlavor::kReplay;
+      } else if (value == "gap") {
+        options.resume = serve::ResumeFlavor::kGap;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--enforce-limits") == 0) {
+      options.enforce_limits = true;
+    } else if (std::strcmp(argv[i], "--widening") == 0) {
+      options.widening = true;
+    } else if (ParseFlag(argv[i], "--poll-ms", &value)) {
+      options.poll_ms = static_cast<int>(std::strtol(value.c_str(),
+                                                     nullptr, 10));
+    } else if (ParseFlag(argv[i], "--metrics", &value)) {
+      options.metrics_path = value;
+    } else if (std::strcmp(argv[i], "--log") == 0) {
+      options.log = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (options.log) {
+    obs::EventLog::Default().SetSink(std::make_shared<obs::StderrSink>());
+  }
+
+  // The scenario supplies topology, streams, and deterministic
+  // generators; subscriptions arrive live over the CONTROL plane — the
+  // scenario's own query specs are never registered by the daemon.
+  workload::ScenarioSpec scenario;
+  if (options.scenario == "extended") {
+    scenario = workload::ExtendedExampleScenario(options.seed,
+                                                 /*query_count=*/0);
+  } else if (options.scenario == "grid") {
+    scenario = workload::GridScenario(options.seed, /*query_count=*/0);
+  } else {
+    return Usage(argv[0]);
+  }
+
+  serve::DaemonOptions daemon_options;
+  daemon_options.port = options.port;
+  daemon_options.checkpoint_path = options.checkpoint_path;
+  daemon_options.resume = options.resume;
+  daemon_options.poll_interval_ms = options.poll_ms;
+  daemon_options.system.enforce_limits = options.enforce_limits;
+  daemon_options.system.planner.enable_widening = options.widening;
+
+  serve::ServeDaemon daemon(std::move(scenario), daemon_options);
+  Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 started.ToString().c_str());
+    return 2;
+  }
+  g_daemon = &daemon;
+  std::signal(SIGTERM, HandleSigterm);
+  std::signal(SIGINT, HandleSigint);
+
+  std::printf("listening port=%d scenario=%s seed=%llu epoch=%llu\n",
+              daemon.port(), options.scenario.c_str(),
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(daemon.epoch()));
+  std::fflush(stdout);
+
+  daemon.Join();
+  g_daemon = nullptr;
+  Status loop = daemon.loop_status();
+  if (!loop.ok()) {
+    std::fprintf(stderr, "loop failed: %s\n", loop.ToString().c_str());
+    return 2;
+  }
+
+  serve::DaemonStats stats = daemon.stats();
+  std::printf(
+      "drained epoch=%llu admitted=%llu rejected=%llu items_fed=%llu "
+      "results_forwarded=%llu\n",
+      static_cast<unsigned long long>(stats.epoch),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.items_fed),
+      static_cast<unsigned long long>(stats.results_forwarded));
+
+  if (!options.metrics_path.empty()) {
+    obs::MetricsRegistry registry;
+    daemon.ExportMetrics(&registry);
+    Status written = obs::WriteMetricsFile(registry.Snapshot(),
+                                           options.metrics_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "writing metrics failed: %s\n",
+                   written.ToString().c_str());
+      return 2;
+    }
+  }
+  return 0;
+}

@@ -8,7 +8,7 @@
 //                   [--transport-threads] [--fail-peer=ID@OFFSET]
 //                   [--cut-link=A-B@OFFSET] [--trace=FILE]
 //                   [--metrics=FILE] [--explain] [--log]
-//                   [--latency-report] [--no-stamping]
+//                   [--latency-report] [--no-stamping] [--query-stats]
 //
 // --transport runs the deployed network over the transport layer (binary
 // codec + credit-based flow control) instead of in-process pointer
@@ -32,7 +32,11 @@
 // latency audit table: the plan's estimated delivery latency next to the
 // p50/p99 actually measured at the sink from per-item ingress stamps.
 // --no-stamping disables the measured-latency plane (items are not
-// stamped; the audit has nothing to report).
+// stamped; the audit has nothing to report). --query-stats keeps every
+// sink's results and prints one `q<id> items=N bytes=N hash=N` line per
+// query — the same observation a live streamshare_client prints, so a
+// batch run and a served run of the same scenario diff directly
+// (scripts/serve_smoke.sh does exactly that).
 //
 // Exit code 0 on success.
 
@@ -72,6 +76,7 @@ struct Options {
   bool log = false;
   bool latency_report = false;
   bool no_stamping = false;
+  bool query_stats = false;
   std::string trace_path;
   std::string metrics_path;
   std::vector<workload::ChurnEvent> churn;
@@ -128,7 +133,8 @@ int Usage(const char* program) {
       "[--executor=serial|parallel] [--transport=loopback|tcp] "
       "[--transport-threads] [--fail-peer=ID@OFFSET] "
       "[--cut-link=A-B@OFFSET] [--trace=FILE] [--metrics=FILE] "
-      "[--explain] [--log] [--latency-report] [--no-stamping]\n",
+      "[--explain] [--log] [--latency-report] [--no-stamping] "
+      "[--query-stats]\n",
       program);
   return 1;
 }
@@ -198,6 +204,8 @@ int main(int argc, char** argv) {
       options.latency_report = true;
     } else if (std::strcmp(argv[i], "--no-stamping") == 0) {
       options.no_stamping = true;
+    } else if (std::strcmp(argv[i], "--query-stats") == 0) {
+      options.query_stats = true;
     } else {
       return Usage(argv[0]);
     }
@@ -224,6 +232,9 @@ int main(int argc, char** argv) {
   config.planner.enable_widening = options.widening;
   config.enforce_limits = options.enforce_limits;
   config.measure_latency = !options.no_stamping;
+  // Query stats need the delivery log (and RunScenario hashes kept
+  // sinks), so the observation matches what a live client accumulates.
+  config.keep_results = options.query_stats;
   if (options.parallel) {
     config.executor = sharing::ExecutorKind::kParallel;
   }
@@ -348,6 +359,25 @@ int main(int argc, char** argv) {
       std::printf("event %zu @item %zu:\n%s", i,
                   options.churn[i].at_offset,
                   reports[i].ToString().c_str());
+    }
+  }
+
+  if (options.query_stats) {
+    std::printf("\n=== query stats ===\n");
+    for (const sharing::RegistrationResult& registration :
+         run->system->registrations()) {
+      if (!registration.accepted || registration.sink == nullptr) {
+        std::printf("q%d rejected\n", registration.query_id);
+        continue;
+      }
+      std::printf("q%d items=%llu bytes=%llu hash=%llu\n",
+                  registration.query_id,
+                  static_cast<unsigned long long>(
+                      registration.sink->item_count()),
+                  static_cast<unsigned long long>(
+                      registration.sink->total_bytes()),
+                  static_cast<unsigned long long>(
+                      registration.sink->content_hash()));
     }
   }
 
