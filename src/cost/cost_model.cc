@@ -74,17 +74,20 @@ double CostModel::SelectionSelectivity(
     const StreamStatistics& stats) const {
   double selectivity = 1.0;
   const auto& nodes = graph.nodes();
+  // One closure serves every per-node bound query below (TightestBound
+  // would re-run Floyd–Warshall per call).
+  const auto closure = graph.Closure();
   for (size_t v = 1; v < nodes.size(); ++v) {
     std::optional<ValueRange> range = stats.Range(nodes[v]);
     if (!range.has_value() || range->Width() <= 0.0) continue;
     double lo = range->min;
     double hi = range->max;
     // v ≤ c appears as the tightest bound v → 0.
-    if (auto upper = graph.TightestBound(static_cast<int>(v), 0)) {
+    if (const auto& upper = closure[v][0]) {
       hi = std::min(hi, upper->value.ToDouble());
     }
     // 0 ≤ v + c (v ≥ −c) appears as the tightest bound 0 → v.
-    if (auto lower = graph.TightestBound(0, static_cast<int>(v))) {
+    if (const auto& lower = closure[0][v]) {
       lo = std::max(lo, -lower->value.ToDouble());
     }
     // A histogram, when available, captures the element's skew (hot sky

@@ -7,15 +7,28 @@ namespace streamshare::network {
 StreamId StreamRegistry::Register(RegisteredStream stream) {
   stream.id = static_cast<StreamId>(streams_.size());
   streams_.push_back(std::move(stream));
-  return streams_.back().id;
+  const RegisteredStream& added = streams_.back();
+  if (added.IsOriginal()) originals_.emplace(added.variant_of, added.id);
+  if (listener_ != nullptr) listener_->OnStreamRegistered(added.id);
+  return added.id;
+}
+
+void StreamRegistry::Retire(StreamId id) {
+  RegisteredStream& stream = streams_[id];
+  if (stream.retired) return;
+  stream.retired = true;
+  if (listener_ != nullptr) listener_->OnStreamRetired(id);
+}
+
+void StreamRegistry::NotifyUpdated(StreamId id) {
+  if (listener_ != nullptr) listener_->OnStreamUpdated(id);
 }
 
 const RegisteredStream* StreamRegistry::FindOriginal(
     std::string_view name) const {
-  for (const RegisteredStream& stream : streams_) {
-    if (stream.IsOriginal() && stream.variant_of == name) return &stream;
-  }
-  return nullptr;
+  auto it = originals_.find(name);
+  if (it == originals_.end()) return nullptr;
+  return &streams_[it->second];
 }
 
 std::vector<const RegisteredStream*> StreamRegistry::AvailableAt(

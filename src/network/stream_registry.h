@@ -9,6 +9,7 @@
 #ifndef STREAMSHARE_NETWORK_STREAM_REGISTRY_H_
 #define STREAMSHARE_NETWORK_STREAM_REGISTRY_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -61,16 +62,44 @@ struct RegisteredStream {
   bool IsOriginal() const { return props.operators.empty(); }
 };
 
+/// Observer for registry mutations. The candidate index implements this to
+/// stay incrementally consistent with the stream population; every code
+/// path that changes reuse-relevant stream state must go through the
+/// notifying registry methods (Register / Retire / NotifyUpdated) so the
+/// index can never silently drift from the flat-scan ground truth.
+class RegistryListener {
+ public:
+  virtual ~RegistryListener() = default;
+  /// A new stream was registered (id is final).
+  virtual void OnStreamRegistered(StreamId id) = 0;
+  /// The stream was retired (GC / unsubscribe / failure recovery).
+  virtual void OnStreamRetired(StreamId id) = 0;
+  /// The stream's props/rate were rewritten in place (stream widening).
+  /// Fired after the mutation; route and latency are unchanged.
+  virtual void OnStreamUpdated(StreamId id) = 0;
+};
+
 class StreamRegistry {
  public:
   /// Registers a stream and returns its id.
   StreamId Register(RegisteredStream stream);
 
+  /// Installs (or clears, with nullptr) the mutation observer. At most one
+  /// listener; it must outlive the registry or be cleared first.
+  void set_listener(RegistryListener* listener) { listener_ = listener; }
+
   const std::vector<RegisteredStream>& streams() const { return streams_; }
   const RegisteredStream& stream(StreamId id) const { return streams_[id]; }
   /// Mutable access for in-place updates (stream widening rewrites the
-  /// props and rate of a deployed stream).
+  /// props and rate of a deployed stream). Callers that change
+  /// reuse-relevant fields must follow up with NotifyUpdated.
   RegisteredStream& mutable_stream(StreamId id) { return streams_[id]; }
+
+  /// Marks the stream retired and notifies the listener. Idempotent.
+  void Retire(StreamId id);
+
+  /// Notifies the listener that `id` was rewritten in place.
+  void NotifyUpdated(StreamId id);
 
   /// The original stream registered under `name`, or nullptr.
   const RegisteredStream* FindOriginal(std::string_view name) const;
@@ -89,6 +118,9 @@ class StreamRegistry {
 
  private:
   std::vector<RegisteredStream> streams_;
+  /// First original stream registered under each name (FindOriginal).
+  std::map<std::string, StreamId, std::less<>> originals_;
+  RegistryListener* listener_ = nullptr;
 };
 
 }  // namespace streamshare::network

@@ -93,6 +93,11 @@ class PredicateGraph {
   /// the bound semiring); nullopt if target is unreachable.
   std::optional<Bound> TightestBound(int source, int target) const;
 
+  /// All-pairs tightest bounds (Floyd–Warshall), nullopt = unreachable.
+  /// One call amortizes the closure across many TightestBound-style
+  /// queries of the same graph (the cost model reads two bounds per node).
+  std::vector<std::vector<std::optional<Bound>>> Closure() const;
+
   /// All edges incident to `node` (incoming and outgoing), as Algorithm 3's
   /// "edges connected to v".
   std::vector<Edge> EdgesConnectedTo(int node) const;
@@ -111,8 +116,6 @@ class PredicateGraph {
  private:
   int GetOrAddNode(const xml::Path& path);
   void AddConstraint(int source, int target, const Bound& bound);
-  /// All-pairs tightest bounds (Floyd–Warshall), nullopt = unreachable.
-  std::vector<std::vector<std::optional<Bound>>> Closure() const;
 
   std::vector<xml::Path> nodes_;
   std::map<xml::Path, int> node_index_;

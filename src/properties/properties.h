@@ -31,6 +31,10 @@ struct InputStreamProperties {
   const AggregationOp* aggregation() const;
 
   std::string ToString() const;
+
+  /// Exact structural equality (used by the candidate index to intern
+  /// shapes; streams with equal entries are interchangeable for matching).
+  bool operator==(const InputStreamProperties& other) const = default;
 };
 
 /// Properties of a subscription or a data stream.

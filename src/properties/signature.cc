@@ -1,0 +1,113 @@
+#include "properties/signature.h"
+
+#include "predicate/graph.h"
+
+namespace streamshare::properties {
+namespace {
+
+uint32_t KindBit(OperatorKind kind) {
+  return 1u << static_cast<uint32_t>(kind);
+}
+
+/// Appends (or merges into) the interval for `path`.
+PathInterval& IntervalFor(std::vector<PathInterval>& intervals,
+                          const xml::Path& path) {
+  for (PathInterval& interval : intervals) {
+    if (interval.path == path) return interval;
+  }
+  intervals.push_back(PathInterval{path, std::nullopt, std::nullopt});
+  return intervals.back();
+}
+
+/// Stream side: the zero-incident *edges* of the selection graph. These
+/// are exactly the constraints the complete implication test iterates for
+/// the stream graph, so failing to imply one of them refutes the match.
+SelectionSignature EdgeIntervals(const predicate::PredicateGraph& graph) {
+  SelectionSignature sig;
+  for (const predicate::PredicateGraph::Edge& edge : graph.edges()) {
+    if (edge.source == 0 && edge.target != 0) {
+      // 0 ≤ path + c, i.e. path ≥ -c.
+      IntervalFor(sig.intervals, graph.nodes()[edge.target]).lower =
+          edge.bound;
+    } else if (edge.target == 0 && edge.source != 0) {
+      // path ≤ c.
+      IntervalFor(sig.intervals, graph.nodes()[edge.source]).upper =
+          edge.bound;
+    }
+  }
+  return sig;
+}
+
+/// Probe side: the tightest *derivable* zero-incident bounds (closure).
+/// These are what the implication test compares against stream edges.
+SelectionSignature ClosureIntervals(const predicate::PredicateGraph& graph) {
+  SelectionSignature sig;
+  const std::vector<xml::Path>& nodes = graph.nodes();
+  for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
+    std::optional<predicate::Bound> upper = graph.TightestBound(i, 0);
+    std::optional<predicate::Bound> lower = graph.TightestBound(0, i);
+    if (!upper && !lower) continue;
+    PathInterval& interval = IntervalFor(sig.intervals, nodes[i]);
+    interval.upper = upper;
+    interval.lower = lower;
+  }
+  return sig;
+}
+
+AggregationSignature AggSignature(const AggregationOp& op) {
+  return AggregationSignature{op.func, op.aggregated_element, op.window};
+}
+
+}  // namespace
+
+StreamSignature ComputeStreamSignature(const InputStreamProperties& props) {
+  StreamSignature sig;
+  for (const Operator& op : props.operators) {
+    OperatorKind kind = KindOf(op);
+    sig.kind_mask |= KindBit(kind);
+    switch (kind) {
+      case OperatorKind::kSelection:
+        sig.selections.push_back(EdgeIntervals(std::get<SelectionOp>(op).graph));
+        break;
+      case OperatorKind::kProjection:
+        sig.projection_outputs.push_back(std::get<ProjectionOp>(op).output);
+        break;
+      case OperatorKind::kAggregation:
+        sig.aggregations.push_back(AggSignature(std::get<AggregationOp>(op)));
+        sig.epoch_safe = false;
+        break;
+      case OperatorKind::kUserDefined:
+        sig.udfs.push_back(std::get<UserDefinedOp>(op));
+        sig.epoch_safe = false;
+        break;
+    }
+  }
+  return sig;
+}
+
+SubscriptionProbe ComputeSubscriptionProbe(const InputStreamProperties& sub) {
+  SubscriptionProbe probe;
+  for (const Operator& op : sub.operators) {
+    OperatorKind kind = KindOf(op);
+    probe.kind_mask |= KindBit(kind);
+    switch (kind) {
+      case OperatorKind::kSelection:
+        probe.selections.push_back(
+            ClosureIntervals(std::get<SelectionOp>(op).graph));
+        break;
+      case OperatorKind::kProjection:
+        probe.projection_referenced.push_back(
+            std::get<ProjectionOp>(op).referenced);
+        break;
+      case OperatorKind::kAggregation:
+        probe.aggregations.push_back(AggSignature(std::get<AggregationOp>(op)));
+        break;
+      case OperatorKind::kUserDefined:
+        probe.udfs.push_back(std::get<UserDefinedOp>(op));
+        break;
+    }
+  }
+  return probe;
+}
+
+}  // namespace streamshare::properties

@@ -1,0 +1,94 @@
+// Conservative matching signatures for candidate indexing. A
+// StreamSignature distills the per-input properties of a registered stream
+// into the facts a match *requires* of any subscription: which operator
+// kinds are present, which UDF invocations must be repeated verbatim,
+// which aggregate/window shapes must be compatible, which projection
+// output set must cover the subscription's references, and which
+// zero-incident difference bounds the subscription's selection must imply.
+// A SubscriptionProbe is the subscription-side counterpart, precomputed
+// once per Subscribe call.
+//
+// The derived check (sharing::SignatureCouldMatch) is a *necessary*
+// condition for matching::MatchProperties under either predicate mode
+// (edge-local or complete): when it fails, no match is possible, so the
+// candidate index may prune the stream without consulting the matcher.
+// It is deliberately incomplete — pre-selection and result-filter
+// equivalence for aggregates, and variable-vs-variable predicate edges,
+// are left to the full matcher.
+
+#ifndef STREAMSHARE_PROPERTIES_SIGNATURE_H_
+#define STREAMSHARE_PROPERTIES_SIGNATURE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "predicate/atomic.h"
+#include "properties/properties.h"
+
+namespace streamshare::properties {
+
+/// Zero-incident bounds on one path: `path ≤ upper` and `path ≥ -lower`
+/// in difference-bound form (either side may be absent).
+struct PathInterval {
+  xml::Path path;
+  /// Direct/derived bound path → zero: path ≤ value (strict: <).
+  std::optional<predicate::Bound> upper;
+  /// Direct/derived bound zero → path: 0 ≤ path + value, i.e.
+  /// path ≥ -value (strict: >).
+  std::optional<predicate::Bound> lower;
+};
+
+/// Signature of one selection operator.
+struct SelectionSignature {
+  /// For a stream: the zero-incident *edges* of the minimized predicate
+  /// graph (the constraints the full Implies test iterates). For a probe:
+  /// the *tightest derivable* zero-incident bounds (graph closure).
+  std::vector<PathInterval> intervals;
+};
+
+/// Window-divisor signature of one aggregation operator: the fields every
+/// MatchAggregations branch requires to be compatible.
+struct AggregationSignature {
+  AggregateFunc func = AggregateFunc::kAvg;
+  xml::Path aggregated_element;
+  WindowSpec window;
+};
+
+/// What a registered stream demands of any subscription that reuses it.
+struct StreamSignature {
+  /// Bit (1 << OperatorKind) per operator kind present in the stream.
+  uint32_t kind_mask = 0;
+  /// True iff the stream carries no aggregation/UDF operators, i.e. it is
+  /// reusable under epoch-safe-only planning (recovery, re-optimization).
+  bool epoch_safe = true;
+  std::vector<UserDefinedOp> udfs;
+  std::vector<AggregationSignature> aggregations;
+  /// Output path set per projection operator.
+  std::vector<std::vector<xml::Path>> projection_outputs;
+  /// Zero-incident edge bounds per selection operator.
+  std::vector<SelectionSignature> selections;
+};
+
+/// What a subscription input offers: the counterpart facts a stream's
+/// requirements are tested against.
+struct SubscriptionProbe {
+  uint32_t kind_mask = 0;
+  std::vector<UserDefinedOp> udfs;
+  std::vector<AggregationSignature> aggregations;
+  /// Referenced path set per projection operator.
+  std::vector<std::vector<xml::Path>> projection_referenced;
+  /// Tightest derivable zero-incident bounds per selection operator.
+  std::vector<SelectionSignature> selections;
+};
+
+/// Builds the stream-side signature from a registered stream's per-input
+/// properties entry.
+StreamSignature ComputeStreamSignature(const InputStreamProperties& props);
+
+/// Builds the subscription-side probe from one subscription input binding.
+SubscriptionProbe ComputeSubscriptionProbe(const InputStreamProperties& sub);
+
+}  // namespace streamshare::properties
+
+#endif  // STREAMSHARE_PROPERTIES_SIGNATURE_H_

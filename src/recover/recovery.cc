@@ -100,7 +100,7 @@ bool StreamShareSystem::TryDismantle(ParkedWiring* parked,
     }
   }
   if (w.registered_stream >= 0) {
-    registry_.mutable_stream(w.registered_stream).retired = true;
+    registry_.Retire(w.registered_stream);
     taps_.erase(w.registered_stream);
   }
   for (const auto& [link, kbps] : parked->added_bandwidth_kbps) {
@@ -162,6 +162,7 @@ Status StreamShareSystem::Unsubscribe(int query_id) {
   ParkWirings(query_id, &deployment, registrations_[query_id].plan,
               nullptr);
   GcStreams();
+  ++plan_epoch_;
   obs::EventLog& log = obs::EventLog::Default();
   if (log.ShouldLog(obs::Severity::kInfo)) {
     log.Log(obs::Severity::kInfo, "recover", "query unsubscribed",
@@ -189,7 +190,7 @@ Result<recover::RecoveryReport> StreamShareSystem::RecoverAfter(
   // Retire severed streams before re-planning: the planner must neither
   // reuse them nor treat a dead source as available.
   for (StreamId id : report.severed_streams) {
-    registry_.mutable_stream(id).retired = true;
+    registry_.Retire(id);
   }
 
   // 2. Classify every active query.
@@ -236,6 +237,7 @@ Result<recover::RecoveryReport> StreamShareSystem::RecoverAfter(
   recovery_options.enable_widening = false;
   Planner recovery_planner(&topology_, &state_, &registry_,
                            cost_model_.get(), recovery_options);
+  recovery_planner.set_candidate_index(candidate_index_.get());
   uint64_t lost_total = 0;
   for (const Affected& a : affected) {
     QueryDeployment& deployment = deployments_[a.query_id];
@@ -311,6 +313,7 @@ Result<recover::RecoveryReport> StreamShareSystem::RecoverAfter(
   //    consumer in this event (cascades up reuse chains).
   lost_total += GcStreams();
   report.lost_windows = lost_total;
+  ++plan_epoch_;
 
   // 5. Snapshot every surviving sink: the epoch boundary the oracle
   //    compares post-recovery output against.

@@ -130,6 +130,9 @@ Status SaveCheckpoint(const std::string& path,
         PutVarint(&out, Zig(event.link_a));
         PutVarint(&out, Zig(event.link_b));
         break;
+      case LogEvent::Kind::kReoptimize:
+        PutVarint(&out, Zig(event.max_migrations));
+        break;
     }
   }
   PutVarint(&out, checkpoint.deliveries.size());
@@ -199,7 +202,7 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
       return truncated();
     }
     if (kind < static_cast<uint64_t>(LogEvent::Kind::kSubscribe) ||
-        kind > static_cast<uint64_t>(LogEvent::Kind::kCutLink)) {
+        kind > static_cast<uint64_t>(LogEvent::Kind::kReoptimize)) {
       return Status::ParseError("unknown checkpoint event kind " +
                                 std::to_string(kind));
     }
@@ -224,6 +227,9 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
             !GetSigned(&data, &event.link_b)) {
           return truncated();
         }
+        break;
+      case LogEvent::Kind::kReoptimize:
+        if (!GetSigned(&data, &event.max_migrations)) return truncated();
         break;
     }
     checkpoint.events.push_back(std::move(event));

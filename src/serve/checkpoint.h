@@ -30,6 +30,7 @@ struct LogEvent {
     kUnsubscribe = 2,
     kFailPeer = 3,
     kCutLink = 4,
+    kReoptimize = 5,
   };
 
   Kind kind = Kind::kSubscribe;
@@ -47,6 +48,11 @@ struct LogEvent {
   // kFailPeer / kCutLink
   int64_t peer = -1;
   int64_t link_a = -1, link_b = -1;
+
+  // kReoptimize. A re-optimization pass is deterministic given the
+  // system state it ran against, so logging (offset, cap) is enough for
+  // a replay to reproduce the exact plan migrations.
+  int64_t max_migrations = -1;
 };
 
 /// Delivered-output fingerprint of one query at drain time (replay

@@ -57,6 +57,25 @@ Result<SubscribeReply> ServeClient::Attach(int64_t query_id,
   return DecodeSubscribeReply(response.payload);
 }
 
+Result<SubscribeBatchReply> ServeClient::SubscribeBatch(
+    const std::vector<ControlRequest::BatchEntry>& entries) {
+  ControlRequest request;
+  request.verb = Verb::kSubscribeBatch;
+  request.batch = entries;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
+  SS_RETURN_IF_ERROR(ResponseStatus(response));
+  return DecodeSubscribeBatchReply(response.payload);
+}
+
+Result<ReoptimizeReply> ServeClient::Reoptimize(int64_t max_migrations) {
+  ControlRequest request;
+  request.verb = Verb::kReoptimize;
+  request.max_migrations = max_migrations;
+  SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
+  SS_RETURN_IF_ERROR(ResponseStatus(response));
+  return DecodeReoptimizeReply(response.payload);
+}
+
 Status ServeClient::Unsubscribe(int64_t query_id) {
   ControlRequest request;
   request.verb = Verb::kUnsubscribe;

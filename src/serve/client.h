@@ -73,6 +73,17 @@ class ServeClient {
   /// `resume_from` (use results(query_id).next_seq after a reconnect).
   Result<SubscribeReply> Attach(int64_t query_id, uint64_t resume_from);
 
+  /// Registers a batch of fresh queries in one request. Sequential
+  /// semantics (same ids/plans/results as one Subscribe per entry); the
+  /// reply carries per-entry outcomes plus the daemon's clustering
+  /// counters.
+  Result<SubscribeBatchReply> SubscribeBatch(
+      const std::vector<ControlRequest::BatchEntry>& entries);
+
+  /// Runs one background re-optimization pass on the daemon (at most
+  /// `max_migrations` plan migrations; -1 = unbounded).
+  Result<ReoptimizeReply> Reoptimize(int64_t max_migrations = -1);
+
   Status Unsubscribe(int64_t query_id);
   Result<RecoveryReply> FailPeer(int64_t peer);
   Result<RecoveryReply> CutLink(int64_t link_a, int64_t link_b);

@@ -1,5 +1,7 @@
 #include "serve/control.h"
 
+#include <bit>
+
 #include "transport/wire.h"
 
 namespace streamshare::serve {
@@ -77,6 +79,17 @@ std::string EncodeRequest(const ControlRequest& request) {
     case Verb::kDrain:
       PutVarint(&out, request.final_drain ? 1 : 0);
       break;
+    case Verb::kSubscribeBatch:
+      PutVarint(&out, request.batch.size());
+      for (const ControlRequest::BatchEntry& entry : request.batch) {
+        PutVarint(&out, Zig(entry.vq));
+        PutVarint(&out, entry.strategy);
+        PutString(&out, entry.query_text);
+      }
+      break;
+    case Verb::kReoptimize:
+      PutVarint(&out, Zig(request.max_migrations));
+      break;
     case Verb::kStats:
     case Verb::kDetach:
       break;
@@ -91,7 +104,7 @@ Result<ControlRequest> DecodeRequest(std::string_view body) {
     return Truncated("control request header");
   }
   if (verb < static_cast<uint64_t>(Verb::kHello) ||
-      verb > static_cast<uint64_t>(Verb::kDetach)) {
+      verb > static_cast<uint64_t>(Verb::kReoptimize)) {
     return Status::Unsupported("unknown control verb " +
                                std::to_string(verb));
   }
@@ -144,6 +157,34 @@ Result<ControlRequest> DecodeRequest(std::string_view body) {
     case Verb::kDrain:
       if (!GetVarint(&body, &flag)) return Truncated("drain request");
       request.final_drain = flag != 0;
+      break;
+    case Verb::kSubscribeBatch: {
+      uint64_t count = 0;
+      if (!GetVarint(&body, &count)) {
+        return Truncated("subscribe-batch request");
+      }
+      request.batch.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        ControlRequest::BatchEntry entry;
+        uint64_t strategy = 0;
+        if (!GetSigned(&body, &entry.vq) ||
+            !GetVarint(&body, &strategy) ||
+            !GetString(&body, &entry.query_text)) {
+          return Truncated("subscribe-batch entry");
+        }
+        if (strategy > 2) {
+          return Status::InvalidArgument("unknown strategy " +
+                                         std::to_string(strategy));
+        }
+        entry.strategy = static_cast<uint8_t>(strategy);
+        request.batch.push_back(std::move(entry));
+      }
+      break;
+    }
+    case Verb::kReoptimize:
+      if (!GetSigned(&body, &request.max_migrations)) {
+        return Truncated("reoptimize request");
+      }
       break;
     case Verb::kStats:
     case Verb::kDetach:
@@ -333,6 +374,75 @@ Result<StatsReply> DecodeStatsReply(std::string_view payload) {
     query.active = active != 0;
     reply.queries.push_back(query);
   }
+  return reply;
+}
+
+std::string EncodeSubscribeBatchReply(const SubscribeBatchReply& reply) {
+  std::string out;
+  PutVarint(&out, reply.entries.size());
+  for (const SubscribeReply& entry : reply.entries) {
+    PutVarint(&out, Zig(entry.query_id));
+    PutVarint(&out, entry.accepted ? 1 : 0);
+    PutVarint(&out, entry.forward_from);
+    PutString(&out, entry.reject_reason);
+  }
+  PutVarint(&out, reply.analyze_cache_hits);
+  PutVarint(&out, reply.plan_memo_hits);
+  return out;
+}
+
+Result<SubscribeBatchReply> DecodeSubscribeBatchReply(
+    std::string_view payload) {
+  SubscribeBatchReply reply;
+  uint64_t count = 0;
+  if (!GetVarint(&payload, &count)) {
+    return Truncated("subscribe-batch reply");
+  }
+  reply.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SubscribeReply entry;
+    uint64_t accepted = 0;
+    if (!GetSigned(&payload, &entry.query_id) ||
+        !GetVarint(&payload, &accepted) ||
+        !GetVarint(&payload, &entry.forward_from) ||
+        !GetString(&payload, &entry.reject_reason)) {
+      return Truncated("subscribe-batch reply entry");
+    }
+    entry.accepted = accepted != 0;
+    reply.entries.push_back(std::move(entry));
+  }
+  if (!GetVarint(&payload, &reply.analyze_cache_hits) ||
+      !GetVarint(&payload, &reply.plan_memo_hits)) {
+    return Truncated("subscribe-batch reply counters");
+  }
+  return reply;
+}
+
+// Costs travel as the double's bit pattern: exact round-trip, no
+// locale/precision concerns.
+std::string EncodeReoptimizeReply(const ReoptimizeReply& reply) {
+  std::string out;
+  PutVarint(&out, reply.examined);
+  PutVarint(&out, reply.migrated);
+  PutVarint(&out, reply.torn_down);
+  PutVarint(&out, reply.lost_windows);
+  PutVarint(&out, std::bit_cast<uint64_t>(reply.cost_before));
+  PutVarint(&out, std::bit_cast<uint64_t>(reply.cost_after));
+  return out;
+}
+
+Result<ReoptimizeReply> DecodeReoptimizeReply(std::string_view payload) {
+  ReoptimizeReply reply;
+  uint64_t before = 0, after = 0;
+  if (!GetVarint(&payload, &reply.examined) ||
+      !GetVarint(&payload, &reply.migrated) ||
+      !GetVarint(&payload, &reply.torn_down) ||
+      !GetVarint(&payload, &reply.lost_windows) ||
+      !GetVarint(&payload, &before) || !GetVarint(&payload, &after)) {
+    return Truncated("reoptimize reply");
+  }
+  reply.cost_before = std::bit_cast<double>(before);
+  reply.cost_after = std::bit_cast<double>(after);
   return reply;
 }
 

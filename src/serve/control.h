@@ -52,6 +52,8 @@ enum class Verb : uint8_t {
   kDrain = 8,        // stop admitting; checkpoint (restartable) or flush
   kDetach = 9,       // drop this connection's attachments, keep the
                      // subscriptions installed (re-attach later)
+  kSubscribeBatch = 10,  // register many queries in one planned pass
+  kReoptimize = 11,  // background re-optimization pass (plan migration)
 };
 
 /// One decoded control request. Verb-specific fields are only meaningful
@@ -87,6 +89,18 @@ struct ControlRequest {
 
   // kDrain
   bool final_drain = false;
+
+  // kSubscribeBatch: the queries, registered in order with sequential
+  // semantics (identical ids/plans/results to one kSubscribe per entry).
+  struct BatchEntry {
+    std::string query_text;
+    int64_t vq = 0;
+    uint8_t strategy = 2;
+  };
+  std::vector<BatchEntry> batch;
+
+  // kReoptimize: migration cap per pass (-1 = unbounded).
+  int64_t max_migrations = -1;
 };
 
 std::string EncodeRequest(const ControlRequest& request);
@@ -161,6 +175,23 @@ struct StatsReply {
   std::vector<QueryStat> queries;
 };
 
+struct SubscribeBatchReply {
+  /// One entry per batch query, in request order.
+  std::vector<SubscribeReply> entries;
+  /// Clustering counters (sharing::StreamShareSystem::BatchStats).
+  uint64_t analyze_cache_hits = 0;
+  uint64_t plan_memo_hits = 0;
+};
+
+struct ReoptimizeReply {
+  uint64_t examined = 0;
+  uint64_t migrated = 0;
+  uint64_t torn_down = 0;
+  uint64_t lost_windows = 0;
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+};
+
 std::string EncodeHelloReply(const HelloReply& reply);
 Result<HelloReply> DecodeHelloReply(std::string_view payload);
 std::string EncodeSubscribeReply(const SubscribeReply& reply);
@@ -173,6 +204,11 @@ std::string EncodeDrainReply(const DrainReply& reply);
 Result<DrainReply> DecodeDrainReply(std::string_view payload);
 std::string EncodeStatsReply(const StatsReply& reply);
 Result<StatsReply> DecodeStatsReply(std::string_view payload);
+std::string EncodeSubscribeBatchReply(const SubscribeBatchReply& reply);
+Result<SubscribeBatchReply> DecodeSubscribeBatchReply(
+    std::string_view payload);
+std::string EncodeReoptimizeReply(const ReoptimizeReply& reply);
+Result<ReoptimizeReply> DecodeReoptimizeReply(std::string_view payload);
 
 // --- RESULT frames -------------------------------------------------------
 

@@ -204,6 +204,12 @@ Status ServeDaemon::ApplyLoggedEvent(const LogEvent& event) {
           ->CutLink(static_cast<network::NodeId>(event.link_a),
                     static_cast<network::NodeId>(event.link_b))
           .status();
+    case LogEvent::Kind::kReoptimize:
+      // Deterministic given the replayed state: reproduces the exact
+      // plan migrations of the original pass.
+      return system_
+          ->Reoptimize(static_cast<int>(event.max_migrations))
+          .status();
   }
   return Status::Internal("unknown logged event kind");
 }
@@ -435,6 +441,10 @@ ControlResponse ServeDaemon::Dispatch(ClientState* client,
       return DoDrain(client, request);
     case Verb::kDetach:
       return DoDetach(client);
+    case Verb::kSubscribeBatch:
+      return DoSubscribeBatch(client, request);
+    case Verb::kReoptimize:
+      return DoReoptimize(request);
   }
   return ErrorResponse(request.request_id,
                        Status::Internal("unhandled verb"));
@@ -534,6 +544,94 @@ ControlResponse ServeDaemon::DoSubscribe(ClientState* client,
     }
   }
   return OkResponse(request.request_id, EncodeSubscribeReply(reply));
+}
+
+ControlResponse ServeDaemon::DoSubscribeBatch(
+    ClientState* client, const ControlRequest& request) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return ErrorResponse(request.request_id,
+                         Status::Unavailable("daemon is draining"));
+  }
+  std::vector<sharing::StreamShareSystem::BatchQuery> queries;
+  queries.reserve(request.batch.size());
+  for (const ControlRequest::BatchEntry& entry : request.batch) {
+    sharing::StreamShareSystem::BatchQuery query;
+    query.text = entry.query_text;
+    query.vq = static_cast<network::NodeId>(entry.vq);
+    query.strategy = StrategyFromByte(entry.strategy);
+    queries.push_back(std::move(query));
+  }
+  sharing::StreamShareSystem::BatchStats batch_stats;
+  Result<std::vector<RegistrationResult>> results =
+      system_->SubscribeBatch(queries, &batch_stats);
+  // Every registration that consumed a query id — the whole batch, or
+  // the installed prefix before a hard error — logs as a plain
+  // subscribe: batch == sequential is the determinism invariant, so a
+  // replay through individual registrations rebuilds identical state.
+  for (int i = 0; i < batch_stats.registered; ++i) {
+    LogEvent event;
+    event.kind = LogEvent::Kind::kSubscribe;
+    event.at_items = items_fed_;
+    event.query_text = request.batch[i].query_text;
+    event.vq = request.batch[i].vq;
+    event.strategy = request.batch[i].strategy;
+    event_log_.push_back(std::move(event));
+  }
+  if (!results.ok()) {
+    return ErrorResponse(request.request_id, results.status());
+  }
+
+  SubscribeBatchReply reply;
+  reply.analyze_cache_hits =
+      static_cast<uint64_t>(batch_stats.analyze_cache_hits);
+  reply.plan_memo_hits = static_cast<uint64_t>(batch_stats.plan_memo_hits);
+  reply.entries.reserve(results->size());
+  uint64_t admitted = 0, rejected = 0;
+  for (const RegistrationResult& result : *results) {
+    SubscribeReply entry;
+    entry.query_id = result.query_id;
+    entry.accepted = result.accepted;
+    entry.reject_reason = result.reject_reason;
+    if (result.accepted && result.sink != nullptr) {
+      result.sink->EnableContentHash();
+      client->subs[result.query_id] = Attachment{};
+      ++admitted;
+    }
+    if (!result.accepted) ++rejected;
+    reply.entries.push_back(std::move(entry));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.admitted += admitted;
+    stats_.rejected += rejected;
+  }
+  return OkResponse(request.request_id,
+                    EncodeSubscribeBatchReply(reply));
+}
+
+ControlResponse ServeDaemon::DoReoptimize(const ControlRequest& request) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return ErrorResponse(request.request_id,
+                         Status::Unavailable("daemon is draining"));
+  }
+  Result<sharing::StreamShareSystem::ReoptimizeReport> report =
+      system_->Reoptimize(static_cast<int>(request.max_migrations));
+  if (!report.ok()) {
+    return ErrorResponse(request.request_id, report.status());
+  }
+  LogEvent event;
+  event.kind = LogEvent::Kind::kReoptimize;
+  event.at_items = items_fed_;
+  event.max_migrations = request.max_migrations;
+  event_log_.push_back(std::move(event));
+  ReoptimizeReply reply;
+  reply.examined = static_cast<uint64_t>(report->examined);
+  reply.migrated = static_cast<uint64_t>(report->migrated);
+  reply.torn_down = static_cast<uint64_t>(report->torn_down);
+  reply.lost_windows = report->lost_windows;
+  reply.cost_before = report->cost_before;
+  reply.cost_after = report->cost_after;
+  return OkResponse(request.request_id, EncodeReoptimizeReply(reply));
 }
 
 ControlResponse ServeDaemon::DoUnsubscribe(ClientState* client,

@@ -168,6 +168,9 @@ class ServeDaemon {
                           const ControlRequest& request);
   ControlResponse DoSubscribe(ClientState* client,
                               const ControlRequest& request);
+  ControlResponse DoSubscribeBatch(ClientState* client,
+                                   const ControlRequest& request);
+  ControlResponse DoReoptimize(const ControlRequest& request);
   ControlResponse DoUnsubscribe(ClientState* client,
                                 const ControlRequest& request);
   ControlResponse DoFailPeer(const ControlRequest& request);

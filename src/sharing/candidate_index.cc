@@ -1,0 +1,681 @@
+#include "sharing/candidate_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+#include "matching/match_aggregations.h"
+#include "matching/match_properties.h"
+
+namespace streamshare::sharing {
+
+namespace {
+
+using network::NodeId;
+using network::RegisteredStream;
+using network::StreamId;
+using properties::PathInterval;
+using properties::SelectionSignature;
+using properties::StreamSignature;
+using properties::SubscriptionProbe;
+
+/// True if the probe selection could imply every zero-incident edge of the
+/// stream selection: for each stream bound the probe must derive a bound
+/// between the same endpoints that is at least as tight.
+bool SelectionImpliable(const SelectionSignature& stream,
+                        const SelectionSignature& probe) {
+  for (const PathInterval& need : stream.intervals) {
+    const PathInterval* have = nullptr;
+    for (const PathInterval& interval : probe.intervals) {
+      if (interval.path == need.path) {
+        have = &interval;
+        break;
+      }
+    }
+    if (need.upper) {
+      if (have == nullptr || !have->upper ||
+          !have->upper->ImpliesBound(*need.upper)) {
+        return false;
+      }
+    }
+    if (need.lower) {
+      if (have == nullptr || !have->lower ||
+          !have->lower->ImpliesBound(*need.lower)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Canonical key of a signature's structure: everything SignatureCouldMatch
+/// consults except the selection bound *constants* (values/strictness).
+/// Shapes sharing a key differ only in those constants, so the structural
+/// half of the verdict — and the bound-path alignment against a probe —
+/// can be computed once per family instead of once per shape.
+std::string FamilyKey(const StreamSignature& signature) {
+  std::string key = std::to_string(signature.kind_mask);
+  key += signature.epoch_safe ? "|1" : "|0";
+  for (const properties::UserDefinedOp& udf : signature.udfs) {
+    key += "|u";
+    key += udf.ToString();
+  }
+  for (const properties::AggregationSignature& agg : signature.aggregations) {
+    key += "|a";
+    key += std::to_string(static_cast<int>(agg.func));
+    key += agg.aggregated_element.ToString();
+    key += agg.window.ToString();
+  }
+  for (const std::vector<xml::Path>& output : signature.projection_outputs) {
+    key += "|p";
+    for (const xml::Path& path : output) {
+      key += path.ToString();
+      key += ",";
+    }
+  }
+  for (const SelectionSignature& selection : signature.selections) {
+    key += "|s";
+    for (const PathInterval& interval : selection.intervals) {
+      key += interval.path.ToString();
+      key += interval.upper ? "U" : "-";
+      key += interval.lower ? "L" : "-";
+      key += ";";
+    }
+  }
+  return key;
+}
+
+/// Constant-level half of SelectionImpliable: `aligned[i]` is the probe
+/// interval path-matched to the stream selection's interval i (structure
+/// already verified at the family level).
+bool AlignedBoundsImply(const SelectionSignature& stream,
+                        const std::vector<const PathInterval*>& aligned) {
+  for (size_t i = 0; i < stream.intervals.size(); ++i) {
+    const PathInterval& need = stream.intervals[i];
+    const PathInterval* have = aligned[i];
+    if (need.upper &&
+        (have == nullptr || !have->upper ||
+         !have->upper->ImpliesBound(*need.upper))) {
+      return false;
+    }
+    if (need.lower &&
+        (have == nullptr || !have->lower ||
+         !have->lower->ImpliesBound(*need.lower))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Structural half of SignatureCouldMatch for a whole family, evaluated on
+/// the family's representative signature. On success fills `entry` with
+/// the per-selection probe alignments the constant-level check needs; on
+/// failure every member shape is refuted regardless of its constants.
+bool FamilyCouldMatch(const StreamSignature& representative,
+                      const SubscriptionProbe& probe,
+                      CandidateIndex::ProbeCache::FamilyEntry* entry) {
+  if ((representative.kind_mask & ~probe.kind_mask) != 0) return false;
+  for (const properties::UserDefinedOp& udf : representative.udfs) {
+    bool found = false;
+    for (const properties::UserDefinedOp& other : probe.udfs) {
+      if (udf == other) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  for (const properties::AggregationSignature& agg :
+       representative.aggregations) {
+    bool found = false;
+    for (const properties::AggregationSignature& other : probe.aggregations) {
+      if (matching::AggregateFuncsCompatible(agg.func, other.func) &&
+          agg.aggregated_element == other.aggregated_element &&
+          matching::WindowsCompatible(agg.window, other.window)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  for (const std::vector<xml::Path>& output :
+       representative.projection_outputs) {
+    bool found = false;
+    for (const std::vector<xml::Path>& referenced :
+         probe.projection_referenced) {
+      if (matching::ProjectionCovers(output, referenced)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  // Selections: find, per stream selection, every probe selection whose
+  // intervals cover the needed paths and sides. Which (if any) implies a
+  // member's bounds depends on constants, so all structurally compatible
+  // options are kept for the per-shape check. No option at all refutes
+  // the family outright — exactly SelectionImpliable's path/side failure.
+  entry->selections.assign(representative.selections.size(), {});
+  for (size_t s = 0; s < representative.selections.size(); ++s) {
+    const SelectionSignature& selection = representative.selections[s];
+    for (const SelectionSignature& other : probe.selections) {
+      std::vector<const PathInterval*> aligned(selection.intervals.size(),
+                                               nullptr);
+      bool compatible = true;
+      for (size_t i = 0; i < selection.intervals.size(); ++i) {
+        const PathInterval& need = selection.intervals[i];
+        for (const PathInterval& interval : other.intervals) {
+          if (interval.path == need.path) {
+            aligned[i] = &interval;
+            break;
+          }
+        }
+        if ((need.upper && (aligned[i] == nullptr || !aligned[i]->upper)) ||
+            (need.lower && (aligned[i] == nullptr || !aligned[i]->lower))) {
+          compatible = false;
+          break;
+        }
+      }
+      if (compatible) {
+        entry->selections[s].options.push_back(std::move(aligned));
+      }
+    }
+    if (entry->selections[s].options.empty()) return false;
+  }
+  return true;
+}
+
+/// Sorted-unique merge of `route` into `frontier`.
+void MergeFrontier(std::vector<NodeId>& frontier,
+                   const std::vector<NodeId>& route) {
+  for (NodeId node : route) {
+    auto it = std::lower_bound(frontier.begin(), frontier.end(), node);
+    if (it == frontier.end() || *it != node) frontier.insert(it, node);
+  }
+}
+
+}  // namespace
+
+bool SignatureCouldMatch(const StreamSignature& stream,
+                         const SubscriptionProbe& probe) {
+  // Every operator kind on the stream needs a counterpart on the sub.
+  if ((stream.kind_mask & ~probe.kind_mask) != 0) return false;
+  // UDFs must be repeated verbatim (§3.3 case 4).
+  for (const properties::UserDefinedOp& udf : stream.udfs) {
+    bool found = false;
+    for (const properties::UserDefinedOp& other : probe.udfs) {
+      if (udf == other) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  // Aggregations: function, aggregated element, and window-divisor
+  // compatibility are required by every MatchAggregations branch.
+  for (const properties::AggregationSignature& agg : stream.aggregations) {
+    bool found = false;
+    for (const properties::AggregationSignature& other : probe.aggregations) {
+      if (matching::AggregateFuncsCompatible(agg.func, other.func) &&
+          agg.aggregated_element == other.aggregated_element &&
+          matching::WindowsCompatible(agg.window, other.window)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  // Projections: the stream's output must cover what some sub projection
+  // references.
+  for (const std::vector<xml::Path>& output : stream.projection_outputs) {
+    bool found = false;
+    for (const std::vector<xml::Path>& referenced :
+         probe.projection_referenced) {
+      if (matching::ProjectionCovers(output, referenced)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  // Selections: some sub selection must imply the stream's zero-incident
+  // bounds (a necessary slice of the full implication test).
+  for (const SelectionSignature& selection : stream.selections) {
+    bool found = false;
+    for (const SelectionSignature& other : probe.selections) {
+      if (SelectionImpliable(selection, other)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+CandidateIndex::CandidateIndex(const network::Topology* topology,
+                               const network::StreamRegistry* registry)
+    : topology_(topology), registry_(registry) {
+  for (const RegisteredStream& stream : registry_->streams()) {
+    if (!stream.retired) Insert(stream.id);
+  }
+}
+
+void CandidateIndex::OnStreamRegistered(StreamId id) { Insert(id); }
+
+void CandidateIndex::OnStreamRetired(StreamId id) { Remove(id); }
+
+void CandidateIndex::OnStreamUpdated(StreamId id) {
+  // Widening rewrites props/rate in place; route and latency are
+  // unchanged, but the shape (and thus the dominance group) moves.
+  Remove(id);
+  if (!registry_->stream(id).retired) Insert(id);
+}
+
+int CandidateIndex::InternShape(
+    const properties::InputStreamProperties& props) {
+  uint64_t fingerprint = std::hash<std::string>{}(props.ToString());
+  std::vector<int>& ids = shape_lookup_[fingerprint];
+  for (int shape : ids) {
+    if (shapes_[shape].props == props) return shape;
+  }
+  int shape = static_cast<int>(shapes_.size());
+  shapes_.push_back(
+      Shape{props, properties::ComputeStreamSignature(props)});
+  shapes_.back().family = InternFamily(shapes_.back().signature, shape);
+  ids.push_back(shape);
+  return shape;
+}
+
+int CandidateIndex::InternFamily(
+    const properties::StreamSignature& signature, int shape) {
+  std::string key = FamilyKey(signature);
+  uint64_t fingerprint = std::hash<std::string>{}(key);
+  std::vector<int>& ids = family_lookup_[fingerprint];
+  int family = -1;
+  for (int candidate : ids) {
+    if (family_keys_[candidate] == key) {
+      family = candidate;
+      break;
+    }
+  }
+  if (family < 0) {
+    family = static_cast<int>(families_.size());
+    families_.push_back(Family{shape});
+    family_keys_.push_back(std::move(key));
+    ids.push_back(family);
+    // One interval-index slot per bound side the structure carries; every
+    // later member has the identical structure (that is what the family
+    // key pins down), so slot positions stay aligned across members.
+    for (size_t s = 0; s < signature.selections.size(); ++s) {
+      const SelectionSignature& selection = signature.selections[s];
+      for (size_t i = 0; i < selection.intervals.size(); ++i) {
+        if (selection.intervals[i].upper) {
+          families_[family].slots.push_back(Family::Slot{s, i, true, {}});
+        }
+        if (selection.intervals[i].lower) {
+          families_[family].slots.push_back(Family::Slot{s, i, false, {}});
+        }
+      }
+    }
+  }
+  Family& entry = families_[family];
+  entry.member_shapes.push_back(shape);
+  for (Family::Slot& slot : entry.slots) {
+    const PathInterval& interval =
+        signature.selections[slot.selection].intervals[slot.interval];
+    Decimal value =
+        slot.upper ? interval.upper->value : interval.lower->value;
+    auto it = std::lower_bound(
+        slot.sorted.begin(), slot.sorted.end(), std::pair(value, shape),
+        [](const std::pair<Decimal, int>& a, const std::pair<Decimal, int>& b) {
+          return a.first == b.first ? a.second < b.second : a.first < b.first;
+        });
+    slot.sorted.insert(it, std::pair(value, shape));
+  }
+  return family;
+}
+
+const std::vector<int>& CandidateIndex::MatchingShapes(
+    int family_id, const SubscriptionProbe& probe, ProbeCache& cache) const {
+  ProbeCache::FamilyEntry& entry = cache.families[family_id];
+  if (entry.matching_ready) return entry.matching;
+  entry.matching_ready = true;
+  const Family& family = families_[family_id];
+  std::vector<int> candidates;
+  if (family.slots.empty()) {
+    // No bound constants to discriminate on: structure pass means every
+    // member could match (the per-shape check is vacuous but still run —
+    // it is the single source of truth).
+    candidates = family.member_shapes;
+  } else {
+    // A shape matching selection s via probe option o passes *every* slot
+    // suffix of s under o, so the most selective slot per option — summed
+    // over the options of the best selection — is a complete candidate
+    // superset. Exactness comes from per-shape verification below.
+    size_t best_total = family.member_shapes.size() + 1;
+    std::vector<std::pair<const Family::Slot*, size_t>> best_starts;
+    for (size_t s = 0; s < entry.selections.size(); ++s) {
+      bool has_slot = false;
+      for (const Family::Slot& slot : family.slots) {
+        if (slot.selection == s) {
+          has_slot = true;
+          break;
+        }
+      }
+      if (!has_slot) continue;
+      size_t total = 0;
+      std::vector<std::pair<const Family::Slot*, size_t>> starts;
+      for (const std::vector<const PathInterval*>& option :
+           entry.selections[s].options) {
+        const Family::Slot* best_slot = nullptr;
+        size_t best_start = 0;
+        size_t best_size = family.member_shapes.size() + 1;
+        for (const Family::Slot& slot : family.slots) {
+          if (slot.selection != s) continue;
+          const PathInterval* have = option[slot.interval];
+          const predicate::Bound& bound =
+              slot.upper ? *have->upper : *have->lower;
+          auto it = std::lower_bound(
+              slot.sorted.begin(), slot.sorted.end(), bound.value,
+              [](const std::pair<Decimal, int>& a, const Decimal& value) {
+                return a.first < value;
+              });
+          size_t start = static_cast<size_t>(it - slot.sorted.begin());
+          size_t size = slot.sorted.size() - start;
+          if (size < best_size) {
+            best_size = size;
+            best_slot = &slot;
+            best_start = start;
+          }
+        }
+        total += best_size;
+        starts.emplace_back(best_slot, best_start);
+      }
+      if (total < best_total) {
+        best_total = total;
+        best_starts = std::move(starts);
+      }
+    }
+    for (const auto& [slot, start] : best_starts) {
+      for (size_t k = start; k < slot->sorted.size(); ++k) {
+        candidates.push_back(slot->sorted[k].second);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+  for (int shape : candidates) {
+    int8_t& verdict = cache.verdicts[shape];
+    if (verdict == 0) verdict = ShapeCouldMatch(shape, probe, cache) ? 1 : 2;
+    if (verdict == 1) entry.matching.push_back(shape);
+  }
+  return entry.matching;
+}
+
+bool CandidateIndex::ShapeCouldMatch(int shape,
+                                     const SubscriptionProbe& probe,
+                                     ProbeCache& cache) const {
+  const Shape& entry = shapes_[shape];
+  ProbeCache::FamilyEntry& family = cache.families[entry.family];
+  if (family.verdict == 0) {
+    family.verdict =
+        FamilyCouldMatch(shapes_[families_[entry.family].shape].signature,
+                         probe, &family)
+            ? 1
+            : 2;
+  }
+  if (family.verdict == 2) return false;
+  for (size_t s = 0; s < entry.signature.selections.size(); ++s) {
+    bool implied = false;
+    for (const std::vector<const PathInterval*>& aligned :
+         family.selections[s].options) {
+      if (AlignedBoundsImply(entry.signature.selections[s], aligned)) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) return false;
+  }
+  return true;
+}
+
+uint64_t CandidateIndex::LatencyKey(const RegisteredStream& stream,
+                                    size_t route_prefix_len) const {
+  std::vector<NodeId> prefix(stream.route.begin(),
+                             stream.route.begin() + route_prefix_len);
+  Result<double> latency = topology_->PathLatencyMs(prefix);
+  if (!latency.ok()) {
+    // Degenerate route: never group (unique key per stream/position).
+    return 0x8000000000000000ull ^
+           (static_cast<uint64_t>(stream.id) << 16 | route_prefix_len);
+  }
+  // Same accumulation order as the cost model's tap-latency term.
+  return std::bit_cast<uint64_t>(stream.source_latency_ms + *latency);
+}
+
+void CandidateIndex::Insert(StreamId id) {
+  const RegisteredStream& stream = registry_->stream(id);
+  if (stream_info_.size() <= static_cast<size_t>(id)) {
+    stream_info_.resize(id + 1);
+  }
+  StreamInfo& info = stream_info_[id];
+  info.indexed = true;
+  info.shape = InternShape(stream.props);
+  info.latency_keys.assign(stream.route.size(), 0);
+  auto& nodes = buckets_[stream.variant_of];
+  for (size_t i = 0; i < stream.route.size(); ++i) {
+    uint64_t key = LatencyKey(stream, i + 1);
+    info.latency_keys[i] = key;
+    Bucket& bucket = nodes[stream.route[i]];
+    FamilyGroups* partition = nullptr;
+    for (FamilyGroups& candidate : bucket.partitions) {
+      if (candidate.family == shapes_[info.shape].family) {
+        partition = &candidate;
+        break;
+      }
+    }
+    if (partition == nullptr) {
+      bucket.partitions.push_back(FamilyGroups{shapes_[info.shape].family, {}});
+      partition = &bucket.partitions.back();
+    }
+    auto pos = std::lower_bound(
+        partition->groups.begin(), partition->groups.end(),
+        std::pair(info.shape, key),
+        [](const Group& g, const std::pair<int, uint64_t>& k) {
+          return g.shape != k.first ? g.shape < k.first
+                                    : g.latency_key < k.second;
+        });
+    Group* group;
+    if (pos != partition->groups.end() && pos->shape == info.shape &&
+        pos->latency_key == key) {
+      group = &*pos;
+    } else {
+      group = &*partition->groups.insert(pos, Group{info.shape, key, {}, {}});
+    }
+    auto it = std::lower_bound(group->members.begin(), group->members.end(),
+                               id);
+    if (it == group->members.end() || *it != id) {
+      group->members.insert(it, id);
+      ++partition->member_count;
+    }
+    MergeFrontier(group->frontier, stream.route);
+  }
+  ++live_count_;
+}
+
+void CandidateIndex::Remove(StreamId id) {
+  if (static_cast<size_t>(id) >= stream_info_.size() ||
+      !stream_info_[id].indexed) {
+    return;
+  }
+  StreamInfo& info = stream_info_[id];
+  const RegisteredStream& stream = registry_->stream(id);
+  auto variant_it = buckets_.find(stream.variant_of);
+  if (variant_it != buckets_.end()) {
+    for (size_t i = 0; i < stream.route.size() && i < info.latency_keys.size();
+         ++i) {
+      auto bucket_it = variant_it->second.find(stream.route[i]);
+      if (bucket_it == variant_it->second.end()) continue;
+      std::vector<FamilyGroups>& partitions = bucket_it->second.partitions;
+      for (size_t p = 0; p < partitions.size(); ++p) {
+        if (partitions[p].family != shapes_[info.shape].family) continue;
+        std::vector<Group>& groups = partitions[p].groups;
+        for (size_t g = 0; g < groups.size(); ++g) {
+          Group& group = groups[g];
+          if (group.shape != info.shape ||
+              group.latency_key != info.latency_keys[i]) {
+            continue;
+          }
+          auto member_it =
+              std::lower_bound(group.members.begin(), group.members.end(), id);
+          if (member_it == group.members.end() || *member_it != id) break;
+          group.members.erase(member_it);
+          --partitions[p].member_count;
+          if (group.members.empty()) {
+            groups.erase(groups.begin() + g);
+          } else {
+            // Rebuild the frontier union from the remaining members so the
+            // BFS never visits nodes the flat walk would not.
+            group.frontier.clear();
+            for (StreamId member : group.members) {
+              MergeFrontier(group.frontier, registry_->stream(member).route);
+            }
+          }
+          break;
+        }
+        if (groups.empty()) partitions.erase(partitions.begin() + p);
+        break;
+      }
+    }
+  }
+  info.indexed = false;
+  info.latency_keys.clear();
+  --live_count_;
+}
+
+std::vector<CandidateIndex::Entry> CandidateIndex::Collect(
+    NodeId node, std::string_view variant_of, const SubscriptionProbe& probe,
+    bool epoch_safe_only, bool widening, bool grouped, ProbeCache* cache,
+    LookupStats* stats) const {
+  std::vector<Entry> entries;
+  auto variant_it = buckets_.find(variant_of);
+  if (variant_it == buckets_.end()) return entries;
+  auto bucket_it = variant_it->second.find(node);
+  if (bucket_it == variant_it->second.end()) return entries;
+  if (cache != nullptr) {
+    if (cache->verdicts.size() < shapes_.size()) {
+      cache->verdicts.resize(shapes_.size(), 0);
+    }
+    if (cache->families.size() < families_.size()) {
+      cache->families.resize(families_.size());
+    }
+  }
+  bool per_stream = widening || !grouped;
+  for (const FamilyGroups& partition : bucket_it->second.partitions) {
+    // Epoch safety and structural compatibility are family-level facts:
+    // one test skips (or refutes) every member group of the partition.
+    // Widening is the exception — non-matching widenable streams must
+    // survive pruning — so refuted families are still walked then.
+    const StreamSignature& family_signature =
+        shapes_[families_[partition.family].shape].signature;
+    // The planner skips aggregate/UDF streams under epoch-safe-only
+    // planning before matching, so the index may drop them outright.
+    if (epoch_safe_only && !family_signature.epoch_safe) continue;
+    if (cache != nullptr && !widening) {
+      ProbeCache::FamilyEntry& family = cache->families[partition.family];
+      if (family.verdict == 0) {
+        family.verdict =
+            FamilyCouldMatch(family_signature, probe, &family) ? 1 : 2;
+      }
+      if (family.verdict == 2) {
+        if (stats != nullptr) stats->pruned += partition.member_count;
+        continue;
+      }
+      if (!per_stream) {
+        // Matching shapes come from the interval index (shared across
+        // buckets for this probe); after it runs, a verdict of 0 means
+        // "outside every candidate suffix", i.e. refuted, so both walks
+        // below are exact. Touch whichever side is smaller — the probe's
+        // family-wide match set or this partition's group list.
+        const std::vector<int>& matching =
+            MatchingShapes(partition.family, probe, *cache);
+        int matched_members = 0;
+        auto emit = [&](const Group& group) {
+          entries.push_back(Entry{&registry_->stream(group.members.front()),
+                                  &group.frontier,
+                                  static_cast<int>(group.members.size()) - 1,
+                                  group.shape});
+          matched_members += static_cast<int>(group.members.size());
+          if (stats != nullptr) {
+            stats->suppressed += static_cast<int>(group.members.size()) - 1;
+          }
+        };
+        if (matching.size() < partition.groups.size()) {
+          for (int shape : matching) {
+            auto it = std::lower_bound(
+                partition.groups.begin(), partition.groups.end(), shape,
+                [](const Group& g, int s) { return g.shape < s; });
+            for (; it != partition.groups.end() && it->shape == shape; ++it) {
+              emit(*it);
+            }
+          }
+        } else {
+          for (const Group& group : partition.groups) {
+            if (cache->verdicts[group.shape] == 1) emit(group);
+          }
+        }
+        if (stats != nullptr) {
+          stats->pruned += partition.member_count - matched_members;
+        }
+        continue;
+      }
+    }
+    for (const Group& group : partition.groups) {
+      bool could_match;
+      if (cache != nullptr) {
+        int8_t& verdict = cache->verdicts[group.shape];
+        if (verdict == 0) {
+          verdict = ShapeCouldMatch(group.shape, probe, *cache) ? 1 : 2;
+        }
+        could_match = verdict == 1;
+      } else {
+        could_match =
+            SignatureCouldMatch(shapes_[group.shape].signature, probe);
+      }
+      if (!per_stream) {
+        if (!could_match) {
+          if (stats != nullptr) {
+            stats->pruned += static_cast<int>(group.members.size());
+          }
+          continue;
+        }
+        entries.push_back(Entry{&registry_->stream(group.members.front()),
+                                &group.frontier,
+                                static_cast<int>(group.members.size()) - 1,
+                                group.shape});
+        if (stats != nullptr) {
+          stats->suppressed += static_cast<int>(group.members.size()) - 1;
+        }
+      } else {
+        for (StreamId id : group.members) {
+          const RegisteredStream& stream = registry_->stream(id);
+          // Widening derives plans from non-matching widenable streams, so
+          // those survive the signature prune while widening is enabled.
+          if (!could_match && !(widening && stream.widenable)) {
+            if (stats != nullptr) ++stats->pruned;
+            continue;
+          }
+          entries.push_back(Entry{&stream, nullptr, 0, group.shape});
+        }
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.stream->id < b.stream->id;
+  });
+  return entries;
+}
+
+}  // namespace streamshare::sharing

@@ -1,0 +1,252 @@
+// The candidate index: replaces Algorithm 1's per-node linear scan of the
+// stream registry (StreamRegistry::AvailableAt) with hash-bucket lookup.
+//
+// Structure. Streams are bucketed by (variant-of stream name, route node) —
+// the exact key AvailableAt filters on — and, inside a bucket, grouped by
+// *dominance class*: interned property shape (exact structural equality of
+// the per-input properties entry) × tap-point latency bit pattern. Two live
+// streams in the same class are interchangeable for planning: the cost
+// model estimates rates from properties alone, and the only other
+// stream-dependent cost input is source latency up to the tap node, so
+// every member yields a bit-identical candidate plan except for the stream
+// id. The planner therefore examines one representative (the lowest live
+// id — exactly the member the flat scan's deterministic tie-break would
+// pick) and counts the rest as suppressed. Each group also carries the
+// union of its members' route nodes so the BFS frontier stays identical
+// to the flat walk (a matched stream contributes all its route nodes).
+//
+// Shapes are interned once and carry a properties::StreamSignature, a
+// conservative pre-filter (window-divisor compatibility, zero-incident
+// predicate-graph bounds, projection coverage, UDF identity) that is
+// *necessary* for MatchProperties: groups whose signature refutes the
+// subscription probe are pruned without touching the matcher.
+//
+// Maintenance is incremental: the index implements RegistryListener and
+// tracks install (OnStreamRegistered), GC/unsubscribe/failure retirement
+// (OnStreamRetired), and in-place widening rewrites (OnStreamUpdated).
+//
+// Invariant (ARCHITECTURE.md #10): the index never changes planning
+// outcomes, only the set of candidates examined. Grouped lookup is used
+// only when all peers are healthy and widening is off; otherwise Collect
+// degrades to per-stream entries (still signature-pruned, except that
+// widenable streams survive pruning while widening is enabled, because the
+// planner generates widening plans from *non-matching* streams). The flat
+// scan stays available behind SystemConfig::candidate_index=false as the
+// differential oracle.
+
+#ifndef STREAMSHARE_SHARING_CANDIDATE_INDEX_H_
+#define STREAMSHARE_SHARING_CANDIDATE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "network/stream_registry.h"
+#include "network/topology.h"
+#include "properties/signature.h"
+
+namespace streamshare::sharing {
+
+/// Necessary condition for matching::MatchProperties(stream, sub) under
+/// either predicate mode: false means no match is possible. Exposed for
+/// the differential tests.
+bool SignatureCouldMatch(const properties::StreamSignature& stream,
+                         const properties::SubscriptionProbe& probe);
+
+class CandidateIndex : public network::RegistryListener {
+ public:
+  /// Both pointers must outlive the index. Existing registry contents are
+  /// indexed immediately (recovery/resume construct systems with streams
+  /// already registered).
+  CandidateIndex(const network::Topology* topology,
+                 const network::StreamRegistry* registry);
+
+  // RegistryListener:
+  void OnStreamRegistered(network::StreamId id) override;
+  void OnStreamRetired(network::StreamId id) override;
+  void OnStreamUpdated(network::StreamId id) override;
+
+  /// One candidate the planner should examine.
+  struct Entry {
+    const network::RegisteredStream* stream = nullptr;
+    /// BFS frontier contribution: the union of the dominance group's
+    /// member routes; nullptr means "use stream->route" (per-stream mode).
+    const std::vector<network::NodeId>* frontier = nullptr;
+    /// Dominated duplicates this entry stands in for.
+    int suppressed = 0;
+    /// Interned shape id of the stream's properties. Two entries with the
+    /// same shape have structurally identical props, so shape-keyed
+    /// verdicts (full property match against one subscription) can be
+    /// memoized across entries without changing any outcome.
+    int shape = -1;
+  };
+
+  /// Scratch memo for one planner search: SignatureCouldMatch verdicts
+  /// per interned shape, with the structural half of each verdict hoisted
+  /// to the shape's *family* (the signature with selection bound constants
+  /// stripped). First touch of a family pays the full structural check
+  /// (operator kinds, UDFs, aggregations, projection coverage, bound-path
+  /// alignment); every further shape in it only compares bound constants
+  /// through the precomputed alignment. Valid only while the probe it was
+  /// filled against is alive and unchanged — the planner allocates one per
+  /// subscription input. Purely an effort saver: every verdict is a pure
+  /// function of (shape, probe).
+  struct ProbeCache {
+    /// Per shape: 0 = untested, 1 = could match, 2 = refuted.
+    std::vector<int8_t> verdicts;
+    /// For one stream-side selection slot: each option is a structurally
+    /// compatible probe selection, as probe intervals aligned index-for-
+    /// index with the slot's stream intervals (nullptr where the stream
+    /// interval carries no bounds).
+    struct ProbeAlignment {
+      std::vector<std::vector<const properties::PathInterval*>> options;
+    };
+    struct FamilyEntry {
+      /// 0 = untested, 1 = structurally compatible, 2 = refuted.
+      int8_t verdict = 0;
+      /// True once `matching` has been computed for this probe.
+      bool matching_ready = false;
+      /// Per stream-selection alignment; filled when verdict == 1.
+      std::vector<ProbeAlignment> selections;
+      /// Member shapes whose full signature matches the probe, computed
+      /// through the family's interval index (most selective bound slot
+      /// first, then exact per-shape verification).
+      std::vector<int> matching;
+    };
+    std::vector<FamilyEntry> families;
+  };
+
+  struct LookupStats {
+    /// Live streams pruned because their shape signature refutes the probe.
+    int pruned = 0;
+    /// Live streams skipped as dominated duplicates of a returned entry.
+    int suppressed = 0;
+  };
+
+  /// All candidates available at `node` for `variant_of`, pre-filtered
+  /// against `probe` and ordered by ascending representative stream id.
+  /// `epoch_safe_only` drops aggregate/UDF shapes (the planner would skip
+  /// them); `widening` keeps non-matching widenable streams and forces
+  /// per-stream entries; `grouped=false` (degraded health) also forces
+  /// per-stream entries. `cache` (optional) memoizes signature verdicts
+  /// across the calls of one search; pruning counts in `stats` are
+  /// unaffected by cache hits.
+  std::vector<Entry> Collect(network::NodeId node, std::string_view variant_of,
+                             const properties::SubscriptionProbe& probe,
+                             bool epoch_safe_only, bool widening, bool grouped,
+                             ProbeCache* cache, LookupStats* stats) const;
+
+  /// Number of interned property shapes (tests/observability).
+  size_t shape_count() const { return shapes_.size(); }
+  /// Number of interned shape families (tests/observability). Grows with
+  /// the structural variety of the workload, not with its population —
+  /// the property the registration-scaling gate leans on.
+  size_t family_count() const { return families_.size(); }
+  /// Number of indexed live streams.
+  size_t live_count() const { return live_count_; }
+
+ private:
+  struct Shape {
+    properties::InputStreamProperties props;
+    properties::StreamSignature signature;
+    /// Family: shapes identical up to selection bound constants.
+    int family = -1;
+  };
+  struct Family {
+    /// First shape interned into the family; its signature carries the
+    /// family's structure (every member's is identical minus constants).
+    int shape = -1;
+    /// Every shape interned into the family, in intern order (shapes are
+    /// never removed, so this only grows).
+    std::vector<int> member_shapes;
+    /// Interval-index slot: one bound side of one selection interval,
+    /// with all members sorted ascending by their constant. A probe bound
+    /// implies a member bound only when probe.value ≤ member.value, so
+    /// the passing members of a slot form a suffix — lookups scan the
+    /// most selective suffix instead of every member.
+    struct Slot {
+      size_t selection = 0;
+      size_t interval = 0;
+      bool upper = false;
+      /// (bound constant, shape), ascending by constant.
+      std::vector<std::pair<Decimal, int>> sorted;
+    };
+    std::vector<Slot> slots;
+  };
+  struct Group {
+    int shape = -1;
+    /// Bit pattern of (source_latency_ms + route-prefix latency to the
+    /// bucket node): the stream-dependent part of the cost model's latency
+    /// term. Grouping on the exact bits keeps member plans bit-identical.
+    uint64_t latency_key = 0;
+    /// Ascending live member ids; members[0] is the representative.
+    std::vector<network::StreamId> members;
+    /// Sorted-unique union of member routes (BFS frontier contribution).
+    std::vector<network::NodeId> frontier;
+  };
+  /// Groups of one family within one bucket. Partitioning by family lets
+  /// a lookup refute or skip (epoch-unsafe) every member group with one
+  /// family-level test instead of touching each shape.
+  struct FamilyGroups {
+    int family = -1;
+    /// Sorted by (shape, latency_key) so a matching-shape lookup can
+    /// binary-search its groups instead of scanning the partition.
+    std::vector<Group> groups;
+    /// Total live members across groups (exact pruning accounting when a
+    /// lookup never touches the refuted groups).
+    int member_count = 0;
+  };
+  struct Bucket {
+    std::vector<FamilyGroups> partitions;
+  };
+  /// Per-stream bookkeeping for O(route) removal.
+  struct StreamInfo {
+    bool indexed = false;
+    int shape = -1;
+    /// Group latency key per route position.
+    std::vector<uint64_t> latency_keys;
+  };
+
+  int InternShape(const properties::InputStreamProperties& props);
+  int InternFamily(const properties::StreamSignature& signature, int shape);
+  void Insert(network::StreamId id);
+  void Remove(network::StreamId id);
+  uint64_t LatencyKey(const network::RegisteredStream& stream,
+                      size_t route_prefix_len) const;
+  /// Memoized SignatureCouldMatch: family structure first, then the
+  /// shape's bound constants through the family's probe alignment.
+  bool ShapeCouldMatch(int shape, const properties::SubscriptionProbe& probe,
+                       ProbeCache& cache) const;
+  /// Member shapes of `family` whose full signature matches the probe
+  /// (exact, memoized per probe): candidates come from the most selective
+  /// interval-index slot suffix, then each is verified by ShapeCouldMatch.
+  /// Requires the family's structural verdict to be 1.
+  const std::vector<int>& MatchingShapes(
+      int family, const properties::SubscriptionProbe& probe,
+      ProbeCache& cache) const;
+
+  const network::Topology* topology_;
+  const network::StreamRegistry* registry_;
+
+  std::vector<Shape> shapes_;
+  /// props-fingerprint → shape indices (collisions resolved by equality).
+  std::unordered_map<uint64_t, std::vector<int>> shape_lookup_;
+  std::vector<Family> families_;
+  /// family-key fingerprint → family indices (collisions by key equality).
+  std::unordered_map<uint64_t, std::vector<int>> family_lookup_;
+  /// Interned family keys, parallel to families_ (collision resolution).
+  std::vector<std::string> family_keys_;
+  /// variant_of → node → bucket.
+  std::map<std::string, std::unordered_map<network::NodeId, Bucket>,
+           std::less<>>
+      buckets_;
+  std::vector<StreamInfo> stream_info_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace streamshare::sharing
+
+#endif  // STREAMSHARE_SHARING_CANDIDATE_INDEX_H_

@@ -6,6 +6,8 @@
 #include <set>
 
 #include "obs/trace.h"
+#include "properties/signature.h"
+#include "sharing/candidate_index.h"
 
 namespace streamshare::sharing {
 
@@ -182,17 +184,40 @@ Result<std::vector<EngineOpSpec>> Planner::ResidualOps(
 
 Status Planner::CostPlan(InputPlan* plan, const StreamBinding& binding,
                          const RegisteredStream& reused,
-                         NodeId vq) const {
+                         NodeId vq, int shape, PlanMemo* memo) const {
   const cost::CostParams& params = cost_model_->params();
 
-  SS_ASSIGN_OR_RETURN(cost::StreamEstimate est_reused,
-                      cost_model_->EstimateStream(reused.props));
+  cost::StreamEstimate est_reused;
+  if (memo != nullptr && shape >= 0) {
+    auto it = memo->reused_estimates.find(shape);
+    if (it == memo->reused_estimates.end()) {
+      it = memo->reused_estimates
+               .emplace(shape, cost_model_->EstimateStream(reused.props))
+               .first;
+    }
+    SS_RETURN_IF_ERROR(it->second.status());
+    est_reused = *it->second;
+  } else {
+    SS_ASSIGN_OR_RETURN(est_reused,
+                        cost_model_->EstimateStream(reused.props));
+  }
 
-  // Rate and final frequency of the stream this plan materializes.
+  // Rate and final frequency of the stream this plan materializes. On the
+  // memoized path the new stream always carries sub_props (BuildPlan sets
+  // it so, and the raw-shipping initial plan never passes a memo).
   cost::StreamEstimate est_final = est_reused;
   if (plan->new_stream.has_value()) {
-    SS_ASSIGN_OR_RETURN(est_final,
-                        cost_model_->EstimateStream(plan->new_stream->props));
+    if (memo != nullptr) {
+      if (!memo->sub_estimate.has_value()) {
+        memo->sub_estimate =
+            cost_model_->EstimateStream(plan->new_stream->props);
+      }
+      SS_RETURN_IF_ERROR(memo->sub_estimate->status());
+      est_final = **memo->sub_estimate;
+    } else {
+      SS_ASSIGN_OR_RETURN(
+          est_final, cost_model_->EstimateStream(plan->new_stream->props));
+    }
     plan->new_stream->rate_kbps =
         plan->ships_raw_stream ? est_reused.RateKbps()
                                : est_final.RateKbps();
@@ -202,18 +227,66 @@ Status Planner::CostPlan(InputPlan* plan, const StreamBinding& binding,
   // input frequency along the chain. The accumulated selectivity feeds
   // the time-window math: selection thins items but stretches the
   // survivor increment, leaving the window-update frequency invariant.
+  // On the memoized path the accumulator is a flat scratch array reset
+  // between plans; it is drained in ascending node order, so sums are
+  // bit-identical to the std::map the unmemoized path keeps.
   std::map<NodeId, double> load_by_peer;
+  const bool use_scratch = memo != nullptr;
+  if (use_scratch) {
+    if (memo->load_scratch.size() < topology_->peer_count()) {
+      memo->load_scratch.assign(topology_->peer_count(), 0.0);
+      memo->load_mark.assign(topology_->peer_count(), 0);
+    }
+    memo->touched_peers.clear();
+  }
+  auto add_load = [&](NodeId peer, double amount) {
+    if (use_scratch) {
+      if (memo->load_mark[peer] == 0) {
+        memo->load_mark[peer] = 1;
+        memo->load_scratch[peer] = 0.0;
+        memo->touched_peers.push_back(peer);
+      }
+      memo->load_scratch[peer] += amount;
+    } else {
+      load_by_peer[peer] += amount;
+    }
+  };
+
+  // Memoized plans carry an empty ops vector and are scored against
+  // their shape's ops template; a template op's node of -1 stands for
+  // the plan's reuse node.
+  const std::vector<EngineOpSpec>* ops = &plan->ops;
+  if (memo != nullptr && shape >= 0) {
+    auto it = memo->ops_template.find(shape);
+    if (it != memo->ops_template.end() && it->second.ok()) {
+      ops = &*it->second;
+    }
+  }
   double freq = est_reused.frequency_hz;
   double selectivity_so_far = 1.0;
-  for (const EngineOpSpec& op : plan->ops) {
+  for (const EngineOpSpec& op : *ops) {
     double input_freq = freq;
     switch (op.kind) {
       case EngineOpSpec::Kind::kSelect: {
-        predicate::PredicateGraph graph =
-            predicate::PredicateGraph::Build(op.predicates);
-        SS_ASSIGN_OR_RETURN(
-            double selectivity,
-            cost_model_->SelectivityFor(binding.stream_name, graph));
+        // Plan generation emits kSelect only over binding.item_predicates
+        // (residual and compensation alike), so the memo holds one value.
+        double selectivity;
+        if (memo != nullptr) {
+          if (!memo->select_selectivity.has_value()) {
+            predicate::PredicateGraph graph =
+                predicate::PredicateGraph::Build(op.predicates);
+            memo->select_selectivity =
+                cost_model_->SelectivityFor(binding.stream_name, graph);
+          }
+          SS_RETURN_IF_ERROR(memo->select_selectivity->status());
+          selectivity = **memo->select_selectivity;
+        } else {
+          predicate::PredicateGraph graph =
+              predicate::PredicateGraph::Build(op.predicates);
+          SS_ASSIGN_OR_RETURN(
+              selectivity,
+              cost_model_->SelectivityFor(binding.stream_name, graph));
+        }
         freq *= selectivity;
         selectivity_so_far *= selectivity;
         break;
@@ -221,9 +294,21 @@ Status Planner::CostPlan(InputPlan* plan, const StreamBinding& binding,
       case EngineOpSpec::Kind::kProject:
         break;
       case EngineOpSpec::Kind::kWindowAgg: {
-        SS_ASSIGN_OR_RETURN(double divisor,
-                            cost_model_->WindowUpdateDivisor(
-                                binding.stream_name, op.window));
+        // Plan generation installs only *binding.window here, so the memo
+        // holds one divisor.
+        double divisor;
+        if (memo != nullptr) {
+          if (!memo->window_divisor.has_value()) {
+            memo->window_divisor = cost_model_->WindowUpdateDivisor(
+                binding.stream_name, op.window);
+          }
+          SS_RETURN_IF_ERROR(memo->window_divisor->status());
+          divisor = **memo->window_divisor;
+        } else {
+          SS_ASSIGN_OR_RETURN(divisor,
+                              cost_model_->WindowUpdateDivisor(
+                                  binding.stream_name, op.window));
+        }
         if (op.window.type == properties::WindowType::kDiff) {
           divisor *= selectivity_so_far;
         }
@@ -237,9 +322,19 @@ Status Planner::CostPlan(InputPlan* plan, const StreamBinding& binding,
       case EngineOpSpec::Kind::kAggFilter:
         break;
       case EngineOpSpec::Kind::kWindowContents: {
-        SS_ASSIGN_OR_RETURN(double divisor,
-                            cost_model_->WindowUpdateDivisor(
-                                binding.stream_name, op.window));
+        double divisor;
+        if (memo != nullptr) {
+          if (!memo->window_divisor.has_value()) {
+            memo->window_divisor = cost_model_->WindowUpdateDivisor(
+                binding.stream_name, op.window);
+          }
+          SS_RETURN_IF_ERROR(memo->window_divisor->status());
+          divisor = **memo->window_divisor;
+        } else {
+          SS_ASSIGN_OR_RETURN(divisor,
+                              cost_model_->WindowUpdateDivisor(
+                                  binding.stream_name, op.window));
+        }
         if (op.window.type == properties::WindowType::kDiff) {
           divisor *= selectivity_so_far;
         }
@@ -247,15 +342,14 @@ Status Planner::CostPlan(InputPlan* plan, const StreamBinding& binding,
         break;
       }
     }
-    double pindex = topology_->peer(op.node).pindex;
-    load_by_peer[op.node] +=
-        BaseLoadFor(op.kind, params) * pindex * input_freq;
+    NodeId op_node = op.node < 0 ? plan->reuse_node : op.node;
+    double pindex = topology_->peer(op_node).pindex;
+    add_load(op_node, BaseLoadFor(op.kind, params) * pindex * input_freq);
   }
 
   // The restructuring step always runs at the query's super-peer.
-  load_by_peer[vq] += params.bload_restructure *
-                      topology_->peer(vq).pindex *
-                      est_final.frequency_hz;
+  add_load(vq, params.bload_restructure * topology_->peer(vq).pindex *
+                   est_final.frequency_hz);
 
   // Transport: forwarding work at each sending peer, bandwidth per link.
   std::vector<cost::ResourceUsage> connection_usage;
@@ -274,8 +368,8 @@ Status Planner::CostPlan(InputPlan* plan, const StreamBinding& binding,
                         topology_->LinksOnPath(target.route));
     for (size_t i = 0; i < links.size(); ++i) {
       NodeId sender = target.route[i];
-      load_by_peer[sender] += params.bload_transport *
-                              topology_->peer(sender).pindex * delta_freq;
+      add_load(sender, params.bload_transport *
+                           topology_->peer(sender).pindex * delta_freq);
       double capacity = topology_->link(links[i]).bandwidth_kbps;
       cost::ResourceUsage usage;
       usage.added = capacity > 0.0 ? delta_rate / capacity : 0.0;
@@ -288,29 +382,56 @@ Status Planner::CostPlan(InputPlan* plan, const StreamBinding& binding,
     const NewStreamSpec& stream = *plan->new_stream;
     double flow_freq = plan->ships_raw_stream ? est_reused.frequency_hz
                                               : est_final.frequency_hz;
-    SS_ASSIGN_OR_RETURN(std::vector<network::LinkId> links,
-                        topology_->LinksOnPath(stream.route));
+    std::vector<network::LinkId> links;
+    if (memo != nullptr) {
+      // The route is a pure function of its source node within one search.
+      auto it = memo->route_links.find(stream.source_node);
+      if (it == memo->route_links.end()) {
+        it = memo->route_links
+                 .emplace(stream.source_node,
+                          topology_->LinksOnPath(stream.route))
+                 .first;
+      }
+      SS_RETURN_IF_ERROR(it->second.status());
+      links = *it->second;
+    } else {
+      SS_ASSIGN_OR_RETURN(links, topology_->LinksOnPath(stream.route));
+    }
     for (size_t i = 0; i < links.size(); ++i) {
       NodeId sender = stream.route[i];
-      load_by_peer[sender] += params.bload_transport *
-                              topology_->peer(sender).pindex * flow_freq;
+      add_load(sender, params.bload_transport *
+                           topology_->peer(sender).pindex * flow_freq);
       double capacity = topology_->link(links[i]).bandwidth_kbps;
       cost::ResourceUsage usage;
       usage.added = capacity > 0.0 ? stream.rate_kbps / capacity : 0.0;
       usage.available = state_->AvailableBandwidth(links[i]);
       connection_usage.push_back(usage);
-      plan->added_bandwidth_kbps.emplace_back(links[i], stream.rate_kbps);
+      // Memoized plans are scored, not deployed — the search regenerates
+      // the winner in full, so resource bookkeeping is skipped here.
+      if (memo == nullptr) {
+        plan->added_bandwidth_kbps.emplace_back(links[i],
+                                                stream.rate_kbps);
+      }
     }
   }
 
   std::vector<cost::ResourceUsage> peer_usage;
-  for (const auto& [peer, load] : load_by_peer) {
+  auto usage_for = [&](NodeId peer, double load) {
     double capacity = topology_->peer(peer).max_load;
     cost::ResourceUsage usage;
     usage.added = capacity > 0.0 ? load / capacity : 0.0;
     usage.available = state_->AvailableLoad(peer);
     peer_usage.push_back(usage);
-    plan->added_load.emplace_back(peer, load);
+    if (memo == nullptr) plan->added_load.emplace_back(peer, load);
+  };
+  if (use_scratch) {
+    std::sort(memo->touched_peers.begin(), memo->touched_peers.end());
+    for (NodeId peer : memo->touched_peers) {
+      usage_for(peer, memo->load_scratch[peer]);
+      memo->load_mark[peer] = 0;
+    }
+  } else {
+    for (const auto& [peer, load] : load_by_peer) usage_for(peer, load);
   }
 
   plan->feasible = true;
@@ -334,9 +455,26 @@ Status Planner::CostPlan(InputPlan* plan, const StreamBinding& binding,
       latency += prefix_latency;
     }
     if (plan->new_stream.has_value()) {
-      SS_ASSIGN_OR_RETURN(
-          double route_latency,
-          topology_->PathLatencyMs(plan->new_stream->route));
+      double route_latency;
+      if (memo != nullptr) {
+        // On the memoized path the route is RoutePath(source_node, vq),
+        // a pure function of its source node within one search.
+        NodeId source = plan->new_stream->source_node;
+        auto it = memo->route_latency.find(source);
+        if (it == memo->route_latency.end()) {
+          it = memo->route_latency
+                   .emplace(source,
+                            topology_->PathLatencyMs(
+                                plan->new_stream->route))
+                   .first;
+        }
+        SS_RETURN_IF_ERROR(it->second.status());
+        route_latency = *it->second;
+      } else {
+        SS_ASSIGN_OR_RETURN(
+            route_latency,
+            topology_->PathLatencyMs(plan->new_stream->route));
+      }
       latency += route_latency;
     }
     plan->estimated_latency_ms = latency;
@@ -350,36 +488,49 @@ Status Planner::CostPlan(InputPlan* plan, const StreamBinding& binding,
 Result<InputPlan> Planner::GenerateSharedPlan(
     const RegisteredStream& reused, NodeId v, NodeId vq,
     const StreamBinding& binding,
-    const InputStreamProperties& sub_props) const {
-  return BuildPlan(reused, v, vq, binding, sub_props, std::nullopt);
+    const InputStreamProperties& sub_props, int shape,
+    PlanMemo* memo) const {
+  return BuildPlan(reused, v, vq, binding, sub_props, std::nullopt, shape,
+                   memo);
 }
 
 Result<InputPlan> Planner::BuildPlan(
     const RegisteredStream& reused, NodeId v, NodeId vq,
     const StreamBinding& binding, const InputStreamProperties& sub_props,
-    std::optional<WideningSpec> widening) const {
+    std::optional<WideningSpec> widening, int shape,
+    PlanMemo* memo) const {
   InputPlan plan;
   plan.input_stream_name = binding.stream_name;
   plan.reused_stream = reused.id;
   plan.reuse_node = v;
   plan.widening = std::move(widening);
 
-  bool equivalent = PropsEquivalent(reused.props, sub_props);
-  SS_ASSIGN_OR_RETURN(plan.ops,
-                      ResidualOps(reused, binding, v, equivalent));
-
-  // With widening enabled, every plain query re-enforces its own
-  // predicates right before restructuring; upstream streams may then be
-  // relaxed at any time without changing any subscriber's results.
-  if (options_.enable_widening && !binding.aggregate.has_value() &&
-      !binding.window.has_value()) {
+  bool equivalent;
+  if (memo != nullptr && shape >= 0) {
+    auto it = memo->equivalent.find(shape);
+    if (it == memo->equivalent.end()) {
+      it = memo->equivalent
+               .emplace(shape, PropsEquivalent(reused.props, sub_props))
+               .first;
+    }
+    equivalent = it->second;
+  } else {
+    equivalent = PropsEquivalent(reused.props, sub_props);
+  }
+  // Appends the compensation operators BuildPlan installs in front of
+  // the restructuring step when widening is enabled (see below).
+  auto append_compensation = [&](std::vector<EngineOpSpec>* ops) {
+    if (!options_.enable_widening || binding.aggregate.has_value() ||
+        binding.window.has_value()) {
+      return;
+    }
     if (!binding.item_predicates.empty()) {
       EngineOpSpec select;
       select.kind = EngineOpSpec::Kind::kSelect;
       select.node = vq;
       select.compensation = true;
       select.predicates = binding.item_predicates;
-      plan.ops.push_back(std::move(select));
+      ops->push_back(std::move(select));
     }
     if (!binding.returns_whole_item) {
       EngineOpSpec project;
@@ -387,19 +538,60 @@ Result<InputPlan> Planner::BuildPlan(
       project.node = vq;
       project.compensation = true;
       project.output_paths = binding.referenced_paths;
-      plan.ops.push_back(std::move(project));
+      ops->push_back(std::move(project));
     }
+  };
+
+  if (memo != nullptr && shape >= 0) {
+    // Memoized plans never materialize their operator chain: streams of
+    // one shape share an ops template (tap node stored as -1, CostPlan
+    // substitutes the reuse node), so per-candidate predicate and path
+    // copies vanish from the hot loop. The winning plan is regenerated
+    // in full by Subscribe once the search settles.
+    auto it = memo->ops_template.find(shape);
+    if (it == memo->ops_template.end()) {
+      Result<std::vector<EngineOpSpec>> tmpl =
+          ResidualOps(reused, binding, /*node=*/-1, equivalent);
+      if (tmpl.ok()) append_compensation(&*tmpl);
+      it = memo->ops_template.emplace(shape, std::move(tmpl)).first;
+    }
+    SS_RETURN_IF_ERROR(it->second.status());
+  } else {
+    // With widening enabled, every plain query re-enforces its own
+    // predicates right before restructuring; upstream streams may then
+    // be relaxed at any time without changing any subscriber's results.
+    SS_ASSIGN_OR_RETURN(plan.ops,
+                        ResidualOps(reused, binding, v, equivalent));
+    append_compensation(&plan.ops);
   }
 
   if (!(equivalent && v == vq)) {
     NewStreamSpec stream;
-    stream.props = sub_props;
+    // Deep-copying sub_props per examined candidate is the single largest
+    // constant in the BFS hot loop, and CostPlan's memoized path never
+    // reads it — so memoized plans are built without it and the search
+    // copies it into the one winning plan (Subscribe's patch step). The
+    // memo's estimate of it is filled here, where sub_props is in scope.
+    if (memo == nullptr) {
+      stream.props = sub_props;
+    } else if (!memo->sub_estimate.has_value()) {
+      memo->sub_estimate = cost_model_->EstimateStream(sub_props);
+    }
     stream.source_node = v;
     stream.target_node = vq;
-    SS_ASSIGN_OR_RETURN(stream.route, RoutePath(v, vq));
+    if (memo != nullptr) {
+      auto it = memo->routes.find(v);
+      if (it == memo->routes.end()) {
+        it = memo->routes.emplace(v, RoutePath(v, vq)).first;
+      }
+      SS_RETURN_IF_ERROR(it->second.status());
+      stream.route = *it->second;
+    } else {
+      SS_ASSIGN_OR_RETURN(stream.route, RoutePath(v, vq));
+    }
     plan.new_stream = std::move(stream);
   }
-  SS_RETURN_IF_ERROR(CostPlan(&plan, binding, reused, vq));
+  SS_RETURN_IF_ERROR(CostPlan(&plan, binding, reused, vq, shape, memo));
   return plan;
 }
 
@@ -658,39 +850,118 @@ Result<EvaluationPlan> Planner::Subscribe(
     size_t best_candidate = record_candidate(binding, best,
                                              /*widening=*/false,
                                              /*baseline=*/true);
+    // True while `best` was built through the memoized path, whose plans
+    // defer the new stream's props copy until the search settles.
+    bool best_needs_props = false;
 
     // A candidate replaces the incumbent if it is strictly better by C —
-    // preferring feasible plans when configured (the overload test).
+    // preferring feasible plans when configured (the overload test). Exact
+    // ties break deterministically toward the lower stream id, then the
+    // lower tap node, so the chosen plan is independent of examination
+    // order — the property that keeps the indexed and flat search paths
+    // bit-identical (ARCHITECTURE.md invariant 10).
     auto better = [&](const InputPlan& candidate, const InputPlan& incumbent) {
       if (options_.prefer_feasible &&
           candidate.feasible != incumbent.feasible) {
         return candidate.feasible;
       }
-      return candidate.cost < incumbent.cost;
+      if (candidate.cost != incumbent.cost) {
+        return candidate.cost < incumbent.cost;
+      }
+      if (candidate.reused_stream != incumbent.reused_stream) {
+        return candidate.reused_stream < incumbent.reused_stream;
+      }
+      return candidate.reuse_node < incumbent.reuse_node;
+    };
+
+    // Indexed lookup: the subscription-side probe is computed once per
+    // input; widening needs non-matching candidates, and degraded health
+    // needs per-stream usability checks, so dominance grouping is only
+    // used when neither applies.
+    const bool widening_active =
+        options_.enable_widening && !options_.epoch_safe_only;
+    const bool grouped_lookup =
+        index_ != nullptr && state_->health().AllHealthy();
+    properties::SubscriptionProbe probe;
+    CandidateIndex::ProbeCache probe_cache;
+    // Full-match verdicts per interned shape, valid for this input's whole
+    // BFS: streams of one shape have structurally identical properties and
+    // sub_props/match_options are fixed, so MatchProperties is a pure
+    // function of the shape here. 0 = untested, 1 = matched, 2 = refuted.
+    std::vector<int8_t> match_memo;
+    // Shape-keyed memo for the pure parts of plan generation (stream
+    // estimates, equivalence, residual selectivity, routes). Indexed path
+    // only — the flat oracle keeps the unmemoized reference computation.
+    PlanMemo plan_memo;
+    if (index_ != nullptr) {
+      probe = properties::ComputeSubscriptionProbe(sub_props);
+      match_memo.assign(index_->shape_count(), 0);
+    }
+    // One candidate the BFS examines at a node: the stream plus the set
+    // of route nodes it contributes to the frontier (its own route, or
+    // its dominance group's route union on the indexed path), and its
+    // interned shape id (-1 on the flat path).
+    struct Candidate {
+      const RegisteredStream* stream;
+      const std::vector<NodeId>* frontier;  // nullptr → stream->route
+      int shape = -1;
     };
 
     // Lines 7–25: breadth-first search from the input stream's node.
+    // Marked/enqueued are flat per-node flags (node ids index the peer
+    // table), so frontier probes are O(1) per route node.
     std::deque<NodeId> lv{vb};
-    std::set<NodeId> marked;
-    std::set<NodeId> enqueued{vb};
+    std::vector<char> marked(topology_->peer_count(), 0);
+    std::vector<char> enqueued(topology_->peer_count(), 0);
+    enqueued[vb] = 1;
     while (!lv.empty()) {
       NodeId v = lv.front();
       lv.pop_front();
-      if (marked.count(v) != 0) continue;
-      marked.insert(v);
+      if (marked[v] != 0) continue;
+      marked[v] = 1;
       ++local_stats.nodes_visited;
 
-      std::vector<const RegisteredStream*> candidates =
-          registry_->AvailableAt(v, binding.stream_name);
-      for (const RegisteredStream* p : candidates) {
+      std::vector<Candidate> candidates;
+      if (index_ != nullptr) {
+        CandidateIndex::LookupStats lookup;
+        for (const CandidateIndex::Entry& entry : index_->Collect(
+                 v, binding.stream_name, probe, options_.epoch_safe_only,
+                 widening_active, grouped_lookup, &probe_cache, &lookup)) {
+          candidates.push_back(
+              Candidate{entry.stream, entry.frontier, entry.shape});
+        }
+        local_stats.candidates_pruned += lookup.pruned;
+        local_stats.candidates_suppressed += lookup.suppressed;
+      } else {
+        for (const RegisteredStream* p :
+             registry_->AvailableAt(v, binding.stream_name)) {
+          candidates.push_back(Candidate{p, nullptr});
+        }
+      }
+      for (const Candidate& c : candidates) {
+        const RegisteredStream* p = c.stream;
         ++local_stats.candidates_examined;
         // A stream whose route crosses a dead peer or down link no
         // longer flows; under epoch-safe re-planning, windowed streams
         // are excluded from reuse entirely.
         if (!StreamUsable(*p)) continue;
         if (options_.epoch_safe_only && !EpochSafeReuse(*p)) continue;
-        if (!matching::MatchProperties(p->props, sub_props,
-                                       options_.match_options)) {
+        bool matched;
+        if (c.shape >= 0 &&
+            static_cast<size_t>(c.shape) < match_memo.size()) {
+          int8_t& verdict = match_memo[c.shape];
+          if (verdict == 0) {
+            verdict = matching::MatchProperties(p->props, sub_props,
+                                                options_.match_options)
+                          ? 1
+                          : 2;
+          }
+          matched = verdict == 1;
+        } else {
+          matched = matching::MatchProperties(p->props, sub_props,
+                                              options_.match_options);
+        }
+        if (!matched) {
           // Non-matching streams do not extend the search — but with
           // widening enabled, a too-narrow stream may still be usable
           // after relaxing its operators (paper §6).
@@ -705,6 +976,7 @@ Result<EvaluationPlan> Planner::Subscribe(
               if (better(*widened, best)) {
                 best = std::move(*widened);
                 best_candidate = idx;
+                best_needs_props = false;
               }
             } else if (!widened.status().IsUnsupported()) {
               return widened.status();
@@ -713,16 +985,18 @@ Result<EvaluationPlan> Planner::Subscribe(
           continue;
         }
         ++local_stats.candidates_matched;
-        // The stream is available along its whole route; explore it.
-        for (NodeId n : p->route) {
-          if (allowed(n) && marked.count(n) == 0 &&
-              enqueued.count(n) == 0) {
+        // The stream is available along its whole route; explore it. An
+        // indexed group entry contributes the union of its members'
+        // routes, keeping the frontier identical to the flat walk.
+        for (NodeId n : c.frontier != nullptr ? *c.frontier : p->route) {
+          if (marked[n] == 0 && enqueued[n] == 0 && allowed(n)) {
             lv.push_back(n);
-            enqueued.insert(n);
+            enqueued[n] = 1;
           }
         }
-        Result<InputPlan> candidate =
-            GenerateSharedPlan(*p, v, vq, binding, sub_props);
+        Result<InputPlan> candidate = GenerateSharedPlan(
+            *p, v, vq, binding, sub_props, c.shape,
+            index_ != nullptr ? &plan_memo : nullptr);
         if (!candidate.ok()) {
           // A matching stream can still be unplannable (e.g. a
           // non-identical window-contents stream); skip it.
@@ -735,19 +1009,30 @@ Result<EvaluationPlan> Planner::Subscribe(
         if (better(*candidate, best)) {
           best = std::move(*candidate);
           best_candidate = idx;
+          best_needs_props = index_ != nullptr;
         }
       }
 
       if (!options_.prune_search) {
         // Ablation A1: unpruned BFS walks all topology neighbors too.
         for (NodeId n : topology_->Neighbors(v)) {
-          if (allowed(n) && marked.count(n) == 0 &&
-              enqueued.count(n) == 0) {
+          if (marked[n] == 0 && enqueued[n] == 0 && allowed(n)) {
             lv.push_back(n);
-            enqueued.insert(n);
+            enqueued[n] = 1;
           }
         }
       }
+    }
+    // Memoized plans are score-only skeletons (no ops payloads, no
+    // new-stream props, no resource bookkeeping). Regenerate the one
+    // that won through the unmemoized path — every memoized value is a
+    // pure function of the same inputs, so the regenerated plan carries
+    // the identical cost the search compared.
+    if (best_needs_props) {
+      SS_ASSIGN_OR_RETURN(
+          best, GenerateSharedPlan(registry_->stream(best.reused_stream),
+                                   best.reuse_node, vq, binding,
+                                   sub_props));
     }
     local_stats.candidates[best_candidate].chosen = true;
     if (input_span.active()) {

@@ -19,8 +19,10 @@
 #ifndef STREAMSHARE_SHARING_SUBSCRIBE_H_
 #define STREAMSHARE_SHARING_SUBSCRIBE_H_
 
+#include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cost/cost_model.h"
@@ -85,12 +87,64 @@ struct SearchStats {
   int candidates_examined = 0;
   int candidates_matched = 0;
   int plans_generated = 0;
+  /// Index-only counters (zero on the flat path): live streams the
+  /// candidate index pruned by signature before MatchProperties ran, and
+  /// dominated duplicates it collapsed into a group representative.
+  int candidates_pruned = 0;
+  int candidates_suppressed = 0;
   /// Every costed plan, including the initial ship-to-vq fallback.
   std::vector<CandidatePlanInfo> candidates;
 };
 
+class CandidateIndex;
+
 class Planner {
  public:
+  /// Scratch memo for one Subscribe input's BFS on the indexed path. Every
+  /// entry is a pure function of (interned candidate shape, this input's
+  /// binding and canonical properties, the tap node), so all candidates of
+  /// one search share it; a hit returns the exact value the plain
+  /// computation would, including error statuses — nothing here changes a
+  /// planning outcome. The flat oracle path never uses one.
+  struct PlanMemo {
+    /// EstimateStream(reused.props), keyed by the candidate's shape.
+    std::unordered_map<int, Result<cost::StreamEstimate>> reused_estimates;
+    /// EstimateStream(sub_props) — the new stream every shared plan ships.
+    std::optional<Result<cost::StreamEstimate>> sub_estimate;
+    /// PropsEquivalent(reused.props, sub_props), keyed by shape.
+    std::unordered_map<int, bool> equivalent;
+    /// Selectivity of the residual σ — ResidualOps/BuildPlan emit kSelect
+    /// only over binding.item_predicates, so one value serves every plan.
+    std::optional<Result<double>> select_selectivity;
+    /// WindowUpdateDivisor(binding.stream_name, *binding.window) — the
+    /// only window ResidualOps installs as kWindowAgg/kWindowContents.
+    std::optional<Result<double>> window_divisor;
+    /// RoutePath(v, vq), keyed by tap node v (vq is fixed per search).
+    std::unordered_map<network::NodeId,
+                       Result<std::vector<network::NodeId>>>
+        routes;
+    /// LinksOnPath(route of RoutePath(v, vq)), keyed by tap node v.
+    std::unordered_map<network::NodeId,
+                       Result<std::vector<network::LinkId>>>
+        route_links;
+    /// PathLatencyMs(route of RoutePath(v, vq)), keyed by tap node v.
+    std::unordered_map<network::NodeId, Result<double>> route_latency;
+    /// The plan's operator chain, keyed by shape: residual ops built with
+    /// the tap node left as -1 (CostPlan substitutes the candidate's
+    /// reuse node) plus any compensation ops at vq. Memoized plans carry
+    /// an empty `ops` vector and are scored against this template; the
+    /// search regenerates the one winning plan in full.
+    std::unordered_map<int, Result<std::vector<EngineOpSpec>>>
+        ops_template;
+    /// Scratch for CostPlan's per-peer load accumulation (indexed by
+    /// node id, reset via `touched_peers` between plans). Replaces a
+    /// std::map on the memoized path; summation order is kept identical
+    /// by draining touched peers in ascending node order.
+    std::vector<double> load_scratch;
+    std::vector<char> load_mark;
+    std::vector<network::NodeId> touched_peers;
+  };
+
   Planner(const network::Topology* topology,
           const network::NetworkState* state,
           const network::StreamRegistry* registry,
@@ -102,6 +156,14 @@ class Planner {
         options_(options) {}
 
   const network::StreamRegistry& registry() const { return *registry_; }
+
+  /// Installs (or clears) the candidate index Subscribe consults instead
+  /// of the flat per-node registry scan. The index must stay consistent
+  /// with the registry (it subscribes to registry mutations); planning
+  /// outcomes are identical either way — only the candidates examined
+  /// change (ARCHITECTURE.md invariant 10).
+  void set_candidate_index(const CandidateIndex* index) { index_ = index; }
+  const CandidateIndex* candidate_index() const { return index_; }
 
   /// Algorithm 1. `vq` is the super-peer the query registers at. When
   /// `allowed_nodes` is non-null the breadth-first search only visits
@@ -123,10 +185,14 @@ class Planner {
 
   /// generatePlan(p_b, v_b, v_q): plan reusing stream `reused` tapped at
   /// `v`, residual operators at `v`, result routed to `vq`.
+  /// `shape`/`memo` (indexed BFS only) memoize the shape- and node-pure
+  /// parts of plan generation across the candidates of one search; pass
+  /// the defaults everywhere else.
   Result<InputPlan> GenerateSharedPlan(
       const network::RegisteredStream& reused, network::NodeId v,
       network::NodeId vq, const wxquery::StreamBinding& binding,
-      const properties::InputStreamProperties& sub_props) const;
+      const properties::InputStreamProperties& sub_props, int shape = -1,
+      PlanMemo* memo = nullptr) const;
 
   /// Plan that first widens `narrow` (a deployed stream that does NOT
   /// match the subscription) so that it covers the subscription's needs,
@@ -153,7 +219,9 @@ class Planner {
                               const wxquery::StreamBinding& binding,
                               const properties::InputStreamProperties&
                                   sub_props,
-                              std::optional<WideningSpec> widening) const;
+                              std::optional<WideningSpec> widening,
+                              int shape = -1,
+                              PlanMemo* memo = nullptr) const;
   /// Builds the residual operator chain that turns the reused stream into
   /// the subscription's canonical stream; ops are placed at `node`.
   Result<std::vector<EngineOpSpec>> ResidualOps(
@@ -166,7 +234,8 @@ class Planner {
   /// the plan's route.
   Status CostPlan(InputPlan* plan, const wxquery::StreamBinding& binding,
                   const network::RegisteredStream& reused,
-                  network::NodeId vq) const;
+                  network::NodeId vq, int shape = -1,
+                  PlanMemo* memo = nullptr) const;
 
   /// True if the reused stream's content is already exactly what the
   /// subscription's canonical stream would be.
@@ -178,6 +247,7 @@ class Planner {
   const network::StreamRegistry* registry_;
   const cost::CostModel* cost_model_;
   PlannerOptions options_;
+  const CandidateIndex* index_ = nullptr;
 };
 
 }  // namespace streamshare::sharing

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
+#include <map>
+#include <set>
 
 #include "engine/combine.h"
 #include "engine/latency.h"
@@ -42,8 +45,14 @@ StreamShareSystem::StreamShareSystem(network::Topology topology,
   if (config_.resume_mode) config_.planner.epoch_safe_only = true;
   cost_model_ =
       std::make_unique<cost::CostModel>(&statistics_, config_.cost_params);
+  if (config_.candidate_index) {
+    candidate_index_ = std::make_unique<CandidateIndex>(&topology_,
+                                                        &registry_);
+    registry_.set_listener(candidate_index_.get());
+  }
   planner_ = std::make_unique<Planner>(&topology_, &state_, &registry_,
                                        cost_model_.get(), config_.planner);
+  planner_->set_candidate_index(candidate_index_.get());
   if (!config_.subnet_assignment.empty()) {
     Result<network::SubnetPartition> partition =
         network::SubnetPartition::Create(&topology_,
@@ -95,6 +104,7 @@ Status StreamShareSystem::RegisterStream(
       graph_.Add<engine::PassOp>("source:" + name);
   taps_[id].taps = {entry};
   stream_entries_[name] = entry;
+  ++plan_epoch_;
   obs::EventLog& log = obs::EventLog::Default();
   if (log.ShouldLog(obs::Severity::kInfo)) {
     log.Log(obs::Severity::kInfo, "sharing", "stream registered",
@@ -134,6 +144,34 @@ Status StreamShareSystem::SetAvgIncrement(const std::string& stream,
 
 Result<RegistrationResult> StreamShareSystem::RegisterQuery(
     std::string_view query_text, NodeId vq, Strategy strategy) {
+  return RegisterQueryImpl(query_text, vq, strategy, /*batch=*/nullptr);
+}
+
+Result<std::vector<RegistrationResult>> StreamShareSystem::SubscribeBatch(
+    const std::vector<BatchQuery>& queries, BatchStats* stats) {
+  BatchContext batch;
+  batch.stats.queries = static_cast<int>(queries.size());
+  std::vector<RegistrationResult> results;
+  results.reserve(queries.size());
+  for (const BatchQuery& query : queries) {
+    Result<RegistrationResult> result =
+        RegisterQueryImpl(query.text, query.vq, query.strategy, &batch);
+    if (!result.ok()) {
+      // Sequential semantics: the installed prefix stays; the stats tell
+      // the caller how many registrations consumed a query id.
+      if (stats != nullptr) *stats = batch.stats;
+      return result.status();
+    }
+    ++batch.stats.registered;
+    results.push_back(std::move(result).value());
+  }
+  if (stats != nullptr) *stats = batch.stats;
+  return results;
+}
+
+Result<RegistrationResult> StreamShareSystem::RegisterQueryImpl(
+    std::string_view query_text, NodeId vq, Strategy strategy,
+    BatchContext* batch) {
   if (vq < 0 || vq >= static_cast<NodeId>(topology_.peer_count())) {
     return Status::InvalidArgument("query target peer out of range");
   }
@@ -149,28 +187,64 @@ Result<RegistrationResult> StreamShareSystem::RegisterQuery(
   result.vq = vq;
   result.strategy = strategy;
 
-  SS_ASSIGN_OR_RETURN(wxquery::AnalyzedQuery analyzed,
-                      wxquery::ParseAndAnalyze(query_text));
-  auto query = std::make_shared<const wxquery::AnalyzedQuery>(
-      std::move(analyzed));
-
-  Result<EvaluationPlan> plan = [&]() -> Result<EvaluationPlan> {
-    switch (strategy) {
-      case Strategy::kDataShipping:
-        return planner_->DataShipping(*query, vq);
-      case Strategy::kQueryShipping:
-        return planner_->QueryShipping(*query, vq);
-      case Strategy::kStreamSharing:
-        if (hierarchical_planner_ != nullptr) {
-          return hierarchical_planner_->Subscribe(*query, vq,
-                                                  &result.search);
-        }
-        return planner_->Subscribe(*query, vq, &result.search);
+  // Template clustering: identical texts in a batch analyze once
+  // (ParseAndAnalyze is a pure function of the text).
+  std::shared_ptr<const wxquery::AnalyzedQuery> query;
+  if (batch != nullptr) {
+    auto it = batch->analyzed.find(query_text);
+    if (it != batch->analyzed.end()) {
+      query = it->second;
+      ++batch->stats.analyze_cache_hits;
     }
-    return Status::Internal("unknown strategy");
-  }();
-  SS_RETURN_IF_ERROR(plan.status());
-  result.plan = std::move(plan).value();
+  }
+  if (query == nullptr) {
+    SS_ASSIGN_OR_RETURN(wxquery::AnalyzedQuery analyzed,
+                        wxquery::ParseAndAnalyze(query_text));
+    query = std::make_shared<const wxquery::AnalyzedQuery>(
+        std::move(analyzed));
+    if (batch != nullptr) {
+      batch->analyzed.emplace(std::string(query_text), query);
+    }
+  }
+
+  // Intra-batch plan reuse: planning is a deterministic function of
+  // (query, vq, strategy) and planner-visible state; a memo entry stamped
+  // with the current plan epoch yields exactly what re-planning would.
+  const std::tuple<std::string, NodeId, int> memo_key(
+      std::string(query_text), vq, static_cast<int>(strategy));
+  bool memo_hit = false;
+  if (batch != nullptr) {
+    auto it = batch->plans.find(memo_key);
+    if (it != batch->plans.end() && it->second.epoch == plan_epoch_) {
+      result.plan = it->second.plan;
+      result.search = it->second.search;
+      memo_hit = true;
+      ++batch->stats.plan_memo_hits;
+    }
+  }
+  if (!memo_hit) {
+    Result<EvaluationPlan> plan = [&]() -> Result<EvaluationPlan> {
+      switch (strategy) {
+        case Strategy::kDataShipping:
+          return planner_->DataShipping(*query, vq);
+        case Strategy::kQueryShipping:
+          return planner_->QueryShipping(*query, vq);
+        case Strategy::kStreamSharing:
+          if (hierarchical_planner_ != nullptr) {
+            return hierarchical_planner_->Subscribe(*query, vq,
+                                                    &result.search);
+          }
+          return planner_->Subscribe(*query, vq, &result.search);
+      }
+      return Status::Internal("unknown strategy");
+    }();
+    SS_RETURN_IF_ERROR(plan.status());
+    result.plan = std::move(plan).value();
+    if (batch != nullptr) {
+      batch->plans[memo_key] =
+          BatchContext::PlanMemo{result.plan, result.search, plan_epoch_};
+    }
+  }
 
   if (config_.enforce_limits && !result.plan.Feasible()) {
     result.accepted = false;
@@ -182,6 +256,9 @@ Result<RegistrationResult> StreamShareSystem::RegisterQuery(
         DeployPlan(result.plan, query, vq, strategy, &result));
     result.accepted = true;
     queries_.push_back(query);
+    // An accepted deployment commits resources and may register streams:
+    // any batch plan memo is now stale.
+    ++plan_epoch_;
   }
 
   auto end = std::chrono::steady_clock::now();
@@ -296,12 +373,165 @@ Status StreamShareSystem::UnregisterQuery(int query_id) {
   ParkWirings(query_id, &deployment, registrations_[query_id].plan,
               nullptr);
   GcStreams();
+  ++plan_epoch_;
   obs::EventLog& log = obs::EventLog::Default();
   if (log.ShouldLog(obs::Severity::kInfo)) {
     log.Log(obs::Severity::kInfo, "sharing", "query deregistered",
             {obs::F("query", query_id)});
   }
   return Status::Ok();
+}
+
+Result<StreamShareSystem::ReoptimizeReport> StreamShareSystem::Reoptimize(
+    int max_migrations) {
+  ReoptimizeReport report;
+  // Re-optimization uses the recovery planner profile: epoch-safe reuse
+  // only (a migrated query must depend only on post-migration items) and
+  // no widening (irreversible, so never triggered in the background).
+  PlannerOptions reopt_options = config_.planner;
+  reopt_options.epoch_safe_only = true;
+  reopt_options.enable_widening = false;
+  Planner planner(&topology_, &state_, &registry_, cost_model_.get(),
+                  reopt_options);
+  planner.set_candidate_index(candidate_index_.get());
+
+  for (int query_id = 0;
+       query_id < static_cast<int>(deployments_.size()); ++query_id) {
+    if (max_migrations >= 0 && report.migrated >= max_migrations) break;
+    QueryDeployment& deployment = deployments_[query_id];
+    if (!deployment.active || deployment.query == nullptr) continue;
+    RegistrationResult& reg = registrations_[query_id];
+    if (reg.strategy != Strategy::kStreamSharing) continue;
+    // A query that widened a stream cannot hand its wiring over (the
+    // widening is irreversible while consumers may rely on it).
+    if (deployment.widened_a_stream) continue;
+    ++report.examined;
+    double old_cost = reg.plan.TotalCost();
+    report.cost_before += old_cost;
+
+    // Phase 1, read-only: is a strictly cheaper epoch-safe plan available
+    // against today's stream population? The estimate is pessimistic —
+    // the query's own committed resources still count against
+    // availability — so the pass only ever migrates less, never more,
+    // than a from-scratch replan would.
+    Result<EvaluationPlan> estimate =
+        planner.Subscribe(*deployment.query, reg.vq);
+    if (!estimate.ok() ||
+        !(estimate->TotalCost() < old_cost * (1.0 - 1e-9)) ||
+        (config_.enforce_limits && !estimate->Feasible())) {
+      report.cost_after += old_cost;
+      continue;
+    }
+
+    // The estimate must not count on a stream that parking this query
+    // would retire — its own orphaned streams, or a departed query's
+    // stream this query keeps alive as last consumer. Such a plan can
+    // never be realized (phase 2 re-plans post-park, after the GC), so
+    // migrating on its promise would tear down windows for a handover
+    // that lands back at the old cost — and a background pass would
+    // repeat that churn forever. The retirement cascade is simulated
+    // against a copy of the consumer counts, exactly TryDismantle's
+    // rules, without touching the registry.
+    std::map<StreamId, int> consumer_counts;
+    auto count = [&](StreamId stream) -> int& {
+      auto [it, inserted] = consumer_counts.try_emplace(
+          stream, registry_.stream(stream).consumers);
+      return it->second;
+    };
+    std::set<StreamId> would_retire;
+    std::function<void(StreamId)> release = [&](StreamId stream) {
+      if (stream < 0) return;
+      if (--count(stream) > 0) return;
+      // Streams with an active owner survive at zero consumers; only a
+      // parked owner wiring dismantles when its last consumer leaves.
+      for (const ParkedWiring& parked : parked_) {
+        if (parked.wiring.registered_stream != stream ||
+            would_retire.count(stream) != 0) {
+          continue;
+        }
+        would_retire.insert(stream);
+        release(parked.wiring.reused_stream);
+        return;
+      }
+    };
+    for (const QueryDeployment::InputWiring& wiring : deployment.inputs) {
+      if (wiring.registered_stream >= 0 &&
+          count(wiring.registered_stream) > 0) {
+        continue;  // still tapped: the wiring parks intact, refs held
+      }
+      if (wiring.registered_stream >= 0) {
+        would_retire.insert(wiring.registered_stream);
+      }
+      release(wiring.reused_stream);
+    }
+    bool self_dependent = false;
+    for (const InputPlan& input : estimate->inputs) {
+      if (would_retire.count(input.reused_stream) != 0) {
+        self_dependent = true;
+        break;
+      }
+    }
+    if (self_dependent) {
+      report.cost_after += old_cost;
+      continue;
+    }
+
+    // Phase 2: the epoch-safe stream handover, exactly the recovery
+    // pattern — park the old wiring (shared segments keep flowing for
+    // their consumers), re-plan against the post-park state (the
+    // query's resources are released and its orphaned streams retired,
+    // so the plan is built from what actually survives), rebuild onto
+    // the existing sink in resume mode, and GC what lost its last
+    // consumer. Gap-not-garbage: the query resumes at the next window
+    // boundary.
+    uint64_t lost_here = 0;
+    deployment.active = false;
+    ParkWirings(query_id, &deployment, reg.plan, &lost_here);
+    SearchStats search;
+    Result<EvaluationPlan> plan =
+        planner.Subscribe(*deployment.query, reg.vq, &search);
+    bool restored = false;
+    if (plan.ok() && (!config_.enforce_limits || plan->Feasible())) {
+      engine::SinkOp* sink = reg.sink;
+      Status built = BuildDeployment(*plan, deployment.query, reg.vq,
+                                     reg.strategy, query_id,
+                                     /*resume=*/true, &sink, &deployment);
+      if (built.ok()) {
+        reg.plan = std::move(plan).value();
+        reg.search = std::move(search);
+        restored = true;
+      } else {
+        deployment.active = false;
+      }
+    }
+    lost_here += GcStreams();
+    report.lost_windows += lost_here;
+    ++plan_epoch_;
+    if (restored) {
+      ++report.migrated;
+      report.cost_after += reg.plan.TotalCost();
+    } else {
+      ++report.torn_down;
+    }
+  }
+
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry.GetCounter("sharing.reoptimize.passes")->Add(1);
+    registry.GetCounter("sharing.reoptimize.migrated")->Add(report.migrated);
+    registry.GetCounter("sharing.reoptimize.lost_windows")
+        ->Add(report.lost_windows);
+  }
+  obs::EventLog& log = obs::EventLog::Default();
+  if (log.ShouldLog(obs::Severity::kInfo)) {
+    log.Log(obs::Severity::kInfo, "sharing", "reoptimize pass",
+            {obs::F("examined", report.examined),
+             obs::F("migrated", report.migrated),
+             obs::F("cost_before", report.cost_before),
+             obs::F("cost_after", report.cost_after),
+             obs::F("lost_windows", report.lost_windows)});
+  }
+  return report;
 }
 
 Status StreamShareSystem::WireInput(
@@ -330,6 +560,7 @@ Status StreamShareSystem::WireInput(
     RegisteredStream& record = registry_.mutable_stream(widening.stream);
     record.props = widening.widened_props;
     record.rate_kbps = widening.new_rate_kbps;
+    registry_.NotifyUpdated(widening.stream);
   }
 
   // Locate the tap operator where the reused stream is intercepted.

@@ -27,6 +27,7 @@
 #include "network/topology.h"
 #include "obs/metrics_registry.h"
 #include "recover/report.h"
+#include "sharing/candidate_index.h"
 #include "sharing/hierarchy.h"
 #include "sharing/plan.h"
 #include "sharing/subscribe.h"
@@ -66,6 +67,13 @@ struct SystemConfig {
   ExecutorKind executor = ExecutorKind::kSerial;
   /// Queue capacity / dispatch batching for the parallel executor.
   engine::ParallelOptions parallel;
+  /// Indexed candidate lookup: Subscribe consults a CandidateIndex
+  /// (hash buckets on (variant stream, route node), dominance-grouped by
+  /// property shape and tap latency, signature-pruned) instead of the
+  /// flat per-node registry scan. Planning outcomes are identical either
+  /// way (ARCHITECTURE.md invariant 10); false keeps the flat BFS as the
+  /// differential oracle reference.
+  bool candidate_index = true;
   /// Master switch for the compact-record hot path: serial runs chunk
   /// items into batches and adopt photon-conforming items into
   /// PhotonRecords, and the parallel/transport executors do the same
@@ -152,6 +160,68 @@ class StreamShareSystem {
   Result<RegistrationResult> RegisterQuery(std::string_view query_text,
                                            network::NodeId vq,
                                            Strategy strategy);
+
+  /// One query of a registration batch.
+  struct BatchQuery {
+    std::string text;
+    network::NodeId vq = -1;
+    Strategy strategy = Strategy::kStreamSharing;
+  };
+  /// Work-saving counters of one SubscribeBatch call.
+  struct BatchStats {
+    int queries = 0;
+    /// Identical query texts parsed/analyzed once.
+    int analyze_cache_hits = 0;
+    /// (text, vq, strategy) triples re-planned from the batch memo — valid
+    /// only while no accepted registration changed planner-visible state.
+    int plan_memo_hits = 0;
+    /// Registrations that consumed a query id (accepted or
+    /// admission-rejected). On a mid-batch hard error this is the length
+    /// of the installed prefix — the batch behaves exactly like the
+    /// sequential calls it replaces, so earlier registrations remain.
+    int registered = 0;
+  };
+
+  /// Registers a batch of queries. Semantically identical to calling
+  /// RegisterQuery on each element in order — same installed plans, same
+  /// acceptance decisions, same sink results — but clusters the batch:
+  /// duplicate texts are analyzed once, and plans are reused across
+  /// template-identical queries as long as no intervening acceptance
+  /// invalidated them. Stops at the first hard error (parse failure,
+  /// unregistered stream); admission-control rejections are per-query
+  /// results, not errors, and do not stop the batch.
+  Result<std::vector<RegistrationResult>> SubscribeBatch(
+      const std::vector<BatchQuery>& queries, BatchStats* stats = nullptr);
+
+  /// Outcome of one background re-optimization pass.
+  struct ReoptimizeReport {
+    /// Active stream-sharing queries whose plan was re-evaluated.
+    int examined = 0;
+    /// Queries migrated to a strictly cheaper plan.
+    int migrated = 0;
+    /// Queries lost because the post-park re-plan failed (degraded
+    /// topology mid-pass; effectively unreachable on a healthy network).
+    int torn_down = 0;
+    /// Σ C(P) over examined queries before/after the pass.
+    double cost_before = 0.0;
+    double cost_after = 0.0;
+    /// Open windows destroyed by migrations (gap-not-garbage: migrated
+    /// queries resume at the next window boundary).
+    uint64_t lost_windows = 0;
+  };
+
+  /// Background re-optimization: re-plans every active stream-sharing
+  /// query against today's stream population (arrival-order incremental
+  /// planning leaves traffic on the table — the A6 gap) and migrates
+  /// queries whose re-plan is strictly cheaper, using the same epoch-safe
+  /// stream-handover machinery as failure recovery: the old wiring is
+  /// parked (shared segments keep flowing for their consumers), the query
+  /// is re-planned under epoch-safe reuse post-park, rebuilt in resume
+  /// mode onto its existing sink, and orphaned streams are
+  /// garbage-collected. `max_migrations` bounds the number of queries
+  /// moved per pass (< 0: unbounded). Call between feeds — the handover
+  /// is epoch-safe at feed boundaries, exactly like recovery.
+  Result<ReoptimizeReport> Reoptimize(int max_migrations = -1);
 
   /// Deregisters a continuous query: detaches its operator chains from the
   /// shared streams, retires the streams it registered, and releases the
@@ -268,6 +338,10 @@ class StreamShareSystem {
   const network::Topology& topology() const { return topology_; }
   const network::NetworkState& state() const { return state_; }
   const network::StreamRegistry& registry() const { return registry_; }
+  /// The candidate index, or nullptr when config.candidate_index=false.
+  const CandidateIndex* candidate_index() const {
+    return candidate_index_.get();
+  }
   const engine::Metrics& metrics() const { return metrics_; }
   const cost::CostModel& cost_model() const { return *cost_model_; }
   const std::vector<RegistrationResult>& registrations() const {
@@ -336,6 +410,30 @@ class StreamShareSystem {
     std::vector<std::pair<network::NodeId, double>> added_load;
   };
 
+  /// Per-batch caches shared across the registrations of one
+  /// SubscribeBatch call (see BatchStats).
+  struct BatchContext {
+    std::map<std::string, std::shared_ptr<const wxquery::AnalyzedQuery>,
+             std::less<>>
+        analyzed;
+    struct PlanMemo {
+      EvaluationPlan plan;
+      SearchStats search;
+      /// plan_epoch_ at memo time; a mismatch means planner-visible state
+      /// changed and the memo entry is dead.
+      uint64_t epoch = 0;
+    };
+    std::map<std::tuple<std::string, network::NodeId, int>, PlanMemo> plans;
+    BatchStats stats;
+  };
+
+  /// RegisterQuery body; `batch` (may be null) carries the intra-batch
+  /// caches of SubscribeBatch.
+  Result<RegistrationResult> RegisterQueryImpl(std::string_view query_text,
+                                               network::NodeId vq,
+                                               Strategy strategy,
+                                               BatchContext* batch);
+
   Status DeployPlan(const EvaluationPlan& plan,
                     std::shared_ptr<const wxquery::AnalyzedQuery> query,
                     network::NodeId vq, Strategy strategy,
@@ -396,6 +494,9 @@ class StreamShareSystem {
   network::StreamRegistry registry_;
   cost::StatisticsRegistry statistics_;
   std::unique_ptr<cost::CostModel> cost_model_;
+  /// Incrementally maintained candidate lookup (null when disabled); it
+  /// listens on registry_ mutations and is consulted by every planner.
+  std::unique_ptr<CandidateIndex> candidate_index_;
   std::unique_ptr<Planner> planner_;
   std::unique_ptr<network::SubnetPartition> partition_;
   std::unique_ptr<HierarchicalPlanner> hierarchical_planner_;
@@ -422,6 +523,9 @@ class StreamShareSystem {
   std::vector<recover::RecoveryReport> recovery_reports_;
   std::vector<engine::ParallelWorkerStats> parallel_stats_;
   transport::TransportRunStats transport_stats_;
+  /// Bumped whenever planner-visible state changes (deployments, GC,
+  /// recovery, re-optimization); guards SubscribeBatch's plan memo.
+  uint64_t plan_epoch_ = 0;
 };
 
 }  // namespace streamshare::sharing

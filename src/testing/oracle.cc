@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
+#include <tuple>
 
 #include "serve/serve_oracle.h"
 #include "sharing/system.h"
@@ -506,6 +508,117 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     }
   }
 
+  // --- Index-vs-BFS arm: the candidate index must never change planning
+  // outcomes, only the set of candidates examined (ARCHITECTURE.md
+  // invariant 10). Replay the registrations on a flat-BFS system and
+  // demand identical chosen plans and identical delivered results; the
+  // indexed run's generated candidates must be a subset of the flat
+  // walk's, and its examination count no larger. -------------------------
+  if (options.run_flat_bfs) {
+    auto index_fail = [&](std::string message) {
+      report.index_ok = false;
+      fail("index oracle: " + std::move(message));
+    };
+    SystemConfig flat_config = serial_config;
+    flat_config.candidate_index = false;
+    SS_ASSIGN_OR_RETURN(
+        BuiltSystem flat,
+        BuildAndRegister(scenario, sharing::Strategy::kStreamSharing,
+                         flat_config, options));
+    const auto& indexed_regs = reference.system->registrations();
+    const auto& flat_regs = flat.system->registrations();
+    for (size_t q = 0; q < scenario.queries.size(); ++q) {
+      int indexed_id = reference.registration_index[q];
+      int flat_id = flat.registration_index[q];
+      if ((indexed_id < 0) != (flat_id < 0)) {
+        index_fail(DescribeQuery(scenario, q) +
+                   " registration outcome differs between indexed and "
+                   "flat lookup");
+        continue;
+      }
+      if (indexed_id < 0) continue;
+      const RegistrationResult& indexed = indexed_regs[indexed_id];
+      const RegistrationResult& walked = flat_regs[flat_id];
+      if (indexed.accepted != walked.accepted) {
+        index_fail(DescribeQuery(scenario, q) +
+                   " admission diverged — indexed accepted=" +
+                   std::to_string(indexed.accepted) + ", flat accepted=" +
+                   std::to_string(walked.accepted));
+        continue;
+      }
+      if (indexed.plan.inputs.size() != walked.plan.inputs.size()) {
+        index_fail(DescribeQuery(scenario, q) + " chose " +
+                   std::to_string(indexed.plan.inputs.size()) +
+                   " input plans indexed vs " +
+                   std::to_string(walked.plan.inputs.size()) + " flat");
+        continue;
+      }
+      for (size_t i = 0; i < indexed.plan.inputs.size(); ++i) {
+        const sharing::InputPlan& a = indexed.plan.inputs[i];
+        const sharing::InputPlan& b = walked.plan.inputs[i];
+        // Both runs cost identical plans with identical arithmetic, so
+        // C(P) must agree to the bit, not just within tolerance.
+        if (a.reused_stream != b.reused_stream ||
+            a.reuse_node != b.reuse_node ||
+            a.widening.has_value() != b.widening.has_value() ||
+            a.cost != b.cost || a.feasible != b.feasible) {
+          index_fail(
+              DescribeQuery(scenario, q) + " input " + a.input_stream_name +
+              ": chosen plan diverged — indexed reuses stream " +
+              std::to_string(a.reused_stream) + " at node " +
+              std::to_string(a.reuse_node) + " C(P)=" +
+              std::to_string(a.cost) + ", flat reuses stream " +
+              std::to_string(b.reused_stream) + " at node " +
+              std::to_string(b.reuse_node) + " C(P)=" +
+              std::to_string(b.cost));
+        }
+      }
+      if (indexed.search.candidates_examined >
+          walked.search.candidates_examined) {
+        index_fail(DescribeQuery(scenario, q) + ": indexed lookup examined " +
+                   std::to_string(indexed.search.candidates_examined) +
+                   " candidates, more than the flat walk's " +
+                   std::to_string(walked.search.candidates_examined));
+      }
+      std::set<std::tuple<std::string, network::StreamId,
+                          network::NodeId, bool>>
+          flat_candidates;
+      for (const sharing::CandidatePlanInfo& candidate :
+           walked.search.candidates) {
+        flat_candidates.emplace(candidate.input_stream,
+                                candidate.reused_stream,
+                                candidate.reuse_node, candidate.widening);
+      }
+      for (const sharing::CandidatePlanInfo& candidate :
+           indexed.search.candidates) {
+        if (flat_candidates.count({candidate.input_stream,
+                                   candidate.reused_stream,
+                                   candidate.reuse_node,
+                                   candidate.widening}) == 0) {
+          index_fail(DescribeQuery(scenario, q) +
+                     ": indexed search generated a candidate the flat "
+                     "walk never saw — stream " +
+                     std::to_string(candidate.reused_stream) + " at node " +
+                     std::to_string(candidate.reuse_node));
+        }
+      }
+    }
+    SS_RETURN_IF_ERROR(flat.system->Run(items).WithContext("serial-flat"));
+    ModeObservation flat_mode;
+    flat_mode.mode = "serial-flat-bfs";
+    Observe(flat, &flat_mode);
+    for (size_t q = 0; q < flat_mode.queries.size(); ++q) {
+      if (!SameObservation(reference_mode.queries[q],
+                           flat_mode.queries[q])) {
+        index_fail("results diverged on " + DescribeQuery(scenario, q) +
+                   " — indexed " +
+                   ObservationString(reference_mode.queries[q]) +
+                   ", flat " + ObservationString(flat_mode.queries[q]));
+      }
+    }
+    report.modes.push_back(std::move(flat_mode));
+  }
+
   // --- Recovery oracle: replay with churn and diff the epochs. ----------
   if (!scenario.churn.empty()) {
     report.churn_events = static_cast<int>(scenario.churn.size());
@@ -518,6 +631,10 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
       const char* name;
       ExecutorKind executor;
       const char* transport;
+      /// Disable the candidate index (the flat-BFS churn differential:
+      /// install/GC/recovery index maintenance must keep planning
+      /// outcomes identical through failures).
+      bool flat = false;
     };
     std::vector<ChurnSpec> churn_specs = {
         {"serial+churn", ExecutorKind::kSerial, ""}};
@@ -531,6 +648,10 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
       churn_specs.push_back(
           {"transport-tcp+churn", ExecutorKind::kTransport, "tcp"});
     }
+    if (options.run_flat_bfs) {
+      churn_specs.push_back(
+          {"serial-flat+churn", ExecutorKind::kSerial, "", true});
+    }
 
     std::vector<ChurnRun> runs;
     for (const ChurnSpec& spec : churn_specs) {
@@ -538,6 +659,7 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
       config.executor = spec.executor;
       config.record_path = options.record_path &&
                            spec.executor != ExecutorKind::kSerial;
+      config.candidate_index = !spec.flat;
       if (spec.transport[0] != '\0') config.transport = spec.transport;
       SS_ASSIGN_OR_RETURN(
           ChurnRun run,
@@ -570,10 +692,21 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     for (size_t m = 1; m < runs.size(); ++m) {
       const ChurnRun& other = runs[m];
       const std::string& mode = other.final_mode.mode;
+      // A flat-BFS churn divergence is an index violation (the indexed
+      // serial run is the arm under test), not a recovery bug.
+      const bool flat_arm = mode.find("flat") != std::string::npos;
+      auto churn_fail = [&](std::string message) {
+        if (flat_arm) {
+          report.index_ok = false;
+          fail("index oracle: " + std::move(message));
+        } else {
+          recovery_fail(std::move(message));
+        }
+      };
       for (size_t q = 0; q < scenario.queries.size(); ++q) {
         if (!SameObservation(serial_churn.final_mode.queries[q],
                              other.final_mode.queries[q])) {
-          recovery_fail(
+          churn_fail(
               mode + " diverged from serial+churn on " +
               DescribeQuery(scenario, q) + " — serial " +
               ObservationString(serial_churn.final_mode.queries[q]) +
@@ -587,14 +720,14 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
         for (size_t q = 0; q < scenario.queries.size(); ++q) {
           if (!SameObservation(serial_churn.after_event[j][q],
                                other.after_event[j][q])) {
-            recovery_fail(mode + ": post-recovery snapshot of event " +
+            churn_fail(mode + ": post-recovery snapshot of event " +
                           std::to_string(j) + " diverged on " +
                           DescribeQuery(scenario, q));
           }
         }
       }
       if (other.reports.size() != serial_churn.reports.size()) {
-        recovery_fail(mode + ": recovered " +
+        churn_fail(mode + ": recovered " +
                       std::to_string(other.reports.size()) +
                       " events, serial+churn recovered " +
                       std::to_string(serial_churn.reports.size()));
@@ -609,7 +742,7 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
                  expected[k].outcome == actual[k].outcome;
         }
         if (!same) {
-          recovery_fail(mode + ": recovery outcomes of event " +
+          churn_fail(mode + ": recovery outcomes of event " +
                         std::to_string(j) +
                         " diverged from serial+churn");
         }
@@ -833,6 +966,9 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     }
     if (!report.serve_ok) {
       options.metrics->GetCounter("fuzz.serve_violations")->Add(1);
+    }
+    if (!report.index_ok) {
+      options.metrics->GetCounter("fuzz.index_violations")->Add(1);
     }
   }
   return report;

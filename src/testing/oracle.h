@@ -68,6 +68,17 @@ struct OracleOptions {
   /// fuzz tool gates it behind --serve.
   bool run_serve = false;
 
+  /// Index-vs-BFS differential arm: replay the scenario on a serial
+  /// system with the candidate index disabled (the flat per-node registry
+  /// walk is Algorithm 1's oracle form) and demand identical planning
+  /// outcomes — same acceptance, same reused stream / reuse node /
+  /// widening / C(P) per input — and identical sink results. Scenarios
+  /// with churn events additionally replay the churned run flat and diff
+  /// final observations plus recovery outcomes (ARCHITECTURE.md
+  /// invariant 10: the index never changes planning outcomes, only the
+  /// set of candidates examined).
+  bool run_flat_bfs = false;
+
   /// Self-test hook: perturbs the named mode's observed content hash and
   /// item count for aggregation queries with window size >= min_window —
   /// a deliberately injected equivalence bug the harness must catch and
@@ -96,7 +107,7 @@ struct OracleOptions {
   /// When set, per-scenario divergence counters are folded in:
   /// fuzz.scenarios, fuzz.queries, fuzz.divergences,
   /// fuzz.sharing_violations, fuzz.recovery_violations,
-  /// fuzz.infra_failures.
+  /// fuzz.index_violations, fuzz.infra_failures.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
@@ -125,6 +136,10 @@ struct OracleReport {
   /// the arm is disabled or the scenario has registration errors (the
   /// serve client surfaces those as call failures, not observations).
   bool serve_ok = true;
+  /// The indexed run and the flat-BFS run planned identically (chosen
+  /// plans, acceptance, C(P)) and delivered identical results, clean and
+  /// churned. Vacuously true when the arm is disabled.
+  bool index_ok = true;
   /// First divergence, human-readable; empty when ok().
   std::string failure;
 
@@ -146,7 +161,7 @@ struct OracleReport {
 
   bool ok() const {
     return equivalence_ok && sharing_ok && recovery_ok && latency_ok &&
-           serve_ok;
+           serve_ok && index_ok;
   }
 };
 

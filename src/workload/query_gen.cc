@@ -131,13 +131,21 @@ std::string QueryGenerator::ContainedSelectionQuery() {
   SkyBox box = config_.boxes[box_dist(rng_)];
   // Shrink the box by a random fraction on each side (stays contained in
   // the predefined box, so a stream filtered by the outer box can serve).
-  std::uniform_real_distribution<double> shrink(0.0, 0.3);
+  // With shrink_steps set, fractions come from a predefined discrete set.
+  auto shrink = [this]() {
+    if (config_.shrink_steps > 0) {
+      std::uniform_int_distribution<int> step(0, config_.shrink_steps - 1);
+      return 0.3 * step(rng_) / config_.shrink_steps;
+    }
+    std::uniform_real_distribution<double> fraction(0.0, 0.3);
+    return fraction(rng_);
+  };
   double ra_span = box.ra_max - box.ra_min;
   double dec_span = box.dec_max - box.dec_min;
-  box.ra_min += shrink(rng_) * ra_span;
-  box.ra_max -= shrink(rng_) * ra_span;
-  box.dec_min += shrink(rng_) * dec_span;
-  box.dec_max -= shrink(rng_) * dec_span;
+  box.ra_min += shrink() * ra_span;
+  box.ra_max -= shrink() * ra_span;
+  box.dec_min += shrink() * dec_span;
+  box.dec_max -= shrink() * dec_span;
   std::string where = BoxPredicate(box, "p");
   return "<photons> { for $p in stream(\"" + config_.stream_name +
          "\")/photons/photon where " + where +

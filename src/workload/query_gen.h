@@ -33,6 +33,14 @@ struct QueryGenConfig {
   /// Predefined time windows (Δ, µ) on det_time; pairs are chosen so that
   /// coarser windows are recombinable from finer ones.
   std::vector<std::pair<int, int>> windows;
+  /// Contained-selection sub-boxes: number of discrete shrink fractions
+  /// per box side. 0 keeps the historical continuous draw (every query a
+  /// distinct box); N > 0 draws each side's shrink from N predefined
+  /// steps, bounding the distinct-predicate pool the way the paper's
+  /// evaluation does ("chosen uniformly from a predefined set of values
+  /// to enable a certain degree of shareability", §4) — the regime the
+  /// registration-scaling bench measures index behaviour in.
+  int shrink_steps = 0;
   /// Template mix (normalized internally). The paper's evaluation uses
   /// "query templates for selection, projection, and aggregation
   /// queries"; contained-selection queries add the Q1/Q2 containment

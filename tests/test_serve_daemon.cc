@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "serve/client.h"
@@ -337,6 +339,147 @@ TEST(ServeDaemon, RestartableDrainCheckpointsAndExitsCleanly) {
   ASSERT_EQ(checkpoint->events.size(), 1u);
   EXPECT_EQ(checkpoint->events[0].kind, LogEvent::Kind::kSubscribe);
   std::remove(options.checkpoint_path.c_str());
+}
+
+TEST(ServeDaemon, SubscribeBatchMatchesSequentialSubscribes) {
+  workload::ScenarioSpec scenario = SmallScenario();
+
+  // Daemon A takes the whole workload in one SubscribeBatch verb, daemon
+  // B takes it as individual Subscribe verbs; identical deliveries.
+  auto batch_daemon = StartDaemon(scenario);
+  auto seq_daemon = StartDaemon(scenario);
+  ASSERT_NE(batch_daemon, nullptr);
+  ASSERT_NE(seq_daemon, nullptr);
+  ServeClient batch_client = MakeClient(*batch_daemon, "batcher");
+  ServeClient seq_client = MakeClient(*seq_daemon, "sequential");
+  ASSERT_TRUE(batch_client.Connect().ok());
+  ASSERT_TRUE(seq_client.Connect().ok());
+
+  // The scenario's queries plus a repeat of the first template at a
+  // different target — the repeat must hit the batch's analysis cache.
+  std::vector<ControlRequest::BatchEntry> entries;
+  for (const workload::QuerySpec& query : scenario.queries) {
+    entries.push_back({query.text, query.target, /*strategy=*/2});
+  }
+  entries.push_back({scenario.queries[0].text,
+                     scenario.queries[1].target, /*strategy=*/2});
+  for (const ControlRequest::BatchEntry& entry : entries) {
+    auto result = seq_client.Subscribe(
+        entry.query_text, static_cast<network::NodeId>(entry.vq));
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  auto batched = batch_client.SubscribeBatch(entries);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  ASSERT_EQ(batched->entries.size(), entries.size());
+  EXPECT_GT(batched->analyze_cache_hits, 0u)
+      << "the repeated template missed the batch analysis cache";
+
+  constexpr uint64_t kItems = 200;
+  ASSERT_TRUE(batch_client.Feed(kItems).ok());
+  ASSERT_TRUE(seq_client.Feed(kItems).ok());
+  auto batch_stats = batch_client.Stats();
+  auto seq_stats = seq_client.Stats();
+  ASSERT_TRUE(batch_stats.ok()) << batch_stats.status();
+  ASSERT_TRUE(seq_stats.ok()) << seq_stats.status();
+  ASSERT_EQ(batch_stats->queries.size(), seq_stats->queries.size());
+  uint64_t total = 0;
+  for (size_t q = 0; q < batch_stats->queries.size(); ++q) {
+    const QueryStat& a = batch_stats->queries[q];
+    const QueryStat& b = seq_stats->queries[q];
+    EXPECT_EQ(a.accepted, b.accepted) << "query " << q;
+    EXPECT_EQ(batched->entries[q].accepted, b.accepted) << "query " << q;
+    EXPECT_EQ(a.items, b.items) << "query " << q;
+    EXPECT_EQ(a.bytes, b.bytes) << "query " << q;
+    EXPECT_EQ(a.content_hash, b.content_hash) << "query " << q;
+    total += a.items;
+  }
+  EXPECT_GT(total, 0u) << "workload delivered nothing; identity vacuous";
+
+  // The batch subscriber receives deliveries for its accepted entries
+  // just like individual subscribers do.
+  uint64_t client_total = 0;
+  for (const SubscribeReply& entry : batched->entries) {
+    if (entry.accepted) {
+      client_total += batch_client.results(entry.query_id).items;
+    }
+  }
+  EXPECT_EQ(client_total, total);
+
+  batch_daemon->RequestDrain(/*final_drain=*/true);
+  seq_daemon->RequestDrain(/*final_drain=*/true);
+  batch_daemon->Join();
+  seq_daemon->Join();
+  EXPECT_TRUE(batch_daemon->loop_status().ok())
+      << batch_daemon->loop_status();
+}
+
+TEST(ServeDaemon, ReoptimizeVerbReportsAndKeepsServing) {
+  workload::ScenarioSpec scenario = SmallScenario();
+  auto daemon = StartDaemon(scenario);
+  ASSERT_NE(daemon, nullptr);
+  ServeClient client = MakeClient(*daemon, "reoptimizer");
+  ASSERT_TRUE(client.Connect().ok());
+
+  std::vector<ControlRequest::BatchEntry> entries;
+  for (const workload::QuerySpec& query : scenario.queries) {
+    entries.push_back({query.text, query.target, /*strategy=*/2});
+  }
+  auto batched = client.SubscribeBatch(entries);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  ASSERT_TRUE(client.Feed(100).ok());
+
+  auto report = client.Reoptimize();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->examined, 0u);
+  EXPECT_EQ(report->torn_down, 0u);
+
+  // The daemon keeps serving after the pass, whatever it migrated.
+  ClientQueryResults before = client.results(0);
+  ASSERT_TRUE(client.Feed(100).ok());
+  EXPECT_GT(client.results(0).items, before.items);
+
+  daemon->RequestDrain(/*final_drain=*/true);
+  daemon->Join();
+  EXPECT_TRUE(daemon->loop_status().ok()) << daemon->loop_status();
+}
+
+TEST(ServeDaemon, ReoptimizeInterleavesWithLiveSubscribeAndFeed) {
+  // Two clients hammer the daemon concurrently: one keeps subscribing
+  // and feeding, the other keeps requesting re-optimization passes. The
+  // daemon loop serializes the verbs; under TSAN this pins down that the
+  // migration machinery shares no unsynchronized state with the live
+  // subscribe/feed path (client threads vs the daemon loop thread).
+  workload::ScenarioSpec scenario = SmallScenario();
+  auto daemon = StartDaemon(scenario);
+  ASSERT_NE(daemon, nullptr);
+
+  std::thread subscriber([&] {
+    ServeClient client = MakeClient(*daemon, "subscriber");
+    ASSERT_TRUE(client.Connect().ok());
+    for (int round = 0; round < 8; ++round) {
+      const workload::QuerySpec& query =
+          scenario.queries[round % scenario.queries.size()];
+      auto result = client.Subscribe(query.text, query.target);
+      ASSERT_TRUE(result.ok()) << result.status();
+      ASSERT_TRUE(client.Feed(25).ok());
+    }
+    client.Close();
+  });
+  std::thread reoptimizer([&] {
+    ServeClient client = MakeClient(*daemon, "reoptimizer");
+    ASSERT_TRUE(client.Connect().ok());
+    for (int round = 0; round < 8; ++round) {
+      auto report = client.Reoptimize(/*max_migrations=*/2);
+      ASSERT_TRUE(report.ok()) << report.status();
+    }
+    client.Close();
+  });
+  subscriber.join();
+  reoptimizer.join();
+
+  daemon->RequestDrain(/*final_drain=*/true);
+  daemon->Join();
+  EXPECT_TRUE(daemon->loop_status().ok()) << daemon->loop_status();
 }
 
 TEST(ServeDaemon, RestartableDrainNeedsCheckpointPath) {

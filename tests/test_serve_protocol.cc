@@ -71,6 +71,70 @@ TEST(ServeProtocol, RequestRoundtripsEveryVerb) {
   decoded = DecodeRequest(EncodeRequest(drain));
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   EXPECT_TRUE(decoded->final_drain);
+
+  ControlRequest batch;
+  batch.verb = Verb::kSubscribeBatch;
+  batch.batch.push_back({"query one", 3, 2});
+  batch.batch.push_back({"query two", -1, 0});  // zigzag'd vq sentinel
+  decoded = DecodeRequest(EncodeRequest(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->batch.size(), 2u);
+  EXPECT_EQ(decoded->batch[0].query_text, "query one");
+  EXPECT_EQ(decoded->batch[0].vq, 3);
+  EXPECT_EQ(decoded->batch[0].strategy, 2);
+  EXPECT_EQ(decoded->batch[1].query_text, "query two");
+  EXPECT_EQ(decoded->batch[1].vq, -1);
+  EXPECT_EQ(decoded->batch[1].strategy, 0);
+
+  ControlRequest reoptimize;
+  reoptimize.verb = Verb::kReoptimize;
+  reoptimize.max_migrations = -1;  // "no cap" must survive the zigzag
+  decoded = DecodeRequest(EncodeRequest(reoptimize));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->max_migrations, -1);
+}
+
+TEST(ServeProtocol, BatchAndReoptimizeRepliesRoundtrip) {
+  SubscribeBatchReply batch;
+  batch.analyze_cache_hits = 5;
+  batch.plan_memo_hits = 2;
+  SubscribeReply accepted;
+  accepted.query_id = 0;
+  accepted.accepted = true;
+  batch.entries.push_back(accepted);
+  SubscribeReply rejected;
+  rejected.query_id = 1;
+  rejected.accepted = false;
+  rejected.reject_reason = "link SP2-SP3 bandwidth exceeded";
+  batch.entries.push_back(rejected);
+  auto decoded_batch =
+      DecodeSubscribeBatchReply(EncodeSubscribeBatchReply(batch));
+  ASSERT_TRUE(decoded_batch.ok()) << decoded_batch.status();
+  EXPECT_EQ(decoded_batch->analyze_cache_hits, 5u);
+  EXPECT_EQ(decoded_batch->plan_memo_hits, 2u);
+  ASSERT_EQ(decoded_batch->entries.size(), 2u);
+  EXPECT_TRUE(decoded_batch->entries[0].accepted);
+  EXPECT_FALSE(decoded_batch->entries[1].accepted);
+  EXPECT_EQ(decoded_batch->entries[1].reject_reason,
+            "link SP2-SP3 bandwidth exceeded");
+
+  ReoptimizeReply reoptimize;
+  reoptimize.examined = 12;
+  reoptimize.migrated = 3;
+  reoptimize.torn_down = 1;
+  reoptimize.lost_windows = 7;
+  reoptimize.cost_before = 1234.5625;
+  reoptimize.cost_after = 0.1;  // not exactly representable: the wire
+                                // format must round-trip the bits anyway
+  auto decoded_reopt =
+      DecodeReoptimizeReply(EncodeReoptimizeReply(reoptimize));
+  ASSERT_TRUE(decoded_reopt.ok()) << decoded_reopt.status();
+  EXPECT_EQ(decoded_reopt->examined, 12u);
+  EXPECT_EQ(decoded_reopt->migrated, 3u);
+  EXPECT_EQ(decoded_reopt->torn_down, 1u);
+  EXPECT_EQ(decoded_reopt->lost_windows, 7u);
+  EXPECT_EQ(decoded_reopt->cost_before, 1234.5625);
+  EXPECT_EQ(decoded_reopt->cost_after, 0.1);
 }
 
 TEST(ServeProtocol, RejectsUnknownVerbAndTrailingBytes) {
@@ -210,6 +274,12 @@ TEST(ServeCheckpoint, SaveLoadRoundtrips) {
   unsubscribe.query_id = 0;
   checkpoint.events.push_back(unsubscribe);
 
+  LogEvent reoptimize;
+  reoptimize.kind = LogEvent::Kind::kReoptimize;
+  reoptimize.at_items = 480;
+  reoptimize.max_migrations = -1;
+  checkpoint.events.push_back(reoptimize);
+
   DeliverySnapshot delivery;
   delivery.query_id = 0;
   delivery.items = 93;
@@ -225,13 +295,16 @@ TEST(ServeCheckpoint, SaveLoadRoundtrips) {
   EXPECT_EQ(loaded->scenario_fingerprint, 0x1234abcdull);
   EXPECT_EQ(loaded->epoch, 1u);
   EXPECT_EQ(loaded->items_fed, 640u);
-  ASSERT_EQ(loaded->events.size(), 3u);
+  ASSERT_EQ(loaded->events.size(), 4u);
   EXPECT_EQ(loaded->events[0].kind, LogEvent::Kind::kSubscribe);
   EXPECT_EQ(loaded->events[0].query_text, "some query");
   EXPECT_EQ(loaded->events[1].kind, LogEvent::Kind::kFailPeer);
   EXPECT_EQ(loaded->events[1].peer, 3);
   EXPECT_EQ(loaded->events[1].at_items, 320u);
   EXPECT_EQ(loaded->events[2].query_id, 0);
+  EXPECT_EQ(loaded->events[3].kind, LogEvent::Kind::kReoptimize);
+  EXPECT_EQ(loaded->events[3].at_items, 480u);
+  EXPECT_EQ(loaded->events[3].max_migrations, -1);
   ASSERT_EQ(loaded->deliveries.size(), 1u);
   EXPECT_EQ(loaded->deliveries[0].items, 93u);
   std::remove(path.c_str());

@@ -1,0 +1,208 @@
+// SubscribeBatch determinism: registering a batch of N queries must be
+// observationally identical to N sequential RegisterQuery calls in
+// query-id order — same query ids, same admission decisions, same chosen
+// plans, and same delivered sink results — while the batch machinery
+// (shared analysis cache, epoch-guarded plan memo) only saves work, never
+// changes outcomes. Includes the admission-control path: a rejection
+// mid-batch must neither stop the batch nor perturb later plans, and a
+// hard error mid-batch must leave exactly the registered prefix behind.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sharing/system.h"
+#include "workload/paper_queries.h"
+#include "workload/photon_gen.h"
+#include "workload/scenario.h"
+
+namespace streamshare {
+namespace {
+
+using sharing::RegistrationResult;
+using sharing::StreamShareSystem;
+using sharing::SystemConfig;
+using BatchQuery = StreamShareSystem::BatchQuery;
+using BatchStats = StreamShareSystem::BatchStats;
+
+void ExpectSameRegistrations(const StreamShareSystem& batched,
+                             const StreamShareSystem& sequential) {
+  const auto& batch_regs = batched.registrations();
+  const auto& seq_regs = sequential.registrations();
+  ASSERT_EQ(batch_regs.size(), seq_regs.size());
+  for (size_t q = 0; q < batch_regs.size(); ++q) {
+    SCOPED_TRACE("query " + std::to_string(q));
+    EXPECT_EQ(batch_regs[q].query_id, seq_regs[q].query_id);
+    EXPECT_EQ(batch_regs[q].accepted, seq_regs[q].accepted);
+    EXPECT_EQ(batch_regs[q].reject_reason, seq_regs[q].reject_reason);
+    // The installed plan, structurally: ToString covers reuse decisions,
+    // operator chains, routes, and costs.
+    EXPECT_EQ(batch_regs[q].plan.ToString(), seq_regs[q].plan.ToString());
+    EXPECT_EQ(batch_regs[q].plan.TotalCost(), seq_regs[q].plan.TotalCost());
+  }
+}
+
+TEST(SubscribeBatch, BatchOfNEqualsNSequentialRegistrations) {
+  workload::ScenarioSpec scenario =
+      workload::ExtendedExampleScenario(/*seed=*/23, /*query_count=*/16);
+  SystemConfig config;
+  config.keep_results = true;
+
+  Result<std::unique_ptr<StreamShareSystem>> batched =
+      workload::BuildSystem(scenario, config);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  Result<std::unique_ptr<StreamShareSystem>> sequential =
+      workload::BuildSystem(scenario, config);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+
+  std::vector<BatchQuery> batch;
+  for (const workload::QuerySpec& query : scenario.queries) {
+    batch.push_back({query.text, query.target,
+                     sharing::Strategy::kStreamSharing});
+    Result<RegistrationResult> result = (*sequential)->RegisterQuery(
+        query.text, query.target, sharing::Strategy::kStreamSharing);
+    ASSERT_TRUE(result.ok()) << result.status();
+    if (result->sink != nullptr) result->sink->EnableContentHash();
+  }
+  BatchStats stats;
+  Result<std::vector<RegistrationResult>> results =
+      (*batched)->SubscribeBatch(batch, &stats);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), batch.size());
+  EXPECT_EQ(stats.queries, static_cast<int>(batch.size()));
+  EXPECT_EQ(stats.registered, static_cast<int>(batch.size()));
+  for (const RegistrationResult& result : *results) {
+    if (result.sink != nullptr) result.sink->EnableContentHash();
+  }
+
+  ExpectSameRegistrations(**batched, **sequential);
+
+  // Same deliveries, item for item.
+  workload::PhotonGenerator generator(scenario.streams[0].gen);
+  std::map<std::string, std::vector<engine::ItemPtr>> items;
+  items[scenario.streams[0].name] = generator.Generate(800);
+  ASSERT_TRUE((*batched)->Run(items).ok());
+  ASSERT_TRUE((*sequential)->Run(items).ok());
+  const auto& batch_regs = (*batched)->registrations();
+  const auto& seq_regs = (*sequential)->registrations();
+  for (size_t q = 0; q < batch_regs.size(); ++q) {
+    SCOPED_TRACE("query " + std::to_string(q));
+    ASSERT_EQ(batch_regs[q].sink != nullptr, seq_regs[q].sink != nullptr);
+    if (batch_regs[q].sink == nullptr) continue;
+    EXPECT_EQ(batch_regs[q].sink->item_count(),
+              seq_regs[q].sink->item_count());
+    EXPECT_EQ(batch_regs[q].sink->total_bytes(),
+              seq_regs[q].sink->total_bytes());
+    EXPECT_EQ(batch_regs[q].sink->content_hash(),
+              seq_regs[q].sink->content_hash());
+  }
+}
+
+TEST(SubscribeBatch, ClusteringCountersReflectSharedWork) {
+  workload::ScenarioSpec scenario =
+      workload::ExtendedExampleScenario(/*seed=*/29, /*query_count=*/4);
+  Result<std::unique_ptr<StreamShareSystem>> system =
+      workload::BuildSystem(scenario, SystemConfig());
+  ASSERT_TRUE(system.ok()) << system.status();
+
+  // The same template at three different target peers: one analysis,
+  // three distinct plans (the memo key includes vq).
+  std::vector<BatchQuery> batch = {
+      {scenario.queries[0].text, 1, sharing::Strategy::kStreamSharing},
+      {scenario.queries[0].text, 2, sharing::Strategy::kStreamSharing},
+      {scenario.queries[0].text, 3, sharing::Strategy::kStreamSharing},
+  };
+  BatchStats stats;
+  Result<std::vector<RegistrationResult>> results =
+      (*system)->SubscribeBatch(batch, &stats);
+  ASSERT_TRUE(results.ok()) << results.status();
+  EXPECT_EQ(stats.analyze_cache_hits, 2);
+  // Accepted deployments invalidate the plan memo (they commit resources
+  // and may register streams), and these targets differ anyway.
+  EXPECT_EQ(stats.plan_memo_hits, 0);
+}
+
+TEST(SubscribeBatch, AdmissionRejectionMidBatchMatchesSequential) {
+  // Tiny capacities (as in the E6 overload experiment): repeated data
+  // shipping saturates after a few queries, so the batch crosses the
+  // accept→reject boundary mid-way.
+  auto build = []() {
+    SystemConfig config;
+    config.enforce_limits = true;
+    network::Topology tiny =
+        network::Topology::ExtendedExample(/*bandwidth_kbps=*/150.0,
+                                           /*max_load=*/60.0);
+    auto system = std::make_unique<StreamShareSystem>(tiny, config);
+    EXPECT_TRUE(system
+                    ->RegisterStream("photons",
+                                     workload::PhotonGenerator::Schema(),
+                                     100.0, 4)
+                    .ok());
+    auto range = [&](const char* path, double lo, double hi) {
+      EXPECT_TRUE(system
+                      ->SetRange("photons", xml::Path::Parse(path).value(),
+                                 {lo, hi})
+                      .ok());
+    };
+    range("coord/cel/ra", 0.0, 360.0);
+    range("coord/cel/dec", -90.0, 90.0);
+    range("en", 0.1, 2.4);
+    return system;
+  };
+  std::unique_ptr<StreamShareSystem> batched = build();
+  std::unique_ptr<StreamShareSystem> sequential = build();
+
+  std::vector<BatchQuery> batch(
+      8, BatchQuery{workload::kQuery1, 3, sharing::Strategy::kDataShipping});
+  BatchStats stats;
+  Result<std::vector<RegistrationResult>> results =
+      batched->SubscribeBatch(batch, &stats);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), batch.size());
+  EXPECT_EQ(stats.registered, static_cast<int>(batch.size()));
+
+  int rejected = 0;
+  for (const BatchQuery& query : batch) {
+    Result<RegistrationResult> result = sequential->RegisterQuery(
+        query.text, query.vq, query.strategy);
+    ASSERT_TRUE(result.ok()) << result.status();
+    if (!result->accepted) ++rejected;
+  }
+  // The capacities are sized so the boundary is crossed mid-batch.
+  ASSERT_GT(rejected, 0);
+  ASSERT_LT(rejected, static_cast<int>(batch.size()));
+  ExpectSameRegistrations(*batched, *sequential);
+
+  // Identical rejected registrations don't change system state, so the
+  // memo stays valid across them: every rejection after the first is a
+  // memo hit.
+  EXPECT_EQ(stats.plan_memo_hits, rejected - 1);
+}
+
+TEST(SubscribeBatch, HardErrorMidBatchKeepsRegisteredPrefix) {
+  workload::ScenarioSpec scenario =
+      workload::ExtendedExampleScenario(/*seed=*/31, /*query_count=*/4);
+  Result<std::unique_ptr<StreamShareSystem>> system =
+      workload::BuildSystem(scenario, SystemConfig());
+  ASSERT_TRUE(system.ok()) << system.status();
+
+  std::vector<BatchQuery> batch = {
+      {scenario.queries[0].text, 1, sharing::Strategy::kStreamSharing},
+      {"this is not wxquery", 1, sharing::Strategy::kStreamSharing},
+      {scenario.queries[1].text, 2, sharing::Strategy::kStreamSharing},
+  };
+  BatchStats stats;
+  Result<std::vector<RegistrationResult>> results =
+      (*system)->SubscribeBatch(batch, &stats);
+  ASSERT_FALSE(results.ok());
+  // Sequential semantics: the valid prefix is installed and stays.
+  EXPECT_EQ(stats.registered, 1);
+  ASSERT_EQ((*system)->registrations().size(), 1u);
+  EXPECT_TRUE((*system)->registrations()[0].accepted);
+}
+
+}  // namespace
+}  // namespace streamshare

@@ -98,7 +98,7 @@ int Usage(const char* program) {
                "[--scenario=FILE] [--out-dir=DIR] [--metrics=FILE] "
                "[--no-parallel] [--no-loopback] [--no-tcp] "
                "[--tcp-processes] [--no-shrink] [--churn=P] "
-               "[--sweep-flow] [--dom-path] [--serve] "
+               "[--sweep-flow] [--dom-path] [--serve] [--flat-bfs] "
                "[--inject-mode=MODE] [--inject-min-window=N] "
                "[--inject-churn-mode=MODE]\n",
                program);
@@ -189,6 +189,8 @@ int main(int argc, char** argv) {
       options.oracle.record_path = false;
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       options.oracle.run_serve = true;
+    } else if (std::strcmp(argv[i], "--flat-bfs") == 0) {
+      options.oracle.run_flat_bfs = true;
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       options.shrink = false;
     } else if (ParseFlag(argv[i], "--churn", &value)) {
