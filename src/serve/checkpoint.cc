@@ -1,9 +1,14 @@
 #include "serve/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
+#include "serve/crashpoint.h"
 #include "transport/wire.h"
 
 namespace streamshare::serve {
@@ -13,7 +18,7 @@ namespace {
 using transport::GetVarint;
 using transport::PutVarint;
 
-constexpr char kMagic[] = "SSCKPT01";
+constexpr char kMagic[] = "SSCKPT02";
 constexpr size_t kMagicLen = sizeof(kMagic) - 1;
 
 uint64_t Mix(uint64_t h, uint64_t v) {
@@ -104,36 +109,92 @@ uint64_t ScenarioFingerprint(const workload::ScenarioSpec& scenario) {
   return h == 0 ? 1 : h;
 }
 
-Status SaveCheckpoint(const std::string& path,
-                      const Checkpoint& checkpoint) {
+namespace {
+
+/// Fsyncs the directory holding `path`, making a just-renamed entry
+/// durable (the rename itself lives in directory metadata).
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory " + dir + ": " +
+                            std::strerror(errno));
+  }
+  int synced = ::fsync(fd);
+  ::close(fd);
+  if (synced != 0) {
+    return Status::Internal("fsync of directory " + dir + " failed: " +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+/// The crash-atomic writer: temp file in the same directory, fsync the
+/// file, rename over the target, fsync the directory. `fail_after_bytes`
+/// is the unit-test fault seam — writing stops there and the call errors
+/// out with the partial temp file left behind, exactly what a crash
+/// mid-write leaves.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes,
+                       size_t fail_after_bytes) {
+  std::string temp = path + ".tmp";
+  crashpoint::MaybeCrash(crashpoint::kCkptPreTempWrite);
+  int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot write checkpoint " + temp + ": " +
+                            std::strerror(errno));
+  }
+  // Two write halves with the mid-write crashpoint between them: the
+  // bytes of the first half really reach the kernel before the kill.
+  size_t total = std::min(bytes.size(), fail_after_bytes);
+  size_t half = total / 2;
+  auto write_all = [fd](const char* data, size_t n) {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t wrote = ::write(fd, data + done, n - done);
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<size_t>(wrote);
+    }
+    return true;
+  };
+  bool ok = write_all(bytes.data(), half);
+  crashpoint::MaybeCrash(crashpoint::kCkptMidTempWrite);
+  ok = ok && write_all(bytes.data() + half, total - half);
+  if (fail_after_bytes < bytes.size()) {
+    // Fault injection: die here (without cleanup — a crash would not
+    // clean up either).
+    ::close(fd);
+    return Status::Internal("fault injection: checkpoint write stopped after " +
+                            std::to_string(total) + " bytes");
+  }
+  ok = ok && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    std::remove(temp.c_str());
+    return Status::Internal("short write on checkpoint " + temp);
+  }
+  crashpoint::MaybeCrash(crashpoint::kCkptPreRename);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::Internal("cannot rename checkpoint into place: " +
+                            std::string(std::strerror(errno)));
+  }
+  return SyncParentDir(path);
+}
+
+std::string EncodeCheckpoint(const Checkpoint& checkpoint) {
   std::string out(kMagic, kMagicLen);
   PutVarint(&out, checkpoint.scenario_fingerprint);
   PutVarint(&out, checkpoint.epoch);
+  PutVarint(&out, checkpoint.generation);
   PutVarint(&out, checkpoint.items_fed);
   PutVarint(&out, checkpoint.events.size());
   for (const LogEvent& event : checkpoint.events) {
-    PutVarint(&out, static_cast<uint64_t>(event.kind));
-    PutVarint(&out, event.at_items);
-    switch (event.kind) {
-      case LogEvent::Kind::kSubscribe:
-        PutVarint(&out, Zig(event.vq));
-        PutVarint(&out, event.strategy);
-        PutString(&out, event.query_text);
-        break;
-      case LogEvent::Kind::kUnsubscribe:
-        PutVarint(&out, Zig(event.query_id));
-        break;
-      case LogEvent::Kind::kFailPeer:
-        PutVarint(&out, Zig(event.peer));
-        break;
-      case LogEvent::Kind::kCutLink:
-        PutVarint(&out, Zig(event.link_a));
-        PutVarint(&out, Zig(event.link_b));
-        break;
-      case LogEvent::Kind::kReoptimize:
-        PutVarint(&out, Zig(event.max_migrations));
-        break;
-    }
+    AppendLogEvent(&out, event);
   }
   PutVarint(&out, checkpoint.deliveries.size());
   for (const DeliverySnapshot& delivery : checkpoint.deliveries) {
@@ -141,26 +202,89 @@ Status SaveCheckpoint(const std::string& path,
     PutVarint(&out, delivery.items);
     PutVarint(&out, delivery.content_hash);
   }
+  return out;
+}
 
-  std::string temp = path + ".tmp";
-  std::FILE* file = std::fopen(temp.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::Internal("cannot write checkpoint " + temp + ": " +
-                            std::strerror(errno));
+}  // namespace
+
+void AppendLogEvent(std::string* out, const LogEvent& event) {
+  PutVarint(out, static_cast<uint64_t>(event.kind));
+  PutVarint(out, event.at_items);
+  switch (event.kind) {
+    case LogEvent::Kind::kSubscribe:
+      PutVarint(out, Zig(event.vq));
+      PutVarint(out, event.strategy);
+      PutString(out, event.query_text);
+      break;
+    case LogEvent::Kind::kUnsubscribe:
+      PutVarint(out, Zig(event.query_id));
+      break;
+    case LogEvent::Kind::kFailPeer:
+      PutVarint(out, Zig(event.peer));
+      break;
+    case LogEvent::Kind::kCutLink:
+      PutVarint(out, Zig(event.link_a));
+      PutVarint(out, Zig(event.link_b));
+      break;
+    case LogEvent::Kind::kReoptimize:
+      PutVarint(out, Zig(event.max_migrations));
+      break;
   }
-  size_t written = std::fwrite(out.data(), 1, out.size(), file);
-  bool flushed = std::fflush(file) == 0;
-  std::fclose(file);
-  if (written != out.size() || !flushed) {
-    std::remove(temp.c_str());
-    return Status::Internal("short write on checkpoint " + temp);
+}
+
+bool ParseLogEvent(std::string_view* data, LogEvent* event) {
+  uint64_t kind = 0, strategy = 0;
+  if (!GetVarint(data, &kind) || !GetVarint(data, &event->at_items)) {
+    return false;
   }
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
-    std::remove(temp.c_str());
-    return Status::Internal("cannot rename checkpoint into place: " +
-                            std::string(std::strerror(errno)));
+  if (kind < static_cast<uint64_t>(LogEvent::Kind::kSubscribe) ||
+      kind > static_cast<uint64_t>(LogEvent::Kind::kReoptimize)) {
+    return false;
   }
-  return Status::Ok();
+  event->kind = static_cast<LogEvent::Kind>(kind);
+  switch (event->kind) {
+    case LogEvent::Kind::kSubscribe:
+      if (!GetSigned(data, &event->vq) || !GetVarint(data, &strategy) ||
+          !GetString(data, &event->query_text)) {
+        return false;
+      }
+      event->strategy = static_cast<uint8_t>(strategy);
+      break;
+    case LogEvent::Kind::kUnsubscribe:
+      if (!GetSigned(data, &event->query_id)) return false;
+      break;
+    case LogEvent::Kind::kFailPeer:
+      if (!GetSigned(data, &event->peer)) return false;
+      break;
+    case LogEvent::Kind::kCutLink:
+      if (!GetSigned(data, &event->link_a) ||
+          !GetSigned(data, &event->link_b)) {
+        return false;
+      }
+      break;
+    case LogEvent::Kind::kReoptimize:
+      if (!GetSigned(data, &event->max_migrations)) return false;
+      break;
+  }
+  return true;
+}
+
+Status SaveCheckpoint(const std::string& path,
+                      const Checkpoint& checkpoint) {
+  return WriteFileAtomic(path, EncodeCheckpoint(checkpoint),
+                         static_cast<size_t>(-1));
+}
+
+Status SaveCheckpointFaulted(const std::string& path,
+                             const Checkpoint& checkpoint,
+                             size_t fail_after_bytes) {
+  std::string encoded = EncodeCheckpoint(checkpoint);
+  if (fail_after_bytes >= encoded.size()) {
+    return Status::InvalidArgument(
+        "fault offset past the end of the encoding (" +
+        std::to_string(encoded.size()) + " bytes) would not fault");
+  }
+  return WriteFileAtomic(path, encoded, fail_after_bytes);
 }
 
 Result<Checkpoint> LoadCheckpoint(const std::string& path) {
@@ -190,6 +314,7 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
   uint64_t event_count = 0;
   if (!GetVarint(&data, &checkpoint.scenario_fingerprint) ||
       !GetVarint(&data, &checkpoint.epoch) ||
+      !GetVarint(&data, &checkpoint.generation) ||
       !GetVarint(&data, &checkpoint.items_fed) ||
       !GetVarint(&data, &event_count)) {
     return truncated();
@@ -197,41 +322,7 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
   checkpoint.events.reserve(event_count);
   for (uint64_t i = 0; i < event_count; ++i) {
     LogEvent event;
-    uint64_t kind = 0, strategy = 0;
-    if (!GetVarint(&data, &kind) || !GetVarint(&data, &event.at_items)) {
-      return truncated();
-    }
-    if (kind < static_cast<uint64_t>(LogEvent::Kind::kSubscribe) ||
-        kind > static_cast<uint64_t>(LogEvent::Kind::kReoptimize)) {
-      return Status::ParseError("unknown checkpoint event kind " +
-                                std::to_string(kind));
-    }
-    event.kind = static_cast<LogEvent::Kind>(kind);
-    switch (event.kind) {
-      case LogEvent::Kind::kSubscribe:
-        if (!GetSigned(&data, &event.vq) ||
-            !GetVarint(&data, &strategy) ||
-            !GetString(&data, &event.query_text)) {
-          return truncated();
-        }
-        event.strategy = static_cast<uint8_t>(strategy);
-        break;
-      case LogEvent::Kind::kUnsubscribe:
-        if (!GetSigned(&data, &event.query_id)) return truncated();
-        break;
-      case LogEvent::Kind::kFailPeer:
-        if (!GetSigned(&data, &event.peer)) return truncated();
-        break;
-      case LogEvent::Kind::kCutLink:
-        if (!GetSigned(&data, &event.link_a) ||
-            !GetSigned(&data, &event.link_b)) {
-          return truncated();
-        }
-        break;
-      case LogEvent::Kind::kReoptimize:
-        if (!GetSigned(&data, &event.max_migrations)) return truncated();
-        break;
-    }
+    if (!ParseLogEvent(&data, &event)) return truncated();
     checkpoint.events.push_back(std::move(event));
   }
   uint64_t delivery_count = 0;

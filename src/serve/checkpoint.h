@@ -66,10 +66,17 @@ struct DeliverySnapshot {
 struct Checkpoint {
   /// Guards against resuming a different scenario's checkpoint.
   uint64_t scenario_fingerprint = 0;
-  /// Service life this checkpoint ends (the restarted daemon runs
-  /// epoch + 1).
+  /// Service life this checkpoint was written in (a restarted daemon
+  /// runs at least epoch + 1).
   uint64_t epoch = 0;
-  /// Items per stream fed before the drain.
+  /// Monotonic write counter across the daemon's whole on-disk history
+  /// (drain checkpoints and WAL compactions alike). The write-ahead log
+  /// names the generation it extends, which disambiguates a crash that
+  /// lands between "new checkpoint renamed into place" and "old WAL
+  /// truncated": a WAL whose base generation is older than the
+  /// checkpoint is stale — its records are already folded in.
+  uint64_t generation = 0;
+  /// Items per stream fed before the checkpoint was cut.
   uint64_t items_fed = 0;
   std::vector<LogEvent> events;
   std::vector<DeliverySnapshot> deliveries;
@@ -79,11 +86,28 @@ struct Checkpoint {
 /// topology shape, stream names/sources/generator seeds, capacities.
 uint64_t ScenarioFingerprint(const workload::ScenarioSpec& scenario);
 
-/// Writes atomically (temp file + rename): a drain interrupted mid-write
-/// leaves the previous checkpoint intact.
+/// Event codec shared by the checkpoint body and the write-ahead log's
+/// records (serve/wal.h), so the two planes can never drift apart.
+void AppendLogEvent(std::string* out, const LogEvent& event);
+/// Consumes one event off `data`; false on truncation or an unknown
+/// kind (with `data` left mid-event — callers treat that as torn).
+bool ParseLogEvent(std::string_view* data, LogEvent* event);
+
+/// Writes crash-atomically: temp file in the same directory, fsync the
+/// file, rename over the target, fsync the directory. A crash at any
+/// instant leaves either the previous checkpoint or the new one — never
+/// a torn hybrid (tests/test_wal.cc proves it with the fault seam
+/// below).
 Status SaveCheckpoint(const std::string& path,
                       const Checkpoint& checkpoint);
 Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
+/// Test seam: behaves like SaveCheckpoint up to `fail_after_bytes` of
+/// the temp file, then returns an error without renaming — the unit-test
+/// form of a crash mid-write, leaving the partial temp file behind.
+Status SaveCheckpointFaulted(const std::string& path,
+                             const Checkpoint& checkpoint,
+                             size_t fail_after_bytes);
 
 }  // namespace streamshare::serve
 

@@ -1,5 +1,8 @@
 #include "serve/client.h"
 
+#include <poll.h>
+
+#include <algorithm>
 #include <utility>
 
 #include "engine/latency.h"
@@ -12,14 +15,32 @@ namespace {
 
 using engine::latency::NowUs;
 
+// The failures a reconnect can heal: the peer vanished (EOF, refused,
+// reset — Unavailable) or the socket broke mid-request (errno paths
+// surface as Internal). Structured rejections keep their codes and are
+// never retried.
+bool IsConnectionLoss(const Status& status) {
+  return status.IsUnavailable() || status.IsInternal();
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 ServeClient::ServeClient(ClientOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  jitter_state_ = options_.reconnect.jitter_seed;
+}
 
 Status ServeClient::Connect() {
-  SS_ASSIGN_OR_RETURN(
-      conn_, ConnectTcp(options_.host, options_.port, options_.timeout_ms));
+  DialOptions dial = options_.dial;
+  dial.timeout_ms = options_.timeout_ms;
+  SS_ASSIGN_OR_RETURN(conn_, ConnectTcp(options_.host, options_.port, dial));
   decoder_.Reset();
   ControlRequest hello;
   hello.verb = Verb::kHello;
@@ -43,7 +64,10 @@ Result<SubscribeReply> ServeClient::Subscribe(const std::string& query_text,
   request.strategy = strategy;
   SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
   SS_RETURN_IF_ERROR(ResponseStatus(response));
-  return DecodeSubscribeReply(response.payload);
+  SS_ASSIGN_OR_RETURN(SubscribeReply reply,
+                      DecodeSubscribeReply(response.payload));
+  if (reply.accepted) attached_.insert(reply.query_id);
+  return reply;
 }
 
 Result<SubscribeReply> ServeClient::Attach(int64_t query_id,
@@ -54,7 +78,10 @@ Result<SubscribeReply> ServeClient::Attach(int64_t query_id,
   request.resume_from = resume_from;
   SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
   SS_RETURN_IF_ERROR(ResponseStatus(response));
-  return DecodeSubscribeReply(response.payload);
+  SS_ASSIGN_OR_RETURN(SubscribeReply reply,
+                      DecodeSubscribeReply(response.payload));
+  if (reply.accepted) attached_.insert(reply.query_id);
+  return reply;
 }
 
 Result<SubscribeBatchReply> ServeClient::SubscribeBatch(
@@ -64,7 +91,12 @@ Result<SubscribeBatchReply> ServeClient::SubscribeBatch(
   request.batch = entries;
   SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
   SS_RETURN_IF_ERROR(ResponseStatus(response));
-  return DecodeSubscribeBatchReply(response.payload);
+  SS_ASSIGN_OR_RETURN(SubscribeBatchReply reply,
+                      DecodeSubscribeBatchReply(response.payload));
+  for (const SubscribeReply& entry : reply.entries) {
+    if (entry.accepted) attached_.insert(entry.query_id);
+  }
+  return reply;
 }
 
 Result<ReoptimizeReply> ServeClient::Reoptimize(int64_t max_migrations) {
@@ -81,7 +113,9 @@ Status ServeClient::Unsubscribe(int64_t query_id) {
   request.verb = Verb::kUnsubscribe;
   request.query_id = query_id;
   SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
-  return ResponseStatus(response);
+  Status acked = ResponseStatus(response);
+  if (acked.ok()) attached_.erase(query_id);
+  return acked;
 }
 
 Result<RecoveryReply> ServeClient::FailPeer(int64_t peer) {
@@ -133,7 +167,78 @@ Status ServeClient::Detach() {
   ControlRequest request;
   request.verb = Verb::kDetach;
   SS_ASSIGN_OR_RETURN(ControlResponse response, Call(request));
-  return ResponseStatus(response);
+  Status acked = ResponseStatus(response);
+  if (acked.ok()) attached_.clear();
+  return acked;
+}
+
+int ServeClient::NextBackoffMs(int* backoff_ms) {
+  const ReconnectOptions& r = options_.reconnect;
+  int base = *backoff_ms;
+  *backoff_ms = std::min(base * 2, std::max(1, r.max_backoff_ms));
+  double jitter = std::min(std::max(r.jitter, 0.0), 1.0);
+  // uniform in [1 - jitter, 1]
+  double u = static_cast<double>(SplitMix64(&jitter_state_) >> 11) /
+             static_cast<double>(1ull << 53);
+  double scale = 1.0 - jitter * u;
+  return std::max(1, static_cast<int>(base * scale));
+}
+
+Status ServeClient::Reconnect() {
+  Close();
+  int backoff_ms = std::max(1, options_.reconnect.initial_backoff_ms);
+  Status last = Status::Unavailable("reconnect never attempted");
+  for (int attempt = 0; attempt < options_.reconnect.max_attempts;
+       ++attempt) {
+    if (attempt > 0) ::poll(nullptr, 0, NextBackoffMs(&backoff_ms));
+    last = Connect();
+    if (!last.ok()) {
+      if (IsConnectionLoss(last)) continue;
+      return last;
+    }
+    // Re-attach everything this client was serving, each resuming at
+    // the first delivery the accumulated observation does not hold.
+    std::set<int64_t> attached = attached_;
+    bool lost_mid_attach = false;
+    for (int64_t query_id : attached) {
+      Result<SubscribeReply> reply =
+          Attach(query_id, results(query_id).next_seq);
+      if (reply.ok()) continue;
+      if (reply.status().IsNotFound()) {
+        // The recovered daemon has no such query (it was never acked
+        // durable); our attachment claim is stale, not the daemon.
+        attached_.erase(query_id);
+        continue;
+      }
+      last = reply.status();
+      if (IsConnectionLoss(last)) {
+        lost_mid_attach = true;
+        break;
+      }
+      return last;
+    }
+    if (lost_mid_attach) {
+      Close();
+      continue;
+    }
+    return Status::Ok();
+  }
+  return Status::Unavailable(
+      "reconnect gave up after " +
+      std::to_string(options_.reconnect.max_attempts) +
+      " attempts: " + last.message());
+}
+
+Status ServeClient::RunWithReconnect(const std::function<Status()>& op) {
+  Status last = op();
+  for (int attempt = 0;
+       !last.ok() && IsConnectionLoss(last) &&
+       attempt < options_.reconnect.max_attempts;
+       ++attempt) {
+    SS_RETURN_IF_ERROR(Reconnect());
+    last = op();
+  }
+  return last;
 }
 
 Status ServeClient::PollResults(int timeout_ms) {
@@ -232,6 +337,14 @@ Status ServeClient::AccumulateResult(const transport::Frame& frame) {
   std::unique_ptr<xml::XmlNode> item;
   SS_RETURN_IF_ERROR(decoder_.Decode(result.item, &item));
   ClientQueryResults& query = results_[result.query_id];
+  if (result.seq < query.next_seq) {
+    // Re-delivery of a sequence this observation already holds (a
+    // reconnect that resumed below next_seq). The sink history is
+    // deterministic and append-only, so the bytes are identical to what
+    // was counted the first time — drop it after the decode above (the
+    // codec must stay in lockstep with the daemon's encoder).
+    return Status::Ok();
+  }
   // Mirror SinkOp::Process exactly so live observations diff cleanly
   // against a batch run's sink.
   query.items += 1;

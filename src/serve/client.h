@@ -11,7 +11,9 @@
 #define STREAMSHARE_SERVE_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -37,12 +39,29 @@ struct ClientQueryResults {
   std::vector<uint64_t> total_us;
 };
 
+/// Redial policy for Reconnect / RunWithReconnect: exponential backoff
+/// with multiplicative jitter so a herd of clients does not redial a
+/// restarting daemon in lockstep.
+struct ReconnectOptions {
+  /// Redial attempts per Reconnect (and op retries per RunWithReconnect).
+  int max_attempts = 8;
+  int initial_backoff_ms = 25;
+  int max_backoff_ms = 2000;
+  /// Each sleep is backoff × uniform[1 − jitter, 1].
+  double jitter = 0.5;
+  /// Seed of the deterministic jitter PRNG (tests pin it).
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
 struct ClientOptions {
   std::string host = "127.0.0.1";
   int port = 0;
   std::string name = "streamshare_client";
-  /// Per-request reply deadline.
+  /// Per-request reply deadline (also the dial deadline).
   int timeout_ms = 30000;
+  /// Connect-loop tuning (timeout_ms above overrides dial.timeout_ms).
+  DialOptions dial;
+  ReconnectOptions reconnect;
 };
 
 class ServeClient {
@@ -96,6 +115,23 @@ class ServeClient {
   /// installed server-side.
   Status Detach();
 
+  /// Redials a daemon that dropped the connection (crash, restartable
+  /// drain): closes, retries Connect under the ReconnectOptions backoff
+  /// schedule, then re-attaches every query this client was serving at
+  /// its results(id).next_seq — deliveries resume exactly where the
+  /// accumulated observation ends. A query the recovered daemon no
+  /// longer knows (NotFound) is dropped from the attachment set, not an
+  /// error: the daemon's durable history is authoritative.
+  Status Reconnect();
+
+  /// Runs `op`, and on a connection-loss failure reconnects (with
+  /// re-attachment) and retries it, up to reconnect.max_attempts times.
+  /// Non-connection errors (rejections, invalid arguments) surface
+  /// immediately. The op must be idempotent under retry — the verbs here
+  /// are: re-attach resumes at next_seq, and AccumulateResult drops
+  /// deliveries below it, so a retried call never double-counts.
+  Status RunWithReconnect(const std::function<Status()>& op);
+
   /// Drains buffered RESULT frames without issuing a request (useful
   /// after Feed when deliveries may still be in flight). Waits up to
   /// `timeout_ms` for the first frame, then keeps reading while more
@@ -112,11 +148,17 @@ class ServeClient {
     return results_;
   }
 
+  /// Query ids this connection is serving (accepted Subscribe/Attach,
+  /// minus Unsubscribe/Detach) — what Reconnect re-attaches.
+  const std::set<int64_t>& attached() const { return attached_; }
+
  private:
   /// Sends one request and reads frames until its ACK, folding RESULT
   /// frames into results_ along the way.
   Result<ControlResponse> Call(const ControlRequest& request);
   Status AccumulateResult(const transport::Frame& frame);
+  /// Next jittered sleep of the backoff schedule (deterministic PRNG).
+  int NextBackoffMs(int* backoff_ms);
 
   ClientOptions options_;
   FrameConn conn_;
@@ -124,6 +166,8 @@ class ServeClient {
   HelloReply hello_;
   uint64_t next_request_id_ = 1;
   std::map<int64_t, ClientQueryResults> results_;
+  std::set<int64_t> attached_;
+  uint64_t jitter_state_ = 0;
 };
 
 }  // namespace streamshare::serve

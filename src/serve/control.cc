@@ -332,6 +332,12 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   PutVarint(&out, reply.admitted);
   PutVarint(&out, reply.rejected);
   PutVarint(&out, reply.results_forwarded);
+  PutVarint(&out, reply.wal_appends);
+  PutVarint(&out, reply.wal_bytes);
+  PutVarint(&out, reply.wal_fsync_us);
+  PutVarint(&out, reply.wal_compactions);
+  PutVarint(&out, reply.wal_recovered_records);
+  PutVarint(&out, reply.wal_torn_tail_truncations);
   PutVarint(&out, reply.queries.size());
   for (const QueryStat& query : reply.queries) {
     PutVarint(&out, Zig(query.query_id));
@@ -354,6 +360,12 @@ Result<StatsReply> DecodeStatsReply(std::string_view payload) {
       !GetVarint(&payload, &reply.admitted) ||
       !GetVarint(&payload, &reply.rejected) ||
       !GetVarint(&payload, &reply.results_forwarded) ||
+      !GetVarint(&payload, &reply.wal_appends) ||
+      !GetVarint(&payload, &reply.wal_bytes) ||
+      !GetVarint(&payload, &reply.wal_fsync_us) ||
+      !GetVarint(&payload, &reply.wal_compactions) ||
+      !GetVarint(&payload, &reply.wal_recovered_records) ||
+      !GetVarint(&payload, &reply.wal_torn_tail_truncations) ||
       !GetVarint(&payload, &count)) {
     return Truncated("stats reply");
   }

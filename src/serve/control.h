@@ -39,7 +39,8 @@ namespace streamshare::serve {
 
 /// Bumped when a verb payload changes incompatibly. Hello carries it;
 /// a daemon rejects clients speaking a different version.
-inline constexpr uint64_t kServeProtocolVersion = 1;
+/// v2: StatsReply grew the serve.wal.* durability counters.
+inline constexpr uint64_t kServeProtocolVersion = 2;
 
 enum class Verb : uint8_t {
   kHello = 1,        // protocol handshake; first request on a connection
@@ -172,6 +173,14 @@ struct StatsReply {
   uint64_t admitted = 0;
   uint64_t rejected = 0;
   uint64_t results_forwarded = 0;
+  /// Durability plane: write-ahead log counters (zero when the daemon
+  /// runs without a checkpoint path).
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsync_us = 0;
+  uint64_t wal_compactions = 0;
+  uint64_t wal_recovered_records = 0;
+  uint64_t wal_torn_tail_truncations = 0;
   std::vector<QueryStat> queries;
 };
 

@@ -1,0 +1,69 @@
+// The kill-9 analogue of serve_oracle.h: runs a scenario through a real
+// daemon hosted in a forked child process, arms one crashpoint
+// (serve/crashpoint.h) per service life, and when the child SIGKILLs
+// itself mid-operation the parent verifies death, respawns the daemon
+// from its checkpoint + write-ahead log, reconnects with the client's
+// backoff/resume machinery, and drives the workload to completion. The
+// resulting per-query observations are field-for-field comparable with a
+// batch run's sinks — the durability invariant under test is that a
+// crash is indistinguishable from a drain for every acknowledged
+// operation: the recovered history replays acked operations exactly and
+// contains no trace of half-applied ones.
+
+#ifndef STREAMSHARE_SERVE_CRASH_ORACLE_H_
+#define STREAMSHARE_SERVE_CRASH_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/serve_oracle.h"
+#include "workload/scenario.h"
+
+namespace streamshare::serve {
+
+struct CrashRunOptions {
+  size_t items_per_stream = 0;
+  /// Fed in chunks of this many items per stream (odd on purpose: record
+  /// boundaries land mid-chunk, so torn tails cut real records).
+  size_t feed_chunk = 13;
+  std::vector<workload::ChurnEvent> churn;
+  /// Directory holding checkpoint + WAL across lives. Must exist; the
+  /// oracle wipes its own files at the start.
+  std::string state_dir;
+  /// Crashpoint spec ("name" or "name:N", serve/crashpoint.h) armed in
+  /// service life i. Lives beyond the list run unarmed; an empty entry
+  /// leaves that life unarmed too. A life whose point never fires simply
+  /// completes the run.
+  std::vector<std::string> crash_specs;
+  /// Engine configuration for the hosted system.
+  sharing::SystemConfig system;
+  uint8_t strategy = 2;  // sharing::Strategy::kStreamSharing
+  /// Small on purpose so compaction (and its crashpoints) trigger
+  /// mid-run.
+  uint64_t wal_compact_bytes = 512;
+  /// Hard cap on daemon (re)spawns — a recovery loop that keeps dying is
+  /// a bug, not progress.
+  int max_lives = 16;
+};
+
+struct CrashRunReport {
+  /// One entry per scenario query, in scenario order — diff these
+  /// against the uninterrupted serial run.
+  std::vector<ServeQueryObservation> queries;
+  /// Daemon processes spawned (1 = never crashed).
+  uint64_t lives = 0;
+  /// SIGKILL deaths the parent confirmed and recovered from.
+  uint64_t crashes = 0;
+  uint64_t items_fed = 0;
+};
+
+/// Runs the scenario to completion across however many daemon lives the
+/// armed crashpoints cost, and reports what the client accumulated.
+Result<CrashRunReport> RunCrashScenario(
+    const workload::ScenarioSpec& scenario, const CrashRunOptions& options);
+
+}  // namespace streamshare::serve
+
+#endif  // STREAMSHARE_SERVE_CRASH_ORACLE_H_

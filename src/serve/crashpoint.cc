@@ -1,0 +1,88 @@
+#include "serve/crashpoint.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+
+namespace streamshare::serve::crashpoint {
+
+namespace {
+
+// The armed point. `remaining` counts down on each hit of the armed
+// name; reaching zero kills. `armed` gates the fast path so a disarmed
+// process pays one relaxed load per MaybeCrash.
+std::atomic<bool> g_armed{false};
+std::atomic<int> g_remaining{0};
+std::string g_point;  // written only while disarmed
+
+}  // namespace
+
+const std::vector<std::string>& AllPoints() {
+  static const std::vector<std::string> points = {
+      kWalPreAppend,
+      kWalMidRecord,
+      kWalPostAppendPreSync,
+      kWalPostSyncPreAck,
+      kFeedPostFeedPreLog,
+      kCkptPreTempWrite,
+      kCkptMidTempWrite,
+      kCkptPreRename,
+      kCkptPostRenamePreWalReset,
+      kDrainPreCheckpoint,
+      kRecoverPostFoldPreListen,
+  };
+  return points;
+}
+
+Status Arm(const std::string& spec) {
+  Disarm();
+  if (spec.empty()) return Status::Ok();
+  std::string name = spec;
+  int count = 1;
+  size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    char* end = nullptr;
+    long parsed = std::strtol(spec.c_str() + colon + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || parsed < 1) {
+      return Status::InvalidArgument("bad crashpoint hit count in \"" +
+                                     spec + "\"");
+    }
+    count = static_cast<int>(parsed);
+  }
+  bool known = false;
+  for (const std::string& point : AllPoints()) known = known || point == name;
+  if (!known) {
+    return Status::InvalidArgument("unknown crashpoint \"" + name + "\"");
+  }
+  g_point = name;
+  g_remaining.store(count, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void Disarm() {
+  g_armed.store(false, std::memory_order_release);
+  g_point.clear();
+  g_remaining.store(0, std::memory_order_relaxed);
+}
+
+Status ArmFromEnv() {
+  const char* spec = std::getenv("STREAMSHARE_CRASHPOINT");
+  if (spec == nullptr || *spec == '\0') return Status::Ok();
+  return Arm(spec);
+}
+
+void MaybeCrash(const char* point) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  if (g_point != point) return;
+  if (g_remaining.fetch_sub(1, std::memory_order_relaxed) > 1) return;
+  // SIGKILL, not abort(): no atexit handlers, no stdio flush, no core —
+  // the closest a process can get to losing power.
+  ::kill(::getpid(), SIGKILL);
+  ::pause();  // unreachable; quiets "noreturn" expectations
+}
+
+}  // namespace streamshare::serve::crashpoint

@@ -1,0 +1,62 @@
+// Crashpoint injection for the durability plane. A crashpoint is a named
+// program point inside the daemon's write-ahead/checkpoint machinery
+// where the process can be made to die by SIGKILL — not exit(), not an
+// exception: the same instant, unflushable death a power cut or OOM kill
+// delivers, with whatever bytes earlier write() calls already handed the
+// page cache surviving and everything after the point lost. The crash
+// harnesses (streamshare_fuzz --crash, scripts/crash_smoke.sh,
+// tests/test_crash_recovery.cc) arm one point per daemon life and assert
+// the recovered state is indistinguishable from a drain for every
+// acknowledged operation.
+//
+// Arming: Arm("name") kills at the first hit, Arm("name:3") at the
+// third; ArmFromEnv() reads the STREAMSHARE_CRASHPOINT environment
+// variable (how scripts arm a spawned streamshare_serve). Disarmed (the
+// default), every MaybeCrash call is a single relaxed atomic load.
+
+#ifndef STREAMSHARE_SERVE_CRASHPOINT_H_
+#define STREAMSHARE_SERVE_CRASHPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace streamshare::serve::crashpoint {
+
+// The catalogue. Names are stable: docs/ROBUSTNESS.md documents each
+// one's window and scripts/CI arm them by string.
+inline constexpr const char* kWalPreAppend = "wal-pre-append";
+inline constexpr const char* kWalMidRecord = "wal-mid-record";
+inline constexpr const char* kWalPostAppendPreSync =
+    "wal-post-append-pre-sync";
+inline constexpr const char* kWalPostSyncPreAck = "wal-post-sync-pre-ack";
+inline constexpr const char* kFeedPostFeedPreLog = "feed-post-feed-pre-log";
+inline constexpr const char* kCkptPreTempWrite = "ckpt-pre-temp-write";
+inline constexpr const char* kCkptMidTempWrite = "ckpt-mid-temp-write";
+inline constexpr const char* kCkptPreRename = "ckpt-pre-rename";
+inline constexpr const char* kCkptPostRenamePreWalReset =
+    "ckpt-post-rename-pre-wal-reset";
+inline constexpr const char* kDrainPreCheckpoint = "drain-pre-checkpoint";
+inline constexpr const char* kRecoverPostFoldPreListen =
+    "recover-post-fold-pre-listen";
+
+/// Every named point, in catalogue order (harnesses sweep this).
+const std::vector<std::string>& AllPoints();
+
+/// Arms `spec` = "name" or "name:N" (SIGKILL on the Nth hit, N >= 1).
+/// An empty spec disarms. Replaces any previous arming.
+Status Arm(const std::string& spec);
+void Disarm();
+
+/// Arms from $STREAMSHARE_CRASHPOINT when set (ignores errors beyond
+/// returning them; an unset variable is Ok and leaves the table alone).
+Status ArmFromEnv();
+
+/// Dies by SIGKILL when `point` is the armed point and its hit count is
+/// reached. No-op (one atomic load) when disarmed.
+void MaybeCrash(const char* point);
+
+}  // namespace streamshare::serve::crashpoint
+
+#endif  // STREAMSHARE_SERVE_CRASHPOINT_H_

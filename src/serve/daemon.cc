@@ -3,10 +3,12 @@
 #include <poll.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "engine/latency.h"
 #include "obs/event_log.h"
+#include "serve/crashpoint.h"
 
 namespace streamshare::serve {
 
@@ -62,16 +64,8 @@ Status ServeDaemon::Start() {
   if (scenario_.streams.empty()) {
     return Status::InvalidArgument("scenario has no streams");
   }
-  if (!options_.checkpoint_path.empty()) {
-    Result<Checkpoint> checkpoint =
-        LoadCheckpoint(options_.checkpoint_path);
-    if (checkpoint.ok()) {
-      SS_RETURN_IF_ERROR(RestoreFromCheckpoint(*checkpoint));
-    } else if (checkpoint.status().IsNotFound()) {
-      SS_RETURN_IF_ERROR(BuildFreshSystem());
-    } else {
-      return checkpoint.status();
-    }
+  if (durable()) {
+    SS_RETURN_IF_ERROR(RecoverDurableState());
   } else {
     SS_RETURN_IF_ERROR(BuildFreshSystem());
   }
@@ -80,8 +74,187 @@ Status ServeDaemon::Start() {
     stats_.epoch = epoch_;
     stats_.items_fed = items_fed_;
   }
+  crashpoint::MaybeCrash(crashpoint::kRecoverPostFoldPreListen);
   SS_RETURN_IF_ERROR(listener_.Bind(options_.port));
   loop_thread_ = std::thread([this] { LoopMain(); });
+  return Status::Ok();
+}
+
+std::string ServeDaemon::WalPathOrDefault() const {
+  return options_.wal_path.empty()
+             ? DefaultWalPath(options_.checkpoint_path)
+             : options_.wal_path;
+}
+
+Status ServeDaemon::RecoverDurableState() {
+  const std::string wal_path = WalPathOrDefault();
+
+  Checkpoint checkpoint;
+  bool have_checkpoint = false;
+  {
+    Result<Checkpoint> loaded = LoadCheckpoint(options_.checkpoint_path);
+    if (loaded.ok()) {
+      checkpoint = std::move(*loaded);
+      have_checkpoint = true;
+    } else if (!loaded.status().IsNotFound()) {
+      return loaded.status();
+    }
+  }
+
+  WalRecovery wal;
+  bool have_wal = false;
+  {
+    Result<WalRecovery> scanned = RecoverWal(wal_path);
+    if (scanned.ok()) {
+      wal = std::move(*scanned);
+      have_wal = true;
+    } else if (!scanned.status().IsNotFound()) {
+      return scanned.status();
+    }
+  }
+
+  uint64_t torn_truncations = 0;
+  bool use_wal_records = false;
+  if (have_wal && !wal.torn_header) {
+    if (wal.header.scenario_fingerprint != ScenarioFingerprint(scenario_)) {
+      return Status::InvalidArgument(
+          "wal " + wal_path + " was written by a different scenario");
+    }
+    uint64_t base = have_checkpoint ? checkpoint.generation : 0;
+    if (wal.header.base_generation == base) {
+      use_wal_records = true;
+      if (wal.torn_tail) ++torn_truncations;
+    } else if (wal.header.base_generation < base) {
+      // Stale log: a compaction or drain renamed its folded checkpoint
+      // into place but died before truncating the log. Every record in
+      // it is already inside the checkpoint — discard whole.
+      obs::EventLog& log = obs::EventLog::Default();
+      if (log.ShouldLog(obs::Severity::kInfo)) {
+        log.Log(obs::Severity::kInfo, "serve",
+                "dropping stale wal (already folded)",
+                {obs::F("wal_generation", wal.header.base_generation),
+                 obs::F("checkpoint_generation", base)});
+      }
+    } else {
+      return Status::InvalidArgument(
+          "wal " + wal_path + " extends checkpoint generation " +
+          std::to_string(wal.header.base_generation) +
+          " but the checkpoint on disk is generation " +
+          std::to_string(base) + " — the checkpoint was lost");
+    }
+  } else if (have_wal && wal.torn_header) {
+    // Crash during the log's own creation: it never held a record, and
+    // Create only runs right after the checkpoint was brought current.
+    ++torn_truncations;
+  }
+
+  if (have_checkpoint) {
+    SS_RETURN_IF_ERROR(RestoreFromCheckpoint(checkpoint));
+  } else {
+    SS_RETURN_IF_ERROR(BuildFreshSystem());
+  }
+  size_t applied_records = 0;
+  if (use_wal_records) {
+    SS_RETURN_IF_ERROR(ApplyWalRecords(wal.records));
+    applied_records = wal.records.size();
+    // The log may outlive the checkpoint by whole service lives (every
+    // life without a compaction extends the same base).
+    if (wal.header.epoch + 1 > epoch_) epoch_ = wal.header.epoch + 1;
+  }
+
+  // Fold: a fresh checkpoint capturing everything the WAL added, then an
+  // empty log extending it. Without records the checkpoint is already
+  // current — only the (possibly missing or torn) log needs recreating.
+  generation_ = have_checkpoint ? checkpoint.generation : 0;
+  if (!have_checkpoint || applied_records != 0) {
+    ++generation_;
+    SS_RETURN_IF_ERROR(
+        SaveCheckpoint(options_.checkpoint_path, BuildCheckpoint()));
+  }
+  crashpoint::MaybeCrash(crashpoint::kCkptPostRenamePreWalReset);
+  WalHeader header;
+  header.scenario_fingerprint = ScenarioFingerprint(scenario_);
+  header.epoch = epoch_;
+  header.base_generation = generation_;
+  SS_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Create(wal_path, header));
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.wal_recovered_records += applied_records;
+  stats_.wal_torn_tail_truncations += torn_truncations;
+  return Status::Ok();
+}
+
+Status ServeDaemon::ApplyWalRecords(const std::vector<WalRecord>& records) {
+  if (options_.resume == ResumeFlavor::kReplay) {
+    // Same interleaving as ReplayEvents, continued past the checkpoint:
+    // regenerate the fed ranges and apply each logged mutation at the
+    // offset it originally ran at.
+    uint64_t fed = items_fed_;
+    for (const WalRecord& record : records) {
+      uint64_t at = record.kind == WalRecord::Kind::kFeed
+                        ? record.items_fed
+                        : record.event.at_items;
+      if (at > fed) {
+        SS_RETURN_IF_ERROR(FeedRange(fed, at));
+        fed = at;
+      }
+      if (record.kind == WalRecord::Kind::kEvent) {
+        SS_RETURN_IF_ERROR(ApplyLoggedEvent(record.event));
+        event_log_.push_back(record.event);
+      }
+    }
+    items_fed_ = fed;
+    return Status::Ok();
+  }
+
+  // Gap flavor: events only, then skip the generators past the furthest
+  // fed offset (windows re-anchor; see ReplayEvents).
+  uint64_t fed = items_fed_;
+  for (const WalRecord& record : records) {
+    if (record.kind == WalRecord::Kind::kEvent) {
+      SS_RETURN_IF_ERROR(ApplyLoggedEvent(record.event));
+      event_log_.push_back(record.event);
+      if (record.event.at_items > fed) fed = record.event.at_items;
+    } else if (record.items_fed > fed) {
+      fed = record.items_fed;
+    }
+  }
+  for (workload::PhotonGenerator& generator : generators_) {
+    for (uint64_t i = items_fed_; i < fed; ++i) generator.NextRecord();
+  }
+  items_fed_ = fed;
+  return Status::Ok();
+}
+
+void ServeDaemon::DurableAppend(const WalRecord& record) {
+  if (!durable() || !wal_error_.ok()) return;
+  WalCounters before = wal_.counters();
+  Status appended = wal_.Append(record);
+  if (!appended.ok()) {
+    wal_error_ = appended;
+    return;
+  }
+  crashpoint::MaybeCrash(crashpoint::kWalPostSyncPreAck);
+  const WalCounters& after = wal_.counters();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.wal_appends += after.appends - before.appends;
+  stats_.wal_bytes += after.bytes - before.bytes;
+  stats_.wal_fsync_us += after.fsync_us - before.fsync_us;
+}
+
+Status ServeDaemon::CompactWal() {
+  ++generation_;
+  SS_RETURN_IF_ERROR(
+      SaveCheckpoint(options_.checkpoint_path, BuildCheckpoint()));
+  crashpoint::MaybeCrash(crashpoint::kCkptPostRenamePreWalReset);
+  WalHeader header;
+  header.scenario_fingerprint = ScenarioFingerprint(scenario_);
+  header.epoch = epoch_;
+  header.base_generation = generation_;
+  SS_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Create(WalPathOrDefault(),
+                                                  header));
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.wal_compactions;
   return Status::Ok();
 }
 
@@ -276,6 +449,15 @@ void ServeDaemon::ExportMetrics(obs::MetricsRegistry* registry) const {
         static_cast<double>(snapshot.unsupported_frames));
   gauge("serve.drain.micros",
         static_cast<double>(snapshot.drain_micros));
+  gauge("serve.wal.appends", static_cast<double>(snapshot.wal_appends));
+  gauge("serve.wal.bytes", static_cast<double>(snapshot.wal_bytes));
+  gauge("serve.wal.fsync_us", static_cast<double>(snapshot.wal_fsync_us));
+  gauge("serve.wal.compactions",
+        static_cast<double>(snapshot.wal_compactions));
+  gauge("serve.wal.recovered_records",
+        static_cast<double>(snapshot.wal_recovered_records));
+  gauge("serve.wal.torn_tail_truncations",
+        static_cast<double>(snapshot.wal_torn_tail_truncations));
   // The engine/network/latency planes of the hosted system. Only safe
   // once the loop has stopped mutating it (call after Join).
   if (system_ != nullptr && !loop_thread_.joinable()) {
@@ -361,6 +543,15 @@ Status ServeDaemon::LoopOnce() {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.attached_clients = clients_.size();
   }
+  if (!wal_error_.ok()) {
+    // An applied mutation could not be made durable — stop serving
+    // rather than ACK it (crash-consistent failure).
+    return wal_error_;
+  }
+  if (durable() && wal_.open() &&
+      wal_.counters().bytes > options_.wal_compact_bytes) {
+    SS_RETURN_IF_ERROR(CompactWal());
+  }
   return Status::Ok();
 }
 
@@ -409,6 +600,13 @@ Status ServeDaemon::HandleRequest(ClientState* client,
   ControlResponse response =
       request.ok() ? Dispatch(client, *request)
                    : ErrorResponse(0, request.status());
+  if (!wal_error_.ok()) {
+    // The mutation is applied in memory but could not be made durable:
+    // acknowledging would break crash ≡ drain. No ACK leaves; the loop
+    // dies with the append error (a crash-consistent stop — recovery
+    // sees exactly the pre-mutation durable state).
+    return wal_error_;
+  }
   return client->conn.QueueFrame(transport::FrameType::kControlAck,
                                  EncodeResponse(response));
 }
@@ -511,14 +709,16 @@ ControlResponse ServeDaemon::DoSubscribe(ClientState* client,
     return ErrorResponse(request.request_id, result.status());
   }
   // Accepted or admission-rejected, the registration consumed a query
-  // id — log it so a replay reassigns identical ids.
+  // id — log it (and make it durable before the ACK) so a replay
+  // reassigns identical ids.
   LogEvent event;
   event.kind = LogEvent::Kind::kSubscribe;
   event.at_items = items_fed_;
   event.query_text = request.query_text;
   event.vq = request.vq;
   event.strategy = request.strategy;
-  event_log_.push_back(std::move(event));
+  event_log_.push_back(event);
+  DurableAppend(WalRecord::Event(std::move(event)));
 
   SubscribeReply reply;
   reply.query_id = result->query_id;
@@ -575,7 +775,8 @@ ControlResponse ServeDaemon::DoSubscribeBatch(
     event.query_text = request.batch[i].query_text;
     event.vq = request.batch[i].vq;
     event.strategy = request.batch[i].strategy;
-    event_log_.push_back(std::move(event));
+    event_log_.push_back(event);
+    DurableAppend(WalRecord::Event(std::move(event)));
   }
   if (!results.ok()) {
     return ErrorResponse(request.request_id, results.status());
@@ -623,7 +824,8 @@ ControlResponse ServeDaemon::DoReoptimize(const ControlRequest& request) {
   event.kind = LogEvent::Kind::kReoptimize;
   event.at_items = items_fed_;
   event.max_migrations = request.max_migrations;
-  event_log_.push_back(std::move(event));
+  event_log_.push_back(event);
+  DurableAppend(WalRecord::Event(std::move(event)));
   ReoptimizeReply reply;
   reply.examined = static_cast<uint64_t>(report->examined);
   reply.migrated = static_cast<uint64_t>(report->migrated);
@@ -643,7 +845,8 @@ ControlResponse ServeDaemon::DoUnsubscribe(ClientState* client,
   event.kind = LogEvent::Kind::kUnsubscribe;
   event.at_items = items_fed_;
   event.query_id = request.query_id;
-  event_log_.push_back(std::move(event));
+  event_log_.push_back(event);
+  DurableAppend(WalRecord::Event(std::move(event)));
   client->subs.erase(query_id);
   for (const std::unique_ptr<ClientState>& other : clients_) {
     other->subs.erase(query_id);
@@ -665,7 +868,8 @@ ControlResponse ServeDaemon::DoFailPeer(const ControlRequest& request) {
   event.kind = LogEvent::Kind::kFailPeer;
   event.at_items = items_fed_;
   event.peer = request.peer;
-  event_log_.push_back(std::move(event));
+  event_log_.push_back(event);
+  DurableAppend(WalRecord::Event(std::move(event)));
   RecoveryReply reply;
   reply.replans = report->replans;
   reply.lost_queries = report->lost_queries;
@@ -685,7 +889,8 @@ ControlResponse ServeDaemon::DoCutLink(const ControlRequest& request) {
   event.at_items = items_fed_;
   event.link_a = request.link_a;
   event.link_b = request.link_b;
-  event_log_.push_back(std::move(event));
+  event_log_.push_back(event);
+  DurableAppend(WalRecord::Event(std::move(event)));
   RecoveryReply reply;
   reply.replans = report->replans;
   reply.lost_queries = report->lost_queries;
@@ -702,6 +907,12 @@ ControlResponse ServeDaemon::DoStats(const ControlRequest& request) {
     reply.admitted = stats_.admitted;
     reply.rejected = stats_.rejected;
     reply.results_forwarded = stats_.results_forwarded;
+    reply.wal_appends = stats_.wal_appends;
+    reply.wal_bytes = stats_.wal_bytes;
+    reply.wal_fsync_us = stats_.wal_fsync_us;
+    reply.wal_compactions = stats_.wal_compactions;
+    reply.wal_recovered_records = stats_.wal_recovered_records;
+    reply.wal_torn_tail_truncations = stats_.wal_torn_tail_truncations;
   }
   reply.epoch = epoch_;
   reply.draining = draining_.load(std::memory_order_relaxed);
@@ -731,6 +942,15 @@ ControlResponse ServeDaemon::DoFeed(const ControlRequest& request) {
   }
   Status fed = FeedItems(request.feed_items);
   if (!fed.ok()) return ErrorResponse(request.request_id, fed);
+  crashpoint::MaybeCrash(crashpoint::kFeedPostFeedPreLog);
+  // Durability before visibility: the feed offset syncs to the WAL
+  // before any of its deliveries (or the ACK) leave the process, so a
+  // client can never hold results of a feed a recovered daemon does not
+  // know about.
+  DurableAppend(WalRecord::Feed(items_fed_));
+  if (!wal_error_.ok()) {
+    return ErrorResponse(request.request_id, wal_error_);
+  }
   Status forwarded = ForwardNewResults();
   if (!forwarded.ok()) {
     return ErrorResponse(request.request_id, forwarded);
@@ -824,7 +1044,8 @@ void ServeDaemon::DetachClient(ClientState* client, bool unsubscribe) {
         event.kind = LogEvent::Kind::kUnsubscribe;
         event.at_items = items_fed_;
         event.query_id = query_id;
-        event_log_.push_back(std::move(event));
+        event_log_.push_back(event);
+        DurableAppend(WalRecord::Event(std::move(event)));
         channels_.erase(query_id);
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.unsubscribed;
@@ -838,6 +1059,7 @@ Checkpoint ServeDaemon::BuildCheckpoint() const {
   Checkpoint checkpoint;
   checkpoint.scenario_fingerprint = ScenarioFingerprint(scenario_);
   checkpoint.epoch = epoch_;
+  checkpoint.generation = generation_;
   checkpoint.items_fed = items_fed_;
   checkpoint.events = event_log_;
   for (const RegistrationResult& registration :
@@ -864,17 +1086,33 @@ Status ServeDaemon::PerformDrain(bool final_drain) {
 
   if (final_drain) {
     // End of service: flush every in-flight window and forward the
-    // flushed deliveries before saying goodbye.
+    // flushed deliveries before saying goodbye. The durable files go
+    // too — the service life is complete, and a leftover mid-life
+    // compaction checkpoint must not resurrect a flushed-and-ended
+    // deployment on the next start.
     SS_RETURN_IF_ERROR(system_->Shutdown());
     SS_RETURN_IF_ERROR(ForwardNewResults());
+    if (durable()) {
+      wal_.Close();
+      std::remove(WalPathOrDefault().c_str());
+      std::remove(options_.checkpoint_path.c_str());
+    }
   } else {
-    // Restartable drain: checkpoint the event log. In-flight windows
+    // Restartable drain: fold the event log into a fresh-generation
+    // checkpoint, then retire the WAL (its records are all inside). A
+    // crash between the two leaves a stale log the next recovery
+    // recognizes by generation and discards. In-flight windows
     // deliberately stay unflushed — the replay resume reconstructs
     // them, so the eventual output is identical to an uninterrupted
     // run (flushing here would emit partials an uninterrupted run
     // never emits).
+    crashpoint::MaybeCrash(crashpoint::kDrainPreCheckpoint);
+    ++generation_;
     SS_RETURN_IF_ERROR(
         SaveCheckpoint(options_.checkpoint_path, BuildCheckpoint()));
+    crashpoint::MaybeCrash(crashpoint::kCkptPostRenamePreWalReset);
+    wal_.Close();
+    std::remove(WalPathOrDefault().c_str());
   }
 
   for (std::unique_ptr<ClientState>& client : clients_) {

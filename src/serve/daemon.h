@@ -45,6 +45,7 @@
 #include "serve/checkpoint.h"
 #include "serve/control.h"
 #include "serve/net.h"
+#include "serve/wal.h"
 #include "sharing/system.h"
 #include "transport/codec.h"
 #include "workload/photon_gen.h"
@@ -60,9 +61,19 @@ enum class ResumeFlavor {
 struct DaemonOptions {
   /// TCP port to listen on; 0 binds an ephemeral port (read port()).
   int port = 0;
-  /// Path of the drain checkpoint. Empty disables restartable drain
-  /// (Drain with final=false is then rejected).
+  /// Path of the drain checkpoint. Empty disables durability entirely:
+  /// no checkpoint, no write-ahead log, and Drain with final=false is
+  /// rejected. Set, the daemon is crash-consistent — every acknowledged
+  /// control mutation is fsync'd to the WAL beside this path before its
+  /// ACK leaves the process, and startup recovers checkpoint + WAL tail
+  /// (a torn final record is detected and truncated).
   std::string checkpoint_path;
+  /// Write-ahead log path; empty derives DefaultWalPath(checkpoint_path).
+  std::string wal_path;
+  /// Compaction threshold: when the WAL exceeds this many record bytes,
+  /// the loop folds it into a fresh checkpoint (write-temp → fsync →
+  /// rename) and starts an empty log, keeping recovery cost bounded.
+  uint64_t wal_compact_bytes = 1 << 20;
   ResumeFlavor resume = ResumeFlavor::kReplay;
   /// Engine configuration. keep_results is forced on (sinks are the
   /// delivery log RESULT forwarding reads from).
@@ -84,6 +95,14 @@ struct DaemonStats {
   uint64_t control_requests = 0;
   uint64_t unsupported_frames = 0;
   uint64_t drain_micros = 0;
+  /// Durability plane (serve.wal.* metrics). Cumulative across the WAL
+  /// resets a compaction or recovery fold performs.
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsync_us = 0;
+  uint64_t wal_compactions = 0;
+  uint64_t wal_recovered_records = 0;
+  uint64_t wal_torn_tail_truncations = 0;
 };
 
 class ServeDaemon {
@@ -147,6 +166,25 @@ class ServeDaemon {
     std::vector<uint64_t> observed_us;
   };
 
+  bool durable() const { return !options_.checkpoint_path.empty(); }
+  std::string WalPathOrDefault() const;
+  /// Startup with durability on: load checkpoint + scan WAL, validate
+  /// generations, replay both, fold into a fresh checkpoint when the WAL
+  /// carried records, and open an empty log for this life.
+  Status RecoverDurableState();
+  /// Replays recovered WAL records on top of the checkpoint state (feed
+  /// ranges interleaved for kReplay; events only + generator skip for
+  /// kGap).
+  Status ApplyWalRecords(const std::vector<WalRecord>& records);
+  /// Appends one record to the WAL and fsyncs; called before the ACK of
+  /// the operation it records. A failure here is fatal to the loop (the
+  /// mutation is applied but cannot be made durable, so no ACK may ever
+  /// leave) — handlers return the error response, HandleRequest drops it
+  /// and surfaces wal_error_ instead.
+  void DurableAppend(const WalRecord& record);
+  /// Folds the WAL into a fresh checkpoint and restarts the log.
+  Status CompactWal();
+
   Status BuildFreshSystem();
   Status RestoreFromCheckpoint(const Checkpoint& checkpoint);
   Status ReplayEvents(const Checkpoint& checkpoint);
@@ -195,12 +233,20 @@ class ServeDaemon {
   workload::ScenarioSpec scenario_;
   DaemonOptions options_;
   uint64_t epoch_ = 0;
+  /// Generation of the checkpoint currently on disk (see
+  /// Checkpoint::generation); the open WAL extends exactly this one.
+  uint64_t generation_ = 0;
 
   std::unique_ptr<sharing::StreamShareSystem> system_;
   std::vector<workload::PhotonGenerator> generators_;
   uint64_t items_fed_ = 0;
   std::vector<LogEvent> event_log_;
   std::map<int, QueryChannel> channels_;
+
+  WriteAheadLog wal_;
+  /// First WAL append failure; fatal to the loop (no ACK may follow an
+  /// operation that could not be made durable).
+  Status wal_error_;
 
   Listener listener_;
   std::vector<std::unique_ptr<ClientState>> clients_;

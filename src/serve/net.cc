@@ -260,9 +260,16 @@ Result<FrameConn> Listener::Accept() {
 
 Result<FrameConn> ConnectTcp(const std::string& host, int port,
                              int timeout_ms) {
+  DialOptions options;
+  options.timeout_ms = timeout_ms;
+  return ConnectTcp(host, port, options);
+}
+
+Result<FrameConn> ConnectTcp(const std::string& host, int port,
+                             const DialOptions& options) {
   Clock::time_point deadline =
-      Clock::now() + std::chrono::milliseconds(timeout_ms);
-  int backoff_ms = 5;
+      Clock::now() + std::chrono::milliseconds(options.timeout_ms);
+  int backoff_ms = std::max(1, options.initial_backoff_ms);
   while (true) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return Errno("socket");
@@ -292,7 +299,7 @@ Result<FrameConn> ConnectTcp(const std::string& host, int port,
                                  std::strerror(saved));
     }
     ::poll(nullptr, 0, backoff_ms);
-    backoff_ms = std::min(backoff_ms * 2, 200);
+    backoff_ms = std::min(backoff_ms * 2, std::max(1, options.max_backoff_ms));
   }
 }
 

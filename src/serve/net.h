@@ -104,8 +104,19 @@ class Listener {
   int port_ = 0;
 };
 
+/// Dial tuning for ConnectTcp. The connect loop retries with doubling
+/// sleeps from initial_backoff_ms capped at max_backoff_ms until
+/// timeout_ms expires.
+struct DialOptions {
+  int timeout_ms = 5000;
+  int initial_backoff_ms = 5;
+  int max_backoff_ms = 200;
+};
+
 /// Blocking localhost connect with retries (the daemon may still be
 /// binding when a client starts).
+Result<FrameConn> ConnectTcp(const std::string& host, int port,
+                             const DialOptions& options);
 Result<FrameConn> ConnectTcp(const std::string& host, int port,
                              int timeout_ms);
 

@@ -43,9 +43,10 @@ Result<ServeRunReport> RunScenarioThroughDaemon(
         "drain_at needs a checkpoint_path to restart from");
   }
   if (!options.checkpoint_path.empty()) {
-    // A stale checkpoint from an earlier run must not hijack the fresh
-    // start.
+    // A stale checkpoint (or its WAL) from an earlier run must not
+    // hijack the fresh start.
     std::remove(options.checkpoint_path.c_str());
+    std::remove(DefaultWalPath(options.checkpoint_path).c_str());
   }
 
   std::vector<workload::ChurnEvent> churn = options.churn;

@@ -6,7 +6,15 @@
 #include <set>
 #include <tuple>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "serve/crash_oracle.h"
+#include "serve/crashpoint.h"
 #include "serve/serve_oracle.h"
+#include "serve/wal.h"
 #include "sharing/system.h"
 #include "xml/xml_writer.h"
 
@@ -948,6 +956,115 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     }
   }
 
+  // --- Crash arm: the serve workload again, but the daemon lives in a
+  // forked child armed with seed-derived crashpoints that SIGKILL it
+  // mid-operation; every life recovers from checkpoint + WAL and the
+  // run completes across however many deaths it takes. The recovered
+  // history must equal the same reference the serve arm diffs against —
+  // a crash indistinguishable from a drain for acked operations. -------
+  if (options.run_crash) {
+    bool registration_errors = false;
+    for (const QueryObservation& query : reference_mode.queries) {
+      registration_errors =
+          registration_errors || !query.registration_error.empty();
+    }
+    if (!registration_errors) {
+      SS_ASSIGN_OR_RETURN(workload::ScenarioSpec spec,
+                          ToScenarioSpec(scenario));
+      serve::CrashRunOptions crash_options;
+      crash_options.items_per_stream = scenario.items_per_stream;
+      crash_options.feed_chunk = 13;
+      crash_options.system.record_path = options.record_path;
+      for (const FuzzChurnEvent& event : scenario.churn) {
+        crash_options.churn.push_back(ToWorkloadChurn(event));
+      }
+      // Derive which lives die where from the scenario seed: 1-3 armed
+      // lives, each at a seed-chosen crashpoint, hit counts 1-4 so the
+      // same point can pass a few times before firing (startup folds hit
+      // checkpoint points once per recovery).
+      const std::vector<std::string>& points =
+          serve::crashpoint::AllPoints();
+      DetRng crash_rng(scenario.seed ^ 0xc4a5ed0ull);
+      int armed = static_cast<int>(crash_rng.Between(1, 3));
+      for (int i = 0; i < armed; ++i) {
+        const std::string& point = points[crash_rng.Below(points.size())];
+        int hits = static_cast<int>(crash_rng.Between(1, 4));
+        crash_options.crash_specs.push_back(point + ":" +
+                                            std::to_string(hits));
+      }
+      char state_template[] = "/tmp/ss-crash-XXXXXX";
+      char* state_dir = ::mkdtemp(state_template);
+      if (state_dir == nullptr) {
+        return Status::Internal("mkdtemp failed for the crash arm");
+      }
+      crash_options.state_dir = state_dir;
+      Result<serve::CrashRunReport> crash_run =
+          serve::RunCrashScenario(spec, crash_options);
+      std::remove((crash_options.state_dir + "/checkpoint").c_str());
+      std::remove(
+          serve::DefaultWalPath(crash_options.state_dir + "/checkpoint")
+              .c_str());
+      ::rmdir(state_dir);
+      SS_RETURN_IF_ERROR(crash_run.status());
+      report.crash_lives = crash_run->lives;
+      report.crash_crashes = crash_run->crashes;
+
+      const char* expected_name =
+          scenario.churn.empty() ? "serial" : "serial+churn";
+      const std::vector<QueryObservation>* expected =
+          &reference_mode.queries;
+      for (const ModeObservation& mode : report.modes) {
+        if (mode.mode == expected_name) expected = &mode.queries;
+      }
+
+      ModeObservation crash_mode;
+      crash_mode.mode = "crash";
+      for (const serve::ServeQueryObservation& observed :
+           crash_run->queries) {
+        QueryObservation query;
+        query.accepted = observed.accepted;
+        query.items = observed.items;
+        query.bytes = observed.bytes;
+        query.content_hash = observed.content_hash;
+        crash_mode.queries.push_back(std::move(query));
+      }
+      report.modes.push_back(crash_mode);
+
+      if (crash_mode.queries.size() != expected->size()) {
+        report.crash_ok = false;
+        fail("crash arm: recovered daemon answered " +
+             std::to_string(crash_mode.queries.size()) +
+             " subscriptions for " + std::to_string(expected->size()) +
+             " queries (" + std::to_string(crash_run->crashes) +
+             " crashes over " + std::to_string(crash_run->lives) +
+             " lives)");
+      } else {
+        for (size_t q = 0; q < expected->size(); ++q) {
+          if ((*expected)[q].accepted != crash_mode.queries[q].accepted) {
+            report.crash_ok = false;
+            fail("crash arm: admission outcome diverged on " +
+                 DescribeQuery(scenario, q) + " — " + expected_name +
+                 " accepted=" +
+                 std::to_string((*expected)[q].accepted) + ", recovered " +
+                 std::to_string(crash_mode.queries[q].accepted) + " (" +
+                 std::to_string(crash_run->crashes) + " crashes over " +
+                 std::to_string(crash_run->lives) + " lives)");
+            continue;
+          }
+          if (!SameObservation((*expected)[q], crash_mode.queries[q])) {
+            report.crash_ok = false;
+            fail("crash arm: recovered history diverged on " +
+                 DescribeQuery(scenario, q) + " — " + expected_name + " " +
+                 ObservationString((*expected)[q]) + ", recovered " +
+                 ObservationString(crash_mode.queries[q]) + " (" +
+                 std::to_string(crash_run->crashes) + " crashes over " +
+                 std::to_string(crash_run->lives) + " lives)");
+          }
+        }
+      }
+    }
+  }
+
   if (options.metrics != nullptr) {
     options.metrics->GetCounter("fuzz.scenarios")->Add(1);
     options.metrics->GetCounter("fuzz.queries")
@@ -966,6 +1083,9 @@ Result<OracleReport> RunOracle(const FuzzScenario& scenario,
     }
     if (!report.serve_ok) {
       options.metrics->GetCounter("fuzz.serve_violations")->Add(1);
+    }
+    if (!report.crash_ok) {
+      options.metrics->GetCounter("fuzz.crash_violations")->Add(1);
     }
     if (!report.index_ok) {
       options.metrics->GetCounter("fuzz.index_violations")->Add(1);

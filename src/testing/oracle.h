@@ -68,6 +68,16 @@ struct OracleOptions {
   /// fuzz tool gates it behind --serve.
   bool run_serve = false;
 
+  /// Crash-durability arm: run the scenario through a daemon hosted in a
+  /// forked child that SIGKILLs itself at crashpoints derived from the
+  /// scenario seed (serve/crashpoint.h), recover each life from
+  /// checkpoint + write-ahead log, and diff the client's accumulated
+  /// deliveries against the same serial reference the serve arm uses.
+  /// The invariant is ARCHITECTURE.md invariant 11: a crash is
+  /// indistinguishable from a drain for every acknowledged operation.
+  /// Forks real processes, so the fuzz tool gates it behind --crash.
+  bool run_crash = false;
+
   /// Index-vs-BFS differential arm: replay the scenario on a serial
   /// system with the candidate index disabled (the flat per-node registry
   /// walk is Algorithm 1's oracle form) and demand identical planning
@@ -136,6 +146,11 @@ struct OracleReport {
   /// the arm is disabled or the scenario has registration errors (the
   /// serve client surfaces those as call failures, not observations).
   bool serve_ok = true;
+  /// The crash arm's recovered history (accumulated across however many
+  /// kill-9/restart rounds the armed crashpoints caused) matched the
+  /// uninterrupted reference byte-for-byte. Vacuously true when the arm
+  /// is disabled or skipped (registration errors).
+  bool crash_ok = true;
   /// The indexed run and the flat-BFS run planned identically (chosen
   /// plans, acceptance, C(P)) and delivered identical results, clean and
   /// churned. Vacuously true when the arm is disabled.
@@ -159,9 +174,14 @@ struct OracleReport {
   /// its stamp to the sink).
   uint64_t stamped_results = 0;
 
+  /// Daemon lives / confirmed SIGKILL deaths the crash arm spanned (0
+  /// when the arm is off).
+  uint64_t crash_lives = 0;
+  uint64_t crash_crashes = 0;
+
   bool ok() const {
     return equivalence_ok && sharing_ok && recovery_ok && latency_ok &&
-           serve_ok && index_ok;
+           serve_ok && crash_ok && index_ok;
   }
 };
 

@@ -3,6 +3,9 @@
 // appear on the command line, against one connection:
 //
 //   streamshare_client --port=N [--host=H] [--name=S] [--timeout-ms=N]
+//                      [--reconnect] [--reconnect-max-attempts=N]
+//                      [--reconnect-backoff-ms=N]
+//                      [--reconnect-max-backoff-ms=N]
 //                      [--subscribe=QUERY@VQ]... [--subscribe-file=FILE@VQ]...
 //                      [--attach=ID@SEQ]... [--unsubscribe=ID]...
 //                      [--feed=N]... [--fail-peer=ID]... [--cut-link=A-B]...
@@ -18,6 +21,12 @@
 // client-side. --stats prints the daemon's deployment counters.
 // --drain=restartable needs the daemon to have a --checkpoint;
 // --wait-eos blocks until the daemon's EOS after a drain.
+//
+// --reconnect makes every command survive a dropped connection (daemon
+// crash or restart on the same port): the client redials with
+// exponential backoff + jitter, re-attaches each subscribed query at
+// its next undelivered sequence, and retries the command. The backoff
+// knobs tune attempts, the initial sleep, and its cap.
 //
 // At exit the client prints one `q<id> items=N bytes=N hash=N` line per
 // subscribed query — the same observation format streamshare_sim
@@ -73,6 +82,8 @@ int Usage(const char* program) {
   std::fprintf(
       stderr,
       "usage: %s --port=N [--host=H] [--name=S] [--timeout-ms=N] "
+      "[--reconnect] [--reconnect-max-attempts=N] "
+      "[--reconnect-backoff-ms=N] [--reconnect-max-backoff-ms=N] "
       "[--subscribe=QUERY@VQ] [--subscribe-file=FILE@VQ] "
       "[--attach=ID@SEQ] [--unsubscribe=ID] [--feed=N] [--fail-peer=ID] "
       "[--cut-link=A-B] [--stats] [--detach] "
@@ -108,6 +119,7 @@ bool SplitAtNumber(const std::string& value, std::string* payload,
 
 int main(int argc, char** argv) {
   serve::ClientOptions options;
+  bool reconnect = false;
   std::vector<Command> commands;
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -122,6 +134,17 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--timeout-ms", &value)) {
       options.timeout_ms = static_cast<int>(std::strtol(value.c_str(),
                                                         nullptr, 10));
+    } else if (std::strcmp(argv[i], "--reconnect") == 0) {
+      reconnect = true;
+    } else if (ParseFlag(argv[i], "--reconnect-max-attempts", &value)) {
+      options.reconnect.max_attempts =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--reconnect-backoff-ms", &value)) {
+      options.reconnect.initial_backoff_ms =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--reconnect-max-backoff-ms", &value)) {
+      options.reconnect.max_backoff_ms =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
     } else if (ParseFlag(argv[i], "--subscribe", &value)) {
       command.kind = Command::Kind::kSubscribe;
       if (!SplitAtNumber(value, &command.text, &command.a)) {
@@ -216,108 +239,124 @@ int main(int argc, char** argv) {
       failed = true;
     }
   };
+  // With --reconnect, every command rides RunWithReconnect: a dropped
+  // connection redials (backoff + jitter), re-attaches the subscribed
+  // queries at their next undelivered sequence, and retries the
+  // command. Prints happen inside the op, after it succeeded.
+  auto run = [&](const char* what,
+                 const std::function<Status()>& op) {
+    report(what, reconnect ? client.RunWithReconnect(op) : op());
+  };
 
   for (const Command& command : commands) {
     switch (command.kind) {
-      case Command::Kind::kSubscribe: {
-        auto reply = client.Subscribe(command.text, command.a);
-        if (!reply.ok()) {
-          report("subscribe", reply.status());
-          break;
-        }
-        if (reply->accepted) {
-          std::printf("subscribed q%lld\n",
-                      static_cast<long long>(reply->query_id));
-          subscribed.push_back(reply->query_id);
-        } else {
-          std::printf("rejected q%lld reason=%s\n",
-                      static_cast<long long>(reply->query_id),
-                      reply->reject_reason.c_str());
-        }
+      case Command::Kind::kSubscribe:
+        run("subscribe", [&]() -> Status {
+          SS_ASSIGN_OR_RETURN(serve::SubscribeReply reply,
+                              client.Subscribe(command.text, command.a));
+          if (reply.accepted) {
+            std::printf("subscribed q%lld\n",
+                        static_cast<long long>(reply.query_id));
+            subscribed.push_back(reply.query_id);
+          } else {
+            std::printf("rejected q%lld reason=%s\n",
+                        static_cast<long long>(reply.query_id),
+                        reply.reject_reason.c_str());
+          }
+          return Status::Ok();
+        });
         break;
-      }
-      case Command::Kind::kAttach: {
-        auto reply = client.Attach(command.a,
-                                   static_cast<uint64_t>(command.b));
-        if (!reply.ok()) {
-          report("attach", reply.status());
-          break;
-        }
-        std::printf("attached q%lld from=%llu\n",
-                    static_cast<long long>(reply->query_id),
-                    static_cast<unsigned long long>(reply->forward_from));
-        subscribed.push_back(reply->query_id);
+      case Command::Kind::kAttach:
+        run("attach", [&]() -> Status {
+          SS_ASSIGN_OR_RETURN(
+              serve::SubscribeReply reply,
+              client.Attach(command.a, static_cast<uint64_t>(command.b)));
+          std::printf("attached q%lld from=%llu\n",
+                      static_cast<long long>(reply.query_id),
+                      static_cast<unsigned long long>(reply.forward_from));
+          subscribed.push_back(reply.query_id);
+          return Status::Ok();
+        });
         break;
-      }
       case Command::Kind::kUnsubscribe:
-        report("unsubscribe", client.Unsubscribe(command.a));
+        run("unsubscribe",
+            [&]() -> Status { return client.Unsubscribe(command.a); });
         break;
-      case Command::Kind::kFeed: {
-        auto reply = client.Feed(static_cast<uint64_t>(command.a));
-        report("feed", reply.status());
+      case Command::Kind::kFeed:
+        run("feed", [&]() -> Status {
+          return client.Feed(static_cast<uint64_t>(command.a)).status();
+        });
         break;
-      }
-      case Command::Kind::kFailPeer: {
-        auto reply = client.FailPeer(command.a);
-        if (!reply.ok()) {
-          report("fail-peer", reply.status());
-          break;
-        }
-        std::printf(
-            "recovered replans=%llu lost=%llu dead_targets=%llu\n",
-            static_cast<unsigned long long>(reply->replans),
-            static_cast<unsigned long long>(reply->lost_queries),
-            static_cast<unsigned long long>(reply->dead_targets));
+      case Command::Kind::kFailPeer:
+        run("fail-peer", [&]() -> Status {
+          SS_ASSIGN_OR_RETURN(serve::RecoveryReply reply,
+                              client.FailPeer(command.a));
+          std::printf(
+              "recovered replans=%llu lost=%llu dead_targets=%llu\n",
+              static_cast<unsigned long long>(reply.replans),
+              static_cast<unsigned long long>(reply.lost_queries),
+              static_cast<unsigned long long>(reply.dead_targets));
+          return Status::Ok();
+        });
         break;
-      }
-      case Command::Kind::kCutLink: {
-        auto reply = client.CutLink(command.a, command.b);
-        if (!reply.ok()) {
-          report("cut-link", reply.status());
-          break;
-        }
-        std::printf(
-            "recovered replans=%llu lost=%llu dead_targets=%llu\n",
-            static_cast<unsigned long long>(reply->replans),
-            static_cast<unsigned long long>(reply->lost_queries),
-            static_cast<unsigned long long>(reply->dead_targets));
+      case Command::Kind::kCutLink:
+        run("cut-link", [&]() -> Status {
+          SS_ASSIGN_OR_RETURN(serve::RecoveryReply reply,
+                              client.CutLink(command.a, command.b));
+          std::printf(
+              "recovered replans=%llu lost=%llu dead_targets=%llu\n",
+              static_cast<unsigned long long>(reply.replans),
+              static_cast<unsigned long long>(reply.lost_queries),
+              static_cast<unsigned long long>(reply.dead_targets));
+          return Status::Ok();
+        });
         break;
-      }
-      case Command::Kind::kStats: {
-        auto reply = client.Stats();
-        if (!reply.ok()) {
-          report("stats", reply.status());
-          break;
-        }
-        std::printf(
-            "stats epoch=%llu draining=%d items_fed=%llu clients=%llu "
-            "admitted=%llu rejected=%llu forwarded=%llu\n",
-            static_cast<unsigned long long>(reply->epoch),
-            reply->draining ? 1 : 0,
-            static_cast<unsigned long long>(reply->items_fed),
-            static_cast<unsigned long long>(reply->attached_clients),
-            static_cast<unsigned long long>(reply->admitted),
-            static_cast<unsigned long long>(reply->rejected),
-            static_cast<unsigned long long>(reply->results_forwarded));
-        for (const serve::QueryStat& query : reply->queries) {
-          std::printf("  q%lld %s items=%llu bytes=%llu hash=%llu\n",
-                      static_cast<long long>(query.query_id),
-                      query.active ? "active" : "inactive",
-                      static_cast<unsigned long long>(query.items),
-                      static_cast<unsigned long long>(query.bytes),
-                      static_cast<unsigned long long>(query.content_hash));
-        }
+      case Command::Kind::kStats:
+        run("stats", [&]() -> Status {
+          SS_ASSIGN_OR_RETURN(serve::StatsReply reply, client.Stats());
+          std::printf(
+              "stats epoch=%llu draining=%d items_fed=%llu clients=%llu "
+              "admitted=%llu rejected=%llu forwarded=%llu\n",
+              static_cast<unsigned long long>(reply.epoch),
+              reply.draining ? 1 : 0,
+              static_cast<unsigned long long>(reply.items_fed),
+              static_cast<unsigned long long>(reply.attached_clients),
+              static_cast<unsigned long long>(reply.admitted),
+              static_cast<unsigned long long>(reply.rejected),
+              static_cast<unsigned long long>(reply.results_forwarded));
+          std::printf(
+              "wal appends=%llu bytes=%llu fsync_us=%llu "
+              "compactions=%llu recovered=%llu torn_truncations=%llu\n",
+              static_cast<unsigned long long>(reply.wal_appends),
+              static_cast<unsigned long long>(reply.wal_bytes),
+              static_cast<unsigned long long>(reply.wal_fsync_us),
+              static_cast<unsigned long long>(reply.wal_compactions),
+              static_cast<unsigned long long>(reply.wal_recovered_records),
+              static_cast<unsigned long long>(
+                  reply.wal_torn_tail_truncations));
+          for (const serve::QueryStat& query : reply.queries) {
+            std::printf("  q%lld %s items=%llu bytes=%llu hash=%llu\n",
+                        static_cast<long long>(query.query_id),
+                        query.active ? "active" : "inactive",
+                        static_cast<unsigned long long>(query.items),
+                        static_cast<unsigned long long>(query.bytes),
+                        static_cast<unsigned long long>(
+                            query.content_hash));
+          }
+          return Status::Ok();
+        });
         break;
-      }
       case Command::Kind::kDetach:
-        report("detach", client.Detach());
+        run("detach", [&]() -> Status { return client.Detach(); });
         break;
-      case Command::Kind::kDrain: {
-        auto reply = client.Drain(command.flag);
-        report("drain", reply.status());
+      case Command::Kind::kDrain:
+        run("drain", [&]() -> Status {
+          return client.Drain(command.flag).status();
+        });
         break;
-      }
       case Command::Kind::kWaitEos: {
+        // Never wrapped: the EOS ends the connection by design, and a
+        // redial would wait on a daemon that just left.
         auto eos = client.WaitEos(options.timeout_ms);
         if (!eos.ok()) {
           report("wait-eos", eos.status());

@@ -9,7 +9,7 @@
 //                    [--scenario=FILE] [--out-dir=DIR] [--metrics=FILE]
 //                    [--no-parallel] [--no-loopback] [--no-tcp]
 //                    [--tcp-processes] [--no-shrink] [--churn=P]
-//                    [--sweep-flow] [--dom-path] [--serve]
+//                    [--sweep-flow] [--dom-path] [--serve] [--crash]
 //                    [--inject-mode=MODE] [--inject-min-window=N]
 //                    [--inject-churn-mode=MODE]
 //
@@ -31,7 +31,12 @@
 // streamshare_serve daemon + client over localhost TCP and the
 // client-side deliveries must match the serial reference byte for byte.
 // Real sockets per scenario make it the slowest arm — CI gates it to a
-// small seed count.
+// small seed count. --crash adds the durability arm on top: the daemon
+// runs in a forked child armed with seed-derived crashpoints, SIGKILLs
+// itself mid-operation, recovers from checkpoint + write-ahead log, and
+// the history the client accumulated across all lives must still match
+// that same reference (a crash indistinguishable from a drain for every
+// acknowledged operation).
 //
 // Exit codes: 0 clean, 1 divergence found, 2 infrastructure failure.
 
@@ -98,7 +103,7 @@ int Usage(const char* program) {
                "[--scenario=FILE] [--out-dir=DIR] [--metrics=FILE] "
                "[--no-parallel] [--no-loopback] [--no-tcp] "
                "[--tcp-processes] [--no-shrink] [--churn=P] "
-               "[--sweep-flow] [--dom-path] [--serve] [--flat-bfs] "
+               "[--sweep-flow] [--dom-path] [--serve] [--crash] [--flat-bfs] "
                "[--inject-mode=MODE] [--inject-min-window=N] "
                "[--inject-churn-mode=MODE]\n",
                program);
@@ -189,6 +194,8 @@ int main(int argc, char** argv) {
       options.oracle.record_path = false;
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       options.oracle.run_serve = true;
+    } else if (std::strcmp(argv[i], "--crash") == 0) {
+      options.oracle.run_crash = true;
     } else if (std::strcmp(argv[i], "--flat-bfs") == 0) {
       options.oracle.run_flat_bfs = true;
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {

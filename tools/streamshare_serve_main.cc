@@ -7,18 +7,28 @@
 //
 //   streamshare_serve [--port=N] [--scenario=extended|grid] [--seed=N]
 //                     [--checkpoint=FILE] [--resume=replay|gap]
-//                     [--enforce-limits] [--widening] [--poll-ms=N]
-//                     [--metrics=FILE] [--log]
+//                     [--wal-compact-bytes=N] [--enforce-limits]
+//                     [--widening] [--poll-ms=N] [--metrics=FILE] [--log]
 //
 // --port=0 (the default) binds an ephemeral port; the bound port is
 // printed as `listening port=N` on stdout either way, so a launcher can
-// scrape it. --checkpoint enables restartable drain: SIGTERM (or a
-// client's Drain verb) checkpoints the registration/churn event log to
-// FILE and exits; starting the daemon again with the same scenario and
-// --checkpoint resumes per --resume (replay = byte-identical catch-up,
-// gap = windows re-anchor). Without --checkpoint, SIGTERM performs a
-// final drain: in-flight windows flush to the attached clients, then the
-// service ends. SIGINT always final-drains.
+// scrape it. --checkpoint enables the durability plane: every
+// acknowledged control mutation is fsync'd to a write-ahead log beside
+// FILE before its ACK leaves (kill -9 at any instant loses nothing that
+// was acked — startup recovers checkpoint + WAL tail), the log folds
+// into a fresh checkpoint whenever it exceeds --wal-compact-bytes, and
+// SIGTERM (or a client's Drain verb) checkpoints the registration/churn
+// event log to FILE and exits; starting the daemon again with the same
+// scenario and --checkpoint resumes per --resume (replay =
+// byte-identical catch-up, gap = windows re-anchor). Without
+// --checkpoint, SIGTERM performs a final drain: in-flight windows flush
+// to the attached clients, then the service ends. SIGINT always
+// final-drains.
+//
+// The STREAMSHARE_CRASHPOINT environment variable ("name" or "name:N",
+// see serve/crashpoint.h) arms a self-SIGKILL inside the durability
+// machinery — how scripts/crash_smoke.sh murders real daemons at exact
+// instants.
 //
 // --metrics writes a registry snapshot (serve.* gauges plus the hosted
 // system's metrics) after the drain. Exit code 0 on a clean drain, 2 on
@@ -33,6 +43,7 @@
 #include "obs/event_log.h"
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
+#include "serve/crashpoint.h"
 #include "serve/daemon.h"
 #include "workload/scenario.h"
 
@@ -46,6 +57,7 @@ struct Options {
   uint64_t seed = 11;
   std::string checkpoint_path;
   serve::ResumeFlavor resume = serve::ResumeFlavor::kReplay;
+  uint64_t wal_compact_bytes = 1 << 20;
   bool enforce_limits = false;
   bool widening = false;
   int poll_ms = 50;
@@ -66,8 +78,8 @@ int Usage(const char* program) {
   std::fprintf(stderr,
                "usage: %s [--port=N] [--scenario=extended|grid] "
                "[--seed=N] [--checkpoint=FILE] [--resume=replay|gap] "
-               "[--enforce-limits] [--widening] [--poll-ms=N] "
-               "[--metrics=FILE] [--log]\n",
+               "[--wal-compact-bytes=N] [--enforce-limits] [--widening] "
+               "[--poll-ms=N] [--metrics=FILE] [--log]\n",
                program);
   return 2;
 }
@@ -107,6 +119,8 @@ int main(int argc, char** argv) {
       } else {
         return Usage(argv[0]);
       }
+    } else if (ParseFlag(argv[i], "--wal-compact-bytes", &value)) {
+      options.wal_compact_bytes = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--enforce-limits") == 0) {
       options.enforce_limits = true;
     } else if (std::strcmp(argv[i], "--widening") == 0) {
@@ -144,9 +158,17 @@ int main(int argc, char** argv) {
   daemon_options.port = options.port;
   daemon_options.checkpoint_path = options.checkpoint_path;
   daemon_options.resume = options.resume;
+  daemon_options.wal_compact_bytes = options.wal_compact_bytes;
   daemon_options.poll_interval_ms = options.poll_ms;
   daemon_options.system.enforce_limits = options.enforce_limits;
   daemon_options.system.planner.enable_widening = options.widening;
+
+  Status armed = serve::crashpoint::ArmFromEnv();
+  if (!armed.ok()) {
+    std::fprintf(stderr, "bad STREAMSHARE_CRASHPOINT: %s\n",
+                 armed.ToString().c_str());
+    return 2;
+  }
 
   serve::ServeDaemon daemon(std::move(scenario), daemon_options);
   Status started = daemon.Start();
